@@ -1,0 +1,146 @@
+(* Benchmark harness: regenerates every "result" of the paper.
+
+   The paper's evaluation is analytic — complexity theorems and a
+   degree-of-concurrency ordering rather than measured tables — so each
+   theorem/claim becomes one experiment:
+
+     E1-E4  steps/transaction sweeps (Scheme 0 of S4; Theorems 4, 6, 9)
+     E5     degree of concurrency (WAIT insertions), Scheme 1/2
+            incomparability witnesses, Scheme 3's permits-all check (S4-S7)
+     E6     minimal-Delta intractability (Theorem 7)
+     E7     end-to-end MDBS + the no-control violation hunt (Thms 2/3/5/8)
+
+   The experiment tables (abstract step counts — the unit the theorems
+   bound) are printed first; then one Bechamel wall-clock Test.make per
+   experiment confirms that real time tracks the abstract counters. *)
+
+module Registry = Mdbs_core.Registry
+module Replay = Mdbs_sim.Replay
+module Driver = Mdbs_sim.Driver
+module Workload = Mdbs_sim.Workload
+module Tsgd = Mdbs_core.Tsgd
+module Eliminate_cycles = Mdbs_core.Eliminate_cycles
+module Minimal_delta = Mdbs_core.Minimal_delta
+module Rng = Mdbs_util.Rng
+open Mdbs_experiments
+
+let print_tables () =
+  Report.print (Complexity.sweep_dav ());
+  Report.print (Complexity.sweep_n ());
+  Report.print (Concurrency.wait_table ());
+  Report.print
+    (Concurrency.wait_table
+       ~config:{ Replay.m = 16; n_txns = 64; d_av = 2; concurrency = 8; ack_latency = 0 }
+       ());
+  Report.print (Concurrency.incomparability_witnesses ());
+  Report.print (Concurrency.scheme3_permits_all ());
+  Report.print (Minimality.run ());
+  Report.print (Endtoend.run ());
+  Report.print (Endtoend.violation_hunt ());
+  Report.print (Tradeoff.conservative_vs_optimistic ());
+  Report.print (Tradeoff.marking_ablation ());
+  Report.print (Tradeoff.protocol_mix ());
+  Report.print (Tradeoff.atomic_commit ());
+  Report.print (Timing.scheme_comparison ());
+  Report.print (Timing.latency_sweep ())
+
+(* ----------------------------------------------------- Bechamel section *)
+
+open Bechamel
+open Toolkit
+
+let replay_bench kind ~n_txns ~d_av ~concurrency =
+  Test.make
+    ~name:
+      (Printf.sprintf "E1-E4 replay %s (n=%d d_av=%d)" (Registry.name kind)
+         concurrency d_av)
+    (Staged.stage (fun () ->
+         let config = { Replay.m = 16; n_txns; d_av; concurrency; ack_latency = 2 } in
+         ignore (Replay.run ~seed:17 config (Registry.make kind))))
+
+let wait_bench kind =
+  Test.make
+    ~name:(Printf.sprintf "E5 open-loop %s" (Registry.name kind))
+    (Staged.stage (fun () ->
+         ignore
+           (Replay.run_fixed ~seed:5
+              { Replay.m = 8; n_txns = 64; d_av = 3; concurrency = 16; ack_latency = 0 }
+              (Registry.make kind))))
+
+let grow_tsgd rng n =
+  let tsgd = Tsgd.create () in
+  for gid = 1 to n do
+    Tsgd.add_txn tsgd gid (Rng.sample_distinct rng 2 6);
+    let delta, _ = Eliminate_cycles.run tsgd gid in
+    List.iter (fun (src, site) -> Tsgd.add_dep tsgd src site gid) delta
+  done;
+  tsgd
+
+let ec_bench n =
+  Test.make
+    ~name:(Printf.sprintf "E6 Eliminate_Cycles growth (n=%d)" n)
+    (Staged.stage (fun () -> ignore (grow_tsgd (Rng.create 31) n)))
+
+let exact_bench n =
+  Test.make
+    ~name:(Printf.sprintf "E6 exact minimal-Delta (n=%d)" n)
+    (Staged.stage (fun () ->
+         let rng = Rng.create 31 in
+         let tsgd = grow_tsgd rng n in
+         Tsgd.add_txn tsgd (n + 1) (Rng.sample_distinct rng 2 6);
+         ignore (Minimal_delta.minimum ~limit:20_000 tsgd (n + 1))))
+
+let endtoend_bench kind =
+  Test.make
+    ~name:(Printf.sprintf "E7 end-to-end %s" (Registry.name kind))
+    (Staged.stage (fun () ->
+         let config =
+           {
+             Driver.default with
+             n_global = 30;
+             seed = 19;
+             workload = { Workload.default with m = 4; d_av = 2; data_per_site = 12 };
+           }
+         in
+         ignore (Driver.run_kind config kind)))
+
+let benchmarks () =
+  let tests =
+    List.concat
+      [
+        List.map
+          (fun kind -> replay_bench kind ~n_txns:96 ~d_av:3 ~concurrency:16)
+          Registry.all;
+        List.map wait_bench Registry.all;
+        [ ec_bench 16; ec_bench 32; exact_bench 8; exact_bench 10 ];
+        List.map endtoend_bench Registry.all;
+      ]
+  in
+  Test.make_grouped ~name:"mdbs" tests
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ instance ] (benchmarks ()) in
+  let results = Analyze.all ols instance raw in
+  print_endline "== Bechamel wall-clock (monotonic clock, ns/run) ==";
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let estimate =
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) -> Printf.sprintf "%.0f" est
+          | Some [] | None -> "-"
+        in
+        [ name; estimate ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Mdbs_util.Table.print ~headers:[ "benchmark"; "ns/run" ] rows
+
+let () =
+  print_tables ();
+  run_bechamel ()

@@ -1,0 +1,185 @@
+(* mdbs: command-line front-end.
+
+   Subcommands:
+     schemes      list the GTM2 schemes
+     experiments  print the reproduction tables (all or a subset)
+     replay       drive a scheme with a synthetic trace, print metrics
+     simulate     run the end-to-end MDBS simulation under one scheme *)
+
+module Registry = Mdbs_core.Registry
+module Replay = Mdbs_sim.Replay
+module Driver = Mdbs_sim.Driver
+module Workload = Mdbs_sim.Workload
+open Mdbs_experiments
+open Cmdliner
+
+let scheme_conv =
+  let parse s =
+    match Registry.of_string (String.lowercase_ascii s) with
+    | Some kind -> Ok kind
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print ppf kind = Format.pp_print_string ppf (Registry.name kind) in
+  Arg.conv (parse, print)
+
+(* ---------------------------------------------------------------- schemes *)
+
+let schemes_cmd =
+  let doc = "List the GTM2 concurrency-control schemes" in
+  let run () =
+    List.iter
+      (fun kind ->
+        Printf.printf "%-10s %s\n" (Registry.name kind) (Registry.description kind))
+      Registry.extended
+  in
+  Cmd.v (Cmd.info "schemes" ~doc) Term.(const run $ const ())
+
+(* ------------------------------------------------------------ experiments *)
+
+let experiments_cmd =
+  let doc = "Print the paper-reproduction experiment tables" in
+  let only =
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID"
+           ~doc:"Run only the experiment with this id prefix (E1..E7).")
+  in
+  let run only =
+    let tables =
+      [
+        ("E1", fun () -> Complexity.sweep_dav ());
+        ("E2", fun () -> Complexity.sweep_n ());
+        ("E5", fun () -> Concurrency.wait_table ());
+        ("E5b", fun () -> Concurrency.incomparability_witnesses ());
+        ("E5c", fun () -> Concurrency.scheme3_permits_all ());
+        ("E6", fun () -> Minimality.run ());
+        ("E7", fun () -> Endtoend.run ());
+        ("E7b", fun () -> Endtoend.violation_hunt ());
+        ("E9", fun () -> Tradeoff.conservative_vs_optimistic ());
+        ("E10", fun () -> Tradeoff.marking_ablation ());
+        ("E11", fun () -> Tradeoff.protocol_mix ());
+        ("E12", fun () -> Tradeoff.atomic_commit ());
+        ("E13", fun () -> Timing.scheme_comparison ());
+        ("E13b", fun () -> Timing.latency_sweep ());
+      ]
+    in
+    let wanted (id, _) =
+      match only with
+      | None -> true
+      | Some prefix ->
+          let prefix = String.uppercase_ascii prefix in
+          String.length id >= String.length prefix
+          && String.sub id 0 (String.length prefix) = prefix
+    in
+    List.iter (fun (_, table) -> Report.print (table ())) (List.filter wanted tables)
+  in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ only)
+
+(* ----------------------------------------------------------------- replay *)
+
+let replay_cmd =
+  let doc = "Replay a synthetic serialization-operation trace through a scheme" in
+  let scheme =
+    Arg.(value & opt scheme_conv Registry.S3 & info [ "scheme" ] ~docv:"SCHEME"
+           ~doc:"GTM2 scheme: scheme0..scheme3 or nocontrol.")
+  in
+  let sites = Arg.(value & opt int 8 & info [ "sites"; "m" ] ~docv:"M") in
+  let txns = Arg.(value & opt int 64 & info [ "txns" ] ~docv:"N") in
+  let d_av = Arg.(value & opt int 3 & info [ "dav" ] ~docv:"D") in
+  let concurrency = Arg.(value & opt int 16 & info [ "concurrency"; "n" ] ~docv:"N") in
+  let latency = Arg.(value & opt int 2 & info [ "latency" ] ~docv:"L") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let open_loop =
+    Arg.(value & flag & info [ "open-loop" ]
+           ~doc:"Use the fixed arrival order (degree-of-concurrency mode).")
+  in
+  let run kind m n_txns d_av concurrency ack_latency seed open_loop =
+    let config = { Replay.m; n_txns; d_av; concurrency; ack_latency } in
+    let runner = if open_loop then Replay.run_fixed else Replay.run in
+    let r = runner ~seed config (Registry.make kind) in
+    Mdbs_util.Table.print
+      ~headers:[ "metric"; "value" ]
+      [
+        [ "scheme"; r.Replay.scheme_name ];
+        [ "transactions"; string_of_int r.Replay.txns ];
+        [ "ser operations submitted"; string_of_int r.Replay.submits ];
+        [ "ser operations delayed (WAIT)"; string_of_int r.Replay.ser_waits ];
+        [ "total WAIT insertions"; string_of_int r.Replay.total_waits ];
+        [ "scheme steps"; string_of_int r.Replay.scheme_steps ];
+        [ "engine steps"; string_of_int r.Replay.engine_steps ];
+        [ "steps per transaction"; Printf.sprintf "%.2f" r.Replay.steps_per_txn ];
+      ]
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const run $ scheme $ sites $ txns $ d_av $ concurrency $ latency $ seed
+      $ open_loop)
+
+(* --------------------------------------------------------------- simulate *)
+
+let simulate_cmd =
+  let doc = "Run the end-to-end MDBS simulation (heterogeneous sites, mixed load)" in
+  let scheme =
+    Arg.(value & opt scheme_conv Registry.S3 & info [ "scheme" ] ~docv:"SCHEME")
+  in
+  let sites = Arg.(value & opt int 4 & info [ "sites"; "m" ] ~docv:"M") in
+  let globals = Arg.(value & opt int 60 & info [ "globals" ] ~docv:"N") in
+  let d_av = Arg.(value & opt int 2 & info [ "dav" ] ~docv:"D") in
+  let data =
+    Arg.(value & opt int 12 & info [ "data" ] ~docv:"K" ~doc:"Items per site.")
+  in
+  let hotspot = Arg.(value & opt int 0 & info [ "hotspot" ] ~docv:"H") in
+  let seed = Arg.(value & opt int 19 & info [ "seed" ] ~docv:"SEED") in
+  let run kind m n_global d_av data_per_site hotspot seed =
+    let config =
+      {
+        Driver.default with
+        n_global;
+        seed;
+        workload = { Workload.default with m; d_av; data_per_site; hotspot };
+      }
+    in
+    let r = Driver.run_kind config kind in
+    Format.printf "%a@." Driver.pp_result r;
+    if not r.Driver.serializable then
+      print_endline "WARNING: execution was NOT globally serializable"
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ scheme $ sites $ globals $ d_av $ data $ hotspot $ seed)
+
+(* -------------------------------------------------------------------- des *)
+
+let des_cmd =
+  let doc = "Timed discrete-event simulation: throughput and response times" in
+  let scheme =
+    Arg.(value & opt scheme_conv Registry.S3 & info [ "scheme" ] ~docv:"SCHEME")
+  in
+  let sites = Arg.(value & opt int 4 & info [ "sites"; "m" ] ~docv:"M") in
+  let globals = Arg.(value & opt int 60 & info [ "globals" ] ~docv:"N") in
+  let latency = Arg.(value & opt float 2.0 & info [ "latency" ] ~docv:"MS") in
+  let service = Arg.(value & opt float 1.0 & info [ "service" ] ~docv:"MS") in
+  let seed = Arg.(value & opt int 23 & info [ "seed" ] ~docv:"SEED") in
+  let atomic = Arg.(value & flag & info [ "2pc" ] ~doc:"Two-phase commit.") in
+  let run kind m n_global latency_ms service_ms seed atomic_commit =
+    let config =
+      {
+        Mdbs_sim.Des.default with
+        n_global;
+        latency_ms;
+        service_ms;
+        seed;
+        atomic_commit;
+        workload = { Workload.default with m };
+      }
+    in
+    let r = Mdbs_sim.Des.run_kind config kind in
+    Format.printf "%a@." Mdbs_sim.Des.pp_result r
+  in
+  Cmd.v (Cmd.info "des" ~doc)
+    Term.(const run $ scheme $ sites $ globals $ latency $ service $ seed $ atomic)
+
+let () =
+  let doc = "Multidatabase concurrency control (SIGMOD 1992) reproduction" in
+  let info = Cmd.info "mdbs" ~doc ~version:"1.0.0" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ schemes_cmd; experiments_cmd; replay_cmd; simulate_cmd; des_cmd ]))

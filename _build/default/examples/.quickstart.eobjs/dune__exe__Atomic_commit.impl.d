@@ -1,0 +1,1 @@
+examples/atomic_commit.ml: Item Mdbs_core Mdbs_model Mdbs_site Op Printf Txn Types

@@ -1,0 +1,1 @@
+examples/banking.ml: Format Item List Mdbs_core Mdbs_model Mdbs_site Mdbs_util Op Printf Serializability Txn Types

@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: Format Item List Mdbs_core Mdbs_model Mdbs_sim Mdbs_site Op Printf Serializability Types

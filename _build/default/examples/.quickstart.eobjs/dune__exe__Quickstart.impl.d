@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Item List Mdbs_core Mdbs_model Mdbs_site Op Printf Ser_schedule Serializability String Txn Types

@@ -1,0 +1,1 @@
+examples/recovery.ml: Format Item List Mdbs_model Mdbs_site Op Printf Serializability String Types

@@ -1,0 +1,1 @@
+examples/travel.ml: Format Item List Mdbs_core Mdbs_model Mdbs_site Mdbs_util Op Printf Ser_schedule Serializability Txn Types

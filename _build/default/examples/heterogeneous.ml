@@ -1,0 +1,95 @@
+(* Why the GTM needs a concurrency-control scheme at all.
+
+   This example runs the SAME contended workload twice over heterogeneous
+   sites: once with GTM2 disabled (the no-control baseline) and once under
+   Scheme 3. The baseline produces a globally non-serializable execution —
+   the audit prints the witness cycle — while Scheme 3's run is clean with
+   barely any delays.
+
+     dune exec examples/heterogeneous.exe *)
+
+open Mdbs_model
+module Driver = Mdbs_sim.Driver
+module Workload = Mdbs_sim.Workload
+module Registry = Mdbs_core.Registry
+module Gtm = Mdbs_core.Gtm
+module Local_dbms = Mdbs_site.Local_dbms
+
+(* A deterministic interleaving that breaks without control: two global
+   transactions writing the same item at two sites, with GTM2's restraint
+   removed, plus local traffic. We drive the simulation with a contended
+   configuration and report the first violating seed. *)
+let contended seed =
+  {
+    Driver.default with
+    n_global = 40;
+    seed;
+    workload =
+      {
+        Workload.default with
+        m = 3;
+        d_av = 2;
+        data_per_site = 4;
+        hotspot = 2;
+        write_ratio = 0.7;
+      };
+  }
+
+let describe label r =
+  Printf.printf "%-10s committed=%d restarts=%d ser-waits=%d CSR=%s ser(S)=%s\n"
+    label r.Driver.committed_global r.Driver.restarts r.Driver.ser_waits
+    (if r.Driver.serializable then "yes" else "NO")
+    (if r.Driver.ser_s_serializable then "yes" else "NO")
+
+let () =
+  (* Find a seed where the uncontrolled MDBS misbehaves. *)
+  let rec hunt seed =
+    if seed > 50 then None
+    else
+      let r = Driver.run_kind (contended seed) Registry.Nocontrol in
+      if (not r.Driver.serializable) || not r.Driver.ser_s_serializable then
+        Some (seed, r)
+      else hunt (seed + 1)
+  in
+  (match hunt 1 with
+  | Some (seed, r) ->
+      Printf.printf "seed %d: uncontrolled execution violates global serializability\n"
+        seed;
+      describe "nocontrol" r;
+      (* Re-run to extract the witness cycle from the audit. *)
+      let r3 = Driver.run_kind (contended seed) Registry.S3 in
+      describe "scheme3" r3;
+      Printf.printf "same workload under Scheme 3: %s\n"
+        (if r3.Driver.serializable && r3.Driver.ser_s_serializable then
+           "serializable (violation prevented)"
+         else "STILL BROKEN (bug!)");
+      if not (r3.Driver.serializable && r3.Driver.ser_s_serializable) then exit 1
+  | None ->
+      print_endline
+        "no violation found in 50 seeds — raise contention to demonstrate");
+
+  (* A minimal hand-built violation, with the witness cycle printed: two
+     globals ordered oppositely at two sites, no GTM2 restraint. *)
+  print_newline ();
+  print_endline "minimal hand-built violation (no control):";
+  let site_a = Local_dbms.create ~protocol:Types.Two_phase_locking 0 in
+  let site_b = Local_dbms.create ~protocol:Types.Two_phase_locking 1 in
+  (* Simulate two subtransactions applied in opposite orders by driving the
+     sites directly, as an uncontrolled GTM could. *)
+  List.iter
+    (fun (site, order) ->
+      List.iter
+        (fun tid ->
+          ignore (Local_dbms.submit site tid Op.Begin);
+          ignore (Local_dbms.submit site tid (Op.Write (Item.Key 0, 1)));
+          ignore (Local_dbms.submit site tid Op.Commit))
+        order)
+    [ (site_a, [ 1; 2 ]); (site_b, [ 2; 1 ]) ];
+  let schedules = [ Local_dbms.schedule site_a; Local_dbms.schedule site_b ] in
+  Format.printf "audit: %a@." Serializability.pp_verdict
+    (Serializability.check schedules);
+  match Serializability.check schedules with
+  | Serializability.Cycle _ -> ()
+  | Serializability.Serializable ->
+      print_endline "expected a violation here!";
+      exit 1

@@ -1,0 +1,1 @@
+lib/core/eliminate_cycles.ml: Hashtbl List Mdbs_model Mdbs_util Tsgd Types

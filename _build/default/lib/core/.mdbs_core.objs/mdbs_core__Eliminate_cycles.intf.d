@@ -1,0 +1,1 @@
+lib/core/eliminate_cycles.mli: Mdbs_model Tsgd Types

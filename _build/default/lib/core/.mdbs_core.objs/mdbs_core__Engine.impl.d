@@ -1,0 +1,1 @@
+lib/core/engine.ml: Hashtbl List Mdbs_util Queue Queue_op Scheme

@@ -1,0 +1,1 @@
+lib/core/gtm.ml: Engine Gtm1 Hashtbl List Mdbs_lcc Mdbs_model Mdbs_site Op Printf Queue_op Scheme Ser_fun Ser_schedule Serializability Txn Types

@@ -1,0 +1,1 @@
+lib/core/gtm.mli: Engine Mdbs_model Mdbs_site Schedule Scheme Ser_schedule Serializability Txn Types

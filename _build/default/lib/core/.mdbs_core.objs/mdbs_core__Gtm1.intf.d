@@ -1,0 +1,1 @@
+lib/core/gtm1.mli: Item Mdbs_model Op Queue_op Ser_fun Txn Types

@@ -1,0 +1,1 @@
+lib/core/minimal_delta.ml: Array List Mdbs_util Tsgd

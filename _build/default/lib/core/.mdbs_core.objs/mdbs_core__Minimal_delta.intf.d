@@ -1,0 +1,1 @@
+lib/core/minimal_delta.mli: Mdbs_model Tsgd Types

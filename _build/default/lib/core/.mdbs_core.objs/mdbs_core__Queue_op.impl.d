@@ -1,0 +1,1 @@
+lib/core/queue_op.ml: Format Mdbs_model Types

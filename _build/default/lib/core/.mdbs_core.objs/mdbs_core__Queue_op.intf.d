@@ -1,0 +1,1 @@
+lib/core/queue_op.mli: Format Mdbs_model Types

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Scheme0 Scheme1 Scheme2 Scheme3 Scheme_nocontrol Scheme_otm

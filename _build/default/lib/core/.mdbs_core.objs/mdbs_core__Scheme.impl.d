@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Format Mdbs_model Queue_op Types

@@ -1,0 +1,1 @@
+lib/core/scheme.mli: Format Mdbs_model Queue_op Types

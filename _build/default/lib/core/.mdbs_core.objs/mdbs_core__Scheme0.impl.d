@@ -1,0 +1,1 @@
+lib/core/scheme0.ml: Hashtbl List Mdbs_model Printf Queue Queue_op Scheme String Types

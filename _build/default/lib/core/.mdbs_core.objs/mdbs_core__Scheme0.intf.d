@@ -1,0 +1,1 @@
+lib/core/scheme0.mli: Scheme

@@ -1,0 +1,1 @@
+lib/core/scheme1.mli: Scheme

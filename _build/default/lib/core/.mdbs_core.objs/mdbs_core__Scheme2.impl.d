@@ -1,0 +1,1 @@
+lib/core/scheme2.ml: Eliminate_cycles Hashtbl List Mdbs_model Mdbs_util Printf Queue_op Scheme Tsgd Types

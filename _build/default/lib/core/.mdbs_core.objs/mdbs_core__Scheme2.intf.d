@@ -1,0 +1,1 @@
+lib/core/scheme2.mli: Scheme Tsgd

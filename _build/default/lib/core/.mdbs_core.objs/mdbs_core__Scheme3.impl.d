@@ -1,0 +1,1 @@
+lib/core/scheme3.ml: Hashtbl List Mdbs_model Mdbs_util Printf Queue_op Scheme Types

@@ -1,0 +1,1 @@
+lib/core/scheme_nocontrol.ml: Hashtbl Mdbs_model Queue_op Scheme Types

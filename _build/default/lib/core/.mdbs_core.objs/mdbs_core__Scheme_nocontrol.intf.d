@@ -1,0 +1,1 @@
+lib/core/scheme_nocontrol.mli: Scheme

@@ -1,0 +1,1 @@
+lib/core/scheme_otm.ml: Hashtbl List Mdbs_model Mdbs_util Printf Queue_op Scheme Types

@@ -1,0 +1,1 @@
+lib/core/tsgd.ml: Hashtbl List Mdbs_model Mdbs_util Types

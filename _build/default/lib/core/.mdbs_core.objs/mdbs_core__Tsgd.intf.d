@@ -1,0 +1,1 @@
+lib/core/tsgd.mli: Mdbs_model Mdbs_util Types

@@ -1,0 +1,129 @@
+open Mdbs_model
+module Iset = Mdbs_util.Iset
+
+(* Literal transcription of Figure 4. [v] is the transaction node currently
+   visited; [s_par v] stacks the site nodes through which [v] was entered
+   (one entry per visit), [t_par v] the transaction nodes it was entered
+   from. Edges (u, w) — site u to transaction w — are marked "used" so the
+   traversal examines each at most once, except edges into Ĝ_i which may
+   close several distinct cycles. *)
+
+type walk_state = {
+  tsgd : Tsgd.t;
+  gi : Types.gid;
+  used : (Types.sid * Types.gid, unit) Hashtbl.t;
+  unused_at : (Types.sid, Iset.t ref) Hashtbl.t;
+      (* per site: transactions whose incoming edge (u, w) is still unused —
+         lets a visit skip consumed edges instead of rescanning them, which
+         is what keeps the procedure within Theorem 6's O(n^2 * d_av) *)
+  s_par : (Types.gid, Types.sid list ref) Hashtbl.t;
+  t_par : (Types.gid, Types.gid list ref) Hashtbl.t;
+  delta : (Types.gid * Types.sid, unit) Hashtbl.t;
+  mutable delta_order : (Types.gid * Types.sid) list; (* newest first *)
+  mutable steps : int;
+}
+
+let stack table key =
+  match Hashtbl.find_opt table key with
+  | Some s -> s
+  | None ->
+      let s = ref [] in
+      Hashtbl.replace table key s;
+      s
+
+let head_s_par st v = match !(stack st.s_par v) with [] -> None | u :: _ -> Some u
+
+let dep_in_d_or_delta st v u w =
+  Tsgd.has_dep st.tsgd v u w
+  || (w = st.gi && Hashtbl.mem st.delta (v, u))
+
+let unused_at st u =
+  match Hashtbl.find_opt st.unused_at u with
+  | Some set -> set
+  | None ->
+      (* Ĝ_i is handled separately: edges into it stay eligible for closing
+         several distinct cycles. *)
+      let set = ref (Iset.remove st.gi (Tsgd.txns_at st.tsgd u)) in
+      Hashtbl.replace st.unused_at u set;
+      set
+
+(* Find the first choosable pair (v,u),(u,w) for the current node: closing
+   pairs (w = Ĝ_i) first, then unused forward edges. Only candidates that
+   survive the monotone filters are examined, so each (u, w) edge is paid
+   for O(1) times plus the dependency-rejected rescans. *)
+let find_pair st v =
+  let result = ref None in
+  Iset.iter
+    (fun u ->
+      if !result = None && head_s_par st v <> Some u then begin
+        (* Closing pair: (v,u),(u,Ĝ_i). *)
+        if
+          v <> st.gi
+          && Iset.mem st.gi (Tsgd.txns_at st.tsgd u)
+          &&
+          (st.steps <- st.steps + 1;
+           not (dep_in_d_or_delta st v u st.gi))
+        then result := Some (u, st.gi)
+        else
+          Iset.iter
+            (fun w ->
+              if !result = None && w <> v then begin
+                st.steps <- st.steps + 1;
+                if not (Tsgd.has_dep st.tsgd v u w) then result := Some (u, w)
+              end)
+            !(unused_at st u)
+      end)
+    (Tsgd.sites_of st.tsgd v);
+  !result
+
+let run tsgd gi =
+  let st =
+    {
+      tsgd;
+      gi;
+      used = Hashtbl.create 64;
+      unused_at = Hashtbl.create 32;
+      s_par = Hashtbl.create 32;
+      t_par = Hashtbl.create 32;
+      delta = Hashtbl.create 16;
+      delta_order = [];
+      steps = 0;
+    }
+  in
+  let v = ref gi in
+  let finished = ref false in
+  while not !finished do
+    match find_pair st !v with
+    | Some (u, w) ->
+        (* Step 3 *)
+        Hashtbl.replace st.used (u, w) ();
+        (if w <> gi then
+           let set = unused_at st u in
+           set := Iset.remove w !set);
+        if w = gi then begin
+          Hashtbl.replace st.delta (!v, u) ();
+          st.delta_order <- (!v, u) :: st.delta_order
+        end
+        else begin
+          let sp = stack st.s_par w and tp = stack st.t_par w in
+          sp := u :: !sp;
+          tp := !v :: !tp;
+          v := w
+        end
+    | None ->
+        (* Step 4 *)
+        if !v = gi then finished := true
+        else begin
+          let sp = stack st.s_par !v and tp = stack st.t_par !v in
+          match (!sp, !tp) with
+          | _ :: sp_rest, parent :: tp_rest ->
+              sp := sp_rest;
+              tp := tp_rest;
+              v := parent
+          | _ ->
+              (* Entered with empty parent stacks: cannot happen, every
+                 non-gi node is reached by a push in step 3. *)
+              assert false
+        end
+  done;
+  (List.rev st.delta_order, st.steps)

@@ -1,0 +1,24 @@
+(** The [Eliminate_Cycles] procedure of Figure 4.
+
+    Given the TSGD and a freshly inserted transaction [Ĝ_i], returns a set
+    of dependencies Δ — each of the form [(Ĝ_j, s_k) -> (s_k, Ĝ_i)], i.e.
+    "[G_j]'s serialization operation at [s_k] before [G_i]'s" — such that
+    (V, E, D ∪ Δ) contains no dangerous cycle involving [Ĝ_i].
+
+    The procedure is a marking traversal (not a plain DFS: transaction nodes
+    may be revisited, with [s_par]/[t_par] stacks recording every entry).
+    It walks pairs of distinct edges [(v,u), (u,w)] that carry no committed
+    dependency in the traversal direction; reaching back to [Ĝ_i] reveals a
+    potential cycle, which is broken by committing the closing position:
+    dependency [(v, u) -> (u, Ĝ_i)].
+
+    Δ need not be minimal — Theorem 7 shows computing a minimal Δ is
+    NP-hard; see {!Minimal_delta} for the exact exponential solver. *)
+
+open Mdbs_model
+
+val run : Tsgd.t -> Types.gid -> (Types.gid * Types.sid) list * int
+(** [run tsgd gi] returns [(delta, steps)]: the dependencies to add, as
+    [(g_j, s_k)] pairs meaning [(Ĝ_j, s_k) -> (s_k, Ĝ_i)], and the number
+    of abstract steps (edge-pair examinations) consumed. The TSGD is not
+    modified. *)

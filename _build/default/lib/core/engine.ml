@@ -1,0 +1,129 @@
+module Dllist = Mdbs_util.Dllist
+
+(* WAIT is bucketed so that a wakeup directive touches only the operations it
+   may have enabled — matching the paper's cost model, where the cost of an
+   act includes determining exactly the waiting operations whose condition it
+   made true (not a scan of all of WAIT). *)
+type t = {
+  scheme : Scheme.t;
+  queue : Queue_op.t Queue.t;
+  ser_wait : (int, Queue_op.t Dllist.t) Hashtbl.t; (* site -> waiting Ser ops *)
+  fin_wait : Queue_op.t Dllist.t;
+  other_wait : Queue_op.t Dllist.t;
+  mutable wait_count : int;
+  mutable wait_insertions : int;
+  mutable ser_wait_insertions : int;
+  mutable processed : int;
+  mutable engine_steps : int;
+}
+
+let create scheme =
+  {
+    scheme;
+    queue = Queue.create ();
+    ser_wait = Hashtbl.create 16;
+    fin_wait = Dllist.create ();
+    other_wait = Dllist.create ();
+    wait_count = 0;
+    wait_insertions = 0;
+    ser_wait_insertions = 0;
+    processed = 0;
+    engine_steps = 0;
+  }
+
+let scheme t = t.scheme
+
+let enqueue t op = Queue.add op t.queue
+
+let ser_bucket t site =
+  match Hashtbl.find_opt t.ser_wait site with
+  | Some bucket -> bucket
+  | None ->
+      let bucket = Dllist.create () in
+      Hashtbl.replace t.ser_wait site bucket;
+      bucket
+
+let park t op =
+  (match op with
+  | Queue_op.Ser (_, site) ->
+      ignore (Dllist.push_back (ser_bucket t site) op);
+      t.ser_wait_insertions <- t.ser_wait_insertions + 1
+  | Queue_op.Fin _ -> ignore (Dllist.push_back t.fin_wait op)
+  | Queue_op.Init _ | Queue_op.Ack _ -> ignore (Dllist.push_back t.other_wait op));
+  t.wait_count <- t.wait_count + 1;
+  t.wait_insertions <- t.wait_insertions + 1
+
+(* Re-check one bucket: find the first member whose condition holds, process
+   it, and rescan (its act may enable or disable other members — cond must
+   be re-evaluated after every act, exactly as in Figure 3). *)
+let rec drain_bucket t bucket effects directives =
+  let rec scan = function
+    | [] -> ()
+    | node :: rest ->
+        t.engine_steps <- t.engine_steps + 1;
+        let op = Dllist.value node in
+        if t.scheme.Scheme.cond op then begin
+          Dllist.remove bucket node;
+          t.wait_count <- t.wait_count - 1;
+          let emitted = t.scheme.Scheme.act op in
+          effects := List.rev_append emitted !effects;
+          t.processed <- t.processed + 1;
+          directives := t.scheme.Scheme.wakeups op @ !directives;
+          drain_bucket t bucket effects directives
+        end
+        else scan rest
+  in
+  scan (Dllist.nodes bucket)
+
+let buckets_for t = function
+  | Scheme.Wake_ser_at site -> [ ser_bucket t site ]
+  | Scheme.Wake_fins -> [ t.fin_wait ]
+  | Scheme.Wake_all ->
+      Hashtbl.fold (fun _ b acc -> b :: acc) t.ser_wait [ t.fin_wait; t.other_wait ]
+
+let process_directives t initial effects =
+  let directives = ref initial in
+  while !directives <> [] do
+    match !directives with
+    | [] -> ()
+    | directive :: rest ->
+        directives := rest;
+        List.iter
+          (fun bucket -> drain_bucket t bucket effects directives)
+          (buckets_for t directive)
+  done
+
+let run t =
+  let effects = ref [] in
+  while not (Queue.is_empty t.queue) do
+    let op = Queue.pop t.queue in
+    t.engine_steps <- t.engine_steps + 1;
+    if t.scheme.Scheme.cond op then begin
+      let emitted = t.scheme.Scheme.act op in
+      effects := List.rev_append emitted !effects;
+      t.processed <- t.processed + 1;
+      process_directives t (t.scheme.Scheme.wakeups op) effects
+    end
+    else park t op
+  done;
+  List.rev !effects
+
+let wait_set t =
+  let buckets =
+    Hashtbl.fold (fun _ b acc -> b :: acc) t.ser_wait [ t.fin_wait; t.other_wait ]
+  in
+  List.concat_map Dllist.to_list buckets
+
+let wait_size t = t.wait_count
+
+let total_wait_insertions t = t.wait_insertions
+
+let ser_wait_insertions t = t.ser_wait_insertions
+
+let total_processed t = t.processed
+
+let engine_steps t = t.engine_steps
+
+let total_steps t = t.engine_steps + t.scheme.Scheme.steps ()
+
+let idle t = Queue.is_empty t.queue

@@ -1,0 +1,298 @@
+open Mdbs_model
+module Local_dbms = Mdbs_site.Local_dbms
+module Cc_types = Mdbs_lcc.Cc_types
+
+type status = Active | Committed | Aborted of string
+
+type t = {
+  engine : Engine.t;
+  gtm1 : Gtm1.t;
+  atomic_commit : bool;
+  site_tbl : (Types.sid, Local_dbms.t) Hashtbl.t;
+  ser_log : Ser_schedule.t;
+  pending_ser : (Types.sid * Types.gid, unit) Hashtbl.t;
+      (* serialization operations submitted to a site and blocked there *)
+  local_cont : (Types.tid, Types.sid * Op.action list) Hashtbl.t;
+      (* blocked local transactions: site and actions still to run *)
+  statuses : (Types.tid, status) Hashtbl.t;
+  fin_enqueued : (Types.gid, unit) Hashtbl.t;
+  death_reason : (Types.gid, string) Hashtbl.t;
+  mutable forced_aborts : int;
+}
+
+let create ?(atomic_commit = false) ~scheme ~sites () =
+  let site_tbl = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace site_tbl (Local_dbms.site_id s) s) sites;
+  {
+    engine = Engine.create scheme;
+    gtm1 = Gtm1.create ();
+    atomic_commit;
+    site_tbl;
+    ser_log = Ser_schedule.create ();
+    pending_ser = Hashtbl.create 16;
+    local_cont = Hashtbl.create 16;
+    statuses = Hashtbl.create 64;
+    fin_enqueued = Hashtbl.create 64;
+    death_reason = Hashtbl.create 16;
+    forced_aborts = 0;
+  }
+
+let engine t = t.engine
+
+let site t sid =
+  match Hashtbl.find_opt t.site_tbl sid with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Gtm.site: unknown site %d" sid)
+
+let sites t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.site_tbl []
+  |> List.sort (fun a b -> compare (Local_dbms.site_id a) (Local_dbms.site_id b))
+
+let ser_schedule t = t.ser_log
+
+let schedules t = List.map Local_dbms.schedule (sites t)
+
+let audit t = Serializability.check (schedules t)
+
+let forced_aborts t = t.forced_aborts
+
+let status t tid =
+  match Hashtbl.find_opt t.statuses tid with Some s -> s | None -> Active
+
+(* --- global transaction plumbing ------------------------------------- *)
+
+let mark_global_dead t gid reason ~aborting_site =
+  if not (Gtm1.is_dead t.gtm1 gid) then begin
+    Gtm1.mark_dead t.gtm1 gid;
+    Hashtbl.replace t.death_reason gid reason;
+    (match aborting_site with
+    | Some s -> Gtm1.note_site_terminated t.gtm1 gid s
+    | None -> ());
+    (* Roll back at every other site where the subtransaction is active. *)
+    List.iter
+      (fun s ->
+        ignore (Local_dbms.submit (site t s) gid Op.Abort);
+        Gtm1.note_site_terminated t.gtm1 gid s)
+      (Gtm1.begun_sites t.gtm1 gid)
+  end
+
+let submit_global t txn =
+  let ser_point_of sid =
+    let dbms = site t sid in
+    if t.atomic_commit then
+      Ser_fun.for_protocol_atomic (Local_dbms.protocol_kind dbms)
+    else Local_dbms.serialization_point dbms
+  in
+  let info = Gtm1.admit t.gtm1 txn ~atomic:t.atomic_commit ~ser_point_of () in
+  Hashtbl.replace t.statuses txn.Txn.id Active;
+  Engine.enqueue t.engine (Queue_op.Init info)
+
+(* Predeclare the subtransaction's lock set when the site needs it
+   (conservative 2PL), just before its begin is submitted. *)
+let declare_if_needed t gid sid action =
+  if action = Op.Begin then begin
+    let dbms = site t sid in
+    if Local_dbms.needs_declarations dbms then
+      let accesses =
+        List.map
+          (fun (item, write) ->
+            (item, if write then Cc_types.Write_mode else Cc_types.Read_mode))
+          (Gtm1.declaration_for t.gtm1 gid sid)
+      in
+      Local_dbms.declare dbms gid accesses
+  end
+
+(* Execute the Submit_ser effect: run the serialization operation at its
+   site (or fake it for a dead transaction). *)
+let handle_submit_ser t gid sid progressed =
+  let fake_ack () = Engine.enqueue t.engine (Queue_op.Ack (gid, sid)) in
+  if Gtm1.is_dead t.gtm1 gid then fake_ack ()
+  else begin
+    let action =
+      match Gtm1.current_step t.gtm1 gid with
+      | Some step when step.Gtm1.site = sid && step.Gtm1.via_gtm2 -> step.Gtm1.action
+      | Some _ | None -> invalid_arg "Gtm: Submit_ser does not match current step"
+    in
+    declare_if_needed t gid sid action;
+    match Local_dbms.submit (site t sid) gid action with
+    | Local_dbms.Executed _ ->
+        Ser_schedule.record t.ser_log sid gid;
+        fake_ack ()
+    | Local_dbms.Waiting -> Hashtbl.replace t.pending_ser (sid, gid) ()
+    | Local_dbms.Aborted reason ->
+        mark_global_dead t gid reason ~aborting_site:(Some sid);
+        fake_ack ()
+  end;
+  progressed := true
+
+(* Drive one global transaction as far as it goes without an ack. *)
+let rec drive_global t gid progressed =
+  match Gtm1.next t.gtm1 gid with
+  | Gtm1.In_flight -> ()
+  | Gtm1.Finished ->
+      if not (Hashtbl.mem t.fin_enqueued gid) then begin
+        Hashtbl.replace t.fin_enqueued gid ();
+        Engine.enqueue t.engine (Queue_op.Fin gid);
+        let final =
+          if Gtm1.is_dead t.gtm1 gid then
+            Aborted
+              (match Hashtbl.find_opt t.death_reason gid with
+              | Some r -> r
+              | None -> "aborted")
+          else Committed
+        in
+        Hashtbl.replace t.statuses gid final;
+        Gtm1.finish t.gtm1 gid;
+        progressed := true
+      end
+  | Gtm1.Dispatch_ser sid ->
+      Gtm1.note_dispatched t.gtm1 gid;
+      Engine.enqueue t.engine (Queue_op.Ser (gid, sid));
+      progressed := true
+  | Gtm1.Dispatch_direct step ->
+      Gtm1.note_dispatched t.gtm1 gid;
+      progressed := true;
+      declare_if_needed t gid step.Gtm1.site step.Gtm1.action;
+      (match Local_dbms.submit (site t step.Gtm1.site) gid step.Gtm1.action with
+      | Local_dbms.Executed _ ->
+          Gtm1.on_ack t.gtm1 gid;
+          drive_global t gid progressed
+      | Local_dbms.Waiting -> ()
+      | Local_dbms.Aborted reason ->
+          mark_global_dead t gid reason ~aborting_site:(Some step.Gtm1.site);
+          Gtm1.on_ack t.gtm1 gid;
+          drive_global t gid progressed)
+
+(* --- local transactions ---------------------------------------------- *)
+
+let rec run_local_actions t tid sid actions progressed =
+  match actions with
+  | [] -> Hashtbl.replace t.statuses tid Committed
+  | action :: rest -> (
+      match Local_dbms.submit (site t sid) tid action with
+      | Local_dbms.Executed _ ->
+          progressed := true;
+          run_local_actions t tid sid rest progressed
+      | Local_dbms.Waiting -> Hashtbl.replace t.local_cont tid (sid, rest)
+      | Local_dbms.Aborted reason -> Hashtbl.replace t.statuses tid (Aborted reason))
+
+let submit_local t txn =
+  let sid =
+    match txn.Txn.kind with
+    | Txn.Local sid -> sid
+    | Txn.Global _ -> invalid_arg "Gtm.submit_local: global transaction"
+  in
+  Hashtbl.replace t.statuses txn.Txn.id Active;
+  let dbms = site t sid in
+  if Local_dbms.needs_declarations dbms then
+    Local_dbms.declare dbms txn.Txn.id
+      (List.map
+         (fun (item, write) ->
+           (item, if write then Cc_types.Write_mode else Cc_types.Read_mode))
+         (Txn.accesses_at txn sid));
+  let actions = List.map (fun s -> s.Txn.action) txn.Txn.script in
+  run_local_actions t txn.Txn.id sid actions (ref false)
+
+(* --- completions ------------------------------------------------------ *)
+
+let handle_completion t sid (completion : Local_dbms.completion) progressed =
+  let tid = completion.Local_dbms.tid in
+  progressed := true;
+  if Hashtbl.mem t.pending_ser (sid, tid) then begin
+    Hashtbl.remove t.pending_ser (sid, tid);
+    Ser_schedule.record t.ser_log sid tid;
+    Engine.enqueue t.engine (Queue_op.Ack (tid, sid))
+  end
+  else
+    match Hashtbl.find_opt t.local_cont tid with
+    | Some (cont_sid, rest) ->
+        Hashtbl.remove t.local_cont tid;
+        run_local_actions t tid cont_sid rest progressed
+    | None ->
+        (* A direct operation of a global transaction was unblocked. *)
+        if Gtm1.is_known t.gtm1 tid then Gtm1.on_ack t.gtm1 tid
+
+let drain_completions t progressed =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun c -> handle_completion t (Local_dbms.site_id s) c progressed)
+        (Local_dbms.drain_completions s))
+    (sites t)
+
+(* --- forced aborts (cross-site deadlocks) ----------------------------- *)
+
+(* A quiescent round with transactions still blocked at sites means a
+   cross-site deadlock (each site's waits-for graph is acyclic, the cycle
+   spans sites). Kill the youngest blocked global transaction. *)
+let force_abort_one t =
+  let blocked_globals =
+    List.filter
+      (fun gid ->
+        Gtm1.next t.gtm1 gid = Gtm1.In_flight
+        && (not (Gtm1.is_dead t.gtm1 gid))
+        &&
+        match Gtm1.current_step t.gtm1 gid with
+        | Some step ->
+            let sid = step.Gtm1.site in
+            Hashtbl.mem t.pending_ser (sid, gid)
+            || Local_dbms.has_pending (site t sid) gid
+        | None -> false)
+      (Gtm1.active t.gtm1)
+  in
+  match List.rev blocked_globals with
+  | [] -> false
+  | victim :: _ ->
+      t.forced_aborts <- t.forced_aborts + 1;
+      let step =
+        match Gtm1.current_step t.gtm1 victim with
+        | Some s -> s
+        | None -> assert false
+      in
+      let sid = step.Gtm1.site in
+      ignore (Local_dbms.submit (site t sid) victim Op.Abort);
+      mark_global_dead t victim "global-deadlock" ~aborting_site:(Some sid);
+      if Hashtbl.mem t.pending_ser (sid, victim) then begin
+        Hashtbl.remove t.pending_ser (sid, victim);
+        Engine.enqueue t.engine (Queue_op.Ack (victim, sid))
+      end
+      else Gtm1.on_ack t.gtm1 victim;
+      true
+
+(* --- the pump ---------------------------------------------------------- *)
+
+let pump t =
+  let quiescent = ref false in
+  while not !quiescent do
+    let progressed = ref false in
+    let effects = Engine.run t.engine in
+    if effects <> [] then progressed := true;
+    List.iter
+      (fun effect ->
+        match effect with
+        | Scheme.Submit_ser (gid, sid) -> handle_submit_ser t gid sid progressed
+        | Scheme.Forward_ack (gid, _) -> Gtm1.on_ack t.gtm1 gid
+        | Scheme.Abort_global gid ->
+            (* A non-conservative scheme refused the serialization
+               operation: the transaction dies without it ever reaching its
+               site. Complete the in-flight step and take the dead path. *)
+            mark_global_dead t gid "gtm2-abort" ~aborting_site:None;
+            if Gtm1.is_known t.gtm1 gid then Gtm1.on_ack t.gtm1 gid;
+            progressed := true)
+      effects;
+    drain_completions t progressed;
+    List.iter (fun gid -> drive_global t gid progressed) (Gtm1.active t.gtm1);
+    if not !progressed then
+      if Engine.idle t.engine && force_abort_one t then ()
+      else quiescent := true
+  done
+
+let run_global t txn =
+  submit_global t txn;
+  pump t;
+  status t txn.Txn.id
+
+let run_local t txn =
+  submit_local t txn;
+  pump t;
+  status t txn.Txn.id

@@ -1,0 +1,71 @@
+(** The assembled global transaction manager: GTM1 + GTM2 (engine + scheme)
+    + servers, wired to a set of local DBMSs (Figure 1).
+
+    This is the synchronous front door of the library: admit global
+    transactions, submit local transactions directly to their sites (they
+    bypass the GTM, as the paper's pre-existing local applications do), and
+    {!pump} until quiescence. The discrete-event simulator builds on the
+    same pieces with latencies and workload generation; examples and tests
+    use this module directly.
+
+    Abort handling: the GTM2 schemes are conservative (they never abort),
+    but a local DBMS may still reject a global subtransaction (deadlock
+    victim, late timestamp, failed validation). The glue then aborts the
+    transaction at every site where it is active and {e fakes} the
+    acknowledgements of its remaining serialization operations so the
+    scheme's data structures drain; cross-site deadlocks (invisible to every
+    single site) are broken by aborting the youngest blocked global
+    transaction after a quiescent round. *)
+
+open Mdbs_model
+
+type t
+
+type status = Active | Committed | Aborted of string
+
+val create :
+  ?atomic_commit:bool -> scheme:Scheme.t -> sites:Mdbs_site.Local_dbms.t list ->
+  unit -> t
+(** [~atomic_commit:true] runs global transactions under two-phase commit:
+    a prepare round precedes the commits, so a validation failure at any
+    site aborts the transaction everywhere {e before} any site committed —
+    closing the atomicity gap the paper leaves as future work. Default
+    false (the paper's model). *)
+
+val engine : t -> Engine.t
+
+val site : t -> Types.sid -> Mdbs_site.Local_dbms.t
+
+val sites : t -> Mdbs_site.Local_dbms.t list
+
+val submit_global : t -> Txn.t -> unit
+(** Admit a global transaction (enqueues its [init]); progress happens in
+    {!pump}. *)
+
+val submit_local : t -> Txn.t -> unit
+(** Start a local transaction directly at its site; it advances during
+    {!pump} if blocked. *)
+
+val pump : t -> unit
+(** Run everything to quiescence: engine, dispatch, completions, forced
+    aborts of cross-site deadlock victims. *)
+
+val run_global : t -> Txn.t -> status
+(** [submit_global] + [pump] + status. *)
+
+val run_local : t -> Txn.t -> status
+
+val status : t -> Types.tid -> status
+(** Status of any submitted transaction. *)
+
+val ser_schedule : t -> Ser_schedule.t
+(** The recorded [ser(S)] (audit data, §2.3). *)
+
+val schedules : t -> Schedule.t list
+(** All local schedules (audit data). *)
+
+val audit : t -> Serializability.verdict
+(** Global conflict-serializability of everything committed so far. *)
+
+val forced_aborts : t -> int
+(** Cross-site deadlock victims killed by the glue's timeout rule. *)

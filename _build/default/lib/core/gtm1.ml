@@ -1,0 +1,139 @@
+open Mdbs_model
+
+type step = { site : Types.sid; action : Op.action; via_gtm2 : bool }
+
+type progress =
+  | Dispatch_direct of step
+  | Dispatch_ser of Types.sid
+  | In_flight
+  | Finished
+
+type txn_state = {
+  steps : step array;
+  declarations : (Types.sid * (Item.t * bool) list) list;
+  mutable pc : int;
+  mutable in_flight : bool;
+  mutable dead : bool;
+  mutable begun : Types.sid list; (* begun, not yet terminated, at these sites *)
+}
+
+type t = { txns : (Types.gid, txn_state) Hashtbl.t }
+
+let create () = { txns = Hashtbl.create 32 }
+
+(* Annotate the script with GTM2 routing and inject ticket operations for
+   sites whose serialization point is the ticket. Under atomic commitment a
+   Prepare step per site precedes the commits; since prepares can still be
+   refused (OCC validation) and commits after unanimous prepares cannot,
+   this yields all-or-nothing global transactions. *)
+let build_steps txn ~ser_point_of ~atomic =
+  let annotate { Txn.site; action } =
+    let point = ser_point_of site in
+    let via =
+      match (action, point) with
+      | Op.Begin, Ser_fun.At_begin -> true
+      | Op.Commit, Ser_fun.At_commit -> true
+      | Op.Prepare, Ser_fun.At_prepare -> true
+      | _ -> false
+    in
+    let injected =
+      match (action, point) with
+      | Op.Begin, Ser_fun.At_ticket ->
+          [ { site; action = Op.Ticket_op; via_gtm2 = true } ]
+      | _ -> []
+    in
+    { site; action; via_gtm2 = via } :: injected
+  in
+  let body, commits =
+    List.partition (fun s -> s.Txn.action <> Op.Commit) txn.Txn.script
+  in
+  let prepares =
+    if atomic then
+      List.map (fun s -> { Txn.site = s.Txn.site; action = Op.Prepare }) commits
+    else []
+  in
+  Array.of_list (List.concat_map annotate (body @ prepares @ commits))
+
+let admit t txn ?(atomic = false) ~ser_point_of () =
+  (match txn.Txn.kind with
+  | Txn.Global _ -> ()
+  | Txn.Local _ -> invalid_arg "Gtm1.admit: local transaction");
+  (match Txn.well_formed txn with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Gtm1.admit: " ^ msg));
+  let steps = build_steps txn ~ser_point_of ~atomic in
+  let declarations =
+    List.map (fun site -> (site, Txn.accesses_at txn site)) (Txn.sites txn)
+  in
+  Hashtbl.replace t.txns txn.Txn.id
+    { steps; declarations; pc = 0; in_flight = false; dead = false; begun = [] };
+  { Queue_op.gid = txn.Txn.id; ser_sites = Txn.sites txn }
+
+let state t gid =
+  match Hashtbl.find_opt t.txns gid with
+  | Some st -> st
+  | None -> invalid_arg "Gtm1: unknown transaction"
+
+(* When dead, skip forward over direct steps: only serialization operations
+   still flow (faked downstream) so GTM2's structures drain. *)
+let skip_dead st =
+  if st.dead then
+    while st.pc < Array.length st.steps && not st.steps.(st.pc).via_gtm2 do
+      st.pc <- st.pc + 1
+    done
+
+let next t gid =
+  let st = state t gid in
+  if st.in_flight then In_flight
+  else begin
+    skip_dead st;
+    if st.pc >= Array.length st.steps then Finished
+    else
+      let step = st.steps.(st.pc) in
+      if step.via_gtm2 then Dispatch_ser step.site else Dispatch_direct step
+  end
+
+let note_dispatched t gid =
+  let st = state t gid in
+  if st.in_flight then invalid_arg "Gtm1.note_dispatched: already in flight";
+  st.in_flight <- true
+
+let on_ack t gid =
+  let st = state t gid in
+  if not st.in_flight then invalid_arg "Gtm1.on_ack: nothing in flight";
+  (if st.pc < Array.length st.steps then
+     let step = st.steps.(st.pc) in
+     if not st.dead then
+       match step.action with
+       | Op.Begin -> st.begun <- step.site :: st.begun
+       | Op.Commit -> st.begun <- List.filter (fun s -> s <> step.site) st.begun
+       | Op.Read _ | Op.Write _ | Op.Ticket_op | Op.Prepare | Op.Abort -> ());
+  st.pc <- st.pc + 1;
+  st.in_flight <- false
+
+let current_step t gid =
+  let st = state t gid in
+  if st.pc < Array.length st.steps then Some st.steps.(st.pc) else None
+
+let mark_dead t gid =
+  let st = state t gid in
+  st.dead <- true
+
+let is_dead t gid = (state t gid).dead
+
+let begun_sites t gid = (state t gid).begun
+
+let note_site_terminated t gid site =
+  let st = state t gid in
+  st.begun <- List.filter (fun s -> s <> site) st.begun
+
+let active t = Hashtbl.fold (fun gid _ acc -> gid :: acc) t.txns [] |> List.sort compare
+
+let declaration_for t gid site =
+  match List.assoc_opt site (state t gid).declarations with
+  | Some accesses -> accesses
+  | None -> []
+
+let is_known t gid = Hashtbl.mem t.txns gid
+
+let finish t gid = Hashtbl.remove t.txns gid

@@ -1,0 +1,91 @@
+module Iset = Mdbs_util.Iset
+
+let last_examined = ref 0
+
+let subsets_examined () = !last_examined
+
+let candidates tsgd gi =
+  Iset.fold
+    (fun site acc ->
+      Iset.fold
+        (fun other acc ->
+          if other <> gi && not (Tsgd.has_dep tsgd other site gi) then
+            (other, site) :: acc
+          else acc)
+        (Tsgd.txns_at tsgd site) acc)
+    (Tsgd.sites_of tsgd gi) []
+  |> List.rev
+
+(* Evaluate a candidate subset in place: add, test, remove. Only
+   dependencies absent beforehand are added, so removal restores the
+   original TSGD exactly. *)
+let breaks_all_cycles tsgd gi delta =
+  let added =
+    List.filter
+      (fun (source, site) ->
+        if Tsgd.has_dep tsgd source site gi then false
+        else begin
+          Tsgd.add_dep tsgd source site gi;
+          true
+        end)
+      delta
+  in
+  let ok = Tsgd.dangerous_cycle_involving tsgd gi = None in
+  List.iter (fun (source, site) -> Tsgd.remove_dep tsgd source site gi) added;
+  ok
+
+(* Enumerate k-subsets of [arr] in lexicographic order, calling [f] on each
+   until it returns true; returns the first accepted subset. *)
+let first_k_subset arr k f =
+  let n = Array.length arr in
+  let indices = Array.init k (fun i -> i) in
+  let subset () = Array.to_list (Array.map (fun i -> arr.(i)) indices) in
+  let rec advance pos =
+    if pos < 0 then false
+    else if indices.(pos) < n - (k - pos) then begin
+      indices.(pos) <- indices.(pos) + 1;
+      for j = pos + 1 to k - 1 do
+        indices.(j) <- indices.(j - 1) + 1
+      done;
+      true
+    end
+    else advance (pos - 1)
+  in
+  if k > n then None
+  else begin
+    let result = ref None in
+    let continue_search = ref true in
+    while !continue_search do
+      let s = subset () in
+      if f s then begin
+        result := Some s;
+        continue_search := false
+      end
+      else if not (advance (k - 1)) then continue_search := false
+    done;
+    !result
+  end
+
+let minimum ?(limit = 200_000) tsgd gi =
+  last_examined := 0;
+  let cands = Array.of_list (candidates tsgd gi) in
+  let n = Array.length cands in
+  let rec try_size k =
+    if k > n then None
+    else
+      let hit =
+        first_k_subset cands k (fun delta ->
+            incr last_examined;
+            !last_examined <= limit && breaks_all_cycles tsgd gi delta)
+      in
+      match hit with
+      | Some delta -> Some delta
+      | None -> if !last_examined > limit then None else try_size (k + 1)
+  in
+  try_size 0
+
+let is_minimal tsgd gi delta =
+  breaks_all_cycles tsgd gi delta
+  && List.for_all
+       (fun dep -> not (breaks_all_cycles tsgd gi (List.filter (( <> ) dep) delta)))
+       delta

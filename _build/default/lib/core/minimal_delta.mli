@@ -1,0 +1,30 @@
+(** Exact minimal dependency sets (Theorem 7).
+
+    The paper proves that deciding whether the Δ returned by
+    [Eliminate_Cycles] is non-minimal is NP-complete, hence computing a
+    minimal Δ is NP-hard. This module implements the exact solver anyway —
+    exhaustive search over candidate dependency subsets in increasing
+    cardinality — both as a correctness oracle for small instances and as
+    the exponential baseline of experiment E6, which contrasts its running
+    time with the polynomial heuristic's. *)
+
+open Mdbs_model
+
+val candidates : Tsgd.t -> Types.gid -> (Types.gid * Types.sid) list
+(** All dependencies of the admissible form [(Ĝ_j, s_k) -> (s_k, Ĝ_i)]:
+    [k] ranges over [Ĝ_i]'s sites, [Ĝ_j] over the other transactions with
+    an edge at [k], excluding dependencies already present. *)
+
+val minimum : ?limit:int -> Tsgd.t -> Types.gid -> (Types.gid * Types.sid) list option
+(** A minimum-cardinality Δ such that the TSGD extended with Δ has no
+    dangerous cycle involving the transaction, or [None] if no subset of the
+    candidates works (cannot happen on TSGDs arising from Scheme 2) or the
+    [limit] on examined subsets (default 200_000) is exceeded. The TSGD is
+    left unchanged. *)
+
+val is_minimal : Tsgd.t -> Types.gid -> (Types.gid * Types.sid) list -> bool
+(** Is the given Δ minimal (dropping any single dependency re-creates a
+    dangerous cycle involving the transaction, and Δ itself kills all)? *)
+
+val subsets_examined : unit -> int
+(** Subsets tried by the last {!minimum} call — the E6 work metric. *)

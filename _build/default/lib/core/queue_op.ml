@@ -1,0 +1,28 @@
+open Mdbs_model
+
+type info = { gid : Types.gid; ser_sites : Types.sid list }
+
+type t =
+  | Init of info
+  | Ser of Types.gid * Types.sid
+  | Ack of Types.gid * Types.sid
+  | Fin of Types.gid
+
+let gid = function
+  | Init { gid; _ } -> gid
+  | Ser (gid, _) -> gid
+  | Ack (gid, _) -> gid
+  | Fin gid -> gid
+
+let pp ppf = function
+  | Init { gid; ser_sites } ->
+      Format.fprintf ppf "init_%d[%a]" gid
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           (fun ppf s -> Format.fprintf ppf "s%d" s))
+        ser_sites
+  | Ser (gid, site) -> Format.fprintf ppf "ser_%d(G%d)" site gid
+  | Ack (gid, site) -> Format.fprintf ppf "ack(ser_%d(G%d))" site gid
+  | Fin gid -> Format.fprintf ppf "fin_%d" gid
+
+let to_string op = Format.asprintf "%a" pp op

@@ -1,0 +1,32 @@
+(** Operations flowing through GTM2's QUEUE (§4).
+
+    For every global transaction [G_i], GTM1 inserts [init_i], then the
+    serialization-operation requests [ser_k(G_i)] (one per site [G_i]
+    executes at), and finally [fin_i]. Servers insert [ack(ser_k(G_i))] when
+    the local DBMS completes the corresponding operation. [init_i] and
+    [fin_i] do not belong to the transaction [Ĝ_i]; they bracket its
+    lifetime inside GTM2's data structures. *)
+
+open Mdbs_model
+
+type info = {
+  gid : Types.gid;
+  ser_sites : Types.sid list;
+      (** Sites at which [Ĝ_i] has a serialization operation — all sites the
+          global transaction executes at. *)
+}
+
+type t =
+  | Init of info  (** [init_i]: registers [Ĝ_i] with the scheme. *)
+  | Ser of Types.gid * Types.sid
+      (** [ser_k(G_i)]: request to execute the serialization operation. *)
+  | Ack of Types.gid * Types.sid
+      (** [ack(ser_k(G_i))]: the local DBMS completed the operation. *)
+  | Fin of Types.gid
+      (** [fin_i]: all acknowledgements received; release [Ĝ_i]'s state. *)
+
+val gid : t -> Types.gid
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

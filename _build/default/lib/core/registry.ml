@@ -1,0 +1,40 @@
+type kind = S0 | S1 | S2 | S3 | Otm | Nocontrol
+
+let all = [ S0; S1; S2; S3 ]
+
+let all_with_baseline = all @ [ Nocontrol ]
+
+let extended = all @ [ Otm; Nocontrol ]
+
+let name = function
+  | S0 -> "scheme0"
+  | S1 -> "scheme1"
+  | S2 -> "scheme2"
+  | S3 -> "scheme3"
+  | Otm -> "otm"
+  | Nocontrol -> "nocontrol"
+
+let description = function
+  | S0 -> "per-site FIFO queues (conservative-TO-like BT-scheme, O(d_av))"
+  | S1 -> "transaction-site graph with marking (BT-scheme, O(m+n+n*d_av))"
+  | S2 -> "TSG with dependencies + Eliminate_Cycles (BT-scheme, O(n^2*d_av))"
+  | S3 -> "ser_bef O-scheme permitting all serializable schedules (O(n^2*d_av))"
+  | Otm -> "optimistic ticket method: non-conservative, aborts instead of delaying"
+  | Nocontrol -> "no GTM2 control (unsafe baseline)"
+
+let of_string = function
+  | "scheme0" | "s0" | "0" -> Some S0
+  | "scheme1" | "s1" | "1" -> Some S1
+  | "scheme2" | "s2" | "2" -> Some S2
+  | "scheme3" | "s3" | "3" -> Some S3
+  | "otm" -> Some Otm
+  | "nocontrol" | "none" -> Some Nocontrol
+  | _ -> None
+
+let make = function
+  | S0 -> Scheme0.make ()
+  | S1 -> Scheme1.make ()
+  | S2 -> Scheme2.make ()
+  | S3 -> Scheme3.make ()
+  | Otm -> Scheme_otm.make ()
+  | Nocontrol -> Scheme_nocontrol.make ()

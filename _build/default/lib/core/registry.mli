@@ -1,0 +1,23 @@
+(** Name-indexed access to the GTM2 schemes, for the CLI, benchmarks and
+    sweep harnesses. *)
+
+type kind = S0 | S1 | S2 | S3 | Otm | Nocontrol
+
+val all : kind list
+(** The paper's four conservative schemes, in order. *)
+
+val all_with_baseline : kind list
+(** The four schemes plus the unsafe no-control baseline. *)
+
+val extended : kind list
+(** Everything: the four schemes, the non-conservative optimistic ticket
+    method, and the baseline. *)
+
+val name : kind -> string
+
+val description : kind -> string
+
+val of_string : string -> kind option
+
+val make : kind -> Scheme.t
+(** Fresh scheme instance. *)

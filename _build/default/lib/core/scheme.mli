@@ -1,0 +1,52 @@
+(** The conservative concurrency-control scheme interface (Figure 2).
+
+    A scheme is a triple: private data structures DS, a predicate
+    [cond(o_j)] over DS, and an action [act(o_j)] that updates DS and emits
+    effects. Schemes never abort transactions — they only delay operations
+    (conservativeness, §3). The engine (Figure 3) owns QUEUE and WAIT and
+    consults [cond]/[act].
+
+    Implementations: {!Scheme0} (per-site FIFO), {!Scheme1} (transaction-site
+    graph), {!Scheme2} (TSG with dependencies), {!Scheme3} (the O-scheme that
+    permits all serializable schedules), and {!Scheme_nocontrol} (an unsafe
+    baseline for demonstrating why control is needed). *)
+
+open Mdbs_model
+
+type effect_ =
+  | Submit_ser of Types.gid * Types.sid
+      (** Hand [ser_k(G_i)] to the site's server for execution. *)
+  | Forward_ack of Types.gid * Types.sid
+      (** Pass the acknowledgement on to GTM1. *)
+  | Abort_global of Types.gid
+      (** Non-conservative schemes only ({!Scheme_otm}): the global
+          transaction must abort (its serialization operation was {e not}
+          submitted). The paper's Schemes 0-3 never emit this — they are
+          conservative by design (§3). *)
+
+type wakeup =
+  | Wake_ser_at of Types.sid
+      (** Re-check waiting [Ser] operations of this site. *)
+  | Wake_fins  (** Re-check waiting [Fin] operations. *)
+  | Wake_all  (** Re-check everything (fallback). *)
+
+type t = {
+  name : string;
+  cond : Queue_op.t -> bool;
+      (** Must be side-effect-free apart from step accounting. *)
+  act : Queue_op.t -> effect_ list;
+      (** Pre-condition: [cond] holds. Updates DS; returns effects in
+          order. *)
+  wakeups : Queue_op.t -> wakeup list;
+      (** Which waiting operations [act] on this operation may have enabled.
+          This is the paper's "steps required to determine the operations in
+          WAIT for which cond holds due to the execution of act(o_j)": the
+          engine re-checks only the designated buckets. Must be {e complete}
+          (never miss an enabled operation); precision affects only cost. *)
+  steps : unit -> int;
+      (** Abstract steps consumed so far by [cond]/[act] — the quantity the
+          paper's complexity theorems bound. *)
+  describe : unit -> string;  (** One-line dump of DS, for debugging. *)
+}
+
+val pp_effect : Format.formatter -> effect_ -> unit

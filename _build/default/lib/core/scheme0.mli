@@ -1,0 +1,9 @@
+(** Scheme 0 (§4): the conservative-TO-like BT-scheme.
+
+    DS: one FIFO queue per site. [act(init_i)] enqueues every [ser_k(G_i)]
+    at the tail of site [k]'s queue; [cond(ser_k(G_i))] holds only when the
+    operation heads its site's queue; the acknowledgement dequeues it.
+    Transactions are therefore serialized in [init] order — trivially safe,
+    O(d_av) steps per transaction, lowest degree of concurrency. *)
+
+val make : unit -> Scheme.t

@@ -1,0 +1,31 @@
+(** Scheme 1 (§5): the transaction-site-graph (TSG) BT-scheme.
+
+    DS: an undirected bipartite graph of transaction and site nodes, plus per
+    site an {e insert queue} and a {e delete queue}.
+
+    - [act(init_i)] inserts [Ĝ_i] and its edges into the TSG and appends
+      each [ser_k(G_i)] to site [k]'s insert queue; if the TSG then contains
+      a cycle through edge [(Ĝ_i, s_k)], the queued operation is {e marked}.
+    - [cond(ser_k(G_i))]: no executed-but-unacknowledged serialization
+      operation at site [k]; a marked operation must additionally head its
+      insert queue. Unmarked operations are otherwise unconstrained — the
+      source of Scheme 1's concurrency advantage over Scheme 0.
+    - [act(ack)] moves the operation from the insert queue (wherever it
+      sits) to the tail of the delete queue.
+    - [cond(fin_i)]: every [ser_k(G_i)] heads its delete queue, which forces
+      transactions to leave the TSG in an order consistent with every site's
+      execution order, so no serialization edge is forgotten too early.
+
+    Complexity (Theorem 4): O(m + n + n·d_av) per transaction, dominated by
+    the cycle test at init. *)
+
+type mark_policy =
+  | Mark_on_cycle
+      (** The paper's rule: mark [ser_k(G_i)] iff the TSG has a cycle
+          through the edge [(Ĝ_i, s_k)] at init time. *)
+  | Mark_always
+      (** Ablation: mark every operation. Degenerates to Scheme-0-like
+          insert-queue FIFO — quantifies what the cycle test buys. *)
+
+val make : ?mark_policy:mark_policy -> unit -> Scheme.t
+(** Default [Mark_on_cycle]. *)

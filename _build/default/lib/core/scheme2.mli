@@ -1,0 +1,24 @@
+(** Scheme 2 (§6): the transaction-site-graph-with-dependencies BT-scheme.
+
+    Unlike Scheme 1, Scheme 2 exploits the {e order} in which operations are
+    processed: the TSGD's dependencies record committed per-site processing
+    orders, and [Eliminate_Cycles] breaks every potential cycle involving a
+    newly arrived transaction by committing the undecided positions.
+
+    - [act(init_i)]: insert [Ĝ_i] and its edges; add dependencies from every
+      already-executed serialization operation at shared sites to [Ĝ_i]'s;
+      then add the Δ returned by [Eliminate_Cycles].
+    - [cond(ser_k(G_i))]: every dependency source [(Ĝ_j, s_k) -> (s_k, Ĝ_i)]
+      has been acknowledged.
+    - [act(ser_k(G_i))]: commit [Ĝ_i] before every transaction whose
+      operation at [s_k] has not yet executed.
+    - [cond(fin_i)]: no incoming dependency remains; [act(fin_i)] deletes
+      [Ĝ_i], its edges and dependencies.
+
+    Complexity (Theorem 6): O(n²·d_av), dominated by [Eliminate_Cycles]. *)
+
+val make : unit -> Scheme.t
+
+val make_with_tsgd : unit -> Scheme.t * Tsgd.t
+(** Also exposes the internal TSGD so tests can check the acyclicity
+    invariant after every step. *)

@@ -1,0 +1,12 @@
+(** The unsafe baseline: no concurrency control at GTM2.
+
+    Every condition is true; serialization operations are submitted the
+    moment they reach the front of QUEUE, except that the previously
+    submitted operation at the same site must be acknowledged first (a pure
+    transport constraint — without it per-site execution order would be
+    unobservable even in principle). This scheme does {e not} ensure
+    [ser(S)] serializability; it exists to demonstrate, in tests and in the
+    heterogeneous example, the global serializability violations the paper's
+    schemes prevent. *)
+
+val make : unit -> Scheme.t

@@ -1,0 +1,22 @@
+(** The optimistic ticket method — a {e non-conservative} GTM2 scheme.
+
+    The paper (§3) contrasts its conservative schemes with the
+    non-conservative proposals of [Pu88, GRS91]: instead of delaying a
+    serialization operation that might create a cycle, process it
+    immediately and maintain the serialization graph of ser(S); if an
+    operation would close a cycle, {e abort} the requesting global
+    transaction (effect [Abort_global]).
+
+    This gives maximal optimism (no scheduling waits beyond transport) at
+    the price of global aborts, which the paper argues are expensive in an
+    MDBS (§3, point 1). Experiment E9 quantifies the trade-off against
+    Schemes 0-3.
+
+    Implementation: a directed graph over active global transactions; each
+    executed serialization operation at site [k] adds an edge from the
+    previous transaction serialized at [k]; an operation that would make
+    the graph cyclic is refused and its transaction aborted. Finished
+    transactions are pruned once they have no predecessors, exactly like a
+    local SGT certifier. *)
+
+val make : unit -> Scheme.t

@@ -1,0 +1,173 @@
+open Mdbs_model
+module Iset = Mdbs_util.Iset
+
+type t = {
+  txn_sites : (Types.gid, Iset.t) Hashtbl.t;
+  site_txns : (Types.sid, Iset.t) Hashtbl.t;
+  dep_out : (Types.gid * Types.sid, Iset.t ref) Hashtbl.t; (* (a,k) -> {b} *)
+  dep_in : (Types.gid * Types.sid, Iset.t ref) Hashtbl.t; (* (b,k) -> {a} *)
+  mutable dep_count : int;
+}
+
+let create () =
+  {
+    txn_sites = Hashtbl.create 64;
+    site_txns = Hashtbl.create 16;
+    dep_out = Hashtbl.create 64;
+    dep_in = Hashtbl.create 64;
+    dep_count = 0;
+  }
+
+let set_of table key =
+  match Hashtbl.find_opt table key with Some s -> s | None -> Iset.empty
+
+let refset_of table key =
+  match Hashtbl.find_opt table key with Some s -> !s | None -> Iset.empty
+
+let add_txn t gid sites =
+  Hashtbl.replace t.txn_sites gid (Iset.of_list sites);
+  List.iter
+    (fun site ->
+      Hashtbl.replace t.site_txns site (Iset.add gid (set_of t.site_txns site)))
+    sites
+
+let mem_txn t gid = Hashtbl.mem t.txn_sites gid
+
+let sites_of t gid = set_of t.txn_sites gid
+
+let txns_at t site = set_of t.site_txns site
+
+let has_edge t gid site = Iset.mem site (sites_of t gid)
+
+let txns t =
+  Hashtbl.fold (fun gid _ acc -> gid :: acc) t.txn_sites [] |> List.sort compare
+
+let has_dep t a k b = Iset.mem b (refset_of t.dep_out (a, k))
+
+let add_dep t a k b =
+  if not (has_edge t a k && has_edge t b k) then
+    invalid_arg "Tsgd.add_dep: missing edge";
+  if a = b then invalid_arg "Tsgd.add_dep: self dependency";
+  if not (has_dep t a k b) then begin
+    (match Hashtbl.find_opt t.dep_out (a, k) with
+    | Some s -> s := Iset.add b !s
+    | None -> Hashtbl.replace t.dep_out (a, k) (ref (Iset.singleton b)));
+    (match Hashtbl.find_opt t.dep_in (b, k) with
+    | Some s -> s := Iset.add a !s
+    | None -> Hashtbl.replace t.dep_in (b, k) (ref (Iset.singleton a)));
+    t.dep_count <- t.dep_count + 1
+  end
+
+let remove_dep t a k b =
+  if has_dep t a k b then begin
+    (match Hashtbl.find_opt t.dep_out (a, k) with
+    | Some s -> s := Iset.remove b !s
+    | None -> ());
+    (match Hashtbl.find_opt t.dep_in (b, k) with
+    | Some s -> s := Iset.remove a !s
+    | None -> ());
+    t.dep_count <- t.dep_count - 1
+  end
+
+let deps_into t g k = refset_of t.dep_in (g, k)
+
+let has_incoming_dep t g =
+  Iset.exists (fun k -> not (Iset.is_empty (deps_into t g k))) (sites_of t g)
+
+let dep_count t = t.dep_count
+
+let edge_count t =
+  Hashtbl.fold (fun _ sites acc -> acc + Iset.cardinal sites) t.txn_sites 0
+
+let remove_txn t gid =
+  let sites = sites_of t gid in
+  Iset.iter
+    (fun k ->
+      (* Detach dependencies (gid,k,b) and (a,k,gid). *)
+      (match Hashtbl.find_opt t.dep_out (gid, k) with
+      | Some targets ->
+          Iset.iter
+            (fun b ->
+              (match Hashtbl.find_opt t.dep_in (b, k) with
+              | Some s -> s := Iset.remove gid !s
+              | None -> ());
+              t.dep_count <- t.dep_count - 1)
+            !targets;
+          Hashtbl.remove t.dep_out (gid, k)
+      | None -> ());
+      (match Hashtbl.find_opt t.dep_in (gid, k) with
+      | Some sources ->
+          Iset.iter
+            (fun a ->
+              (match Hashtbl.find_opt t.dep_out (a, k) with
+              | Some s -> s := Iset.remove gid !s
+              | None -> ());
+              t.dep_count <- t.dep_count - 1)
+            !sources;
+          Hashtbl.remove t.dep_in (gid, k)
+      | None -> ());
+      Hashtbl.replace t.site_txns k (Iset.remove gid (set_of t.site_txns k)))
+    sites;
+  Hashtbl.remove t.txn_sites gid
+
+(* A cycle given as txns [t0; t1; ...; tl] and sites [u1; ...; u(l+1)] with
+   edges t_i - u_(i+1) - t_(i+1), u_(l+1) closing back to t0, is dangerous
+   iff one full direction is free of committed dependencies. *)
+let cycle_dangerous t txn_cycle site_cycle =
+  let pairs =
+    (* (prev_txn, site, next_txn) around the cycle *)
+    let rec go txns sites acc =
+      match (txns, sites) with
+      | a :: (b :: _ as rest_t), u :: rest_s -> go rest_t rest_s ((a, u, b) :: acc)
+      | [ last ], [ u_close ] -> List.rev (((last, u_close, List.hd txn_cycle)) :: acc)
+      | _ -> invalid_arg "Tsgd.cycle_dangerous: shape mismatch"
+    in
+    go txn_cycle site_cycle []
+  in
+  let forward_free =
+    List.for_all (fun (a, u, b) -> not (has_dep t a u b)) pairs
+  in
+  let backward_free =
+    List.for_all (fun (a, u, b) -> not (has_dep t b u a)) pairs
+  in
+  (* forward deps absent => the all-backward orientation is realizable;
+     backward deps absent => the all-forward orientation is realizable. *)
+  forward_free || backward_free
+
+let dangerous_cycle_involving t gi =
+  if not (mem_txn t gi) then None
+  else begin
+    let result = ref None in
+    (* DFS over simple alternating paths gi - u1 - t1 - u2 - ... *)
+    let rec dfs v visited_txns visited_sites rev_hops =
+      if !result = None then
+        Iset.iter
+          (fun u ->
+            if !result = None && not (Iset.mem u visited_sites) then
+              Iset.iter
+                (fun w ->
+                  if !result = None && w <> v then
+                    if w = gi then begin
+                      if rev_hops <> [] then begin
+                        let hops = List.rev ((u, gi) :: rev_hops) in
+                        let txn_cycle = gi :: List.filter_map
+                          (fun (_, w') -> if w' = gi then None else Some w')
+                          hops
+                        in
+                        let site_cycle = List.map fst hops in
+                        if cycle_dangerous t txn_cycle site_cycle then
+                          result := Some (txn_cycle, site_cycle)
+                      end
+                    end
+                    else if not (Iset.mem w visited_txns) then
+                      dfs w (Iset.add w visited_txns) (Iset.add u visited_sites)
+                        ((u, w) :: rev_hops))
+                (txns_at t u))
+          (sites_of t v)
+    in
+    dfs gi (Iset.singleton gi) Iset.empty [];
+    !result
+  end
+
+let is_acyclic t =
+  List.for_all (fun gid -> dangerous_cycle_involving t gid = None) (txns t)

@@ -1,0 +1,68 @@
+(** The Transaction-Site Graph with Dependencies (§6).
+
+    A TSGD is a triple (V, E, D): transaction and site nodes, undirected
+    edges between a transaction and each site where it has a serialization
+    operation, and {e dependencies} between edges incident on a common site
+    node. A dependency [(Ĝ_a, s_k) -> (s_k, Ĝ_b)] — written [(a, k, b)]
+    here — records that [ser_k(G_a)] is (to be) processed before
+    [ser_k(G_b)].
+
+    {b Cycles.} An undirected cycle of distinct nodes is {e dangerous}
+    ("a cycle" in the paper's §6 definition) iff at least one traversal
+    direction carries no committed dependency: a committed forward dependency
+    rules out the all-backward orientation of the serialization edges and
+    vice versa, so a cycle with committed dependencies in both directions can
+    never become a cycle of [ser(S)]'s serialization graph. *)
+
+open Mdbs_model
+
+type t
+
+val create : unit -> t
+
+val add_txn : t -> Types.gid -> Types.sid list -> unit
+(** Insert transaction node [Ĝ_i] and its edges. *)
+
+val remove_txn : t -> Types.gid -> unit
+(** Remove the node, its edges, and every dependency mentioning it. *)
+
+val mem_txn : t -> Types.gid -> bool
+
+val txns : t -> Types.gid list
+
+val sites_of : t -> Types.gid -> Mdbs_util.Iset.t
+
+val txns_at : t -> Types.sid -> Mdbs_util.Iset.t
+
+val has_edge : t -> Types.gid -> Types.sid -> bool
+
+val add_dep : t -> Types.gid -> Types.sid -> Types.gid -> unit
+(** [add_dep t a k b]: add dependency [(a, k, b)]. Requires both edges to
+    exist. Idempotent. *)
+
+val has_dep : t -> Types.gid -> Types.sid -> Types.gid -> bool
+
+val remove_dep : t -> Types.gid -> Types.sid -> Types.gid -> unit
+(** Remove one dependency (used by the exact minimal-Δ search to explore
+    subsets in place). Idempotent. *)
+
+val deps_into : t -> Types.gid -> Types.sid -> Mdbs_util.Iset.t
+(** Sources [a] of dependencies [(a, k, g)]. *)
+
+val has_incoming_dep : t -> Types.gid -> bool
+(** Does any dependency [(_, _, g)] remain? ([cond(fin)] of Scheme 2.) *)
+
+val dep_count : t -> int
+
+val edge_count : t -> int
+
+val dangerous_cycle_involving :
+  t -> Types.gid -> (Types.gid list * Types.sid list) option
+(** A dangerous cycle through the given transaction, as (transactions
+    [t_0 = g; t_1; ...], sites [u_1; ...]) with edges
+    [t_i - u_(i+1) - t_(i+1)] closing back to [t_0], or [None]. Exponential
+    in the worst case (simple-cycle enumeration); used by the exact
+    minimal-Δ solver and the test suite, not on Scheme 2's hot path. *)
+
+val is_acyclic : t -> bool
+(** No dangerous cycle anywhere — the invariant Theorem 5 rests on. *)

@@ -1,0 +1,1 @@
+lib/experiments/complexity.ml: List Mdbs_core Mdbs_sim Mdbs_util Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/concurrency.ml: List Mdbs_core Mdbs_model Mdbs_sim Printf Report String

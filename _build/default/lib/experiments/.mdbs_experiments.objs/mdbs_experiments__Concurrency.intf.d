@@ -1,0 +1,1 @@
+lib/experiments/concurrency.mli: Mdbs_sim Report

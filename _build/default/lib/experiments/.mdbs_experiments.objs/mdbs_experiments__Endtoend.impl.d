@@ -1,0 +1,1 @@
+lib/experiments/endtoend.ml: List Mdbs_core Mdbs_sim Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/endtoend.mli: Mdbs_sim Report

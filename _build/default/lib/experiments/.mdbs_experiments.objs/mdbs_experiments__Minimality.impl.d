@@ -1,0 +1,1 @@
+lib/experiments/minimality.ml: List Mdbs_core Mdbs_util Printf Report Sys

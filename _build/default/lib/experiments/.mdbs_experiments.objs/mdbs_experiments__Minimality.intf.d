@@ -1,0 +1,1 @@
+lib/experiments/minimality.mli: Report

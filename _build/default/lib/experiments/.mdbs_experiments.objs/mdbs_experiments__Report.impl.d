@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer List Mdbs_util Printf

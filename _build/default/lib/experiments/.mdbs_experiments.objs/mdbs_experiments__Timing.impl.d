@@ -1,0 +1,1 @@
+lib/experiments/timing.ml: List Mdbs_core Mdbs_sim Printf Report

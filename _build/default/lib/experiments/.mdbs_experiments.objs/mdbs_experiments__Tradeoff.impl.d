@@ -1,0 +1,1 @@
+lib/experiments/tradeoff.ml: List Mdbs_core Mdbs_model Mdbs_sim Report Types

@@ -1,0 +1,89 @@
+module Registry = Mdbs_core.Registry
+module Replay = Mdbs_sim.Replay
+module Stats = Mdbs_util.Stats
+
+let schemes = Registry.all
+
+let measure ~seed ~n_txns ~m ~d_av ~concurrency kind =
+  let config =
+    { Replay.m; n_txns; d_av; concurrency; ack_latency = 2 }
+  in
+  let result = Replay.run ~seed config (Registry.make kind) in
+  result.Replay.steps_per_txn
+
+let sweep_dav ?(seed = 17) ?(n_txns = 192) ?(m = 24) ?(concurrency = 24)
+    ?(davs = [ 2; 4; 6; 8; 12; 16 ]) () =
+  let rows =
+    List.map
+      (fun d_av ->
+        string_of_int d_av
+        :: List.map
+             (fun kind ->
+               Report.f (measure ~seed ~n_txns ~m ~d_av ~concurrency kind))
+             schemes)
+      davs
+  in
+  let notes =
+    List.map
+      (fun kind ->
+        let points =
+          List.map
+            (fun d_av ->
+              ( float_of_int d_av,
+                measure ~seed ~n_txns ~m ~d_av ~concurrency kind ))
+            davs
+        in
+        Printf.sprintf "%s: log-log slope in d_av = %.2f" (Registry.name kind)
+          (Stats.log_log_slope points))
+      schemes
+  in
+  {
+    Report.id = "E1/E2/E3/E4 (d_av sweep)";
+    title =
+      Printf.sprintf
+        "steps per transaction vs d_av (n=%d active, m=%d sites; expect all \
+         schemes ~linear in d_av)"
+        concurrency m;
+    headers = "d_av" :: List.map Registry.name schemes;
+    rows;
+    notes;
+  }
+
+let sweep_n ?(seed = 29) ?(n_txns = 192) ?(m = 16) ?(d_av = 3)
+    ?(ns = [ 4; 8; 16; 32; 64 ]) () =
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun kind ->
+               Report.f (measure ~seed ~n_txns ~m ~d_av ~concurrency:n kind))
+             schemes)
+      ns
+  in
+  let notes =
+    List.map
+      (fun kind ->
+        let points =
+          List.map
+            (fun n ->
+              (float_of_int n, measure ~seed ~n_txns ~m ~d_av ~concurrency:n kind))
+            ns
+        in
+        Printf.sprintf
+          "%s: log-log slope in n = %.2f (expected: scheme0 ~0, scheme1 <=1, \
+           scheme2/scheme3 -> 2 as waits dominate)"
+          (Registry.name kind) (Stats.log_log_slope points))
+      schemes
+  in
+  {
+    Report.id = "E1/E2/E3/E4 (n sweep)";
+    title =
+      Printf.sprintf
+        "steps per transaction vs number of active transactions n (m=%d, \
+         d_av=%d)"
+        m d_av;
+    headers = "n" :: List.map Registry.name schemes;
+    rows;
+    notes;
+  }

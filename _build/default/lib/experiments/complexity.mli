@@ -1,0 +1,26 @@
+(** Experiments E1-E4: scheduling cost of each scheme (the complexity
+    theorems).
+
+    The quantity measured is {e steps per scheduled transaction} in the
+    paper's cost model: all work inside [cond]/[act] plus the engine's WAIT
+    re-scans (the "cost of attempting to reschedule an operation that was
+    previously made to wait", §8), obtained from the instrumented counters
+    under the replay harness.
+
+    Expected shapes:
+    - Scheme 0: linear in d_av, flat in n (§4: O(d_av));
+    - Scheme 1: linear in n and in d_av (Theorem 4: O(m + n + n·d_av));
+    - Schemes 2 and 3: quadratic in n, linear in d_av (Theorems 6 and 9:
+      O(n²·d_av)). *)
+
+val sweep_dav :
+  ?seed:int -> ?n_txns:int -> ?m:int -> ?concurrency:int -> ?davs:int list ->
+  unit -> Report.table
+(** Steps/transaction as d_av grows, one column per scheme. *)
+
+val sweep_n :
+  ?seed:int -> ?n_txns:int -> ?m:int -> ?d_av:int -> ?ns:int list ->
+  unit -> Report.table
+(** Steps/transaction as the number of concurrently active transactions n
+    grows, one column per scheme, with empirical log-log slopes in the
+    notes. *)

@@ -1,0 +1,23 @@
+(** Experiment E5: degree of concurrency (§4-§7).
+
+    The paper's ordering: Scheme 0 permits the least concurrency; Schemes 1
+    and 2 both dominate Scheme 0 but are mutually incomparable; Scheme 3
+    permits every serializable schedule and dominates all. The measurable
+    proxy is the number of operations a scheme adds to WAIT under the same
+    arrival process (fewer waits = more concurrency). *)
+
+val wait_table :
+  ?seeds:int list -> ?config:Mdbs_sim.Replay.config -> unit -> Report.table
+(** WAIT insertions (serialization operations only, plus total) per scheme,
+    summed over the seeds, with per-seed columns. *)
+
+val incomparability_witnesses : ?attempts:int -> unit -> Report.table
+(** Searches small random traces for a pair of witnesses: one trace where
+    Scheme 1 delays fewer operations than Scheme 2, and one where Scheme 2
+    delays fewer than Scheme 1 — the paper's claim that neither dominates
+    (§6). *)
+
+val scheme3_permits_all : ?cases:int -> unit -> Report.table
+(** Empirical check of the §7 claim: on traces whose immediate processing
+    is serializable (verified via the no-control run's ser(S)), Scheme 3
+    adds no serialization operation to WAIT beyond transport. *)

@@ -1,0 +1,72 @@
+module Rng = Mdbs_util.Rng
+module Tsgd = Mdbs_core.Tsgd
+module Eliminate_cycles = Mdbs_core.Eliminate_cycles
+module Minimal_delta = Mdbs_core.Minimal_delta
+
+(* Build a TSGD the way Scheme 2 would: transactions arrive one at a time,
+   each immediately stitched in with Eliminate_Cycles dependencies. *)
+let grow rng ~m ~d_av ~n =
+  let tsgd = Tsgd.create () in
+  for gid = 1 to n do
+    let sites = Rng.sample_distinct rng (min d_av m) m in
+    Tsgd.add_txn tsgd gid sites;
+    let delta, _ = Eliminate_cycles.run tsgd gid in
+    List.iter (fun (src, site) -> Tsgd.add_dep tsgd src site gid) delta
+  done;
+  tsgd
+
+let run ?(seed = 31) ?(sizes = [ 2; 4; 6; 8; 10; 12 ]) () =
+  let rng = Rng.create seed in
+  let m = 6 and d_av = 2 in
+  let rows =
+    List.map
+      (fun n ->
+        let tsgd = grow rng ~m ~d_av ~n in
+        let gid = n + 1 in
+        let sites = Rng.sample_distinct rng (min d_av m) m in
+        Tsgd.add_txn tsgd gid sites;
+        let t0 = Sys.time () in
+        let heuristic, ec_steps = Eliminate_cycles.run tsgd gid in
+        let t1 = Sys.time () in
+        let exact = Minimal_delta.minimum ~limit:50_000 tsgd gid in
+        let t2 = Sys.time () in
+        let exact_size =
+          match exact with Some d -> string_of_int (List.length d) | None -> "limit"
+        in
+        [
+          string_of_int n;
+          string_of_int (List.length (Minimal_delta.candidates tsgd gid));
+          string_of_int (List.length heuristic);
+          exact_size;
+          string_of_int ec_steps;
+          Report.i (Minimal_delta.subsets_examined ());
+          Printf.sprintf "%.4f" ((t1 -. t0) *. 1000.);
+          Printf.sprintf "%.4f" ((t2 -. t1) *. 1000.);
+        ])
+      sizes
+  in
+  {
+    Report.id = "E6";
+    title =
+      "minimal-Delta intractability (Theorem 7): Eliminate_Cycles heuristic \
+       vs exact minimum (m=6, d_av=2; exact search capped at 50k subsets)";
+    headers =
+      [
+        "txns in TSGD";
+        "candidates";
+        "|Delta| heuristic";
+        "|Delta| minimum";
+        "EC steps";
+        "subsets examined";
+        "EC ms";
+        "exact ms";
+      ];
+    rows;
+    notes =
+      [
+        "heuristic work grows polynomially; exact search grows exponentially \
+         in the candidate count (NP-hard, Theorem 7)";
+        "|Delta| heuristic >= |Delta| minimum: the gap is the concurrency \
+         price of tractability";
+      ];
+  }

@@ -1,0 +1,11 @@
+(** Experiment E6: Theorem 7 — minimal dependency sets are intractable.
+
+    Grows random TSGDs by Scheme-2 evolution, then contrasts the polynomial
+    [Eliminate_Cycles] heuristic with the exact minimum-cardinality Δ
+    solver: Δ sizes agree or the heuristic over-restricts; the exact
+    solver's examined-subset count explodes with the candidate count while
+    the heuristic's step count stays polynomial. *)
+
+val run : ?seed:int -> ?sizes:int list -> unit -> Report.table
+(** One row per TSGD size (transactions already in the graph when the new
+    transaction arrives). *)

@@ -1,0 +1,24 @@
+module Table = Mdbs_util.Table
+
+type table = {
+  id : string;
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let to_string t =
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer (Printf.sprintf "== %s: %s ==\n" t.id t.title);
+  Buffer.add_string buffer (Table.render ~headers:t.headers t.rows);
+  List.iter (fun note -> Buffer.add_string buffer (Printf.sprintf "   note: %s\n" note)) t.notes;
+  Buffer.contents buffer
+
+let print t =
+  print_string (to_string t);
+  print_newline ()
+
+let f = Table.fmt_float
+
+let i = Table.fmt_int

@@ -1,0 +1,22 @@
+(** Uniform experiment reports: a titled table plus shape-check notes, shared
+    by the benchmark executable, the CLI and EXPERIMENTS.md. *)
+
+type table = {
+  id : string;  (** Experiment id, e.g. "E2". *)
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+      (** Shape findings, e.g. "scheme2 log-log slope in n = 1.94 (expected
+          ~2)". *)
+}
+
+val print : table -> unit
+
+val to_string : table -> string
+
+val f : float -> string
+(** Shorthand for {!Mdbs_util.Table.fmt_float}. *)
+
+val i : int -> string
+(** Shorthand for {!Mdbs_util.Table.fmt_int}. *)

@@ -1,0 +1,15 @@
+(** Experiment E13: timed performance of the schemes (discrete-event
+    simulation).
+
+    §3 of the paper argues qualitatively that (2) low-concurrency schemes
+    delay whole subtransactions, and (3) high scheduling overhead is
+    amortized over the subtransaction's operations and can be worth paying.
+    With real service times and network latencies, both effects become
+    measurable: throughput, mean/p95 response time and induced deadlock
+    aborts per scheme, plus a latency sweep showing how the schemes react
+    to a slower network. *)
+
+val scheme_comparison : ?config:Mdbs_sim.Des.config -> unit -> Report.table
+
+val latency_sweep : ?latencies:float list -> unit -> Report.table
+(** Mean response time per scheme as the GTM-site latency grows. *)

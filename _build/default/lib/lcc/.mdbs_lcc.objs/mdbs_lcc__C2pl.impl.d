@@ -1,0 +1,1 @@
+lib/lcc/c2pl.ml: Cc_types Hashtbl Item List Lock_table Mdbs_model Types

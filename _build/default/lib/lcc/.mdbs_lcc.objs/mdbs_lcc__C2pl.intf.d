@@ -1,0 +1,1 @@
+lib/lcc/c2pl.mli: Cc_types Item Mdbs_model Types

@@ -1,0 +1,1 @@
+lib/lcc/cc_types.ml: Format Mdbs_model

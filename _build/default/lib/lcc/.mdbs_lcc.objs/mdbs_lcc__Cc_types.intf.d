@@ -1,0 +1,1 @@
+lib/lcc/cc_types.mli: Format Mdbs_model

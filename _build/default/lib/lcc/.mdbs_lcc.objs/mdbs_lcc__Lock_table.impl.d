@@ -1,0 +1,1 @@
+lib/lcc/lock_table.ml: Hashtbl Item List Mdbs_model Mdbs_util Types

@@ -1,0 +1,1 @@
+lib/lcc/lock_table.mli: Item Mdbs_model Types

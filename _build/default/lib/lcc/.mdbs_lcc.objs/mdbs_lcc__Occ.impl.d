@@ -1,0 +1,1 @@
+lib/lcc/occ.ml: Cc_types Hashtbl Item List Mdbs_model Set Types

@@ -1,0 +1,1 @@
+lib/lcc/occ.mli: Cc_types Item Mdbs_model Types

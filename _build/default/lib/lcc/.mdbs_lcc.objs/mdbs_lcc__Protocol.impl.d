@@ -1,0 +1,1 @@
+lib/lcc/protocol.ml: C2pl Cc_types Mdbs_model Occ Ser_fun Sgt Timestamp Two_pl Types Wd2pl

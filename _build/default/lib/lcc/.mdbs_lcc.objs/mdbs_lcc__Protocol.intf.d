@@ -1,0 +1,1 @@
+lib/lcc/protocol.mli: Cc_types Item Mdbs_model Ser_fun Types

@@ -1,0 +1,1 @@
+lib/lcc/sgt.ml: Cc_types Hashtbl Item List Mdbs_model Mdbs_util Types

@@ -1,0 +1,1 @@
+lib/lcc/sgt.mli: Cc_types Item Mdbs_model Types

@@ -1,0 +1,1 @@
+lib/lcc/timestamp.ml: Cc_types Hashtbl Item Mdbs_model Types

@@ -1,0 +1,1 @@
+lib/lcc/timestamp.mli: Cc_types Item Mdbs_model Types

@@ -1,0 +1,1 @@
+lib/lcc/two_pl.ml: Cc_types List Lock_table Mdbs_model Types

@@ -1,0 +1,1 @@
+lib/lcc/two_pl.mli: Cc_types Item Lock_table Mdbs_model Types

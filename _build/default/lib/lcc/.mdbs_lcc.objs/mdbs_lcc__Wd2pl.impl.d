@@ -1,0 +1,1 @@
+lib/lcc/wd2pl.ml: Cc_types List Lock_table

@@ -1,0 +1,1 @@
+lib/lcc/wd2pl.mli: Cc_types Item Mdbs_model Types

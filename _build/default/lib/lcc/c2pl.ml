@@ -1,0 +1,92 @@
+open Mdbs_model
+
+type t = {
+  locks : Lock_table.t;
+  declarations : (Types.tid, (Item.t * Lock_table.mode) list) Hashtbl.t;
+  remaining : (Types.tid, (Item.t * Lock_table.mode) list) Hashtbl.t;
+      (* locks still to acquire while the begin is blocked; the head is
+         already enqueued inside the lock table *)
+}
+
+let create () =
+  {
+    locks = Lock_table.create ();
+    declarations = Hashtbl.create 32;
+    remaining = Hashtbl.create 16;
+  }
+
+let lock_mode = function
+  | Cc_types.Read_mode -> Lock_table.S
+  | Cc_types.Write_mode | Cc_types.Update_mode -> Lock_table.X
+
+let declare t tid accesses =
+  (* Strongest mode per item, canonical order: the order is what makes the
+     protocol deadlock-free. *)
+  let best = Hashtbl.create 8 in
+  List.iter
+    (fun (item, mode) ->
+      let mode = lock_mode mode in
+      match Hashtbl.find_opt best item with
+      | Some Lock_table.X -> ()
+      | Some Lock_table.S | None -> Hashtbl.replace best item mode)
+    accesses;
+  let sorted =
+    Hashtbl.fold (fun item mode acc -> (item, mode) :: acc) best []
+    |> List.sort (fun (a, _) (b, _) -> Item.compare a b)
+  in
+  Hashtbl.replace t.declarations tid sorted
+
+(* Acquire [locks] one at a time; on a block, park the rest. Deadlock is
+   impossible among same-order acquirers, so a Deadlock answer signals a
+   foreign (non-conservative) use of the same table. *)
+let rec acquire_list t tid locks =
+  match locks with
+  | [] ->
+      Hashtbl.remove t.remaining tid;
+      Cc_types.Granted
+  | (item, mode) :: rest -> (
+      match Lock_table.acquire t.locks tid item mode with
+      | Lock_table.Granted -> acquire_list t tid rest
+      | Lock_table.Blocked ->
+          Hashtbl.replace t.remaining tid rest;
+          Cc_types.Blocked
+      | Lock_table.Deadlock -> Cc_types.Rejected "c2pl-deadlock")
+
+let begin_txn t tid =
+  let declared =
+    match Hashtbl.find_opt t.declarations tid with Some d -> d | None -> []
+  in
+  acquire_list t tid declared
+
+let access t tid item mode =
+  let sufficient =
+    match lock_mode mode with
+    | Lock_table.S -> Lock_table.holds t.locks tid item Lock_table.S
+    | Lock_table.X -> Lock_table.holds t.locks tid item Lock_table.X
+  in
+  if sufficient then Cc_types.Granted else Cc_types.Rejected "undeclared-access"
+
+(* Continue the begin-time acquisition of every transaction the released
+   locks unblocked; report those that now hold their full set. *)
+let release t tid =
+  let granted = Lock_table.release_all t.locks tid in
+  Hashtbl.remove t.declarations tid;
+  Hashtbl.remove t.remaining tid;
+  List.filter_map
+    (fun (unblocked_tid, _, _) ->
+      let rest =
+        match Hashtbl.find_opt t.remaining unblocked_tid with
+        | Some rest -> rest
+        | None -> []
+      in
+      match acquire_list t unblocked_tid rest with
+      | Cc_types.Granted -> Some unblocked_tid
+      | Cc_types.Blocked -> None
+      | Cc_types.Rejected _ ->
+          (* Unreachable under ordered acquisition; surface loudly. *)
+          invalid_arg "C2pl: deadlock during ordered acquisition")
+    granted
+
+let commit t tid = (Cc_types.Granted, release t tid)
+
+let abort t tid = release t tid

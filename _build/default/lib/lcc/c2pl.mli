@@ -1,0 +1,38 @@
+(** Conservative (static) two-phase locking.
+
+    Every lock the transaction will ever need is declared before begin and
+    acquired {e at} begin, in canonical item order; with all transactions at
+    the site acquiring in the same order, no deadlock can form. Accesses
+    after begin simply verify the lock is held. Since begin obtains the
+    transaction's last lock, the begin operation is a serialization function
+    for the site (§2.2) — the GTM therefore routes {e begins} through GTM2
+    at conservative-2PL sites.
+
+    The begin may block (some declared lock is held by another transaction);
+    it completes when the remaining locks are granted by releases. *)
+
+open Mdbs_model
+
+type t
+
+val create : unit -> t
+
+val declare : t -> Types.tid -> (Item.t * Cc_types.mode) list -> unit
+(** Register the transaction's access set (deduplicated to the strongest
+    mode per item). Must precede [begin_txn]. An empty declaration is legal
+    (the transaction then must not access anything). *)
+
+val begin_txn : t -> Types.tid -> Cc_types.access_result
+(** Acquire all declared locks. [Granted] when everything was obtained;
+    [Blocked] when acquisition stalled partway (it resumes automatically as
+    other transactions release). *)
+
+val access : t -> Types.tid -> Item.t -> Cc_types.mode -> Cc_types.access_result
+(** [Granted] iff the begin declared (and thus holds) a sufficient lock;
+    [Rejected "undeclared-access"] otherwise — an application error. *)
+
+val commit : t -> Types.tid -> Cc_types.access_result * Types.tid list
+(** Never fails. Returns transactions whose {e begin} completed thanks to
+    the released locks. *)
+
+val abort : t -> Types.tid -> Types.tid list

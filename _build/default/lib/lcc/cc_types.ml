@@ -1,0 +1,20 @@
+type mode = Read_mode | Write_mode | Update_mode
+
+type access_result = Granted | Blocked | Rejected of string
+
+let is_write_like = function
+  | Write_mode | Update_mode -> true
+  | Read_mode -> false
+
+let mode_of_action = function
+  | Mdbs_model.Op.Read _ -> Some Read_mode
+  | Mdbs_model.Op.Write _ -> Some Write_mode
+  | Mdbs_model.Op.Ticket_op -> Some Update_mode
+  | Mdbs_model.Op.Begin | Mdbs_model.Op.Prepare | Mdbs_model.Op.Commit
+  | Mdbs_model.Op.Abort ->
+      None
+
+let pp_access_result ppf = function
+  | Granted -> Format.pp_print_string ppf "granted"
+  | Blocked -> Format.pp_print_string ppf "blocked"
+  | Rejected reason -> Format.fprintf ppf "rejected(%s)" reason

@@ -1,0 +1,27 @@
+(** Types shared by all local concurrency-control protocols. *)
+
+type mode =
+  | Read_mode
+  | Write_mode
+  | Update_mode
+      (** Atomic read-then-write (the ticket increment). Conflicts like a
+          write. *)
+
+type access_result =
+  | Granted  (** The operation may execute now. *)
+  | Blocked
+      (** The operation is delayed inside the protocol; the owner will appear
+          in a later [commit]/[abort]'s unblocked list. Only lock-based
+          protocols block. *)
+  | Rejected of string
+      (** The protocol requires the requesting transaction to abort (deadlock
+          victim, timestamp too old, serialization-graph cycle, failed
+          validation). The site must follow up with [abort]. *)
+
+val is_write_like : mode -> bool
+
+val mode_of_action : Mdbs_model.Op.action -> mode option
+(** The access mode of a data action; [None] for control actions
+    ([Begin]/[Commit]/[Abort]). *)
+
+val pp_access_result : Format.formatter -> access_result -> unit

@@ -1,0 +1,238 @@
+open Mdbs_model
+module Dllist = Mdbs_util.Dllist
+
+type mode = S | X
+
+type result = Granted | Blocked | Deadlock
+
+type waiter = { wtid : Types.tid; wmode : mode }
+
+type item_state = {
+  mutable holders : (Types.tid * mode) list;
+  queue : waiter Dllist.t;
+}
+
+type txn_state = {
+  held : (Item.t, mode) Hashtbl.t;
+  mutable pending : (Item.t * mode) option;
+}
+
+type t = {
+  items : (Item.t, item_state) Hashtbl.t;
+  txns : (Types.tid, txn_state) Hashtbl.t;
+}
+
+let create () = { items = Hashtbl.create 64; txns = Hashtbl.create 64 }
+
+let txn_state t tid =
+  match Hashtbl.find_opt t.txns tid with
+  | Some st -> st
+  | None ->
+      let st = { held = Hashtbl.create 8; pending = None } in
+      Hashtbl.replace t.txns tid st;
+      st
+
+let item_state t item =
+  match Hashtbl.find_opt t.items item with
+  | Some st -> st
+  | None ->
+      let st = { holders = []; queue = Dllist.create () } in
+      Hashtbl.replace t.items item st;
+      st
+
+let compatible requested held = requested = S && held = S
+
+(* Transactions the blocked transaction [u] is waiting for: the other holders
+   of the item plus the waiters queued ahead of it (grants are FIFO). *)
+let blockers t u =
+  match Hashtbl.find_opt t.txns u with
+  | Some { pending = Some (item, _); _ } -> (
+      match Hashtbl.find_opt t.items item with
+      | None -> []
+      | Some st ->
+          let holders =
+            List.filter_map
+              (fun (h, _) -> if h <> u then Some h else None)
+              st.holders
+          in
+          let rec ahead acc = function
+            | [] -> acc (* u not found: it is being enqueued tentatively *)
+            | w :: rest -> if w.wtid = u then acc else ahead (w.wtid :: acc) rest
+          in
+          holders @ ahead [] (Dllist.to_list st.queue))
+  | _ -> []
+
+let reaches t start_set target =
+  let visited = Hashtbl.create 16 in
+  let rec dfs u =
+    if u = target then true
+    else if Hashtbl.mem visited u then false
+    else begin
+      Hashtbl.replace visited u ();
+      List.exists dfs (blockers t u)
+    end
+  in
+  List.exists dfs start_set
+
+let would_deadlock t tid initial_blockers =
+  reaches t initial_blockers tid
+
+let would_block t tid item mode =
+  match Hashtbl.find_opt t.items item with
+  | None -> None
+  | Some st -> (
+      let held =
+        match Hashtbl.find_opt t.txns tid with
+        | Some txn -> Hashtbl.find_opt txn.held item
+        | None -> None
+      in
+      match held with
+      | Some X -> None
+      | Some S when mode = S -> None
+      | Some S ->
+          let others = List.filter (fun (h, _) -> h <> tid) st.holders in
+          if others = [] then None else Some (List.map fst others)
+      | None ->
+          let holders_compatible =
+            List.for_all (fun (_, held) -> compatible mode held) st.holders
+          in
+          if holders_compatible && Dllist.is_empty st.queue then None
+          else
+            Some
+              (List.map fst st.holders
+              @ List.map (fun w -> w.wtid) (Dllist.to_list st.queue)))
+
+let acquire t tid item mode =
+  let txn = txn_state t tid in
+  if txn.pending <> None then
+    invalid_arg "Lock_table.acquire: transaction already has a pending request";
+  let st = item_state t item in
+  match Hashtbl.find_opt txn.held item with
+  | Some X -> Granted
+  | Some S when mode = S -> Granted
+  | Some S ->
+      (* Upgrade S -> X: granted when sole holder, else wait at the front. *)
+      let others = List.filter (fun (h, _) -> h <> tid) st.holders in
+      if others = [] then begin
+        st.holders <- [ (tid, X) ];
+        Hashtbl.replace txn.held item X;
+        Granted
+      end
+      else if would_deadlock t tid (List.map fst others) then Deadlock
+      else begin
+        ignore (Dllist.push_front st.queue { wtid = tid; wmode = X });
+        txn.pending <- Some (item, X);
+        Blocked
+      end
+  | None ->
+      let holders_compatible =
+        List.for_all (fun (_, held) -> compatible mode held) st.holders
+      in
+      if holders_compatible && Dllist.is_empty st.queue then begin
+        st.holders <- (tid, mode) :: st.holders;
+        Hashtbl.replace txn.held item mode;
+        Granted
+      end
+      else begin
+        let queued = List.map (fun w -> w.wtid) (Dllist.to_list st.queue) in
+        let holder_tids = List.map fst st.holders in
+        if would_deadlock t tid (holder_tids @ queued) then Deadlock
+        else begin
+          ignore (Dllist.push_back st.queue { wtid = tid; wmode = mode });
+          txn.pending <- Some (item, mode);
+          Blocked
+        end
+      end
+
+(* Grant queued requests of [item] that are now compatible, FIFO. *)
+let drain_queue t item st granted =
+  let continue_draining = ref true in
+  while !continue_draining do
+    match Dllist.peek_front st.queue with
+    | None -> continue_draining := false
+    | Some w ->
+        let others = List.filter (fun (h, _) -> h <> w.wtid) st.holders in
+        let self = List.filter (fun (h, _) -> h = w.wtid) st.holders in
+        let grantable =
+          match (self, w.wmode) with
+          | (_, S) :: _, X -> others = [] (* upgrade *)
+          | [], _ -> List.for_all (fun (_, held) -> compatible w.wmode held) others
+          | _ -> false (* already holds >= requested; should not happen *)
+        in
+        if grantable then begin
+          ignore (Dllist.pop_front st.queue);
+          st.holders <-
+            (w.wtid, w.wmode) :: List.filter (fun (h, _) -> h <> w.wtid) st.holders;
+          let txn = txn_state t w.wtid in
+          Hashtbl.replace txn.held item w.wmode;
+          txn.pending <- None;
+          granted := (w.wtid, item, w.wmode) :: !granted
+        end
+        else continue_draining := false
+  done
+
+let cleanup_item t item st =
+  if st.holders = [] && Dllist.is_empty st.queue then Hashtbl.remove t.items item
+
+let release_all t tid =
+  match Hashtbl.find_opt t.txns tid with
+  | None -> []
+  | Some txn ->
+      let granted = ref [] in
+      let affected = ref [] in
+      (match txn.pending with
+      | Some (item, _) -> (
+          match Hashtbl.find_opt t.items item with
+          | None -> ()
+          | Some st ->
+              (* Rebuild the queue without this transaction's request. *)
+              let survivors = Dllist.to_list st.queue in
+              while Dllist.pop_front st.queue <> None do
+                ()
+              done;
+              List.iter
+                (fun w ->
+                  if w.wtid <> tid then ignore (Dllist.push_back st.queue w))
+                survivors;
+              affected := item :: !affected)
+      | None -> ());
+      Hashtbl.iter (fun item _ -> affected := item :: !affected) txn.held;
+      List.iter
+        (fun item ->
+          match Hashtbl.find_opt t.items item with
+          | None -> ()
+          | Some st ->
+              st.holders <- List.filter (fun (h, _) -> h <> tid) st.holders)
+        !affected;
+      Hashtbl.remove t.txns tid;
+      List.iter
+        (fun item ->
+          match Hashtbl.find_opt t.items item with
+          | None -> ()
+          | Some st ->
+              drain_queue t item st granted;
+              cleanup_item t item st)
+        (List.sort_uniq compare !affected);
+      List.rev !granted
+
+let holds t tid item mode =
+  match Hashtbl.find_opt t.txns tid with
+  | None -> false
+  | Some txn -> (
+      match Hashtbl.find_opt txn.held item with
+      | Some X -> true
+      | Some S -> mode = S
+      | None -> false)
+
+let waiting_on t tid =
+  match Hashtbl.find_opt t.txns tid with
+  | Some { pending; _ } -> pending
+  | None -> None
+
+let held_items t tid =
+  match Hashtbl.find_opt t.txns tid with
+  | None -> []
+  | Some txn -> Hashtbl.fold (fun item mode acc -> (item, mode) :: acc) txn.held []
+
+let active_transactions t =
+  Hashtbl.fold (fun tid _ acc -> tid :: acc) t.txns [] |> List.sort compare

@@ -1,0 +1,51 @@
+(** Lock table with shared/exclusive locks, FIFO waiting, lock upgrades and
+    waits-for deadlock detection. The substrate of the strict-2PL local
+    protocol. One lock table serves one site. *)
+
+open Mdbs_model
+
+type mode = S | X
+
+type t
+
+val create : unit -> t
+
+type result =
+  | Granted  (** The lock is held on return. *)
+  | Blocked  (** The request is enqueued; it will be granted by a later
+                 release (see {!release_all}). *)
+  | Deadlock
+      (** Granting would close a waits-for cycle; the request was {e not}
+          enqueued and the requester should abort. *)
+
+val would_block : t -> Types.tid -> Item.t -> mode -> Types.tid list option
+(** [would_block t tid item mode] is [None] when an {!acquire} with the same
+    arguments would be granted immediately, and [Some blockers] (the holders
+    and queued waiters the request would wait behind) when it would block.
+    No state is changed. Used by priority-based deadlock-prevention policies
+    (wait-die). *)
+
+val acquire : t -> Types.tid -> Item.t -> mode -> result
+(** Request a lock. Re-requesting a mode already held (or requesting [S]
+    while holding [X]) is [Granted] immediately. An upgrade ([S] held, [X]
+    requested) is granted when the requester is the sole holder, otherwise it
+    waits at the front of the item's queue. A transaction may have at most
+    one pending (blocked) request at a time; violating this is a checked
+    error. *)
+
+val release_all : t -> Types.tid -> (Types.tid * Item.t * mode) list
+(** Release every lock held by (and any pending request of) the transaction,
+    then grant newly compatible waiting requests in FIFO order. Returns the
+    requests granted as a consequence, in grant order. *)
+
+val holds : t -> Types.tid -> Item.t -> mode -> bool
+(** Does the transaction hold (at least) this lock mode on the item? [X]
+    satisfies [S]. *)
+
+val waiting_on : t -> Types.tid -> (Item.t * mode) option
+(** The transaction's pending request, if blocked. *)
+
+val held_items : t -> Types.tid -> (Item.t * mode) list
+
+val active_transactions : t -> Types.tid list
+(** Transactions currently holding or waiting for at least one lock. *)

@@ -1,0 +1,101 @@
+open Mdbs_model
+module ISet = Set.Make (Item)
+
+type txn = {
+  start_tn : int;
+  mutable reads : ISet.t;
+  mutable writes : ISet.t;
+  mutable prepared : bool;
+}
+
+type t = {
+  mutable tn : int; (* number of validated transactions *)
+  active : (Types.tid, txn) Hashtbl.t;
+  mutable recently_committed : (int * Types.tid * ISet.t) list;
+      (* (tn, tid, write set), newest first; includes prepared-uncommitted *)
+}
+
+let create () = { tn = 0; active = Hashtbl.create 64; recently_committed = [] }
+
+let begin_txn t tid =
+  Hashtbl.replace t.active tid
+    { start_tn = t.tn; reads = ISet.empty; writes = ISet.empty; prepared = false };
+  Cc_types.Granted
+
+let find_txn t tid =
+  match Hashtbl.find_opt t.active tid with
+  | Some txn -> txn
+  | None -> invalid_arg "Occ: transaction did not begin"
+
+let access t tid item mode =
+  let txn = find_txn t tid in
+  (match mode with
+  | Cc_types.Read_mode -> txn.reads <- ISet.add item txn.reads
+  | Cc_types.Write_mode -> txn.writes <- ISet.add item txn.writes
+  | Cc_types.Update_mode ->
+      txn.reads <- ISet.add item txn.reads;
+      txn.writes <- ISet.add item txn.writes);
+  Cc_types.Granted
+
+(* Drop committed entries no active transaction can conflict with. *)
+let prune t =
+  let oldest_start =
+    Hashtbl.fold (fun _ txn acc -> min acc txn.start_tn) t.active t.tn
+  in
+  t.recently_committed <-
+    List.filter (fun (tn, _, _) -> tn > oldest_start) t.recently_committed
+
+let validate t txn =
+  not
+    (List.exists
+       (fun (tn, _, writes) ->
+         tn > txn.start_tn && not (ISet.is_empty (ISet.inter writes txn.reads)))
+       t.recently_committed)
+
+let register_validated t tid txn =
+  t.tn <- t.tn + 1;
+  t.recently_committed <- (t.tn, tid, txn.writes) :: t.recently_committed
+
+(* Two-phase commit, phase 1: validate now; a prepared transaction counts
+   as committed for everyone else's validation (it can only abort by a
+   global decision, which withdraws it via [abort]). *)
+let prepare t tid =
+  let txn = find_txn t tid in
+  if txn.prepared then Cc_types.Granted
+  else if validate t txn then begin
+    txn.prepared <- true;
+    register_validated t tid txn;
+    Cc_types.Granted
+  end
+  else Cc_types.Rejected "occ-validation"
+
+let commit t tid =
+  let txn = find_txn t tid in
+  if txn.prepared then begin
+    Hashtbl.remove t.active tid;
+    prune t;
+    (Cc_types.Granted, [])
+  end
+  else if validate t txn then begin
+    register_validated t tid txn;
+    Hashtbl.remove t.active tid;
+    prune t;
+    (Cc_types.Granted, [])
+  end
+  else (Cc_types.Rejected "occ-validation", [])
+
+let abort t tid =
+  (* Withdraw a prepared transaction's tentative validation record. *)
+  (match Hashtbl.find_opt t.active tid with
+  | Some txn when txn.prepared ->
+      t.recently_committed <-
+        List.filter (fun (_, owner, _) -> owner <> tid) t.recently_committed
+  | Some _ | None -> ());
+  Hashtbl.remove t.active tid;
+  prune t;
+  []
+
+let write_set t tid =
+  match Hashtbl.find_opt t.active tid with
+  | Some txn -> ISet.elements txn.writes
+  | None -> []

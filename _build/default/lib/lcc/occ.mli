@@ -1,0 +1,38 @@
+(** Optimistic concurrency control with backward validation (Kung-Robinson
+    style).
+
+    Transactions read freely and buffer writes (the site installs buffered
+    writes only at commit); at commit the read set is validated against the
+    write sets of transactions that committed after this transaction began.
+    Serialization order equals validation order, which equals
+    commit-processing order — so the commit operation is a serialization
+    function for OCC sites. *)
+
+open Mdbs_model
+
+type t
+
+val create : unit -> t
+
+val begin_txn : t -> Types.tid -> Cc_types.access_result
+(** Records the start number. Always [Granted]. *)
+
+val access : t -> Types.tid -> Item.t -> Cc_types.mode -> Cc_types.access_result
+(** Always [Granted]: conflicts surface only at validation. *)
+
+val prepare : t -> Types.tid -> Cc_types.access_result
+(** Two-phase-commit phase 1: validate immediately. After a successful
+    prepare the transaction counts as committed for other validations and
+    its own [commit] cannot fail; an [abort] (global 2PC decision) withdraws
+    the tentative record. *)
+
+val commit : t -> Types.tid -> Cc_types.access_result * Types.tid list
+(** [(Granted, \[\])] when validation succeeds (or the transaction was
+    prepared); [(Rejected _, \[\])] when a concurrently committed
+    transaction wrote into this transaction's read set. *)
+
+val abort : t -> Types.tid -> Types.tid list
+
+val write_set : t -> Types.tid -> Item.t list
+(** Buffered writes of an active transaction (the site installs them at
+    commit). *)

@@ -1,0 +1,85 @@
+open Mdbs_model
+
+type impl =
+  | Two_pl_impl of Two_pl.t
+  | Timestamp_impl of Timestamp.t
+  | Sgt_impl of Sgt.t
+  | Occ_impl of Occ.t
+  | C2pl_impl of C2pl.t
+  | Wd2pl_impl of Wd2pl.t
+
+type t = { kind : Types.protocol_kind; impl : impl }
+
+let create kind =
+  let impl =
+    match kind with
+    | Types.Two_phase_locking -> Two_pl_impl (Two_pl.create ())
+    | Types.Timestamp_ordering -> Timestamp_impl (Timestamp.create ())
+    | Types.Serialization_graph_testing -> Sgt_impl (Sgt.create ())
+    | Types.Optimistic -> Occ_impl (Occ.create ())
+    | Types.Conservative_2pl -> C2pl_impl (C2pl.create ())
+    | Types.Wait_die_2pl -> Wd2pl_impl (Wd2pl.create ())
+  in
+  { kind; impl }
+
+let kind t = t.kind
+
+let serialization_point t = Ser_fun.for_protocol t.kind
+
+let declare t tid accesses =
+  match t.impl with
+  | C2pl_impl p -> C2pl.declare p tid accesses
+  | Two_pl_impl _ | Timestamp_impl _ | Sgt_impl _ | Occ_impl _ | Wd2pl_impl _ -> ()
+
+let needs_declarations t =
+  match t.impl with
+  | C2pl_impl _ -> true
+  | Two_pl_impl _ | Timestamp_impl _ | Sgt_impl _ | Occ_impl _ | Wd2pl_impl _ -> false
+
+let begin_txn t tid =
+  match t.impl with
+  | Two_pl_impl p -> Two_pl.begin_txn p tid
+  | Timestamp_impl p -> Timestamp.begin_txn p tid
+  | Sgt_impl p -> Sgt.begin_txn p tid
+  | Occ_impl p -> Occ.begin_txn p tid
+  | C2pl_impl p -> C2pl.begin_txn p tid
+  | Wd2pl_impl p -> Wd2pl.begin_txn p tid
+
+let access t tid item mode =
+  match t.impl with
+  | Two_pl_impl p -> Two_pl.access p tid item mode
+  | Timestamp_impl p -> Timestamp.access p tid item mode
+  | Sgt_impl p -> Sgt.access p tid item mode
+  | Occ_impl p -> Occ.access p tid item mode
+  | C2pl_impl p -> C2pl.access p tid item mode
+  | Wd2pl_impl p -> Wd2pl.access p tid item mode
+
+let prepare t tid =
+  match t.impl with
+  | Occ_impl p -> Occ.prepare p tid
+  | Two_pl_impl _ | Timestamp_impl _ | Sgt_impl _ | C2pl_impl _ | Wd2pl_impl _ ->
+      Cc_types.Granted
+
+let commit t tid =
+  match t.impl with
+  | Two_pl_impl p -> Two_pl.commit p tid
+  | Timestamp_impl p -> Timestamp.commit p tid
+  | Sgt_impl p -> Sgt.commit p tid
+  | Occ_impl p -> Occ.commit p tid
+  | C2pl_impl p -> C2pl.commit p tid
+  | Wd2pl_impl p -> Wd2pl.commit p tid
+
+let abort t tid =
+  match t.impl with
+  | Two_pl_impl p -> Two_pl.abort p tid
+  | Timestamp_impl p -> Timestamp.abort p tid
+  | Sgt_impl p -> Sgt.abort p tid
+  | Occ_impl p -> Occ.abort p tid
+  | C2pl_impl p -> C2pl.abort p tid
+  | Wd2pl_impl p -> Wd2pl.abort p tid
+
+let buffers_writes t =
+  match t.impl with
+  | Occ_impl _ -> true
+  | Two_pl_impl _ | Timestamp_impl _ | Sgt_impl _ | C2pl_impl _ | Wd2pl_impl _ ->
+      false

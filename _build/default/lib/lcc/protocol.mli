@@ -1,0 +1,47 @@
+(** Uniform front-end over the local concurrency-control protocols.
+
+    A site owns one [Protocol.t]; the local DBMS funnels every transaction
+    event through it. The protocol decides admission only — reading and
+    writing actual values is the site's job (see [Mdbs_site.Local_dbms]). *)
+
+open Mdbs_model
+
+type t
+
+val create : Types.protocol_kind -> t
+
+val kind : t -> Types.protocol_kind
+
+val serialization_point : t -> Ser_fun.point
+(** The serialization function the GTM uses for sites running this
+    protocol. *)
+
+val declare : t -> Types.tid -> (Item.t * Cc_types.mode) list -> unit
+(** Predeclare the transaction's access set. Mandatory before [begin_txn]
+    for conservative 2PL; a no-op for every other protocol. *)
+
+val needs_declarations : t -> bool
+(** Does this protocol require {!declare} before begin (conservative
+    2PL)? *)
+
+val begin_txn : t -> Types.tid -> Cc_types.access_result
+
+val access : t -> Types.tid -> Item.t -> Cc_types.mode -> Cc_types.access_result
+
+val prepare : t -> Types.tid -> Cc_types.access_result
+(** Two-phase-commit phase 1. Lock- and timestamp-based protocols always
+    grant (their conflicts were resolved at access time); OCC validates here
+    and its commit is then guaranteed. *)
+
+val commit : t -> Types.tid -> Cc_types.access_result * Types.tid list
+(** [(result, unblocked)]: [result] is [Granted] when the commit is accepted
+    ([Rejected] only for OCC validation failure); [unblocked] lists
+    transactions whose blocked access became granted. *)
+
+val abort : t -> Types.tid -> Types.tid list
+(** Abort the transaction inside the protocol; returns unblocked
+    transactions. *)
+
+val buffers_writes : t -> bool
+(** Does the protocol defer write installation to commit (OCC)? The site
+    buffers the actual write effects and installs them at commit. *)

@@ -1,0 +1,131 @@
+open Mdbs_model
+module Digraph = Mdbs_util.Digraph
+module Iset = Mdbs_util.Iset
+
+type t = {
+  graph : Digraph.t;
+  readers : (Item.t, Iset.t ref) Hashtbl.t;
+  writers : (Item.t, Iset.t ref) Hashtbl.t;
+  committed : (Types.tid, unit) Hashtbl.t;
+  touched : (Types.tid, Item.t list ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    graph = Digraph.create ();
+    readers = Hashtbl.create 64;
+    writers = Hashtbl.create 64;
+    committed = Hashtbl.create 64;
+    touched = Hashtbl.create 64;
+  }
+
+let members table item =
+  match Hashtbl.find_opt table item with
+  | Some set -> !set
+  | None -> Iset.empty
+
+let add_member table item tid =
+  match Hashtbl.find_opt table item with
+  | Some set -> set := Iset.add tid !set
+  | None -> Hashtbl.replace table item (ref (Iset.singleton tid))
+
+let remove_member table item tid =
+  match Hashtbl.find_opt table item with
+  | Some set ->
+      set := Iset.remove tid !set;
+      if Iset.is_empty !set then Hashtbl.remove table item
+  | None -> ()
+
+let begin_txn t tid =
+  Digraph.add_node t.graph tid;
+  Cc_types.Granted
+
+let note_touched t tid item =
+  match Hashtbl.find_opt t.touched tid with
+  | Some items -> items := item :: !items
+  | None -> Hashtbl.replace t.touched tid (ref [ item ])
+
+(* Remove committed transactions that can no longer join a cycle: committed
+   nodes with no predecessor. Their outgoing edges are then irrelevant to
+   acyclicity, so they are dropped, possibly enabling more pruning. *)
+let prune t =
+  let continue_pruning = ref true in
+  while !continue_pruning do
+    let prunable =
+      List.filter
+        (fun n -> Hashtbl.mem t.committed n && Iset.is_empty (Digraph.pred t.graph n))
+        (Digraph.nodes t.graph)
+    in
+    if prunable = [] then continue_pruning := false
+    else
+      List.iter
+        (fun n ->
+          Digraph.remove_node t.graph n;
+          (match Hashtbl.find_opt t.touched n with
+          | Some items ->
+              List.iter
+                (fun item ->
+                  remove_member t.readers item n;
+                  remove_member t.writers item n)
+                !items
+          | None -> ());
+          Hashtbl.remove t.touched n;
+          Hashtbl.remove t.committed n)
+        prunable
+  done
+
+let access t tid item mode =
+  if not (Digraph.mem_node t.graph tid) then Digraph.add_node t.graph tid;
+  let sources =
+    let writers = members t.writers item in
+    if Cc_types.is_write_like mode then Iset.union writers (members t.readers item)
+    else writers
+  in
+  let sources = Iset.remove tid sources in
+  let added =
+    Iset.fold
+      (fun src acc ->
+        if Digraph.mem_edge t.graph src tid then acc
+        else begin
+          Digraph.add_edge t.graph src tid;
+          src :: acc
+        end)
+      sources []
+  in
+  if Digraph.has_cycle t.graph then begin
+    (* Roll the tentative edges back; the site will abort the requester. *)
+    List.iter (fun src -> Digraph.remove_edge t.graph src tid) added;
+    Cc_types.Rejected "sgt-cycle"
+  end
+  else begin
+    (match mode with
+    | Cc_types.Read_mode -> add_member t.readers item tid
+    | Cc_types.Write_mode -> add_member t.writers item tid
+    | Cc_types.Update_mode ->
+        add_member t.readers item tid;
+        add_member t.writers item tid);
+    note_touched t tid item;
+    Cc_types.Granted
+  end
+
+let commit t tid =
+  Hashtbl.replace t.committed tid ();
+  prune t;
+  (Cc_types.Granted, [])
+
+let abort t tid =
+  Digraph.remove_node t.graph tid;
+  (match Hashtbl.find_opt t.touched tid with
+  | Some items ->
+      List.iter
+        (fun item ->
+          remove_member t.readers item tid;
+          remove_member t.writers item tid)
+        !items
+  | None -> ());
+  Hashtbl.remove t.touched tid;
+  Hashtbl.remove t.committed tid;
+  prune t;
+  []
+
+let graph_size t = (Digraph.node_count t.graph, Digraph.edge_count t.graph)

@@ -1,0 +1,33 @@
+(** Serialization-graph testing (SGT certification).
+
+    The site maintains the conflict graph over its transactions; an access
+    that would close a cycle is rejected (the requester aborts). SGT accepts
+    exactly the conflict-serializable local schedules — the highest local
+    concurrency — but admits {e no} serialization function (§2.2): the
+    serialization order of two transactions can be decided by operations
+    anywhere in their lifetime. The GTM therefore forces conflicts via the
+    ticket ([Op.Ticket_op] is an [Update_mode] access to [Item.Ticket]),
+    making the ticket operation a serialization event. *)
+
+open Mdbs_model
+
+type t
+
+val create : unit -> t
+
+val begin_txn : t -> Types.tid -> Cc_types.access_result
+(** Registers the transaction as a graph node. Always [Granted]. *)
+
+val access : t -> Types.tid -> Item.t -> Cc_types.mode -> Cc_types.access_result
+(** [Rejected] when recording the access's conflict edges would create a
+    cycle in the serialization graph. Never blocks. *)
+
+val commit : t -> Types.tid -> Cc_types.access_result * Types.tid list
+(** Always [(Granted, \[\])]. Committed source nodes are pruned from the
+    graph once they can no longer take part in a cycle. *)
+
+val abort : t -> Types.tid -> Types.tid list
+(** Removes the transaction and its edges. Always [\[\]]. *)
+
+val graph_size : t -> int * int
+(** (nodes, edges) currently retained — for tests and pruning checks. *)

@@ -1,0 +1,62 @@
+open Mdbs_model
+
+type item_ts = { mutable read_ts : int; mutable write_ts : int }
+
+type t = {
+  mutable clock : int;
+  txn_ts : (Types.tid, int) Hashtbl.t;
+  items : (Item.t, item_ts) Hashtbl.t;
+}
+
+let create () = { clock = 0; txn_ts = Hashtbl.create 64; items = Hashtbl.create 64 }
+
+let begin_txn t tid =
+  t.clock <- t.clock + 1;
+  Hashtbl.replace t.txn_ts tid t.clock;
+  Cc_types.Granted
+
+let item_ts t item =
+  match Hashtbl.find_opt t.items item with
+  | Some ts -> ts
+  | None ->
+      let ts = { read_ts = 0; write_ts = 0 } in
+      Hashtbl.replace t.items item ts;
+      ts
+
+let access t tid item mode =
+  let ts =
+    match Hashtbl.find_opt t.txn_ts tid with
+    | Some ts -> ts
+    | None -> invalid_arg "Timestamp.access: transaction did not begin"
+  in
+  let its = item_ts t item in
+  match mode with
+  | Cc_types.Read_mode ->
+      if ts < its.write_ts then Cc_types.Rejected "to-late-read"
+      else begin
+        its.read_ts <- max its.read_ts ts;
+        Cc_types.Granted
+      end
+  | Cc_types.Write_mode ->
+      if ts < its.read_ts || ts < its.write_ts then Cc_types.Rejected "to-late-write"
+      else begin
+        its.write_ts <- ts;
+        Cc_types.Granted
+      end
+  | Cc_types.Update_mode ->
+      if ts < its.read_ts || ts < its.write_ts then Cc_types.Rejected "to-late-update"
+      else begin
+        its.read_ts <- max its.read_ts ts;
+        its.write_ts <- ts;
+        Cc_types.Granted
+      end
+
+let commit t tid =
+  Hashtbl.remove t.txn_ts tid;
+  (Cc_types.Granted, [])
+
+let abort t tid =
+  Hashtbl.remove t.txn_ts tid;
+  []
+
+let timestamp_of t tid = Hashtbl.find_opt t.txn_ts tid

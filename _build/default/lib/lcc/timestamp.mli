@@ -1,0 +1,31 @@
+(** Basic timestamp ordering.
+
+    Timestamps are assigned when the transaction begins, so the begin
+    operation is a serialization function for the site (§2.2). Late
+    operations are rejected (the transaction must abort and, if restarted,
+    gets a fresh timestamp). No Thomas-write-rule: rejected writes really
+    reject, keeping the committed projection conflict-equivalent to the
+    timestamp order. Never blocks. *)
+
+open Mdbs_model
+
+type t
+
+val create : unit -> t
+
+val begin_txn : t -> Types.tid -> Cc_types.access_result
+(** Assigns the transaction's timestamp. Always [Granted]. *)
+
+val access : t -> Types.tid -> Item.t -> Cc_types.mode -> Cc_types.access_result
+(** [Rejected] when the access arrives too late with respect to the item's
+    read/write timestamps. Raises [Invalid_argument] if the transaction never
+    began. *)
+
+val commit : t -> Types.tid -> Cc_types.access_result * Types.tid list
+(** Always [(Granted, \[\])]. *)
+
+val abort : t -> Types.tid -> Types.tid list
+(** Always [\[\]]; item timestamps are conservatively retained. *)
+
+val timestamp_of : t -> Types.tid -> int option
+(** The transaction's timestamp, for tests. *)

@@ -1,0 +1,27 @@
+open Mdbs_model
+
+type t = { locks : Lock_table.t }
+
+let create () = { locks = Lock_table.create () }
+
+let begin_txn _t _tid = Cc_types.Granted
+
+let lock_mode = function
+  | Cc_types.Read_mode -> Lock_table.S
+  | Cc_types.Write_mode | Cc_types.Update_mode -> Lock_table.X
+
+let access t tid item mode =
+  match Lock_table.acquire t.locks tid item (lock_mode mode) with
+  | Lock_table.Granted -> Cc_types.Granted
+  | Lock_table.Blocked -> Cc_types.Blocked
+  | Lock_table.Deadlock -> Cc_types.Rejected "deadlock"
+
+let release t tid =
+  let granted = Lock_table.release_all t.locks tid in
+  List.map (fun (unblocked_tid, _, _) -> unblocked_tid) granted
+
+let commit t (tid : Types.tid) = (Cc_types.Granted, release t tid)
+
+let abort t tid = release t tid
+
+let lock_table t = t.locks

@@ -1,0 +1,30 @@
+(** Strict two-phase locking.
+
+    Shared locks for reads, exclusive locks for writes and ticket updates;
+    all locks are held to commit/abort (strictness), so the commit operation
+    lies inside the paper's serialization window ("between the time the
+    transaction obtains its last lock and the time it releases its first
+    lock", §2.2): the commit is a valid serialization event. Deadlocks are
+    resolved by rejecting the requester whose wait would close a waits-for
+    cycle. *)
+
+open Mdbs_model
+
+type t
+
+val create : unit -> t
+
+val begin_txn : t -> Types.tid -> Cc_types.access_result
+(** Always [Granted] (2PL takes no action at begin). *)
+
+val access : t -> Types.tid -> Item.t -> Cc_types.mode -> Cc_types.access_result
+
+val commit : t -> Types.tid -> Cc_types.access_result * Types.tid list
+(** Commit never fails under 2PL. Returns the transactions whose blocked
+    access became granted when this transaction's locks were released. *)
+
+val abort : t -> Types.tid -> Types.tid list
+(** Release everything; returns newly unblocked transactions. *)
+
+val lock_table : t -> Lock_table.t
+(** Exposed for inspection in tests. *)

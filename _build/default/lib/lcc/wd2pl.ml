@@ -1,0 +1,41 @@
+(* wait-die strict 2PL *)
+
+type t = { locks : Lock_table.t }
+
+let create () = { locks = Lock_table.create () }
+
+let begin_txn _t _tid = Cc_types.Granted
+
+let lock_mode = function
+  | Cc_types.Read_mode -> Lock_table.S
+  | Cc_types.Write_mode | Cc_types.Update_mode -> Lock_table.X
+
+let access t tid item mode =
+  let mode = lock_mode mode in
+  match Lock_table.would_block t.locks tid item mode with
+  | None -> (
+      match Lock_table.acquire t.locks tid item mode with
+      | Lock_table.Granted -> Cc_types.Granted
+      | Lock_table.Blocked | Lock_table.Deadlock ->
+          (* would_block said no: impossible. *)
+          assert false)
+  | Some blockers ->
+      (* Die if younger than any transaction it would wait behind. *)
+      if List.exists (fun blocker -> blocker < tid) blockers then
+        Cc_types.Rejected "wait-die"
+      else begin
+        match Lock_table.acquire t.locks tid item mode with
+        | Lock_table.Blocked -> Cc_types.Blocked
+        | Lock_table.Granted -> Cc_types.Granted
+        | Lock_table.Deadlock ->
+            (* All blockers are younger, and they can only be waiting for
+               still-younger transactions — no cycle can include [tid]. *)
+            assert false
+      end
+
+let release t tid =
+  List.map (fun (unblocked_tid, _, _) -> unblocked_tid) (Lock_table.release_all t.locks tid)
+
+let commit t tid = (Cc_types.Granted, release t tid)
+
+let abort t tid = release t tid

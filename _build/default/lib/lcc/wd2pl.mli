@@ -1,0 +1,25 @@
+(** Strict two-phase locking with the wait-die deadlock-prevention policy.
+
+    Transaction ids double as ages (smaller id = older, since ids are drawn
+    from a monotone supply). On a lock conflict, an older requester waits; a
+    younger one "dies" (is rejected and must abort/restart). Waits therefore
+    only ever point from older to younger transactions, so no waits-for
+    cycle — local deadlock freedom without a detector. Strictness makes the
+    commit a serialization function, exactly as for plain strict 2PL. *)
+
+open Mdbs_model
+
+type t
+
+val create : unit -> t
+
+val begin_txn : t -> Types.tid -> Cc_types.access_result
+(** Always [Granted]. *)
+
+val access : t -> Types.tid -> Item.t -> Cc_types.mode -> Cc_types.access_result
+(** [Rejected "wait-die"] when the requester is younger than some
+    conflicting holder or queued waiter. *)
+
+val commit : t -> Types.tid -> Cc_types.access_result * Types.tid list
+
+val abort : t -> Types.tid -> Types.tid list

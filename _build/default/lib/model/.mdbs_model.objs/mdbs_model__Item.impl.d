@@ -1,0 +1,1 @@
+lib/model/item.ml: Format Int

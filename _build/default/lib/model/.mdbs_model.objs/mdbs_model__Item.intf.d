@@ -1,0 +1,1 @@
+lib/model/item.mli: Format

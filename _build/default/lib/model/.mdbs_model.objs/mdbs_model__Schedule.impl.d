@@ -1,0 +1,1 @@
+lib/model/schedule.ml: Format List Mdbs_util Op Types

@@ -1,0 +1,1 @@
+lib/model/schedule.mli: Format Mdbs_util Op Types

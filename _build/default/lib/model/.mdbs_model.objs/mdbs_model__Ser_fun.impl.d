@@ -1,0 +1,1 @@
+lib/model/ser_fun.ml: Format Op Types

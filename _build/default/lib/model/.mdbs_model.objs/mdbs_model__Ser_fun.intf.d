@@ -1,0 +1,1 @@
+lib/model/ser_fun.mli: Format Op Types

@@ -1,0 +1,1 @@
+lib/model/ser_schedule.ml: Format Hashtbl List Mdbs_util Types

@@ -1,0 +1,1 @@
+lib/model/ser_schedule.mli: Format Mdbs_util Types

@@ -1,0 +1,1 @@
+lib/model/serializability.ml: Array Format Hashtbl List Mdbs_util Op Schedule Types

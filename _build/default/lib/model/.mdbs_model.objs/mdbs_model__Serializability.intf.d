@@ -1,0 +1,1 @@
+lib/model/serializability.mli: Format Mdbs_util Schedule Types

@@ -1,0 +1,1 @@
+lib/model/txn.ml: Format Hashtbl List Op Printf Result Types

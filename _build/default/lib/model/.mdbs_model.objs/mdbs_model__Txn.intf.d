@@ -1,0 +1,1 @@
+lib/model/txn.mli: Format Item Op Types

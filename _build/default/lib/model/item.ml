@@ -1,0 +1,18 @@
+type t = Ticket | Key of int
+
+let compare a b =
+  match (a, b) with
+  | Ticket, Ticket -> 0
+  | Ticket, Key _ -> -1
+  | Key _, Ticket -> 1
+  | Key x, Key y -> Int.compare x y
+
+let equal a b = compare a b = 0
+
+let hash = function Ticket -> 0 | Key k -> (k * 2) + 1
+
+let pp ppf = function
+  | Ticket -> Format.pp_print_string ppf "ticket"
+  | Key k -> Format.fprintf ppf "x%d" k
+
+let to_string item = Format.asprintf "%a" pp item

@@ -1,0 +1,20 @@
+(** Data items. Items are local to a site (the MDBS has no replicated data in
+    the paper's model); an item is named by a key within its site. The
+    distinguished [Ticket] item is the forced-conflict object of the ticket
+    method (§2.2): every global subtransaction at a ticketed site
+    read-increments it, creating direct conflicts among all global
+    subtransactions there. *)
+
+type t =
+  | Ticket  (** The site's ticket counter. *)
+  | Key of int  (** Ordinary data item [k] of the site. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,38 @@
+type action =
+  | Begin
+  | Read of Item.t
+  | Write of Item.t * int
+  | Ticket_op
+  | Prepare
+  | Commit
+  | Abort
+
+type t = { tid : Types.tid; site : Types.sid; action : action }
+
+let action_item = function
+  | Read item | Write (item, _) -> Some item
+  | Ticket_op -> Some Item.Ticket
+  | Begin | Prepare | Commit | Abort -> None
+
+let is_write_like = function
+  | Write _ | Ticket_op -> true
+  | Read _ | Begin | Prepare | Commit | Abort -> false
+
+let conflicting_actions a b =
+  match (action_item a, action_item b) with
+  | Some ia, Some ib -> Item.equal ia ib && (is_write_like a || is_write_like b)
+  | _ -> false
+
+let pp_action ppf = function
+  | Begin -> Format.pp_print_string ppf "begin"
+  | Read item -> Format.fprintf ppf "r(%a)" Item.pp item
+  | Write (item, delta) -> Format.fprintf ppf "w(%a,%+d)" Item.pp item delta
+  | Ticket_op -> Format.pp_print_string ppf "take-ticket"
+  | Prepare -> Format.pp_print_string ppf "prepare"
+  | Commit -> Format.pp_print_string ppf "commit"
+  | Abort -> Format.pp_print_string ppf "abort"
+
+let pp ppf { tid; site; action } =
+  Format.fprintf ppf "T%d@s%d:%a" tid site pp_action action
+
+let action_to_string a = Format.asprintf "%a" pp_action a

@@ -1,0 +1,42 @@
+(** Transaction operations (§2.1): read, write, begin, commit — plus the
+    injected ticket operation and abort. An operation is an action performed
+    by one transaction at one site. *)
+
+type action =
+  | Begin
+  | Read of Item.t
+  | Write of Item.t * int
+      (** [Write (x, delta)] adds [delta] to [x]. The delta gives example
+          applications real semantics (transfers, bookings); the conflict
+          relation depends on the item only. *)
+  | Ticket_op
+      (** Atomic read-increment-write of the site's [Item.Ticket]; the
+          serialization event injected by the GTM at sites with no natural
+          serialization function. Conflicts like a write on [Item.Ticket]. *)
+  | Prepare
+      (** First phase of two-phase commit (the atomic-commitment extension —
+          the paper defers fault tolerance to future work). Validation-based
+          protocols validate here; a successful prepare guarantees the later
+          [Commit] cannot fail. *)
+  | Commit
+  | Abort
+
+type t = { tid : Types.tid; site : Types.sid; action : action }
+
+val action_item : action -> Item.t option
+(** The data item an action touches, if any. *)
+
+val is_write_like : action -> bool
+(** Does the action modify its item ([Write] and [Ticket_op])? *)
+
+val conflicting_actions : action -> action -> bool
+(** [conflicting_actions a b]: do [a] and [b] conflict when issued by
+    different transactions at the same site — same item, at least one of the
+    two write-like (§2.3's standard read/write conflict relation)? [Begin],
+    [Commit] and [Abort] conflict with nothing. *)
+
+val pp_action : Format.formatter -> action -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val action_to_string : action -> string

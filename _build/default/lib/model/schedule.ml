@@ -1,0 +1,41 @@
+module Iset = Mdbs_util.Iset
+
+type entry = { tid : Types.tid; action : Op.action }
+
+type t = {
+  site : Types.sid;
+  mutable rev_entries : entry list;
+  mutable count : int;
+}
+
+let create site = { site; rev_entries = []; count = 0 }
+
+let site t = t.site
+
+let record t tid action =
+  t.rev_entries <- { tid; action } :: t.rev_entries;
+  t.count <- t.count + 1
+
+let entries t = List.rev t.rev_entries
+
+let length t = t.count
+
+let with_action want t =
+  List.fold_left
+    (fun acc e -> if e.action = want then Iset.add e.tid acc else acc)
+    Iset.empty t.rev_entries
+
+let committed t = with_action Op.Commit t
+
+let aborted t = with_action Op.Abort t
+
+let committed_entries t =
+  let ok = committed t in
+  List.filter (fun e -> Iset.mem e.tid ok) (entries t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>S%d:@ %a@]" t.site
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+       (fun ppf e -> Format.fprintf ppf "T%d:%a" e.tid Op.pp_action e.action))
+    (entries t)

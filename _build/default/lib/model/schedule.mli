@@ -1,0 +1,36 @@
+(** Recorded local schedules (§2.1).
+
+    A local schedule [S_k] is the total order of operations the local DBMS at
+    site [s_k] actually executed. Sites record entries as they execute
+    operations; the union of local schedules (with their per-site total
+    orders) is the global schedule [S] — data items are site-local, so all
+    conflicts are within one site's order. *)
+
+type entry = { tid : Types.tid; action : Op.action }
+
+type t
+(** The mutable schedule of one site. *)
+
+val create : Types.sid -> t
+
+val site : t -> Types.sid
+
+val record : t -> Types.tid -> Op.action -> unit
+(** Append an executed operation. *)
+
+val entries : t -> entry list
+(** Entries in execution order. *)
+
+val length : t -> int
+
+val committed : t -> Mdbs_util.Iset.t
+(** Transaction ids with a recorded [Commit]. *)
+
+val aborted : t -> Mdbs_util.Iset.t
+(** Transaction ids with a recorded [Abort]. *)
+
+val committed_entries : t -> entry list
+(** Entries restricted to committed transactions, in execution order —
+    the committed projection used for serializability analysis. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type point = At_begin | At_commit | At_ticket | At_prepare
+
+let for_protocol = function
+  | Types.Two_phase_locking -> At_commit
+  | Types.Timestamp_ordering -> At_begin
+  | Types.Serialization_graph_testing -> At_ticket
+  | Types.Optimistic -> At_commit
+  | Types.Conservative_2pl -> At_begin
+  | Types.Wait_die_2pl -> At_commit
+
+let for_protocol_atomic = function
+  | Types.Optimistic -> At_prepare
+  | other -> for_protocol other
+
+let action_of_point = function
+  | At_begin -> Op.Begin
+  | At_commit -> Op.Commit
+  | At_ticket -> Op.Ticket_op
+  | At_prepare -> Op.Prepare
+
+let is_serialization_action point action = action = action_of_point point
+
+let to_string = function
+  | At_begin -> "at-begin"
+  | At_commit -> "at-commit"
+  | At_ticket -> "at-ticket"
+  | At_prepare -> "at-prepare"
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

@@ -1,0 +1,40 @@
+(** Serialization functions (§2.2).
+
+    For a site [s_k], a serialization function [ser_k] maps every transaction
+    executing at [s_k] to one of its operations such that local serialization
+    order implies [ser_k]-operation order. The GTM knows, per site, {e which}
+    operation plays that role for the site's (known) protocol; that is all
+    the local autonomy allows. *)
+
+type point =
+  | At_begin
+      (** The begin operation (timestamp ordering with begin-assigned
+          timestamps). *)
+  | At_commit
+      (** The commit operation (strict 2PL: inside the window between last
+          lock acquired and first lock released; OCC: validation order =
+          commit-processing order). *)
+  | At_ticket
+      (** An injected forced-conflict ticket operation, for protocols with no
+          natural serialization function (SGT). *)
+  | At_prepare
+      (** The prepare operation — used for OCC sites under two-phase commit,
+          where validation (the serialization decision) moves to phase 1. *)
+
+val for_protocol : Types.protocol_kind -> point
+(** The serialization point this library uses for each local protocol. *)
+
+val for_protocol_atomic : Types.protocol_kind -> point
+(** Serialization points under two-phase commit: as {!for_protocol}, except
+    OCC serializes at [Prepare] (validation order = prepare order). *)
+
+val action_of_point : point -> Op.action
+(** The operation kind that realizes the serialization point: [Begin],
+    [Commit], or [Ticket_op]. *)
+
+val is_serialization_action : point -> Op.action -> bool
+(** Does this executed action realize the site's serialization point? *)
+
+val pp : Format.formatter -> point -> unit
+
+val to_string : point -> string

@@ -1,0 +1,56 @@
+module Digraph = Mdbs_util.Digraph
+
+type t = { per_site : (Types.sid, Types.gid list ref) Hashtbl.t }
+
+type verdict = Serializable | Cycle of Types.gid list
+
+let create () = { per_site = Hashtbl.create 16 }
+
+let record t sid gid =
+  match Hashtbl.find_opt t.per_site sid with
+  | Some order -> order := gid :: !order
+  | None -> Hashtbl.replace t.per_site sid (ref [ gid ])
+
+let site_order t sid =
+  match Hashtbl.find_opt t.per_site sid with
+  | Some order -> List.rev !order
+  | None -> []
+
+let sites t =
+  Hashtbl.fold (fun sid _ acc -> sid :: acc) t.per_site [] |> List.sort compare
+
+let graph t =
+  let g = Digraph.create () in
+  List.iter
+    (fun sid ->
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+            Digraph.add_edge g a b;
+            chain rest
+        | [ only ] -> Digraph.add_node g only
+        | [] -> ()
+      in
+      chain (site_order t sid))
+    (sites t);
+  g
+
+let check t =
+  match Digraph.find_cycle (graph t) with
+  | None -> Serializable
+  | Some cycle -> Cycle cycle
+
+let is_serializable t = check t = Serializable
+
+let global_order t = Digraph.topo_sort (graph t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun sid ->
+      Format.fprintf ppf "s%d: %a@ " sid
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " < ")
+           (fun ppf gid -> Format.fprintf ppf "G%d" gid))
+        (site_order t sid))
+    (sites t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** The derived schedule [ser(S)] (§2.3).
+
+    [ser(S)] consists of the serialization operations [ser_k(G_i)] of global
+    transactions; two operations conflict iff they executed at the same site.
+    Theorem 2: if each local schedule is serializable and [ser(S)] is
+    (conflict-)serializable, then the global schedule is serializable.
+
+    This module records, per site, the order in which the serialization
+    events of global transactions executed, builds the serialization graph of
+    [ser(S)] (edges between same-site consecutive transactions, oriented by
+    execution order) and checks it for acyclicity. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Types.sid -> Types.gid -> unit
+(** Record that [G_i]'s serialization event at site [sid] has executed, after
+    all previously recorded events at that site. *)
+
+val site_order : t -> Types.sid -> Types.gid list
+(** Serialization-event order at one site. *)
+
+val sites : t -> Types.sid list
+
+val graph : t -> Mdbs_util.Digraph.t
+(** The serialization graph of [ser(S)]: edge [G_i -> G_j] when [G_i]'s
+    event precedes [G_j]'s at some common site. *)
+
+type verdict = Serializable | Cycle of Types.gid list
+
+val check : t -> verdict
+
+val is_serializable : t -> bool
+
+val global_order : t -> Types.gid list option
+(** A total order on global transactions compatible with every site's
+    serialization-event order — the witness demanded by Theorem 1. *)
+
+val pp : Format.formatter -> t -> unit

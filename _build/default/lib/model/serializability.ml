@@ -1,0 +1,76 @@
+module Digraph = Mdbs_util.Digraph
+module Iset = Mdbs_util.Iset
+
+type verdict = Serializable | Cycle of Types.tid list
+
+(* All ordered conflicting pairs (a, b): a's op precedes and conflicts with
+   b's op in the committed projection of [schedule]. *)
+let conflict_pairs schedule =
+  let entries = Array.of_list (Schedule.committed_entries schedule) in
+  let pairs = ref [] in
+  let n = Array.length entries in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = entries.(i) and b = entries.(j) in
+      if a.Schedule.tid <> b.Schedule.tid
+         && Op.conflicting_actions a.Schedule.action b.Schedule.action
+      then pairs := (a.Schedule.tid, b.Schedule.tid) :: !pairs
+    done
+  done;
+  !pairs
+
+let conflict_graph schedules =
+  let g = Digraph.create () in
+  List.iter
+    (fun schedule ->
+      Iset.iter (fun tid -> Digraph.add_node g tid) (Schedule.committed schedule);
+      List.iter (fun (a, b) -> Digraph.add_edge g a b) (conflict_pairs schedule))
+    schedules;
+  g
+
+let check schedules =
+  let g = conflict_graph schedules in
+  match Digraph.find_cycle g with
+  | None -> Serializable
+  | Some cycle -> Cycle cycle
+
+let is_serializable schedules = check schedules = Serializable
+
+let serialization_order schedules = Digraph.topo_sort (conflict_graph schedules)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let is_serializable_bruteforce schedules =
+  let committed =
+    List.fold_left
+      (fun acc s -> Iset.union acc (Schedule.committed s))
+      Iset.empty schedules
+  in
+  let txns = Iset.to_list committed in
+  if List.length txns > 8 then
+    invalid_arg "is_serializable_bruteforce: too many transactions";
+  let pairs = List.concat_map conflict_pairs schedules in
+  let consistent order =
+    let position = Hashtbl.create 16 in
+    List.iteri (fun i tid -> Hashtbl.replace position tid i) order;
+    List.for_all
+      (fun (a, b) -> Hashtbl.find position a < Hashtbl.find position b)
+      pairs
+  in
+  List.exists consistent (permutations txns)
+
+let pp_verdict ppf = function
+  | Serializable -> Format.pp_print_string ppf "serializable"
+  | Cycle cycle ->
+      Format.fprintf ppf "NOT serializable; cycle: %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+           (fun ppf tid -> Format.fprintf ppf "T%d" tid))
+        cycle

@@ -1,0 +1,32 @@
+(** Conflict serializability (CSR) of the global schedule.
+
+    The paper restricts attention to conflict serializability (§2.1,
+    footnote 2). Because items are site-local, the global conflict graph is
+    the union over sites of each local schedule's conflict graph; the global
+    schedule is serializable iff that union is acyclic. This module is the
+    {e auditor} used by tests and the simulator — the GTM itself never sees
+    local schedules (local autonomy), so this information is used only to
+    verify, never to schedule. *)
+
+type verdict = Serializable | Cycle of Types.tid list
+
+val conflict_graph : Schedule.t list -> Mdbs_util.Digraph.t
+(** Conflict graph over {e committed} transactions: an edge [a -> b] when
+    some committed operation of [a] precedes and conflicts with a committed
+    operation of [b] in some local schedule. *)
+
+val check : Schedule.t list -> verdict
+(** Global conflict-serializability of the committed projection. *)
+
+val is_serializable : Schedule.t list -> bool
+
+val serialization_order : Schedule.t list -> Types.tid list option
+(** A witness equivalent serial order (topological order of the conflict
+    graph), if one exists. *)
+
+val is_serializable_bruteforce : Schedule.t list -> bool
+(** Independent oracle for tests: enumerates permutations of the committed
+    transactions and checks conflict-order consistency directly. Exponential;
+    use only with few transactions. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

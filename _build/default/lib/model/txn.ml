@@ -1,0 +1,106 @@
+type step = { site : Types.sid; action : Op.action }
+
+type kind = Local of Types.sid | Global of Types.sid list
+
+type t = { id : Types.tid; kind : kind; script : step list }
+
+let local ~id ~site actions =
+  let actions =
+    match actions with
+    | Op.Begin :: _ -> actions
+    | _ -> Op.Begin :: actions
+  in
+  let actions =
+    match List.rev actions with
+    | Op.Commit :: _ -> actions
+    | _ -> actions @ [ Op.Commit ]
+  in
+  { id; kind = Local site; script = List.map (fun action -> { site; action }) actions }
+
+let global ~id per_site =
+  let sites = List.map fst per_site in
+  let body =
+    List.concat_map
+      (fun (site, actions) ->
+        { site; action = Op.Begin }
+        :: List.map (fun action -> { site; action }) actions)
+      per_site
+  in
+  let commits = List.map (fun site -> { site; action = Op.Commit }) sites in
+  { id; kind = Global sites; script = body @ commits }
+
+let sites t =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun { site; _ } ->
+      if Hashtbl.mem seen site then None
+      else begin
+        Hashtbl.replace seen site ();
+        Some site
+      end)
+    t.script
+
+let accesses_at t site =
+  let strongest = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun step ->
+      if step.site = site then
+        match Op.action_item step.action with
+        | None -> ()
+        | Some item ->
+            let write = Op.is_write_like step.action in
+            (match Hashtbl.find_opt strongest item with
+            | None ->
+                order := item :: !order;
+                Hashtbl.replace strongest item write
+            | Some existing -> Hashtbl.replace strongest item (existing || write)))
+    t.script;
+  List.rev_map (fun item -> (item, Hashtbl.find strongest item)) !order
+
+let is_global t = match t.kind with Global _ -> true | Local _ -> false
+
+let well_formed t =
+  let ( let* ) = Result.bind in
+  let per_site = Hashtbl.create 8 in
+  List.iter
+    (fun { site; action } ->
+      let existing = try Hashtbl.find per_site site with Not_found -> [] in
+      Hashtbl.replace per_site site (action :: existing))
+    t.script;
+  let check_site site =
+    match List.rev (try Hashtbl.find per_site site with Not_found -> []) with
+    | [] -> Error (Printf.sprintf "T%d: no actions at site %d" t.id site)
+    | Op.Begin :: rest -> (
+        match List.rev rest with
+        | Op.Commit :: middle ->
+            if
+              List.exists
+                (function Op.Begin | Op.Commit | Op.Abort -> true | _ -> false)
+                middle
+            then Error (Printf.sprintf "T%d: stray control action at site %d" t.id site)
+            else Ok ()
+        | _ -> Error (Printf.sprintf "T%d: site %d does not end with commit" t.id site))
+    | _ -> Error (Printf.sprintf "T%d: site %d does not start with begin" t.id site)
+  in
+  let* () =
+    match t.kind with
+    | Local site ->
+        if List.for_all (fun s -> s.site = site) t.script then Ok ()
+        else Error (Printf.sprintf "T%d: local transaction touches other sites" t.id)
+    | Global declared ->
+        let actual = sites t in
+        if List.sort compare declared = List.sort compare actual then Ok ()
+        else Error (Printf.sprintf "T%d: declared sites differ from script sites" t.id)
+  in
+  List.fold_left
+    (fun acc site -> Result.bind acc (fun () -> check_site site))
+    (Ok ()) (sites t)
+
+let pp ppf t =
+  let kind = match t.kind with Local s -> Printf.sprintf "local@s%d" s | Global _ -> "global" in
+  Format.fprintf ppf "@[<h>T%d(%s):@ %a@]" t.id kind
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+       (fun ppf { site; action } -> Format.fprintf ppf "s%d:%a" site Op.pp_action action))
+    t.script

@@ -1,0 +1,45 @@
+(** Transaction descriptors and scripts.
+
+    A {e script} is the program of a transaction: its actions in program
+    order, each tagged with the site it executes at. Local transactions have
+    single-site scripts and are submitted directly to their site (bypassing
+    the GTM, as the paper's pre-existing local applications do). Global
+    transactions are executed by the GTM, strictly sequentially: the next
+    step is submitted only after the previous step's acknowledgement
+    (§2.3). *)
+
+type step = { site : Types.sid; action : Op.action }
+
+type kind =
+  | Local of Types.sid
+  | Global of Types.sid list  (** Sites, in first-access order. *)
+
+type t = { id : Types.tid; kind : kind; script : step list }
+
+val local : id:Types.tid -> site:Types.sid -> Op.action list -> t
+(** [local ~id ~site actions] wraps [actions] with [Begin]/[Commit] if the
+    list does not already begin/end with them. *)
+
+val global : id:Types.gid -> (Types.sid * Op.action list) list -> t
+(** [global ~id per_site] builds a global transaction whose subtransaction at
+    each listed site performs the given data actions. The script brackets
+    each site's actions with [Begin] and [Commit]; data actions of different
+    sites are kept contiguous per site, sites in list order, with all commits
+    at the end (commit only after every site's work succeeded). *)
+
+val sites : t -> Types.sid list
+(** Sites the transaction touches, in first-access order. *)
+
+val accesses_at : t -> Types.sid -> (Item.t * bool) list
+(** The data items the transaction touches at the given site, each with a
+    write-like flag (strongest access wins; at most one entry per item).
+    Used to predeclare lock sets for conservative-2PL sites. *)
+
+val is_global : t -> bool
+
+val well_formed : t -> (unit, string) result
+(** Checks: at each site, exactly one [Begin] preceding all that site's
+    actions and exactly one [Commit] following them; no [Abort] in scripts;
+    [Local] kind touches exactly its one site. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type tid = int
+type gid = int
+type sid = int
+
+type protocol_kind =
+  | Two_phase_locking
+  | Timestamp_ordering
+  | Serialization_graph_testing
+  | Optimistic
+  | Conservative_2pl
+  | Wait_die_2pl
+
+let all_protocols =
+  [
+    Two_phase_locking;
+    Timestamp_ordering;
+    Serialization_graph_testing;
+    Optimistic;
+    Conservative_2pl;
+    Wait_die_2pl;
+  ]
+
+let protocol_name = function
+  | Two_phase_locking -> "2PL"
+  | Timestamp_ordering -> "TO"
+  | Serialization_graph_testing -> "SGT"
+  | Optimistic -> "OCC"
+  | Conservative_2pl -> "C2PL"
+  | Wait_die_2pl -> "WD2PL"
+
+let pp_protocol ppf p = Format.pp_print_string ppf (protocol_name p)
+
+let counter = ref 0
+
+let fresh_tid () =
+  incr counter;
+  !counter
+
+let reset_tids () = counter := 0

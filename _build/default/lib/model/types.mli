@@ -1,0 +1,53 @@
+(** Shared vocabulary of the MDBS model (§2.1 of the paper).
+
+    Transaction identifiers are drawn from one global namespace: a global
+    transaction [G_i] and its subtransactions at each site share the same id,
+    which is how the local DBMSs (which do not distinguish local transactions
+    from global subtransactions) name them too. *)
+
+type tid = int
+(** Transaction identifier (local transactions and global transactions). *)
+
+type gid = int
+(** Identifier of a {e global} transaction. A [gid] is also a valid [tid]. *)
+
+type sid = int
+(** Site identifier: one per local DBMS, [0 .. m-1]. *)
+
+type protocol_kind =
+  | Two_phase_locking
+      (** Strict two-phase locking: serialization point is any operation in
+          the window [last lock acquired, first lock released]; with
+          strictness the commit operation qualifies (§2.2). *)
+  | Timestamp_ordering
+      (** Basic timestamp ordering with timestamps assigned at begin: the
+          begin operation is a serialization function (§2.2). *)
+  | Serialization_graph_testing
+      (** SGT certification: no natural serialization function exists; a
+          forced-conflict ticket is used instead (§2.2, [GRS91]). *)
+  | Optimistic
+      (** Backward-validation optimistic concurrency control: transactions
+          serialize in validation (commit-processing) order, so the commit
+          operation is a serialization function. *)
+  | Conservative_2pl
+      (** Conservative (static) 2PL: all locks are predeclared and acquired
+          at begin, in canonical item order — deadlock-free. The begin
+          operation obtains the transaction's {e last} lock, so begin is a
+          serialization function (§2.2's 2PL window starts there). *)
+  | Wait_die_2pl
+      (** Strict 2PL with the wait-die priority policy: a requester younger
+          than a conflicting holder aborts instead of waiting, preventing
+          deadlocks; serialization point is the commit, as for strict
+          2PL. *)
+
+val all_protocols : protocol_kind list
+
+val protocol_name : protocol_kind -> string
+
+val pp_protocol : Format.formatter -> protocol_kind -> unit
+
+val fresh_tid : unit -> tid
+(** Global monotonic id supply. *)
+
+val reset_tids : unit -> unit
+(** Reset the id supply (tests and independent simulation runs). *)

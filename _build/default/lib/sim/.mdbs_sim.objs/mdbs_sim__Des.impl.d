@@ -1,0 +1,1 @@
+lib/sim/des.ml: Format Hashtbl List Mdbs_core Mdbs_lcc Mdbs_model Mdbs_site Mdbs_util Op Ser_fun Ser_schedule Serializability Txn Types Workload

@@ -1,0 +1,1 @@
+lib/sim/des.mli: Format Mdbs_core Workload

@@ -1,0 +1,1 @@
+lib/sim/driver.ml: Format List Mdbs_core Mdbs_model Mdbs_site Mdbs_util Schedule Ser_schedule Serializability Txn Types Workload

@@ -1,0 +1,1 @@
+lib/sim/replay.ml: Hashtbl List Mdbs_core Mdbs_util Printf Queue

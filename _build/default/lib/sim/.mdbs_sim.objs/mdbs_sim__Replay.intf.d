@@ -1,0 +1,1 @@
+lib/sim/replay.mli: Mdbs_core Mdbs_util

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Item List Mdbs_model Mdbs_site Mdbs_util Op Txn Types

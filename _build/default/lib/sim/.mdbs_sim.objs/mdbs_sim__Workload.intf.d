@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Mdbs_model Mdbs_site Mdbs_util Txn Types

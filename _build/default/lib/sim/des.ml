@@ -1,0 +1,457 @@
+open Mdbs_model
+module Rng = Mdbs_util.Rng
+module Binary_heap = Mdbs_util.Binary_heap
+module Stats = Mdbs_util.Stats
+module Engine = Mdbs_core.Engine
+module Scheme = Mdbs_core.Scheme
+module Queue_op = Mdbs_core.Queue_op
+module Gtm1 = Mdbs_core.Gtm1
+module Registry = Mdbs_core.Registry
+module Local_dbms = Mdbs_site.Local_dbms
+module Cc_types = Mdbs_lcc.Cc_types
+
+type config = {
+  workload : Workload.config;
+  n_global : int;
+  global_rate : float;
+  locals_per_site : int;
+  local_rate : float;
+  service_ms : float;
+  latency_ms : float;
+  deadlock_timeout_ms : float;
+  max_restarts : int;
+  seed : int;
+  atomic_commit : bool;
+}
+
+let default =
+  {
+    workload = Workload.default;
+    n_global = 60;
+    global_rate = 0.05;
+    locals_per_site = 20;
+    local_rate = 0.05;
+    service_ms = 1.0;
+    latency_ms = 2.0;
+    deadlock_timeout_ms = 200.0;
+    max_restarts = 10;
+    seed = 23;
+    atomic_commit = false;
+  }
+
+type result = {
+  scheme_name : string;
+  committed_global : int;
+  failed_global : int;
+  restarts : int;
+  committed_local : int;
+  aborted_local : int;
+  forced_aborts : int;
+  ser_waits : int;
+  makespan_ms : float;
+  throughput_per_s : float;
+  mean_response_ms : float;
+  p95_response_ms : float;
+  serializable : bool;
+  ser_s_serializable : bool;
+}
+
+type op_kind = Ser_op | Direct_op
+
+type event =
+  | Global_arrival of Txn.t * int * float
+      (* transaction, restart budget, logical start time *)
+  | Local_arrival of Types.sid * Txn.t * int
+  | Site_deliver of Types.sid * Types.tid * Op.action * op_kind
+      (* an operation of a global transaction reaches its site *)
+  | Site_abort of Types.sid * Types.gid (* rollback order reaches the site *)
+  | Local_step of Types.sid * Types.tid * Op.action list
+  | Gtm_ser_ack of Types.gid * Types.sid * string option
+  | Gtm_direct_ack of Types.gid * string option
+  | Deadlock_scan
+
+type sim = {
+  config : config;
+  engine : Engine.t;
+  gtm1 : Gtm1.t;
+  site_tbl : (Types.sid, Local_dbms.t) Hashtbl.t;
+  heap : (float * int * event) Binary_heap.t;
+  mutable seq : int;
+  mutable clock : float;
+  mutable last_commit : float;
+  rng : Rng.t;
+  ser_log : Ser_schedule.t;
+  (* blocked operations at sites: value = (kind, block start time) *)
+  pending_global : (Types.sid * Types.gid, op_kind * float) Hashtbl.t;
+  local_cont : (Types.tid, Types.sid * Op.action list * float) Hashtbl.t;
+  started : (Types.gid, float) Hashtbl.t; (* logical start per attempt *)
+  fin_enqueued : (Types.gid, unit) Hashtbl.t;
+  death_reason : (Types.gid, string) Hashtbl.t;
+  budgets : (Types.gid, Txn.t * int) Hashtbl.t;
+  mutable committed_global : int;
+  mutable failed_global : int;
+  mutable restarts : int;
+  mutable committed_local : int;
+  mutable aborted_local : int;
+  mutable forced_aborts : int;
+  mutable responses : float list;
+  mutable live_globals : int; (* logical transactions not yet resolved *)
+  mutable live_locals : int;
+}
+
+let schedule sim delay event =
+  sim.seq <- sim.seq + 1;
+  Binary_heap.push sim.heap (sim.clock +. delay, sim.seq, event)
+
+let site sim sid = Hashtbl.find sim.site_tbl sid
+
+let service sim = Rng.exponential sim.rng (1.0 /. sim.config.service_ms)
+
+let declare_if_needed sim gid sid action =
+  if action = Op.Begin then begin
+    let dbms = site sim sid in
+    if Local_dbms.needs_declarations dbms then
+      Local_dbms.declare dbms gid
+        (List.map
+           (fun (item, write) ->
+             (item, if write then Cc_types.Write_mode else Cc_types.Read_mode))
+           (Gtm1.declaration_for sim.gtm1 gid sid))
+  end
+
+(* The GTM learns of a subtransaction failure: kill the transaction and
+   order rollbacks at every site where it is still active. *)
+let mark_dead sim gid reason ~aborting_site =
+  if Gtm1.is_known sim.gtm1 gid && not (Gtm1.is_dead sim.gtm1 gid) then begin
+    Gtm1.mark_dead sim.gtm1 gid;
+    Hashtbl.replace sim.death_reason gid reason;
+    (match aborting_site with
+    | Some s -> Gtm1.note_site_terminated sim.gtm1 gid s
+    | None -> ());
+    List.iter
+      (fun s ->
+        schedule sim sim.config.latency_ms (Site_abort (s, gid));
+        Gtm1.note_site_terminated sim.gtm1 gid s)
+      (Gtm1.begun_sites sim.gtm1 gid)
+  end
+
+(* Process completions that a site event may have unblocked. *)
+let drain_site sim sid =
+  List.iter
+    (fun completion ->
+      let tid = completion.Local_dbms.tid in
+      match Hashtbl.find_opt sim.pending_global (sid, tid) with
+      | Some (kind, _) ->
+          Hashtbl.remove sim.pending_global (sid, tid);
+          let delay = service sim +. sim.config.latency_ms in
+          (match kind with
+          | Ser_op ->
+              Ser_schedule.record sim.ser_log sid tid;
+              schedule sim delay (Gtm_ser_ack (tid, sid, None))
+          | Direct_op -> schedule sim delay (Gtm_direct_ack (tid, None)))
+      | None -> (
+          match Hashtbl.find_opt sim.local_cont tid with
+          | Some (cont_sid, rest, _) ->
+              Hashtbl.remove sim.local_cont tid;
+              schedule sim (service sim) (Local_step (cont_sid, tid, rest))
+          | None -> ()))
+    (Local_dbms.drain_completions (site sim sid))
+
+(* Drive every admitted global transaction that is not in flight: dispatch
+   its next operation into the (simulated) network, or finish it. *)
+let rec drive sim =
+  let effects = Engine.run sim.engine in
+  List.iter
+    (fun effect ->
+      match effect with
+      | Scheme.Submit_ser (gid, sid) ->
+          if Gtm1.is_dead sim.gtm1 gid then
+            (* Nothing to run at the site: acknowledge internally. *)
+            Engine.enqueue sim.engine (Queue_op.Ack (gid, sid))
+          else begin
+            let action =
+              match Gtm1.current_step sim.gtm1 gid with
+              | Some step when step.Gtm1.site = sid && step.Gtm1.via_gtm2 ->
+                  step.Gtm1.action
+              | Some _ | None -> invalid_arg "Des: Submit_ser mismatch"
+            in
+            schedule sim sim.config.latency_ms (Site_deliver (sid, gid, action, Ser_op))
+          end
+      | Scheme.Forward_ack (gid, _) ->
+          if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid
+      | Scheme.Abort_global gid ->
+          mark_dead sim gid "gtm2-abort" ~aborting_site:None;
+          if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid)
+    effects;
+  let dispatched = ref false in
+  List.iter
+    (fun gid ->
+      match Gtm1.next sim.gtm1 gid with
+      | Gtm1.In_flight -> ()
+      | Gtm1.Finished -> if finish_global sim gid then dispatched := true
+      | Gtm1.Dispatch_ser sid ->
+          Gtm1.note_dispatched sim.gtm1 gid;
+          Engine.enqueue sim.engine (Queue_op.Ser (gid, sid));
+          dispatched := true
+      | Gtm1.Dispatch_direct step ->
+          Gtm1.note_dispatched sim.gtm1 gid;
+          schedule sim sim.config.latency_ms
+            (Site_deliver (step.Gtm1.site, gid, step.Gtm1.action, Direct_op));
+          dispatched := true)
+    (Gtm1.active sim.gtm1);
+  if !dispatched || not (Engine.idle sim.engine) then drive sim
+
+and finish_global sim gid =
+  if Hashtbl.mem sim.fin_enqueued gid then false
+  else begin
+    Hashtbl.replace sim.fin_enqueued gid ();
+    Engine.enqueue sim.engine (Queue_op.Fin gid);
+    let started = Hashtbl.find sim.started gid in
+    (if Gtm1.is_dead sim.gtm1 gid then begin
+       let txn, budget = Hashtbl.find sim.budgets gid in
+       if budget > 0 then begin
+         sim.restarts <- sim.restarts + 1;
+         let clone = { txn with Txn.id = Types.fresh_tid () } in
+         (* Back off a little before retrying. *)
+         schedule sim (2.0 *. sim.config.latency_ms)
+           (Global_arrival (clone, budget - 1, started))
+       end
+       else begin
+         sim.failed_global <- sim.failed_global + 1;
+         sim.live_globals <- sim.live_globals - 1
+       end
+     end
+     else begin
+       sim.committed_global <- sim.committed_global + 1;
+       sim.live_globals <- sim.live_globals - 1;
+       sim.last_commit <- sim.clock;
+       sim.responses <- (sim.clock -. started) :: sim.responses
+     end);
+    Hashtbl.remove sim.budgets gid;
+    Gtm1.finish sim.gtm1 gid;
+    true
+  end
+
+let admit_global sim txn budget started =
+  let ser_point_of sid =
+    let dbms = site sim sid in
+    if sim.config.atomic_commit then
+      Ser_fun.for_protocol_atomic (Local_dbms.protocol_kind dbms)
+    else Local_dbms.serialization_point dbms
+  in
+  let info =
+    Gtm1.admit sim.gtm1 txn ~atomic:sim.config.atomic_commit ~ser_point_of ()
+  in
+  Hashtbl.replace sim.started txn.Txn.id started;
+  Hashtbl.replace sim.budgets txn.Txn.id (txn, budget);
+  Engine.enqueue sim.engine (Queue_op.Init info)
+
+let handle_site_deliver sim sid tid action kind =
+  if not (Gtm1.is_known sim.gtm1 tid) then ()
+  else if Gtm1.is_dead sim.gtm1 tid then begin
+    (* The rollback raced this operation; acknowledge without executing. *)
+    match kind with
+    | Ser_op -> Engine.enqueue sim.engine (Queue_op.Ack (tid, sid))
+    | Direct_op -> schedule sim sim.config.latency_ms (Gtm_direct_ack (tid, None))
+  end
+  else begin
+    declare_if_needed sim tid sid action;
+    match Local_dbms.submit (site sim sid) tid action with
+    | Local_dbms.Executed _ ->
+        let delay = service sim +. sim.config.latency_ms in
+        (match kind with
+        | Ser_op ->
+            Ser_schedule.record sim.ser_log sid tid;
+            schedule sim delay (Gtm_ser_ack (tid, sid, None))
+        | Direct_op -> schedule sim delay (Gtm_direct_ack (tid, None)));
+        drain_site sim sid
+    | Local_dbms.Waiting ->
+        Hashtbl.replace sim.pending_global (sid, tid) (kind, sim.clock)
+    | Local_dbms.Aborted reason ->
+        let delay = sim.config.latency_ms in
+        (match kind with
+        | Ser_op -> schedule sim delay (Gtm_ser_ack (tid, sid, Some reason))
+        | Direct_op -> schedule sim delay (Gtm_direct_ack (tid, Some reason)));
+        drain_site sim sid
+  end
+
+let handle_local_step sim sid tid actions =
+  match actions with
+  | [] ->
+      sim.committed_local <- sim.committed_local + 1;
+      sim.live_locals <- sim.live_locals - 1
+  | action :: rest -> (
+      match Local_dbms.submit (site sim sid) tid action with
+      | Local_dbms.Executed _ ->
+          if rest = [] then begin
+            sim.committed_local <- sim.committed_local + 1;
+            sim.live_locals <- sim.live_locals - 1
+          end
+          else schedule sim (service sim) (Local_step (sid, tid, rest));
+          drain_site sim sid
+      | Local_dbms.Waiting -> Hashtbl.replace sim.local_cont tid (sid, rest, sim.clock)
+      | Local_dbms.Aborted _ ->
+          sim.aborted_local <- sim.aborted_local + 1;
+          sim.live_locals <- sim.live_locals - 1;
+          drain_site sim sid)
+
+(* Kill the youngest global transaction blocked longer than the timeout. *)
+let deadlock_scan sim =
+  let victims =
+    Hashtbl.fold
+      (fun (sid, gid) (kind, since) acc ->
+        if sim.clock -. since >= sim.config.deadlock_timeout_ms then
+          (gid, sid, kind) :: acc
+        else acc)
+      sim.pending_global []
+  in
+  match List.sort (fun (a, _, _) (b, _, _) -> compare b a) victims with
+  | [] -> ()
+  | (gid, sid, kind) :: _ ->
+      sim.forced_aborts <- sim.forced_aborts + 1;
+      Hashtbl.remove sim.pending_global (sid, gid);
+      ignore (Local_dbms.submit (site sim sid) gid Op.Abort);
+      mark_dead sim gid "global-deadlock" ~aborting_site:(Some sid);
+      (match kind with
+      | Ser_op -> Engine.enqueue sim.engine (Queue_op.Ack (gid, sid))
+      | Direct_op ->
+          if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid);
+      drain_site sim sid
+
+let handle_event sim event =
+  match event with
+  | Global_arrival (txn, budget, started) -> admit_global sim txn budget started
+  | Local_arrival (sid, txn, _budget) ->
+      let dbms = site sim sid in
+      if Local_dbms.needs_declarations dbms then
+        Local_dbms.declare dbms txn.Txn.id
+          (List.map
+             (fun (item, write) ->
+               (item, if write then Cc_types.Write_mode else Cc_types.Read_mode))
+             (Txn.accesses_at txn sid));
+      handle_local_step sim sid txn.Txn.id (List.map (fun s -> s.Txn.action) txn.Txn.script)
+  | Site_deliver (sid, tid, action, kind) -> handle_site_deliver sim sid tid action kind
+  | Site_abort (sid, gid) ->
+      Hashtbl.remove sim.pending_global (sid, gid);
+      ignore (Local_dbms.submit (site sim sid) gid Op.Abort);
+      drain_site sim sid
+  | Local_step (sid, tid, actions) -> handle_local_step sim sid tid actions
+  | Gtm_ser_ack (gid, sid, failure) ->
+      (match failure with
+      | Some reason -> mark_dead sim gid reason ~aborting_site:(Some sid)
+      | None -> ());
+      Engine.enqueue sim.engine (Queue_op.Ack (gid, sid))
+  | Gtm_direct_ack (gid, failure) ->
+      (match failure with
+      | Some reason -> mark_dead sim gid reason ~aborting_site:None
+      | None -> ());
+      if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid
+  | Deadlock_scan ->
+      deadlock_scan sim;
+      if sim.live_globals > 0 then
+        schedule sim sim.config.deadlock_timeout_ms Deadlock_scan
+
+let run config scheme =
+  let rng = Rng.create config.seed in
+  let sites = Workload.make_sites config.workload in
+  let site_tbl = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace site_tbl (Local_dbms.site_id s) s) sites;
+  let sim =
+    {
+      config;
+      engine = Engine.create scheme;
+      gtm1 = Gtm1.create ();
+      site_tbl;
+      heap =
+        Binary_heap.create
+          ~cmp:(fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+          ();
+      seq = 0;
+      clock = 0.0;
+      last_commit = 0.0;
+      rng;
+      ser_log = Ser_schedule.create ();
+      pending_global = Hashtbl.create 32;
+      local_cont = Hashtbl.create 32;
+      started = Hashtbl.create 64;
+      fin_enqueued = Hashtbl.create 64;
+      death_reason = Hashtbl.create 16;
+      budgets = Hashtbl.create 64;
+      committed_global = 0;
+      failed_global = 0;
+      restarts = 0;
+      committed_local = 0;
+      aborted_local = 0;
+      forced_aborts = 0;
+      responses = [];
+      live_globals = config.n_global;
+      live_locals = config.locals_per_site * config.workload.Workload.m;
+    }
+  in
+  (* Arrival processes. *)
+  let t = ref 0.0 in
+  for _ = 1 to config.n_global do
+    t := !t +. Rng.exponential rng config.global_rate;
+    let txn = Workload.global_txn rng config.workload in
+    sim.seq <- sim.seq + 1;
+    Binary_heap.push sim.heap (!t, sim.seq, Global_arrival (txn, config.max_restarts, !t))
+  done;
+  List.iter
+    (fun dbms ->
+      let sid = Local_dbms.site_id dbms in
+      let t = ref 0.0 in
+      for _ = 1 to config.locals_per_site do
+        t := !t +. Rng.exponential rng config.local_rate;
+        let txn = Workload.local_txn rng config.workload sid in
+        sim.seq <- sim.seq + 1;
+        Binary_heap.push sim.heap (!t, sim.seq, Local_arrival (sid, txn, 0))
+      done)
+    sites;
+  schedule sim config.deadlock_timeout_ms Deadlock_scan;
+  (* Main loop. *)
+  let steps = ref 0 in
+  let continue_running = ref true in
+  while !continue_running do
+    match Binary_heap.pop sim.heap with
+    | None -> continue_running := false
+    | Some (time, _, event) ->
+        incr steps;
+        if !steps > 2_000_000 then failwith "Des: event budget exceeded";
+        sim.clock <- time;
+        handle_event sim event;
+        drive sim
+  done;
+  let schedules = List.map Local_dbms.schedule sites in
+  let responses = sim.responses in
+  {
+    scheme_name = scheme.Scheme.name;
+    committed_global = sim.committed_global;
+    failed_global = sim.failed_global;
+    restarts = sim.restarts;
+    committed_local = sim.committed_local;
+    aborted_local = sim.aborted_local;
+    forced_aborts = sim.forced_aborts;
+    ser_waits = Engine.ser_wait_insertions sim.engine;
+    makespan_ms = sim.clock;
+    throughput_per_s =
+      (if sim.last_commit > 0.0 then
+         float_of_int sim.committed_global /. sim.last_commit *. 1000.0
+       else 0.0);
+    mean_response_ms = (match responses with [] -> 0.0 | _ -> Stats.mean responses);
+    p95_response_ms =
+      (match responses with [] -> 0.0 | _ -> Stats.percentile responses 95.0);
+    serializable = Serializability.is_serializable schedules;
+    ser_s_serializable = Ser_schedule.is_serializable sim.ser_log;
+  }
+
+let run_kind config kind =
+  Types.reset_tids ();
+  run config (Registry.make kind)
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %d committed (%d failed, %d restarts), throughput %.1f/s, \
+     response mean %.1f ms / p95 %.1f ms; locals %d/%d; forced %d; waits %d; \
+     CSR %b; ser(S) %b@]"
+    r.scheme_name r.committed_global r.failed_global r.restarts r.throughput_per_s
+    r.mean_response_ms r.p95_response_ms r.committed_local r.aborted_local
+    r.forced_aborts r.ser_waits r.serializable r.ser_s_serializable

@@ -1,0 +1,60 @@
+(** Timed discrete-event simulation of the full MDBS (experiment E13).
+
+    Where {!Driver} measures logical quantities (waits, restarts, audits)
+    with instantaneous execution, this simulator adds {e time}: exponential
+    operation service times at the sites, a symmetric GTM-site network
+    latency, Poisson arrivals of global and local transactions, and a
+    deadlock-timeout scan. It reports throughput and response times — the
+    performance dimension the paper discusses qualitatively in §3
+    ("delaying an operation of ser(S) may correspond to delaying the
+    execution of an entire global subtransaction").
+
+    The machinery reuses the real components: GTM1, the GTM2 engine with
+    any scheme, and the per-site local DBMSs. Only the transport is
+    simulated. All randomness is seeded; runs are deterministic. *)
+
+
+type config = {
+  workload : Workload.config;
+  n_global : int;  (** Global transactions to generate. *)
+  global_rate : float;  (** Global arrivals per millisecond. *)
+  locals_per_site : int;  (** Local transactions per site. *)
+  local_rate : float;  (** Local arrivals per millisecond, per site. *)
+  service_ms : float;  (** Mean per-operation service time at a site. *)
+  latency_ms : float;  (** One-way GTM-to-site message latency. *)
+  deadlock_timeout_ms : float;
+      (** A global transaction blocked at a site longer than this is
+          presumed in a cross-site deadlock and aborted. *)
+  max_restarts : int;
+  seed : int;
+  atomic_commit : bool;
+}
+
+val default : config
+
+type result = {
+  scheme_name : string;
+  committed_global : int;
+  failed_global : int;
+  restarts : int;
+  committed_local : int;
+  aborted_local : int;
+  forced_aborts : int;
+  ser_waits : int;
+  makespan_ms : float;  (** Time of the last event. *)
+  throughput_per_s : float;  (** Committed global transactions per second. *)
+  mean_response_ms : float;
+      (** Mean admission-to-commit latency of committed global transactions
+          (from first arrival of the logical transaction, across
+          restarts). *)
+  p95_response_ms : float;
+  serializable : bool;
+  ser_s_serializable : bool;
+}
+
+val run : config -> Mdbs_core.Scheme.t -> result
+
+val run_kind : config -> Mdbs_core.Registry.kind -> result
+(** Fresh scheme and transaction-id supply. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,153 @@
+open Mdbs_model
+module Rng = Mdbs_util.Rng
+module Gtm = Mdbs_core.Gtm
+module Engine = Mdbs_core.Engine
+module Registry = Mdbs_core.Registry
+
+type config = {
+  workload : Workload.config;
+  n_global : int;
+  locals_per_wave : int;
+  wave : int;
+  max_restarts : int;
+  seed : int;
+  atomic_commit : bool;
+}
+
+let default =
+  {
+    workload = Workload.default;
+    n_global = 48;
+    locals_per_wave = 2;
+    wave = 8;
+    max_restarts = 10;
+    seed = 7;
+    atomic_commit = false;
+  }
+
+type result = {
+  scheme_name : string;
+  committed_global : int;
+  failed_global : int;
+  restarts : int;
+  committed_local : int;
+  aborted_local : int;
+  forced_aborts : int;
+  total_waits : int;
+  ser_waits : int;
+  scheme_steps : int;
+  serializable : bool;
+  ser_s_serializable : bool;
+  half_commits : int;
+}
+
+let retry_clone txn = { txn with Txn.id = Types.fresh_tid () }
+
+let run config scheme =
+  let rng = Rng.create config.seed in
+  let sites = Workload.make_sites config.workload in
+  let gtm = Gtm.create ~atomic_commit:config.atomic_commit ~scheme ~sites () in
+  let globals = Workload.global_txns rng config.workload config.n_global in
+  let committed_global = ref 0 in
+  let failed_global = ref 0 in
+  let restarts = ref 0 in
+  let committed_local = ref 0 in
+  let aborted_local = ref 0 in
+  (* Each pending entry is (transaction, restart budget left). *)
+  let pending = ref (List.map (fun txn -> (txn, config.max_restarts)) globals) in
+  let attempts = ref [] in
+  let local_tids = ref [] in
+  let submit_locals () =
+    List.iter
+      (fun site ->
+        let sid = Mdbs_site.Local_dbms.site_id site in
+        for _ = 1 to config.locals_per_wave do
+          let txn = Workload.local_txn rng config.workload sid in
+          local_tids := txn.Txn.id :: !local_tids;
+          Gtm.submit_local gtm txn
+        done)
+      sites
+  in
+  while !pending <> [] do
+    let wave_txns, rest =
+      let rec split i acc = function
+        | [] -> (List.rev acc, [])
+        | entries when i = 0 -> (List.rev acc, entries)
+        | entry :: entries -> split (i - 1) (entry :: acc) entries
+      in
+      split config.wave [] !pending
+    in
+    pending := rest;
+    submit_locals ();
+    List.iter
+      (fun (txn, _) ->
+        attempts := txn :: !attempts;
+        Gtm.submit_global gtm txn)
+      wave_txns;
+    Gtm.pump gtm;
+    List.iter
+      (fun (txn, budget) ->
+        match Gtm.status gtm txn.Txn.id with
+        | Gtm.Committed -> incr committed_global
+        | Gtm.Aborted _ when budget > 0 ->
+            incr restarts;
+            pending := !pending @ [ (retry_clone txn, budget - 1) ]
+        | Gtm.Aborted _ -> incr failed_global
+        | Gtm.Active -> failwith "Driver: transaction still active after pump")
+      wave_txns
+  done;
+  Gtm.pump gtm;
+  List.iter
+    (fun tid ->
+      match Gtm.status gtm tid with
+      | Gtm.Committed -> incr committed_local
+      | Gtm.Aborted _ -> incr aborted_local
+      | Gtm.Active -> incr aborted_local (* stranded: count as failed *))
+    !local_tids;
+  let engine = Gtm.engine gtm in
+  (* Atomicity audit: an aborted attempt that nevertheless committed at some
+     site is a half commit (possible without two-phase commit). *)
+  let half_commits =
+    List.fold_left
+      (fun acc txn ->
+        match Gtm.status gtm txn.Txn.id with
+        | Gtm.Aborted _ ->
+            let committed_somewhere =
+              List.exists
+                (fun dbms ->
+                  Mdbs_util.Iset.mem txn.Txn.id
+                    (Schedule.committed (Mdbs_site.Local_dbms.schedule dbms)))
+                (Gtm.sites gtm)
+            in
+            if committed_somewhere then acc + 1 else acc
+        | Gtm.Committed | Gtm.Active -> acc)
+      0 !attempts
+  in
+  {
+    scheme_name = scheme.Mdbs_core.Scheme.name;
+    committed_global = !committed_global;
+    failed_global = !failed_global;
+    restarts = !restarts;
+    committed_local = !committed_local;
+    aborted_local = !aborted_local;
+    forced_aborts = Gtm.forced_aborts gtm;
+    total_waits = Engine.total_wait_insertions engine;
+    ser_waits = Engine.ser_wait_insertions engine;
+    scheme_steps = scheme.Mdbs_core.Scheme.steps ();
+    serializable = Gtm.audit gtm = Serializability.Serializable;
+    ser_s_serializable = Ser_schedule.is_serializable (Gtm.ser_schedule gtm);
+    half_commits;
+  }
+
+let run_kind config kind =
+  Types.reset_tids ();
+  run config (Registry.make kind)
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: global %d committed / %d failed (%d restarts); local %d / %d \
+     aborted; forced %d; waits %d (%d ser); steps %d; half-commits %d; CSR %b; \
+     ser(S) %b@]"
+    r.scheme_name r.committed_global r.failed_global r.restarts r.committed_local
+    r.aborted_local r.forced_aborts r.total_waits r.ser_waits r.scheme_steps
+    r.half_commits r.serializable r.ser_s_serializable

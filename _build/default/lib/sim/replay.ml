@@ -1,0 +1,319 @@
+module Rng = Mdbs_util.Rng
+module Engine = Mdbs_core.Engine
+module Scheme = Mdbs_core.Scheme
+module Queue_op = Mdbs_core.Queue_op
+
+type spec = { gid : int; sites : int list }
+
+type config = {
+  m : int;
+  n_txns : int;
+  d_av : int;
+  concurrency : int;
+  ack_latency : int;
+}
+
+let default = { m = 8; n_txns = 64; d_av = 3; concurrency = 16; ack_latency = 2 }
+
+type result = {
+  scheme_name : string;
+  txns : int;
+  ser_waits : int;
+  total_waits : int;
+  submits : int;
+  scheme_steps : int;
+  engine_steps : int;
+  total_steps : int;
+  steps_per_txn : float;
+  submissions : (int * int) list;
+  aborts : int;
+  aborted_gids : int list;
+}
+
+type txn_state = {
+  spec : spec;
+  mutable init_done : bool;
+  mutable remaining : int list;
+  mutable awaiting : bool;
+  mutable acked : int;
+  mutable fin_done : bool;
+  mutable aborted : bool;
+}
+
+let generate_specs rng config =
+  let d = min config.d_av config.m in
+  List.init config.n_txns (fun i ->
+      { gid = i + 1; sites = Rng.sample_distinct rng d config.m })
+
+let run_specs ?(seed = 42) ~concurrency ~ack_latency specs scheme =
+  let rng = Rng.create seed in
+  let engine = Engine.create scheme in
+  let submits = ref 0 in
+  let submissions = ref [] in
+  let delayed = ref [] in
+  let states = Hashtbl.create 64 in
+  List.iter
+    (fun spec ->
+      Hashtbl.replace states spec.gid
+        {
+          spec;
+          init_done = false;
+          remaining = spec.sites;
+          awaiting = false;
+          acked = 0;
+          fin_done = false;
+          aborted = false;
+        })
+    specs;
+  let handle_effect effect =
+    match effect with
+    | Scheme.Submit_ser (gid, site) ->
+        incr submits;
+        submissions := (gid, site) :: !submissions;
+        delayed := (ack_latency, gid, site) :: !delayed
+    | Scheme.Forward_ack (gid, _) ->
+        let st = Hashtbl.find states gid in
+        st.awaiting <- false;
+        st.acked <- st.acked + 1
+    | Scheme.Abort_global gid ->
+        (* Non-conservative scheme: the transaction dies; GTM1 skips its
+           remaining operations and finishes it. *)
+        let st = Hashtbl.find states gid in
+        st.aborted <- true;
+        st.awaiting <- false;
+        st.remaining <- []
+  in
+  (* Process the engine to a fixpoint: acts may enqueue zero-latency acks. *)
+  let rec settle () =
+    let effects = Engine.run engine in
+    if effects <> [] then begin
+      List.iter handle_effect effects;
+      let ready, still =
+        List.partition (fun (countdown, _, _) -> countdown <= 0) !delayed
+      in
+      delayed := still;
+      if ready <> [] then begin
+        List.iter
+          (fun (_, gid, site) -> Engine.enqueue engine (Queue_op.Ack (gid, site)))
+          (List.rev ready);
+        settle ()
+      end
+      else if not (Engine.idle engine) then settle ()
+    end
+  in
+  let tick () =
+    let ready, still =
+      List.fold_left
+        (fun (ready, still) (countdown, gid, site) ->
+          if countdown <= 1 then ((gid, site) :: ready, still)
+          else (ready, (countdown - 1, gid, site) :: still))
+        ([], []) !delayed
+    in
+    delayed := still;
+    List.iter
+      (fun (gid, site) -> Engine.enqueue engine (Queue_op.Ack (gid, site)))
+      (List.rev ready);
+    if ready <> [] then settle ()
+  in
+  let backlog = ref specs in
+  let active = ref [] in
+  let admit () =
+    while List.length !active < concurrency && !backlog <> [] do
+      match !backlog with
+      | spec :: rest ->
+          backlog := rest;
+          active := !active @ [ Hashtbl.find states spec.gid ]
+      | [] -> ()
+    done
+  in
+  let insertion_for st =
+    if st.aborted && st.init_done && not st.fin_done then
+      Some
+        (fun () ->
+          st.fin_done <- true;
+          Engine.enqueue engine (Queue_op.Fin st.spec.gid))
+    else if not st.init_done then
+      Some
+        (fun () ->
+          st.init_done <- true;
+          Engine.enqueue engine
+            (Queue_op.Init { Queue_op.gid = st.spec.gid; ser_sites = st.spec.sites }))
+    else if st.awaiting then None
+    else
+      match st.remaining with
+      | site :: rest ->
+          Some
+            (fun () ->
+              st.remaining <- rest;
+              st.awaiting <- true;
+              Engine.enqueue engine (Queue_op.Ser (st.spec.gid, site)))
+      | [] ->
+          if st.acked = List.length st.spec.sites && not st.fin_done then
+            Some
+              (fun () ->
+                st.fin_done <- true;
+                Engine.enqueue engine (Queue_op.Fin st.spec.gid))
+          else None
+  in
+  let stuck_rounds = ref 0 in
+  let finished () = List.for_all (fun st -> st.fin_done) !active && !backlog = [] in
+  while not (finished ()) do
+    admit ();
+    tick ();
+    let choices =
+      List.filter_map
+        (fun st ->
+          match insertion_for st with Some f -> Some (st, f) | None -> None)
+        !active
+    in
+    (match choices with
+    | [] ->
+        if !delayed = [] then begin
+          incr stuck_rounds;
+          if !stuck_rounds > 3 then
+            failwith
+              (Printf.sprintf "Replay: scheme %s is stuck (wait set: %d)"
+                 scheme.Scheme.name (Engine.wait_size engine))
+        end
+    | _ ->
+        stuck_rounds := 0;
+        let _, insert = List.nth choices (Rng.int rng (List.length choices)) in
+        insert ();
+        settle ());
+    active := List.filter (fun st -> not st.fin_done) !active
+  done;
+  (* Let trailing acknowledgements drain. *)
+  while !delayed <> [] do
+    tick ()
+  done;
+  settle ();
+  let n = List.length specs in
+  {
+    scheme_name = scheme.Scheme.name;
+    txns = n;
+    ser_waits = Engine.ser_wait_insertions engine;
+    total_waits = Engine.total_wait_insertions engine;
+    submits = !submits;
+    scheme_steps = scheme.Scheme.steps ();
+    engine_steps = Engine.engine_steps engine;
+    total_steps = Engine.total_steps engine;
+    steps_per_txn = float_of_int (Engine.total_steps engine) /. float_of_int (max 1 n);
+    submissions = List.rev !submissions;
+    aborts =
+      Hashtbl.fold (fun _ st acc -> if st.aborted then acc + 1 else acc) states 0;
+    aborted_gids =
+      Hashtbl.fold (fun gid st acc -> if st.aborted then gid :: acc else acc) states [];
+  }
+
+let run ?(seed = 42) config scheme =
+  let rng = Rng.create (seed * 7919) in
+  let specs = generate_specs rng config in
+  run_specs ~seed ~concurrency:config.concurrency ~ack_latency:config.ack_latency
+    specs scheme
+
+(* Open-loop arrival sequence: every transaction's init followed by its ser
+   operations in program order, interleaved across a sliding window of
+   [concurrency] transactions. Depends only on the seed and the config. *)
+let fixed_sequence rng config specs =
+  let cursors =
+    List.map (fun spec -> (spec, ref (None :: List.map (fun s -> Some s) spec.sites))) specs
+  in
+  let window = ref [] and backlog = ref cursors and sequence = ref [] in
+  let refill () =
+    while List.length !window < config.concurrency && !backlog <> [] do
+      match !backlog with
+      | entry :: rest ->
+          backlog := rest;
+          window := !window @ [ entry ]
+      | [] -> ()
+    done
+  in
+  refill ();
+  while !window <> [] do
+    let index = Rng.int rng (List.length !window) in
+    let ((spec, cursor) as entry) = List.nth !window index in
+    (match !cursor with
+    | [] -> assert false
+    | next :: rest ->
+        cursor := rest;
+        let op =
+          match next with
+          | None -> Queue_op.Init { Queue_op.gid = spec.gid; ser_sites = spec.sites }
+          | Some site -> Queue_op.Ser (spec.gid, site)
+        in
+        sequence := op :: !sequence);
+    if !cursor = [] then window := List.filter (fun e -> e != entry) !window;
+    refill ()
+  done;
+  List.rev !sequence
+
+let run_fixed ?(seed = 42) config scheme =
+  let spec_rng = Rng.create (seed * 7919) in
+  let specs = generate_specs spec_rng config in
+  let order_rng = Rng.create (seed * 104729) in
+  let sequence = fixed_sequence order_rng config specs in
+  let engine = Engine.create scheme in
+  let submits = ref 0 in
+  let submissions = ref [] in
+  let acked = Hashtbl.create 64 in
+  let fin_done = Hashtbl.create 64 in
+  let aborted = Hashtbl.create 16 in
+  let expected = Hashtbl.create 64 in
+  List.iter
+    (fun spec -> Hashtbl.replace expected spec.gid (List.length spec.sites))
+    specs;
+  let pending_acks = Queue.create () in
+  let handle_effect effect =
+    match effect with
+    | Scheme.Submit_ser (gid, site) ->
+        incr submits;
+        submissions := (gid, site) :: !submissions;
+        Queue.add (gid, site) pending_acks
+    | Scheme.Forward_ack (gid, _) ->
+        Hashtbl.replace acked gid
+          (1 + (match Hashtbl.find_opt acked gid with Some n -> n | None -> 0))
+    | Scheme.Abort_global gid -> Hashtbl.replace aborted gid ()
+  in
+  let rec settle () =
+    let effects = Engine.run engine in
+    List.iter handle_effect effects;
+    let enqueued = ref false in
+    while not (Queue.is_empty pending_acks) do
+      let gid, site = Queue.pop pending_acks in
+      Engine.enqueue engine (Queue_op.Ack (gid, site));
+      enqueued := true
+    done;
+    (* A transaction whose serialization operations are all acknowledged
+       finishes immediately. *)
+    Hashtbl.iter
+      (fun gid count ->
+        if count = Hashtbl.find expected gid && not (Hashtbl.mem fin_done gid)
+        then begin
+          Hashtbl.replace fin_done gid ();
+          Engine.enqueue engine (Queue_op.Fin gid);
+          enqueued := true
+        end)
+      acked;
+    if !enqueued then settle ()
+  in
+  List.iter
+    (fun op ->
+      Engine.enqueue engine op;
+      settle ())
+    sequence;
+  settle ();
+  let n = List.length specs in
+  {
+    scheme_name = scheme.Scheme.name;
+    txns = n;
+    ser_waits = Engine.ser_wait_insertions engine;
+    total_waits = Engine.total_wait_insertions engine;
+    submits = !submits;
+    scheme_steps = scheme.Scheme.steps ();
+    engine_steps = Engine.engine_steps engine;
+    total_steps = Engine.total_steps engine;
+    steps_per_txn = float_of_int (Engine.total_steps engine) /. float_of_int (max 1 n);
+    submissions = List.rev !submissions;
+    aborts = Hashtbl.length aborted;
+    aborted_gids = Hashtbl.fold (fun gid () acc -> gid :: acc) aborted [];
+  }

@@ -1,0 +1,74 @@
+(** Engine-level replay harness.
+
+    This is the measurement rig for the paper's analytic claims (experiments
+    E1-E5): it drives a GTM2 scheme with a synthetic stream of
+    [init]/[ser]/[ack]/[fin] operations, with no sites underneath —
+    acknowledgements are produced by a configurable-latency server model.
+    GTM1's discipline is respected: a transaction's next serialization
+    operation is inserted only after the previous one's acknowledgement has
+    been forwarded.
+
+    The scheduling decisions (which transaction inserts next) come from a
+    seeded RNG, so different schemes face the {e same arrival process};
+    degree-of-concurrency comparisons count WAIT insertions under identical
+    seeds. *)
+
+type spec = { gid : int; sites : int list }
+(** One global transaction of the trace: its [Ĝ_i]. *)
+
+type config = {
+  m : int;  (** Sites. *)
+  n_txns : int;  (** Total transactions replayed. *)
+  d_av : int;  (** Sites per transaction. *)
+  concurrency : int;  (** Maximum simultaneously active transactions. *)
+  ack_latency : int;
+      (** Scheduling decisions between a [Submit_ser] effect and the
+          arrival of its acknowledgement. [0] = immediate. *)
+}
+
+val default : config
+
+type result = {
+  scheme_name : string;
+  txns : int;
+  ser_waits : int;  (** [Ser] operations that entered WAIT. *)
+  total_waits : int;
+  submits : int;  (** [Submit_ser] effects — must equal [txns * d_av]. *)
+  scheme_steps : int;
+  engine_steps : int;
+  total_steps : int;
+  steps_per_txn : float;
+  submissions : (int * int) list;
+      (** [(gid, site)] in submission order — the realized execution order of
+          serialization operations, from which [ser(S)] can be rebuilt.
+          Includes operations of transactions later aborted; filter with
+          [aborted_gids] before serializability checks. *)
+  aborts : int;
+      (** Transactions killed by a non-conservative scheme ([Abort_global]);
+          always 0 for the paper's Schemes 0-3. *)
+  aborted_gids : int list;
+}
+
+val generate_specs : Mdbs_util.Rng.t -> config -> spec list
+(** The transaction population for a configuration (deterministic in the
+    RNG). *)
+
+val run_specs :
+  ?seed:int -> concurrency:int -> ack_latency:int ->
+  spec list -> Mdbs_core.Scheme.t -> result
+(** Replay an explicit population. Raises [Failure] if the trace cannot be
+    driven to completion (a scheme deadlock — none of the paper's schemes
+    exhibits one). *)
+
+val run : ?seed:int -> config -> Mdbs_core.Scheme.t -> result
+(** [generate_specs] + [run_specs], seeding both from [seed]. *)
+
+val run_fixed : ?seed:int -> config -> Mdbs_core.Scheme.t -> result
+(** Open-loop variant for degree-of-concurrency comparisons: the arrival
+    order of [init] and [ser] operations is generated once from the seed and
+    is {e identical for every scheme} (GTM1's ack gating is not applied to
+    arrivals; acknowledgements are immediate; each [fin] arrives as soon as
+    its transaction's serialization operations have all been acknowledged).
+    This realizes the paper's "for any given order of insertion of
+    operations into QUEUE by GTM1" (§4): WAIT-insertion counts of different
+    schemes on the same seed are directly comparable. *)

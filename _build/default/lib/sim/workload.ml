@@ -1,0 +1,61 @@
+open Mdbs_model
+module Rng = Mdbs_util.Rng
+
+type config = {
+  m : int;
+  protocols : Types.protocol_kind list;
+  data_per_site : int;
+  d_av : int;
+  ops_per_subtxn : int;
+  local_ops : int;
+  write_ratio : float;
+  hotspot : int;
+}
+
+let default =
+  {
+    m = 4;
+    protocols = Types.all_protocols;
+    data_per_site = 32;
+    d_av = 2;
+    ops_per_subtxn = 3;
+    local_ops = 3;
+    write_ratio = 0.5;
+    hotspot = 0;
+  }
+
+let protocol_for config sid =
+  let protocols =
+    match config.protocols with [] -> [ Types.Two_phase_locking ] | ps -> ps
+  in
+  List.nth protocols (sid mod List.length protocols)
+
+let make_sites config =
+  List.init config.m (fun sid ->
+      Mdbs_site.Local_dbms.create ~protocol:(protocol_for config sid) sid)
+
+let random_key rng config =
+  let bound =
+    if config.hotspot > 0 then min config.hotspot config.data_per_site
+    else config.data_per_site
+  in
+  Item.Key (Rng.int rng bound)
+
+let random_action rng config =
+  let item = random_key rng config in
+  if Rng.float rng 1.0 < config.write_ratio then Op.Write (item, 1) else Op.Read item
+
+let data_actions rng config count = List.init count (fun _ -> random_action rng config)
+
+let global_txn rng config =
+  let d = min config.d_av config.m in
+  let sites = Rng.sample_distinct rng d config.m in
+  let per_site =
+    List.map (fun sid -> (sid, data_actions rng config config.ops_per_subtxn)) sites
+  in
+  Txn.global ~id:(Types.fresh_tid ()) per_site
+
+let local_txn rng config sid =
+  Txn.local ~id:(Types.fresh_tid ()) ~site:sid (data_actions rng config config.local_ops)
+
+let global_txns rng config count = List.init count (fun _ -> global_txn rng config)

@@ -1,0 +1,1 @@
+lib/site/local_dbms.ml: Hashtbl Item List Mdbs_lcc Mdbs_model Mdbs_util Op Schedule Storage Types Wal

@@ -1,0 +1,1 @@
+lib/site/local_dbms.mli: Item Mdbs_lcc Mdbs_model Op Schedule Ser_fun Types

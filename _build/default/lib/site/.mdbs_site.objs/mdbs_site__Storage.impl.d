@@ -1,0 +1,1 @@
+lib/site/storage.ml: Hashtbl Item List Mdbs_model Types

@@ -1,0 +1,1 @@
+lib/site/storage.mli: Item Mdbs_model Types

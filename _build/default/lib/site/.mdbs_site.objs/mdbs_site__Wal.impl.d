@@ -1,0 +1,1 @@
+lib/site/wal.ml: Format Hashtbl Item List Mdbs_model Mdbs_util Types

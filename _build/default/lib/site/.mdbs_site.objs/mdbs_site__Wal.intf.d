@@ -1,0 +1,1 @@
+lib/site/wal.mli: Format Item Mdbs_model Mdbs_util Types

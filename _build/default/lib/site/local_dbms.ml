@@ -1,0 +1,285 @@
+open Mdbs_model
+module Protocol = Mdbs_lcc.Protocol
+module Cc_types = Mdbs_lcc.Cc_types
+
+type outcome = Executed of int option | Waiting | Aborted of string
+
+type completion = { tid : Types.tid; action : Op.action; outcome : outcome }
+
+type t = {
+  site : Types.sid;
+  kind : Types.protocol_kind;
+  mutable protocol : Protocol.t; (* volatile: replaced wholesale at crash *)
+  mutable storage : Storage.t; (* volatile cache over the log *)
+  sched : Schedule.t; (* observer-side audit record, not site state *)
+  pending : (Types.tid, Op.action) Hashtbl.t;
+  buffered : (Types.tid, (Item.t * int) list ref) Hashtbl.t;
+      (* deferred write effects of write-buffering protocols, oldest first *)
+  active : (Types.tid, unit) Hashtbl.t;
+  mutable completions : completion list; (* newest first *)
+  wal : Wal.t option; (* stable storage, present when durable *)
+  mutable in_doubt : Types.tid list;
+}
+
+let create ?(protocol = Types.Two_phase_locking) ?(durable = false) site =
+  {
+    site;
+    kind = protocol;
+    protocol = Protocol.create protocol;
+    storage = Storage.create ();
+    sched = Schedule.create site;
+    pending = Hashtbl.create 16;
+    buffered = Hashtbl.create 16;
+    active = Hashtbl.create 16;
+    completions = [];
+    wal = (if durable then Some (Wal.create ()) else None);
+    in_doubt = [];
+  }
+
+let log t record =
+  match t.wal with Some wal -> Wal.append wal record | None -> ()
+
+let site_id t = t.site
+
+let protocol_kind t = Protocol.kind t.protocol
+
+let serialization_point t = Protocol.serialization_point t.protocol
+
+let load t pairs =
+  List.iter
+    (fun (item, v) ->
+      Storage.set t.storage item v;
+      log t (Wal.Load (item, v)))
+    pairs
+
+let schedule t = t.sched
+
+let storage_value t item = Storage.get t.storage item
+
+let active_count t = Hashtbl.length t.active
+
+let has_pending t tid = Hashtbl.mem t.pending tid
+
+let buffer_write t tid item delta =
+  match Hashtbl.find_opt t.buffered tid with
+  | Some writes -> writes := !writes @ [ (item, delta) ]
+  | None -> Hashtbl.replace t.buffered tid (ref [ (item, delta) ])
+
+let declare t tid accesses = Protocol.declare t.protocol tid accesses
+
+let needs_declarations t = Protocol.needs_declarations t.protocol
+
+(* Apply the storage effect of a granted data action and record it in the
+   local schedule. Write-buffering protocols (OCC) defer write installation —
+   and its schedule entry, which fixes the conflict order — to commit. *)
+let apply_granted t tid action =
+  match action with
+  | Op.Begin ->
+      (* A blocked conservative-2PL begin that just obtained its locks. *)
+      log t (Wal.Begin tid);
+      Schedule.record t.sched tid Op.Begin;
+      Executed None
+  | Op.Read item ->
+      Schedule.record t.sched tid action;
+      Executed (Some (Storage.get t.storage item))
+  | Op.Write (item, delta) ->
+      if Protocol.buffers_writes t.protocol then begin
+        buffer_write t tid item delta;
+        Executed None
+      end
+      else begin
+        let before = Storage.get t.storage item in
+        Storage.write_logged t.storage tid item (before + delta);
+        log t (Wal.Write (tid, item, before, before + delta));
+        Schedule.record t.sched tid action;
+        Executed None
+      end
+  | Op.Ticket_op ->
+      let v = Storage.get t.storage Item.Ticket in
+      if Protocol.buffers_writes t.protocol then buffer_write t tid Item.Ticket 1
+      else begin
+        Storage.write_logged t.storage tid Item.Ticket (v + 1);
+        log t (Wal.Write (tid, Item.Ticket, v, v + 1))
+      end;
+      Schedule.record t.sched tid action;
+      Executed (Some v)
+  | Op.Prepare | Op.Commit | Op.Abort ->
+      invalid_arg "Local_dbms.apply_granted: control action"
+
+let process_unblocked t unblocked =
+  List.iter
+    (fun utid ->
+      match Hashtbl.find_opt t.pending utid with
+      | None -> ()
+      | Some action ->
+          Hashtbl.remove t.pending utid;
+          let outcome = apply_granted t utid action in
+          t.completions <- { tid = utid; action; outcome } :: t.completions)
+    unblocked
+
+let forget t tid =
+  Hashtbl.remove t.pending tid;
+  Hashtbl.remove t.buffered tid;
+  Hashtbl.remove t.active tid;
+  if t.in_doubt <> [] then t.in_doubt <- List.filter (fun d -> d <> tid) t.in_doubt
+
+let do_abort t tid reason =
+  let unblocked = Protocol.abort t.protocol tid in
+  (* Log the undo as compensation writes so recovery is pure redo for
+     everything except crash-time losers. *)
+  (match t.wal with
+  | None -> ()
+  | Some wal ->
+      let current = Hashtbl.create 4 in
+      List.iter
+        (fun (item, before) ->
+          let now =
+            match Hashtbl.find_opt current item with
+            | Some v -> v
+            | None -> Storage.get t.storage item
+          in
+          Wal.append wal (Wal.Write (tid, item, now, before));
+          Hashtbl.replace current item before)
+        (Storage.undo_log t.storage tid);
+      Wal.append wal (Wal.Aborted tid));
+  Storage.undo_txn t.storage tid;
+  forget t tid;
+  Schedule.record t.sched tid Op.Abort;
+  process_unblocked t unblocked;
+  Aborted reason
+
+let install_buffered t tid =
+  match Hashtbl.find_opt t.buffered tid with
+  | None -> ()
+  | Some writes ->
+      List.iter
+        (fun (item, delta) ->
+          let before = Storage.get t.storage item in
+          Storage.set t.storage item (before + delta);
+          log t (Wal.Write (tid, item, before, before + delta));
+          (* Ticket entries were already recorded at access time. *)
+          if not (Item.equal item Item.Ticket) then
+            Schedule.record t.sched tid (Op.Write (item, delta)))
+        !writes;
+      Hashtbl.remove t.buffered tid
+
+let submit t tid action =
+  if action <> Op.Abort && Hashtbl.mem t.pending tid then
+    invalid_arg "Local_dbms.submit: transaction has an operation in flight";
+  match action with
+  | Op.Begin -> (
+      Hashtbl.replace t.active tid ();
+      match Protocol.begin_txn t.protocol tid with
+      | Cc_types.Granted ->
+          log t (Wal.Begin tid);
+          Schedule.record t.sched tid Op.Begin;
+          Executed None
+      | Cc_types.Blocked ->
+          (* Conservative 2PL: the declared lock set is partly held by
+             others; the begin completes when they release. *)
+          Hashtbl.replace t.pending tid Op.Begin;
+          Waiting
+      | Cc_types.Rejected reason -> do_abort t tid reason)
+  | Op.Abort -> do_abort t tid "requested"
+  | Op.Prepare -> (
+      match Protocol.prepare t.protocol tid with
+      | Cc_types.Granted ->
+          (* Validation done: install buffered writes tentatively (undo
+             log kept) so that a later global abort can roll them back,
+             while the local commit cannot fail anymore. *)
+          (match Hashtbl.find_opt t.buffered tid with
+          | None -> ()
+          | Some writes ->
+              List.iter
+                (fun (item, delta) ->
+                  let before = Storage.get t.storage item in
+                  Storage.write_logged t.storage tid item (before + delta);
+                  log t (Wal.Write (tid, item, before, before + delta));
+                  if not (Item.equal item Item.Ticket) then
+                    Schedule.record t.sched tid (Op.Write (item, delta)))
+                !writes;
+              Hashtbl.remove t.buffered tid);
+          log t (Wal.Prepared tid);
+          Executed None
+      | Cc_types.Rejected reason -> do_abort t tid reason
+      | Cc_types.Blocked -> invalid_arg "Local_dbms.submit: prepare blocked")
+  | Op.Commit -> (
+      let result, unblocked = Protocol.commit t.protocol tid in
+      match result with
+      | Cc_types.Granted ->
+          install_buffered t tid;
+          Storage.commit_txn t.storage tid;
+          forget t tid;
+          log t (Wal.Committed tid);
+          Schedule.record t.sched tid Op.Commit;
+          process_unblocked t unblocked;
+          Executed None
+      | Cc_types.Rejected reason ->
+          process_unblocked t unblocked;
+          do_abort t tid reason
+      | Cc_types.Blocked -> invalid_arg "Local_dbms.submit: commit blocked")
+  | Op.Read _ | Op.Write _ | Op.Ticket_op -> (
+      let item =
+        match Op.action_item action with Some i -> i | None -> assert false
+      in
+      let mode =
+        match Cc_types.mode_of_action action with
+        | Some m -> m
+        | None -> assert false
+      in
+      match Protocol.access t.protocol tid item mode with
+      | Cc_types.Granted -> apply_granted t tid action
+      | Cc_types.Blocked ->
+          Hashtbl.replace t.pending tid action;
+          Waiting
+      | Cc_types.Rejected reason -> do_abort t tid reason)
+
+(* --- crash and recovery ------------------------------------------------ *)
+
+let in_doubt t = t.in_doubt
+
+let crash t =
+  match t.wal with
+  | None -> invalid_arg "Local_dbms.crash: site is not durable"
+  | Some wal ->
+      let analysis = Wal.analyze wal in
+      (* Every volatile transaction dies with the site; in-doubt ones
+         survive in the log. Record the deaths for the audit. *)
+      Hashtbl.iter
+        (fun tid () ->
+          if not (Mdbs_util.Iset.mem tid analysis.Wal.in_doubt) then
+            Schedule.record t.sched tid Op.Abort)
+        t.active;
+      Hashtbl.reset t.pending;
+      Hashtbl.reset t.buffered;
+      Hashtbl.reset t.active;
+      t.completions <- [];
+      (* Rebuild volatile state from stable storage. *)
+      t.protocol <- Protocol.create t.kind;
+      t.storage <- Storage.create ();
+      List.iter (fun (item, v) -> Storage.set t.storage item v) (Wal.recovered_state wal);
+      t.in_doubt <- Mdbs_util.Iset.to_list analysis.Wal.in_doubt;
+      (* Re-install the in-doubt transactions: re-acquire write access (locks
+         for the locking protocols, a fresh validated record for OCC) and
+         make them abortable by registering their before-images. *)
+      List.iter
+        (fun tid ->
+          ignore (Protocol.begin_txn t.protocol tid);
+          List.iter
+            (fun item ->
+              match Protocol.access t.protocol tid item Cc_types.Write_mode with
+              | Cc_types.Granted -> ()
+              | Cc_types.Blocked | Cc_types.Rejected _ ->
+                  invalid_arg "Local_dbms.crash: in-doubt relock failed")
+            (Wal.written_items wal tid);
+          ignore (Protocol.prepare t.protocol tid);
+          Hashtbl.replace t.active tid ();
+          Storage.register_undo t.storage tid (Wal.undo_entries wal tid))
+        t.in_doubt
+
+let wal_length t = match t.wal with Some wal -> Wal.length wal | None -> 0
+
+let drain_completions t =
+  let done_list = List.rev t.completions in
+  t.completions <- [];
+  done_list

@@ -1,0 +1,85 @@
+(** A local DBMS: one site of the multidatabase.
+
+    Executes submitted operations under the site's concurrency-control
+    protocol, records the local schedule, and acknowledges completions. It
+    does not distinguish local transactions from global subtransactions
+    (§2.1) — both are just transactions to it.
+
+    Blocking protocols (2PL) may answer [Waiting]; the blocked operation
+    executes later, when a conflicting transaction releases its locks, and
+    surfaces through {!drain_completions}. Certification protocols may answer
+    [Aborted]: the transaction's effects at this site have been rolled back
+    and its [Abort] recorded. *)
+
+open Mdbs_model
+
+type t
+
+type outcome =
+  | Executed of int option
+      (** Operation done; the payload is the value read (reads and ticket
+          operations). *)
+  | Waiting  (** Blocked inside the protocol; completion arrives later. *)
+  | Aborted of string
+      (** The protocol rejected the operation; the transaction is aborted at
+          this site (effects undone, [Abort] recorded). *)
+
+type completion = { tid : Types.tid; action : Op.action; outcome : outcome }
+(** Deferred results: a previously [Waiting] operation that has now executed,
+    always with outcome [Executed _]. *)
+
+val create : ?protocol:Types.protocol_kind -> ?durable:bool -> Types.sid -> t
+(** A fresh site (default protocol: strict 2PL) with empty storage.
+    [~durable:true] attaches a write-ahead log ({!Wal}), enabling
+    {!crash}. *)
+
+val site_id : t -> Types.sid
+
+val protocol_kind : t -> Types.protocol_kind
+
+val serialization_point : t -> Ser_fun.point
+
+val load : t -> (Item.t * int) list -> unit
+(** Initialize storage outside any transaction. *)
+
+val declare : t -> Types.tid -> (Item.t * Mdbs_lcc.Cc_types.mode) list -> unit
+(** Predeclare a transaction's access set, before its [Begin]. Required by
+    conservative-2PL sites (see {!needs_declarations}); ignored elsewhere. *)
+
+val needs_declarations : t -> bool
+
+val submit : t -> Types.tid -> Op.action -> outcome
+(** Execute one operation on behalf of a transaction. [Begin] must come
+    first; [Commit]/[Abort] end the transaction at this site. Submitting for
+    a transaction with an operation still [Waiting] is a checked error. *)
+
+val drain_completions : t -> completion list
+(** Operations that completed since the last drain (unblocked lock waiters),
+    in execution order. *)
+
+val schedule : t -> Schedule.t
+(** The recorded local schedule [S_k]. *)
+
+val storage_value : t -> Item.t -> int
+
+val active_count : t -> int
+(** Transactions begun but not yet committed/aborted here. *)
+
+val has_pending : t -> Types.tid -> bool
+(** Is one of the transaction's operations blocked inside the protocol? *)
+
+val crash : t -> unit
+(** Crash and restart the site (durable sites only; raises
+    [Invalid_argument] otherwise). All volatile state dies: active
+    transactions abort (recorded in the schedule), blocked operations and
+    buffered writes vanish, the protocol restarts cold. Storage is rebuilt
+    from the write-ahead log by redo-undo; {e prepared} transactions
+    survive as in-doubt: their effects are retained, their write locks (or
+    OCC validation records) are re-acquired, and they await {!submit} of
+    [Commit] or [Abort] — the coordinator's verdict. *)
+
+val in_doubt : t -> Types.tid list
+(** Prepared transactions awaiting resolution after the last {!crash}. *)
+
+val wal_length : t -> int
+(** Records in the write-ahead log (0 for non-durable sites). *)

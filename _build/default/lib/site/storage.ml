@@ -1,0 +1,39 @@
+open Mdbs_model
+
+type t = {
+  table : (Item.t, int) Hashtbl.t;
+  undo : (Types.tid, (Item.t * int) list ref) Hashtbl.t; (* newest first *)
+}
+
+let create () = { table = Hashtbl.create 128; undo = Hashtbl.create 16 }
+
+let get t item = match Hashtbl.find_opt t.table item with Some v -> v | None -> 0
+
+let set t item v = Hashtbl.replace t.table item v
+
+let write_logged t tid item v =
+  let before = get t item in
+  (match Hashtbl.find_opt t.undo tid with
+  | Some log -> log := (item, before) :: !log
+  | None -> Hashtbl.replace t.undo tid (ref [ (item, before) ]));
+  set t item v
+
+let commit_txn t tid = Hashtbl.remove t.undo tid
+
+let register_undo t tid entries =
+  match Hashtbl.find_opt t.undo tid with
+  | Some log -> log := entries @ !log
+  | None -> Hashtbl.replace t.undo tid (ref entries)
+
+let undo_log t tid =
+  match Hashtbl.find_opt t.undo tid with Some log -> !log | None -> []
+
+let undo_txn t tid =
+  (match Hashtbl.find_opt t.undo tid with
+  | Some log -> List.iter (fun (item, before) -> set t item before) !log
+  | None -> ());
+  Hashtbl.remove t.undo tid
+
+let items t =
+  Hashtbl.fold (fun item v acc -> (item, v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> Item.compare a b)

@@ -1,0 +1,37 @@
+(** Per-site key-value storage with before-image undo logs.
+
+    Values are integers (enough to express the paper's read/write conflict
+    model and the invariants of the example applications, e.g. account
+    balances). Unwritten items read as 0. *)
+
+open Mdbs_model
+
+type t
+
+val create : unit -> t
+
+val get : t -> Item.t -> int
+
+val set : t -> Item.t -> int -> unit
+(** Raw write, bypassing undo (used for initial loading and for installing
+    committed buffered writes). *)
+
+val write_logged : t -> Types.tid -> Item.t -> int -> unit
+(** Write on behalf of a transaction, saving the before-image so the write
+    can be undone if the transaction aborts. *)
+
+val commit_txn : t -> Types.tid -> unit
+(** Discard the transaction's undo log. *)
+
+val register_undo : t -> Types.tid -> (Item.t * int) list -> unit
+(** Prepend before-images (newest first) to the transaction's undo log —
+    used at recovery to make in-doubt transactions abortable. *)
+
+val undo_log : t -> Types.tid -> (Item.t * int) list
+(** The transaction's pending before-images, newest first. *)
+
+val undo_txn : t -> Types.tid -> unit
+(** Roll the transaction's writes back, newest first. *)
+
+val items : t -> (Item.t * int) list
+(** Current contents, sorted by item; for tests and examples. *)

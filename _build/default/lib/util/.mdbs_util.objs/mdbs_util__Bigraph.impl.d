@@ -1,0 +1,1 @@
+lib/util/bigraph.ml: Hashtbl Iset List Queue

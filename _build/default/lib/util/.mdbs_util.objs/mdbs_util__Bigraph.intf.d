@@ -1,0 +1,1 @@
+lib/util/bigraph.mli: Iset

@@ -1,0 +1,1 @@
+lib/util/digraph.ml: Format Hashtbl Iset List Queue

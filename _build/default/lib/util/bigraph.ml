@@ -1,0 +1,85 @@
+type t = {
+  left_adj : (int, Iset.t) Hashtbl.t; (* transaction -> sites *)
+  right_adj : (int, Iset.t) Hashtbl.t; (* site -> transactions *)
+}
+
+let create () = { left_adj = Hashtbl.create 64; right_adj = Hashtbl.create 64 }
+
+let adjacency table node =
+  match Hashtbl.find_opt table node with Some s -> s | None -> Iset.empty
+
+let add_left t l =
+  if not (Hashtbl.mem t.left_adj l) then Hashtbl.replace t.left_adj l Iset.empty
+
+let add_right t r =
+  if not (Hashtbl.mem t.right_adj r) then Hashtbl.replace t.right_adj r Iset.empty
+
+let add_edge t ~left ~right =
+  add_left t left;
+  add_right t right;
+  Hashtbl.replace t.left_adj left (Iset.add right (adjacency t.left_adj left));
+  Hashtbl.replace t.right_adj right (Iset.add left (adjacency t.right_adj right))
+
+let remove_edge t ~left ~right =
+  if Hashtbl.mem t.left_adj left then
+    Hashtbl.replace t.left_adj left (Iset.remove right (adjacency t.left_adj left));
+  if Hashtbl.mem t.right_adj right then
+    Hashtbl.replace t.right_adj right (Iset.remove left (adjacency t.right_adj right))
+
+let remove_left t l =
+  Iset.iter (fun r -> remove_edge t ~left:l ~right:r) (adjacency t.left_adj l);
+  Hashtbl.remove t.left_adj l
+
+let mem_edge t ~left ~right = Iset.mem right (adjacency t.left_adj left)
+
+let lefts t = Hashtbl.fold (fun n _ acc -> n :: acc) t.left_adj [] |> List.sort compare
+
+let rights t = Hashtbl.fold (fun n _ acc -> n :: acc) t.right_adj [] |> List.sort compare
+
+let neighbors_of_left t l = adjacency t.left_adj l
+
+let neighbors_of_right t r = adjacency t.right_adj r
+
+let edge_count t = Hashtbl.fold (fun _ s acc -> acc + Iset.cardinal s) t.left_adj 0
+
+(* BFS over the bipartite graph from a transaction node to a site node,
+   forbidding traversal of the single edge [avoid]. Nodes are tagged with
+   their side to keep the two integer namespaces apart. *)
+let connected_avoiding t ~src_left ~dst_right ~avoid =
+  let avoid_l, avoid_r = avoid in
+  let visited_left = Hashtbl.create 16 in
+  let visited_right = Hashtbl.create 16 in
+  let visits = ref 0 in
+  let queue = Queue.create () in
+  Queue.add (`Left src_left) queue;
+  Hashtbl.replace visited_left src_left ();
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    incr visits;
+    match Queue.pop queue with
+    | `Left l ->
+        Iset.iter
+          (fun r ->
+            let forbidden = l = avoid_l && r = avoid_r in
+            if (not forbidden) && not (Hashtbl.mem visited_right r) then begin
+              if r = dst_right then found := true;
+              Hashtbl.replace visited_right r ();
+              Queue.add (`Right r) queue
+            end)
+          (adjacency t.left_adj l)
+    | `Right r ->
+        Iset.iter
+          (fun l ->
+            let forbidden = l = avoid_l && r = avoid_r in
+            if (not forbidden) && not (Hashtbl.mem visited_left l) then begin
+              Hashtbl.replace visited_left l ();
+              Queue.add (`Left l) queue
+            end)
+          (adjacency t.right_adj r)
+  done;
+  (!found, !visits)
+
+let edge_on_cycle t ~left ~right =
+  if not (mem_edge t ~left ~right) then
+    invalid_arg "Bigraph.edge_on_cycle: edge absent";
+  connected_avoiding t ~src_left:left ~dst_right:right ~avoid:(left, right)

@@ -1,0 +1,51 @@
+(** Mutable undirected bipartite graphs: left nodes are transactions, right
+    nodes are sites. This is the transaction-site graph (TSG) shape used by
+    Scheme 1 of the paper (§5).
+
+    Left and right node ids live in separate namespaces (both are plain
+    integers). Edges connect a left node to a right node. *)
+
+type t
+
+val create : unit -> t
+
+val add_left : t -> int -> unit
+(** Declare a transaction node. Idempotent. *)
+
+val add_right : t -> int -> unit
+(** Declare a site node. Idempotent. Site nodes persist even with no
+    incident edges, mirroring the paper's TSG where site nodes are fixed. *)
+
+val add_edge : t -> left:int -> right:int -> unit
+(** Idempotent; adds endpoints as needed. *)
+
+val remove_edge : t -> left:int -> right:int -> unit
+
+val remove_left : t -> int -> unit
+(** Remove a transaction node and all its edges. *)
+
+val mem_edge : t -> left:int -> right:int -> bool
+
+val lefts : t -> int list
+
+val rights : t -> int list
+
+val neighbors_of_left : t -> int -> Iset.t
+(** Sites adjacent to a transaction. *)
+
+val neighbors_of_right : t -> int -> Iset.t
+(** Transactions adjacent to a site. *)
+
+val edge_count : t -> int
+
+val edge_on_cycle : t -> left:int -> right:int -> bool * int
+(** [edge_on_cycle t ~left ~right] decides whether the edge (left, right) lies
+    on some (simple) cycle of the bipartite graph — equivalently, whether
+    [left] and [right] remain connected when that edge is removed. The second
+    component is the number of nodes visited by the search, used for abstract
+    step accounting. Raises [Invalid_argument] if the edge is absent. *)
+
+val connected_avoiding : t -> src_left:int -> dst_right:int -> avoid:(int * int) -> bool * int
+(** [connected_avoiding t ~src_left ~dst_right ~avoid:(l, r)]: is there a path
+    from transaction [src_left] to site [dst_right] that does not use the
+    edge [(l, r)]? Also returns visited-node count. *)

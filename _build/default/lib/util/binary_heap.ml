@@ -1,0 +1,70 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ~cmp () = { cmp; data = [||]; len = 0 }
+
+let is_empty t = t.len = 0
+
+let size t = t.len
+
+let grow t x =
+  let capacity = Array.length t.data in
+  if t.len = capacity then begin
+    let new_capacity = max 8 (2 * capacity) in
+    let data = Array.make new_capacity x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && t.cmp t.data.(left) t.data.(!smallest) < 0 then smallest := left;
+  if right < t.len && t.cmp t.data.(right) t.data.(!smallest) < 0 then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t x =
+  grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let min = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some min
+  end
+
+let to_sorted_list t =
+  let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.len; len = t.len } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

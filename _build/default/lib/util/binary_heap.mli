@@ -1,0 +1,25 @@
+(** Array-backed binary min-heap, used as the event queue of the
+    discrete-event simulator. *)
+
+type 'a t
+(** A min-heap over elements of type ['a]. *)
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (minimum first). *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** O(log n) insertion. *)
+
+val peek : 'a t -> 'a option
+(** Minimum element without removal. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element; O(log n). *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructively lists all elements in heap order (ascending). O(n log n)
+    on a copy; intended for tests and debugging. *)

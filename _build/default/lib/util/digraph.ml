@@ -1,0 +1,137 @@
+type t = {
+  fwd : (int, Iset.t) Hashtbl.t;
+  bwd : (int, Iset.t) Hashtbl.t;
+}
+
+let create () = { fwd = Hashtbl.create 64; bwd = Hashtbl.create 64 }
+
+let adjacency table node =
+  match Hashtbl.find_opt table node with Some s -> s | None -> Iset.empty
+
+let add_node g n =
+  if not (Hashtbl.mem g.fwd n) then begin
+    Hashtbl.replace g.fwd n Iset.empty;
+    Hashtbl.replace g.bwd n Iset.empty
+  end
+
+let mem_node g n = Hashtbl.mem g.fwd n
+
+let add_edge g a b =
+  add_node g a;
+  add_node g b;
+  Hashtbl.replace g.fwd a (Iset.add b (adjacency g.fwd a));
+  Hashtbl.replace g.bwd b (Iset.add a (adjacency g.bwd b))
+
+let remove_edge g a b =
+  if Hashtbl.mem g.fwd a then
+    Hashtbl.replace g.fwd a (Iset.remove b (adjacency g.fwd a));
+  if Hashtbl.mem g.bwd b then
+    Hashtbl.replace g.bwd b (Iset.remove a (adjacency g.bwd b))
+
+let remove_node g n =
+  Iset.iter (fun b -> remove_edge g n b) (adjacency g.fwd n);
+  Iset.iter (fun a -> remove_edge g a n) (adjacency g.bwd n);
+  Hashtbl.remove g.fwd n;
+  Hashtbl.remove g.bwd n
+
+let mem_edge g a b = Iset.mem b (adjacency g.fwd a)
+
+let nodes g =
+  Hashtbl.fold (fun n _ acc -> n :: acc) g.fwd [] |> List.sort compare
+
+let edges g =
+  Hashtbl.fold
+    (fun a succs acc -> Iset.fold (fun b acc -> (a, b) :: acc) succs acc)
+    g.fwd []
+  |> List.sort compare
+
+let succ g n = adjacency g.fwd n
+
+let pred g n = adjacency g.bwd n
+
+let node_count g = Hashtbl.length g.fwd
+
+let edge_count g = Hashtbl.fold (fun _ s acc -> acc + Iset.cardinal s) g.fwd 0
+
+let has_path g a b =
+  if a = b then mem_node g a
+  else begin
+    let visited = Hashtbl.create 16 in
+    let rec dfs n =
+      if n = b then true
+      else if Hashtbl.mem visited n then false
+      else begin
+        Hashtbl.replace visited n ();
+        Iset.exists dfs (succ g n)
+      end
+    in
+    mem_node g a && dfs a
+  end
+
+(* Iterative colored DFS; returns the first cycle found as a node list. *)
+let find_cycle g =
+  let color = Hashtbl.create 64 in
+  (* 0 = unvisited (absent), 1 = on stack, 2 = done *)
+  let parent = Hashtbl.create 64 in
+  let cycle = ref None in
+  let rec dfs n =
+    Hashtbl.replace color n 1;
+    Iset.iter
+      (fun m ->
+        if !cycle = None then
+          match Hashtbl.find_opt color m with
+          | Some 1 ->
+              (* Back edge n -> m: reconstruct m -> ... -> n. *)
+              let rec walk acc v =
+                if v = m then v :: acc
+                else walk (v :: acc) (Hashtbl.find parent v)
+              in
+              cycle := Some (walk [] n)
+          | Some _ -> ()
+          | None ->
+              Hashtbl.replace parent m n;
+              dfs m)
+      (succ g n);
+    if !cycle = None then Hashtbl.replace color n 2
+  in
+  let all = nodes g in
+  List.iter (fun n -> if !cycle = None && not (Hashtbl.mem color n) then dfs n) all;
+  !cycle
+
+let has_cycle g = find_cycle g <> None
+
+let is_acyclic g = not (has_cycle g)
+
+let topo_sort g =
+  let indegree = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace indegree n (Iset.cardinal (pred g n))) (nodes g);
+  let ready =
+    List.filter (fun n -> Hashtbl.find indegree n = 0) (nodes g)
+  in
+  let queue = Queue.create () in
+  List.iter (fun n -> Queue.add n queue) ready;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    order := n :: !order;
+    incr count;
+    Iset.iter
+      (fun m ->
+        let d = Hashtbl.find indegree m - 1 in
+        Hashtbl.replace indegree m d;
+        if d = 0 then Queue.add m queue)
+      (succ g n)
+  done;
+  if !count = node_count g then Some (List.rev !order) else None
+
+let copy g =
+  let g' = create () in
+  Hashtbl.iter (fun n s -> Hashtbl.replace g'.fwd n s) g.fwd;
+  Hashtbl.iter (fun n s -> Hashtbl.replace g'.bwd n s) g.bwd;
+  g'
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (a, b) -> Format.fprintf ppf "%d -> %d@ " a b) (edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** Mutable directed graphs over integer node ids.
+
+    Used for serialization graphs (conflict graphs over transactions),
+    waits-for graphs of the lock manager, and the serialized-before relation
+    of the audit. Node ids are arbitrary integers; adding an edge implicitly
+    adds its endpoints. *)
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> int -> unit
+(** Idempotent. *)
+
+val remove_node : t -> int -> unit
+(** Removes the node and all incident edges. Idempotent. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g a b] adds the edge a -> b (and the nodes if absent).
+    Idempotent; self-loops are allowed and count as cycles. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Idempotent. *)
+
+val mem_node : t -> int -> bool
+
+val mem_edge : t -> int -> int -> bool
+
+val nodes : t -> int list
+(** All node ids, in increasing order. *)
+
+val edges : t -> (int * int) list
+(** All edges, sorted lexicographically. *)
+
+val succ : t -> int -> Iset.t
+(** Successors of a node (empty set if unknown). *)
+
+val pred : t -> int -> Iset.t
+(** Predecessors of a node (empty set if unknown). *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val has_path : t -> int -> int -> bool
+(** [has_path g a b]: is there a directed path (possibly empty, i.e. [a = b])
+    from [a] to [b]? *)
+
+val find_cycle : t -> int list option
+(** A witness cycle [\[v1; v2; ...; vk\]] meaning v1 -> v2 -> ... -> vk -> v1,
+    or [None] if the graph is acyclic. *)
+
+val has_cycle : t -> bool
+
+val is_acyclic : t -> bool
+
+val topo_sort : t -> int list option
+(** A topological order of all nodes, or [None] if the graph is cyclic. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+type 'a node = {
+  v : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable linked : bool;
+}
+
+type 'a t = {
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable len : int;
+}
+
+let create () = { head = None; tail = None; len = 0 }
+
+let is_empty t = t.len = 0
+
+let length t = t.len
+
+let push_back t v =
+  let node = { v; prev = t.tail; next = None; linked = true } in
+  (match t.tail with
+  | None -> t.head <- Some node
+  | Some old -> old.next <- Some node);
+  t.tail <- Some node;
+  t.len <- t.len + 1;
+  node
+
+let push_front t v =
+  let node = { v; prev = None; next = t.head; linked = true } in
+  (match t.head with
+  | None -> t.tail <- Some node
+  | Some old -> old.prev <- Some node);
+  t.head <- Some node;
+  t.len <- t.len + 1;
+  node
+
+let peek_front t =
+  match t.head with
+  | None -> None
+  | Some node -> Some node.v
+
+let remove t node =
+  if not node.linked then invalid_arg "Dllist.remove: node already removed";
+  (match node.prev with
+  | None -> t.head <- node.next
+  | Some p -> p.next <- node.next);
+  (match node.next with
+  | None -> t.tail <- node.prev
+  | Some n -> n.prev <- node.prev);
+  node.prev <- None;
+  node.next <- None;
+  node.linked <- false;
+  t.len <- t.len - 1
+
+let pop_front t =
+  match t.head with
+  | None -> None
+  | Some node ->
+      remove t node;
+      Some node.v
+
+let value node = node.v
+
+let is_front t node = match t.head with Some h -> h == node | None -> false
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go (node.v :: acc) node.next
+  in
+  go [] t.head
+
+let nodes t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go (node :: acc) node.next
+  in
+  go [] t.head
+
+let iter f t = List.iter f (to_list t)
+
+let exists p t = List.exists p (to_list t)

@@ -1,0 +1,54 @@
+(** Mutable doubly-linked lists with O(1) removal by node handle.
+
+    The insert and delete queues of the transaction-site-graph schemes
+    (Schemes 1 and 2 of the paper) need constant-time removal of an element
+    that is not necessarily at the front: an acknowledgement removes its
+    operation from wherever it sits in the site's insert queue. *)
+
+type 'a t
+(** A list of elements of type ['a]. *)
+
+type 'a node
+(** Handle on one element, usable for O(1) removal. *)
+
+val create : unit -> 'a t
+(** A fresh empty list. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** O(1): a counter is maintained. *)
+
+val push_back : 'a t -> 'a -> 'a node
+(** Append at the tail; returns the handle on the new element. *)
+
+val push_front : 'a t -> 'a -> 'a node
+(** Prepend at the head; returns the handle on the new element. *)
+
+val peek_front : 'a t -> 'a option
+(** Head element, if any, without removing it. *)
+
+val pop_front : 'a t -> 'a option
+(** Remove and return the head element. *)
+
+val remove : 'a t -> 'a node -> unit
+(** [remove t node] unlinks [node] from [t] in O(1). Removing a node twice is
+    a checked error ([Invalid_argument]); removing a node from a list it does
+    not belong to is undefined. *)
+
+val value : 'a node -> 'a
+(** The element carried by a handle (valid even after removal). *)
+
+val is_front : 'a t -> 'a node -> bool
+(** [is_front t node] is [true] iff [node] is the current head of [t]. *)
+
+val to_list : 'a t -> 'a list
+(** Elements from head to tail. *)
+
+val nodes : 'a t -> 'a node list
+(** Handles from head to tail (snapshot; removals after the call do not
+    invalidate the returned handles' values). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val exists : ('a -> bool) -> 'a t -> bool

@@ -1,0 +1,13 @@
+(** Maps keyed by integers (transaction ids, site ids). *)
+
+include Map.S with type key = int
+
+val find_or : default:'a -> int -> 'a t -> 'a
+(** [find_or ~default k m] is the binding of [k], or [default] when absent. *)
+
+val keys : 'a t -> int list
+(** Keys in increasing order. *)
+
+val adjust : int -> init:'a -> ('a -> 'a) -> 'a t -> 'a t
+(** [adjust k ~init f m] applies [f] to the binding of [k], treating a missing
+    binding as [init]. *)

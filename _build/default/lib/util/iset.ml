@@ -1,0 +1,19 @@
+include Set.Make (Int)
+
+let of_list l = List.fold_left (fun acc x -> add x acc) empty l
+
+let to_list = elements
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (elements s)
+
+let to_string s = Format.asprintf "%a" pp s
+
+let intersects a b =
+  (* Walk the smaller set, probing the larger. *)
+  let small, large = if cardinal a <= cardinal b then (a, b) else (b, a) in
+  exists (fun x -> mem x large) small

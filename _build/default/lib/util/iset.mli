@@ -1,0 +1,21 @@
+(** Sets of integers, used pervasively for transaction- and site-id sets.
+
+    A thin extension of [Stdlib.Set.Make (Int)] with conveniences needed by
+    the concurrency-control schemes (pretty-printing, list conversion,
+    intersection emptiness with early exit). *)
+
+include Set.S with type elt = int
+
+val of_list : int list -> t
+
+val to_list : t -> int list
+(** Elements in increasing order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [{1, 2, 5}]. *)
+
+val to_string : t -> string
+
+val intersects : t -> t -> bool
+(** [intersects a b] is [not (is_empty (inter a b))], without building the
+    intersection. *)

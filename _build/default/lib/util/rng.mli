@@ -1,0 +1,58 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library (workload generation, latency
+    models, property tests) draws from an explicit [Rng.t] so that runs are
+    reproducible from a single integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator positioned at the same point of the
+    stream as [t]. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator from [t],
+    advancing [t]. Useful to give each simulated component its own stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Raises
+    [Invalid_argument] if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples an exponential distribution with the given
+    rate (mean [1. /. rate]); used for Poisson inter-arrival times. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element. Raises [Invalid_argument] on an empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniformly random element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+(** Persistent shuffle of a list. *)
+
+val sample_distinct : t -> int -> int -> int list
+(** [sample_distinct t k bound] draws [k] distinct integers from
+    [\[0, bound)], in random order. Raises [Invalid_argument] if
+    [k > bound]. *)

@@ -1,0 +1,83 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      let n = List.length xs in
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+        /. float_of_int n
+      in
+      {
+        count = n;
+        mean = m;
+        stddev = sqrt var;
+        min = List.fold_left min infinity xs;
+        max = List.fold_left max neg_infinity xs;
+      }
+
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | _ ->
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100. *. float_of_int n)) |> max 1 |> min n
+      in
+      List.nth sorted (rank - 1)
+
+let linear_fit points =
+  if List.length points < 2 then invalid_arg "Stats.linear_fit: need >= 2 points";
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0. points in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0. points in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0. points in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0. points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x";
+  let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. n in
+  (slope, intercept)
+
+let r_squared points =
+  let slope, intercept = linear_fit points in
+  let ys = List.map snd points in
+  let ym = mean ys in
+  let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. ym) *. (y -. ym))) 0. ys in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let fit = (slope *. x) +. intercept in
+        acc +. ((y -. fit) *. (y -. fit)))
+      0. points
+  in
+  if ss_tot < 1e-12 then 1. else 1. -. (ss_res /. ss_tot)
+
+let log_log_slope points =
+  let logs =
+    List.filter_map
+      (fun (x, y) -> if x > 0. && y > 0. then Some (log x, log y) else None)
+      points
+  in
+  fst (linear_fit logs)
+
+let growth_ratio points =
+  match List.sort compare points with
+  | [] -> invalid_arg "Stats.growth_ratio: empty"
+  | (_, y0) :: rest ->
+      let _, yn = List.fold_left (fun _ p -> p) (0., y0) rest in
+      if abs_float y0 < 1e-12 then infinity else yn /. y0

@@ -1,0 +1,37 @@
+(** Small statistics toolkit for the benchmark harness: summary statistics,
+    percentiles, and least-squares fits used to check complexity *shapes*
+    (e.g. "steps per transaction grow linearly in d_av, quadratically
+    in n"). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]]; nearest-rank on the sorted
+    sample. Raises [Invalid_argument] on the empty list. *)
+
+val linear_fit : (float * float) list -> float * float
+(** [linear_fit points] returns [(slope, intercept)] of the least-squares
+    line. Raises [Invalid_argument] with fewer than two points. *)
+
+val r_squared : (float * float) list -> float
+(** Coefficient of determination of the least-squares line. *)
+
+val log_log_slope : (float * float) list -> float
+(** Slope of the least-squares fit of [log y] against [log x]: the empirical
+    polynomial degree of a scaling curve. Points with non-positive
+    coordinates are dropped. *)
+
+val growth_ratio : (float * float) list -> float
+(** Ratio [y_last /. y_first] after sorting by x; a quick flat-vs-growing
+    discriminator. *)

@@ -1,0 +1,80 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?aligns ~headers rows =
+  let columns = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = columns -> a
+    | _ -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  let normalize row =
+    let rec go i row acc =
+      if i = columns then List.rev acc
+      else
+        match row with
+        | [] -> go (i + 1) [] ("" :: acc)
+        | cell :: rest -> go (i + 1) rest (cell :: acc)
+    in
+    go 0 row []
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let render_row cells =
+    let parts =
+      List.map2
+        (fun (cell, align) width -> pad align width cell)
+        (List.combine cells aligns) widths
+    in
+    "| " ^ String.concat " | " parts ^ " |"
+  in
+  let separator =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (render_row headers);
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer separator;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buffer (render_row row);
+      Buffer.add_char buffer '\n')
+    rows;
+  Buffer.contents buffer
+
+let print ?aligns ~headers rows = print_string (render ?aligns ~headers rows)
+
+let fmt_float x =
+  if x = 0. then "0"
+  else
+    let magnitude = abs_float x in
+    if magnitude >= 1e7 || magnitude < 1e-3 then Printf.sprintf "%.3e" x
+    else if Float.is_integer x && magnitude < 1e7 then
+      Printf.sprintf "%.0f" x
+    else Printf.sprintf "%.3f" x
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buffer = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buffer ',';
+      Buffer.add_char buffer c)
+    s;
+  let body = Buffer.contents buffer in
+  if n < 0 then "-" ^ body else body

@@ -1,0 +1,23 @@
+(** Plain-text table rendering for benchmark and experiment reports.
+
+    Produces aligned, pipe-separated tables matching the style the benchmark
+    harness prints for every reproduced result of the paper. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> headers:string list -> string list list -> string
+(** [render ~headers rows] lays the table out with one column per header.
+    Rows shorter than the header list are padded with empty cells; longer
+    rows are truncated. Default alignment is [Left] for the first column and
+    [Right] for the rest. *)
+
+val print : ?aligns:align list -> headers:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_float : float -> string
+(** Compact human-friendly float formatting (3 significant decimals,
+    scientific form for very large or small magnitudes). *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer rendering, e.g. [12_345] as ["12345"] is
+    rendered ["12,345"]. *)

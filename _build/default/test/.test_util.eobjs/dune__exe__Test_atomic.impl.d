@@ -1,0 +1,1 @@
+test/test_atomic.ml: Alcotest Item List Mdbs_core Mdbs_lcc Mdbs_model Mdbs_sim Mdbs_site Mdbs_util Op Schedule Ser_fun Serializability Txn Types

@@ -1,0 +1,1 @@
+test/test_core_schemes.ml: Alcotest List Mdbs_core Mdbs_util Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest List Mdbs_core Mdbs_model Mdbs_sim

@@ -1,0 +1,1 @@
+test/test_gtm.ml: Alcotest Format Item List Mdbs_core Mdbs_model Mdbs_site Op Printf Ser_fun Ser_schedule Serializability Txn Types

@@ -1,0 +1,1 @@
+test/test_lcc.ml: Alcotest Format Hashtbl Item List Mdbs_lcc Mdbs_model Mdbs_site Mdbs_util Op Printf QCheck QCheck_alcotest Schedule Serializability Types

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Gen Hashtbl Item List Mdbs_model Mdbs_util Op Option QCheck QCheck_alcotest Result Schedule Ser_fun Ser_schedule Serializability String Txn Types

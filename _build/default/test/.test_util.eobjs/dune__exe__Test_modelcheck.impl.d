@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Hashtbl Lazy List Mdbs_core Mdbs_model Option Queue

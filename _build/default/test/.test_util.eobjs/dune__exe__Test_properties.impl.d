@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Hashtbl List Mdbs_core Mdbs_model Mdbs_sim Mdbs_util Option Printf QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Item List Mdbs_core Mdbs_model Mdbs_site Mdbs_util Op Schedule Serializability Txn Types

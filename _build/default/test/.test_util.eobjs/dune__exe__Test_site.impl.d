@@ -1,0 +1,1 @@
+test/test_site.ml: Alcotest Item List Mdbs_model Mdbs_site Op Schedule Ser_fun Types

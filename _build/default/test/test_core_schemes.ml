@@ -1,0 +1,507 @@
+(* Unit tests of GTM2: the Figure-3 engine, the four schemes on hand-traced
+   scenarios, the TSGD cycle definition, Eliminate_Cycles and the exact
+   minimal-Delta solver. *)
+
+module Engine = Mdbs_core.Engine
+module Scheme = Mdbs_core.Scheme
+module Queue_op = Mdbs_core.Queue_op
+module Scheme0 = Mdbs_core.Scheme0
+module Scheme1 = Mdbs_core.Scheme1
+module Scheme2 = Mdbs_core.Scheme2
+module Scheme3 = Mdbs_core.Scheme3
+module Scheme_nocontrol = Mdbs_core.Scheme_nocontrol
+module Registry = Mdbs_core.Registry
+module Tsgd = Mdbs_core.Tsgd
+module Eliminate_cycles = Mdbs_core.Eliminate_cycles
+module Minimal_delta = Mdbs_core.Minimal_delta
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let init gid sites = Queue_op.Init { Queue_op.gid; ser_sites = sites }
+
+let effect_t =
+  Alcotest.testable
+    (fun ppf e -> Scheme.pp_effect ppf e)
+    ( = )
+
+let submits effects =
+  List.filter_map
+    (function
+      | Scheme.Submit_ser (g, k) -> Some (g, k)
+      | Scheme.Forward_ack _ | Scheme.Abort_global _ -> None)
+    effects
+
+(* ---------------------------------------------------------------- Engine *)
+
+let engine_processes_in_order () =
+  let engine = Engine.create (Scheme_nocontrol.make ()) in
+  Engine.enqueue engine (init 1 [ 0 ]);
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list effect_t)) "submit emitted" [ Scheme.Submit_ser (1, 0) ] effects;
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list effect_t)) "ack forwarded" [ Scheme.Forward_ack (1, 0) ] effects;
+  check_int "processed" 3 (Engine.total_processed engine);
+  check_int "no waits" 0 (Engine.total_wait_insertions engine)
+
+let engine_wait_and_wake () =
+  (* Under nocontrol, a second Ser at the same site waits for the first ack
+     (transport rule); the ack must wake it. *)
+  let engine = Engine.create (Scheme_nocontrol.make ()) in
+  Engine.enqueue engine (init 1 [ 0 ]);
+  Engine.enqueue engine (init 2 [ 0 ]);
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  Engine.enqueue engine (Queue_op.Ser (2, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int))) "only first submitted" [ (1, 0) ] (submits effects);
+  check_int "one wait" 1 (Engine.wait_size engine);
+  check_int "ser wait counted" 1 (Engine.ser_wait_insertions engine);
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int))) "woken" [ (2, 0) ] (submits effects);
+  check_int "wait drained" 0 (Engine.wait_size engine)
+
+(* --------------------------------------------------------------- Scheme 0 *)
+
+let scheme0_fifo_per_site () =
+  let engine = Engine.create (Scheme0.make ()) in
+  Engine.enqueue engine (init 1 [ 0; 1 ]);
+  Engine.enqueue engine (init 2 [ 0 ]);
+  (* G2's ser op arrives first but must wait behind G1 in site 0's queue. *)
+  Engine.enqueue engine (Queue_op.Ser (2, 0));
+  Engine.enqueue engine (Queue_op.Ser (1, 1));
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int)))
+    "G1 first at site 0; site 1 independent"
+    [ (1, 1); (1, 0) ]
+    (submits effects);
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int))) "then G2" [ (2, 0) ] (submits effects)
+
+let scheme0_complete_cycle () =
+  let engine = Engine.create (Scheme0.make ()) in
+  Engine.enqueue engine (init 1 [ 0 ]);
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  Engine.enqueue engine (Queue_op.Fin 1);
+  ignore (Engine.run engine);
+  check_int "all processed" 4 (Engine.total_processed engine)
+
+(* --------------------------------------------------------------- Scheme 1 *)
+
+let scheme1_unmarked_overtakes () =
+  (* G1 and G2 share only site 0: no TSG cycle, nothing marked, so G2's
+     operation may run before G1's even though G1 was initialized first —
+     exactly what Scheme 0 forbids. *)
+  let engine = Engine.create (Scheme1.make ()) in
+  Engine.enqueue engine (init 1 [ 0; 1 ]);
+  Engine.enqueue engine (init 2 [ 0 ]);
+  Engine.enqueue engine (Queue_op.Ser (2, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int))) "G2 overtakes" [ (2, 0) ] (submits effects);
+  check_int "no waits" 0 (Engine.total_wait_insertions engine)
+
+let scheme1_marked_must_head () =
+  (* G1 at {0,1}, then G2 at {0,1}: G2's init closes a TSG cycle, so G2's
+     operations are marked and must wait until they head the insert queues. *)
+  let engine = Engine.create (Scheme1.make ()) in
+  Engine.enqueue engine (init 1 [ 0; 1 ]);
+  Engine.enqueue engine (init 2 [ 0; 1 ]);
+  Engine.enqueue engine (Queue_op.Ser (2, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int))) "marked G2 waits" [] (submits effects);
+  check_int "parked" 1 (Engine.wait_size engine);
+  (* G1 executes and acks at site 0; G2 becomes head and runs. *)
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int)))
+    "G1 then woken G2" [ (1, 0); (2, 0) ]
+    (submits effects)
+
+let scheme1_outstanding_serializes_site () =
+  let engine = Engine.create (Scheme1.make ()) in
+  Engine.enqueue engine (init 1 [ 0 ]);
+  Engine.enqueue engine (init 2 [ 0 ]);
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  Engine.enqueue engine (Queue_op.Ser (2, 0));
+  let effects = Engine.run engine in
+  (* Unmarked, but site 0 has an unacknowledged operation: G2 waits. *)
+  Alcotest.(check (list (pair int int))) "one at a time" [ (1, 0) ] (submits effects);
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int))) "second after ack" [ (2, 0) ] (submits effects)
+
+let scheme1_fin_order () =
+  (* Fins must drain delete queues in per-site execution order. *)
+  let engine = Engine.create (Scheme1.make ()) in
+  Engine.enqueue engine (init 1 [ 0 ]);
+  Engine.enqueue engine (init 2 [ 0 ]);
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  Engine.enqueue engine (Queue_op.Ser (2, 0));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ack (2, 0));
+  (* G2's fin arrives before G1's: it must wait its delete-queue turn. *)
+  Engine.enqueue engine (Queue_op.Fin 2);
+  ignore (Engine.run engine);
+  check_int "fin 2 parked" 1 (Engine.wait_size engine);
+  Engine.enqueue engine (Queue_op.Fin 1);
+  ignore (Engine.run engine);
+  check_int "both fins done" 0 (Engine.wait_size engine)
+
+(* --------------------------------------------------------------- Scheme 3 *)
+
+let scheme3_blocks_exact_cycle () =
+  (* G1, G2 at sites {0,1}. G1 executes at site 0 first (G1 < G2 there);
+     then G2's operation at site 1 arriving first must NOT be allowed to
+     run before G1's, or ser(S) would cycle. *)
+  let engine = Engine.create (Scheme3.make ()) in
+  Engine.enqueue engine (init 1 [ 0; 1 ]);
+  Engine.enqueue engine (init 2 [ 0; 1 ]);
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  ignore (Engine.run engine);
+  (* Now ser_bef(G2) contains G1. G2 at site 1 must wait for G1 there. *)
+  Engine.enqueue engine (Queue_op.Ser (2, 1));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int))) "G2 blocked at site 1" [] (submits effects);
+  Engine.enqueue engine (Queue_op.Ser (1, 1));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ack (1, 1));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int))) "G2 after G1's ack" [ (2, 1) ] (submits effects)
+
+let scheme3_allows_independent () =
+  (* Disjoint sites: everything runs immediately. *)
+  let engine = Engine.create (Scheme3.make ()) in
+  Engine.enqueue engine (init 1 [ 0 ]);
+  Engine.enqueue engine (init 2 [ 1 ]);
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  Engine.enqueue engine (Queue_op.Ser (2, 1));
+  let effects = Engine.run engine in
+  check_int "both submitted" 2 (List.length (submits effects));
+  check_int "no waits" 0 (Engine.total_wait_insertions engine)
+
+let scheme3_fin_waits_for_predecessors () =
+  let engine = Engine.create (Scheme3.make ()) in
+  Engine.enqueue engine (init 1 [ 0 ]);
+  Engine.enqueue engine (init 2 [ 0 ]);
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  Engine.enqueue engine (Queue_op.Ser (2, 0));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ack (2, 0));
+  (* G2 is serialized after G1: its fin waits until G1's fin. *)
+  Engine.enqueue engine (Queue_op.Fin 2);
+  ignore (Engine.run engine);
+  check_int "fin 2 waits" 1 (Engine.wait_size engine);
+  Engine.enqueue engine (Queue_op.Fin 1);
+  ignore (Engine.run engine);
+  check_int "drained" 0 (Engine.wait_size engine)
+
+(* Scheme 3 beats Scheme 1: overtaking at a shared site after a cycle-free
+   prefix. G1 {0,1}, G2 {0,1}: Scheme 1 marks G2 everywhere; Scheme 3 lets
+   G2 run FIRST at both sites (serializing G2 < G1) if its ops arrive
+   first. *)
+let scheme3_reorders_where_scheme1_cannot () =
+  let drive scheme =
+    let engine = Engine.create scheme in
+    Engine.enqueue engine (init 1 [ 0; 1 ]);
+    Engine.enqueue engine (init 2 [ 0; 1 ]);
+    Engine.enqueue engine (Queue_op.Ser (2, 0));
+    let first = submits (Engine.run engine) in
+    first
+  in
+  Alcotest.(check (list (pair int int))) "scheme3 lets G2 lead" [ (2, 0) ]
+    (drive (Scheme3.make ()));
+  Alcotest.(check (list (pair int int))) "scheme1 marks and blocks G2" []
+    (drive (Scheme1.make ()))
+
+let scheme1_mark_always_is_fifo () =
+  (* With Mark_always, the init-order FIFO discipline of Scheme 0 returns:
+     even without any TSG cycle, a later-arriving operation cannot
+     overtake. *)
+  let engine = Engine.create (Scheme1.make ~mark_policy:Scheme1.Mark_always ()) in
+  Engine.enqueue engine (init 1 [ 0; 1 ]);
+  Engine.enqueue engine (init 2 [ 0 ]);
+  Engine.enqueue engine (Queue_op.Ser (2, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int))) "G2 cannot overtake" [] (submits effects);
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  let effects = Engine.run engine in
+  Alcotest.(check (list (pair int int)))
+    "strict init order" [ (1, 0); (2, 0) ]
+    (submits effects)
+
+(* ------------------------------------------------------------ Scheme OTM *)
+
+let otm_aborts_on_cycle () =
+  let scheme = Mdbs_core.Scheme_otm.make () in
+  let engine = Engine.create scheme in
+  Engine.enqueue engine (init 1 [ 0; 1 ]);
+  Engine.enqueue engine (init 2 [ 0; 1 ]);
+  (* G1 before G2 at site 0. *)
+  Engine.enqueue engine (Queue_op.Ser (1, 0));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ack (1, 0));
+  Engine.enqueue engine (Queue_op.Ser (2, 0));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ack (2, 0));
+  (* G2 before G1 at site 1 would close the cycle: OTM must abort G2's
+     request eagerly rather than wait. *)
+  Engine.enqueue engine (Queue_op.Ser (2, 1));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ack (2, 1));
+  ignore (Engine.run engine);
+  Engine.enqueue engine (Queue_op.Ser (1, 1));
+  let effects = Engine.run engine in
+  let aborted =
+    List.filter_map
+      (function Scheme.Abort_global g -> Some g | _ -> None)
+      effects
+  in
+  Alcotest.(check (list int)) "G1 aborted (cycle with committed G2 order)" [ 1 ] aborted;
+  check_int "no waits" 0 (Engine.total_wait_insertions engine)
+
+(* ------------------------------------------------------------------ TSGD *)
+
+let tsgd_basic_cycle () =
+  let t = Tsgd.create () in
+  Tsgd.add_txn t 1 [ 0; 1 ];
+  Tsgd.add_txn t 2 [ 0; 1 ];
+  (* No dependencies: cycle 1-0-2-1-1 is dangerous in both directions. *)
+  check_bool "dangerous" true (Tsgd.dangerous_cycle_involving t 1 <> None);
+  check_bool "not acyclic" false (Tsgd.is_acyclic t);
+  (* A dependency in ONE direction still leaves the other realizable. *)
+  Tsgd.add_dep t 1 0 2;
+  check_bool "still dangerous" true (Tsgd.dangerous_cycle_involving t 1 <> None);
+  (* Same-direction dependency at the second site closes the cycle: still
+     dangerous (it IS the serialization order 1<2 at both sites? no —
+     (1,0,2) and (1,1,2) orient both sites the same way: no cycle). *)
+  Tsgd.add_dep t 1 1 2;
+  check_bool "consistent orientation is safe" true (Tsgd.is_acyclic t)
+
+let tsgd_opposed_deps_cycle () =
+  let t = Tsgd.create () in
+  Tsgd.add_txn t 1 [ 0; 1 ];
+  Tsgd.add_txn t 2 [ 0; 1 ];
+  Tsgd.add_dep t 1 0 2;
+  (* 1 before 2 at site 0 *)
+  Tsgd.add_dep t 2 1 1;
+  (* 2 before 1 at site 1: a realized serialization cycle *)
+  check_bool "violation detected" false (Tsgd.is_acyclic t)
+
+let tsgd_no_cycle_without_sharing () =
+  let t = Tsgd.create () in
+  Tsgd.add_txn t 1 [ 0; 1 ];
+  Tsgd.add_txn t 2 [ 1; 2 ];
+  Tsgd.add_txn t 3 [ 2; 3 ];
+  check_bool "path, no cycle" true (Tsgd.is_acyclic t);
+  Tsgd.add_txn t 4 [ 3; 0 ];
+  check_bool "ring closes a cycle" false (Tsgd.is_acyclic t)
+
+let tsgd_remove_txn_cleans () =
+  let t = Tsgd.create () in
+  Tsgd.add_txn t 1 [ 0; 1 ];
+  Tsgd.add_txn t 2 [ 0; 1 ];
+  Tsgd.add_dep t 1 0 2;
+  check_int "one dep" 1 (Tsgd.dep_count t);
+  Tsgd.remove_txn t 1;
+  check_int "deps gone" 0 (Tsgd.dep_count t);
+  check_bool "no incoming on 2" false (Tsgd.has_incoming_dep t 2);
+  check_bool "acyclic" true (Tsgd.is_acyclic t);
+  Alcotest.(check (list int)) "one txn left" [ 2 ] (Tsgd.txns t)
+
+let tsgd_remove_dep () =
+  let t = Tsgd.create () in
+  Tsgd.add_txn t 1 [ 0 ];
+  Tsgd.add_txn t 2 [ 0 ];
+  Tsgd.add_dep t 1 0 2;
+  Tsgd.remove_dep t 1 0 2;
+  check_bool "removed" false (Tsgd.has_dep t 1 0 2);
+  check_int "count" 0 (Tsgd.dep_count t);
+  Tsgd.remove_dep t 1 0 2 (* idempotent *)
+
+(* ------------------------------------------------------ Eliminate_Cycles *)
+
+let ec_breaks_two_txn_cycle () =
+  let t = Tsgd.create () in
+  Tsgd.add_txn t 1 [ 0; 1 ];
+  Tsgd.add_txn t 2 [ 0; 1 ];
+  let delta, steps = Eliminate_cycles.run t 2 in
+  check_bool "returns something" true (delta <> []);
+  check_bool "steps counted" true (steps > 0);
+  List.iter (fun (src, site) -> Tsgd.add_dep t src site 2) delta;
+  check_bool "no cycle involving 2 afterwards" true
+    (Tsgd.dangerous_cycle_involving t 2 = None);
+  (* Every dependency targets the new transaction. *)
+  List.iter (fun (src, _) -> check_bool "source is the old txn" true (src = 1)) delta
+
+let ec_no_cycle_no_delta () =
+  let t = Tsgd.create () in
+  Tsgd.add_txn t 1 [ 0; 1 ];
+  Tsgd.add_txn t 2 [ 2; 3 ];
+  let delta, _ = Eliminate_cycles.run t 2 in
+  Alcotest.(check (list (pair int int))) "no delta needed" [] delta
+
+let ec_respects_existing_deps () =
+  (* Cycle 1-0-2-1-1 partially committed: dep (1,0,2) already in D. EC for
+     a new transaction 3 on {0,1} must still break everything involving 3. *)
+  let t = Tsgd.create () in
+  Tsgd.add_txn t 1 [ 0; 1 ];
+  Tsgd.add_txn t 2 [ 0; 1 ];
+  Tsgd.add_dep t 1 0 2;
+  Tsgd.add_dep t 1 1 2;
+  Tsgd.add_txn t 3 [ 0; 1 ];
+  let delta, _ = Eliminate_cycles.run t 3 in
+  List.iter (fun (src, site) -> Tsgd.add_dep t src site 3) delta;
+  check_bool "no dangerous cycle involving 3" true
+    (Tsgd.dangerous_cycle_involving t 3 = None)
+
+(* Property: after EC's delta is applied, no dangerous cycle involves the
+   new transaction — on randomly grown TSGDs. *)
+let ec_invariant_property =
+  QCheck.Test.make ~name:"Eliminate_Cycles kills all cycles through the new txn"
+    ~count:100
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, n) ->
+      let rng = Mdbs_util.Rng.create seed in
+      let t = Tsgd.create () in
+      let ok = ref true in
+      for gid = 1 to n do
+        let d = 1 + Mdbs_util.Rng.int rng 3 in
+        let sites = Mdbs_util.Rng.sample_distinct rng (min d 5) 5 in
+        Tsgd.add_txn t gid sites;
+        let delta, _ = Eliminate_cycles.run t gid in
+        List.iter (fun (src, site) -> Tsgd.add_dep t src site gid) delta;
+        if Tsgd.dangerous_cycle_involving t gid <> None then ok := false
+      done;
+      (* The whole TSGD must stay acyclic (Scheme 2's Theorem 5 invariant). *)
+      !ok && Tsgd.is_acyclic t)
+
+(* ---------------------------------------------------------- Minimal delta *)
+
+let minimal_delta_simple () =
+  let t = Tsgd.create () in
+  Tsgd.add_txn t 1 [ 0; 1 ];
+  Tsgd.add_txn t 2 [ 0; 1 ];
+  (match Minimal_delta.minimum t 2 with
+  | Some delta ->
+      (* Committing only one site leaves the other orientation realizable:
+         both of G2's sites must be ordered, so the minimum is 2. *)
+      check_int "two deps needed for a 2-cycle" 2 (List.length delta);
+      check_bool "it is minimal" true (Minimal_delta.is_minimal t 2 delta)
+  | None -> Alcotest.fail "expected a minimum");
+  (* The heuristic may use more, never fewer. *)
+  let heuristic, _ = Eliminate_cycles.run t 2 in
+  check_bool "heuristic at least as large" true (List.length heuristic >= 2)
+
+let minimal_delta_none_needed () =
+  let t = Tsgd.create () in
+  Tsgd.add_txn t 1 [ 0 ];
+  Tsgd.add_txn t 2 [ 1 ];
+  match Minimal_delta.minimum t 2 with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "expected empty minimum"
+
+let minimal_le_heuristic_property =
+  QCheck.Test.make ~name:"minimum delta never exceeds the heuristic's" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let rng = Mdbs_util.Rng.create (seed + 1000) in
+      let t = Tsgd.create () in
+      for gid = 1 to 4 do
+        let sites = Mdbs_util.Rng.sample_distinct rng 2 4 in
+        Tsgd.add_txn t gid sites;
+        let delta, _ = Eliminate_cycles.run t gid in
+        List.iter (fun (src, site) -> Tsgd.add_dep t src site gid) delta
+      done;
+      let gid = 5 in
+      Tsgd.add_txn t gid (Mdbs_util.Rng.sample_distinct rng 2 4);
+      let heuristic, _ = Eliminate_cycles.run t gid in
+      match Minimal_delta.minimum t gid with
+      | Some minimum -> List.length minimum <= List.length heuristic
+      | None -> false)
+
+(* --------------------------------------------------------------- Registry *)
+
+let registry_roundtrip () =
+  List.iter
+    (fun kind ->
+      match Registry.of_string (Registry.name kind) with
+      | Some k -> check_bool "roundtrip" true (k = kind)
+      | None -> Alcotest.fail "of_string failed")
+    Registry.all_with_baseline;
+  Alcotest.(check (option reject)) "unknown" None
+    (Option.map (fun _ -> ()) (Registry.of_string "bogus"));
+  List.iter
+    (fun kind ->
+      let scheme = Registry.make kind in
+      check_bool "fresh steps" true (scheme.Scheme.steps () = 0);
+      check_bool "described" true (String.length (Registry.description kind) > 0))
+    Registry.all_with_baseline
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mdbs-core-schemes"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "in-order" `Quick engine_processes_in_order;
+          Alcotest.test_case "wait-and-wake" `Quick engine_wait_and_wake;
+        ] );
+      ( "scheme0",
+        [
+          Alcotest.test_case "fifo-per-site" `Quick scheme0_fifo_per_site;
+          Alcotest.test_case "complete-cycle" `Quick scheme0_complete_cycle;
+        ] );
+      ( "scheme1",
+        [
+          Alcotest.test_case "unmarked-overtakes" `Quick scheme1_unmarked_overtakes;
+          Alcotest.test_case "marked-must-head" `Quick scheme1_marked_must_head;
+          Alcotest.test_case "outstanding" `Quick scheme1_outstanding_serializes_site;
+          Alcotest.test_case "fin-order" `Quick scheme1_fin_order;
+          Alcotest.test_case "mark-always-fifo" `Quick scheme1_mark_always_is_fifo;
+        ] );
+      ("otm", [ Alcotest.test_case "aborts-on-cycle" `Quick otm_aborts_on_cycle ]);
+      ( "scheme3",
+        [
+          Alcotest.test_case "blocks-cycle" `Quick scheme3_blocks_exact_cycle;
+          Alcotest.test_case "independent" `Quick scheme3_allows_independent;
+          Alcotest.test_case "fin-waits" `Quick scheme3_fin_waits_for_predecessors;
+          Alcotest.test_case "beats-scheme1" `Quick scheme3_reorders_where_scheme1_cannot;
+        ] );
+      ( "tsgd",
+        [
+          Alcotest.test_case "basic-cycle" `Quick tsgd_basic_cycle;
+          Alcotest.test_case "opposed-deps" `Quick tsgd_opposed_deps_cycle;
+          Alcotest.test_case "ring" `Quick tsgd_no_cycle_without_sharing;
+          Alcotest.test_case "remove-txn" `Quick tsgd_remove_txn_cleans;
+          Alcotest.test_case "remove-dep" `Quick tsgd_remove_dep;
+        ] );
+      ( "eliminate-cycles",
+        [
+          Alcotest.test_case "breaks-2cycle" `Quick ec_breaks_two_txn_cycle;
+          Alcotest.test_case "no-cycle-no-delta" `Quick ec_no_cycle_no_delta;
+          Alcotest.test_case "existing-deps" `Quick ec_respects_existing_deps;
+        ]
+        @ qsuite [ ec_invariant_property ] );
+      ( "minimal-delta",
+        [
+          Alcotest.test_case "simple" `Quick minimal_delta_simple;
+          Alcotest.test_case "none-needed" `Quick minimal_delta_none_needed;
+        ]
+        @ qsuite [ minimal_le_heuristic_property ] );
+      ("registry", [ Alcotest.test_case "roundtrip" `Quick registry_roundtrip ]);
+    ]

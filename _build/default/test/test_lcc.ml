@@ -1,0 +1,428 @@
+(* Tests for the local concurrency-control protocols: the lock table,
+   strict 2PL, timestamp ordering, SGT certification and OCC validation.
+   Each protocol must produce conflict-serializable local schedules on
+   random workloads (checked through a Local_dbms site, which records the
+   executed schedule). *)
+
+open Mdbs_model
+module Lock_table = Mdbs_lcc.Lock_table
+module Cc = Mdbs_lcc.Cc_types
+module Two_pl = Mdbs_lcc.Two_pl
+module Timestamp = Mdbs_lcc.Timestamp
+module Sgt = Mdbs_lcc.Sgt
+module Occ = Mdbs_lcc.Occ
+module Protocol = Mdbs_lcc.Protocol
+module Local_dbms = Mdbs_site.Local_dbms
+module Rng = Mdbs_util.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let x0 = Item.Key 0
+let x1 = Item.Key 1
+
+(* ------------------------------------------------------------ Lock_table *)
+
+let lock_result =
+  Alcotest.testable
+    (fun ppf -> function
+      | Lock_table.Granted -> Format.pp_print_string ppf "granted"
+      | Lock_table.Blocked -> Format.pp_print_string ppf "blocked"
+      | Lock_table.Deadlock -> Format.pp_print_string ppf "deadlock")
+    ( = )
+
+let lock_shared_compatible () =
+  let lt = Lock_table.create () in
+  Alcotest.check lock_result "t1 S" Lock_table.Granted (Lock_table.acquire lt 1 x0 Lock_table.S);
+  Alcotest.check lock_result "t2 S" Lock_table.Granted (Lock_table.acquire lt 2 x0 Lock_table.S);
+  Alcotest.check lock_result "t3 X blocked" Lock_table.Blocked
+    (Lock_table.acquire lt 3 x0 Lock_table.X);
+  check_bool "t1 holds" true (Lock_table.holds lt 1 x0 Lock_table.S);
+  Alcotest.(check (option (pair (module struct
+    type t = Item.t
+    let pp = Item.pp
+    let equal = Item.equal
+  end) (module struct
+    type t = Lock_table.mode
+    let pp ppf = function Lock_table.S -> Format.pp_print_string ppf "S" | Lock_table.X -> Format.pp_print_string ppf "X"
+    let equal = ( = )
+  end))))
+    "t3 waiting" (Some (x0, Lock_table.X)) (Lock_table.waiting_on lt 3)
+
+let lock_release_grants_fifo () =
+  let lt = Lock_table.create () in
+  ignore (Lock_table.acquire lt 1 x0 Lock_table.X);
+  Alcotest.check lock_result "t2 blocked" Lock_table.Blocked
+    (Lock_table.acquire lt 2 x0 Lock_table.X);
+  Alcotest.check lock_result "t3 blocked" Lock_table.Blocked
+    (Lock_table.acquire lt 3 x0 Lock_table.S);
+  let granted = Lock_table.release_all lt 1 in
+  (* FIFO: t2 (X) first; t3 stays blocked behind it. *)
+  Alcotest.(check int) "one grant" 1 (List.length granted);
+  (match granted with
+  | [ (2, item, Lock_table.X) ] -> check_bool "item" true (Item.equal item x0)
+  | _ -> Alcotest.fail "expected t2 granted X");
+  let granted2 = Lock_table.release_all lt 2 in
+  match granted2 with
+  | [ (3, _, Lock_table.S) ] -> ()
+  | _ -> Alcotest.fail "expected t3 granted S"
+
+let lock_upgrade () =
+  let lt = Lock_table.create () in
+  ignore (Lock_table.acquire lt 1 x0 Lock_table.S);
+  Alcotest.check lock_result "sole holder upgrade" Lock_table.Granted
+    (Lock_table.acquire lt 1 x0 Lock_table.X);
+  check_bool "now X" true (Lock_table.holds lt 1 x0 Lock_table.X);
+  (* With another S holder, upgrade must wait at the queue front. *)
+  let lt2 = Lock_table.create () in
+  ignore (Lock_table.acquire lt2 1 x0 Lock_table.S);
+  ignore (Lock_table.acquire lt2 2 x0 Lock_table.S);
+  Alcotest.check lock_result "upgrade waits" Lock_table.Blocked
+    (Lock_table.acquire lt2 1 x0 Lock_table.X);
+  let granted = Lock_table.release_all lt2 2 in
+  match granted with
+  | [ (1, _, Lock_table.X) ] -> ()
+  | _ -> Alcotest.fail "expected upgrade granted after release"
+
+let lock_deadlock_detected () =
+  let lt = Lock_table.create () in
+  ignore (Lock_table.acquire lt 1 x0 Lock_table.X);
+  ignore (Lock_table.acquire lt 2 x1 Lock_table.X);
+  Alcotest.check lock_result "t1 waits for x1" Lock_table.Blocked
+    (Lock_table.acquire lt 1 x1 Lock_table.X);
+  Alcotest.check lock_result "t2 closing the cycle is refused" Lock_table.Deadlock
+    (Lock_table.acquire lt 2 x0 Lock_table.X);
+  (* t2 was not enqueued; releasing it must unblock nothing for x0. *)
+  let granted = Lock_table.release_all lt 2 in
+  match granted with
+  | [ (1, item, Lock_table.X) ] -> check_bool "t1 gets x1" true (Item.equal item x1)
+  | _ -> Alcotest.fail "expected t1 unblocked on x1"
+
+let lock_upgrade_deadlock () =
+  (* Two S holders both requesting upgrade: classic conversion deadlock. *)
+  let lt = Lock_table.create () in
+  ignore (Lock_table.acquire lt 1 x0 Lock_table.S);
+  ignore (Lock_table.acquire lt 2 x0 Lock_table.S);
+  Alcotest.check lock_result "first upgrade waits" Lock_table.Blocked
+    (Lock_table.acquire lt 1 x0 Lock_table.X);
+  Alcotest.check lock_result "second upgrade deadlocks" Lock_table.Deadlock
+    (Lock_table.acquire lt 2 x0 Lock_table.X)
+
+let lock_reacquire_held () =
+  let lt = Lock_table.create () in
+  ignore (Lock_table.acquire lt 1 x0 Lock_table.X);
+  Alcotest.check lock_result "re-request X" Lock_table.Granted
+    (Lock_table.acquire lt 1 x0 Lock_table.X);
+  Alcotest.check lock_result "S under X" Lock_table.Granted
+    (Lock_table.acquire lt 1 x0 Lock_table.S);
+  check_int "active" 1 (List.length (Lock_table.active_transactions lt))
+
+(* ------------------------------------------------------------- Timestamp *)
+
+let to_rejects_late () =
+  let p = Timestamp.create () in
+  ignore (Timestamp.begin_txn p 1);
+  ignore (Timestamp.begin_txn p 2);
+  (* t2 (younger) writes x0; t1's late read must be rejected. *)
+  Alcotest.(check bool) "t2 write ok" true (Timestamp.access p 2 x0 Cc.Write_mode = Cc.Granted);
+  (match Timestamp.access p 1 x0 Cc.Read_mode with
+  | Cc.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected late read rejection");
+  (* t1's late write also rejected. *)
+  match Timestamp.access p 1 x0 Cc.Write_mode with
+  | Cc.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected late write rejection"
+
+let to_allows_in_order () =
+  let p = Timestamp.create () in
+  ignore (Timestamp.begin_txn p 1);
+  ignore (Timestamp.begin_txn p 2);
+  check_bool "t1 read" true (Timestamp.access p 1 x0 Cc.Read_mode = Cc.Granted);
+  check_bool "t2 write after read" true (Timestamp.access p 2 x0 Cc.Write_mode = Cc.Granted);
+  check_bool "t2 update x1" true (Timestamp.access p 2 x1 Cc.Update_mode = Cc.Granted);
+  Alcotest.(check (option int)) "t1 ts" (Some 1) (Timestamp.timestamp_of p 1);
+  Alcotest.(check (option int)) "t2 ts" (Some 2) (Timestamp.timestamp_of p 2)
+
+(* ------------------------------------------------------------------- SGT *)
+
+let sgt_rejects_cycle () =
+  let p = Sgt.create () in
+  ignore (Sgt.begin_txn p 1);
+  ignore (Sgt.begin_txn p 2);
+  check_bool "t1 w x0" true (Sgt.access p 1 x0 Cc.Write_mode = Cc.Granted);
+  check_bool "t2 w x1" true (Sgt.access p 2 x1 Cc.Write_mode = Cc.Granted);
+  check_bool "t2 w x0 (t1 -> t2)" true (Sgt.access p 2 x0 Cc.Write_mode = Cc.Granted);
+  (* t1 writing x1 would add t2 -> t1, closing the cycle. *)
+  (match Sgt.access p 1 x1 Cc.Write_mode with
+  | Cc.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected cycle rejection");
+  (* After the failed access the graph must be restored (no cycle). *)
+  ignore (Sgt.abort p 1);
+  check_bool "t2 can continue" true (Sgt.access p 2 x1 Cc.Read_mode = Cc.Granted)
+
+let sgt_prunes_committed () =
+  let p = Sgt.create () in
+  ignore (Sgt.begin_txn p 1);
+  check_bool "t1 w" true (Sgt.access p 1 x0 Cc.Write_mode = Cc.Granted);
+  ignore (Sgt.commit p 1);
+  let nodes, _ = Sgt.graph_size p in
+  check_int "source committed node pruned" 0 nodes
+
+let sgt_keeps_needed_committed () =
+  let p = Sgt.create () in
+  ignore (Sgt.begin_txn p 1);
+  ignore (Sgt.begin_txn p 2);
+  check_bool "t1 w x0" true (Sgt.access p 1 x0 Cc.Write_mode = Cc.Granted);
+  check_bool "t2 r x0" true (Sgt.access p 2 x0 Cc.Read_mode = Cc.Granted);
+  (* t2 committed but has a predecessor (t1 active): must be retained. *)
+  ignore (Sgt.commit p 2);
+  let nodes, edges = Sgt.graph_size p in
+  check_int "both retained" 2 nodes;
+  check_int "edge retained" 1 edges;
+  ignore (Sgt.commit p 1);
+  let nodes, _ = Sgt.graph_size p in
+  check_int "all pruned after t1 commits" 0 nodes
+
+(* ------------------------------------------------------------------- OCC *)
+
+let occ_validation_failure () =
+  let p = Occ.create () in
+  ignore (Occ.begin_txn p 1);
+  ignore (Occ.begin_txn p 2);
+  ignore (Occ.access p 1 x0 Cc.Read_mode);
+  ignore (Occ.access p 2 x0 Cc.Write_mode);
+  (* t2 commits first; t1 read x0 and must fail validation. *)
+  check_bool "t2 commits" true (fst (Occ.commit p 2) = Cc.Granted);
+  (match fst (Occ.commit p 1) with
+  | Cc.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected validation failure");
+  ignore (Occ.abort p 1)
+
+let occ_disjoint_commit () =
+  let p = Occ.create () in
+  ignore (Occ.begin_txn p 1);
+  ignore (Occ.begin_txn p 2);
+  ignore (Occ.access p 1 x0 Cc.Read_mode);
+  ignore (Occ.access p 2 x1 Cc.Write_mode);
+  check_bool "t2 commits" true (fst (Occ.commit p 2) = Cc.Granted);
+  check_bool "t1 commits too (disjoint)" true (fst (Occ.commit p 1) = Cc.Granted)
+
+let occ_write_set () =
+  let p = Occ.create () in
+  ignore (Occ.begin_txn p 1);
+  ignore (Occ.access p 1 x0 Cc.Write_mode);
+  ignore (Occ.access p 1 x1 Cc.Update_mode);
+  check_int "write set size" 2 (List.length (Occ.write_set p 1))
+
+(* ------------------------------------------------------------------ C2PL *)
+
+module C2pl = Mdbs_lcc.C2pl
+module Wd2pl = Mdbs_lcc.Wd2pl
+
+let c2pl_acquires_all_at_begin () =
+  let p = C2pl.create () in
+  C2pl.declare p 1 [ (x0, Cc.Read_mode); (x1, Cc.Write_mode); (x0, Cc.Write_mode) ];
+  check_bool "begin grants all" true (C2pl.begin_txn p 1 = Cc.Granted);
+  check_bool "declared write ok" true (C2pl.access p 1 x0 Cc.Write_mode = Cc.Granted);
+  check_bool "declared read ok" true (C2pl.access p 1 x1 Cc.Read_mode = Cc.Granted);
+  (match C2pl.access p 1 (Item.Key 9) Cc.Read_mode with
+  | Cc.Rejected _ -> ()
+  | _ -> Alcotest.fail "undeclared access must be rejected");
+  ignore (C2pl.commit p 1)
+
+let c2pl_blocked_begin_completes () =
+  let p = C2pl.create () in
+  C2pl.declare p 1 [ (x0, Cc.Write_mode) ];
+  check_bool "t1 begins" true (C2pl.begin_txn p 1 = Cc.Granted);
+  C2pl.declare p 2 [ (x0, Cc.Read_mode); (x1, Cc.Write_mode) ];
+  check_bool "t2 begin blocks on x0" true (C2pl.begin_txn p 2 = Cc.Blocked);
+  let _, unblocked = C2pl.commit p 1 in
+  Alcotest.(check (list int)) "t2's begin completed" [ 2 ] unblocked;
+  check_bool "t2 can now read" true (C2pl.access p 2 x0 Cc.Read_mode = Cc.Granted);
+  check_bool "t2 can now write" true (C2pl.access p 2 x1 Cc.Write_mode = Cc.Granted)
+
+let c2pl_no_deadlock_opposite_order () =
+  (* The classic 2PL deadlock (x0 then x1 vs x1 then x0) cannot happen:
+     both transactions acquire in canonical order at begin. *)
+  let p = C2pl.create () in
+  C2pl.declare p 1 [ (x0, Cc.Write_mode); (x1, Cc.Write_mode) ];
+  C2pl.declare p 2 [ (x1, Cc.Write_mode); (x0, Cc.Write_mode) ];
+  check_bool "t1 begins" true (C2pl.begin_txn p 1 = Cc.Granted);
+  check_bool "t2 waits (no deadlock)" true (C2pl.begin_txn p 2 = Cc.Blocked);
+  let _, unblocked = C2pl.commit p 1 in
+  Alcotest.(check (list int)) "t2 proceeds" [ 2 ] unblocked
+
+(* ----------------------------------------------------------------- WD2PL *)
+
+let wait_die_older_waits () =
+  let p = Wd2pl.create () in
+  ignore (Wd2pl.begin_txn p 1);
+  ignore (Wd2pl.begin_txn p 2);
+  check_bool "t2 (younger) locks x0" true (Wd2pl.access p 2 x0 Cc.Write_mode = Cc.Granted);
+  (* t1 is older: it waits. *)
+  check_bool "t1 waits" true (Wd2pl.access p 1 x0 Cc.Write_mode = Cc.Blocked);
+  let _, unblocked = Wd2pl.commit p 2 in
+  Alcotest.(check (list int)) "t1 unblocked" [ 1 ] unblocked
+
+let wait_die_younger_dies () =
+  let p = Wd2pl.create () in
+  ignore (Wd2pl.begin_txn p 1);
+  ignore (Wd2pl.begin_txn p 2);
+  check_bool "t1 (older) locks x0" true (Wd2pl.access p 1 x0 Cc.Write_mode = Cc.Granted);
+  match Wd2pl.access p 2 x0 Cc.Read_mode with
+  | Cc.Rejected "wait-die" -> ()
+  | _ -> Alcotest.fail "younger requester must die"
+
+(* ---------------------------------------------- protocol CSR property --- *)
+
+(* Run a random single-site workload through a Local_dbms under each
+   protocol; the recorded committed schedule must be conflict-serializable.
+   Blocked operations are retried via drain_completions; rejected
+   transactions abort and are forgotten (no restart needed for the CSR
+   property). *)
+let run_random_site protocol ~seed ~txns ~items ~ops =
+  let rng = Rng.create seed in
+  let site = Local_dbms.create ~protocol 0 in
+  (* Interleave transactions step by step. *)
+  let scripts =
+    List.init txns (fun i ->
+        let tid = i + 1 in
+        let actions =
+          List.init ops (fun _ ->
+              let item = Item.Key (Rng.int rng items) in
+              if Rng.bool rng then Op.Read item else Op.Write (item, 1))
+        in
+        if Local_dbms.needs_declarations site then
+          Local_dbms.declare site tid
+            (List.filter_map
+               (fun action ->
+                 match (Op.action_item action, Op.is_write_like action) with
+                 | Some item, true -> Some (item, Cc.Write_mode)
+                 | Some item, false -> Some (item, Cc.Read_mode)
+                 | None, _ -> None)
+               actions);
+        (tid, ref (Op.Begin :: (actions @ [ Op.Commit ])), ref `Ready))
+  in
+  let live () =
+    List.filter (fun (_, script, state) -> !script <> [] && !state <> `Dead) scripts
+  in
+  let stalled = ref 0 in
+  while live () <> [] && !stalled < 1000 do
+    incr stalled;
+    let candidates = List.filter (fun (_, _, state) -> !state = `Ready) (live ()) in
+    (match candidates with
+    | [] -> ()
+    | _ ->
+        let tid, script, state = List.nth candidates (Rng.int rng (List.length candidates)) in
+        (match !script with
+        | [] -> ()
+        | action :: rest -> (
+            match Local_dbms.submit site tid action with
+            | Local_dbms.Executed _ ->
+                stalled := 0;
+                script := rest
+            | Local_dbms.Waiting ->
+                stalled := 0;
+                script := rest;
+                state := `Waiting
+            | Local_dbms.Aborted _ ->
+                stalled := 0;
+                state := `Dead)));
+    List.iter
+      (fun completion ->
+        let tid = completion.Local_dbms.tid in
+        List.iter
+          (fun (tid', _, state) -> if tid' = tid then state := `Ready)
+          scripts)
+      (Local_dbms.drain_completions site)
+  done;
+  (* Abort any transaction stuck at the end (undetected starvation guard). *)
+  List.iter
+    (fun (tid, script, state) ->
+      if !script <> [] && !state <> `Dead then
+        ignore (Local_dbms.submit site tid Op.Abort))
+    scripts;
+  Local_dbms.schedule site
+
+let csr_property protocol =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s local schedules are conflict-serializable"
+         (Types.protocol_name protocol))
+    ~count:60 QCheck.small_int
+    (fun seed ->
+      let schedule = run_random_site protocol ~seed ~txns:5 ~items:3 ~ops:4 in
+      Serializability.is_serializable [ schedule ])
+
+(* TO with begin-order timestamps must serialize committed txns in begin
+   order: the serialization function property (S2.2). *)
+let to_ser_fun_property =
+  QCheck.Test.make ~name:"TO serializes committed transactions in begin order"
+    ~count:60 QCheck.small_int
+    (fun seed ->
+      let schedule =
+        run_random_site Types.Timestamp_ordering ~seed ~txns:5 ~items:3 ~ops:4
+      in
+      (* begin order of committed txns *)
+      let committed = Schedule.committed schedule in
+      let begin_order =
+        List.filter_map (fun e ->
+            if e.Schedule.action = Op.Begin && Mdbs_util.Iset.mem e.Schedule.tid committed
+            then Some e.Schedule.tid
+            else None)
+          (Schedule.entries schedule)
+      in
+      (* Every conflict edge must go forward in begin order. *)
+      let position = Hashtbl.create 8 in
+      List.iteri (fun i tid -> Hashtbl.replace position tid i) begin_order;
+      let g = Serializability.conflict_graph [ schedule ] in
+      List.for_all
+        (fun (a, b) -> Hashtbl.find position a < Hashtbl.find position b)
+        (Mdbs_util.Digraph.edges g))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mdbs-lcc"
+    [
+      ( "lock-table",
+        [
+          Alcotest.test_case "shared-compatible" `Quick lock_shared_compatible;
+          Alcotest.test_case "release-fifo" `Quick lock_release_grants_fifo;
+          Alcotest.test_case "upgrade" `Quick lock_upgrade;
+          Alcotest.test_case "deadlock" `Quick lock_deadlock_detected;
+          Alcotest.test_case "upgrade-deadlock" `Quick lock_upgrade_deadlock;
+          Alcotest.test_case "reacquire" `Quick lock_reacquire_held;
+        ] );
+      ( "timestamp",
+        [
+          Alcotest.test_case "rejects-late" `Quick to_rejects_late;
+          Alcotest.test_case "in-order" `Quick to_allows_in_order;
+        ] );
+      ( "sgt",
+        [
+          Alcotest.test_case "rejects-cycle" `Quick sgt_rejects_cycle;
+          Alcotest.test_case "prunes" `Quick sgt_prunes_committed;
+          Alcotest.test_case "keeps-needed" `Quick sgt_keeps_needed_committed;
+        ] );
+      ( "occ",
+        [
+          Alcotest.test_case "validation-failure" `Quick occ_validation_failure;
+          Alcotest.test_case "disjoint-commit" `Quick occ_disjoint_commit;
+          Alcotest.test_case "write-set" `Quick occ_write_set;
+        ] );
+      ( "c2pl",
+        [
+          Alcotest.test_case "acquires-at-begin" `Quick c2pl_acquires_all_at_begin;
+          Alcotest.test_case "blocked-begin" `Quick c2pl_blocked_begin_completes;
+          Alcotest.test_case "no-deadlock" `Quick c2pl_no_deadlock_opposite_order;
+        ] );
+      ( "wait-die",
+        [
+          Alcotest.test_case "older-waits" `Quick wait_die_older_waits;
+          Alcotest.test_case "younger-dies" `Quick wait_die_younger_dies;
+        ] );
+      ( "csr-property",
+        qsuite
+          (List.map csr_property Types.all_protocols @ [ to_ser_fun_property ]) );
+    ]

@@ -1,0 +1,317 @@
+(* Tests for the MDBS formal model: operations, transactions, schedules,
+   conflict serializability, serialization functions and ser(S). *)
+
+open Mdbs_model
+module Iset = Mdbs_util.Iset
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let x0 = Item.Key 0
+let x1 = Item.Key 1
+
+(* ------------------------------------------------------------------- Op *)
+
+let op_conflicts () =
+  check_bool "w-w same item" true
+    (Op.conflicting_actions (Op.Write (x0, 1)) (Op.Write (x0, 2)));
+  check_bool "r-w same item" true
+    (Op.conflicting_actions (Op.Read x0) (Op.Write (x0, 1)));
+  check_bool "r-r no conflict" false
+    (Op.conflicting_actions (Op.Read x0) (Op.Read x0));
+  check_bool "different items" false
+    (Op.conflicting_actions (Op.Write (x0, 1)) (Op.Write (x1, 1)));
+  check_bool "ticket conflicts with ticket" true
+    (Op.conflicting_actions Op.Ticket_op Op.Ticket_op);
+  check_bool "ticket conflicts with ticket read" true
+    (Op.conflicting_actions Op.Ticket_op (Op.Read Item.Ticket));
+  check_bool "begin conflicts with nothing" false
+    (Op.conflicting_actions Op.Begin (Op.Write (x0, 1)));
+  check_bool "commit conflicts with nothing" false
+    (Op.conflicting_actions Op.Commit Op.Commit)
+
+let op_items () =
+  Alcotest.(check (option string))
+    "ticket item" (Some "ticket")
+    (Option.map Item.to_string (Op.action_item Op.Ticket_op));
+  Alcotest.(check (option string))
+    "none for begin" None
+    (Option.map Item.to_string (Op.action_item Op.Begin))
+
+let item_compare () =
+  check_bool "ticket smallest" true (Item.compare Item.Ticket (Item.Key 0) < 0);
+  check_int "equal keys" 0 (Item.compare (Item.Key 5) (Item.Key 5));
+  check_bool "key order" true (Item.compare (Item.Key 1) (Item.Key 2) < 0);
+  check_bool "hash distinct" true (Item.hash (Item.Key 1) <> Item.hash (Item.Key 2))
+
+(* ------------------------------------------------------------------ Txn *)
+
+let txn_local_brackets () =
+  let t = Txn.local ~id:1 ~site:0 [ Op.Read x0; Op.Write (x1, 1) ] in
+  (match t.Txn.script with
+  | { Txn.action = Op.Begin; _ } :: _ -> ()
+  | _ -> Alcotest.fail "missing begin");
+  (match List.rev t.Txn.script with
+  | { Txn.action = Op.Commit; _ } :: _ -> ()
+  | _ -> Alcotest.fail "missing commit");
+  Alcotest.(check (list int)) "sites" [ 0 ] (Txn.sites t);
+  check_bool "well formed" true (Txn.well_formed t = Ok ())
+
+let txn_global_shape () =
+  let t = Txn.global ~id:2 [ (0, [ Op.Read x0 ]); (1, [ Op.Write (x0, 1) ]) ] in
+  Alcotest.(check (list int)) "sites in order" [ 0; 1 ] (Txn.sites t);
+  check_bool "well formed" true (Txn.well_formed t = Ok ());
+  check_bool "is global" true (Txn.is_global t);
+  (* Commits come after all data actions. *)
+  let commits_at =
+    List.filteri (fun _ s -> s.Txn.action = Op.Commit) t.Txn.script |> List.length
+  in
+  check_int "two commits" 2 commits_at;
+  match List.rev t.Txn.script with
+  | { Txn.action = Op.Commit; _ } :: { Txn.action = Op.Commit; _ } :: _ -> ()
+  | _ -> Alcotest.fail "commits must be last"
+
+let txn_accesses_at () =
+  let t =
+    Txn.global ~id:5
+      [
+        (0, [ Op.Read x0; Op.Write (x0, 1); Op.Read x1 ]);
+        (1, [ Op.Ticket_op; Op.Write (x1, 2); Op.Write (x1, 3) ]);
+      ]
+  in
+  (match Txn.accesses_at t 0 with
+  | [ (a, true); (b, false) ] ->
+      check_bool "x0 write-strongest" true (Item.equal a x0);
+      check_bool "x1 read" true (Item.equal b x1)
+  | _ -> Alcotest.fail "unexpected accesses at site 0");
+  (match Txn.accesses_at t 1 with
+  | [ (Item.Ticket, true); (b, true) ] -> check_bool "x1 deduped" true (Item.equal b x1)
+  | _ -> Alcotest.fail "unexpected accesses at site 1");
+  Alcotest.(check (list (pair int bool))) "empty at unknown site" []
+    (List.map (fun (_, w) -> (0, w)) (Txn.accesses_at t 7))
+
+let txn_malformed () =
+  let bad =
+    { Txn.id = 3; kind = Txn.Local 0; script = [ { Txn.site = 0; action = Op.Read x0 } ] }
+  in
+  check_bool "detects missing begin" true (Result.is_error (Txn.well_formed bad));
+  let other_site =
+    Txn.local ~id:4 ~site:0 [ Op.Read x0 ]
+  in
+  let bad2 =
+    { other_site with Txn.script = other_site.Txn.script @ [ { Txn.site = 1; action = Op.Begin } ] }
+  in
+  check_bool "detects site mismatch for local" true (Result.is_error (Txn.well_formed bad2))
+
+(* -------------------------------------------------------------- Schedule *)
+
+let schedule_roundtrip () =
+  let s = Schedule.create 0 in
+  Schedule.record s 1 Op.Begin;
+  Schedule.record s 1 (Op.Read x0);
+  Schedule.record s 2 Op.Begin;
+  Schedule.record s 1 Op.Commit;
+  Schedule.record s 2 Op.Abort;
+  check_int "length" 5 (Schedule.length s);
+  check_bool "committed" true (Iset.mem 1 (Schedule.committed s));
+  check_bool "aborted" true (Iset.mem 2 (Schedule.aborted s));
+  check_int "committed projection" 3 (List.length (Schedule.committed_entries s));
+  check_int "site" 0 (Schedule.site s)
+
+(* ------------------------------------------------------- Serializability *)
+
+(* Build a schedule quickly: (tid, action) list. *)
+let schedule_of site entries =
+  let s = Schedule.create site in
+  List.iter (fun (tid, action) -> Schedule.record s tid action) entries;
+  s
+
+let serializable_schedule () =
+  (* T1 then T2, no interleaving. *)
+  let s =
+    schedule_of 0
+      [
+        (1, Op.Begin); (1, Op.Read x0); (1, Op.Write (x0, 1)); (1, Op.Commit);
+        (2, Op.Begin); (2, Op.Read x0); (2, Op.Commit);
+      ]
+  in
+  check_bool "serializable" true (Serializability.is_serializable [ s ]);
+  match Serializability.serialization_order [ s ] with
+  | Some [ 1; 2 ] -> ()
+  | Some other ->
+      Alcotest.failf "unexpected order: %s"
+        (String.concat "," (List.map string_of_int other))
+  | None -> Alcotest.fail "expected an order"
+
+let non_serializable_two_sites () =
+  (* T1 before T2 at site 0, T2 before T1 at site 1. *)
+  let s0 =
+    schedule_of 0
+      [
+        (1, Op.Begin); (2, Op.Begin); (1, Op.Write (x0, 1)); (2, Op.Write (x0, 1));
+        (1, Op.Commit); (2, Op.Commit);
+      ]
+  in
+  let s1 =
+    schedule_of 1
+      [
+        (1, Op.Begin); (2, Op.Begin); (2, Op.Write (x0, 1)); (1, Op.Write (x0, 1));
+        (1, Op.Commit); (2, Op.Commit);
+      ]
+  in
+  check_bool "not serializable" false (Serializability.is_serializable [ s0; s1 ]);
+  match Serializability.check [ s0; s1 ] with
+  | Serializability.Cycle cycle -> check_bool "cycle mentions both" true (List.length cycle = 2)
+  | Serializability.Serializable -> Alcotest.fail "expected cycle"
+
+let aborted_ops_ignored () =
+  (* T2 aborts; its conflicting op must not create an edge. *)
+  let s =
+    schedule_of 0
+      [
+        (2, Op.Begin); (2, Op.Write (x0, 1)); (1, Op.Begin); (1, Op.Write (x0, 1));
+        (2, Op.Abort); (1, Op.Commit);
+      ]
+  in
+  check_bool "aborted excluded" true (Serializability.is_serializable [ s ]);
+  let g = Serializability.conflict_graph [ s ] in
+  check_int "only committed node" 1 (Mdbs_util.Digraph.node_count g)
+
+let bruteforce_agrees =
+  QCheck.Test.make ~name:"CSR checker agrees with permutation oracle" ~count:120
+    (* random single-site schedules over 3 txns and 2 items *)
+    QCheck.(list_of_size (Gen.int_range 0 12) (pair (int_range 1 3) (int_range 0 3)))
+    (fun raw ->
+      let s = Schedule.create 0 in
+      let begun = Hashtbl.create 4 in
+      List.iter
+        (fun (tid, code) ->
+          if not (Hashtbl.mem begun tid) then begin
+            Hashtbl.replace begun tid ();
+            Schedule.record s tid Op.Begin
+          end;
+          let action =
+            match code with
+            | 0 -> Op.Read x0
+            | 1 -> Op.Write (x0, 1)
+            | 2 -> Op.Read x1
+            | _ -> Op.Write (x1, 1)
+          in
+          Schedule.record s tid action)
+        raw;
+      Hashtbl.iter (fun tid () -> Schedule.record s tid Op.Commit) begun;
+      Serializability.is_serializable [ s ]
+      = Serializability.is_serializable_bruteforce [ s ])
+
+(* --------------------------------------------------------------- Ser_fun *)
+
+let ser_fun_points () =
+  Alcotest.(check string) "2pl at commit" "at-commit"
+    (Ser_fun.to_string (Ser_fun.for_protocol Types.Two_phase_locking));
+  Alcotest.(check string) "to at begin" "at-begin"
+    (Ser_fun.to_string (Ser_fun.for_protocol Types.Timestamp_ordering));
+  Alcotest.(check string) "sgt at ticket" "at-ticket"
+    (Ser_fun.to_string (Ser_fun.for_protocol Types.Serialization_graph_testing));
+  Alcotest.(check string) "occ at commit" "at-commit"
+    (Ser_fun.to_string (Ser_fun.for_protocol Types.Optimistic));
+  check_bool "action realizes point" true
+    (Ser_fun.is_serialization_action Ser_fun.At_ticket Op.Ticket_op);
+  check_bool "wrong action" false
+    (Ser_fun.is_serialization_action Ser_fun.At_begin Op.Commit)
+
+(* ---------------------------------------------------------- Ser_schedule *)
+
+let ser_schedule_consistent () =
+  let log = Ser_schedule.create () in
+  Ser_schedule.record log 0 1;
+  Ser_schedule.record log 0 2;
+  Ser_schedule.record log 1 1;
+  Ser_schedule.record log 1 2;
+  check_bool "consistent orders" true (Ser_schedule.is_serializable log);
+  (match Ser_schedule.global_order log with
+  | Some [ 1; 2 ] -> ()
+  | _ -> Alcotest.fail "expected order 1,2");
+  Alcotest.(check (list int)) "site order" [ 1; 2 ] (Ser_schedule.site_order log 0)
+
+let ser_schedule_cycle () =
+  let log = Ser_schedule.create () in
+  Ser_schedule.record log 0 1;
+  Ser_schedule.record log 0 2;
+  Ser_schedule.record log 1 2;
+  Ser_schedule.record log 1 1;
+  check_bool "conflicting orders" false (Ser_schedule.is_serializable log);
+  match Ser_schedule.check log with
+  | Ser_schedule.Cycle _ -> ()
+  | Ser_schedule.Serializable -> Alcotest.fail "expected cycle"
+
+(* Theorem 2 connection: if ser(S) is serializable under per-site orders,
+   there is a compatible total order on global transactions (Theorem 1's
+   witness). *)
+let theorem1_witness =
+  QCheck.Test.make ~name:"acyclic ser(S) always yields a global total order"
+    ~count:200
+    QCheck.(list (pair (int_range 0 3) (int_range 1 5)))
+    (fun events ->
+      let log = Ser_schedule.create () in
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun (site, gid) ->
+          (* one ser event per (site, gid) *)
+          if not (Hashtbl.mem seen (site, gid)) then begin
+            Hashtbl.replace seen (site, gid) ();
+            Ser_schedule.record log site gid
+          end)
+        events;
+      match (Ser_schedule.is_serializable log, Ser_schedule.global_order log) with
+      | true, Some order ->
+          (* the order must embed every site order *)
+          let position = Hashtbl.create 16 in
+          List.iteri (fun i gid -> Hashtbl.replace position gid i) order;
+          List.for_all
+            (fun site ->
+              let rec increasing = function
+                | a :: (b :: _ as rest) ->
+                    Hashtbl.find position a < Hashtbl.find position b
+                    && increasing rest
+                | _ -> true
+              in
+              increasing (Ser_schedule.site_order log site))
+            (Ser_schedule.sites log)
+      | false, None -> true
+      | true, None -> false
+      | false, Some _ -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mdbs-model"
+    [
+      ( "op-item",
+        [
+          Alcotest.test_case "conflicts" `Quick op_conflicts;
+          Alcotest.test_case "items" `Quick op_items;
+          Alcotest.test_case "item-compare" `Quick item_compare;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "local-brackets" `Quick txn_local_brackets;
+          Alcotest.test_case "global-shape" `Quick txn_global_shape;
+          Alcotest.test_case "accesses-at" `Quick txn_accesses_at;
+          Alcotest.test_case "malformed" `Quick txn_malformed;
+        ] );
+      ("schedule", [ Alcotest.test_case "roundtrip" `Quick schedule_roundtrip ]);
+      ( "serializability",
+        [
+          Alcotest.test_case "serializable" `Quick serializable_schedule;
+          Alcotest.test_case "two-site-cycle" `Quick non_serializable_two_sites;
+          Alcotest.test_case "aborted-ignored" `Quick aborted_ops_ignored;
+        ]
+        @ qsuite [ bruteforce_agrees ] );
+      ("ser-fun", [ Alcotest.test_case "points" `Quick ser_fun_points ]);
+      ( "ser-schedule",
+        [
+          Alcotest.test_case "consistent" `Quick ser_schedule_consistent;
+          Alcotest.test_case "cycle" `Quick ser_schedule_cycle;
+        ]
+        @ qsuite [ theorem1_witness ] );
+    ]

@@ -1,0 +1,214 @@
+(* Exhaustive interleaving exploration ("model checking" at small scale).
+
+   For small transaction populations we enumerate EVERY arrival order of
+   init/ser operations (respecting per-transaction program order and GTM1's
+   ack gating, with immediate acknowledgements) and drive each scheme
+   through each order. Assertions, for every scheme and every
+   interleaving:
+
+   - no stuck states: the trace drains completely (conservative schemes
+     must not deadlock among themselves — the liveness half of the paper's
+     design, cf. the [MRB+91] progress argument for Scheme 3);
+   - ser(S) is serializable (Theorems 3, 5, 8), for OTM on the committed
+     part;
+   - Scheme 3 admits an operation whenever immediate processing is safe
+     (it never waits on an interleaving whose uncontrolled processing is
+     serializable — the exact §7 statement, checked exhaustively rather
+     than on sampled traces).
+
+   With 3 transactions of 2 operations each there are
+   9!/(3!·3!·3!) = 1680 arrival orders; per scheme that is well within a
+   unit-test budget. *)
+
+module Engine = Mdbs_core.Engine
+module Scheme = Mdbs_core.Scheme
+module Queue_op = Mdbs_core.Queue_op
+module Registry = Mdbs_core.Registry
+module Ser_schedule = Mdbs_model.Ser_schedule
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+type txn_spec = { gid : int; sites : int list }
+
+(* Enumerate all interleavings of the transactions' event sequences. Each
+   transaction contributes [Init; Ser s1; Ser s2; ...] in order. *)
+let rec interleavings (cursors : (txn_spec * int) list) =
+  let available =
+    List.filter (fun (spec, pos) -> pos <= List.length spec.sites) cursors
+  in
+  if available = [] then [ [] ]
+  else
+    List.concat_map
+      (fun (spec, pos) ->
+        let event =
+          if pos = 0 then `Init spec
+          else `Ser (spec.gid, List.nth spec.sites (pos - 1))
+        in
+        let advanced =
+          List.map
+            (fun (s, p) -> if s.gid = spec.gid then (s, p + 1) else (s, p))
+            cursors
+        in
+        let rest =
+          interleavings
+            (List.filter (fun (s, p) -> p <= List.length s.sites) advanced)
+        in
+        List.map (fun tail -> event :: tail) rest)
+      available
+
+(* Drive one scheme through one interleaving with immediate acks and
+   immediate fins. Returns (drained, submissions, ser_waits, aborted). *)
+let drive scheme events =
+  let engine = Engine.create scheme in
+  let submissions = ref [] in
+  let aborted = ref [] in
+  let acked = Hashtbl.create 8 in
+  let expected = Hashtbl.create 8 in
+  let fin_done = Hashtbl.create 8 in
+  let pending_acks = Queue.create () in
+  let handle = function
+    | Scheme.Submit_ser (g, k) ->
+        submissions := (g, k) :: !submissions;
+        Queue.add (g, k) pending_acks
+    | Scheme.Forward_ack (g, _) ->
+        Hashtbl.replace acked g
+          (1 + Option.value ~default:0 (Hashtbl.find_opt acked g))
+    | Scheme.Abort_global g -> aborted := g :: !aborted
+  in
+  let rec settle () =
+    let effects = Engine.run engine in
+    List.iter handle effects;
+    let enqueued = ref false in
+    while not (Queue.is_empty pending_acks) do
+      let g, k = Queue.pop pending_acks in
+      Engine.enqueue engine (Queue_op.Ack (g, k));
+      enqueued := true
+    done;
+    Hashtbl.iter
+      (fun g count ->
+        let done_enough =
+          count = Hashtbl.find expected g || List.mem g !aborted
+        in
+        if done_enough && not (Hashtbl.mem fin_done g) then begin
+          Hashtbl.replace fin_done g ();
+          Engine.enqueue engine (Queue_op.Fin g);
+          enqueued := true
+        end)
+      acked;
+    (* Aborted transactions may have no acks at all. *)
+    List.iter
+      (fun g ->
+        if not (Hashtbl.mem fin_done g) then begin
+          Hashtbl.replace fin_done g ();
+          Engine.enqueue engine (Queue_op.Fin g);
+          enqueued := true
+        end)
+      !aborted;
+    if !enqueued then settle ()
+  in
+  List.iter
+    (fun event ->
+      (match event with
+      | `Init spec ->
+          Hashtbl.replace expected spec.gid (List.length spec.sites);
+          Hashtbl.replace acked spec.gid 0;
+          Engine.enqueue engine
+            (Queue_op.Init { Queue_op.gid = spec.gid; ser_sites = spec.sites })
+      | `Ser (g, k) ->
+          if not (List.mem g !aborted) then
+            Engine.enqueue engine (Queue_op.Ser (g, k)));
+      settle ())
+    events;
+  settle ();
+  let drained = Engine.wait_size engine = 0 in
+  (drained, List.rev !submissions, Engine.ser_wait_insertions engine, !aborted)
+
+let ser_s_ok submissions aborted =
+  let log = Ser_schedule.create () in
+  List.iter
+    (fun (g, k) -> if not (List.mem g aborted) then Ser_schedule.record log k g)
+    submissions;
+  Ser_schedule.is_serializable log
+
+(* The population: three transactions over three sites, pairwise sharing. *)
+let population =
+  [
+    { gid = 1; sites = [ 0; 1 ] };
+    { gid = 2; sites = [ 1; 2 ] };
+    { gid = 3; sites = [ 2; 0 ] };
+  ]
+
+let all_orders = lazy (interleavings (List.map (fun s -> (s, 0)) population))
+
+let exhaustive_scheme kind () =
+  let orders = Lazy.force all_orders in
+  check_int "interleaving count" 1680 (List.length orders);
+  List.iteri
+    (fun index events ->
+      let drained, submissions, _, aborted = drive (Registry.make kind) events in
+      if not drained then
+        Alcotest.failf "%s: stuck on interleaving %d" (Registry.name kind) index;
+      (match kind with
+      | Registry.Otm -> ()
+      | _ ->
+          if aborted <> [] then
+            Alcotest.failf "%s: conservative scheme aborted (interleaving %d)"
+              (Registry.name kind) index);
+      if not (ser_s_ok submissions aborted) then
+        Alcotest.failf "%s: non-serializable ser(S) on interleaving %d"
+          (Registry.name kind) index)
+    orders
+
+let exhaustive_scheme3_permits_all () =
+  (* On every interleaving whose uncontrolled processing is serializable,
+     Scheme 3 must not delay anything. *)
+  let orders = Lazy.force all_orders in
+  let safe = ref 0 in
+  List.iteri
+    (fun index events ->
+      let _, submissions, _, _ = drive (Registry.make Registry.Nocontrol) events in
+      if ser_s_ok submissions [] then begin
+        incr safe;
+        let _, _, waits, _ = drive (Registry.make Registry.S3) events in
+        if waits <> 0 then
+          Alcotest.failf "scheme3 delayed a safe interleaving (%d)" index
+      end)
+    orders;
+  (* Sanity: the safe set is neither empty nor everything. *)
+  check_bool "some interleavings safe" true (!safe > 0);
+  check_bool "some interleavings unsafe" true (!safe < List.length orders)
+
+let exhaustive_nocontrol_violations_exist () =
+  let orders = Lazy.force all_orders in
+  let violations =
+    List.filter
+      (fun events ->
+        let _, submissions, _, _ =
+          drive (Registry.make Registry.Nocontrol) events
+        in
+        not (ser_s_ok submissions []))
+      orders
+  in
+  check_bool "uncontrolled processing violates on some interleavings" true
+    (List.length violations > 0)
+
+let () =
+  Alcotest.run "mdbs-modelcheck"
+    [
+      ( "exhaustive",
+        List.map
+          (fun kind ->
+            Alcotest.test_case (Registry.name kind) `Quick (exhaustive_scheme kind))
+          (Registry.all @ [ Registry.Otm ]) );
+      ( "scheme3",
+        [
+          Alcotest.test_case "permits-all-exhaustive" `Quick
+            exhaustive_scheme3_permits_all;
+        ] );
+      ( "nocontrol",
+        [
+          Alcotest.test_case "violations-exist" `Quick
+            exhaustive_nocontrol_violations_exist;
+        ] );
+    ]

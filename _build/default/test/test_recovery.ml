@@ -1,0 +1,323 @@
+(* Tests of the write-ahead log and crash recovery: redo of committed work,
+   undo of losers, compensation for pre-crash aborts, in-doubt (prepared)
+   transaction survival and resolution — the site-local half of the
+   fault-tolerance work the paper leaves open. *)
+
+open Mdbs_model
+module Wal = Mdbs_site.Wal
+module Local_dbms = Mdbs_site.Local_dbms
+module Storage = Mdbs_site.Storage
+module Iset = Mdbs_util.Iset
+module Rng = Mdbs_util.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let x0 = Item.Key 0
+let x1 = Item.Key 1
+
+let exec site tid action =
+  match Local_dbms.submit site tid action with
+  | Local_dbms.Executed v -> v
+  | Local_dbms.Waiting -> Alcotest.fail "unexpected wait"
+  | Local_dbms.Aborted r -> Alcotest.failf "unexpected abort: %s" r
+
+(* -------------------------------------------------------------------- Wal *)
+
+let wal_analysis () =
+  let wal = Wal.create () in
+  Wal.append wal (Wal.Begin 1);
+  Wal.append wal (Wal.Write (1, x0, 0, 5));
+  Wal.append wal (Wal.Committed 1);
+  Wal.append wal (Wal.Begin 2);
+  Wal.append wal (Wal.Write (2, x0, 5, 9));
+  Wal.append wal (Wal.Prepared 2);
+  Wal.append wal (Wal.Begin 3);
+  Wal.append wal (Wal.Write (3, x1, 0, 1));
+  let a = Wal.analyze wal in
+  check_bool "1 committed" true (Iset.mem 1 a.Wal.committed);
+  check_bool "2 in doubt" true (Iset.mem 2 a.Wal.in_doubt);
+  check_bool "3 loser" true (Iset.mem 3 a.Wal.losers);
+  check_int "log length" 8 (Wal.length wal)
+
+let wal_recovery_redo_undo () =
+  let wal = Wal.create () in
+  Wal.append wal (Wal.Load (x0, 100));
+  Wal.append wal (Wal.Begin 1);
+  Wal.append wal (Wal.Write (1, x0, 100, 60));
+  Wal.append wal (Wal.Committed 1);
+  (* loser: wrote over the committed value, twice *)
+  Wal.append wal (Wal.Begin 2);
+  Wal.append wal (Wal.Write (2, x0, 60, 50));
+  Wal.append wal (Wal.Write (2, x0, 50, 40));
+  (match Wal.recovered_state wal with
+  | [ (item, v) ] ->
+      check_bool "item" true (Item.equal item x0);
+      check_int "loser undone, committed kept" 60 v
+  | _ -> Alcotest.fail "unexpected state");
+  Alcotest.(check (list (pair (module struct
+    type t = Item.t
+    let pp = Item.pp
+    let equal = Item.equal
+  end) int)))
+    "undo entries newest first"
+    [ (x0, 50); (x0, 60) ]
+    (Wal.undo_entries wal 2)
+
+let wal_compensated_abort () =
+  (* An abort before the crash logs compensation; recovery must keep the
+     later committed value. *)
+  let wal = Wal.create () in
+  Wal.append wal (Wal.Begin 1);
+  Wal.append wal (Wal.Write (1, x0, 0, 5));
+  Wal.append wal (Wal.Write (1, x0, 5, 0)) (* compensation *);
+  Wal.append wal (Wal.Aborted 1);
+  Wal.append wal (Wal.Begin 2);
+  Wal.append wal (Wal.Write (2, x0, 0, 3));
+  Wal.append wal (Wal.Committed 2);
+  match Wal.recovered_state wal with
+  | [ (_, 3) ] -> ()
+  | _ -> Alcotest.fail "compensated abort must not clobber the later commit"
+
+(* ------------------------------------------------------------- Local_dbms *)
+
+let committed_survives_crash () =
+  let site = Local_dbms.create ~durable:true 0 in
+  Local_dbms.load site [ (x0, 100) ];
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, -40)));
+  ignore (exec site 1 Op.Commit);
+  (* an in-flight transaction dies at the crash *)
+  ignore (exec site 2 Op.Begin);
+  ignore (exec site 2 (Op.Write (x0, 999)));
+  ignore (exec site 2 (Op.Write (x1, 7)));
+  Local_dbms.crash site;
+  check_int "committed survived" 60 (Local_dbms.storage_value site x0);
+  check_int "loser undone" 0 (Local_dbms.storage_value site x1);
+  check_int "no actives" 0 (Local_dbms.active_count site);
+  (* the loser's death is visible to the audit *)
+  check_bool "T2 aborted in schedule" true
+    (Iset.mem 2 (Schedule.aborted (Local_dbms.schedule site)));
+  (* the site works normally after recovery *)
+  ignore (exec site 3 Op.Begin);
+  ignore (exec site 3 (Op.Write (x0, 1)));
+  ignore (exec site 3 Op.Commit);
+  check_int "post-crash work" 61 (Local_dbms.storage_value site x0)
+
+let pre_crash_abort_stays_undone () =
+  let site = Local_dbms.create ~durable:true 0 in
+  Local_dbms.load site [ (x0, 10) ];
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, 5)));
+  ignore (Local_dbms.submit site 1 Op.Abort);
+  ignore (exec site 2 Op.Begin);
+  ignore (exec site 2 (Op.Write (x0, 2)));
+  ignore (exec site 2 Op.Commit);
+  Local_dbms.crash site;
+  check_int "aborted work stays undone, committed stays" 12
+    (Local_dbms.storage_value site x0)
+
+let in_doubt_survives_and_commits () =
+  let site = Local_dbms.create ~protocol:Types.Two_phase_locking ~durable:true 0 in
+  Local_dbms.load site [ (x0, 100) ];
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, -25)));
+  ignore (exec site 1 Op.Prepare);
+  Local_dbms.crash site;
+  Alcotest.(check (list int)) "in doubt" [ 1 ] (Local_dbms.in_doubt site);
+  check_int "prepared effects retained" 75 (Local_dbms.storage_value site x0);
+  (* In-doubt transactions hold their write locks: a reader must block. *)
+  ignore (exec site 2 Op.Begin);
+  (match Local_dbms.submit site 2 (Op.Read x0) with
+  | Local_dbms.Waiting -> ()
+  | _ -> Alcotest.fail "reader must block behind the in-doubt lock");
+  (* The coordinator's verdict arrives: commit. *)
+  ignore (exec site 1 Op.Commit);
+  (match Local_dbms.drain_completions site with
+  | [ { Local_dbms.tid = 2; outcome = Local_dbms.Executed (Some 75); _ } ] -> ()
+  | _ -> Alcotest.fail "reader unblocked with the committed value");
+  ignore (exec site 2 Op.Commit);
+  check_int "durable" 75 (Local_dbms.storage_value site x0)
+
+let in_doubt_abort_rolls_back () =
+  let site = Local_dbms.create ~durable:true 0 in
+  Local_dbms.load site [ (x0, 100) ];
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, -25)));
+  ignore (exec site 1 Op.Prepare);
+  Local_dbms.crash site;
+  (match Local_dbms.submit site 1 Op.Abort with
+  | Local_dbms.Aborted _ -> ()
+  | _ -> Alcotest.fail "abort verdict");
+  check_int "rolled back to the original" 100 (Local_dbms.storage_value site x0);
+  Alcotest.(check (list int)) "resolved" [] (Local_dbms.in_doubt site)
+
+let in_doubt_survives_double_crash () =
+  let site = Local_dbms.create ~durable:true 0 in
+  Local_dbms.load site [ (x0, 10) ];
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, 5)));
+  ignore (exec site 1 Op.Prepare);
+  Local_dbms.crash site;
+  Local_dbms.crash site;
+  Alcotest.(check (list int)) "still in doubt" [ 1 ] (Local_dbms.in_doubt site);
+  check_int "effects retained" 15 (Local_dbms.storage_value site x0);
+  ignore (exec site 1 Op.Commit);
+  Local_dbms.crash site;
+  Alcotest.(check (list int)) "resolved after commit+crash" []
+    (Local_dbms.in_doubt site);
+  check_int "committed survives final crash" 15 (Local_dbms.storage_value site x0)
+
+let occ_in_doubt_revalidates () =
+  let site = Local_dbms.create ~protocol:Types.Optimistic ~durable:true 0 in
+  Local_dbms.load site [ (x0, 1) ];
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, 4)));
+  ignore (exec site 1 Op.Prepare);
+  check_int "installed at prepare" 5 (Local_dbms.storage_value site x0);
+  Local_dbms.crash site;
+  check_int "retained across crash" 5 (Local_dbms.storage_value site x0);
+  Alcotest.(check (list int)) "in doubt" [ 1 ] (Local_dbms.in_doubt site);
+  (* A post-recovery reader starts after the in-doubt transaction's
+     (re-registered) validation, so it serializes after it: it reads the
+     prepared value and commits cleanly once the verdict lands. *)
+  ignore (exec site 2 Op.Begin);
+  Alcotest.(check (option int)) "reads prepared value" (Some 5)
+    (exec site 2 (Op.Read x0));
+  ignore (exec site 1 Op.Commit);
+  (match Local_dbms.submit site 2 Op.Commit with
+  | Local_dbms.Executed _ -> ()
+  | Local_dbms.Aborted r -> Alcotest.failf "reader should serialize after: %s" r
+  | Local_dbms.Waiting -> Alcotest.fail "OCC does not block");
+  check_bool "schedule serializable" true
+    (Serializability.is_serializable [ Local_dbms.schedule site ])
+
+let crash_with_random_load () =
+  (* Crash in the middle of a random mixed workload; the combined schedule
+     (pre- and post-crash) must stay conflict-serializable and the storage
+     must equal the sum of committed deltas. *)
+  let rng = Rng.create 99 in
+  List.iter
+    (fun seed ->
+      ignore seed;
+      let site = Local_dbms.create ~durable:true 0 in
+      Local_dbms.load site [ (x0, 0); (x1, 0) ];
+      let committed_delta = ref 0 in
+      let run_txn tid =
+        match Local_dbms.submit site tid Op.Begin with
+        | Local_dbms.Aborted _ -> ()
+        | Local_dbms.Waiting -> Alcotest.fail "begin blocked"
+        | Local_dbms.Executed _ -> (
+            let delta = 1 + Rng.int rng 5 in
+            match Local_dbms.submit site tid (Op.Write (x0, delta)) with
+            | Local_dbms.Executed _ -> (
+                match Local_dbms.submit site tid Op.Commit with
+                | Local_dbms.Executed _ -> committed_delta := !committed_delta + delta
+                | Local_dbms.Aborted _ -> ()
+                | Local_dbms.Waiting -> Alcotest.fail "commit blocked")
+            | Local_dbms.Aborted _ -> ()
+            | Local_dbms.Waiting ->
+                (* blocked mid-transaction: leave it hanging for the crash *)
+                ())
+      in
+      for tid = 1 to 10 do
+        run_txn tid;
+        if tid = 5 then Local_dbms.crash site
+      done;
+      Local_dbms.crash site;
+      check_int "storage equals committed deltas" !committed_delta
+        (Local_dbms.storage_value site x0);
+      check_bool "schedule serializable across crashes" true
+        (Serializability.is_serializable [ Local_dbms.schedule site ]))
+    [ 1; 2; 3 ]
+
+(* Coordinator-side recovery: run global transactions under 2PC over
+   durable sites, crash one site, then resolve its in-doubt transactions
+   from the GTM's outcome record — commit if the global transaction
+   committed, abort otherwise. Afterwards both sites must agree and the
+   audit must pass. *)
+let gtm_resolves_in_doubt () =
+  Types.reset_tids ();
+  let site_a = Local_dbms.create ~protocol:Types.Two_phase_locking ~durable:true 0 in
+  let site_b = Local_dbms.create ~protocol:Types.Two_phase_locking ~durable:true 1 in
+  let gtm =
+    Mdbs_core.Gtm.create ~atomic_commit:true
+      ~scheme:(Mdbs_core.Registry.make Mdbs_core.Registry.S3)
+      ~sites:[ site_a; site_b ] ()
+  in
+  let txns =
+    List.init 6 (fun i ->
+        Txn.global ~id:(Types.fresh_tid ())
+          [ (0, [ Op.Write (Item.Key i, 1) ]); (1, [ Op.Write (Item.Key i, 1) ]) ])
+  in
+  List.iter (Mdbs_core.Gtm.submit_global gtm) txns;
+  Mdbs_core.Gtm.pump gtm;
+  (* Crash site B after the fact: committed work must survive; there are no
+     in-doubt transactions left (all resolved), so recovery is pure redo. *)
+  Local_dbms.crash site_b;
+  List.iter
+    (fun txn ->
+      if Mdbs_core.Gtm.status gtm txn.Txn.id = Mdbs_core.Gtm.Committed then begin
+        let key =
+          match txn.Txn.script with
+          | { Txn.action = Op.Begin; _ } :: { Txn.action = Op.Write (k, _); _ } :: _ -> k
+          | _ -> Alcotest.fail "unexpected script shape"
+        in
+        check_int "both sites agree" (Local_dbms.storage_value site_a key)
+          (Local_dbms.storage_value site_b key)
+      end)
+    txns;
+  (* Now create a genuinely in-doubt transaction: prepare at B directly,
+     crash, and let the coordinator's verdict (abort: it never committed at
+     the GTM) resolve it. *)
+  let tid = Types.fresh_tid () in
+  let x1_before = Local_dbms.storage_value site_b x1 in
+  ignore (exec site_b tid Op.Begin);
+  ignore (exec site_b tid (Op.Write (x1, 9)));
+  ignore (exec site_b tid Op.Prepare);
+  Local_dbms.crash site_b;
+  List.iter
+    (fun in_doubt_tid ->
+      let verdict =
+        match Mdbs_core.Gtm.status gtm in_doubt_tid with
+        | Mdbs_core.Gtm.Committed -> Op.Commit
+        | Mdbs_core.Gtm.Aborted _ | Mdbs_core.Gtm.Active -> Op.Abort
+      in
+      ignore (Local_dbms.submit site_b in_doubt_tid verdict))
+    (Local_dbms.in_doubt site_b);
+  check_int "unresolved prepare rolled back" x1_before
+    (Local_dbms.storage_value site_b x1);
+  check_bool "site B schedule serializable" true
+    (Serializability.is_serializable [ Local_dbms.schedule site_b ])
+
+let non_durable_cannot_crash () =
+  let site = Local_dbms.create 0 in
+  Alcotest.check_raises "not durable"
+    (Invalid_argument "Local_dbms.crash: site is not durable") (fun () ->
+      Local_dbms.crash site)
+
+let () =
+  Alcotest.run "mdbs-recovery"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "analysis" `Quick wal_analysis;
+          Alcotest.test_case "redo-undo" `Quick wal_recovery_redo_undo;
+          Alcotest.test_case "compensated-abort" `Quick wal_compensated_abort;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "committed-survives" `Quick committed_survives_crash;
+          Alcotest.test_case "abort-stays-undone" `Quick pre_crash_abort_stays_undone;
+          Alcotest.test_case "random-load" `Quick crash_with_random_load;
+          Alcotest.test_case "non-durable" `Quick non_durable_cannot_crash;
+        ] );
+      ( "in-doubt",
+        [
+          Alcotest.test_case "survives-and-commits" `Quick in_doubt_survives_and_commits;
+          Alcotest.test_case "abort-rolls-back" `Quick in_doubt_abort_rolls_back;
+          Alcotest.test_case "double-crash" `Quick in_doubt_survives_double_crash;
+          Alcotest.test_case "occ-revalidates" `Quick occ_in_doubt_revalidates;
+          Alcotest.test_case "gtm-coordinator-verdict" `Quick gtm_resolves_in_doubt;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+(* Tests for the local DBMS simulator: storage with undo, operation
+   execution, blocking and completions, ticket handling, OCC write
+   buffering. *)
+
+open Mdbs_model
+module Storage = Mdbs_site.Storage
+module Local_dbms = Mdbs_site.Local_dbms
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let x0 = Item.Key 0
+let x1 = Item.Key 1
+
+(* --------------------------------------------------------------- Storage *)
+
+let storage_undo () =
+  let st = Storage.create () in
+  Storage.set st x0 10;
+  Storage.write_logged st 1 x0 20;
+  Storage.write_logged st 1 x0 30;
+  Storage.write_logged st 1 x1 5;
+  check_int "visible" 30 (Storage.get st x0);
+  Storage.undo_txn st 1;
+  check_int "restored x0" 10 (Storage.get st x0);
+  check_int "restored x1" 0 (Storage.get st x1)
+
+let storage_commit_discards_log () =
+  let st = Storage.create () in
+  Storage.write_logged st 1 x0 7;
+  Storage.commit_txn st 1;
+  Storage.undo_txn st 1;
+  (* no-op after commit *)
+  check_int "kept" 7 (Storage.get st x0)
+
+let storage_items_sorted () =
+  let st = Storage.create () in
+  Storage.set st (Item.Key 2) 2;
+  Storage.set st Item.Ticket 9;
+  Storage.set st (Item.Key 1) 1;
+  match Storage.items st with
+  | [ (Item.Ticket, 9); (Item.Key 1, 1); (Item.Key 2, 2) ] -> ()
+  | _ -> Alcotest.fail "unexpected item order"
+
+(* ------------------------------------------------------------ Local_dbms *)
+
+let exec site tid action =
+  match Local_dbms.submit site tid action with
+  | Local_dbms.Executed v -> v
+  | Local_dbms.Waiting -> Alcotest.fail "unexpected wait"
+  | Local_dbms.Aborted r -> Alcotest.failf "unexpected abort: %s" r
+
+let simple_commit () =
+  let site = Local_dbms.create 0 in
+  Local_dbms.load site [ (x0, 100) ];
+  ignore (exec site 1 Op.Begin);
+  Alcotest.(check (option int)) "read initial" (Some 100) (exec site 1 (Op.Read x0));
+  ignore (exec site 1 (Op.Write (x0, -30)));
+  Alcotest.(check (option int)) "read own write" (Some 70) (exec site 1 (Op.Read x0));
+  ignore (exec site 1 Op.Commit);
+  check_int "durable" 70 (Local_dbms.storage_value site x0);
+  check_int "no active" 0 (Local_dbms.active_count site);
+  check_int "schedule entries" 5 (Schedule.length (Local_dbms.schedule site))
+
+let abort_restores () =
+  let site = Local_dbms.create 0 in
+  Local_dbms.load site [ (x0, 100) ];
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, 50)));
+  (match Local_dbms.submit site 1 Op.Abort with
+  | Local_dbms.Aborted _ -> ()
+  | _ -> Alcotest.fail "abort outcome");
+  check_int "rolled back" 100 (Local_dbms.storage_value site x0)
+
+let blocking_and_completion () =
+  let site = Local_dbms.create ~protocol:Types.Two_phase_locking 0 in
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 2 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, 1)));
+  (match Local_dbms.submit site 2 (Op.Read x0) with
+  | Local_dbms.Waiting -> ()
+  | _ -> Alcotest.fail "expected wait");
+  check_bool "pending" true (Local_dbms.has_pending site 2);
+  ignore (exec site 1 Op.Commit);
+  (match Local_dbms.drain_completions site with
+  | [ { Local_dbms.tid = 2; outcome = Local_dbms.Executed (Some 1); _ } ] -> ()
+  | _ -> Alcotest.fail "expected completion with the committed value");
+  check_bool "pending cleared" false (Local_dbms.has_pending site 2);
+  ignore (exec site 2 Op.Commit)
+
+let ticket_increments () =
+  let site = Local_dbms.create ~protocol:Types.Serialization_graph_testing 0 in
+  ignore (exec site 1 Op.Begin);
+  Alcotest.(check (option int)) "first ticket" (Some 0) (exec site 1 Op.Ticket_op);
+  ignore (exec site 1 Op.Commit);
+  ignore (exec site 2 Op.Begin);
+  Alcotest.(check (option int)) "second ticket" (Some 1) (exec site 2 Op.Ticket_op);
+  ignore (exec site 2 Op.Commit);
+  check_int "ticket value" 2 (Local_dbms.storage_value site Item.Ticket)
+
+let occ_buffers_writes () =
+  let site = Local_dbms.create ~protocol:Types.Optimistic 0 in
+  Local_dbms.load site [ (x0, 5) ];
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, 10)));
+  (* Not installed yet. *)
+  check_int "invisible before commit" 5 (Local_dbms.storage_value site x0);
+  ignore (exec site 1 Op.Commit);
+  check_int "installed at commit" 15 (Local_dbms.storage_value site x0);
+  (* The schedule records the write at commit time, after nothing else. *)
+  let entries = Schedule.entries (Local_dbms.schedule site) in
+  match List.rev entries with
+  | { Schedule.action = Op.Commit; _ } :: { Schedule.action = Op.Write _; _ } :: _ -> ()
+  | _ -> Alcotest.fail "OCC write must be recorded at commit"
+
+let occ_abort_discards_buffer () =
+  let site = Local_dbms.create ~protocol:Types.Optimistic 0 in
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 2 Op.Begin);
+  ignore (exec site 1 (Op.Read x0));
+  ignore (exec site 2 (Op.Write (x0, 3)));
+  ignore (exec site 2 Op.Commit);
+  (match Local_dbms.submit site 1 Op.Commit with
+  | Local_dbms.Aborted _ -> ()
+  | _ -> Alcotest.fail "expected validation abort");
+  check_int "only t2's write" 3 (Local_dbms.storage_value site x0)
+
+let deadlock_abort_unblocks () =
+  let site = Local_dbms.create 0 in
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 2 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, 1)));
+  ignore (exec site 2 (Op.Write (x1, 1)));
+  (match Local_dbms.submit site 1 (Op.Read x1) with
+  | Local_dbms.Waiting -> ()
+  | _ -> Alcotest.fail "expected wait");
+  (* t2 closing the cycle aborts; t1's blocked read completes. *)
+  (match Local_dbms.submit site 2 (Op.Read x0) with
+  | Local_dbms.Aborted _ -> ()
+  | _ -> Alcotest.fail "expected deadlock abort");
+  (match Local_dbms.drain_completions site with
+  | [ { Local_dbms.tid = 1; outcome = Local_dbms.Executed (Some 0); _ } ] ->
+      (* t2's write to x1 was undone before the read executed *)
+      ()
+  | _ -> Alcotest.fail "expected unblocked read of restored value");
+  ignore (exec site 1 Op.Commit)
+
+let submit_while_pending_rejected () =
+  let site = Local_dbms.create 0 in
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 2 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, 1)));
+  (match Local_dbms.submit site 2 (Op.Read x0) with
+  | Local_dbms.Waiting -> ()
+  | _ -> Alcotest.fail "expected wait");
+  Alcotest.check_raises "second submit while pending"
+    (Invalid_argument "Local_dbms.submit: transaction has an operation in flight")
+    (fun () -> ignore (Local_dbms.submit site 2 (Op.Read x1)))
+
+let serialization_points () =
+  let points =
+    List.map
+      (fun protocol ->
+        Local_dbms.serialization_point (Local_dbms.create ~protocol 0))
+      Types.all_protocols
+  in
+  match points with
+  | [
+   Ser_fun.At_commit; (* strict 2PL *)
+   Ser_fun.At_begin; (* TO *)
+   Ser_fun.At_ticket; (* SGT *)
+   Ser_fun.At_commit; (* OCC *)
+   Ser_fun.At_begin; (* conservative 2PL: all locks obtained at begin *)
+   Ser_fun.At_commit; (* wait-die strict 2PL *)
+  ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected serialization points"
+
+let () =
+  Alcotest.run "mdbs-site"
+    [
+      ( "storage",
+        [
+          Alcotest.test_case "undo" `Quick storage_undo;
+          Alcotest.test_case "commit-discards" `Quick storage_commit_discards_log;
+          Alcotest.test_case "items-sorted" `Quick storage_items_sorted;
+        ] );
+      ( "local-dbms",
+        [
+          Alcotest.test_case "simple-commit" `Quick simple_commit;
+          Alcotest.test_case "abort-restores" `Quick abort_restores;
+          Alcotest.test_case "blocking" `Quick blocking_and_completion;
+          Alcotest.test_case "ticket" `Quick ticket_increments;
+          Alcotest.test_case "occ-buffering" `Quick occ_buffers_writes;
+          Alcotest.test_case "occ-abort" `Quick occ_abort_discards_buffer;
+          Alcotest.test_case "deadlock-unblocks" `Quick deadlock_abort_unblocks;
+          Alcotest.test_case "pending-guard" `Quick submit_while_pending_rejected;
+          Alcotest.test_case "ser-points" `Quick serialization_points;
+        ] );
+    ]

@@ -1,0 +1,375 @@
+(* Unit and property tests for the foundation library. *)
+
+module Rng = Mdbs_util.Rng
+module Iset = Mdbs_util.Iset
+module Imap = Mdbs_util.Imap
+module Dllist = Mdbs_util.Dllist
+module Binary_heap = Mdbs_util.Binary_heap
+module Digraph = Mdbs_util.Digraph
+module Bigraph = Mdbs_util.Bigraph
+module Stats = Mdbs_util.Stats
+module Table = Mdbs_util.Table
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ Rng *)
+
+let rng_deterministic () =
+  let a = Rng.create 12 and b = Rng.create 12 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let rng_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    check_bool "in range" true (x >= 0 && x < 7);
+    let y = Rng.int_in rng 3 9 in
+    check_bool "in inclusive range" true (y >= 3 && y <= 9);
+    let f = Rng.float rng 2.0 in
+    check_bool "float in range" true (f >= 0. && f < 2.0)
+  done
+
+let rng_sample_distinct () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 100 do
+    let sample = Rng.sample_distinct rng 4 10 in
+    check_int "size" 4 (List.length sample);
+    check_int "distinct" 4 (List.length (List.sort_uniq compare sample));
+    List.iter (fun x -> check_bool "bound" true (x >= 0 && x < 10)) sample
+  done
+
+let rng_split_independent () =
+  let parent = Rng.create 3 in
+  let child = Rng.split parent in
+  check_bool "different streams" true (Rng.int64 parent <> Rng.int64 child)
+
+let rng_shuffle_permutes () =
+  let rng = Rng.create 4 in
+  let arr = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 (fun i -> i)) sorted
+
+let rng_exponential_positive () =
+  let rng = Rng.create 77 in
+  for _ = 1 to 200 do
+    check_bool "positive" true (Rng.exponential rng 2.0 >= 0.)
+  done
+
+(* ----------------------------------------------------------------- Iset *)
+
+let iset_basic () =
+  let s = Iset.of_list [ 3; 1; 2; 3 ] in
+  check_int "dedup" 3 (Iset.cardinal s);
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Iset.to_list s);
+  check_bool "intersects" true (Iset.intersects s (Iset.of_list [ 3; 9 ]));
+  check_bool "no intersect" false (Iset.intersects s (Iset.of_list [ 9; 10 ]));
+  check_bool "empty intersect" false (Iset.intersects s Iset.empty);
+  Alcotest.(check string) "pp" "{1, 2, 3}" (Iset.to_string s)
+
+let imap_helpers () =
+  let m = Imap.add 1 "a" (Imap.add 3 "c" Imap.empty) in
+  Alcotest.(check string) "find_or hit" "a" (Imap.find_or ~default:"z" 1 m);
+  Alcotest.(check string) "find_or miss" "z" (Imap.find_or ~default:"z" 2 m);
+  Alcotest.(check (list int)) "keys" [ 1; 3 ] (Imap.keys m);
+  let m' = Imap.adjust 5 ~init:"i" (fun v -> v ^ "!") m in
+  Alcotest.(check string) "adjust missing" "i!" (Imap.find 5 m')
+
+(* --------------------------------------------------------------- Dllist *)
+
+let dllist_fifo () =
+  let l = Dllist.create () in
+  check_bool "empty" true (Dllist.is_empty l);
+  let _n1 = Dllist.push_back l 1 in
+  let _n2 = Dllist.push_back l 2 in
+  let _n3 = Dllist.push_back l 3 in
+  check_int "length" 3 (Dllist.length l);
+  Alcotest.(check (option int)) "front" (Some 1) (Dllist.peek_front l);
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Dllist.to_list l)
+
+let dllist_remove_middle () =
+  let l = Dllist.create () in
+  let _a = Dllist.push_back l 'a' in
+  let b = Dllist.push_back l 'b' in
+  let _c = Dllist.push_back l 'c' in
+  Dllist.remove l b;
+  Alcotest.(check (list char)) "removed middle" [ 'a'; 'c' ] (Dllist.to_list l);
+  check_int "length" 2 (Dllist.length l);
+  Alcotest.check_raises "double remove"
+    (Invalid_argument "Dllist.remove: node already removed") (fun () ->
+      Dllist.remove l b)
+
+let dllist_remove_ends () =
+  let l = Dllist.create () in
+  let a = Dllist.push_back l 1 in
+  let b = Dllist.push_back l 2 in
+  let c = Dllist.push_back l 3 in
+  Dllist.remove l a;
+  Alcotest.(check (option int)) "new head" (Some 2) (Dllist.peek_front l);
+  Dllist.remove l c;
+  Alcotest.(check (list int)) "only middle" [ 2 ] (Dllist.to_list l);
+  check_bool "b is front" true (Dllist.is_front l b);
+  Dllist.remove l b;
+  check_bool "empty" true (Dllist.is_empty l)
+
+let dllist_push_front () =
+  let l = Dllist.create () in
+  ignore (Dllist.push_back l 2);
+  ignore (Dllist.push_front l 1);
+  Alcotest.(check (list int)) "front insert" [ 1; 2 ] (Dllist.to_list l);
+  Alcotest.(check (option int)) "pop" (Some 1) (Dllist.pop_front l);
+  Alcotest.(check (option int)) "pop2" (Some 2) (Dllist.pop_front l);
+  Alcotest.(check (option int)) "pop3" None (Dllist.pop_front l)
+
+let dllist_qcheck =
+  QCheck.Test.make ~name:"dllist behaves like a queue under push/pop" ~count:200
+    QCheck.(list (int_range 0 2))
+    (fun ops ->
+      let dll = Dllist.create () in
+      let model = Queue.create () in
+      List.iteri
+        (fun i op ->
+          match op with
+          | 0 | 1 ->
+              ignore (Dllist.push_back dll i);
+              Queue.add i model
+          | _ -> (
+              match (Dllist.pop_front dll, Queue.take_opt model) with
+              | Some a, Some b -> if a <> b then failwith "mismatch"
+              | None, None -> ()
+              | _ -> failwith "presence mismatch"))
+        ops;
+      Dllist.to_list dll = List.of_seq (Queue.to_seq model))
+
+(* ------------------------------------------------------------------ Heap *)
+
+let heap_sorts () =
+  let h = Binary_heap.create ~cmp:compare () in
+  List.iter (Binary_heap.push h) [ 5; 1; 4; 1; 5; 9; 2; 6 ];
+  Alcotest.(check (list int))
+    "heap order" [ 1; 1; 2; 4; 5; 5; 6; 9 ]
+    (Binary_heap.to_sorted_list h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Binary_heap.peek h);
+  check_int "size" 8 (Binary_heap.size h)
+
+let heap_qcheck =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Binary_heap.create ~cmp:compare () in
+      List.iter (Binary_heap.push h) xs;
+      let rec drain acc =
+        match Binary_heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* --------------------------------------------------------------- Digraph *)
+
+let digraph_cycle () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 3;
+  check_bool "acyclic" true (Digraph.is_acyclic g);
+  Digraph.add_edge g 3 1;
+  check_bool "cyclic" true (Digraph.has_cycle g);
+  (match Digraph.find_cycle g with
+  | Some cycle ->
+      check_int "cycle length" 3 (List.length cycle);
+      let arr = Array.of_list cycle in
+      Array.iteri
+        (fun i a ->
+          let b = arr.((i + 1) mod Array.length arr) in
+          check_bool "edge exists" true (Digraph.mem_edge g a b))
+        arr
+  | None -> Alcotest.fail "expected a cycle");
+  Digraph.remove_edge g 3 1;
+  check_bool "acyclic again" true (Digraph.is_acyclic g)
+
+let digraph_self_loop () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 7 7;
+  check_bool "self loop is a cycle" true (Digraph.has_cycle g)
+
+let digraph_topo () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 1 3;
+  Digraph.add_edge g 3 4;
+  Digraph.add_edge g 2 4;
+  (match Digraph.topo_sort g with
+  | Some order ->
+      let position = Hashtbl.create 8 in
+      List.iteri (fun i n -> Hashtbl.replace position n i) order;
+      List.iter
+        (fun (a, b) ->
+          check_bool "topo respects edges" true
+            (Hashtbl.find position a < Hashtbl.find position b))
+        (Digraph.edges g)
+  | None -> Alcotest.fail "expected topological order");
+  Digraph.add_edge g 4 1;
+  Alcotest.(check (option (list int))) "no topo when cyclic" None (Digraph.topo_sort g)
+
+let digraph_remove_node () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 3;
+  Digraph.add_edge g 3 1;
+  Digraph.remove_node g 2;
+  check_bool "cycle broken" true (Digraph.is_acyclic g);
+  check_int "nodes" 2 (Digraph.node_count g);
+  check_int "edges" 1 (Digraph.edge_count g)
+
+let digraph_has_path () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 3;
+  Digraph.add_node g 9;
+  check_bool "path" true (Digraph.has_path g 1 3);
+  check_bool "no reverse path" false (Digraph.has_path g 3 1);
+  check_bool "self path" true (Digraph.has_path g 9 9);
+  check_bool "unknown node" false (Digraph.has_path g 42 1)
+
+let digraph_qcheck_topo =
+  QCheck.Test.make ~name:"digraph: forward-only edges are acyclic" ~count:100
+    QCheck.(list (pair (int_range 0 20) (int_range 0 20)))
+    (fun pairs ->
+      let g = Digraph.create () in
+      List.iter (fun (a, b) -> if a < b then Digraph.add_edge g a b) pairs;
+      Digraph.is_acyclic g && Digraph.topo_sort g <> None)
+
+(* --------------------------------------------------------------- Bigraph *)
+
+let bigraph_edge_on_cycle () =
+  let g = Bigraph.create () in
+  Bigraph.add_edge g ~left:1 ~right:10;
+  Bigraph.add_edge g ~left:1 ~right:11;
+  Bigraph.add_edge g ~left:2 ~right:10;
+  check_bool "tree: no cycle" false (fst (Bigraph.edge_on_cycle g ~left:1 ~right:10));
+  Bigraph.add_edge g ~left:2 ~right:11;
+  check_bool "cycle via both sites" true (fst (Bigraph.edge_on_cycle g ~left:1 ~right:10));
+  check_bool "all edges on the cycle" true (fst (Bigraph.edge_on_cycle g ~left:2 ~right:11))
+
+let bigraph_remove_left () =
+  let g = Bigraph.create () in
+  Bigraph.add_edge g ~left:1 ~right:10;
+  Bigraph.add_edge g ~left:1 ~right:11;
+  Bigraph.add_edge g ~left:2 ~right:10;
+  Bigraph.add_edge g ~left:2 ~right:11;
+  Bigraph.remove_left g 1;
+  check_bool "edge gone" false (Bigraph.mem_edge g ~left:1 ~right:10);
+  check_int "edges left" 2 (Bigraph.edge_count g);
+  check_bool "no more cycle" false (fst (Bigraph.edge_on_cycle g ~left:2 ~right:10))
+
+let bigraph_missing_edge () =
+  let g = Bigraph.create () in
+  Bigraph.add_edge g ~left:1 ~right:10;
+  Alcotest.check_raises "absent edge"
+    (Invalid_argument "Bigraph.edge_on_cycle: edge absent") (fun () ->
+      ignore (Bigraph.edge_on_cycle g ~left:2 ~right:10))
+
+(* ----------------------------------------------------------------- Stats *)
+
+let stats_summary () =
+  let s = Stats.summarize [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4. s.Stats.max;
+  check_int "count" 4 s.Stats.count
+
+let stats_fit () =
+  let slope, intercept = Stats.linear_fit [ (1., 3.); (2., 5.); (3., 7.) ] in
+  Alcotest.(check (float 1e-9)) "slope" 2. slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1. intercept;
+  Alcotest.(check (float 1e-9)) "r2 perfect" 1.
+    (Stats.r_squared [ (1., 3.); (2., 5.); (3., 7.) ])
+
+let stats_log_log () =
+  let points = List.map (fun x -> (float_of_int x, float_of_int (x * x))) [ 1; 2; 4; 8 ] in
+  Alcotest.(check (float 1e-6)) "quadratic slope" 2. (Stats.log_log_slope points)
+
+let stats_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ] in
+  Alcotest.(check (float 1e-9)) "p50" 5. (Stats.percentile xs 50.);
+  Alcotest.(check (float 1e-9)) "p100" 10. (Stats.percentile xs 100.);
+  Alcotest.(check (float 1e-9)) "p1" 1. (Stats.percentile xs 1.)
+
+(* ----------------------------------------------------------------- Table *)
+
+let table_render () =
+  let rendered =
+    Table.render ~headers:[ "name"; "count" ] [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' rendered in
+  check_int "line count" 5 (List.length lines);
+  let width = String.length (List.nth lines 0) in
+  List.iteri
+    (fun i line -> if i < 4 then check_int "aligned width" width (String.length line))
+    lines
+
+let table_fmt () =
+  Alcotest.(check string) "int commas" "1,234,567" (Table.fmt_int 1234567);
+  Alcotest.(check string) "small int" "42" (Table.fmt_int 42);
+  Alcotest.(check string) "negative" "-1,000" (Table.fmt_int (-1000));
+  Alcotest.(check string) "zero float" "0" (Table.fmt_float 0.);
+  Alcotest.(check string) "integer float" "12" (Table.fmt_float 12.)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mdbs-util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "bounds" `Quick rng_bounds;
+          Alcotest.test_case "sample-distinct" `Quick rng_sample_distinct;
+          Alcotest.test_case "split" `Quick rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick rng_shuffle_permutes;
+          Alcotest.test_case "exponential" `Quick rng_exponential_positive;
+        ] );
+      ( "sets-maps",
+        [
+          Alcotest.test_case "iset" `Quick iset_basic;
+          Alcotest.test_case "imap" `Quick imap_helpers;
+        ] );
+      ( "dllist",
+        [
+          Alcotest.test_case "fifo" `Quick dllist_fifo;
+          Alcotest.test_case "remove-middle" `Quick dllist_remove_middle;
+          Alcotest.test_case "remove-ends" `Quick dllist_remove_ends;
+          Alcotest.test_case "push-front" `Quick dllist_push_front;
+        ]
+        @ qsuite [ dllist_qcheck ] );
+      ("heap", [ Alcotest.test_case "sorts" `Quick heap_sorts ] @ qsuite [ heap_qcheck ]);
+      ( "digraph",
+        [
+          Alcotest.test_case "cycle" `Quick digraph_cycle;
+          Alcotest.test_case "self-loop" `Quick digraph_self_loop;
+          Alcotest.test_case "topo" `Quick digraph_topo;
+          Alcotest.test_case "remove-node" `Quick digraph_remove_node;
+          Alcotest.test_case "has-path" `Quick digraph_has_path;
+        ]
+        @ qsuite [ digraph_qcheck_topo ] );
+      ( "bigraph",
+        [
+          Alcotest.test_case "edge-on-cycle" `Quick bigraph_edge_on_cycle;
+          Alcotest.test_case "remove-left" `Quick bigraph_remove_left;
+          Alcotest.test_case "missing-edge" `Quick bigraph_missing_edge;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick stats_summary;
+          Alcotest.test_case "fit" `Quick stats_fit;
+          Alcotest.test_case "log-log" `Quick stats_log_log;
+          Alcotest.test_case "percentile" `Quick stats_percentile;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick table_render;
+          Alcotest.test_case "fmt" `Quick table_fmt;
+        ] );
+    ]
