@@ -4,12 +4,16 @@
      schemes      list the GTM2 schemes
      experiments  print the reproduction tables (all or a subset)
      replay       drive a scheme with a synthetic trace, print metrics
-     simulate     run the end-to-end MDBS simulation under one scheme *)
+     simulate     run the end-to-end MDBS simulation under one scheme
+     des          timed discrete-event simulation
+     analyze      statically certify and lint a recorded schedule *)
 
 module Registry = Mdbs_core.Registry
 module Replay = Mdbs_sim.Replay
 module Driver = Mdbs_sim.Driver
 module Workload = Mdbs_sim.Workload
+module Analysis = Mdbs_analysis.Analysis
+module Trace = Mdbs_analysis.Trace
 open Mdbs_experiments
 open Cmdliner
 
@@ -176,10 +180,100 @@ let des_cmd =
   Cmd.v (Cmd.info "des" ~doc)
     Term.(const run $ scheme $ sites $ globals $ latency $ service $ seed $ atomic)
 
+(* ---------------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let doc = "Statically certify and lint a recorded global schedule" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the static analysis pass over a trace without re-executing \
+         it: the certifier checks global conflict serializability and the \
+         paper's Theorem-2 obligations, emitting a machine-checkable \
+         certificate or a counterexample cycle with concrete conflicting \
+         operation pairs; the linter reports typed diagnostics (MA001..MA005).";
+      `P
+        "The trace comes from one of three sources: $(b,--trace) reads the \
+         textual format from a file, $(b,--simulate) captures one from the \
+         end-to-end simulation, $(b,--replay) captures the realized ser(S) \
+         from an engine-level replay.";
+      `P "Exits 1 when the analysis reports any error, 2 on a parse error.";
+    ]
+  in
+  let trace_file =
+    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Analyze a textual trace file.")
+  in
+  let simulate =
+    Arg.(value & flag & info [ "simulate" ]
+           ~doc:"Capture and analyze a trace from the end-to-end simulation.")
+  in
+  let replay =
+    Arg.(value & flag & info [ "replay" ]
+           ~doc:"Capture and analyze the realized ser(S) of an engine-level \
+                 replay.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let scheme =
+    Arg.(value & opt scheme_conv Registry.S3 & info [ "scheme" ] ~docv:"SCHEME"
+           ~doc:"Scheme for the --simulate/--replay sources.")
+  in
+  let sites = Arg.(value & opt int 4 & info [ "sites"; "m" ] ~docv:"M") in
+  let globals = Arg.(value & opt int 60 & info [ "globals" ] ~docv:"N") in
+  let txns = Arg.(value & opt int 64 & info [ "txns" ] ~docv:"N") in
+  let d_av = Arg.(value & opt int 2 & info [ "dav" ] ~docv:"D") in
+  let seed = Arg.(value & opt int 19 & info [ "seed" ] ~docv:"SEED") in
+  let run trace_file simulate replay json kind m n_global n_txns d_av seed =
+    let fail_usage msg =
+      prerr_endline ("mdbs analyze: " ^ msg);
+      exit 2
+    in
+    let trace =
+      match (trace_file, simulate, replay) with
+      | Some file, false, false -> (
+          match Trace.of_file file with
+          | Ok trace -> trace
+          | Error msg -> fail_usage msg)
+      | None, true, false ->
+          Mdbs_model.Types.reset_tids ();
+          let config =
+            {
+              Driver.default with
+              n_global;
+              seed;
+              workload = { Workload.default with m; d_av };
+            }
+          in
+          let _, trace, _ = Driver.run_traced config (Registry.make kind) in
+          trace
+      | None, false, true ->
+          let config =
+            { Replay.default with m; n_txns; d_av = max 1 d_av }
+          in
+          (Replay.run ~seed config (Registry.make kind)).Replay.trace
+      | None, false, false ->
+          fail_usage "one of --trace FILE, --simulate, --replay is required"
+      | _ -> fail_usage "--trace, --simulate and --replay are exclusive"
+    in
+    let report = Analysis.analyze trace in
+    if json then
+      print_endline (Mdbs_analysis.Json.to_string (Analysis.to_json report))
+    else Format.printf "%a@." Analysis.pp report;
+    if Analysis.errors report > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "analyze" ~doc ~man)
+    Term.(
+      const run $ trace_file $ simulate $ replay $ json $ scheme $ sites
+      $ globals $ txns $ d_av $ seed)
+
 let () =
   let doc = "Multidatabase concurrency control (SIGMOD 1992) reproduction" in
   let info = Cmd.info "mdbs" ~doc ~version:"1.0.0" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schemes_cmd; experiments_cmd; replay_cmd; simulate_cmd; des_cmd ]))
+          [
+            schemes_cmd; experiments_cmd; replay_cmd; simulate_cmd; des_cmd;
+            analyze_cmd;
+          ]))

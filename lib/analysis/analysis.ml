@@ -1,0 +1,57 @@
+type t = {
+  csr : Certifier.outcome;
+  theorem2 : Certifier.outcome option;
+  diagnostics : Lint.diagnostic list;
+}
+
+let analyze trace =
+  {
+    csr = Certifier.certify trace;
+    theorem2 =
+      (if trace.Trace.ser_events = [] then None
+       else Some (Certifier.certify_theorem2 trace));
+    diagnostics = Lint.run trace;
+  }
+
+let certified t =
+  Certifier.is_certified t.csr
+  && match t.theorem2 with None -> true | Some o -> Certifier.is_certified o
+
+let errors t =
+  Lint.errors t.diagnostics
+  + (if Certifier.is_certified t.csr then 0 else 1)
+  + match t.theorem2 with
+    | Some o when not (Certifier.is_certified o) -> 1
+    | Some _ | None -> 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>== conflict serializability ==@,%a@,"
+    Certifier.pp_outcome t.csr;
+  (match t.theorem2 with
+  | Some o ->
+      Format.fprintf ppf "== theorem-2 obligations (ser(S)) ==@,%a@,"
+        Certifier.pp_outcome o
+  | None -> Format.fprintf ppf "== theorem-2 obligations: no ser(S) recorded ==@,");
+  (match t.diagnostics with
+  | [] -> Format.fprintf ppf "== lint: clean =="
+  | diags ->
+      Format.fprintf ppf "== lint: %d diagnostic(s) (%d errors) ==@,"
+        (List.length diags) (Lint.errors diags);
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+        Lint.pp_diagnostic ppf diags);
+  Format.fprintf ppf "@]"
+
+let to_json t =
+  Json.Obj
+    [
+      ("csr", Certifier.outcome_to_json t.csr);
+      ( "theorem2",
+        match t.theorem2 with
+        | Some o -> Certifier.outcome_to_json o
+        | None -> Json.Null );
+      ( "diagnostics",
+        Json.List (List.map Lint.diagnostic_to_json t.diagnostics) );
+      ("errors", Json.Int (errors t));
+      ("certified", Json.Bool (certified t));
+    ]

@@ -1,0 +1,28 @@
+(** One-call front door of the static analysis pass.
+
+    Runs the certifier (both obligations) and the linter over a trace and
+    bundles the results for reporting — the CLI's [analyze] subcommand, the
+    replay harness's self-certification and the experiment tables all
+    consume this. *)
+
+type t = {
+  csr : Certifier.outcome;
+      (** Global conflict serializability (complete check). *)
+  theorem2 : Certifier.outcome option;
+      (** The paper's Theorem-2 obligations; [None] when the trace carries
+          no serialization events to check against. *)
+  diagnostics : Lint.diagnostic list;
+}
+
+val analyze : Trace.t -> t
+
+val certified : t -> bool
+(** The CSR obligation holds (and Theorem 2's too, when checkable). *)
+
+val errors : t -> int
+(** [Error]-severity diagnostics plus one per failed obligation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable report. *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,172 @@
+open Mdbs_model
+module Iset = Mdbs_util.Iset
+
+type obligation = Csr | Theorem2
+
+type t = {
+  obligation : obligation;
+  local_orders : (Types.sid * Types.tid list) list;
+  global_order : Types.tid list;
+}
+
+let obligation_name = function Csr -> "csr" | Theorem2 -> "theorem2"
+
+let ( let* ) = Result.bind
+
+let positions order =
+  let tbl = Hashtbl.create (List.length order * 2) in
+  List.iteri (fun i tid -> Hashtbl.replace tbl tid i) order;
+  tbl
+
+(* [order] lists each element of [want] exactly once (and nothing else). *)
+let check_permutation what want order =
+  let seen = Hashtbl.create 16 in
+  let rec go = function
+    | [] ->
+        if Hashtbl.length seen = Iset.cardinal want then Ok ()
+        else
+          Error
+            (Printf.sprintf "%s: misses %d transaction(s)" what
+               (Iset.cardinal want - Hashtbl.length seen))
+    | tid :: rest ->
+        if not (Iset.mem tid want) then
+          Error (Printf.sprintf "%s: T%d does not belong" what tid)
+        else if Hashtbl.mem seen tid then
+          Error (Printf.sprintf "%s: T%d listed twice" what tid)
+        else begin
+          Hashtbl.replace seen tid ();
+          go rest
+        end
+  in
+  go order
+
+let check_edges_forward what pos edges =
+  let rec go = function
+    | [] -> Ok ()
+    | e :: rest -> (
+        match
+          ( Hashtbl.find_opt pos e.Conflicts.src.Conflicts.tid,
+            Hashtbl.find_opt pos e.Conflicts.dst.Conflicts.tid )
+        with
+        | Some i, Some j when i < j -> go rest
+        | _ ->
+            Error
+              (Format.asprintf "%s: conflict not honored: %a" what
+                 Conflicts.pp_edge e))
+  in
+  go edges
+
+(* Each site's serialization order of committed globals must be an
+   increasing subsequence of the global order. *)
+let check_embeds_ser trace committed_globals pos =
+  let rec increasing sid last = function
+    | [] -> Ok ()
+    | tid :: rest -> (
+        if not (Iset.mem tid committed_globals) then increasing sid last rest
+        else
+          match Hashtbl.find_opt pos tid with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "global order misses T%d (has a ser event at s%d)" tid sid)
+          | Some i ->
+              if i > last then increasing sid i rest
+              else
+                Error
+                  (Printf.sprintf
+                     "global order does not embed ser order at s%d (T%d out \
+                      of place)"
+                     sid tid))
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | sid :: rest ->
+        let* () = increasing sid (-1) (Trace.ser_order trace sid) in
+        go rest
+  in
+  go (Trace.ser_sites trace)
+
+let verify_local_orders trace cert ~required =
+  let rec go = function
+    | [] -> Ok ()
+    | info :: rest ->
+        let sid = info.Trace.sid in
+        let* () =
+          match List.assoc_opt sid cert.local_orders with
+          | None ->
+              if required then
+                Error (Printf.sprintf "no local order for site %d" sid)
+              else Ok ()
+          | Some order ->
+              let want = Trace.committed_at trace info in
+              let* () =
+                check_permutation
+                  (Printf.sprintf "local order at s%d" sid)
+                  want order
+              in
+              check_edges_forward
+                (Printf.sprintf "local order at s%d" sid)
+                (positions order)
+                (Conflicts.site_edges trace info)
+        in
+        go rest
+  in
+  go trace.Trace.sites
+
+let verify trace cert =
+  match cert.obligation with
+  | Csr ->
+      let* () =
+        check_permutation "global order" (Trace.committed trace)
+          cert.global_order
+      in
+      let* () =
+        check_edges_forward "global order"
+          (positions cert.global_order)
+          (Conflicts.edges trace)
+      in
+      verify_local_orders trace cert ~required:false
+  | Theorem2 ->
+      let* () = verify_local_orders trace cert ~required:true in
+      let committed_globals =
+        (* Mirror the certifier: traces without local schedules carry no
+           commits; every global with a ser event is in scope. *)
+        let committed = Trace.committed trace in
+        if Iset.is_empty committed then Trace.global_tids trace
+        else Iset.inter committed (Trace.global_tids trace)
+      in
+      let with_ser =
+        List.fold_left
+          (fun acc (tid, _) ->
+            if Iset.mem tid committed_globals then Iset.add tid acc else acc)
+          Iset.empty trace.Trace.ser_events
+      in
+      let* () = check_permutation "global order" with_ser cert.global_order in
+      check_embeds_ser trace with_ser (positions cert.global_order)
+
+let to_json cert =
+  let tids l = Json.List (List.map (fun tid -> Json.Int tid) l) in
+  Json.Obj
+    [
+      ("obligation", Json.Str (obligation_name cert.obligation));
+      ( "local_orders",
+        Json.List
+          (List.map
+             (fun (sid, order) ->
+               Json.Obj [ ("sid", Json.Int sid); ("order", tids order) ])
+             cert.local_orders) );
+      ("global_order", tids cert.global_order);
+    ]
+
+let pp ppf cert =
+  let order ppf l =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " < ")
+      (fun ppf tid -> Format.fprintf ppf "T%d" tid)
+      ppf l
+  in
+  Format.fprintf ppf "@[<v>certificate (%s)@," (obligation_name cert.obligation);
+  List.iter
+    (fun (sid, o) -> Format.fprintf ppf "  s%d: %a@," sid order o)
+    cert.local_orders;
+  Format.fprintf ppf "  global: %a@]" order cert.global_order

@@ -1,0 +1,41 @@
+(** Machine-checkable serializability certificates.
+
+    A certificate is a small witness whose validity implies global
+    serializability of the trace; {!verify} re-checks it independently of
+    the search that produced it, in time linear in the trace (one indexed
+    conflict-extraction pass plus position lookups).
+
+    Two obligations are supported:
+    - {b Csr}: [global_order] is a serial order of {e all} committed
+      transactions consistent with every conflict pair — a direct witness
+      that the global conflict graph is acyclic (the definition of
+      conflict serializability, §2.1).
+    - {b Theorem2}: the paper's reduction. [local_orders] gives, per site,
+      a serial order of the site's committed transactions consistent with
+      the site's conflicts (local serializability), and [global_order] is a
+      total order of the committed {e global} transactions that embeds
+      every site's serialization-event order [ser_k] — exactly the
+      hypotheses of Theorem 2, under which the global schedule is
+      serializable. *)
+
+open Mdbs_model
+
+type obligation = Csr | Theorem2
+
+type t = {
+  obligation : obligation;
+  local_orders : (Types.sid * Types.tid list) list;
+      (** Per-site serial witness orders (required for [Theorem2];
+          optional corroboration for [Csr]). *)
+  global_order : Types.tid list;
+}
+
+val verify : Trace.t -> t -> (unit, string) result
+(** Recheck the certificate against the trace from scratch. [Ok ()] means
+    the obligation holds; [Error msg] pinpoints the first failed check. *)
+
+val obligation_name : obligation -> string
+
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit

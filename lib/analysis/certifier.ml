@@ -1,0 +1,258 @@
+open Mdbs_model
+module Digraph = Mdbs_util.Digraph
+module Iset = Mdbs_util.Iset
+
+type witness =
+  | Conflict_ops of Conflicts.edge
+  | Ser_events of {
+      site : Types.sid;
+      src_pos : int;
+      dst_pos : int;
+      src_ticket : int option;
+      dst_ticket : int option;
+    }
+
+type scope =
+  | Global_conflict
+  | Local_conflict of Types.sid
+  | Ser_s
+
+type counterexample = {
+  scope : scope;
+  cycle : Types.tid list;
+  witnesses : (Types.tid * Types.tid * witness option) list;
+}
+
+type outcome = Certified of Certificate.t | Violation of counterexample
+
+let is_certified = function Certified _ -> true | Violation _ -> false
+
+let cycle_pairs cycle =
+  match cycle with
+  | [] -> []
+  | first :: _ ->
+      let rec go = function
+        | [ last ] -> [ (last, first) ]
+        | a :: (b :: _ as rest) -> (a, b) :: go rest
+        | [] -> []
+      in
+      go cycle
+
+(* Witness orders of every site's (acyclic) local conflict graph. *)
+let local_orders trace =
+  List.filter_map
+    (fun info ->
+      Option.map
+        (fun order -> (info.Trace.sid, order))
+        (Digraph.topo_sort (Conflicts.site_graph trace info)))
+    trace.Trace.sites
+
+let conflict_counterexample scope edges cycle =
+  {
+    scope;
+    cycle;
+    witnesses =
+      List.map
+        (fun (a, b) ->
+          (a, b, Option.map (fun e -> Conflict_ops e)
+                   (Conflicts.first_edge_between edges a b)))
+        (cycle_pairs cycle);
+  }
+
+let certify trace =
+  let g = Conflicts.graph trace in
+  match Digraph.find_cycle g with
+  | Some cycle ->
+      Violation
+        (conflict_counterexample Global_conflict (Conflicts.edges trace) cycle)
+  | None ->
+      let order =
+        match Digraph.topo_sort g with
+        | Some order -> order
+        | None -> assert false (* acyclic *)
+      in
+      Certified
+        {
+          Certificate.obligation = Certificate.Csr;
+          local_orders = local_orders trace;
+          global_order = order;
+        }
+
+(* The committed-global filtered serialization order of one site. *)
+let filtered_ser_order trace committed_globals sid =
+  List.filter (fun tid -> Iset.mem tid committed_globals)
+    (Trace.ser_order trace sid)
+
+let ser_witness trace committed_globals a b =
+  let rec scan sid pos = function
+    | x :: (y :: _ as rest) ->
+        if x = a && y = b then
+          Some
+            (Ser_events
+               {
+                 site = sid;
+                 src_pos = pos;
+                 dst_pos = pos + 1;
+                 src_ticket = Trace.ticket_value trace sid a;
+                 dst_ticket = Trace.ticket_value trace sid b;
+               })
+        else scan sid (pos + 1) rest
+    | _ -> None
+  in
+  List.fold_left
+    (fun acc sid ->
+      match acc with
+      | Some _ -> acc
+      | None -> scan sid 0 (filtered_ser_order trace committed_globals sid))
+    None (Trace.ser_sites trace)
+
+let certify_theorem2 trace =
+  (* Obligation 1: every local schedule serializable on its own. *)
+  let local_violation =
+    List.fold_left
+      (fun acc info ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            match Digraph.find_cycle (Conflicts.site_graph trace info) with
+            | Some cycle ->
+                Some
+                  (conflict_counterexample
+                     (Local_conflict info.Trace.sid)
+                     (Conflicts.site_edges trace info)
+                     cycle)
+            | None -> None))
+      None trace.Trace.sites
+  in
+  match local_violation with
+  | Some cex -> Violation cex
+  | None -> (
+      (* Obligation 2: a total order of committed global transactions
+         embedding every site's serialization order. *)
+      let committed_globals =
+        Iset.inter (Trace.committed trace) (Trace.global_tids trace)
+      in
+      let committed_globals =
+        (* Traces without local schedules (engine-level replays) have no
+           commits; fall back to every global with a ser event. *)
+        if Iset.is_empty (Trace.committed trace) then Trace.global_tids trace
+        else committed_globals
+      in
+      let g = Digraph.create () in
+      List.iter
+        (fun sid ->
+          let rec chain = function
+            | a :: (b :: _ as rest) ->
+                Digraph.add_edge g a b;
+                chain rest
+            | [ only ] -> Digraph.add_node g only
+            | [] -> ()
+          in
+          chain (filtered_ser_order trace committed_globals sid))
+        (Trace.ser_sites trace);
+      match Digraph.find_cycle g with
+      | Some cycle ->
+          Violation
+            {
+              scope = Ser_s;
+              cycle;
+              witnesses =
+                List.map
+                  (fun (a, b) ->
+                    (a, b, ser_witness trace committed_globals a b))
+                  (cycle_pairs cycle);
+            }
+      | None ->
+          let order =
+            match Digraph.topo_sort g with
+            | Some order -> order
+            | None -> assert false
+          in
+          Certified
+            {
+              Certificate.obligation = Certificate.Theorem2;
+              local_orders = local_orders trace;
+              global_order = order;
+            })
+
+(* --- rendering -------------------------------------------------------- *)
+
+let scope_name = function
+  | Global_conflict -> "global-conflict-graph"
+  | Local_conflict sid -> Printf.sprintf "local-conflict-graph(s%d)" sid
+  | Ser_s -> "ser(S)"
+
+let pp_witness ppf = function
+  | Conflict_ops e -> Conflicts.pp_edge ppf e
+  | Ser_events { site; src_pos; dst_pos; src_ticket; dst_ticket } ->
+      Format.fprintf ppf "s%d: ser events #%d < #%d" site src_pos dst_pos;
+      (match (src_ticket, dst_ticket) with
+      | Some a, Some b -> Format.fprintf ppf " (tickets %d < %d)" a b
+      | _ -> ())
+
+let pp_outcome ppf = function
+  | Certified cert -> Format.fprintf ppf "CERTIFIED@,%a" Certificate.pp cert
+  | Violation cex ->
+      Format.fprintf ppf "VIOLATION in %s: cycle %a@,"
+        (scope_name cex.scope)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+           (fun ppf tid -> Format.fprintf ppf "T%d" tid))
+        cex.cycle;
+      List.iter
+        (fun (a, b, w) ->
+          match w with
+          | Some w ->
+              Format.fprintf ppf "  T%d -> T%d via %a@," a b pp_witness w
+          | None -> Format.fprintf ppf "  T%d -> T%d@," a b)
+        cex.witnesses
+
+let witness_to_json = function
+  | Conflict_ops e ->
+      Json.Obj
+        [
+          ("kind", Json.Str "conflict-ops");
+          ("site", Json.Int e.Conflicts.site);
+          ("src", Conflicts.opref_to_json e.Conflicts.src);
+          ("dst", Conflicts.opref_to_json e.Conflicts.dst);
+        ]
+  | Ser_events { site; src_pos; dst_pos; src_ticket; dst_ticket } ->
+      let ticket = function Some v -> Json.Int v | None -> Json.Null in
+      Json.Obj
+        [
+          ("kind", Json.Str "ser-events");
+          ("site", Json.Int site);
+          ("src_pos", Json.Int src_pos);
+          ("dst_pos", Json.Int dst_pos);
+          ("src_ticket", ticket src_ticket);
+          ("dst_ticket", ticket dst_ticket);
+        ]
+
+let outcome_to_json = function
+  | Certified cert ->
+      Json.Obj
+        [
+          ("status", Json.Str "certified");
+          ("certificate", Certificate.to_json cert);
+        ]
+  | Violation cex ->
+      Json.Obj
+        [
+          ("status", Json.Str "violation");
+          ("scope", Json.Str (scope_name cex.scope));
+          ("cycle", Json.List (List.map (fun tid -> Json.Int tid) cex.cycle));
+          ( "witnesses",
+            Json.List
+              (List.map
+                 (fun (a, b, w) ->
+                   Json.Obj
+                     [
+                       ("src_tid", Json.Int a);
+                       ("dst_tid", Json.Int b);
+                       ( "witness",
+                         match w with
+                         | Some w -> witness_to_json w
+                         | None -> Json.Null );
+                     ])
+                 cex.witnesses) );
+        ]

@@ -1,0 +1,56 @@
+(** The static trace certifier.
+
+    Checks a recorded trace against serializability obligations and emits
+    either a machine-checkable {!Certificate.t} (re-validated independently
+    by {!Certificate.verify}) or a counterexample: a cycle of transactions
+    where every edge is mapped back to its concrete witness — the two
+    conflicting operations with their site and schedule indices, or the two
+    serialization events with their positions and ticket values.
+
+    {!certify} decides plain global conflict serializability; it agrees
+    with [Mdbs_model.Serializability.check] (complete in both directions).
+    {!certify_theorem2} checks the paper's {e sufficient} obligations
+    (Theorem 2: per-site local serializability + a total order of global
+    transactions embedding every site's [ser_k] order); a [Violation] there
+    means the run is outside what the GTM schemes guarantee, not
+    necessarily nonserializable. *)
+
+open Mdbs_model
+
+type witness =
+  | Conflict_ops of Conflicts.edge
+      (** The concrete conflicting op pair realizing the edge. *)
+  | Ser_events of {
+      site : Types.sid;
+      src_pos : int;
+      dst_pos : int;  (** Positions in the site's serialization order. *)
+      src_ticket : int option;
+      dst_ticket : int option;  (** Ticket values at the site, if any. *)
+    }
+
+type scope =
+  | Global_conflict  (** Cycle in the union conflict graph. *)
+  | Local_conflict of Types.sid  (** A site's own schedule is not serializable. *)
+  | Ser_s  (** Cycle in the serialization graph of [ser(S)]. *)
+
+type counterexample = {
+  scope : scope;
+  cycle : Types.tid list;  (** [t1 -> t2 -> ... -> tk -> t1]. *)
+  witnesses : (Types.tid * Types.tid * witness option) list;
+      (** One entry per cycle edge, with its concrete witness. *)
+}
+
+type outcome = Certified of Certificate.t | Violation of counterexample
+
+val certify : Trace.t -> outcome
+(** Global conflict serializability of the committed projection; [Certified]
+    iff [Serializability.check] says serializable. *)
+
+val certify_theorem2 : Trace.t -> outcome
+(** The Theorem-2 obligations, including the [ser(S)] embedding. *)
+
+val is_certified : outcome -> bool
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val outcome_to_json : outcome -> Json.t

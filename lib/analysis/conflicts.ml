@@ -1,0 +1,74 @@
+open Mdbs_model
+module Digraph = Mdbs_util.Digraph
+
+type opref = { index : int; tid : Types.tid; action : Op.action }
+
+type edge = { site : Types.sid; src : opref; dst : opref }
+
+(* One pass over the committed projection with a per-item index of earlier
+   readers and writers: a read conflicts with every earlier write on the
+   item, a write-like op with every earlier access. *)
+let site_edges trace info =
+  let readers : (Item.t, opref list) Hashtbl.t = Hashtbl.create 32 in
+  let writers : (Item.t, opref list) Hashtbl.t = Hashtbl.create 32 in
+  let prior table item =
+    match Hashtbl.find_opt table item with Some l -> l | None -> []
+  in
+  let acc = ref [] in
+  List.iter
+    (fun (index, e) ->
+      match Op.action_item e.Schedule.action with
+      | None -> ()
+      | Some item ->
+          let self = { index; tid = e.Schedule.tid; action = e.Schedule.action } in
+          let write = Op.is_write_like e.Schedule.action in
+          let against =
+            if write then prior readers item @ prior writers item
+            else prior writers item
+          in
+          List.iter
+            (fun src ->
+              if src.tid <> self.tid then
+                acc := { site = info.Trace.sid; src; dst = self } :: !acc)
+            against;
+          let table = if write then writers else readers in
+          Hashtbl.replace table item (self :: prior table item))
+    (Trace.committed_ops trace info);
+  List.rev !acc
+
+let edges trace =
+  List.concat_map (fun info -> site_edges trace info) trace.Trace.sites
+
+let site_graph trace info =
+  let g = Digraph.create () in
+  Mdbs_util.Iset.iter (fun tid -> Digraph.add_node g tid)
+    (Trace.committed_at trace info);
+  List.iter (fun e -> Digraph.add_edge g e.src.tid e.dst.tid)
+    (site_edges trace info);
+  g
+
+let graph trace =
+  let g = Digraph.create () in
+  List.iter
+    (fun info ->
+      Mdbs_util.Iset.iter (fun tid -> Digraph.add_node g tid)
+        (Trace.committed_at trace info))
+    trace.Trace.sites;
+  List.iter (fun e -> Digraph.add_edge g e.src.tid e.dst.tid) (edges trace);
+  g
+
+let first_edge_between edges a b =
+  List.find_opt (fun e -> e.src.tid = a && e.dst.tid = b) edges
+
+let opref_to_json r =
+  Json.Obj
+    [
+      ("index", Json.Int r.index);
+      ("tid", Json.Int r.tid);
+      ("action", Json.Str (Op.action_to_string r.action));
+    ]
+
+let pp_edge ppf e =
+  Format.fprintf ppf "s%d: T%d:%a[%d] < T%d:%a[%d]" e.site e.src.tid
+    Op.pp_action e.src.action e.src.index e.dst.tid Op.pp_action e.dst.action
+    e.dst.index

@@ -1,0 +1,322 @@
+open Mdbs_model
+module Digraph = Mdbs_util.Digraph
+module Iset = Mdbs_util.Iset
+
+type severity = Error | Warning | Info
+
+type diagnostic = {
+  rule : string;
+  name : string;
+  severity : severity;
+  site : Types.sid option;
+  tids : Types.tid list;
+  message : string;
+}
+
+let rules =
+  [
+    ( "MA001",
+      "ticket-order-inversion",
+      "tickets taken in opposite orders at two sites" );
+    ( "MA002",
+      "non-two-phase-locking",
+      "conflicting access overtook an uncommitted transaction at a 2PL site" );
+    ( "MA003",
+      "indirect-conflict",
+      "global transactions conflicting only through local transactions" );
+    ( "MA004",
+      "unsafe-admission",
+      "serialization event admitted while a serialized-before transaction \
+       had a pending event at the site" );
+    ("MA005", "hb-race", "conflicting accesses unordered by happens-before");
+  ]
+
+let severity_name (s : severity) =
+  match s with Error -> "error" | Warning -> "warning" | Info -> "info"
+
+(* --- MA001: ticket-order inversions ----------------------------------- *)
+
+(* Committed transactions in ticket-acquisition order at one site. *)
+let ticket_order trace info =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (_, e) ->
+      if e.Schedule.action = Op.Ticket_op && not (Hashtbl.mem seen e.Schedule.tid)
+      then begin
+        Hashtbl.replace seen e.Schedule.tid ();
+        Some e.Schedule.tid
+      end
+      else None)
+    (Trace.committed_ops trace info)
+
+let ticket_inversions trace =
+  let orders =
+    List.filter_map
+      (fun info ->
+        match ticket_order trace info with
+        | [] | [ _ ] -> None
+        | order ->
+            let pos = Hashtbl.create 8 in
+            List.iteri (fun i tid -> Hashtbl.replace pos tid i) order;
+            Some (info.Trace.sid, pos))
+      trace.Trace.sites
+  in
+  let reported = Hashtbl.create 8 in
+  let diags = ref [] in
+  let rec site_pairs = function
+    | [] -> ()
+    | (sa, pa) :: rest ->
+        List.iter
+          (fun (sb, pb) ->
+            Hashtbl.iter
+              (fun t1 i1 ->
+                Hashtbl.iter
+                  (fun t2 i2 ->
+                    if t1 < t2 && not (Hashtbl.mem reported (t1, t2)) then
+                      match (Hashtbl.find_opt pb t1, Hashtbl.find_opt pb t2) with
+                      | Some j1, Some j2
+                        when (i1 < i2 && j1 > j2) || (i1 > i2 && j1 < j2) ->
+                          Hashtbl.replace reported (t1, t2) ();
+                          diags :=
+                            {
+                              rule = "MA001";
+                              name = "ticket-order-inversion";
+                              severity = Error;
+                              site = Some sa;
+                              tids = [ t1; t2 ];
+                              message =
+                                Printf.sprintf
+                                  "T%d and T%d took tickets in opposite \
+                                   orders: s%d gives values (%d, %d), s%d \
+                                   gives (%d, %d)"
+                                  t1 t2 sa i1 i2 sb j1 j2;
+                            }
+                            :: !diags
+                      | _ -> ())
+                  pa)
+              pa)
+          rest;
+        site_pairs rest
+  in
+  site_pairs orders;
+  List.rev !diags
+
+(* --- MA002: non-two-phase behavior at 2PL sites ------------------------ *)
+
+let is_locking = function
+  | Types.Two_phase_locking | Types.Conservative_2pl | Types.Wait_die_2pl ->
+      true
+  | Types.Timestamp_ordering | Types.Serialization_graph_testing
+  | Types.Optimistic ->
+      false
+
+let non_two_phase trace =
+  List.concat_map
+    (fun info ->
+      match info.Trace.protocol with
+      | Some p when is_locking p ->
+          let commit_pos = Hashtbl.create 16 in
+          List.iter
+            (fun (pos, e) ->
+              if e.Schedule.action = Op.Commit then
+                Hashtbl.replace commit_pos e.Schedule.tid pos)
+            (Trace.committed_ops trace info);
+          List.filter_map
+            (fun e ->
+              let src = e.Conflicts.src and dst = e.Conflicts.dst in
+              match Hashtbl.find_opt commit_pos src.Conflicts.tid with
+              | Some cpos when cpos > dst.Conflicts.index ->
+                  Some
+                    {
+                      rule = "MA002";
+                      name = "non-two-phase-locking";
+                      severity = Warning;
+                      site = Some info.Trace.sid;
+                      tids = [ src.Conflicts.tid; dst.Conflicts.tid ];
+                      message =
+                        Format.asprintf
+                          "%a conflicts before T%d's commit (op %d) — a \
+                           lock was released early"
+                          Conflicts.pp_edge e src.Conflicts.tid cpos;
+                    }
+              | Some _ | None -> None)
+            (Conflicts.site_edges trace info)
+      | Some _ | None -> [])
+    trace.Trace.sites
+
+(* --- MA003: indirect conflicts through local transactions (§2.1) ------- *)
+
+let indirect_conflicts trace =
+  let globals = Trace.global_tids trace in
+  if Iset.is_empty globals then []
+  else begin
+    let union = Conflicts.graph trace in
+    List.concat_map
+      (fun info ->
+        let g = Conflicts.site_graph trace info in
+        let diags = ref [] in
+        Iset.iter
+          (fun g1 ->
+            if Digraph.mem_node g g1 then begin
+              (* Reach other globals through local-only intermediate nodes. *)
+              let visited = Hashtbl.create 16 in
+              let rec dfs n =
+                Iset.iter
+                  (fun m ->
+                    if not (Hashtbl.mem visited m) then begin
+                      Hashtbl.replace visited m ();
+                      if Iset.mem m globals then begin
+                        if m <> g1 && not (Digraph.mem_edge g g1 m) then
+                          let invisible =
+                            not
+                              (Digraph.mem_edge union g1 m
+                              || Digraph.mem_edge union m g1)
+                          in
+                          diags :=
+                            {
+                              rule = "MA003";
+                              name = "indirect-conflict";
+                              severity = (if invisible then Warning else Info);
+                              site = Some info.Trace.sid;
+                              tids = [ g1; m ];
+                              message =
+                                Printf.sprintf
+                                  "G%d is serialized before G%d at s%d only \
+                                   through local transactions%s"
+                                  g1 m info.Trace.sid
+                                  (if invisible then
+                                     " (no direct conflict at any site)"
+                                   else "");
+                            }
+                            :: !diags
+                      end
+                      else dfs m
+                    end)
+                  (Digraph.succ g n)
+              in
+              dfs g1
+            end)
+          globals;
+        List.rev !diags)
+      trace.Trace.sites
+  end
+
+(* --- MA004: admissions unsafe at submission time ------------------------ *)
+
+let unsafe_admissions trace =
+  if trace.Trace.ser_events = [] || trace.Trace.globals = [] then []
+  else begin
+    let committed = Trace.committed trace in
+    let relevant tid =
+      (* Engine-level traces carry no commits; keep every declared global. *)
+      Iset.is_empty committed || Iset.mem tid committed
+    in
+    let declared tid = Trace.visit_order trace tid in
+    (* Outstanding events: (tid, sid) occurrences not yet replayed. An event
+       that is declared but never executes (the transaction died at that
+       site) is not outstanding — no later admission can invert against
+       it. *)
+    let outstanding : (Types.tid * Types.sid, int) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    List.iter
+      (fun (tid, sid) ->
+        if relevant tid then
+          Hashtbl.replace outstanding (tid, sid)
+            (1
+            + (match Hashtbl.find_opt outstanding (tid, sid) with
+              | Some n -> n
+              | None -> 0)))
+      trace.Trace.ser_events;
+    let pending_at tid sid =
+      List.mem sid (declared tid)
+      && (match Hashtbl.find_opt outstanding (tid, sid) with
+         | Some n -> n > 0
+         | None -> false)
+    in
+    let prefix = Digraph.create () in
+    let last_at : (Types.sid, Types.tid) Hashtbl.t = Hashtbl.create 8 in
+    let diags = ref [] in
+    List.iter
+      (fun (tid, sid) ->
+        if relevant tid then begin
+          (match Hashtbl.find_opt outstanding (tid, sid) with
+          | Some n -> Hashtbl.replace outstanding (tid, sid) (n - 1)
+          | None -> ());
+          Digraph.add_node prefix tid;
+          (* Any txn already serialized before [tid] with a pending event
+             here makes this admission unsafe (Scheme 3's cond, §7). *)
+          Iset.iter
+            (fun before ->
+              if
+                before <> tid
+                && pending_at before sid
+                && Digraph.has_path prefix before tid
+              then
+                diags :=
+                  {
+                    rule = "MA004";
+                    name = "unsafe-admission";
+                    severity = Error;
+                    site = Some sid;
+                    tids = [ before; tid ];
+                    message =
+                      Printf.sprintf
+                        "ser event of G%d admitted at s%d while G%d \
+                         (serialized before it) still had a pending event \
+                         there"
+                        tid sid before;
+                  }
+                  :: !diags)
+            (Iset.of_list (Digraph.nodes prefix));
+          (match Hashtbl.find_opt last_at sid with
+          | Some prev when prev <> tid -> Digraph.add_edge prefix prev tid
+          | Some _ | None -> ());
+          Hashtbl.replace last_at sid tid
+        end)
+      trace.Trace.ser_events;
+    List.rev !diags
+  end
+
+(* --- MA005: happens-before races --------------------------------------- *)
+
+let hb_races trace =
+  List.map
+    (fun r ->
+      {
+        rule = "MA005";
+        name = "hb-race";
+        severity = Warning;
+        site = Some r.Race.site;
+        tids = [ r.Race.first.Conflicts.tid; r.Race.second.Conflicts.tid ];
+        message = Format.asprintf "%a" Race.pp_race r;
+      })
+    (Race.detect trace)
+
+let run trace =
+  ticket_inversions trace
+  @ non_two_phase trace
+  @ indirect_conflicts trace
+  @ unsafe_admissions trace
+  @ hb_races trace
+
+let errors diags =
+  List.length (List.filter (fun d -> d.severity = Error) diags)
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s %s [%s]%s: %s"
+    (severity_name d.severity)
+    d.rule d.name
+    (match d.site with Some s -> Printf.sprintf " s%d" s | None -> "")
+    d.message
+
+let diagnostic_to_json d =
+  Json.Obj
+    [
+      ("rule", Json.Str d.rule);
+      ("name", Json.Str d.name);
+      ("severity", Json.Str (severity_name d.severity));
+      ("site", match d.site with Some s -> Json.Int s | None -> Json.Null);
+      ("tids", Json.List (List.map (fun tid -> Json.Int tid) d.tids));
+      ("message", Json.Str d.message);
+    ]

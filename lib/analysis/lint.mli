@@ -1,0 +1,60 @@
+(** The trace linter: typed diagnostics over recorded executions.
+
+    Each rule inspects the trace statically and reports structured
+    diagnostics (rule id, severity, site, transactions, op indices in the
+    message). Rules that need information the trace does not carry (global
+    declarations, serialization events, protocols) are skipped, never
+    guessed.
+
+    Rule catalog:
+    - {b MA001 ticket-order-inversion} (error): two transactions obtained
+      tickets in opposite orders at two sites — the forced-conflict orders
+      (§2.2) disagree, so no global serialization order can embed both.
+    - {b MA002 non-two-phase-locking} (warning): at a 2PL-family site, a
+      transaction's access was overtaken by a conflicting access of another
+      transaction {e before} the first transaction committed — a lock was
+      released early (or never held), violating (strict) two-phase
+      discipline.
+    - {b MA003 indirect-conflict} (warning/info): two global transactions
+      with a conflict path through purely local transactions at one site
+      but no direct conflict there — the §2.1 phenomenon that makes local
+      schedules opaque to the GTM. Warning when the pair has no direct
+      conflict at {e any} site (fully invisible), info otherwise.
+    - {b MA004 unsafe-admission} (error): replaying [ser(S)], a
+      serialization event of [G] at site [s_k] was admitted while some [G']
+      already serialized before [G] still had an outstanding serialization
+      event at [s_k] (declared, and executing later in the log) — the
+      admission was unsafe at submission time (it is exactly the situation
+      Scheme 3's [cond] blocks, §7). Declared events that never execute
+      (the transaction died at that site) are not outstanding.
+    - {b MA005 hb-race} (warning): a conflicting same-site access pair the
+      reconstructed happens-before relation leaves unordered (see
+      {!Race}). *)
+
+open Mdbs_model
+
+type severity = Error | Warning | Info
+
+type diagnostic = {
+  rule : string;  (** Rule id, e.g. ["MA001"]. *)
+  name : string;  (** Rule slug, e.g. ["ticket-order-inversion"]. *)
+  severity : severity;
+  site : Types.sid option;
+  tids : Types.tid list;
+  message : string;
+}
+
+val rules : (string * string * string) list
+(** [(id, name, description)] for every rule, in id order. *)
+
+val run : Trace.t -> diagnostic list
+(** All applicable rules, diagnostics grouped by rule id. *)
+
+val errors : diagnostic list -> int
+(** Number of [Error]-severity diagnostics. *)
+
+val severity_name : severity -> string
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val diagnostic_to_json : diagnostic -> Json.t

@@ -1,0 +1,230 @@
+open Mdbs_model
+
+type race = {
+  site : Types.sid;
+  item : Item.t;
+  first : Conflicts.opref;
+  second : Conflicts.opref;
+}
+
+type kind = Body | Prep | Com
+
+let kind_of = function
+  | Op.Begin | Op.Read _ | Op.Write _ | Op.Ticket_op -> Body
+  | Op.Prepare -> Prep
+  | Op.Commit | Op.Abort -> Com
+
+let detect trace =
+  let sites = Array.of_list trace.Trace.sites in
+  let nsites = Array.length sites in
+  if nsites = 0 then []
+  else begin
+    let site_index = Hashtbl.create 8 in
+    Array.iteri (fun k info -> Hashtbl.replace site_index info.Trace.sid k) sites;
+    let site_ops =
+      Array.map (fun info -> Array.of_list (Trace.committed_ops trace info)) sites
+    in
+    let offsets = Array.make nsites 0 in
+    let total = ref 0 in
+    Array.iteri
+      (fun k ops ->
+        offsets.(k) <- !total;
+        total := !total + Array.length ops)
+      site_ops;
+    let n = !total in
+    let node_site = Array.make n 0 in
+    let node_pos = Array.make n 0 in
+    let node_tid = Array.make n 0 in
+    let node_action = Array.make n Op.Begin in
+    Array.iteri
+      (fun k ops ->
+        Array.iteri
+          (fun j (pos, e) ->
+            let id = offsets.(k) + j in
+            node_site.(id) <- k;
+            node_pos.(id) <- pos;
+            node_tid.(id) <- e.Schedule.tid;
+            node_action.(id) <- e.Schedule.action)
+          ops)
+      site_ops;
+    let succ = Array.make n [] in
+    let indeg = Array.make n 0 in
+    let add_edge a b =
+      succ.(a) <- b :: succ.(a);
+      indeg.(b) <- indeg.(b) + 1
+    in
+    (* Program order: per transaction, bodies site by site in visit order,
+       then prepares, then commits (GTM1's sequential submission). *)
+    let segments : (Types.tid * int * kind, int list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let txn_sites : (Types.tid, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    for id = 0 to n - 1 do
+      let key = (node_tid.(id), node_site.(id), kind_of node_action.(id)) in
+      (match Hashtbl.find_opt segments key with
+      | Some ids -> ids := id :: !ids
+      | None -> Hashtbl.replace segments key (ref [ id ]));
+      match Hashtbl.find_opt txn_sites node_tid.(id) with
+      | Some ks ->
+          if not (List.mem node_site.(id) !ks) then
+            ks := node_site.(id) :: !ks
+      | None -> Hashtbl.replace txn_sites node_tid.(id) (ref [ node_site.(id) ])
+    done;
+    let ntxns = Hashtbl.length txn_sites in
+    let txn_of = Array.make n 0 in
+    let chain_pos = Array.make n 0 in
+    let next_txn = ref 0 in
+    Hashtbl.iter
+      (fun tid ks ->
+        let t = !next_txn in
+        incr next_txn;
+        let declared =
+          List.filter_map
+            (fun sid -> Hashtbl.find_opt site_index sid)
+            (Trace.visit_order trace tid)
+        in
+        let observed = List.rev !ks in
+        let sequence =
+          List.fold_left
+            (fun acc k -> if List.mem k acc then acc else acc @ [ k ])
+            [] (declared @ observed)
+        in
+        let segment kind k =
+          match Hashtbl.find_opt segments (tid, k, kind) with
+          | Some ids -> List.rev !ids
+          | None -> []
+        in
+        let chain =
+          List.concat_map (segment Body) sequence
+          @ List.concat_map (segment Prep) sequence
+          @ List.concat_map (segment Com) sequence
+        in
+        List.iteri
+          (fun i id ->
+            txn_of.(id) <- t;
+            chain_pos.(id) <- i)
+          chain;
+        let rec link = function
+          | a :: (b :: _ as rest) ->
+              add_edge a b;
+              link rest
+          | _ -> ()
+        in
+        link chain)
+      txn_sites;
+    (* Commit synchronization + the conflicting pairs to examine: per-item
+       reader/writer index per site. *)
+    let commit_at : (Types.tid * int, int) Hashtbl.t = Hashtbl.create 64 in
+    for id = 0 to n - 1 do
+      if kind_of node_action.(id) = Com then
+        if not (Hashtbl.mem commit_at (node_tid.(id), node_site.(id))) then
+          Hashtbl.replace commit_at (node_tid.(id), node_site.(id)) id
+    done;
+    let pairs = ref [] in
+    for k = 0 to nsites - 1 do
+      let readers : (Item.t, int list) Hashtbl.t = Hashtbl.create 16 in
+      let writers : (Item.t, int list) Hashtbl.t = Hashtbl.create 16 in
+      let prior table item =
+        match Hashtbl.find_opt table item with Some l -> l | None -> []
+      in
+      Array.iteri
+        (fun j _ ->
+          let id = offsets.(k) + j in
+          match Op.action_item node_action.(id) with
+          | None -> ()
+          | Some item ->
+              let write = Op.is_write_like node_action.(id) in
+              let against =
+                if write then prior readers item @ prior writers item
+                else prior writers item
+              in
+              List.iter
+                (fun a ->
+                  if node_tid.(a) <> node_tid.(id) then begin
+                    pairs := (item, a, id) :: !pairs;
+                    match Hashtbl.find_opt commit_at (node_tid.(a), k) with
+                    | Some c when node_pos.(c) < node_pos.(id) -> add_edge c id
+                    | Some _ | None -> ()
+                  end)
+                against;
+              let table = if write then writers else readers in
+              Hashtbl.replace table item (id :: prior table item))
+        site_ops.(k)
+    done;
+    (* Per-transaction vector timestamps over the happens-before DAG (Kahn
+       order; leftovers from a malformed trace are folded in best-effort).
+       clock.(id) is the strict-predecessor frontier: component [t] counts
+       how much of transaction [t]'s program order happens before [id]. *)
+    let clock = Array.init n (fun _ -> Array.make ntxns 0) in
+    let settle id =
+      let v = clock.(id) in
+      let t = txn_of.(id) in
+      let own = chain_pos.(id) + 1 in
+      List.iter
+        (fun b ->
+          let w = clock.(b) in
+          for i = 0 to ntxns - 1 do
+            let vi = if i = t && own > v.(i) then own else v.(i) in
+            if w.(i) < vi then w.(i) <- vi
+          done)
+        succ.(id)
+    in
+    let queue = Queue.create () in
+    let remaining = Array.copy indeg in
+    for id = 0 to n - 1 do
+      if remaining.(id) = 0 then Queue.add id queue
+    done;
+    let done_count = ref 0 in
+    let processed = Array.make n false in
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      processed.(id) <- true;
+      incr done_count;
+      settle id;
+      List.iter
+        (fun b ->
+          remaining.(b) <- remaining.(b) - 1;
+          if remaining.(b) = 0 then Queue.add b queue)
+        succ.(id)
+    done;
+    if !done_count < n then
+      for id = 0 to n - 1 do
+        if not processed.(id) then settle id
+      done;
+    (* Race test: conflicting a < b race iff the relation does not order a
+       before b — b's clock has not reached a's program-order position. *)
+    let opref id =
+      {
+        Conflicts.index = node_pos.(id);
+        tid = node_tid.(id);
+        action = node_action.(id);
+      }
+    in
+    List.rev !pairs
+    |> List.filter_map (fun (item, a, b) ->
+           if clock.(b).(txn_of.(a)) < chain_pos.(a) + 1 then
+             Some
+               {
+                 site = sites.(node_site.(a)).Trace.sid;
+                 item;
+                 first = opref a;
+                 second = opref b;
+               }
+           else None)
+  end
+
+let pp_race ppf r =
+  Format.fprintf ppf
+    "race at s%d on %a: T%d:%a[%d] unordered with T%d:%a[%d]" r.site Item.pp
+    r.item r.first.Conflicts.tid Op.pp_action r.first.Conflicts.action
+    r.first.Conflicts.index r.second.Conflicts.tid Op.pp_action
+    r.second.Conflicts.action r.second.Conflicts.index
+
+let race_to_json r =
+  Json.Obj
+    [
+      ("site", Json.Int r.site);
+      ("item", Json.Str (Item.to_string r.item));
+      ("first", Conflicts.opref_to_json r.first);
+      ("second", Conflicts.opref_to_json r.second);
+    ]

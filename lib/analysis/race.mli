@@ -1,0 +1,45 @@
+(** Happens-before race detection over recorded traces.
+
+    Rebuilds the happens-before relation a correct execution should have
+    enforced and flags conflicting same-site accesses that it leaves
+    unordered — accesses whose recorded order was accidental (a scheduling
+    fluke) rather than guaranteed by any synchronization, the signature of
+    a concurrency-control gap (e.g. the no-control baseline, or basic TO
+    executing a conflicting access before the earlier transaction
+    committed).
+
+    Happens-before edges:
+    - {b program order}: a transaction's operations, sequenced across its
+      sites in visit order (GTM1 submits a global transaction's operations
+      strictly sequentially, §2.3: bodies site by site, then prepares, then
+      commits);
+    - {b commit synchronization}: [T]'s commit at a site happens before
+      every later conflicting access at that site — the ordering a strict
+      scheduler actually enforces.
+
+    Each committed operation gets a {e per-transaction vector timestamp}:
+    component [t] is the frontier (program-order position, +1) of
+    transaction [t]'s operations that happen before it — transactions play
+    the role threads play in classical vector-clock race detection. Two
+    conflicting accesses [a < b] at a site race iff
+    [clock(b).(txn a) < chain_pos(a) + 1], i.e. the relation does not order
+    [a] before [b]. The test is exact for the reconstructed relation: a
+    pair it orders is never reported, and a reported race is genuinely
+    unordered by it. *)
+
+open Mdbs_model
+
+type race = {
+  site : Types.sid;
+  item : Item.t;
+  first : Conflicts.opref;  (** The earlier access in the recorded schedule. *)
+  second : Conflicts.opref;
+}
+
+val detect : Trace.t -> race list
+(** Races over the committed projection, in schedule order of the later
+    access. *)
+
+val pp_race : Format.formatter -> race -> unit
+
+val race_to_json : race -> Json.t

@@ -1,0 +1,290 @@
+open Mdbs_model
+module Iset = Mdbs_util.Iset
+
+type site_info = {
+  sid : Types.sid;
+  protocol : Types.protocol_kind option;
+  ops : Schedule.entry list;
+}
+
+type t = {
+  sites : site_info list;
+  globals : (Types.tid * Types.sid list) list;
+  ser_events : (Types.tid * Types.sid) list;
+}
+
+let make ?(globals = []) ?(ser_events = []) sites =
+  let sites = List.sort (fun a b -> compare a.sid b.sid) sites in
+  { sites; globals; ser_events }
+
+let of_schedules ?(protocols = []) ?globals ?ser_events schedules =
+  make ?globals ?ser_events
+    (List.map
+       (fun s ->
+         {
+           sid = Schedule.site s;
+           protocol = List.assoc_opt (Schedule.site s) protocols;
+           ops = Schedule.entries s;
+         })
+       schedules)
+
+(* --- accessors -------------------------------------------------------- *)
+
+let find_site t sid = List.find_opt (fun info -> info.sid = sid) t.sites
+
+let site_ids t = List.map (fun info -> info.sid) t.sites
+
+let global_tids t = Iset.of_list (List.map fst t.globals)
+
+let is_global t tid = List.mem_assoc tid t.globals
+
+let visit_order t tid =
+  match List.assoc_opt tid t.globals with Some sites -> sites | None -> []
+
+let committed_at _t info =
+  List.fold_left
+    (fun acc e ->
+      if e.Schedule.action = Op.Commit then Iset.add e.Schedule.tid acc else acc)
+    Iset.empty info.ops
+
+let committed t =
+  List.fold_left (fun acc info -> Iset.union acc (committed_at t info)) Iset.empty
+    t.sites
+
+let committed_ops t info =
+  let ok = committed_at t info in
+  let _, rev =
+    List.fold_left
+      (fun (i, acc) e ->
+        (i + 1, if Iset.mem e.Schedule.tid ok then (i, e) :: acc else acc))
+      (0, []) info.ops
+  in
+  List.rev rev
+
+let ser_order t sid =
+  List.filter_map
+    (fun (tid, s) -> if s = sid then Some tid else None)
+    t.ser_events
+
+let ser_sites t =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (_, sid) ->
+      if Hashtbl.mem seen sid then None
+      else begin
+        Hashtbl.replace seen sid ();
+        Some sid
+      end)
+    t.ser_events
+  |> List.sort compare
+
+let ticket_value t sid tid =
+  match find_site t sid with
+  | None -> None
+  | Some info ->
+      let ok = committed_at t info in
+      let rank = ref 0 and found = ref None in
+      List.iter
+        (fun e ->
+          if e.Schedule.action = Op.Ticket_op && Iset.mem e.Schedule.tid ok then begin
+            if e.Schedule.tid = tid && !found = None then found := Some !rank;
+            incr rank
+          end)
+        info.ops;
+      !found
+
+(* --- textual format --------------------------------------------------- *)
+
+let protocol_of_string s =
+  let s = String.uppercase_ascii s in
+  List.find_opt (fun p -> Types.protocol_name p = s) Types.all_protocols
+
+let item_to_string = Item.to_string
+
+let item_of_string s =
+  if s = "ticket" then Some Item.Ticket
+  else
+    let body =
+      if String.length s > 1 && s.[0] = 'x' then
+        String.sub s 1 (String.length s - 1)
+      else s
+    in
+    Option.map (fun k -> Item.Key k) (int_of_string_opt body)
+
+let action_to_tokens = function
+  | Op.Begin -> [ "begin" ]
+  | Op.Commit -> [ "commit" ]
+  | Op.Abort -> [ "abort" ]
+  | Op.Prepare -> [ "prepare" ]
+  | Op.Ticket_op -> [ "ticket" ]
+  | Op.Read item -> [ "r"; item_to_string item ]
+  | Op.Write (item, delta) -> [ "w"; item_to_string item; string_of_int delta ]
+
+let action_of_tokens = function
+  | [ "begin" ] -> Some Op.Begin
+  | [ "commit" ] -> Some Op.Commit
+  | [ "abort" ] -> Some Op.Abort
+  | [ "prepare" ] -> Some Op.Prepare
+  | [ "ticket" ] -> Some Op.Ticket_op
+  | [ "r"; item ] -> Option.map (fun i -> Op.Read i) (item_of_string item)
+  | [ "w"; item; delta ] -> (
+      match (item_of_string item, int_of_string_opt delta) with
+      | Some i, Some d -> Some (Op.Write (i, d))
+      | _ -> None)
+  | _ -> None
+
+let pp ppf t =
+  let line fmt = Format.fprintf ppf fmt in
+  List.iter
+    (fun info ->
+      (match info.protocol with
+      | Some p -> line "site %d %s@." info.sid (Types.protocol_name p)
+      | None -> line "site %d@." info.sid);
+      List.iter
+        (fun e ->
+          line "op %d %d %s@." info.sid e.Schedule.tid
+            (String.concat " " (action_to_tokens e.Schedule.action)))
+        info.ops)
+    t.sites;
+  List.iter
+    (fun (tid, sids) ->
+      line "global %d %s@." tid
+        (String.concat " " (List.map string_of_int sids)))
+    t.globals;
+  List.iter (fun (tid, sid) -> line "ser %d %d@." tid sid) t.ser_events
+
+let to_string t = Format.asprintf "%a" pp t
+
+let parse text =
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let sites : (Types.sid, Types.protocol_kind option * Schedule.entry list ref) Hashtbl.t
+      =
+    Hashtbl.create 8
+  in
+  let site_order = ref [] in
+  let globals = ref [] in
+  let ser_events = ref [] in
+  let declare_site lineno sid protocol =
+    if Hashtbl.mem sites sid then err lineno (Printf.sprintf "site %d redeclared" sid)
+    else begin
+      Hashtbl.replace sites sid (protocol, ref []);
+      site_order := sid :: !site_order;
+      Ok ()
+    end
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] ->
+        let sites =
+          List.rev_map
+            (fun sid ->
+              let protocol, ops = Hashtbl.find sites sid in
+              { sid; protocol; ops = List.rev !ops })
+            !site_order
+        in
+        Ok
+          (make ~globals:(List.rev !globals) ~ser_events:(List.rev !ser_events)
+             sites)
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let tokens =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun s -> s <> "")
+        in
+        let continue_ok = function
+          | Ok () -> go (lineno + 1) rest
+          | Error _ as e -> e
+        in
+        match tokens with
+        | [] -> go (lineno + 1) rest
+        | "site" :: sid :: proto -> (
+            match (int_of_string_opt sid, proto) with
+            | Some sid, [] -> continue_ok (declare_site lineno sid None)
+            | Some sid, [ name ] -> (
+                match protocol_of_string name with
+                | Some p -> continue_ok (declare_site lineno sid (Some p))
+                | None -> err lineno (Printf.sprintf "unknown protocol %S" name))
+            | _ -> err lineno "expected: site <sid> [<protocol>]")
+        | "op" :: sid :: tid :: action -> (
+            match
+              (int_of_string_opt sid, int_of_string_opt tid,
+               action_of_tokens action)
+            with
+            | Some sid, Some tid, Some action -> (
+                match Hashtbl.find_opt sites sid with
+                | Some (_, ops) ->
+                    ops := { Schedule.tid; action } :: !ops;
+                    go (lineno + 1) rest
+                | None -> err lineno (Printf.sprintf "site %d not declared" sid))
+            | _ -> err lineno "expected: op <sid> <tid> <action>")
+        | "global" :: tid :: sids -> (
+            let sids = List.map int_of_string_opt sids in
+            match (int_of_string_opt tid, List.for_all Option.is_some sids) with
+            | Some tid, true ->
+                globals := (tid, List.filter_map Fun.id sids) :: !globals;
+                go (lineno + 1) rest
+            | _ -> err lineno "expected: global <tid> <sid> ...")
+        | [ "ser"; tid; sid ] -> (
+            match (int_of_string_opt tid, int_of_string_opt sid) with
+            | Some tid, Some sid ->
+                ser_events := (tid, sid) :: !ser_events;
+                go (lineno + 1) rest
+            | _ -> err lineno "expected: ser <tid> <sid>")
+        | directive :: _ -> err lineno (Printf.sprintf "unknown directive %S" directive)
+        )
+  in
+  go 1 lines
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let to_json t =
+  let action_json a = Json.Str (String.concat " " (action_to_tokens a)) in
+  Json.Obj
+    [
+      ( "sites",
+        Json.List
+          (List.map
+             (fun info ->
+               Json.Obj
+                 [
+                   ("sid", Json.Int info.sid);
+                   ( "protocol",
+                     match info.protocol with
+                     | Some p -> Json.Str (Types.protocol_name p)
+                     | None -> Json.Null );
+                   ( "ops",
+                     Json.List
+                       (List.map
+                          (fun e ->
+                            Json.Obj
+                              [
+                                ("tid", Json.Int e.Schedule.tid);
+                                ("action", action_json e.Schedule.action);
+                              ])
+                          info.ops) );
+                 ])
+             t.sites) );
+      ( "globals",
+        Json.List
+          (List.map
+             (fun (tid, sids) ->
+               Json.Obj
+                 [
+                   ("tid", Json.Int tid);
+                   ("sites", Json.List (List.map (fun s -> Json.Int s) sids));
+                 ])
+             t.globals) );
+      ( "ser_events",
+        Json.List
+          (List.map
+             (fun (tid, sid) ->
+               Json.Obj [ ("tid", Json.Int tid); ("sid", Json.Int sid) ])
+             t.ser_events) );
+    ]

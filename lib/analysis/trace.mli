@@ -1,0 +1,99 @@
+(** A recorded multidatabase execution, as a static artifact.
+
+    Everything the offline analyses need, decoupled from the live objects
+    that produced it: the per-site local schedules (total op order per site,
+    §2.1), which transactions were global and in what order they visited
+    their sites, the per-site protocols (when known), and the interleaved
+    sequence of serialization events — the realized [ser(S)] (§2.3).
+
+    A trace can be captured from a run ({!of_schedules}, fed by
+    [Gtm.schedules] / [Ser_schedule.events]), or read back from the textual
+    format ({!parse}), so recorded executions can be certified and linted
+    without re-executing them. *)
+
+open Mdbs_model
+
+type site_info = {
+  sid : Types.sid;
+  protocol : Types.protocol_kind option;
+      (** The site's concurrency-control protocol, when the capturer knew
+          it; protocol-specific lint rules are skipped when [None]. *)
+  ops : Schedule.entry list;  (** The local schedule, in execution order. *)
+}
+
+type t = {
+  sites : site_info list;
+  globals : (Types.tid * Types.sid list) list;
+      (** Global transactions with their site-visit order, [Ĝ_i]. Includes
+          aborted attempts; analyses project onto committed transactions. *)
+  ser_events : (Types.tid * Types.sid) list;
+      (** Serialization events in global execution order — [ser(S)].
+          May be empty for traces captured without GTM instrumentation. *)
+}
+
+val make :
+  ?globals:(Types.tid * Types.sid list) list ->
+  ?ser_events:(Types.tid * Types.sid) list ->
+  site_info list -> t
+
+val of_schedules :
+  ?protocols:(Types.sid * Types.protocol_kind) list ->
+  ?globals:(Types.tid * Types.sid list) list ->
+  ?ser_events:(Types.tid * Types.sid) list ->
+  Schedule.t list -> t
+(** Capture from recorded {!Mdbs_model.Schedule} objects. *)
+
+(** {1 Accessors} *)
+
+val find_site : t -> Types.sid -> site_info option
+
+val site_ids : t -> Types.sid list
+
+val global_tids : t -> Mdbs_util.Iset.t
+
+val is_global : t -> Types.tid -> bool
+
+val visit_order : t -> Types.tid -> Types.sid list
+(** Site-visit order of a global transaction ([[]] if unknown/local). *)
+
+val committed_at : t -> site_info -> Mdbs_util.Iset.t
+(** Transactions with a recorded [Commit] at this site. *)
+
+val committed : t -> Mdbs_util.Iset.t
+(** Transactions committed at at least one site. *)
+
+val committed_ops : t -> site_info -> (int * Schedule.entry) list
+(** The committed projection of a site's schedule, with each entry's index
+    in the {e full} local schedule (stable op identifiers for witnesses). *)
+
+val ser_order : t -> Types.sid -> Types.tid list
+(** Per-site serialization-event order, derived from [ser_events]. *)
+
+val ser_sites : t -> Types.sid list
+
+val ticket_value : t -> Types.sid -> Types.tid -> int option
+(** The ticket value a transaction obtained at a site: the rank of its
+    [Ticket_op] among all ticket operations executed there (0-based), per
+    the ticket method of §2.2. *)
+
+(** {1 Textual format}
+
+    Line-oriented; [#] starts a comment. Directives:
+    - [site <sid> [<protocol>]] — declare a site (protocol: 2PL, TO, SGT,
+      OCC, C2PL, WD2PL);
+    - [op <sid> <tid> <action>] — append to a site's schedule; actions:
+      [begin], [commit], [abort], [prepare], [ticket], [r <item>],
+      [w <item> <delta>]; items: [ticket] or [x<k>];
+    - [global <tid> <sid> ...] — a global transaction's site-visit order;
+    - [ser <tid> <sid>] — the next serialization event of [ser(S)]. *)
+
+val parse : string -> (t, string) result
+
+val of_file : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+(** Prints the textual format; [parse] round-trips it. *)
+
+val to_string : t -> string
+
+val to_json : t -> Json.t

@@ -26,6 +26,8 @@ let result_row r =
     Report.i r.Driver.scheme_steps;
     (if r.Driver.serializable then "yes" else "NO");
     (if r.Driver.ser_s_serializable then "yes" else "NO");
+    Report.i r.Driver.lint_errors;
+    (if r.Driver.certified then "yes" else "NO");
   ]
 
 let run ?(config = default_config) () =
@@ -54,6 +56,8 @@ let run ?(config = default_config) () =
         "steps";
         "CSR";
         "ser(S)";
+        "lint err";
+        "cert";
       ];
     rows;
     notes =
@@ -62,6 +66,9 @@ let run ?(config = default_config) () =
          nocontrol may show NO";
         "ser waits ordering mirrors E5: scheme0 most conservative, scheme3 \
          least";
+        "lint err / cert come from the static analysis pass over the \
+         captured trace: error-severity diagnostics and whether the \
+         certifier discharged both obligations";
       ];
   }
 
@@ -124,6 +131,8 @@ let violation_hunt ?(attempts = 50) () =
         "steps";
         "CSR";
         "ser(S)";
+        "lint err";
+        "cert";
       ];
     rows;
     notes;

@@ -1,15 +1,21 @@
 module Digraph = Mdbs_util.Digraph
 
-type t = { per_site : (Types.sid, Types.gid list ref) Hashtbl.t }
+type t = {
+  per_site : (Types.sid, Types.gid list ref) Hashtbl.t;
+  mutable log : (Types.gid * Types.sid) list;  (* reversed interleave *)
+}
 
 type verdict = Serializable | Cycle of Types.gid list
 
-let create () = { per_site = Hashtbl.create 16 }
+let create () = { per_site = Hashtbl.create 16; log = [] }
 
 let record t sid gid =
+  t.log <- (gid, sid) :: t.log;
   match Hashtbl.find_opt t.per_site sid with
   | Some order -> order := gid :: !order
   | None -> Hashtbl.replace t.per_site sid (ref [ gid ])
+
+let events t = List.rev t.log
 
 let site_order t sid =
   match Hashtbl.find_opt t.per_site sid with

@@ -21,6 +21,10 @@ val record : t -> Types.sid -> Types.gid -> unit
 val site_order : t -> Types.sid -> Types.gid list
 (** Serialization-event order at one site. *)
 
+val events : t -> (Types.gid * Types.sid) list
+(** The full interleaved log of serialization events, in execution order —
+    the raw material a static analysis pass replays. *)
+
 val sites : t -> Types.sid list
 
 val graph : t -> Mdbs_util.Digraph.t

@@ -10,6 +10,13 @@
 
 type verdict = Serializable | Cycle of Types.tid list
 
+val conflict_pairs : Schedule.t -> (Types.tid * Types.tid) list
+(** All ordered conflicting pairs [(a, b)] of one local schedule's committed
+    projection: a committed op of [a] precedes and conflicts with one of
+    [b]. Pairs are listed with multiplicity (one per conflicting op pair),
+    in descending order of the op-position pair — the historical contract,
+    now produced by a per-item reader/writer index in O(n·k). *)
+
 val conflict_graph : Schedule.t list -> Mdbs_util.Digraph.t
 (** Conflict graph over {e committed} transactions: an edge [a -> b] when
     some committed operation of [a] precedes and conflicts with a committed

@@ -54,6 +54,7 @@ type result = {
   p95_response_ms : float;
   serializable : bool;
   ser_s_serializable : bool;
+  races : int;
 }
 
 type op_kind = Ser_op | Direct_op
@@ -97,6 +98,7 @@ type sim = {
   mutable responses : float list;
   mutable live_globals : int; (* logical transactions not yet resolved *)
   mutable live_locals : int;
+  mutable global_attempts : Txn.t list;
 }
 
 let schedule sim delay event =
@@ -241,6 +243,7 @@ let admit_global sim txn budget started =
   let info =
     Gtm1.admit sim.gtm1 txn ~atomic:sim.config.atomic_commit ~ser_point_of ()
   in
+  sim.global_attempts <- txn :: sim.global_attempts;
   Hashtbl.replace sim.started txn.Txn.id started;
   Hashtbl.replace sim.budgets txn.Txn.id (txn, budget);
   Engine.enqueue sim.engine (Queue_op.Init info)
@@ -385,6 +388,7 @@ let run config scheme =
       responses = [];
       live_globals = config.n_global;
       live_locals = config.locals_per_site * config.workload.Workload.m;
+      global_attempts = [];
     }
   in
   (* Arrival processes. *)
@@ -422,6 +426,23 @@ let run config scheme =
   done;
   let schedules = List.map Local_dbms.schedule sites in
   let responses = sim.responses in
+  let races =
+    let trace =
+      Mdbs_analysis.Trace.of_schedules
+        ~protocols:
+          (List.map
+             (fun dbms ->
+               (Local_dbms.site_id dbms, Local_dbms.protocol_kind dbms))
+             sites)
+        ~globals:
+          (List.map
+             (fun txn -> (txn.Txn.id, Txn.sites txn))
+             (List.rev sim.global_attempts))
+        ~ser_events:(Ser_schedule.events sim.ser_log)
+        schedules
+    in
+    List.length (Mdbs_analysis.Race.detect trace)
+  in
   {
     scheme_name = scheme.Scheme.name;
     committed_global = sim.committed_global;
@@ -441,6 +462,7 @@ let run config scheme =
       (match responses with [] -> 0.0 | _ -> Stats.percentile responses 95.0);
     serializable = Serializability.is_serializable schedules;
     ser_s_serializable = Ser_schedule.is_serializable sim.ser_log;
+    races;
   }
 
 let run_kind config kind =
@@ -451,7 +473,7 @@ let pp_result ppf r =
   Format.fprintf ppf
     "@[<v>%s: %d committed (%d failed, %d restarts), throughput %.1f/s, \
      response mean %.1f ms / p95 %.1f ms; locals %d/%d; forced %d; waits %d; \
-     CSR %b; ser(S) %b@]"
+     CSR %b; ser(S) %b; races %d@]"
     r.scheme_name r.committed_global r.failed_global r.restarts r.throughput_per_s
     r.mean_response_ms r.p95_response_ms r.committed_local r.aborted_local
-    r.forced_aborts r.ser_waits r.serializable r.ser_s_serializable
+    r.forced_aborts r.ser_waits r.serializable r.ser_s_serializable r.races

@@ -50,6 +50,10 @@ type result = {
   p95_response_ms : float;
   serializable : bool;
   ser_s_serializable : bool;
+  races : int;
+      (** Conflicting same-site access pairs the reconstructed
+          happens-before relation leaves unordered
+          ({!Mdbs_analysis.Race.detect} over the captured trace). *)
 }
 
 val run : config -> Mdbs_core.Scheme.t -> result

@@ -39,11 +39,34 @@ type result = {
   serializable : bool;
   ser_s_serializable : bool;
   half_commits : int;
+  lint_errors : int;
+  certified : bool;
 }
 
 let retry_clone txn = { txn with Txn.id = Types.fresh_tid () }
 
-let run config scheme =
+(* Capture the run as a static trace: local schedules with protocols, the
+   global attempts' site-visit orders, and the realized ser(S). *)
+let capture_trace gtm attempts =
+  let dbmss = Gtm.sites gtm in
+  let protocols =
+    List.map
+      (fun dbms ->
+        ( Mdbs_site.Local_dbms.site_id dbms,
+          Mdbs_site.Local_dbms.protocol_kind dbms ))
+      dbmss
+  in
+  let globals =
+    List.filter_map
+      (fun txn ->
+        if Txn.is_global txn then Some (txn.Txn.id, Txn.sites txn) else None)
+      attempts
+  in
+  let ser_events = Ser_schedule.events (Gtm.ser_schedule gtm) in
+  Mdbs_analysis.Trace.of_schedules ~protocols ~globals ~ser_events
+    (List.map Mdbs_site.Local_dbms.schedule dbmss)
+
+let run_traced config scheme =
   let rng = Rng.create config.seed in
   let sites = Workload.make_sites config.workload in
   let gtm = Gtm.create ~atomic_commit:config.atomic_commit ~scheme ~sites () in
@@ -123,21 +146,32 @@ let run config scheme =
         | Gtm.Committed | Gtm.Active -> acc)
       0 !attempts
   in
-  {
-    scheme_name = scheme.Mdbs_core.Scheme.name;
-    committed_global = !committed_global;
-    failed_global = !failed_global;
-    restarts = !restarts;
-    committed_local = !committed_local;
-    aborted_local = !aborted_local;
-    forced_aborts = Gtm.forced_aborts gtm;
-    total_waits = Engine.total_wait_insertions engine;
-    ser_waits = Engine.ser_wait_insertions engine;
-    scheme_steps = scheme.Mdbs_core.Scheme.steps ();
-    serializable = Gtm.audit gtm = Serializability.Serializable;
-    ser_s_serializable = Ser_schedule.is_serializable (Gtm.ser_schedule gtm);
-    half_commits;
-  }
+  let trace = capture_trace gtm !attempts in
+  let analysis = Mdbs_analysis.Analysis.analyze trace in
+  let result =
+    {
+      scheme_name = scheme.Mdbs_core.Scheme.name;
+      committed_global = !committed_global;
+      failed_global = !failed_global;
+      restarts = !restarts;
+      committed_local = !committed_local;
+      aborted_local = !aborted_local;
+      forced_aborts = Gtm.forced_aborts gtm;
+      total_waits = Engine.total_wait_insertions engine;
+      ser_waits = Engine.ser_wait_insertions engine;
+      scheme_steps = scheme.Mdbs_core.Scheme.steps ();
+      serializable = Gtm.audit gtm = Serializability.Serializable;
+      ser_s_serializable = Ser_schedule.is_serializable (Gtm.ser_schedule gtm);
+      half_commits;
+      lint_errors = Mdbs_analysis.Lint.errors analysis.Mdbs_analysis.Analysis.diagnostics;
+      certified = Mdbs_analysis.Analysis.certified analysis;
+    }
+  in
+  (result, trace, analysis)
+
+let run config scheme =
+  let result, _, _ = run_traced config scheme in
+  result
 
 let run_kind config kind =
   Types.reset_tids ();
@@ -147,7 +181,7 @@ let pp_result ppf r =
   Format.fprintf ppf
     "@[<v>%s: global %d committed / %d failed (%d restarts); local %d / %d \
      aborted; forced %d; waits %d (%d ser); steps %d; half-commits %d; CSR %b; \
-     ser(S) %b@]"
+     ser(S) %b; lint errors %d; certified %b@]"
     r.scheme_name r.committed_global r.failed_global r.restarts r.committed_local
     r.aborted_local r.forced_aborts r.total_waits r.ser_waits r.scheme_steps
-    r.half_commits r.serializable r.ser_s_serializable
+    r.half_commits r.serializable r.ser_s_serializable r.lint_errors r.certified

@@ -42,9 +42,21 @@ type result = {
   half_commits : int;
       (** Aborted attempts that committed at some site anyway — the
           atomicity anomaly two-phase commit eliminates. *)
+  lint_errors : int;
+      (** [Error]-severity diagnostics from the static linter over the
+          captured trace. *)
+  certified : bool;
+      (** The static certifier discharged both obligations (CSR and
+          Theorem 2) on the captured trace. *)
 }
 
 val run : config -> Mdbs_core.Scheme.t -> result
+
+val run_traced :
+  config -> Mdbs_core.Scheme.t ->
+  result * Mdbs_analysis.Trace.t * Mdbs_analysis.Analysis.t
+(** [run] plus the captured static trace and the full analysis report —
+    what the CLI's [analyze --simulate] path prints. *)
 
 val run_kind : config -> Mdbs_core.Registry.kind -> result
 (** Fresh scheme of the given kind; resets the transaction-id supply so runs

@@ -28,7 +28,22 @@ type result = {
   submissions : (int * int) list;
   aborts : int;
   aborted_gids : int list;
+  trace : Mdbs_analysis.Trace.t;
+  certified : bool;
 }
+
+(* Self-certification: rebuild the realized ser(S) as a static trace (no
+   local schedules at this level) and discharge the Theorem-2 obligation. *)
+let capture_trace specs submissions aborted_gids =
+  let globals = List.map (fun spec -> (spec.gid, spec.sites)) specs in
+  let ser_events =
+    List.filter (fun (gid, _) -> not (List.mem gid aborted_gids)) submissions
+  in
+  Mdbs_analysis.Trace.make ~globals ~ser_events []
+
+let certify trace =
+  Mdbs_analysis.Certifier.is_certified
+    (Mdbs_analysis.Certifier.certify_theorem2 trace)
 
 type txn_state = {
   spec : spec;
@@ -188,6 +203,11 @@ let run_specs ?(seed = 42) ~concurrency ~ack_latency specs scheme =
   done;
   settle ();
   let n = List.length specs in
+  let submissions = List.rev !submissions in
+  let aborted_gids =
+    Hashtbl.fold (fun gid st acc -> if st.aborted then gid :: acc else acc) states []
+  in
+  let trace = capture_trace specs submissions aborted_gids in
   {
     scheme_name = scheme.Scheme.name;
     txns = n;
@@ -198,11 +218,11 @@ let run_specs ?(seed = 42) ~concurrency ~ack_latency specs scheme =
     engine_steps = Engine.engine_steps engine;
     total_steps = Engine.total_steps engine;
     steps_per_txn = float_of_int (Engine.total_steps engine) /. float_of_int (max 1 n);
-    submissions = List.rev !submissions;
-    aborts =
-      Hashtbl.fold (fun _ st acc -> if st.aborted then acc + 1 else acc) states 0;
-    aborted_gids =
-      Hashtbl.fold (fun gid st acc -> if st.aborted then gid :: acc else acc) states [];
+    submissions;
+    aborts = List.length aborted_gids;
+    aborted_gids;
+    trace;
+    certified = certify trace;
   }
 
 let run ?(seed = 42) config scheme =
@@ -303,6 +323,9 @@ let run_fixed ?(seed = 42) config scheme =
     sequence;
   settle ();
   let n = List.length specs in
+  let submissions = List.rev !submissions in
+  let aborted_gids = Hashtbl.fold (fun gid () acc -> gid :: acc) aborted [] in
+  let trace = capture_trace specs submissions aborted_gids in
   {
     scheme_name = scheme.Scheme.name;
     txns = n;
@@ -313,7 +336,9 @@ let run_fixed ?(seed = 42) config scheme =
     engine_steps = Engine.engine_steps engine;
     total_steps = Engine.total_steps engine;
     steps_per_txn = float_of_int (Engine.total_steps engine) /. float_of_int (max 1 n);
-    submissions = List.rev !submissions;
+    submissions;
     aborts = Hashtbl.length aborted;
-    aborted_gids = Hashtbl.fold (fun gid () acc -> gid :: acc) aborted [];
+    aborted_gids;
+    trace;
+    certified = certify trace;
   }

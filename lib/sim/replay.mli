@@ -47,6 +47,13 @@ type result = {
       (** Transactions killed by a non-conservative scheme ([Abort_global]);
           always 0 for the paper's Schemes 0-3. *)
   aborted_gids : int list;
+  trace : Mdbs_analysis.Trace.t;
+      (** The realized [ser(S)] as a static trace (declared site-visit
+          orders plus submission order, aborted transactions filtered) —
+          ready for {!Mdbs_analysis.Analysis.analyze}. *)
+  certified : bool;
+      (** The run self-certified: the static certifier discharged the
+          Theorem-2 obligation on [trace]. Must hold for Schemes 0-3. *)
 }
 
 val generate_specs : Mdbs_util.Rng.t -> config -> spec list

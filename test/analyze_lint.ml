@@ -1,0 +1,112 @@
+(* Golden-trace lint runner, behind the [analyze-lint] build alias.
+
+   Each trace under test/golden/ carries an [# expect:] header listing
+   tokens:
+   - [certified] / [violation] — required certification verdict;
+   - [clean] — no diagnostics at all;
+   - [MAxxx] — the exact set of lint rules that must fire (and no others).
+
+   The runner analyzes every file and fails (exit 1) on any mismatch, so
+   [dune build @analyze-lint] keeps the analysis pass honest against a
+   corpus of hand-written executions. *)
+
+module A = Mdbs_analysis
+
+type expect = {
+  certified : bool option;
+  clean : bool;
+  rules : string list;
+}
+
+let parse_expect path =
+  let ic = open_in path in
+  let rec scan () =
+    match input_line ic with
+    | exception End_of_file -> None
+    | line ->
+        let line = String.trim line in
+        let prefix = "# expect:" in
+        if String.length line > String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+        then
+          Some
+            (String.sub line (String.length prefix)
+               (String.length line - String.length prefix)
+            |> String.split_on_char ' '
+            |> List.filter (fun t -> t <> ""))
+        else scan ()
+  in
+  let tokens = scan () in
+  close_in ic;
+  match tokens with
+  | None -> Error "no '# expect:' header"
+  | Some tokens ->
+      let certified =
+        if List.mem "certified" tokens then Some true
+        else if List.mem "violation" tokens then Some false
+        else None
+      in
+      let rules =
+        List.filter
+          (fun t ->
+            String.length t = 5 && String.sub t 0 2 = "MA")
+          tokens
+        |> List.sort_uniq compare
+      in
+      Ok { certified; clean = List.mem "clean" tokens; rules }
+
+let run_file path =
+  match parse_expect path with
+  | Error msg -> Error msg
+  | Ok expect -> (
+      match A.Trace.of_file path with
+      | Error msg -> Error ("parse error: " ^ msg)
+      | Ok trace ->
+          let report = A.Analysis.analyze trace in
+          let got_fired =
+            List.map (fun d -> d.A.Lint.rule) report.A.Analysis.diagnostics
+            |> List.sort_uniq compare
+          in
+          let problems = ref [] in
+          (match expect.certified with
+          | Some want when want <> A.Analysis.certified report ->
+              problems :=
+                Printf.sprintf "expected %s, got %s"
+                  (if want then "certified" else "violation")
+                  (if A.Analysis.certified report then "certified"
+                   else "violation")
+                :: !problems
+          | _ -> ());
+          if expect.clean && report.A.Analysis.diagnostics <> [] then
+            problems :=
+              Printf.sprintf "expected clean, got [%s]"
+                (String.concat "; " got_fired)
+              :: !problems;
+          if (not expect.clean) && got_fired <> expect.rules then
+            problems :=
+              Printf.sprintf "expected rules [%s], got [%s]"
+                (String.concat "; " expect.rules)
+                (String.concat "; " got_fired)
+              :: !problems;
+          if !problems = [] then Ok () else Error (String.concat "; " !problems))
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then (
+    prerr_endline "usage: analyze_lint <trace files>";
+    exit 2);
+  let failures =
+    List.fold_left
+      (fun failures path ->
+        match run_file path with
+        | Ok () ->
+            Printf.printf "OK   %s\n" path;
+            failures
+        | Error msg ->
+            Printf.printf "FAIL %s: %s\n" path msg;
+            failures + 1)
+      0 files
+  in
+  if failures > 0 then (
+    Printf.printf "%d golden trace(s) failed\n" failures;
+    exit 1)

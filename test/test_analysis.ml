@@ -1,0 +1,367 @@
+(* Tests for the static analysis pass (lib/analysis): trace capture and
+   parsing, the certifier (both obligations) with machine-checkable
+   certificates and concrete counterexamples, the linter rules, and the
+   property that the certifier agrees with the model-level serializability
+   auditor on random workloads. *)
+
+open Mdbs_model
+module A = Mdbs_analysis
+module Rng = Mdbs_util.Rng
+module Registry = Mdbs_core.Registry
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let x0 = Item.Key 0
+let x1 = Item.Key 1
+
+(* Build a recorded local schedule from an event list. *)
+let sched sid events =
+  let s = Schedule.create sid in
+  List.iter (fun (tid, action) -> Schedule.record s tid action) events;
+  s
+
+let fired report =
+  List.map (fun d -> d.A.Lint.rule) report.A.Analysis.diagnostics
+  |> List.sort_uniq compare
+
+let has_rule report rule = List.mem rule (fired report)
+
+(* ------------------------------------------------- certifier: positive *)
+
+(* Two globals, strictly ordered at both sites: certifies under both
+   obligations and lints clean. *)
+let clean_trace () =
+  let s1 =
+    sched 1
+      [
+        (1, Op.Begin); (1, Op.Read x0); (1, Op.Write (x0, 1)); (1, Op.Commit);
+        (2, Op.Begin); (2, Op.Read x0); (2, Op.Commit);
+      ]
+  in
+  let s2 =
+    sched 2
+      [
+        (1, Op.Begin); (1, Op.Write (x1, 1)); (1, Op.Commit);
+        (2, Op.Begin); (2, Op.Read x1); (2, Op.Commit);
+      ]
+  in
+  A.Trace.of_schedules
+    ~protocols:[ (1, Types.Two_phase_locking); (2, Types.Timestamp_ordering) ]
+    ~globals:[ (1, [ 1; 2 ]); (2, [ 1; 2 ]) ]
+    ~ser_events:[ (1, 1); (1, 2); (2, 1); (2, 2) ]
+    [ s1; s2 ]
+
+let serializable_certifies () =
+  let trace = clean_trace () in
+  let report = A.Analysis.analyze trace in
+  check_bool "certified" true (A.Analysis.certified report);
+  check_int "no diagnostics" 0 (List.length report.A.Analysis.diagnostics);
+  check_int "no errors" 0 (A.Analysis.errors report);
+  (match report.A.Analysis.csr with
+  | A.Certifier.Certified cert ->
+      check_bool "csr certificate verifies" true
+        (A.Certificate.verify trace cert = Ok ())
+  | A.Certifier.Violation _ -> Alcotest.fail "csr violation on clean trace");
+  match report.A.Analysis.theorem2 with
+  | Some (A.Certifier.Certified cert) ->
+      check_bool "theorem-2 certificate verifies" true
+        (A.Certificate.verify trace cert = Ok ())
+  | Some (A.Certifier.Violation _) ->
+      Alcotest.fail "theorem-2 violation on clean trace"
+  | None -> Alcotest.fail "theorem-2 not checked despite ser events"
+
+let certificate_tamper_detected () =
+  let trace = clean_trace () in
+  match A.Certifier.certify trace with
+  | A.Certifier.Violation _ -> Alcotest.fail "clean trace did not certify"
+  | A.Certifier.Certified cert ->
+      let tampered =
+        { cert with A.Certificate.global_order =
+            List.rev cert.A.Certificate.global_order }
+      in
+      check_bool "reversed order rejected" true
+        (match A.Certificate.verify trace tampered with
+        | Error _ -> true
+        | Ok () -> false)
+
+(* ------------------------------- §2.1 indirect conflict (MA003, golden) *)
+
+let indirect_conflict_linted () =
+  (* G1 and G2 touch disjoint items; local T3 bridges them:
+     G1 -r x0-> T3 -w x1-> G2, invisible to the GTM. *)
+  let s1 =
+    sched 1
+      [
+        (1, Op.Begin); (1, Op.Read x0); (1, Op.Commit);
+        (3, Op.Begin); (3, Op.Write (x0, 1)); (3, Op.Write (x1, 1)); (3, Op.Commit);
+        (2, Op.Begin); (2, Op.Read x1); (2, Op.Commit);
+      ]
+  in
+  let trace =
+    A.Trace.of_schedules
+      ~protocols:[ (1, Types.Two_phase_locking) ]
+      ~globals:[ (1, [ 1 ]); (2, [ 1 ]) ]
+      [ s1 ]
+  in
+  let report = A.Analysis.analyze trace in
+  check_bool "still certified" true (A.Analysis.certified report);
+  check_bool "MA003 fired" true (has_rule report "MA003");
+  check_int "indirect conflict is not an error" 0 (A.Analysis.errors report)
+
+(* -------------------------------- ticket inversion (MA001 + CSR cycle) *)
+
+let ticket_trace () =
+  let s1 =
+    sched 1
+      [
+        (1, Op.Begin); (1, Op.Ticket_op); (1, Op.Commit);
+        (2, Op.Begin); (2, Op.Ticket_op); (2, Op.Commit);
+      ]
+  in
+  let s2 =
+    sched 2
+      [
+        (2, Op.Begin); (2, Op.Ticket_op); (2, Op.Commit);
+        (1, Op.Begin); (1, Op.Ticket_op); (1, Op.Commit);
+      ]
+  in
+  A.Trace.of_schedules
+    ~protocols:
+      [
+        (1, Types.Serialization_graph_testing);
+        (2, Types.Serialization_graph_testing);
+      ]
+    ~globals:[ (1, [ 1; 2 ]); (2, [ 1; 2 ]) ]
+    [ s1; s2 ]
+
+let ticket_inversion_flagged () =
+  let trace = ticket_trace () in
+  let report = A.Analysis.analyze trace in
+  check_bool "not certified" false (A.Analysis.certified report);
+  check_bool "MA001 fired" true (has_rule report "MA001");
+  check_bool "counted as errors" true (A.Analysis.errors report > 0)
+
+let ticket_inversion_counterexample () =
+  match A.Certifier.certify (ticket_trace ()) with
+  | A.Certifier.Certified _ -> Alcotest.fail "inverted tickets certified"
+  | A.Certifier.Violation ce ->
+      check_bool "cycle involves both" true
+        (List.mem 1 ce.A.Certifier.cycle && List.mem 2 ce.A.Certifier.cycle);
+      (* Every cycle edge carries a concrete conflicting-op witness. *)
+      List.iter
+        (fun (src, dst, w) ->
+          match w with
+          | Some (A.Certifier.Conflict_ops e) ->
+              check_int "witness src tid" src e.A.Conflicts.src.A.Conflicts.tid;
+              check_int "witness dst tid" dst e.A.Conflicts.dst.A.Conflicts.tid;
+              check_bool "op positions ordered" true
+                (e.A.Conflicts.src.A.Conflicts.index
+                < e.A.Conflicts.dst.A.Conflicts.index)
+          | _ -> Alcotest.fail "missing conflict witness")
+        ce.A.Certifier.witnesses
+
+(* --------------------- two-site serialization inversion (MA004, golden) *)
+
+let inversion_trace () =
+  let s1 =
+    sched 1
+      [
+        (1, Op.Begin); (1, Op.Write (x0, 1)); (1, Op.Commit);
+        (2, Op.Begin); (2, Op.Write (x0, 2)); (2, Op.Commit);
+      ]
+  in
+  let s2 =
+    sched 2
+      [
+        (2, Op.Begin); (2, Op.Write (x1, 1)); (2, Op.Commit);
+        (1, Op.Begin); (1, Op.Write (x1, 2)); (1, Op.Commit);
+      ]
+  in
+  A.Trace.of_schedules
+    ~protocols:[ (1, Types.Two_phase_locking); (2, Types.Two_phase_locking) ]
+    ~globals:[ (1, [ 1; 2 ]); (2, [ 1; 2 ]) ]
+    ~ser_events:[ (1, 1); (2, 1); (2, 2); (1, 2) ]
+    [ s1; s2 ]
+
+let inversion_rejected () =
+  let trace = inversion_trace () in
+  let report = A.Analysis.analyze trace in
+  check_bool "not certified" false (A.Analysis.certified report);
+  check_bool "MA004 fired" true (has_rule report "MA004");
+  match A.Certifier.certify trace with
+  | A.Certifier.Certified _ -> Alcotest.fail "inversion certified"
+  | A.Certifier.Violation ce ->
+      check_bool "cycle is T1/T2" true
+        (List.sort_uniq compare ce.A.Certifier.cycle
+         |> List.for_all (fun t -> t = 1 || t = 2));
+      check_bool "witnesses present" true
+        (List.for_all
+           (fun (_, _, w) -> w <> None)
+           ce.A.Certifier.witnesses)
+
+(* ------------------------------------------------ trace format round-trip *)
+
+let trace_round_trip () =
+  let trace = inversion_trace () in
+  match A.Trace.parse (A.Trace.to_string trace) with
+  | Error msg -> Alcotest.fail ("re-parse failed: " ^ msg)
+  | Ok trace' ->
+      Alcotest.(check string)
+        "round-trips" (A.Trace.to_string trace) (A.Trace.to_string trace');
+      check_bool "same verdict" false
+        (A.Analysis.certified (A.Analysis.analyze trace'))
+
+(* ------------------------------------------- random workload generation *)
+
+(* A random multi-site workload recorded directly as local schedules: each
+   transaction visits one or more sites, runs a few reads/writes over a
+   small item pool there, and commits or aborts; per-site interleavings are
+   random. Small pools keep conflicts (and cycles) frequent. *)
+let random_schedules rng =
+  let m = 1 + Rng.int rng 2 in
+  let ntxns = 2 + Rng.int rng 4 in
+  let scripts =
+    List.init ntxns (fun i ->
+        let tid = i + 1 in
+        let sites =
+          List.filter (fun _ -> Rng.bool rng) (List.init m (fun k -> k + 1))
+        in
+        let sites = if sites = [] then [ 1 + Rng.int rng m ] else sites in
+        let commits = Rng.int rng 5 > 0 in
+        List.map
+          (fun sid ->
+            let body =
+              List.init
+                (1 + Rng.int rng 3)
+                (fun _ ->
+                  let item = Item.Key (Rng.int rng 3) in
+                  if Rng.bool rng then Op.Read item else Op.Write (item, 1))
+            in
+            let last = if commits then Op.Commit else Op.Abort in
+            (sid, ref (List.map (fun a -> (tid, a)) (Op.Begin :: body) @ [ (tid, last) ])))
+          sites)
+    |> List.concat
+  in
+  let schedules = List.init m (fun k -> Schedule.create (k + 1)) in
+  let rec drain () =
+    let live = List.filter (fun (_, q) -> !q <> []) scripts in
+    match live with
+    | [] -> ()
+    | _ ->
+        let sid, q = List.nth live (Rng.int rng (List.length live)) in
+        (match !q with
+        | (tid, action) :: rest ->
+            Schedule.record (List.nth schedules (sid - 1)) tid action;
+            q := rest
+        | [] -> ());
+        drain ()
+  in
+  drain ();
+  schedules
+
+let certify_agrees_with_auditor =
+  QCheck.Test.make ~name:"certify agrees with Serializability.check" ~count:300
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed * 7919) in
+      let schedules = random_schedules rng in
+      let trace = A.Trace.of_schedules schedules in
+      let outcome = A.Certifier.certify trace in
+      let agrees =
+        A.Certifier.is_certified outcome
+        = Serializability.is_serializable schedules
+      in
+      let certificate_checks =
+        match outcome with
+        | A.Certifier.Certified cert -> A.Certificate.verify trace cert = Ok ()
+        | A.Certifier.Violation ce -> ce.A.Certifier.cycle <> []
+      in
+      agrees && certificate_checks)
+
+(* O(n^2) reference for the indexed conflict_pairs rewrite: the historical
+   nested-loop implementation, duplicates and (descending-position) order
+   included. *)
+let conflict_pairs_ref schedule =
+  let entries = Array.of_list (Schedule.committed_entries schedule) in
+  let n = Array.length entries in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = entries.(i) and b = entries.(j) in
+      if
+        a.Schedule.tid <> b.Schedule.tid
+        && Op.conflicting_actions a.Schedule.action b.Schedule.action
+      then pairs := (a.Schedule.tid, b.Schedule.tid) :: !pairs
+    done
+  done;
+  !pairs
+
+let conflict_pairs_equivalent =
+  QCheck.Test.make ~name:"conflict_pairs matches O(n^2) reference" ~count:300
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create ((seed * 31) + 5) in
+      random_schedules rng
+      |> List.for_all (fun s ->
+             Serializability.conflict_pairs s = conflict_pairs_ref s))
+
+(* ------------------------------------------- replay self-certification *)
+
+let replay_schemes_self_certify =
+  QCheck.Test.make ~name:"schemes 0-3 replays self-certify" ~count:40
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, which) ->
+      let kind = List.nth [ Registry.S0; Registry.S1; Registry.S2; Registry.S3 ] which in
+      let config =
+        { Mdbs_sim.Replay.m = 3; n_txns = 12; d_av = 2; concurrency = 6;
+          ack_latency = seed mod 3 }
+      in
+      let r = Mdbs_sim.Replay.run_fixed ~seed config (Registry.make kind) in
+      r.Mdbs_sim.Replay.certified)
+
+let replay_nocontrol_violates () =
+  (* With no control at all, some interleaving must fail certification. *)
+  let config =
+    { Mdbs_sim.Replay.m = 3; n_txns = 20; d_av = 2; concurrency = 8;
+      ack_latency = 1 }
+  in
+  let uncertified = ref 0 in
+  for seed = 0 to 19 do
+    let r =
+      Mdbs_sim.Replay.run_fixed ~seed config (Registry.make Registry.Nocontrol)
+    in
+    if not r.Mdbs_sim.Replay.certified then incr uncertified
+  done;
+  check_bool "some nocontrol replay fails certification" true (!uncertified > 0)
+
+(* ----------------------------------------------------------------- main *)
+
+let () =
+  Alcotest.run "mdbs-analysis"
+    [
+      ( "certifier",
+        [
+          Alcotest.test_case "serializable certifies" `Quick
+            serializable_certifies;
+          Alcotest.test_case "tampered certificate rejected" `Quick
+            certificate_tamper_detected;
+          Alcotest.test_case "two-site inversion rejected" `Quick
+            inversion_rejected;
+          Alcotest.test_case "ticket counterexample witnesses" `Quick
+            ticket_inversion_counterexample;
+        ] );
+      ( "linter",
+        [
+          Alcotest.test_case "indirect conflict (2.1)" `Quick
+            indirect_conflict_linted;
+          Alcotest.test_case "ticket inversion (2.2)" `Quick
+            ticket_inversion_flagged;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "textual round-trip" `Quick trace_round_trip ] );
+      ( "properties",
+        qsuite [ certify_agrees_with_auditor; conflict_pairs_equivalent ] );
+      ( "replay",
+        Alcotest.test_case "nocontrol violates" `Quick replay_nocontrol_violates
+        :: qsuite [ replay_schemes_self_certify ] );
+    ]
