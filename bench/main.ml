@@ -42,7 +42,8 @@ let print_tables () =
   Report.print (Tradeoff.protocol_mix ());
   Report.print (Tradeoff.atomic_commit ());
   Report.print (Timing.scheme_comparison ());
-  Report.print (Timing.latency_sweep ())
+  Report.print (Timing.latency_sweep ());
+  Report.print (Chaos.table ())
 
 (* ----------------------------------------------------- Bechamel section *)
 

@@ -6,6 +6,7 @@
      replay       drive a scheme with a synthetic trace, print metrics
      simulate     run the end-to-end MDBS simulation under one scheme
      des          timed discrete-event simulation
+     chaos        fault-injecting runs, every one certified
      analyze      statically certify and lint a recorded schedule *)
 
 module Registry = Mdbs_core.Registry
@@ -63,6 +64,7 @@ let experiments_cmd =
         ("E12", fun () -> Tradeoff.atomic_commit ());
         ("E13", fun () -> Timing.scheme_comparison ());
         ("E13b", fun () -> Timing.latency_sweep ());
+        ("E14", fun () -> Chaos.table ());
       ]
     in
     let wanted (id, _) =
@@ -162,7 +164,24 @@ let des_cmd =
   let service = Arg.(value & opt float 1.0 & info [ "service" ] ~docv:"MS") in
   let seed = Arg.(value & opt int 23 & info [ "seed" ] ~docv:"SEED") in
   let atomic = Arg.(value & flag & info [ "2pc" ] ~doc:"Two-phase commit.") in
-  let run kind m n_global latency_ms service_ms seed atomic_commit =
+  let faults =
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Fault mix, e.g. $(b,crash=1,gtm=1,drop=0.05,dup=0.02); \
+                 forces durable sites.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.") in
+  let run kind m n_global latency_ms service_ms seed atomic_commit faults json =
+    let fault_plan =
+      match faults with
+      | None -> Mdbs_sim.Fault.none
+      | Some spec -> (
+          let horizon = float_of_int n_global /. 0.05 in
+          match Mdbs_sim.Fault.of_spec spec ~seed ~m ~horizon with
+          | Ok plan -> plan
+          | Error msg ->
+              prerr_endline ("mdbs des: bad --faults: " ^ msg);
+              exit 2)
+    in
     let config =
       {
         Mdbs_sim.Des.default with
@@ -171,14 +190,86 @@ let des_cmd =
         service_ms;
         seed;
         atomic_commit;
+        faults = fault_plan;
         workload = { Workload.default with m };
       }
     in
     let r = Mdbs_sim.Des.run_kind config kind in
-    Format.printf "%a@." Mdbs_sim.Des.pp_result r
+    if json then
+      print_endline
+        (Mdbs_analysis.Json.to_string (Mdbs_sim.Des.result_to_json r))
+    else Format.printf "%a@." Mdbs_sim.Des.pp_result r
   in
   Cmd.v (Cmd.info "des" ~doc)
-    Term.(const run $ scheme $ sites $ globals $ latency $ service $ seed $ atomic)
+    Term.(
+      const run $ scheme $ sites $ globals $ latency $ service $ seed $ atomic
+      $ faults $ json)
+
+(* ------------------------------------------------------------------ chaos *)
+
+let chaos_cmd =
+  let doc = "Fault-injecting simulation runs, each one certified" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the discrete-event simulator under a seeded fault plan (site \
+         crashes, GTM crashes, lossy links, stuck sites) with two-phase \
+         commit, then checks three obligations: the committed projection is \
+         certified serializable, no transaction committed at one site and \
+         aborted at another (and committed ones committed everywhere), and \
+         every durable site's storage equals its WAL-predicted state.";
+      `P
+        "Default: one run of one scheme under $(b,--faults). With \
+         $(b,--sweep): the full E14 sweep (schemes x mixes x seeds). Exits \
+         1 if any check fails — identical spec + seed reproduce the run \
+         exactly.";
+    ]
+  in
+  let scheme =
+    Arg.(value & opt scheme_conv Registry.S3 & info [ "scheme" ] ~docv:"SCHEME")
+  in
+  let faults =
+    Arg.(value & opt string "crash=1,gtm=1,drop=0.05,dup=0.03"
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Fault mix: $(b,crash=N,gtm=N,slow=N:F,drop=P,dup=P,delay=P:MS).")
+  in
+  let seed = Arg.(value & opt int 101 & info [ "seed" ] ~docv:"SEED") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdict as JSON.") in
+  let sweep =
+    Arg.(value & flag & info [ "sweep" ]
+           ~doc:"Run the full E14 chaos sweep and print its table.")
+  in
+  let run kind spec seed json sweep =
+    if sweep then (
+      let outcomes = Chaos.sweep () in
+      Report.print (Chaos.table ~outcomes ());
+      if not (List.for_all (fun o -> Chaos.ok o.Chaos.checks) outcomes) then (
+        prerr_endline "chaos: CHECK FAILED in sweep";
+        exit 1))
+    else
+      let mix =
+        match Mdbs_sim.Fault.parse_mix spec with
+        | Ok mix -> mix
+        | Error msg ->
+            prerr_endline ("mdbs chaos: bad --faults: " ^ msg);
+            exit 2
+      in
+      let o = Chaos.run_one ~mix ~seed kind in
+      if json then
+        print_endline (Mdbs_analysis.Json.to_string (Chaos.outcome_to_json o))
+      else (
+        Format.printf "%a@." Mdbs_sim.Des.pp_result o.Chaos.result;
+        Printf.printf
+          "checks: certified %b; atomic %b; wal-consistent %b\n"
+          o.Chaos.checks.Chaos.certified o.Chaos.checks.Chaos.atomic
+          o.Chaos.checks.Chaos.wal_consistent);
+      if not (Chaos.ok o.Chaos.checks) then (
+        prerr_endline "chaos: CHECK FAILED";
+        exit 1)
+  in
+  Cmd.v (Cmd.info "chaos" ~doc ~man)
+    Term.(const run $ scheme $ faults $ seed $ json $ sweep)
 
 (* ---------------------------------------------------------------- analyze *)
 
@@ -275,5 +366,5 @@ let () =
        (Cmd.group info
           [
             schemes_cmd; experiments_cmd; replay_cmd; simulate_cmd; des_cmd;
-            analyze_cmd;
+            chaos_cmd; analyze_cmd;
           ]))

@@ -18,6 +18,8 @@ type t = {
   fin_enqueued : (Types.gid, unit) Hashtbl.t;
   death_reason : (Types.gid, string) Hashtbl.t;
   mutable forced_aborts : int;
+  gtm_log : Gtm_log.t; (* stable storage: survives a GTM crash *)
+  decided : (Types.gid, unit) Hashtbl.t;
 }
 
 let create ?(atomic_commit = false) ~scheme ~sites () =
@@ -35,9 +37,13 @@ let create ?(atomic_commit = false) ~scheme ~sites () =
     fin_enqueued = Hashtbl.create 64;
     death_reason = Hashtbl.create 16;
     forced_aborts = 0;
+    gtm_log = Gtm_log.create ();
+    decided = Hashtbl.create 16;
   }
 
 let engine t = t.engine
+
+let gtm_log t = t.gtm_log
 
 let site t sid =
   match Hashtbl.find_opt t.site_tbl sid with
@@ -61,9 +67,22 @@ let status t tid =
 
 (* --- global transaction plumbing ------------------------------------- *)
 
+(* Force-append a decision record at most once per transaction. *)
+let log_decided t gid d =
+  if not (Hashtbl.mem t.decided gid) then begin
+    Hashtbl.replace t.decided gid ();
+    Gtm_log.append t.gtm_log (Gtm_log.Decided (gid, d))
+  end
+
+(* Acknowledge the in-flight step, logging the advance. *)
+let gtm1_ack t gid =
+  Gtm_log.append t.gtm_log (Gtm_log.Acked (gid, Gtm1.pc t.gtm1 gid));
+  Gtm1.on_ack t.gtm1 gid
+
 let mark_global_dead t gid reason ~aborting_site =
   if not (Gtm1.is_dead t.gtm1 gid) then begin
     Gtm1.mark_dead t.gtm1 gid;
+    log_decided t gid Gtm_log.Abort;
     Hashtbl.replace t.death_reason gid reason;
     (match aborting_site with
     | Some s -> Gtm1.note_site_terminated t.gtm1 gid s
@@ -84,6 +103,7 @@ let submit_global t txn =
     else Local_dbms.serialization_point dbms
   in
   let info = Gtm1.admit t.gtm1 txn ~atomic:t.atomic_commit ~ser_point_of () in
+  Gtm_log.append t.gtm_log (Gtm_log.Admitted (txn, t.atomic_commit));
   Hashtbl.replace t.statuses txn.Txn.id Active;
   Engine.enqueue t.engine (Queue_op.Init info)
 
@@ -113,6 +133,10 @@ let handle_submit_ser t gid sid progressed =
       | Some step when step.Gtm1.site = sid && step.Gtm1.via_gtm2 -> step.Gtm1.action
       | Some _ | None -> invalid_arg "Gtm: Submit_ser does not match current step"
     in
+    (* Under 2PC, reaching a commit step means every prepare was
+       acknowledged: the global verdict is now Commit. Log the decision
+       before the first commit leaves the GTM (the 2PC decision record). *)
+    if action = Op.Commit then log_decided t gid Gtm_log.Commit;
     declare_if_needed t gid sid action;
     match Local_dbms.submit (site t sid) gid action with
     | Local_dbms.Executed _ ->
@@ -141,26 +165,32 @@ let rec drive_global t gid progressed =
               | None -> "aborted")
           else Committed
         in
+        if final = Committed then log_decided t gid Gtm_log.Commit;
+        Gtm_log.append t.gtm_log (Gtm_log.Finished gid);
         Hashtbl.replace t.statuses gid final;
         Gtm1.finish t.gtm1 gid;
         progressed := true
       end
   | Gtm1.Dispatch_ser sid ->
+      Gtm_log.append t.gtm_log (Gtm_log.Dispatched (gid, Gtm1.pc t.gtm1 gid));
       Gtm1.note_dispatched t.gtm1 gid;
       Engine.enqueue t.engine (Queue_op.Ser (gid, sid));
       progressed := true
   | Gtm1.Dispatch_direct step ->
+      Gtm_log.append t.gtm_log (Gtm_log.Dispatched (gid, Gtm1.pc t.gtm1 gid));
+      (if step.Gtm1.action = Op.Commit && not (Gtm1.is_dead t.gtm1 gid) then
+         log_decided t gid Gtm_log.Commit);
       Gtm1.note_dispatched t.gtm1 gid;
       progressed := true;
       declare_if_needed t gid step.Gtm1.site step.Gtm1.action;
       (match Local_dbms.submit (site t step.Gtm1.site) gid step.Gtm1.action with
       | Local_dbms.Executed _ ->
-          Gtm1.on_ack t.gtm1 gid;
+          gtm1_ack t gid;
           drive_global t gid progressed
       | Local_dbms.Waiting -> ()
       | Local_dbms.Aborted reason ->
           mark_global_dead t gid reason ~aborting_site:(Some step.Gtm1.site);
-          Gtm1.on_ack t.gtm1 gid;
+          gtm1_ack t gid;
           drive_global t gid progressed)
 
 (* --- local transactions ---------------------------------------------- *)
@@ -210,7 +240,7 @@ let handle_completion t sid (completion : Local_dbms.completion) progressed =
         run_local_actions t tid cont_sid rest progressed
     | None ->
         (* A direct operation of a global transaction was unblocked. *)
-        if Gtm1.is_known t.gtm1 tid then Gtm1.on_ack t.gtm1 tid
+        if Gtm1.is_known t.gtm1 tid then gtm1_ack t tid
 
 let drain_completions t progressed =
   List.iter
@@ -256,7 +286,7 @@ let force_abort_one t =
         Hashtbl.remove t.pending_ser (sid, victim);
         Engine.enqueue t.engine (Queue_op.Ack (victim, sid))
       end
-      else Gtm1.on_ack t.gtm1 victim;
+      else gtm1_ack t victim;
       true
 
 (* --- the pump ---------------------------------------------------------- *)
@@ -271,13 +301,13 @@ let pump t =
       (fun effect ->
         match effect with
         | Scheme.Submit_ser (gid, sid) -> handle_submit_ser t gid sid progressed
-        | Scheme.Forward_ack (gid, _) -> Gtm1.on_ack t.gtm1 gid
+        | Scheme.Forward_ack (gid, _) -> gtm1_ack t gid
         | Scheme.Abort_global gid ->
             (* A non-conservative scheme refused the serialization
                operation: the transaction dies without it ever reaching its
                site. Complete the in-flight step and take the dead path. *)
             mark_global_dead t gid "gtm2-abort" ~aborting_site:None;
-            if Gtm1.is_known t.gtm1 gid then Gtm1.on_ack t.gtm1 gid;
+            if Gtm1.is_known t.gtm1 gid then gtm1_ack t gid;
             progressed := true)
       effects;
     drain_completions t progressed;
@@ -286,6 +316,75 @@ let pump t =
       if Engine.idle t.engine && force_abort_one t then ()
       else quiescent := true
   done
+
+(* --- GTM crash and recovery ------------------------------------------- *)
+
+(* A GTM crash loses every volatile structure: GTM1 program counters, the
+   engine's QUEUE/WAIT, the scheme's data structures, the in-flight
+   messages. What survives: the durable {!Gtm_log}, and the sites
+   themselves (untouched — a GTM failure is not a site failure). Recovery
+   is presumed abort: every unfinished transaction with a logged Commit
+   decision is completed (Commit delivered to every site where its
+   subtransaction is still live, including in-doubt participants of a
+   concurrent site crash); every other unfinished transaction is aborted at
+   every such site. Undecided transactions cannot have committed anywhere
+   under 2PC — the decision record precedes the first commit message — so
+   aborting them everywhere preserves atomicity.
+
+   The resolution operations bypass the (fresh) GTM2: its new scheme
+   instance has no pending structures to consult, and the relative
+   serialization order of the resolved transactions was fixed before the
+   crash (every serialization point except a 2PL commit precedes prepare;
+   commit-point sites order the surviving commits by the locks the
+   transactions still hold). *)
+let recover ~old ~scheme =
+  let t =
+    {
+      engine = Engine.create scheme;
+      gtm1 = Gtm1.create ();
+      atomic_commit = old.atomic_commit;
+      site_tbl = old.site_tbl;
+      ser_log = old.ser_log;
+      pending_ser = Hashtbl.create 16;
+      local_cont = old.local_cont;
+      statuses = old.statuses;
+      fin_enqueued = old.fin_enqueued;
+      death_reason = old.death_reason;
+      forced_aborts = old.forced_aborts;
+      gtm_log = old.gtm_log;
+      decided = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun (entry : Gtm_log.entry) ->
+      let gid = entry.Gtm_log.txn.Txn.id in
+      let live_sites =
+        List.filter
+          (fun sid -> Local_dbms.is_active (site t sid) gid)
+          (Txn.sites entry.Gtm_log.txn)
+      in
+      (match entry.Gtm_log.decision with
+      | Some Gtm_log.Commit ->
+          List.iter
+            (fun sid -> ignore (Local_dbms.submit (site t sid) gid Op.Commit))
+            live_sites;
+          Hashtbl.replace t.statuses gid Committed
+      | Some Gtm_log.Abort | None ->
+          if entry.Gtm_log.decision = None then
+            Gtm_log.append t.gtm_log (Gtm_log.Decided (gid, Gtm_log.Abort));
+          List.iter
+            (fun sid -> ignore (Local_dbms.submit (site t sid) gid Op.Abort))
+            live_sites;
+          Hashtbl.replace t.statuses gid
+            (Aborted
+               (match Hashtbl.find_opt t.death_reason gid with
+               | Some r -> r
+               | None -> "gtm-crash")));
+      Gtm_log.append t.gtm_log (Gtm_log.Finished gid))
+    (Gtm_log.analyze t.gtm_log);
+  (* Resolution released locks; blocked local transactions may now run. *)
+  pump t;
+  t
 
 let run_global t txn =
   submit_global t txn;

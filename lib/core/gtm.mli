@@ -69,3 +69,17 @@ val audit : t -> Serializability.verdict
 
 val forced_aborts : t -> int
 (** Cross-site deadlock victims killed by the glue's timeout rule. *)
+
+val gtm_log : t -> Gtm_log.t
+(** The GTM's durable log: admissions, dispatch/ack progress, 2PC
+    decisions. Survives a GTM crash (see {!recover}). *)
+
+val recover : old:t -> scheme:Scheme.t -> t
+(** Crash the GTM of [old] and return its restarted replacement: a fresh
+    engine around [scheme], a fresh GTM1, the same sites, and the survived
+    durable log. Every transaction the log shows admitted-but-unfinished is
+    resolved by presumed abort: a logged [Commit] decision is completed at
+    every site where the subtransaction is still live (including in-doubt
+    2PC participants); anything else — including transactions whose
+    decision was never logged — is aborted at all such sites. Blocked local
+    transactions are resumed by a final {!pump}. *)

@@ -121,6 +121,8 @@ let mark_dead t gid =
 
 let is_dead t gid = (state t gid).dead
 
+let pc t gid = (state t gid).pc
+
 let begun_sites t gid = (state t gid).begun
 
 let note_site_terminated t gid site =

@@ -59,6 +59,12 @@ val mark_dead : t -> Types.gid -> unit
 
 val is_dead : t -> Types.gid -> bool
 
+val pc : t -> Types.gid -> int
+(** The program counter: index of the current (possibly in-flight) step.
+    Used as the per-transaction operation id for idempotent delivery — a
+    retried or duplicated message for step [pc] is recognisable because the
+    counter only advances on acknowledgement. *)
+
 val begun_sites : t -> Types.gid -> Types.sid list
 (** Sites where the transaction's [Begin] has been acknowledged but no
     [Commit]/[Abort] has completed — the sites to roll back on death. *)

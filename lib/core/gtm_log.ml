@@ -1,0 +1,74 @@
+open Mdbs_model
+
+type decision = Commit | Abort
+
+type record =
+  | Admitted of Txn.t * bool
+  | Dispatched of Types.gid * int
+  | Acked of Types.gid * int
+  | Decided of Types.gid * decision
+  | Finished of Types.gid
+
+type t = { mutable records : record list (* newest first *) }
+
+let create () = { records = [] }
+let append t r = t.records <- r :: t.records
+let records t = List.rev t.records
+let length t = List.length t.records
+
+type entry = {
+  txn : Txn.t;
+  atomic : bool;
+  dispatched : int;
+  acked : int;
+  decision : decision option;
+}
+
+let analyze t =
+  (* One replay pass, oldest record first; admission order is preserved by
+     accumulating entries in reverse and flipping once at the end. *)
+  let entries : (Types.gid, entry) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let update gid f =
+    match Hashtbl.find_opt entries gid with
+    | None -> () (* records for a finished (removed) or unknown txn *)
+    | Some e -> Hashtbl.replace entries gid (f e)
+  in
+  List.iter
+    (fun r ->
+      match r with
+      | Admitted (txn, atomic) ->
+          Hashtbl.replace entries txn.Txn.id
+            { txn; atomic; dispatched = 0; acked = 0; decision = None };
+          order := txn.Txn.id :: !order
+      | Dispatched (gid, pc) ->
+          update gid (fun e -> { e with dispatched = max e.dispatched (pc + 1) })
+      | Acked (gid, pc) -> update gid (fun e -> { e with acked = max e.acked (pc + 1) })
+      | Decided (gid, d) -> update gid (fun e -> { e with decision = Some d })
+      | Finished gid ->
+          Hashtbl.remove entries gid;
+          order := List.filter (fun g -> g <> gid) !order)
+    (records t);
+  List.rev_map (fun gid -> Hashtbl.find entries gid) !order
+
+let decision_of t gid =
+  (* Newest-first scan finds the decision without a full replay. *)
+  let rec scan = function
+    | [] -> None
+    | Decided (g, d) :: _ when g = gid -> Some d
+    | _ :: rest -> scan rest
+  in
+  scan t.records
+
+let pp_decision ppf = function
+  | Commit -> Format.pp_print_string ppf "commit"
+  | Abort -> Format.pp_print_string ppf "abort"
+
+let pp_record ppf = function
+  | Admitted (txn, atomic) ->
+      Format.fprintf ppf "admitted g%d%s" txn.Txn.id
+        (if atomic then " (2pc)" else "")
+  | Dispatched (gid, pc) -> Format.fprintf ppf "dispatched g%d#%d" gid pc
+  | Acked (gid, pc) -> Format.fprintf ppf "acked g%d#%d" gid pc
+  | Decided (gid, d) -> Format.fprintf ppf "decided g%d %a" gid pp_decision d
+  | Finished gid -> Format.fprintf ppf "finished g%d" gid

@@ -1,0 +1,55 @@
+(** The GTM's durable log: the coordinator half of fault tolerance.
+
+    The per-site {!Mdbs_site.Wal} makes participants recoverable; this log
+    makes the {e coordinator} recoverable. It models stable storage at the
+    GTM: admissions, per-operation dispatch/acknowledgement progress, commit
+    decisions (2PC: logged after the last prepare acknowledgement, before
+    any commit is sent), abort decisions, and completions. A restarted GTM
+    replays it to learn, for every global transaction in flight at the
+    crash, whether a decision had been reached — and therefore whether
+    in-doubt participants must commit or (presumed abort) roll back.
+
+    Like {!Mdbs_site.Wal}, the log survives a crash while every volatile
+    GTM structure (GTM1 program counters, the engine's QUEUE/WAIT, the
+    scheme's data structures) is lost. *)
+
+open Mdbs_model
+
+type decision = Commit | Abort
+
+type record =
+  | Admitted of Txn.t * bool  (** The transaction and its 2PC flag. *)
+  | Dispatched of Types.gid * int  (** Operation [pc] sent to its site. *)
+  | Acked of Types.gid * int  (** Operation [pc] acknowledged. *)
+  | Decided of Types.gid * decision
+      (** The global verdict. [Commit] is logged only once every prepare
+          (2PC) has been acknowledged; anything undecided at a crash is
+          presumed aborted. *)
+  | Finished of Types.gid  (** [fin] enqueued; the transaction is resolved. *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> record -> unit
+
+val records : t -> record list
+(** In append order. *)
+
+val length : t -> int
+
+type entry = {
+  txn : Txn.t;
+  atomic : bool;
+  dispatched : int;  (** Operations sent (highest dispatched pc + 1). *)
+  acked : int;  (** Length of the acknowledged prefix. *)
+  decision : decision option;
+}
+
+val analyze : t -> entry list
+(** The transactions admitted but not [Finished] — the recovery work list,
+    in admission order. *)
+
+val decision_of : t -> Types.gid -> decision option
+
+val pp_record : Format.formatter -> record -> unit

@@ -6,9 +6,11 @@ module Engine = Mdbs_core.Engine
 module Scheme = Mdbs_core.Scheme
 module Queue_op = Mdbs_core.Queue_op
 module Gtm1 = Mdbs_core.Gtm1
+module Gtm_log = Mdbs_core.Gtm_log
 module Registry = Mdbs_core.Registry
 module Local_dbms = Mdbs_site.Local_dbms
 module Cc_types = Mdbs_lcc.Cc_types
+module Json = Mdbs_analysis.Json
 
 type config = {
   workload : Workload.config;
@@ -22,6 +24,9 @@ type config = {
   max_restarts : int;
   seed : int;
   atomic_commit : bool;
+  faults : Fault.t;
+  retry_timeout_ms : float;
+  max_retries : int;
 }
 
 let default =
@@ -37,6 +42,9 @@ let default =
     max_restarts = 10;
     seed = 23;
     atomic_commit = false;
+    faults = Fault.none;
+    retry_timeout_ms = 50.0;
+    max_retries = 6;
   }
 
 type result = {
@@ -55,6 +63,19 @@ type result = {
   serializable : bool;
   ser_s_serializable : bool;
   races : int;
+  site_crashes : int;
+  gtm_recoveries : int;
+  msg_drops : int;
+  msg_dups : int;
+  retries : int;
+  in_doubt_resolved : int;
+}
+
+type run = {
+  result : result;
+  trace : Mdbs_analysis.Trace.t;
+  sites : Local_dbms.t list;
+  attempts : Txn.t list;  (* admission order *)
 }
 
 type op_kind = Ser_op | Direct_op
@@ -63,42 +84,67 @@ type event =
   | Global_arrival of Txn.t * int * float
       (* transaction, restart budget, logical start time *)
   | Local_arrival of Types.sid * Txn.t * int
-  | Site_deliver of Types.sid * Types.tid * Op.action * op_kind
-      (* an operation of a global transaction reaches its site *)
+  | Site_deliver of Types.sid * Types.tid * int * Op.action * op_kind
+      (* operation [pc] of a global transaction reaches its site *)
   | Site_abort of Types.sid * Types.gid (* rollback order reaches the site *)
   | Local_step of Types.sid * Types.tid * Op.action list
-  | Gtm_ser_ack of Types.gid * Types.sid * string option
-  | Gtm_direct_ack of Types.gid * string option
+  | Gtm_ser_ack of Types.gid * int * Types.sid * string option
+  | Gtm_direct_ack of Types.gid * int * string option
   | Deadlock_scan
+  | Fault_event of Fault.fault
+  | Retry_check of Types.gid * int * int (* gid, pc, attempt *)
+  | Recovery_commit of Types.sid * Types.gid
+      (* a recovered GTM completes a logged Commit decision at a site *)
 
 type sim = {
   config : config;
-  engine : Engine.t;
-  gtm1 : Gtm1.t;
+  mutable engine : Engine.t; (* volatile: replaced at a GTM crash *)
+  mutable gtm1 : Gtm1.t; (* volatile: replaced at a GTM crash *)
+  make_scheme : unit -> Scheme.t; (* fresh scheme for a restarted GTM *)
+  gtm_log : Gtm_log.t; (* the GTM's stable storage *)
   site_tbl : (Types.sid, Local_dbms.t) Hashtbl.t;
   heap : (float * int * event) Binary_heap.t;
   mutable seq : int;
   mutable clock : float;
   mutable last_commit : float;
   rng : Rng.t;
+  faults_enabled : bool;
+  link_rng : Rng.t; (* dedicated stream: link faults are plan-deterministic *)
   ser_log : Ser_schedule.t;
-  (* blocked operations at sites: value = (kind, block start time) *)
-  pending_global : (Types.sid * Types.gid, op_kind * float) Hashtbl.t;
+  (* blocked operations at sites: value = (kind, pc, block start time) *)
+  pending_global : (Types.sid * Types.gid, op_kind * int * float) Hashtbl.t;
   local_cont : (Types.tid, Types.sid * Op.action list * float) Hashtbl.t;
   started : (Types.gid, float) Hashtbl.t; (* logical start per attempt *)
   fin_enqueued : (Types.gid, unit) Hashtbl.t;
   death_reason : (Types.gid, string) Hashtbl.t;
   budgets : (Types.gid, Txn.t * int) Hashtbl.t;
+  (* the operation the GTM is waiting on, per transaction: acknowledgements
+     and retries for any other (stale, duplicated) operation are ignored *)
+  outstanding : (Types.gid, int) Hashtbl.t;
+  (* per-site memory of executed operations (volatile, dies with the site):
+     a redelivered operation is re-acknowledged from here, never re-run *)
+  dedup : (Types.sid * Types.gid * int, string option) Hashtbl.t;
+  decided : (Types.gid, Gtm_log.decision) Hashtbl.t;
+  slow : (Types.sid, float * float) Hashtbl.t; (* factor, until *)
+  dead_local : (Types.tid, unit) Hashtbl.t; (* locals killed by a site crash *)
+  live_local_at : (Types.tid, Types.sid) Hashtbl.t;
   mutable committed_global : int;
   mutable failed_global : int;
   mutable restarts : int;
   mutable committed_local : int;
   mutable aborted_local : int;
   mutable forced_aborts : int;
+  mutable ser_waits : int; (* accumulated across GTM incarnations *)
   mutable responses : float list;
   mutable live_globals : int; (* logical transactions not yet resolved *)
   mutable live_locals : int;
   mutable global_attempts : Txn.t list;
+  mutable site_crashes : int;
+  mutable gtm_recoveries : int;
+  mutable msg_drops : int;
+  mutable msg_dups : int;
+  mutable retries : int;
+  mutable in_doubt_resolved : int;
 }
 
 let schedule sim delay event =
@@ -108,6 +154,71 @@ let schedule sim delay event =
 let site sim sid = Hashtbl.find sim.site_tbl sid
 
 let service sim = Rng.exponential sim.rng (1.0 /. sim.config.service_ms)
+
+(* Service time at a site, stretched while a slowdown fault is active. *)
+let service_at sim sid =
+  let s = service sim in
+  if sim.faults_enabled then
+    match Hashtbl.find_opt sim.slow sid with
+    | Some (factor, until) when sim.clock < until -> s *. factor
+    | _ -> s
+  else s
+
+let log_decided sim gid d =
+  if not (Hashtbl.mem sim.decided gid) then begin
+    Hashtbl.replace sim.decided gid d;
+    Gtm_log.append sim.gtm_log (Gtm_log.Decided (gid, d))
+  end
+
+let commit_decided sim gid =
+  Hashtbl.find_opt sim.decided gid = Some Gtm_log.Commit
+
+(* --- the faulty transport --------------------------------------------- *)
+
+let flip sim p = p > 0.0 && Rng.float sim.link_rng 1.0 < p
+
+(* One-way GTM<->site latency, possibly fault-delayed. *)
+let link_delay sim =
+  let link = sim.config.faults.Fault.link in
+  if sim.faults_enabled && flip sim link.Fault.delay then
+    sim.config.latency_ms +. link.Fault.delay_ms
+  else sim.config.latency_ms
+
+(* Send a message over a GTM<->site link: in fault mode it may be dropped,
+   duplicated or delayed (coin flips from the dedicated link stream). *)
+let send_link sim ~extra event =
+  if not sim.faults_enabled then schedule sim (extra +. sim.config.latency_ms) event
+  else begin
+    let link = sim.config.faults.Fault.link in
+    let dropped = flip sim link.Fault.drop in
+    let dup = flip sim link.Fault.duplicate in
+    if dropped then sim.msg_drops <- sim.msg_drops + 1
+    else schedule sim (extra +. link_delay sim) event;
+    if dup then begin
+      sim.msg_dups <- sim.msg_dups + 1;
+      schedule sim (extra +. link_delay sim) event
+    end
+  end
+
+(* Capped exponential backoff for the GTM's retry timer. *)
+let backoff sim attempt =
+  let d = sim.config.retry_timeout_ms *. (2.0 ** float_of_int attempt) in
+  Float.min d (8.0 *. sim.config.retry_timeout_ms)
+
+(* Dispatch operation [pc] of [gid] to its site. The operation id (gid, pc)
+   makes delivery idempotent: the site caches the outcome per id, and the
+   GTM accepts only the acknowledgement it is waiting on. *)
+let send_to_site sim sid gid pc action kind ~attempt =
+  Hashtbl.replace sim.outstanding gid pc;
+  send_link sim ~extra:0.0 (Site_deliver (sid, gid, pc, action, kind));
+  if sim.faults_enabled then
+    schedule sim (backoff sim attempt) (Retry_check (gid, pc, attempt))
+
+(* Acknowledge operation [pc] back to the GTM (also a faulty link). *)
+let ack_to_gtm sim sid gid pc kind failure ~extra =
+  match kind with
+  | Ser_op -> send_link sim ~extra (Gtm_ser_ack (gid, pc, sid, failure))
+  | Direct_op -> send_link sim ~extra (Gtm_direct_ack (gid, pc, failure))
 
 let declare_if_needed sim gid sid action =
   if action = Op.Begin then begin
@@ -121,10 +232,17 @@ let declare_if_needed sim gid sid action =
   end
 
 (* The GTM learns of a subtransaction failure: kill the transaction and
-   order rollbacks at every site where it is still active. *)
+   order rollbacks at every site where it is still active. A transaction
+   whose Commit decision is already on stable storage can no longer be
+   aborted (2PC: the decision is final); its commits are retried instead. *)
 let mark_dead sim gid reason ~aborting_site =
-  if Gtm1.is_known sim.gtm1 gid && not (Gtm1.is_dead sim.gtm1 gid) then begin
+  if
+    Gtm1.is_known sim.gtm1 gid
+    && (not (Gtm1.is_dead sim.gtm1 gid))
+    && not (commit_decided sim gid)
+  then begin
     Gtm1.mark_dead sim.gtm1 gid;
+    log_decided sim gid Gtm_log.Abort;
     Hashtbl.replace sim.death_reason gid reason;
     (match aborting_site with
     | Some s -> Gtm1.note_site_terminated sim.gtm1 gid s
@@ -136,25 +254,44 @@ let mark_dead sim gid reason ~aborting_site =
       (Gtm1.begun_sites sim.gtm1 gid)
   end
 
+(* The GTM accepts the acknowledgement of step [pc] — once. Stale
+   acknowledgements (a duplicate, or a message that outlived a retry or a
+   GTM restart) fail the [outstanding] check and die here. *)
+let gtm_accept_ack sim gid pc sid kind failure =
+  if
+    Gtm1.is_known sim.gtm1 gid
+    && Hashtbl.find_opt sim.outstanding gid = Some pc
+  then begin
+    Hashtbl.remove sim.outstanding gid;
+    Gtm_log.append sim.gtm_log (Gtm_log.Acked (gid, pc));
+    (match failure with
+    | Some reason ->
+        mark_dead sim gid reason
+          ~aborting_site:(match kind with Ser_op -> Some sid | Direct_op -> None)
+    | None -> ());
+    match kind with
+    | Ser_op -> Engine.enqueue sim.engine (Queue_op.Ack (gid, sid))
+    | Direct_op -> if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid
+  end
+
 (* Process completions that a site event may have unblocked. *)
 let drain_site sim sid =
   List.iter
     (fun completion ->
       let tid = completion.Local_dbms.tid in
       match Hashtbl.find_opt sim.pending_global (sid, tid) with
-      | Some (kind, _) ->
+      | Some (kind, pc, _) ->
           Hashtbl.remove sim.pending_global (sid, tid);
-          let delay = service sim +. sim.config.latency_ms in
+          if sim.faults_enabled then Hashtbl.replace sim.dedup (sid, tid, pc) None;
           (match kind with
-          | Ser_op ->
-              Ser_schedule.record sim.ser_log sid tid;
-              schedule sim delay (Gtm_ser_ack (tid, sid, None))
-          | Direct_op -> schedule sim delay (Gtm_direct_ack (tid, None)))
+          | Ser_op -> Ser_schedule.record sim.ser_log sid tid
+          | Direct_op -> ());
+          ack_to_gtm sim sid tid pc kind None ~extra:(service_at sim sid)
       | None -> (
           match Hashtbl.find_opt sim.local_cont tid with
           | Some (cont_sid, rest, _) ->
               Hashtbl.remove sim.local_cont tid;
-              schedule sim (service sim) (Local_step (cont_sid, tid, rest))
+              schedule sim (service_at sim cont_sid) (Local_step (cont_sid, tid, rest))
           | None -> ()))
     (Local_dbms.drain_completions (site sim sid))
 
@@ -176,7 +313,11 @@ let rec drive sim =
                   step.Gtm1.action
               | Some _ | None -> invalid_arg "Des: Submit_ser mismatch"
             in
-            schedule sim sim.config.latency_ms (Site_deliver (sid, gid, action, Ser_op))
+            (* 2PC decision record: first commit leaves only after every
+               prepare was acknowledged. *)
+            if action = Op.Commit then log_decided sim gid Gtm_log.Commit;
+            send_to_site sim sid gid (Gtm1.pc sim.gtm1 gid) action Ser_op
+              ~attempt:0
           end
       | Scheme.Forward_ack (gid, _) ->
           if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid
@@ -191,13 +332,18 @@ let rec drive sim =
       | Gtm1.In_flight -> ()
       | Gtm1.Finished -> if finish_global sim gid then dispatched := true
       | Gtm1.Dispatch_ser sid ->
+          Gtm_log.append sim.gtm_log (Gtm_log.Dispatched (gid, Gtm1.pc sim.gtm1 gid));
           Gtm1.note_dispatched sim.gtm1 gid;
           Engine.enqueue sim.engine (Queue_op.Ser (gid, sid));
           dispatched := true
       | Gtm1.Dispatch_direct step ->
+          let pc = Gtm1.pc sim.gtm1 gid in
+          Gtm_log.append sim.gtm_log (Gtm_log.Dispatched (gid, pc));
+          if step.Gtm1.action = Op.Commit && not (Gtm1.is_dead sim.gtm1 gid) then
+            log_decided sim gid Gtm_log.Commit;
           Gtm1.note_dispatched sim.gtm1 gid;
-          schedule sim sim.config.latency_ms
-            (Site_deliver (step.Gtm1.site, gid, step.Gtm1.action, Direct_op));
+          send_to_site sim step.Gtm1.site gid pc step.Gtm1.action Direct_op
+            ~attempt:0;
           dispatched := true)
     (Gtm1.active sim.gtm1);
   if !dispatched || not (Engine.idle sim.engine) then drive sim
@@ -223,11 +369,13 @@ and finish_global sim gid =
        end
      end
      else begin
+       log_decided sim gid Gtm_log.Commit;
        sim.committed_global <- sim.committed_global + 1;
        sim.live_globals <- sim.live_globals - 1;
        sim.last_commit <- sim.clock;
        sim.responses <- (sim.clock -. started) :: sim.responses
      end);
+    Gtm_log.append sim.gtm_log (Gtm_log.Finished gid);
     Hashtbl.remove sim.budgets gid;
     Gtm1.finish sim.gtm1 gid;
     true
@@ -243,82 +391,218 @@ let admit_global sim txn budget started =
   let info =
     Gtm1.admit sim.gtm1 txn ~atomic:sim.config.atomic_commit ~ser_point_of ()
   in
+  Gtm_log.append sim.gtm_log (Gtm_log.Admitted (txn, sim.config.atomic_commit));
   sim.global_attempts <- txn :: sim.global_attempts;
   Hashtbl.replace sim.started txn.Txn.id started;
   Hashtbl.replace sim.budgets txn.Txn.id (txn, budget);
   Engine.enqueue sim.engine (Queue_op.Init info)
 
-let handle_site_deliver sim sid tid action kind =
+let handle_site_deliver sim sid tid pc action kind =
   if not (Gtm1.is_known sim.gtm1 tid) then ()
   else if Gtm1.is_dead sim.gtm1 tid then begin
     (* The rollback raced this operation; acknowledge without executing. *)
     match kind with
-    | Ser_op -> Engine.enqueue sim.engine (Queue_op.Ack (tid, sid))
-    | Direct_op -> schedule sim sim.config.latency_ms (Gtm_direct_ack (tid, None))
+    | Ser_op -> gtm_accept_ack sim tid pc sid Ser_op None
+    | Direct_op -> send_link sim ~extra:0.0 (Gtm_direct_ack (tid, pc, None))
   end
   else begin
-    declare_if_needed sim tid sid action;
-    match Local_dbms.submit (site sim sid) tid action with
-    | Local_dbms.Executed _ ->
-        let delay = service sim +. sim.config.latency_ms in
-        (match kind with
-        | Ser_op ->
-            Ser_schedule.record sim.ser_log sid tid;
-            schedule sim delay (Gtm_ser_ack (tid, sid, None))
-        | Direct_op -> schedule sim delay (Gtm_direct_ack (tid, None)));
-        drain_site sim sid
-    | Local_dbms.Waiting ->
-        Hashtbl.replace sim.pending_global (sid, tid) (kind, sim.clock)
-    | Local_dbms.Aborted reason ->
-        let delay = sim.config.latency_ms in
-        (match kind with
-        | Ser_op -> schedule sim delay (Gtm_ser_ack (tid, sid, Some reason))
-        | Direct_op -> schedule sim delay (Gtm_direct_ack (tid, Some reason)));
-        drain_site sim sid
+    let dbms = site sim sid in
+    if sim.faults_enabled && Hashtbl.mem sim.dedup (sid, tid, pc) then
+      (* Redelivery of an executed operation: re-acknowledge the cached
+         outcome; never re-execute, never re-record ser(S). *)
+      ack_to_gtm sim sid tid pc kind (Hashtbl.find sim.dedup (sid, tid, pc))
+        ~extra:0.0
+    else if sim.faults_enabled && Hashtbl.mem sim.pending_global (sid, tid) then
+      (* Redelivery of an operation still blocked here: its eventual
+         completion produces the (single) acknowledgement. *)
+      ()
+    else if
+      sim.faults_enabled && action = Op.Prepare
+      && List.mem tid (Local_dbms.in_doubt dbms)
+    then begin
+      (* Retried prepare for a transaction already prepared (and carried
+         through a site crash): the vote stands. *)
+      Hashtbl.replace sim.dedup (sid, tid, pc) None;
+      ack_to_gtm sim sid tid pc kind None ~extra:0.0
+    end
+    else if
+      sim.faults_enabled && action <> Op.Begin
+      && not (Local_dbms.is_active dbms tid)
+    then begin
+      (* The restarted site has no memory of this transaction. A Commit
+         (or Abort) for a forgotten transaction must already have been
+         performed — a participant forgets only after completing, and under
+         2PC a commit is only sent once the prepare acknowledgement proved
+         the transaction durable here. Anything else means the
+         subtransaction's work was lost in the crash: vote no. *)
+      match action with
+      | Op.Commit | Op.Abort -> ack_to_gtm sim sid tid pc kind None ~extra:0.0
+      | _ -> ack_to_gtm sim sid tid pc kind (Some "site-amnesia") ~extra:0.0
+    end
+    else begin
+      declare_if_needed sim tid sid action;
+      match Local_dbms.submit dbms tid action with
+      | Local_dbms.Executed _ ->
+          if sim.faults_enabled then Hashtbl.replace sim.dedup (sid, tid, pc) None;
+          (match kind with
+          | Ser_op -> Ser_schedule.record sim.ser_log sid tid
+          | Direct_op -> ());
+          ack_to_gtm sim sid tid pc kind None ~extra:(service_at sim sid);
+          drain_site sim sid
+      | Local_dbms.Waiting ->
+          Hashtbl.replace sim.pending_global (sid, tid) (kind, pc, sim.clock)
+      | Local_dbms.Aborted reason ->
+          if sim.faults_enabled then
+            Hashtbl.replace sim.dedup (sid, tid, pc) (Some reason);
+          ack_to_gtm sim sid tid pc kind (Some reason) ~extra:0.0;
+          drain_site sim sid
+    end
   end
 
 let handle_local_step sim sid tid actions =
   match actions with
   | [] ->
       sim.committed_local <- sim.committed_local + 1;
-      sim.live_locals <- sim.live_locals - 1
+      sim.live_locals <- sim.live_locals - 1;
+      Hashtbl.remove sim.live_local_at tid
   | action :: rest -> (
       match Local_dbms.submit (site sim sid) tid action with
       | Local_dbms.Executed _ ->
           if rest = [] then begin
             sim.committed_local <- sim.committed_local + 1;
-            sim.live_locals <- sim.live_locals - 1
+            sim.live_locals <- sim.live_locals - 1;
+            Hashtbl.remove sim.live_local_at tid
           end
-          else schedule sim (service sim) (Local_step (sid, tid, rest));
+          else schedule sim (service_at sim sid) (Local_step (sid, tid, rest));
           drain_site sim sid
       | Local_dbms.Waiting -> Hashtbl.replace sim.local_cont tid (sid, rest, sim.clock)
       | Local_dbms.Aborted _ ->
           sim.aborted_local <- sim.aborted_local + 1;
           sim.live_locals <- sim.live_locals - 1;
+          Hashtbl.remove sim.live_local_at tid;
           drain_site sim sid)
 
 (* Kill the youngest global transaction blocked longer than the timeout. *)
 let deadlock_scan sim =
   let victims =
     Hashtbl.fold
-      (fun (sid, gid) (kind, since) acc ->
+      (fun (sid, gid) (kind, pc, since) acc ->
         if sim.clock -. since >= sim.config.deadlock_timeout_ms then
-          (gid, sid, kind) :: acc
+          (gid, sid, kind, pc) :: acc
         else acc)
       sim.pending_global []
   in
-  match List.sort (fun (a, _, _) (b, _, _) -> compare b a) victims with
+  match List.sort (fun (a, _, _, _) (b, _, _, _) -> compare b a) victims with
   | [] -> ()
-  | (gid, sid, kind) :: _ ->
+  | (gid, sid, kind, pc) :: _ ->
       sim.forced_aborts <- sim.forced_aborts + 1;
       Hashtbl.remove sim.pending_global (sid, gid);
       ignore (Local_dbms.submit (site sim sid) gid Op.Abort);
       mark_dead sim gid "global-deadlock" ~aborting_site:(Some sid);
-      (match kind with
-      | Ser_op -> Engine.enqueue sim.engine (Queue_op.Ack (gid, sid))
-      | Direct_op ->
-          if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid);
+      gtm_accept_ack sim gid pc sid kind None;
       drain_site sim sid
+
+(* --- fault application ------------------------------------------------- *)
+
+(* Crash and restart a site. Volatile state (protocol, blocked operations,
+   the operation-dedup memory) dies; storage recovers from the WAL; prepared
+   transactions survive in doubt. The GTM treats every transaction that had
+   reached the site without preparing there as aborted by the crash. *)
+let apply_site_crash sim sid =
+  sim.site_crashes <- sim.site_crashes + 1;
+  let dbms = site sim sid in
+  Local_dbms.crash dbms;
+  let stale =
+    Hashtbl.fold
+      (fun ((s, _, _) as key) _ acc -> if s = sid then key :: acc else acc)
+      sim.dedup []
+  in
+  List.iter (Hashtbl.remove sim.dedup) stale;
+  let blocked =
+    Hashtbl.fold
+      (fun ((s, _) as key) _ acc -> if s = sid then key :: acc else acc)
+      sim.pending_global []
+  in
+  List.iter (Hashtbl.remove sim.pending_global) blocked;
+  (* Local transactions active here died with the site. *)
+  let dead_locals =
+    Hashtbl.fold
+      (fun tid s acc -> if s = sid then tid :: acc else acc)
+      sim.live_local_at []
+  in
+  List.iter
+    (fun tid ->
+      Hashtbl.replace sim.dead_local tid ();
+      Hashtbl.remove sim.live_local_at tid;
+      Hashtbl.remove sim.local_cont tid;
+      sim.aborted_local <- sim.aborted_local + 1;
+      sim.live_locals <- sim.live_locals - 1)
+    (List.sort compare dead_locals);
+  (* Global subtransactions that reached this site without preparing were
+     wiped (including any whose current operation targeted the site — its
+     outcome, if any, is unrecoverable). In-doubt ones survive. *)
+  let in_doubt = Local_dbms.in_doubt dbms in
+  List.iter
+    (fun gid ->
+      let touched =
+        List.mem sid (Gtm1.begun_sites sim.gtm1 gid)
+        ||
+        match (Gtm1.current_step sim.gtm1 gid, Hashtbl.find_opt sim.outstanding gid) with
+        | Some step, Some _ -> step.Gtm1.site = sid
+        | _ -> false
+      in
+      if touched && not (List.mem gid in_doubt) then
+        mark_dead sim gid "site-crash" ~aborting_site:(Some sid))
+    (Gtm1.active sim.gtm1)
+
+(* Crash and restart the GTM. Volatile state — GTM1 program counters, the
+   engine's QUEUE/WAIT, the scheme's structures, in-flight message
+   bookkeeping — is lost; the durable log survives. Recovery is presumed
+   abort: unfinished transactions with a logged Commit decision are
+   completed at every site; all others are aborted everywhere. Messages of
+   the previous incarnation still in the network die against the
+   [is_known]/[outstanding] guards. *)
+let apply_gtm_crash sim =
+  sim.gtm_recoveries <- sim.gtm_recoveries + 1;
+  sim.ser_waits <- sim.ser_waits + Engine.ser_wait_insertions sim.engine;
+  sim.engine <- Engine.create (sim.make_scheme ());
+  sim.gtm1 <- Gtm1.create ();
+  Hashtbl.reset sim.outstanding;
+  List.iter
+    (fun (entry : Gtm_log.entry) ->
+      let gid = entry.Gtm_log.txn.Txn.id in
+      let sids = Txn.sites entry.Gtm_log.txn in
+      sim.in_doubt_resolved <- sim.in_doubt_resolved + 1;
+      (match entry.Gtm_log.decision with
+      | Some Gtm_log.Commit ->
+          List.iter
+            (fun sid -> schedule sim sim.config.latency_ms (Recovery_commit (sid, gid)))
+            sids;
+          sim.committed_global <- sim.committed_global + 1;
+          sim.live_globals <- sim.live_globals - 1;
+          sim.last_commit <- sim.clock;
+          (match Hashtbl.find_opt sim.started gid with
+          | Some started -> sim.responses <- (sim.clock -. started) :: sim.responses
+          | None -> ())
+      | Some Gtm_log.Abort | None ->
+          if entry.Gtm_log.decision = None then
+            Gtm_log.append sim.gtm_log (Gtm_log.Decided (gid, Gtm_log.Abort));
+          List.iter
+            (fun sid -> schedule sim sim.config.latency_ms (Site_abort (sid, gid)))
+            sids;
+          (* The restarted GTM has no client to retry for: the transaction
+             fails rather than restarts. *)
+          sim.failed_global <- sim.failed_global + 1;
+          sim.live_globals <- sim.live_globals - 1);
+      Hashtbl.remove sim.budgets gid;
+      Gtm_log.append sim.gtm_log (Gtm_log.Finished gid))
+    (Gtm_log.analyze sim.gtm_log)
+
+let apply_fault sim = function
+  | Fault.Site_crash sid -> apply_site_crash sim sid
+  | Fault.Gtm_crash -> apply_gtm_crash sim
+  | Fault.Slow_site { sid; factor; duration } ->
+      Hashtbl.replace sim.slow sid (factor, sim.clock +. duration)
 
 let handle_event sim event =
   match event with
@@ -331,38 +615,80 @@ let handle_event sim event =
              (fun (item, write) ->
                (item, if write then Cc_types.Write_mode else Cc_types.Read_mode))
              (Txn.accesses_at txn sid));
+      Hashtbl.replace sim.live_local_at txn.Txn.id sid;
       handle_local_step sim sid txn.Txn.id (List.map (fun s -> s.Txn.action) txn.Txn.script)
-  | Site_deliver (sid, tid, action, kind) -> handle_site_deliver sim sid tid action kind
+  | Site_deliver (sid, tid, pc, action, kind) ->
+      handle_site_deliver sim sid tid pc action kind
   | Site_abort (sid, gid) ->
       Hashtbl.remove sim.pending_global (sid, gid);
-      ignore (Local_dbms.submit (site sim sid) gid Op.Abort);
+      if (not sim.faults_enabled) || Local_dbms.is_active (site sim sid) gid then
+        ignore (Local_dbms.submit (site sim sid) gid Op.Abort);
       drain_site sim sid
-  | Local_step (sid, tid, actions) -> handle_local_step sim sid tid actions
-  | Gtm_ser_ack (gid, sid, failure) ->
-      (match failure with
-      | Some reason -> mark_dead sim gid reason ~aborting_site:(Some sid)
-      | None -> ());
-      Engine.enqueue sim.engine (Queue_op.Ack (gid, sid))
-  | Gtm_direct_ack (gid, failure) ->
-      (match failure with
-      | Some reason -> mark_dead sim gid reason ~aborting_site:None
-      | None -> ());
-      if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid
+  | Local_step (sid, tid, actions) ->
+      if not (Hashtbl.mem sim.dead_local tid) then
+        handle_local_step sim sid tid actions
+  | Gtm_ser_ack (gid, pc, sid, failure) -> gtm_accept_ack sim gid pc sid Ser_op failure
+  | Gtm_direct_ack (gid, pc, failure) ->
+      gtm_accept_ack sim gid pc 0 Direct_op failure
   | Deadlock_scan ->
       deadlock_scan sim;
       if sim.live_globals > 0 then
         schedule sim sim.config.deadlock_timeout_ms Deadlock_scan
+  | Fault_event fault -> apply_fault sim fault
+  | Retry_check (gid, pc, attempt) ->
+      if
+        Gtm1.is_known sim.gtm1 gid
+        && Hashtbl.find_opt sim.outstanding gid = Some pc
+      then begin
+        let step =
+          match Gtm1.current_step sim.gtm1 gid with
+          | Some s -> s
+          | None -> assert false
+        in
+        let kind = if step.Gtm1.via_gtm2 then Ser_op else Direct_op in
+        if Gtm1.is_dead sim.gtm1 gid then
+          (* Dead and its resolution message was lost: complete the step
+             internally so the transaction drains. *)
+          gtm_accept_ack sim gid pc step.Gtm1.site kind None
+        else if attempt >= sim.config.max_retries && not (commit_decided sim gid)
+        then begin
+          (* Retries exhausted before a decision: presume the site
+             unreachable and abort. A decided Commit is never abandoned —
+             it keeps retrying (the site will answer eventually). *)
+          mark_dead sim gid "retry-exhausted" ~aborting_site:None;
+          gtm_accept_ack sim gid pc step.Gtm1.site kind None
+        end
+        else begin
+          sim.retries <- sim.retries + 1;
+          send_to_site sim step.Gtm1.site gid pc step.Gtm1.action kind
+            ~attempt:(attempt + 1)
+        end
+      end
+  | Recovery_commit (sid, gid) ->
+      let dbms = site sim sid in
+      if Local_dbms.is_active dbms gid then
+        ignore (Local_dbms.submit dbms gid Op.Commit);
+      drain_site sim sid
 
-let run config scheme =
+let run_scheme config make_scheme =
+  let faults_enabled = not (Fault.is_none config.faults) in
+  let workload =
+    if faults_enabled then { config.workload with Workload.durable = true }
+    else config.workload
+  in
   let rng = Rng.create config.seed in
-  let sites = Workload.make_sites config.workload in
+  let sites = Workload.make_sites workload in
   let site_tbl = Hashtbl.create 16 in
   List.iter (fun s -> Hashtbl.replace site_tbl (Local_dbms.site_id s) s) sites;
+  let first_scheme = make_scheme () in
+  let scheme_name = first_scheme.Scheme.name in
   let sim =
     {
       config;
-      engine = Engine.create scheme;
+      engine = Engine.create first_scheme;
       gtm1 = Gtm1.create ();
+      make_scheme;
+      gtm_log = Gtm_log.create ();
       site_tbl;
       heap =
         Binary_heap.create
@@ -372,6 +698,8 @@ let run config scheme =
       clock = 0.0;
       last_commit = 0.0;
       rng;
+      faults_enabled;
+      link_rng = Rng.create (config.faults.Fault.link_seed + 1);
       ser_log = Ser_schedule.create ();
       pending_global = Hashtbl.create 32;
       local_cont = Hashtbl.create 32;
@@ -379,23 +707,36 @@ let run config scheme =
       fin_enqueued = Hashtbl.create 64;
       death_reason = Hashtbl.create 16;
       budgets = Hashtbl.create 64;
+      outstanding = Hashtbl.create 32;
+      dedup = Hashtbl.create 256;
+      decided = Hashtbl.create 64;
+      slow = Hashtbl.create 4;
+      dead_local = Hashtbl.create 16;
+      live_local_at = Hashtbl.create 32;
       committed_global = 0;
       failed_global = 0;
       restarts = 0;
       committed_local = 0;
       aborted_local = 0;
       forced_aborts = 0;
+      ser_waits = 0;
       responses = [];
       live_globals = config.n_global;
-      live_locals = config.locals_per_site * config.workload.Workload.m;
+      live_locals = config.locals_per_site * workload.Workload.m;
       global_attempts = [];
+      site_crashes = 0;
+      gtm_recoveries = 0;
+      msg_drops = 0;
+      msg_dups = 0;
+      retries = 0;
+      in_doubt_resolved = 0;
     }
   in
   (* Arrival processes. *)
   let t = ref 0.0 in
   for _ = 1 to config.n_global do
     t := !t +. Rng.exponential rng config.global_rate;
-    let txn = Workload.global_txn rng config.workload in
+    let txn = Workload.global_txn rng workload in
     sim.seq <- sim.seq + 1;
     Binary_heap.push sim.heap (!t, sim.seq, Global_arrival (txn, config.max_restarts, !t))
   done;
@@ -405,12 +746,18 @@ let run config scheme =
       let t = ref 0.0 in
       for _ = 1 to config.locals_per_site do
         t := !t +. Rng.exponential rng config.local_rate;
-        let txn = Workload.local_txn rng config.workload sid in
+        let txn = Workload.local_txn rng workload sid in
         sim.seq <- sim.seq + 1;
         Binary_heap.push sim.heap (!t, sim.seq, Local_arrival (sid, txn, 0))
       done)
     sites;
   schedule sim config.deadlock_timeout_ms Deadlock_scan;
+  if faults_enabled then
+    List.iter
+      (fun (at, fault) ->
+        sim.seq <- sim.seq + 1;
+        Binary_heap.push sim.heap (at, sim.seq, Fault_event fault))
+      config.faults.Fault.events;
   (* Main loop. *)
   let steps = ref 0 in
   let continue_running = ref true in
@@ -426,48 +773,61 @@ let run config scheme =
   done;
   let schedules = List.map Local_dbms.schedule sites in
   let responses = sim.responses in
-  let races =
-    let trace =
-      Mdbs_analysis.Trace.of_schedules
-        ~protocols:
-          (List.map
-             (fun dbms ->
-               (Local_dbms.site_id dbms, Local_dbms.protocol_kind dbms))
-             sites)
-        ~globals:
-          (List.map
-             (fun txn -> (txn.Txn.id, Txn.sites txn))
-             (List.rev sim.global_attempts))
-        ~ser_events:(Ser_schedule.events sim.ser_log)
-        schedules
-    in
-    List.length (Mdbs_analysis.Race.detect trace)
+  let attempts = List.rev sim.global_attempts in
+  let trace =
+    Mdbs_analysis.Trace.of_schedules
+      ~protocols:
+        (List.map
+           (fun dbms -> (Local_dbms.site_id dbms, Local_dbms.protocol_kind dbms))
+           sites)
+      ~globals:(List.map (fun txn -> (txn.Txn.id, Txn.sites txn)) attempts)
+      ~ser_events:(Ser_schedule.events sim.ser_log)
+      schedules
   in
-  {
-    scheme_name = scheme.Scheme.name;
-    committed_global = sim.committed_global;
-    failed_global = sim.failed_global;
-    restarts = sim.restarts;
-    committed_local = sim.committed_local;
-    aborted_local = sim.aborted_local;
-    forced_aborts = sim.forced_aborts;
-    ser_waits = Engine.ser_wait_insertions sim.engine;
-    makespan_ms = sim.clock;
-    throughput_per_s =
-      (if sim.last_commit > 0.0 then
-         float_of_int sim.committed_global /. sim.last_commit *. 1000.0
-       else 0.0);
-    mean_response_ms = (match responses with [] -> 0.0 | _ -> Stats.mean responses);
-    p95_response_ms =
-      (match responses with [] -> 0.0 | _ -> Stats.percentile responses 95.0);
-    serializable = Serializability.is_serializable schedules;
-    ser_s_serializable = Ser_schedule.is_serializable sim.ser_log;
-    races;
-  }
+  let races = List.length (Mdbs_analysis.Race.detect trace) in
+  let result =
+    {
+      scheme_name;
+      committed_global = sim.committed_global;
+      failed_global = sim.failed_global;
+      restarts = sim.restarts;
+      committed_local = sim.committed_local;
+      aborted_local = sim.aborted_local;
+      forced_aborts = sim.forced_aborts;
+      ser_waits = sim.ser_waits + Engine.ser_wait_insertions sim.engine;
+      makespan_ms = sim.clock;
+      throughput_per_s =
+        (if sim.last_commit > 0.0 then
+           float_of_int sim.committed_global /. sim.last_commit *. 1000.0
+         else 0.0);
+      mean_response_ms = (match responses with [] -> 0.0 | _ -> Stats.mean responses);
+      p95_response_ms =
+        (match responses with [] -> 0.0 | _ -> Stats.percentile responses 95.0);
+      serializable = Serializability.is_serializable schedules;
+      ser_s_serializable = Ser_schedule.is_serializable sim.ser_log;
+      races;
+      site_crashes = sim.site_crashes;
+      gtm_recoveries = sim.gtm_recoveries;
+      msg_drops = sim.msg_drops;
+      msg_dups = sim.msg_dups;
+      retries = sim.retries;
+      in_doubt_resolved = sim.in_doubt_resolved;
+    }
+  in
+  { result; trace; sites; attempts }
 
-let run_kind config kind =
+let run config scheme =
+  if List.exists (fun (_, f) -> f = Fault.Gtm_crash) config.faults.Fault.events
+  then
+    invalid_arg
+      "Des.run: a plan with GTM crashes needs a scheme factory (use run_full)";
+  (run_scheme config (fun () -> scheme)).result
+
+let run_full config kind =
   Types.reset_tids ();
-  run config (Registry.make kind)
+  run_scheme config (fun () -> Registry.make kind)
+
+let run_kind config kind = (run_full config kind).result
 
 let pp_result ppf r =
   Format.fprintf ppf
@@ -476,4 +836,40 @@ let pp_result ppf r =
      CSR %b; ser(S) %b; races %d@]"
     r.scheme_name r.committed_global r.failed_global r.restarts r.throughput_per_s
     r.mean_response_ms r.p95_response_ms r.committed_local r.aborted_local
-    r.forced_aborts r.ser_waits r.serializable r.ser_s_serializable r.races
+    r.forced_aborts r.ser_waits r.serializable r.ser_s_serializable r.races;
+  if
+    r.site_crashes + r.gtm_recoveries + r.msg_drops + r.msg_dups + r.retries
+    + r.in_doubt_resolved
+    > 0
+  then
+    Format.fprintf ppf
+      "@,  faults: %d site crash(es), %d GTM recover(ies), %d drop(s), \
+       %d dup(s), %d retr(ies), %d resolved by recovery"
+      r.site_crashes r.gtm_recoveries r.msg_drops r.msg_dups r.retries
+      r.in_doubt_resolved
+
+let result_to_json r =
+  Json.Obj
+    [
+      ("scheme", Json.Str r.scheme_name);
+      ("committed_global", Json.Int r.committed_global);
+      ("failed_global", Json.Int r.failed_global);
+      ("restarts", Json.Int r.restarts);
+      ("committed_local", Json.Int r.committed_local);
+      ("aborted_local", Json.Int r.aborted_local);
+      ("forced_aborts", Json.Int r.forced_aborts);
+      ("ser_waits", Json.Int r.ser_waits);
+      ("makespan_ms", Json.Float r.makespan_ms);
+      ("throughput_per_s", Json.Float r.throughput_per_s);
+      ("mean_response_ms", Json.Float r.mean_response_ms);
+      ("p95_response_ms", Json.Float r.p95_response_ms);
+      ("serializable", Json.Bool r.serializable);
+      ("ser_s_serializable", Json.Bool r.ser_s_serializable);
+      ("races", Json.Int r.races);
+      ("site_crashes", Json.Int r.site_crashes);
+      ("gtm_recoveries", Json.Int r.gtm_recoveries);
+      ("msg_drops", Json.Int r.msg_drops);
+      ("msg_dups", Json.Int r.msg_dups);
+      ("retries", Json.Int r.retries);
+      ("in_doubt_resolved", Json.Int r.in_doubt_resolved);
+    ]

@@ -11,8 +11,26 @@
 
     The machinery reuses the real components: GTM1, the GTM2 engine with
     any scheme, and the per-site local DBMSs. Only the transport is
-    simulated. All randomness is seeded; runs are deterministic. *)
+    simulated. All randomness is seeded; runs are deterministic.
 
+    {2 Faults}
+
+    With a non-empty {!Fault.t} plan in the config, the transport and the
+    processes become unreliable: GTM<->site messages may be dropped,
+    duplicated or delayed (coin flips from the plan's dedicated seeded
+    stream); sites crash and restart ({!Mdbs_site.Local_dbms.crash} — sites
+    are forced durable); the GTM crashes and recovers from its durable
+    {!Mdbs_core.Gtm_log}; sites slow down. Operations carry ids (gid x
+    program counter): sites keep a volatile dedup cache and re-acknowledge
+    redelivered operations without re-executing them, and the GTM accepts
+    only the acknowledgement of the operation it is waiting on, so retries
+    — timeout-based, with capped exponential backoff, driven by
+    [retry_timeout_ms]/[max_retries] — are idempotent. A transaction whose
+    retries are exhausted before a commit decision is aborted everywhere; a
+    logged Commit decision is never abandoned. With [Fault.none] (the
+    default) behaviour is identical to the fault-free simulator. *)
+
+open Mdbs_model
 
 type config = {
   workload : Workload.config;
@@ -28,6 +46,13 @@ type config = {
   max_restarts : int;
   seed : int;
   atomic_commit : bool;
+  faults : Fault.t;  (** Fault plan; {!Fault.none} = reliable run. *)
+  retry_timeout_ms : float;
+      (** Base retransmission timeout for unacknowledged operations
+          (fault mode only). *)
+  max_retries : int;
+      (** Retries before an undecided transaction is presumed lost and
+          aborted (fault mode only). *)
 }
 
 val default : config
@@ -54,11 +79,39 @@ type result = {
       (** Conflicting same-site access pairs the reconstructed
           happens-before relation leaves unordered
           ({!Mdbs_analysis.Race.detect} over the captured trace). *)
+  site_crashes : int;  (** Site crash/restart faults applied. *)
+  gtm_recoveries : int;  (** GTM crash/recovery cycles. *)
+  msg_drops : int;  (** Messages the faulty link dropped. *)
+  msg_dups : int;  (** Messages the faulty link duplicated. *)
+  retries : int;  (** Operations retransmitted after a timeout. *)
+  in_doubt_resolved : int;
+      (** Transactions a recovered GTM resolved from the durable log
+          (completed to the logged Commit, or presumed-abort rolled
+          back). *)
+}
+
+type run = {
+  result : result;
+  trace : Mdbs_analysis.Trace.t;
+      (** The captured trace (schedules + ser events), ready for
+          {!Mdbs_analysis.Certifier.certify}. *)
+  sites : Mdbs_site.Local_dbms.t list;
+      (** The final sites: schedules, storage, WAL — for end-state checks. *)
+  attempts : Txn.t list;  (** Global transaction attempts, admission order. *)
 }
 
 val run : config -> Mdbs_core.Scheme.t -> result
+(** Raises [Invalid_argument] if the fault plan contains GTM crashes — a
+    restarted GTM needs a fresh scheme instance; use {!run_full}. *)
+
+val run_full : config -> Mdbs_core.Registry.kind -> run
+(** Fresh scheme (re-created from the registry at each GTM recovery) and
+    transaction-id supply; returns the result together with the captured
+    trace and the final sites. *)
 
 val run_kind : config -> Mdbs_core.Registry.kind -> result
-(** Fresh scheme and transaction-id supply. *)
+(** [run_full], result only. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+val result_to_json : result -> Mdbs_analysis.Json.t

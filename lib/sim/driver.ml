@@ -12,6 +12,7 @@ type config = {
   max_restarts : int;
   seed : int;
   atomic_commit : bool;
+  faults : Fault.t;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     max_restarts = 10;
     seed = 7;
     atomic_commit = false;
+    faults = Fault.none;
   }
 
 type result = {
@@ -41,6 +43,8 @@ type result = {
   half_commits : int;
   lint_errors : int;
   certified : bool;
+  site_crashes : int;
+  gtm_recoveries : int;
 }
 
 let retry_clone txn = { txn with Txn.id = Types.fresh_tid () }
@@ -66,16 +70,68 @@ let capture_trace gtm attempts =
   Mdbs_analysis.Trace.of_schedules ~protocols ~globals ~ser_events
     (List.map Mdbs_site.Local_dbms.schedule dbmss)
 
-let run_traced config scheme =
+let run_traced ?remake config scheme =
+  let faults_enabled = not (Fault.is_none config.faults) in
+  (if
+     remake = None
+     && List.exists
+          (fun (_, f) -> f = Fault.Gtm_crash)
+          config.faults.Fault.events
+   then
+     invalid_arg
+       "Driver: a plan with GTM crashes needs ~remake (a scheme factory)");
+  let workload =
+    if faults_enabled then { config.workload with Workload.durable = true }
+    else config.workload
+  in
   let rng = Rng.create config.seed in
-  let sites = Workload.make_sites config.workload in
-  let gtm = Gtm.create ~atomic_commit:config.atomic_commit ~scheme ~sites () in
-  let globals = Workload.global_txns rng config.workload config.n_global in
+  let sites = Workload.make_sites workload in
+  let gtm = ref (Gtm.create ~atomic_commit:config.atomic_commit ~scheme ~sites ()) in
+  let globals = Workload.global_txns rng workload config.n_global in
   let committed_global = ref 0 in
   let failed_global = ref 0 in
   let restarts = ref 0 in
   let committed_local = ref 0 in
   let aborted_local = ref 0 in
+  let site_crashes = ref 0 in
+  let gtm_recoveries = ref 0 in
+  (* Engine/scheme counters lost to GTM crashes, accumulated. *)
+  let past_total_waits = ref 0 in
+  let past_ser_waits = ref 0 in
+  let past_steps = ref 0 in
+  let cur_scheme = ref scheme in
+  (* In logical mode a fault's time is a wave index: wave w applies every
+     plan event with time in [w, w+1) after that wave's submissions, before
+     the pump — so a GTM crash catches the wave's transactions admitted but
+     undecided, and recovery must presume-abort them. *)
+  let wave_index = ref 0 in
+  let remaining_faults = ref config.faults.Fault.events in
+  let apply_wave_faults () =
+    let now, later =
+      List.partition (fun (at, _) -> at < float_of_int (!wave_index + 1)) !remaining_faults
+    in
+    remaining_faults := later;
+    List.iter
+      (fun (_, fault) ->
+        match fault with
+        | Fault.Site_crash sid ->
+            incr site_crashes;
+            Mdbs_site.Local_dbms.crash (Gtm.site !gtm sid)
+        | Fault.Gtm_crash ->
+            incr gtm_recoveries;
+            let engine = Gtm.engine !gtm in
+            past_total_waits := !past_total_waits + Engine.total_wait_insertions engine;
+            past_ser_waits := !past_ser_waits + Engine.ser_wait_insertions engine;
+            past_steps := !past_steps + !cur_scheme.Mdbs_core.Scheme.steps ();
+            let next_scheme =
+              match remake with Some f -> f () | None -> assert false
+            in
+            gtm := Gtm.recover ~old:!gtm ~scheme:next_scheme;
+            cur_scheme := next_scheme
+        | Fault.Slow_site _ -> (* no time axis in logical mode *) ())
+      now;
+    incr wave_index
+  in
   (* Each pending entry is (transaction, restart budget left). *)
   let pending = ref (List.map (fun txn -> (txn, config.max_restarts)) globals) in
   let attempts = ref [] in
@@ -85,9 +141,9 @@ let run_traced config scheme =
       (fun site ->
         let sid = Mdbs_site.Local_dbms.site_id site in
         for _ = 1 to config.locals_per_wave do
-          let txn = Workload.local_txn rng config.workload sid in
+          let txn = Workload.local_txn rng workload sid in
           local_tids := txn.Txn.id :: !local_tids;
-          Gtm.submit_local gtm txn
+          Gtm.submit_local !gtm txn
         done)
       sites
   in
@@ -105,12 +161,13 @@ let run_traced config scheme =
     List.iter
       (fun (txn, _) ->
         attempts := txn :: !attempts;
-        Gtm.submit_global gtm txn)
+        Gtm.submit_global !gtm txn)
       wave_txns;
-    Gtm.pump gtm;
+    if faults_enabled then apply_wave_faults ();
+    Gtm.pump !gtm;
     List.iter
       (fun (txn, budget) ->
-        match Gtm.status gtm txn.Txn.id with
+        match Gtm.status !gtm txn.Txn.id with
         | Gtm.Committed -> incr committed_global
         | Gtm.Aborted _ when budget > 0 ->
             incr restarts;
@@ -119,7 +176,8 @@ let run_traced config scheme =
         | Gtm.Active -> failwith "Driver: transaction still active after pump")
       wave_txns
   done;
-  Gtm.pump gtm;
+  Gtm.pump !gtm;
+  let gtm = !gtm in
   List.iter
     (fun tid ->
       match Gtm.status gtm tid with
@@ -157,25 +215,27 @@ let run_traced config scheme =
       committed_local = !committed_local;
       aborted_local = !aborted_local;
       forced_aborts = Gtm.forced_aborts gtm;
-      total_waits = Engine.total_wait_insertions engine;
-      ser_waits = Engine.ser_wait_insertions engine;
-      scheme_steps = scheme.Mdbs_core.Scheme.steps ();
+      total_waits = !past_total_waits + Engine.total_wait_insertions engine;
+      ser_waits = !past_ser_waits + Engine.ser_wait_insertions engine;
+      scheme_steps = !past_steps + !cur_scheme.Mdbs_core.Scheme.steps ();
       serializable = Gtm.audit gtm = Serializability.Serializable;
       ser_s_serializable = Ser_schedule.is_serializable (Gtm.ser_schedule gtm);
       half_commits;
       lint_errors = Mdbs_analysis.Lint.errors analysis.Mdbs_analysis.Analysis.diagnostics;
       certified = Mdbs_analysis.Analysis.certified analysis;
+      site_crashes = !site_crashes;
+      gtm_recoveries = !gtm_recoveries;
     }
   in
   (result, trace, analysis)
 
-let run config scheme =
-  let result, _, _ = run_traced config scheme in
+let run ?remake config scheme =
+  let result, _, _ = run_traced ?remake config scheme in
   result
 
 let run_kind config kind =
   Types.reset_tids ();
-  run config (Registry.make kind)
+  run ~remake:(fun () -> Registry.make kind) config (Registry.make kind)
 
 let pp_result ppf r =
   Format.fprintf ppf
@@ -184,4 +244,7 @@ let pp_result ppf r =
      ser(S) %b; lint errors %d; certified %b@]"
     r.scheme_name r.committed_global r.failed_global r.restarts r.committed_local
     r.aborted_local r.forced_aborts r.total_waits r.ser_waits r.scheme_steps
-    r.half_commits r.serializable r.ser_s_serializable r.lint_errors r.certified
+    r.half_commits r.serializable r.ser_s_serializable r.lint_errors r.certified;
+  if r.site_crashes + r.gtm_recoveries > 0 then
+    Format.fprintf ppf "; faults: %d site crash(es), %d GTM recover(ies)"
+      r.site_crashes r.gtm_recoveries

@@ -22,6 +22,13 @@ type config = {
   atomic_commit : bool;
       (** Run global transactions under two-phase commit (prepare round
           before the commits) — the atomicity extension. *)
+  faults : Fault.t;
+      (** Fault plan in {e round-counting} mode: an event's time is a wave
+          index; it is applied after that wave's submissions and before its
+          pump, so a GTM crash catches admitted-but-undecided transactions
+          and recovery must presume-abort them. Link faults and slowdowns
+          have no meaning without a transport/time axis and are ignored
+          here (use {!Des} for those). Any fault forces durable sites. *)
 }
 
 val default : config
@@ -48,12 +55,17 @@ type result = {
   certified : bool;
       (** The static certifier discharged both obligations (CSR and
           Theorem 2) on the captured trace. *)
+  site_crashes : int;  (** Site crash/restart faults applied. *)
+  gtm_recoveries : int;  (** GTM crash/recovery cycles. *)
 }
 
-val run : config -> Mdbs_core.Scheme.t -> result
+val run : ?remake:(unit -> Mdbs_core.Scheme.t) -> config -> Mdbs_core.Scheme.t -> result
+(** [~remake] supplies a fresh scheme instance for a GTM restarted after a
+    crash; required (raises [Invalid_argument] otherwise) when the fault
+    plan contains GTM crashes. *)
 
 val run_traced :
-  config -> Mdbs_core.Scheme.t ->
+  ?remake:(unit -> Mdbs_core.Scheme.t) -> config -> Mdbs_core.Scheme.t ->
   result * Mdbs_analysis.Trace.t * Mdbs_analysis.Analysis.t
 (** [run] plus the captured static trace and the full analysis report —
     what the CLI's [analyze --simulate] path prints. *)

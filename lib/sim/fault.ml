@@ -1,0 +1,180 @@
+open Mdbs_model
+module Rng = Mdbs_util.Rng
+
+type fault =
+  | Site_crash of Types.sid
+  | Gtm_crash
+  | Slow_site of { sid : Types.sid; factor : float; duration : float }
+
+type link = {
+  drop : float;
+  duplicate : float;
+  delay : float;
+  delay_ms : float;
+}
+
+let no_link = { drop = 0.0; duplicate = 0.0; delay = 0.0; delay_ms = 8.0 }
+
+type t = {
+  events : (float * fault) list;
+  link : link;
+  link_seed : int;
+}
+
+let none = { events = []; link = no_link; link_seed = 0 }
+
+let is_none t =
+  t.events = []
+  && t.link.drop = 0.0
+  && t.link.duplicate = 0.0
+  && t.link.delay = 0.0
+
+type mix = {
+  site_crashes : int;
+  gtm_crashes : int;
+  slowdowns : int;
+  slow_factor : float;
+  mix_link : link;
+}
+
+let default_mix =
+  {
+    site_crashes = 1;
+    gtm_crashes = 0;
+    slowdowns = 0;
+    slow_factor = 8.0;
+    mix_link = { no_link with drop = 0.05; duplicate = 0.03 };
+  }
+
+(* Events land in the middle portion of the run so there is load both
+   before (state to lose) and after (recovery to exercise). *)
+let event_time rng horizon =
+  0.1 *. horizon +. Rng.float rng (0.7 *. horizon)
+
+let realize mix ~seed ~m ~horizon =
+  let rng = Rng.create (seed * 2654435761 + 17) in
+  let events = ref [] in
+  for _ = 1 to mix.site_crashes do
+    events := (event_time rng horizon, Site_crash (Rng.int rng (max 1 m))) :: !events
+  done;
+  for _ = 1 to mix.gtm_crashes do
+    events := (event_time rng horizon, Gtm_crash) :: !events
+  done;
+  for _ = 1 to mix.slowdowns do
+    let sid = Rng.int rng (max 1 m) in
+    events :=
+      ( event_time rng horizon,
+        Slow_site
+          { sid; factor = mix.slow_factor; duration = 0.2 *. horizon } )
+      :: !events
+  done;
+  {
+    events = List.sort (fun (a, _) (b, _) -> compare a b) !events;
+    link = mix.mix_link;
+    link_seed = Int64.to_int (Rng.int64 rng) land 0x3FFFFFFF;
+  }
+
+let parse_mix spec =
+  let parse_entry mix entry =
+    match String.split_on_char '=' (String.trim entry) with
+    | [ key; value ] -> (
+        let num () =
+          match float_of_string_opt value with
+          | Some f when f >= 0.0 -> Ok f
+          | _ -> Error (Printf.sprintf "bad value %S for %s" value key)
+        in
+        let two () =
+          match String.split_on_char ':' value with
+          | [ a; b ] -> (
+              match (float_of_string_opt a, float_of_string_opt b) with
+              | Some a, Some b when a >= 0.0 && b >= 0.0 -> Ok (a, Some b)
+              | _ -> Error (Printf.sprintf "bad value %S for %s" value key))
+          | [ _ ] -> Result.map (fun f -> (f, None)) (num ())
+          | _ -> Error (Printf.sprintf "bad value %S for %s" value key)
+        in
+        match key with
+        | "crash" ->
+            Result.map (fun f -> { mix with site_crashes = int_of_float f }) (num ())
+        | "gtm" ->
+            Result.map (fun f -> { mix with gtm_crashes = int_of_float f }) (num ())
+        | "slow" ->
+            Result.map
+              (fun (n, factor) ->
+                {
+                  mix with
+                  slowdowns = int_of_float n;
+                  slow_factor =
+                    (match factor with Some f -> f | None -> mix.slow_factor);
+                })
+              (two ())
+        | "drop" ->
+            Result.map
+              (fun p -> { mix with mix_link = { mix.mix_link with drop = p } })
+              (num ())
+        | "dup" ->
+            Result.map
+              (fun p -> { mix with mix_link = { mix.mix_link with duplicate = p } })
+              (num ())
+        | "delay" ->
+            Result.map
+              (fun (p, ms) ->
+                {
+                  mix with
+                  mix_link =
+                    {
+                      mix.mix_link with
+                      delay = p;
+                      delay_ms =
+                        (match ms with Some ms -> ms | None -> mix.mix_link.delay_ms);
+                    };
+                })
+              (two ())
+        | _ -> Error (Printf.sprintf "unknown fault key %S" key))
+    | _ -> Error (Printf.sprintf "malformed fault entry %S (want key=value)" entry)
+  in
+  let empty =
+    {
+      site_crashes = 0;
+      gtm_crashes = 0;
+      slowdowns = 0;
+      slow_factor = 8.0;
+      mix_link = no_link;
+    }
+  in
+  List.fold_left
+    (fun acc entry ->
+      Result.bind acc (fun mix ->
+          if String.trim entry = "" then Ok mix else parse_entry mix entry))
+    (Ok empty)
+    (String.split_on_char ',' spec)
+
+let mix_to_string mix =
+  let parts = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  if mix.mix_link.delay > 0.0 then
+    add "delay=%g:%g" mix.mix_link.delay mix.mix_link.delay_ms;
+  if mix.mix_link.duplicate > 0.0 then add "dup=%g" mix.mix_link.duplicate;
+  if mix.mix_link.drop > 0.0 then add "drop=%g" mix.mix_link.drop;
+  if mix.slowdowns > 0 then add "slow=%d:%g" mix.slowdowns mix.slow_factor;
+  if mix.gtm_crashes > 0 then add "gtm=%d" mix.gtm_crashes;
+  if mix.site_crashes > 0 then add "crash=%d" mix.site_crashes;
+  match !parts with [] -> "none" | parts -> String.concat "," parts
+
+let of_spec spec ~seed ~m ~horizon =
+  Result.map (fun mix -> realize mix ~seed ~m ~horizon) (parse_mix spec)
+
+let pp_fault ppf = function
+  | Site_crash sid -> Format.fprintf ppf "site-crash s%d" sid
+  | Gtm_crash -> Format.fprintf ppf "gtm-crash"
+  | Slow_site { sid; factor; duration } ->
+      Format.fprintf ppf "slow s%d x%g for %g" sid factor duration
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (at, fault) -> Format.fprintf ppf "@%.1f %a@," at pp_fault fault)
+    t.events;
+  if t.link.drop > 0.0 || t.link.duplicate > 0.0 || t.link.delay > 0.0 then
+    Format.fprintf ppf "link: drop %g, dup %g, delay %g (+%g ms)" t.link.drop
+      t.link.duplicate t.link.delay t.link.delay_ms;
+  Format.fprintf ppf "@]"

@@ -10,6 +10,7 @@ type config = {
   local_ops : int;
   write_ratio : float;
   hotspot : int;
+  durable : bool;
 }
 
 let default =
@@ -22,6 +23,7 @@ let default =
     local_ops = 3;
     write_ratio = 0.5;
     hotspot = 0;
+    durable = false;
   }
 
 let protocol_for config sid =
@@ -32,7 +34,8 @@ let protocol_for config sid =
 
 let make_sites config =
   List.init config.m (fun sid ->
-      Mdbs_site.Local_dbms.create ~protocol:(protocol_for config sid) sid)
+      Mdbs_site.Local_dbms.create ~protocol:(protocol_for config sid)
+        ~durable:config.durable sid)
 
 let random_key rng config =
   let bound =

@@ -17,6 +17,10 @@ type config = {
   hotspot : int;
       (** Accesses are drawn from the first [hotspot] keys when positive —
           higher contention; [0] means uniform over all keys. *)
+  durable : bool;
+      (** Attach a write-ahead log to every site, enabling
+          {!Mdbs_site.Local_dbms.crash}. Default [false]; fault-injecting
+          runs force it on. *)
 }
 
 val default : config

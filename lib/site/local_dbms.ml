@@ -250,6 +250,25 @@ let crash t =
           if not (Mdbs_util.Iset.mem tid analysis.Wal.in_doubt) then
             Schedule.record t.sched tid Op.Abort)
         t.active;
+      (* Roll the losers back in the log itself: compensation writes plus
+         an abort record, as do_abort does. The log stays pure redo (plus
+         current losers), so a second crash — or an end-of-run state check
+         — never re-undoes these transactions over later writes. *)
+      Mdbs_util.Iset.iter
+        (fun tid ->
+          let current = Hashtbl.create 4 in
+          List.iter
+            (fun (item, before) ->
+              let now =
+                match Hashtbl.find_opt current item with
+                | Some v -> v
+                | None -> Storage.get t.storage item
+              in
+              Wal.append wal (Wal.Write (tid, item, now, before));
+              Hashtbl.replace current item before)
+            (Wal.undo_entries wal tid);
+          Wal.append wal (Wal.Aborted tid))
+        analysis.Wal.losers;
       Hashtbl.reset t.pending;
       Hashtbl.reset t.buffered;
       Hashtbl.reset t.active;
@@ -278,6 +297,13 @@ let crash t =
         t.in_doubt
 
 let wal_length t = match t.wal with Some wal -> Wal.length wal | None -> 0
+
+let is_active t tid = Hashtbl.mem t.active tid
+
+let wal_state t =
+  match t.wal with Some wal -> Some (Wal.recovered_state wal) | None -> None
+
+let storage_items t = Storage.items t.storage
 
 let drain_completions t =
   let done_list = List.rev t.completions in

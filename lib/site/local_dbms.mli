@@ -83,3 +83,17 @@ val in_doubt : t -> Types.tid list
 
 val wal_length : t -> int
 (** Records in the write-ahead log (0 for non-durable sites). *)
+
+val is_active : t -> Types.tid -> bool
+(** Has the transaction begun here without yet committing/aborting?
+    (In-doubt transactions re-installed by {!crash} count as active.) The
+    fault layer uses this to avoid submitting [Abort] for transactions a
+    site crash already rolled back. *)
+
+val wal_state : t -> (Item.t * int) list option
+(** The state the write-ahead log predicts a crash would recover
+    ({!Wal.recovered_state}); [None] for non-durable sites. The chaos
+    harness checks it against {!storage_items} at end of run. *)
+
+val storage_items : t -> (Item.t * int) list
+(** Current storage contents, sorted by item. *)

@@ -1,0 +1,21 @@
+(* Short seeded chaos sweep, run from the @chaos-smoke alias (hooked into
+   dune runtest): every scheme under every default fault mix, three seeds
+   each; any run whose committed projection is not certified serializable,
+   not atomic, or whose storage diverges from its WAL fails the build. *)
+
+module Chaos = Mdbs_experiments.Chaos
+module Registry = Mdbs_core.Registry
+
+let () =
+  let outcomes = Chaos.sweep ~seeds:[ 101; 108; 115 ] () in
+  let bad = List.filter (fun o -> not (Chaos.ok o.Chaos.checks)) outcomes in
+  Printf.printf "chaos-smoke: %d faulty runs, %d violations\n"
+    (List.length outcomes) (List.length bad);
+  List.iter
+    (fun o ->
+      Printf.printf "  FAIL %s seed %d mix %s: certified %b atomic %b wal %b\n"
+        (Registry.name o.Chaos.kind) o.Chaos.seed o.Chaos.spec
+        o.Chaos.checks.Chaos.certified o.Chaos.checks.Chaos.atomic
+        o.Chaos.checks.Chaos.wal_consistent)
+    bad;
+  if bad <> [] then exit 1

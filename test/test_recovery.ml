@@ -79,6 +79,130 @@ let wal_compensated_abort () =
   | [ (_, 3) ] -> ()
   | _ -> Alcotest.fail "compensated abort must not clobber the later commit"
 
+let wal_duplicate_prepared () =
+  (* A participant may log Prepared again when a retried prepare arrives
+     after a crash; the duplicate must not confuse the analysis. *)
+  let wal = Wal.create () in
+  Wal.append wal (Wal.Begin 1);
+  Wal.append wal (Wal.Write (1, x0, 0, 5));
+  Wal.append wal (Wal.Prepared 1);
+  Wal.append wal (Wal.Prepared 1);
+  let a = Wal.analyze wal in
+  check_bool "in doubt once" true (Iset.mem 1 a.Wal.in_doubt);
+  (match Wal.recovered_state wal with
+  | [ (_, 5) ] -> ()
+  | _ -> Alcotest.fail "prepared effects retained");
+  Wal.append wal (Wal.Committed 1);
+  check_bool "resolved by the commit" false
+    (Iset.mem 1 (Wal.analyze wal).Wal.in_doubt)
+
+let wal_abort_after_prepare () =
+  (* A prepared participant receives the coordinator's abort: compensation
+     plus an Aborted record; recovery must not hold it in doubt. *)
+  let wal = Wal.create () in
+  Wal.append wal (Wal.Load (x0, 10));
+  Wal.append wal (Wal.Begin 1);
+  Wal.append wal (Wal.Write (1, x0, 10, 17));
+  Wal.append wal (Wal.Prepared 1);
+  Wal.append wal (Wal.Write (1, x0, 17, 10)) (* compensation *);
+  Wal.append wal (Wal.Aborted 1);
+  let a = Wal.analyze wal in
+  check_bool "not in doubt" false (Iset.mem 1 a.Wal.in_doubt);
+  check_bool "aborted" true (Iset.mem 1 a.Wal.aborted);
+  match Wal.recovered_state wal with
+  | [ (_, 10) ] -> ()
+  | _ -> Alcotest.fail "abort-after-prepare rolled back"
+
+let wal_write_without_begin () =
+  (* A Write by a transaction with no Begin record (its Begin was never
+     forced) still marks it begun: unresolved, it is a loser and its write
+     is undone. *)
+  let wal = Wal.create () in
+  Wal.append wal (Wal.Load (x0, 3));
+  Wal.append wal (Wal.Write (9, x0, 3, 8));
+  let a = Wal.analyze wal in
+  check_bool "implicit begin makes a loser" true (Iset.mem 9 a.Wal.losers);
+  match Wal.recovered_state wal with
+  | [ (_, 3) ] -> ()
+  | _ -> Alcotest.fail "never-begun write undone"
+
+(* Property: for any sequential history of resolved transactions followed
+   by one crash-time loser (a loser's write locks mean nothing can write
+   over it before it resolves, so unresolved transactions only ever sit at
+   the tail of a real log), the recovered state is exactly the replay of
+   the committed and in-doubt effects. *)
+let wal_recovered_state_prop =
+  let open QCheck in
+  let writes_gen =
+    Gen.list_size (Gen.int_range 1 4)
+      (Gen.pair (Gen.int_range 0 3) (Gen.int_range (-5) 5))
+  in
+  let txn_gen = Gen.pair writes_gen (Gen.oneofl [ `Commit; `Abort; `Prepare ]) in
+  let print_writes writes =
+    String.concat ","
+      (List.map (fun (k, d) -> Printf.sprintf "x%d%+d" k d) writes)
+  in
+  let arb =
+    make
+      ~print:(fun (txns, loser) ->
+        String.concat ";"
+          (List.map
+             (fun (writes, o) ->
+               Printf.sprintf "%s:%s" (print_writes writes)
+                 (match o with `Commit -> "C" | `Abort -> "A" | `Prepare -> "P"))
+             txns)
+        ^ Printf.sprintf "|loser:%s"
+            (match loser with None -> "-" | Some w -> print_writes w))
+      (Gen.pair (Gen.list_size (Gen.int_range 0 8) txn_gen)
+         (Gen.option writes_gen))
+  in
+  QCheck.Test.make ~name:"recovered_state = committed + in-doubt effects"
+    ~count:200 arb (fun (txns, loser) ->
+      let wal = Wal.create () in
+      let state = Hashtbl.create 8 in
+      let get k = match Hashtbl.find_opt state k with Some v -> v | None -> 0 in
+      let run_writes tid writes =
+        List.fold_left
+          (fun undo (k, delta) ->
+            let item = Item.Key k in
+            let before = get item in
+            Wal.append wal (Wal.Write (tid, item, before, before + delta));
+            Hashtbl.replace state item (before + delta);
+            (item, before) :: undo)
+          [] writes
+      in
+      let rollback undo =
+        List.iter (fun (item, before) -> Hashtbl.replace state item before) undo
+      in
+      List.iteri
+        (fun i (writes, outcome) ->
+          let tid = i + 1 in
+          Wal.append wal (Wal.Begin tid);
+          let undo = run_writes tid writes in
+          match outcome with
+          | `Commit -> Wal.append wal (Wal.Committed tid)
+          | `Abort ->
+              (* compensation in undo order, as do_abort logs it *)
+              List.iter
+                (fun (item, before) ->
+                  Wal.append wal (Wal.Write (tid, item, get item, before));
+                  Hashtbl.replace state item before)
+                undo;
+              Wal.append wal (Wal.Aborted tid)
+          | `Prepare -> Wal.append wal (Wal.Prepared tid))
+        txns;
+      (* The loser dies with the crash: its writes are in the log but its
+         effects must not be in the recovered state. *)
+      (match loser with
+      | None -> ()
+      | Some writes ->
+          let tid = List.length txns + 1 in
+          Wal.append wal (Wal.Begin tid);
+          rollback (run_writes tid writes));
+      let clean l = List.sort compare (List.filter (fun (_, v) -> v <> 0) l) in
+      let want = clean (Hashtbl.fold (fun k v acc -> (k, v) :: acc) state []) in
+      clean (Wal.recovered_state wal) = want)
+
 (* ------------------------------------------------------------- Local_dbms *)
 
 let committed_survives_crash () =
@@ -290,6 +414,34 @@ let gtm_resolves_in_doubt () =
   check_bool "site B schedule serializable" true
     (Serializability.is_serializable [ Local_dbms.schedule site_b ])
 
+let crash_losers_stay_dead () =
+  (* Regression: a transaction active at a crash must be compensated in
+     the log by the recovery itself — otherwise a later state check (or a
+     second crash) re-undoes it over writes committed after the crash. *)
+  let site = Local_dbms.create ~durable:true 0 in
+  Local_dbms.load site [ (x0, 10) ];
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 1 (Op.Write (x0, 7)));
+  Local_dbms.crash site;
+  check_int "loser undone" 10 (Local_dbms.storage_value site x0);
+  ignore (exec site 2 Op.Begin);
+  ignore (exec site 2 (Op.Write (x0, 3)));
+  ignore (exec site 2 Op.Commit);
+  (match Local_dbms.wal_state site with
+  | Some predicted ->
+      Alcotest.(check (list (pair (module struct
+        type t = Item.t
+        let pp = Item.pp
+        let equal = Item.equal
+      end) int)))
+        "WAL predicts the live storage" predicted
+        (List.sort (fun (a, _) (b, _) -> Item.compare a b)
+           (Local_dbms.storage_items site))
+  | None -> Alcotest.fail "durable site has a WAL");
+  Local_dbms.crash site;
+  check_int "post-crash commit survives a second crash" 13
+    (Local_dbms.storage_value site x0)
+
 let non_durable_cannot_crash () =
   let site = Local_dbms.create 0 in
   Alcotest.check_raises "not durable"
@@ -304,12 +456,17 @@ let () =
           Alcotest.test_case "analysis" `Quick wal_analysis;
           Alcotest.test_case "redo-undo" `Quick wal_recovery_redo_undo;
           Alcotest.test_case "compensated-abort" `Quick wal_compensated_abort;
+          Alcotest.test_case "duplicate-prepared" `Quick wal_duplicate_prepared;
+          Alcotest.test_case "abort-after-prepare" `Quick wal_abort_after_prepare;
+          Alcotest.test_case "write-without-begin" `Quick wal_write_without_begin;
+          QCheck_alcotest.to_alcotest wal_recovered_state_prop;
         ] );
       ( "crash",
         [
           Alcotest.test_case "committed-survives" `Quick committed_survives_crash;
           Alcotest.test_case "abort-stays-undone" `Quick pre_crash_abort_stays_undone;
           Alcotest.test_case "random-load" `Quick crash_with_random_load;
+          Alcotest.test_case "losers-stay-dead" `Quick crash_losers_stay_dead;
           Alcotest.test_case "non-durable" `Quick non_durable_cannot_crash;
         ] );
       ( "in-doubt",
