@@ -27,6 +27,65 @@ let scheme_conv =
   let print ppf kind = Format.pp_print_string ppf (Registry.name kind) in
   Arg.conv (parse, print)
 
+(* ---------------------------------------------------- observability flags *)
+
+module Obs = Mdbs_obs.Obs
+
+(* Shared by des/simulate/chaos: build the bundle before the run, export
+   what the flags asked for afterwards. *)
+let obs_flags =
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the run's spans as a Chrome trace_event JSON file \
+                 (load it in Perfetto or chrome://tracing).")
+  in
+  let metrics_json =
+    Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:"Write the metrics snapshot as JSON ($(b,-) for stdout).")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Print the metrics snapshot after the run.")
+  in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Self-time the GTM2 scheduler's test/action (and the chaos \
+                 checks) in CPU time; print the report.")
+  in
+  Term.(
+    const (fun trace_out metrics_json metrics profile ->
+        (trace_out, metrics_json, metrics, profile))
+    $ trace_out $ metrics_json $ metrics $ profile)
+
+let make_obs (trace_out, metrics_json, metrics, profile) =
+  if trace_out = None && metrics_json = None && (not metrics) && not profile
+  then Obs.disabled
+  else
+    Obs.create ~trace:(trace_out <> None)
+      ~metrics:(metrics_json <> None || metrics)
+      ~profile ()
+
+let export_obs (trace_out, metrics_json, metrics, profile) obs =
+  (match trace_out with
+  | Some file -> Mdbs_obs.Trace_event.write_file file obs.Obs.sink
+  | None -> ());
+  let snap_json () =
+    Mdbs_util.Json.to_string (Mdbs_obs.Metrics.to_json (Mdbs_obs.Metrics.snapshot obs.Obs.metrics))
+  in
+  (match metrics_json with
+  | Some "-" -> print_endline (snap_json ())
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (snap_json ());
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  if metrics then
+    print_endline
+      (Mdbs_obs.Metrics.to_string (Mdbs_obs.Metrics.snapshot obs.Obs.metrics));
+  if profile then
+    print_endline (Mdbs_obs.Profile.to_string obs.Obs.profile)
+
 (* ---------------------------------------------------------------- schemes *)
 
 let schemes_cmd =
@@ -65,6 +124,7 @@ let experiments_cmd =
         ("E13", fun () -> Timing.scheme_comparison ());
         ("E13b", fun () -> Timing.latency_sweep ());
         ("E14", fun () -> Chaos.table ());
+        ("E15", fun () -> Obswait.wait_table ());
       ]
     in
     let wanted (id, _) =
@@ -134,7 +194,7 @@ let simulate_cmd =
   in
   let hotspot = Arg.(value & opt int 0 & info [ "hotspot" ] ~docv:"H") in
   let seed = Arg.(value & opt int 19 & info [ "seed" ] ~docv:"SEED") in
-  let run kind m n_global d_av data_per_site hotspot seed =
+  let run kind m n_global d_av data_per_site hotspot seed obsf =
     let config =
       {
         Driver.default with
@@ -143,13 +203,17 @@ let simulate_cmd =
         workload = { Workload.default with m; d_av; data_per_site; hotspot };
       }
     in
-    let r = Driver.run_kind config kind in
+    let obs = make_obs obsf in
+    let r = Driver.run_kind ~obs config kind in
     Format.printf "%a@." Driver.pp_result r;
+    export_obs obsf obs;
     if not r.Driver.serializable then
       print_endline "WARNING: execution was NOT globally serializable"
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ scheme $ sites $ globals $ d_av $ data $ hotspot $ seed)
+    Term.(
+      const run $ scheme $ sites $ globals $ d_av $ data $ hotspot $ seed
+      $ obs_flags)
 
 (* -------------------------------------------------------------------- des *)
 
@@ -170,7 +234,8 @@ let des_cmd =
                  forces durable sites.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.") in
-  let run kind m n_global latency_ms service_ms seed atomic_commit faults json =
+  let run kind m n_global latency_ms service_ms seed atomic_commit faults json
+      obsf =
     let fault_plan =
       match faults with
       | None -> Mdbs_sim.Fault.none
@@ -182,6 +247,7 @@ let des_cmd =
               prerr_endline ("mdbs des: bad --faults: " ^ msg);
               exit 2)
     in
+    let obs = make_obs obsf in
     let config =
       {
         Mdbs_sim.Des.default with
@@ -192,18 +258,20 @@ let des_cmd =
         atomic_commit;
         faults = fault_plan;
         workload = { Workload.default with m };
+        obs;
       }
     in
     let r = Mdbs_sim.Des.run_kind config kind in
     if json then
       print_endline
         (Mdbs_analysis.Json.to_string (Mdbs_sim.Des.result_to_json r))
-    else Format.printf "%a@." Mdbs_sim.Des.pp_result r
+    else Format.printf "%a@." Mdbs_sim.Des.pp_result r;
+    export_obs obsf obs
   in
   Cmd.v (Cmd.info "des" ~doc)
     Term.(
       const run $ scheme $ sites $ globals $ latency $ service $ seed $ atomic
-      $ faults $ json)
+      $ faults $ json $ obs_flags)
 
 (* ------------------------------------------------------------------ chaos *)
 
@@ -240,7 +308,7 @@ let chaos_cmd =
     Arg.(value & flag & info [ "sweep" ]
            ~doc:"Run the full E14 chaos sweep and print its table.")
   in
-  let run kind spec seed json sweep =
+  let run kind spec seed json sweep obsf =
     if sweep then (
       let outcomes = Chaos.sweep () in
       Report.print (Chaos.table ~outcomes ());
@@ -255,7 +323,12 @@ let chaos_cmd =
             prerr_endline ("mdbs chaos: bad --faults: " ^ msg);
             exit 2
       in
-      let o = Chaos.run_one ~mix ~seed kind in
+      let obs = make_obs obsf in
+      let o =
+        Chaos.run_one
+          ~base:{ Chaos.base_config with Mdbs_sim.Des.obs }
+          ~profile:obs.Obs.profile ~mix ~seed kind
+      in
       if json then
         print_endline (Mdbs_analysis.Json.to_string (Chaos.outcome_to_json o))
       else (
@@ -264,12 +337,13 @@ let chaos_cmd =
           "checks: certified %b; atomic %b; wal-consistent %b\n"
           o.Chaos.checks.Chaos.certified o.Chaos.checks.Chaos.atomic
           o.Chaos.checks.Chaos.wal_consistent);
+      export_obs obsf obs;
       if not (Chaos.ok o.Chaos.checks) then (
         prerr_endline "chaos: CHECK FAILED";
         exit 1)
   in
   Cmd.v (Cmd.info "chaos" ~doc ~man)
-    Term.(const run $ scheme $ faults $ seed $ json $ sweep)
+    Term.(const run $ scheme $ faults $ seed $ json $ sweep $ obs_flags)
 
 (* ---------------------------------------------------------------- analyze *)
 

@@ -1,50 +1,1 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let rec pp ppf = function
-  | Null -> Format.pp_print_string ppf "null"
-  | Bool b -> Format.pp_print_bool ppf b
-  | Int i -> Format.pp_print_int ppf i
-  | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
-        Format.fprintf ppf "%.1f" f
-      else Format.fprintf ppf "%.6g" f
-  | Str s -> Format.fprintf ppf "\"%s\"" (escape s)
-  | List [] -> Format.pp_print_string ppf "[]"
-  | List items ->
-      Format.fprintf ppf "@[<v 2>[@,%a@;<0 -2>]@]"
-        (Format.pp_print_list
-           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
-           pp)
-        items
-  | Obj [] -> Format.pp_print_string ppf "{}"
-  | Obj fields ->
-      Format.fprintf ppf "@[<v 2>{@,%a@;<0 -2>}@]"
-        (Format.pp_print_list
-           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
-           (fun ppf (k, v) -> Format.fprintf ppf "@[<hov 2>\"%s\":@ %a@]" (escape k) pp v))
-        fields
-
-let to_string t = Format.asprintf "%a" pp t
+include Mdbs_util.Json

@@ -1,10 +1,9 @@
-(** A minimal JSON document tree and printer.
+(** Re-export of {!Mdbs_util.Json}, kept so existing [Mdbs_analysis.Json]
+    references stay valid. The encoder itself lives in [mdbs_util] where the
+    observability layer ({!Mdbs_obs}) can use it without depending on the
+    analysis pass. *)
 
-    The analysis pass emits certificates, counterexamples and diagnostics in
-    a machine-readable form; this module is the (dependency-free) encoder.
-    Output is deterministic: object fields print in the order given. *)
-
-type t =
+type t = Mdbs_util.Json.t =
   | Null
   | Bool of bool
   | Int of int

@@ -1,4 +1,8 @@
 module Dllist = Mdbs_util.Dllist
+module Obs = Mdbs_obs.Obs
+module Sink = Mdbs_obs.Sink
+module Metrics = Mdbs_obs.Metrics
+module Profile = Mdbs_obs.Profile
 
 (* WAIT is bucketed so that a wakeup directive touches only the operations it
    may have enabled — matching the paper's cost model, where the cost of an
@@ -15,9 +19,16 @@ type t = {
   mutable ser_wait_insertions : int;
   mutable processed : int;
   mutable engine_steps : int;
+  obs : Obs.t;
+  (* Parked op -> (wait-span id, park sim-time); entries live exactly as
+     long as the op sits in WAIT. *)
+  wait_info : (Queue_op.t, int * float) Hashtbl.t;
+  wait_hists : (int, Mdbs_util.Stats.histogram) Hashtbl.t; (* per site *)
+  fin_wait_hist : Mdbs_util.Stats.histogram;
+  wait_depth : Metrics.gauge;
 }
 
-let create scheme =
+let create ?(obs = Obs.disabled) scheme =
   {
     scheme;
     queue = Queue.create ();
@@ -29,9 +40,22 @@ let create scheme =
     ser_wait_insertions = 0;
     processed = 0;
     engine_steps = 0;
+    obs;
+    wait_info = Hashtbl.create 32;
+    wait_hists = Hashtbl.create 16;
+    fin_wait_hist =
+      Metrics.histogram obs.Obs.metrics
+        ~labels:[ ("scheme", scheme.Scheme.name) ]
+        "gtm2_fin_wait_ms";
+    wait_depth =
+      Metrics.gauge obs.Obs.metrics
+        ~labels:[ ("scheme", scheme.Scheme.name) ]
+        "gtm2_wait_depth_max";
   }
 
 let scheme t = t.scheme
+
+let obs t = t.obs
 
 let enqueue t op = Queue.add op t.queue
 
@@ -43,6 +67,66 @@ let ser_bucket t site =
       Hashtbl.replace t.ser_wait site bucket;
       bucket
 
+let wait_hist t site =
+  match Hashtbl.find_opt t.wait_hists site with
+  | Some h -> h
+  | None ->
+      let h =
+        Metrics.histogram t.obs.Obs.metrics
+          ~labels:
+            [
+              ("scheme", t.scheme.Scheme.name); ("site", string_of_int site);
+            ]
+          "gtm2_queue_wait_ms"
+      in
+      Hashtbl.replace t.wait_hists site h;
+      h
+
+(* Record why the scheme delayed this operation: a "gtm2.wait" span on the
+   transaction's track carrying the scheme's explanation, plus the park
+   timestamp for the queue-wait histograms. Nothing runs when the bundle is
+   {!Obs.disabled}. *)
+let note_parked t op =
+  if t.obs.Obs.live then begin
+    let span =
+      if Sink.enabled t.obs.Obs.sink then
+        Sink.begin_span t.obs.Obs.sink
+          ~track:(Sink.txn_track t.obs.Obs.sink (Queue_op.gid op))
+          ~attrs:
+            [
+              ("op", Queue_op.to_string op);
+              ("reason", t.scheme.Scheme.explain op);
+            ]
+          "gtm2.wait"
+      else 0
+    in
+    Hashtbl.replace t.wait_info op (span, Obs.now t.obs)
+  end
+
+let note_unparked t op =
+  if t.obs.Obs.live then
+    match Hashtbl.find_opt t.wait_info op with
+    | None -> ()
+    | Some (span, parked_at) ->
+        Hashtbl.remove t.wait_info op;
+        let waited = Obs.now t.obs -. parked_at in
+        (match op with
+        | Queue_op.Ser (_, site) -> Metrics.observe (wait_hist t site) waited
+        | Queue_op.Fin _ -> Metrics.observe t.fin_wait_hist waited
+        | Queue_op.Init _ | Queue_op.Ack _ -> ());
+        Sink.end_span t.obs.Obs.sink
+          ~attrs:[ ("waited_ms", Printf.sprintf "%.1f" waited) ]
+          span
+
+(* End every open wait span (GTM crash teardown: the parked operations are
+   lost with the engine, their spans must not dangle). *)
+let close_open_spans t ~reason =
+  Hashtbl.iter
+    (fun _ (span, _) ->
+      Sink.end_span t.obs.Obs.sink ~attrs:[ ("outcome", reason) ] span)
+    t.wait_info;
+  Hashtbl.reset t.wait_info
+
 let park t op =
   (match op with
   | Queue_op.Ser (_, site) ->
@@ -51,7 +135,27 @@ let park t op =
   | Queue_op.Fin _ -> ignore (Dllist.push_back t.fin_wait op)
   | Queue_op.Init _ | Queue_op.Ack _ -> ignore (Dllist.push_back t.other_wait op));
   t.wait_count <- t.wait_count + 1;
-  t.wait_insertions <- t.wait_insertions + 1
+  t.wait_insertions <- t.wait_insertions + 1;
+  Metrics.set_max t.wait_depth (float_of_int t.wait_count);
+  note_parked t op
+
+let timed_cond t op =
+  if Profile.enabled t.obs.Obs.profile then begin
+    let t0 = Profile.start t.obs.Obs.profile in
+    let r = t.scheme.Scheme.cond op in
+    Profile.stop t.obs.Obs.profile "gtm2.cond" t0;
+    r
+  end
+  else t.scheme.Scheme.cond op
+
+let timed_act t op =
+  if Profile.enabled t.obs.Obs.profile then begin
+    let t0 = Profile.start t.obs.Obs.profile in
+    let r = t.scheme.Scheme.act op in
+    Profile.stop t.obs.Obs.profile "gtm2.act" t0;
+    r
+  end
+  else t.scheme.Scheme.act op
 
 (* Re-check one bucket: find the first member whose condition holds, process
    it, and rescan (its act may enable or disable other members — cond must
@@ -62,10 +166,11 @@ let rec drain_bucket t bucket effects directives =
     | node :: rest ->
         t.engine_steps <- t.engine_steps + 1;
         let op = Dllist.value node in
-        if t.scheme.Scheme.cond op then begin
+        if timed_cond t op then begin
           Dllist.remove bucket node;
           t.wait_count <- t.wait_count - 1;
-          let emitted = t.scheme.Scheme.act op in
+          note_unparked t op;
+          let emitted = timed_act t op in
           effects := List.rev_append emitted !effects;
           t.processed <- t.processed + 1;
           directives := t.scheme.Scheme.wakeups op @ !directives;
@@ -98,8 +203,14 @@ let run t =
   while not (Queue.is_empty t.queue) do
     let op = Queue.pop t.queue in
     t.engine_steps <- t.engine_steps + 1;
-    if t.scheme.Scheme.cond op then begin
-      let emitted = t.scheme.Scheme.act op in
+    if timed_cond t op then begin
+      (* Never delayed: a zero-wait observation keeps the queue-wait
+         distribution honest about the ops that sailed through. *)
+      (match op with
+      | Queue_op.Ser (_, site) when t.obs.Obs.live ->
+          Metrics.observe (wait_hist t site) 0.0
+      | _ -> ());
+      let emitted = timed_act t op in
       effects := List.rev_append emitted !effects;
       t.processed <- t.processed + 1;
       process_directives t (t.scheme.Scheme.wakeups op) effects

@@ -13,9 +13,21 @@
 
 type t
 
-val create : Scheme.t -> t
+val create : ?obs:Mdbs_obs.Obs.t -> Scheme.t -> t
+(** [?obs] (default {!Mdbs_obs.Obs.disabled}): when live, the engine emits a
+    ["gtm2.wait"] span (with the scheme's {!Scheme.explain} reason) for
+    every parked operation, feeds the [gtm2_queue_wait_ms] /
+    [gtm2_fin_wait_ms] histograms and the [gtm2_wait_depth_max] gauge, and
+    — when profiling is on — self-times [cond]/[act] as [gtm2.cond] /
+    [gtm2.act]. *)
 
 val scheme : t -> Scheme.t
+
+val obs : t -> Mdbs_obs.Obs.t
+
+val close_open_spans : t -> reason:string -> unit
+(** End every open wait span with an [outcome] attribute — call before
+    discarding the engine (GTM crash), so no span dangles. *)
 
 val enqueue : t -> Queue_op.t -> unit
 (** Insert at the back of QUEUE. *)

@@ -22,11 +22,12 @@ type t = {
   decided : (Types.gid, unit) Hashtbl.t;
 }
 
-let create ?(atomic_commit = false) ~scheme ~sites () =
+let create ?(obs = Mdbs_obs.Obs.disabled) ?(atomic_commit = false) ~scheme
+    ~sites () =
   let site_tbl = Hashtbl.create 16 in
   List.iter (fun s -> Hashtbl.replace site_tbl (Local_dbms.site_id s) s) sites;
   {
-    engine = Engine.create scheme;
+    engine = Engine.create ~obs scheme;
     gtm1 = Gtm1.create ();
     atomic_commit;
     site_tbl;
@@ -338,9 +339,10 @@ let pump t =
    commit-point sites order the surviving commits by the locks the
    transactions still hold). *)
 let recover ~old ~scheme =
+  Engine.close_open_spans old.engine ~reason:"gtm-crash";
   let t =
     {
-      engine = Engine.create scheme;
+      engine = Engine.create ~obs:(Engine.obs old.engine) scheme;
       gtm1 = Gtm1.create ();
       atomic_commit = old.atomic_commit;
       site_tbl = old.site_tbl;

@@ -24,13 +24,17 @@ type t
 type status = Active | Committed | Aborted of string
 
 val create :
-  ?atomic_commit:bool -> scheme:Scheme.t -> sites:Mdbs_site.Local_dbms.t list ->
-  unit -> t
+  ?obs:Mdbs_obs.Obs.t -> ?atomic_commit:bool -> scheme:Scheme.t ->
+  sites:Mdbs_site.Local_dbms.t list -> unit -> t
 (** [~atomic_commit:true] runs global transactions under two-phase commit:
     a prepare round precedes the commits, so a validation failure at any
     site aborts the transaction everywhere {e before} any site committed —
     closing the atomicity gap the paper leaves as future work. Default
-    false (the paper's model). *)
+    false (the paper's model).
+
+    [?obs] (default {!Mdbs_obs.Obs.disabled}) is handed to the engine; see
+    {!Engine.create}. {!recover} inherits it, closing the crashed engine's
+    open wait spans first. *)
 
 val engine : t -> Engine.t
 

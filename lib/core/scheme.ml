@@ -14,6 +14,7 @@ type t = {
   wakeups : Queue_op.t -> wakeup list;
   steps : unit -> int;
   describe : unit -> string;
+  explain : Queue_op.t -> string;
 }
 
 let pp_effect ppf = function

@@ -47,6 +47,11 @@ type t = {
       (** Abstract steps consumed so far by [cond]/[act] — the quantity the
           paper's complexity theorems bound. *)
   describe : unit -> string;  (** One-line dump of DS, for debugging. *)
+  explain : Queue_op.t -> string;
+      (** Human-readable reason why [cond op] currently fails (which DS
+          predicate blocks the operation), for wait-span attribution in the
+          observability layer. Side-effect-free, no step accounting; the
+          result is unspecified when [cond op] holds. *)
 }
 
 val pp_effect : Format.formatter -> effect_ -> unit

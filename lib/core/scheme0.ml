@@ -49,6 +49,17 @@ let make () =
     | Queue_op.Ack (_, site) -> [ Scheme.Wake_ser_at site ]
     | Queue_op.Init _ | Queue_op.Ser _ | Queue_op.Fin _ -> []
   in
+  let explain op =
+    match op with
+    | Queue_op.Ser (gid, site) -> (
+        let q = site_queue state site in
+        match Queue.peek_opt q with
+        | Some head when head <> gid ->
+            Printf.sprintf "behind G%d in site-%d FIFO (depth %d)" head site
+              (Queue.length q)
+        | Some _ | None -> "ready")
+    | Queue_op.Init _ | Queue_op.Ack _ | Queue_op.Fin _ -> "ready"
+  in
   let describe () =
     Hashtbl.fold
       (fun site q acc ->
@@ -64,4 +75,5 @@ let make () =
     wakeups;
     steps = (fun () -> state.steps);
     describe;
+    explain;
   }

@@ -127,6 +127,47 @@ let make ?(mark_policy = Mark_on_cycle) () =
     | Queue_op.Fin _ -> [ Scheme.Wake_fins ]
     | Queue_op.Init _ | Queue_op.Ser _ -> []
   in
+  let explain op =
+    match op with
+    | Queue_op.Ser (gid, site) -> (
+        match Hashtbl.find_opt state.outstanding site with
+        | Some other ->
+            Printf.sprintf "site %d has outstanding ser(G%d) awaiting ack" site
+              other
+        | None ->
+            if Hashtbl.mem state.marked (gid, site) then
+              match
+                Dllist.peek_front (queue state.insert_q site)
+              with
+              | Some front when front <> gid ->
+                  Printf.sprintf
+                    "marked (edge on TSG cycle): behind G%d in site-%d \
+                     insert queue"
+                    front site
+              | Some _ | None -> "marked (edge on TSG cycle)"
+            else "ready")
+    | Queue_op.Fin gid -> (
+        let sites =
+          match Hashtbl.find_opt state.sites_of gid with Some s -> s | None -> []
+        in
+        let blocking =
+          List.find_opt
+            (fun site ->
+              Dllist.peek_front (queue state.delete_q site) <> Some gid)
+            sites
+        in
+        match blocking with
+        | Some site -> (
+            match Dllist.peek_front (queue state.delete_q site) with
+            | Some front ->
+                Printf.sprintf "fin blocked: G%d ahead in site-%d delete queue"
+                  front site
+            | None ->
+                Printf.sprintf "fin blocked: ser(G%d) not yet acked at site %d"
+                  gid site)
+        | None -> "ready")
+    | Queue_op.Init _ | Queue_op.Ack _ -> "ready"
+  in
   let describe () =
     Printf.sprintf "scheme1: tsg %d txns / %d edges"
       (List.length (Bigraph.lefts state.tsg))
@@ -139,4 +180,5 @@ let make ?(mark_policy = Mark_on_cycle) () =
     wakeups;
     steps = (fun () -> state.steps);
     describe;
+    explain;
   }

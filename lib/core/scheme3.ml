@@ -121,6 +121,37 @@ let make () =
     | Queue_op.Fin _ -> [ Scheme.Wake_fins ]
     | Queue_op.Init _ | Queue_op.Ser _ -> []
   in
+  let explain op =
+    match op with
+    | Queue_op.Ser (gid, site) ->
+        let pending = !(set_k site) in
+        let predecessors = !(ser_bef gid) in
+        let blockers = Iset.inter predecessors pending in
+        if not (Iset.is_empty blockers) then
+          Printf.sprintf
+            "serialized-before predecessors {%s} still pending at site %d"
+            (String.concat ","
+               (List.map
+                  (fun g -> Printf.sprintf "G%d" g)
+                  (Iset.elements blockers)))
+            site
+        else (
+          match Hashtbl.find_opt state.last_k site with
+          | Some last when not (Hashtbl.mem state.acked (last, site)) ->
+              Printf.sprintf "previous ser(G%d) at site %d not yet acked" last
+                site
+          | Some _ | None -> "ready")
+    | Queue_op.Fin gid ->
+        let before = !(ser_bef gid) in
+        if Iset.is_empty before then "ready"
+        else
+          Printf.sprintf "fin blocked: serialized after live {%s}"
+            (String.concat ","
+               (List.map
+                  (fun g -> Printf.sprintf "G%d" g)
+                  (Iset.elements before)))
+    | Queue_op.Init _ | Queue_op.Ack _ -> "ready"
+  in
   let describe () =
     Printf.sprintf "scheme3: %d active transactions" (Hashtbl.length state.ser_bef)
   in
@@ -131,4 +162,5 @@ let make () =
     wakeups;
     steps = (fun () -> state.steps);
     describe;
+    explain;
   }

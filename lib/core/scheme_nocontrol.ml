@@ -34,6 +34,15 @@ let make () =
     | Queue_op.Ack (_, site) -> [ Scheme.Wake_ser_at site ]
     | Queue_op.Init _ | Queue_op.Ser _ | Queue_op.Fin _ -> []
   in
+  let explain op =
+    match op with
+    | Queue_op.Ser (_, site) -> (
+        match Hashtbl.find_opt state.last_k site with
+        | Some last when not (Hashtbl.mem state.acked (last, site)) ->
+            Printf.sprintf "previous ser(G%d) at site %d not yet acked" last site
+        | Some _ | None -> "ready")
+    | Queue_op.Init _ | Queue_op.Ack _ | Queue_op.Fin _ -> "ready"
+  in
   let describe () = "nocontrol" in
   {
     Scheme.name = "nocontrol";
@@ -42,4 +51,5 @@ let make () =
     wakeups;
     steps = (fun () -> state.steps);
     describe;
+    explain;
   }

@@ -7,6 +7,7 @@ module Txn = Mdbs_model.Txn
 module Iset = Mdbs_util.Iset
 module Local_dbms = Mdbs_site.Local_dbms
 module Json = Mdbs_analysis.Json
+module Profile = Mdbs_obs.Profile
 
 type checks = {
   certified : bool;
@@ -16,10 +17,11 @@ type checks = {
 
 let ok c = c.certified && c.atomic && c.wal_consistent
 
-let check_run (run : Des.run) =
+let check_run ?(profile = Profile.null) (run : Des.run) =
   let certified =
-    Mdbs_analysis.Certifier.is_certified
-      (Mdbs_analysis.Certifier.certify run.Des.trace)
+    Profile.time profile "chaos.certify" (fun () ->
+        Mdbs_analysis.Certifier.is_certified
+          (Mdbs_analysis.Certifier.certify run.Des.trace))
   in
   let schedules =
     List.map
@@ -47,14 +49,17 @@ let check_run (run : Des.run) =
   (* Final storage must equal the WAL-predicted state: what a recovery at
      this instant would reconstruct is what is actually there. *)
   let wal_consistent =
-    List.for_all
-      (fun db ->
-        match Local_dbms.wal_state db with
-        | None -> true
-        | Some predicted ->
-            let clean l = List.sort compare (List.filter (fun (_, v) -> v <> 0) l) in
-            clean predicted = clean (Local_dbms.storage_items db))
-      run.Des.sites
+    Profile.time profile "chaos.wal_check" (fun () ->
+        List.for_all
+          (fun db ->
+            match Local_dbms.wal_state db with
+            | None -> true
+            | Some predicted ->
+                let clean l =
+                  List.sort compare (List.filter (fun (_, v) -> v <> 0) l)
+                in
+                clean predicted = clean (Local_dbms.storage_items db))
+          run.Des.sites)
   in
   { certified; atomic; wal_consistent }
 
@@ -84,7 +89,7 @@ let config_for ?(base = base_config) ~mix ~seed () =
   let m = base.Des.workload.Workload.m in
   { base with Des.seed; faults = Fault.realize mix ~seed ~m ~horizon }
 
-let run_one ?base ~mix ~seed kind =
+let run_one ?base ?profile ~mix ~seed kind =
   let config = config_for ?base ~mix ~seed () in
   let run = Des.run_full config kind in
   {
@@ -92,7 +97,7 @@ let run_one ?base ~mix ~seed kind =
     seed;
     spec = Fault.mix_to_string mix;
     result = run.Des.result;
-    checks = check_run run;
+    checks = check_run ?profile run;
   }
 
 let mix_exn spec =

@@ -26,8 +26,10 @@ type checks = {
 
 val ok : checks -> bool
 
-val check_run : Mdbs_sim.Des.run -> checks
-(** The three obligations, evaluated on a finished simulation. *)
+val check_run : ?profile:Mdbs_obs.Profile.t -> Mdbs_sim.Des.run -> checks
+(** The three obligations, evaluated on a finished simulation. [~profile]
+    self-times the certifier ([chaos.certify]) and the WAL audit
+    ([chaos.wal_check]) in wall-clock CPU time. *)
 
 type outcome = {
   kind : Mdbs_core.Registry.kind;
@@ -48,7 +50,8 @@ val config_for :
     plan over the workload's sites. *)
 
 val run_one :
-  ?base:Mdbs_sim.Des.config -> mix:Mdbs_sim.Fault.mix -> seed:int ->
+  ?base:Mdbs_sim.Des.config -> ?profile:Mdbs_obs.Profile.t ->
+  mix:Mdbs_sim.Fault.mix -> seed:int ->
   Mdbs_core.Registry.kind -> outcome
 
 val default_mixes : Mdbs_sim.Fault.mix list

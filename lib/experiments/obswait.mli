@@ -1,0 +1,10 @@
+(** Experiment E15: queue-wait distributions from the observability layer.
+
+    §3's concurrency argument, read off the metrics pipeline instead of
+    bespoke counters: each scheme runs the E13 workload with a metrics-only
+    {!Mdbs_obs.Obs} bundle, and the table reports the distribution
+    (mean/p50/p95/p99) of the per-operation GTM2 queue wait — the time a
+    ser(S) operation spends parked in WAIT before the scheme's test lets it
+    through — merged across sites from [gtm2_queue_wait_ms\{scheme,site\}]. *)
+
+val wait_table : ?config:Mdbs_sim.Des.config -> unit -> Report.table

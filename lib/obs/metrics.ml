@@ -1,0 +1,229 @@
+module Stats = Mdbs_util.Stats
+module Json = Mdbs_util.Json
+
+type labels = (string * string) list
+
+type key = { name : string; labels : labels }
+
+let key ?(labels = []) name = { name; labels = List.sort compare labels }
+
+type counter = { mutable c : int }
+
+type gauge = { mutable g : float }
+
+type t = {
+  enabled : bool;
+  counters : (key, counter) Hashtbl.t;
+  gauges : (key, gauge) Hashtbl.t;
+  hists : (key, Stats.histogram) Hashtbl.t;
+}
+
+let make enabled =
+  {
+    enabled;
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let create () = make true
+
+(* Disabled registry: handles are unregistered throwaways, so updates through
+   them are harmless and snapshots stay empty. *)
+let null = make false
+
+let enabled t = t.enabled
+
+let counter t ?labels name =
+  if not t.enabled then { c = 0 }
+  else
+    let k = key ?labels name in
+    match Hashtbl.find_opt t.counters k with
+    | Some c -> c
+    | None ->
+        let c = { c = 0 } in
+        Hashtbl.replace t.counters k c;
+        c
+
+let inc ?(by = 1) c = c.c <- c.c + by
+
+let gauge t ?labels name =
+  if not t.enabled then { g = 0.0 }
+  else
+    let k = key ?labels name in
+    match Hashtbl.find_opt t.gauges k with
+    | Some g -> g
+    | None ->
+        let g = { g = 0.0 } in
+        Hashtbl.replace t.gauges k g;
+        g
+
+let set g v = g.g <- v
+
+let set_max g v = if v > g.g then g.g <- v
+
+let histogram t ?labels ?(bounds = Stats.default_bounds) name =
+  if not t.enabled then Stats.histogram bounds
+  else
+    let k = key ?labels name in
+    match Hashtbl.find_opt t.hists k with
+    | Some h -> h
+    | None ->
+        let h = Stats.histogram bounds in
+        Hashtbl.replace t.hists k h;
+        h
+
+let observe = Stats.observe
+
+(* --- snapshots --------------------------------------------------------- *)
+
+type hist_snap = {
+  buckets : (float * int) list; (* (upper bound, count); last is overflow *)
+  count : int;
+  sum : float;
+  hmax : float;
+}
+
+type snapshot = {
+  counters : (key * int) list;
+  gauges : (key * float) list;
+  histograms : (key * hist_snap) list;
+}
+
+let snap_of_hist h =
+  {
+    buckets = Stats.hist_buckets h;
+    count = Stats.hist_count h;
+    sum = Stats.hist_sum h;
+    hmax = Stats.hist_max h;
+  }
+
+let snap_mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+
+(* Same nearest-rank rule as {!Stats.hist_percentile}, over a snapshot. *)
+let snap_percentile s p =
+  if s.count = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int s.count)) |> max 1 in
+    let rec find acc = function
+      | [] -> s.hmax
+      | (bound, c) :: rest ->
+          let acc = acc + c in
+          if acc >= rank then (if bound = infinity then s.hmax else bound)
+          else find acc rest
+    in
+    find 0 s.buckets
+  end
+
+let sorted tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot (t : t) =
+  {
+    counters = sorted t.counters (fun c -> c.c);
+    gauges = sorted t.gauges (fun g -> g.g);
+    histograms = sorted t.hists snap_of_hist;
+  }
+
+let find_counter snap ?(labels = []) name =
+  List.assoc_opt (key ~labels name) snap.counters
+
+(* Sum of all counters with this name, across label sets. *)
+let sum_counter snap name =
+  List.fold_left
+    (fun acc (k, v) -> if k.name = name then acc + v else acc)
+    0 snap.counters
+
+let merge_snaps a b =
+  if List.map fst a.buckets <> List.map fst b.buckets then
+    invalid_arg "Metrics.merge_snaps: bucket mismatch";
+  {
+    buckets = List.map2 (fun (ub, x) (_, y) -> (ub, x + y)) a.buckets b.buckets;
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    hmax = max a.hmax b.hmax;
+  }
+
+(* Merge every histogram with this name (e.g. per-site queue waits) into
+   one distribution; [None] when the name is absent. *)
+let sum_hist snap name =
+  List.fold_left
+    (fun acc (k, s) ->
+      if k.name <> name then acc
+      else match acc with None -> Some s | Some m -> Some (merge_snaps m s))
+    None snap.histograms
+
+(* --- rendering --------------------------------------------------------- *)
+
+let key_to_string k =
+  match k.labels with
+  | [] -> k.name
+  | labels ->
+      Printf.sprintf "%s{%s}" k.name
+        (String.concat ","
+           (List.map (fun (lk, lv) -> Printf.sprintf "%s=%s" lk lv) labels))
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let hist_snap_to_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("sum", Json.Float s.sum);
+      ("mean", Json.Float (snap_mean s));
+      ("max", Json.Float s.hmax);
+      ("p50", Json.Float (snap_percentile s 50.0));
+      ("p95", Json.Float (snap_percentile s 95.0));
+      ("p99", Json.Float (snap_percentile s 99.0));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (ub, c) ->
+               Json.Obj
+                 [
+                   ( "le",
+                     if ub = infinity then Json.Str "+inf" else Json.Float ub );
+                   ("count", Json.Int c);
+                 ])
+             s.buckets) );
+    ]
+
+let to_json snap =
+  let entry k fields =
+    Json.Obj (("name", Json.Str k.name) :: ("labels", labels_json k.labels) :: fields)
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.List
+          (List.map
+             (fun (k, v) -> entry k [ ("value", Json.Int v) ])
+             snap.counters) );
+      ( "gauges",
+        Json.List
+          (List.map
+             (fun (k, v) -> entry k [ ("value", Json.Float v) ])
+             snap.gauges) );
+      ( "histograms",
+        Json.List
+          (List.map
+             (fun (k, s) ->
+               match hist_snap_to_json s with
+               | Json.Obj fields -> entry k fields
+               | _ -> assert false)
+             snap.histograms) );
+    ]
+
+let pp ppf snap =
+  let line fmt = Format.fprintf ppf fmt in
+  List.iter (fun (k, v) -> line "%s %d@," (key_to_string k) v) snap.counters;
+  List.iter (fun (k, v) -> line "%s %g@," (key_to_string k) v) snap.gauges;
+  List.iter
+    (fun (k, s) ->
+      line "%s count=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f@,"
+        (key_to_string k) s.count (snap_mean s) (snap_percentile s 50.0)
+        (snap_percentile s 95.0) (snap_percentile s 99.0) s.hmax)
+    snap.histograms
+
+let to_string snap = Format.asprintf "@[<v>%a@]" pp snap

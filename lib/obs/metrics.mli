@@ -1,0 +1,98 @@
+(** Metrics registry: counters, gauges and fixed-bucket histograms with
+    (sorted) key/value labels — the aggregation half of the observability
+    layer.
+
+    Handles ({!counter}, {!gauge}, {!histogram}) are obtained once and
+    updated allocation-free on hot paths; on the disabled {!null} registry
+    they are unregistered throwaways, so instrumented code needs no guard
+    around updates (guard only where {e obtaining} a handle per event would
+    allocate labels).
+
+    A {!snapshot} is an immutable, deterministically ordered copy,
+    printable for humans ({!pp}) and exportable as JSON ({!to_json}) —
+    [mdbs des --metrics-json] and experiment E15 are built on it. *)
+
+module Stats = Mdbs_util.Stats
+
+type labels = (string * string) list
+
+type key = private { name : string; labels : labels }
+
+val key : ?labels:labels -> string -> key
+(** Labels are sorted, so label order never distinguishes keys. *)
+
+type counter
+
+type gauge
+
+type t
+
+val create : unit -> t
+
+val null : t
+(** Shared disabled registry: handles work but register nothing. *)
+
+val enabled : t -> bool
+
+val counter : t -> ?labels:labels -> string -> counter
+(** Register (or find) a counter. *)
+
+val inc : ?by:int -> counter -> unit
+
+val gauge : t -> ?labels:labels -> string -> gauge
+
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** High-watermark update. *)
+
+val histogram :
+  t -> ?labels:labels -> ?bounds:float array -> string -> Stats.histogram
+(** Register (or find) a histogram (default bounds
+    {!Mdbs_util.Stats.default_bounds}). *)
+
+val observe : Stats.histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type hist_snap = {
+  buckets : (float * int) list;
+      (** [(upper_bound, count)]; the last entry is the overflow slot with
+          bound [infinity]. *)
+  count : int;
+  sum : float;
+  hmax : float;
+}
+
+type snapshot = {
+  counters : (key * int) list;
+  gauges : (key * float) list;
+  histograms : (key * hist_snap) list;
+}
+
+val snapshot : t -> snapshot
+(** Deterministic order: sorted by (name, labels). *)
+
+val snap_mean : hist_snap -> float
+
+val snap_percentile : hist_snap -> float -> float
+(** Nearest-rank quantile over the buckets (bucket upper bound; the
+    overflow bucket reports the observed max). *)
+
+val find_counter : snapshot -> ?labels:labels -> string -> int option
+
+val sum_counter : snapshot -> string -> int
+(** Sum over all label sets of the name. *)
+
+val sum_hist : snapshot -> string -> hist_snap option
+(** Merge every histogram with this name across label sets (e.g. per-site
+    queue waits into the run-wide distribution). *)
+
+val key_to_string : key -> string
+(** [name{k=v,...}] *)
+
+val to_json : snapshot -> Mdbs_util.Json.t
+
+val pp : Format.formatter -> snapshot -> unit
+
+val to_string : snapshot -> string

@@ -1,0 +1,35 @@
+type t = {
+  sink : Sink.t;
+  metrics : Metrics.t;
+  profile : Profile.t;
+  live : bool;
+  mutable clock : unit -> float;
+}
+
+let disabled =
+  {
+    sink = Sink.null;
+    metrics = Metrics.null;
+    profile = Profile.null;
+    live = false;
+    clock = (fun () -> 0.0);
+  }
+
+let create ?(trace = true) ?(metrics = true) ?(profile = false) () =
+  {
+    sink = (if trace then Sink.create () else Sink.null);
+    metrics = (if metrics then Metrics.create () else Metrics.null);
+    profile = (if profile then Profile.create () else Profile.null);
+    live = true;
+    clock = (fun () -> 0.0);
+  }
+
+let tracing t = Sink.enabled t.sink
+
+let set_clock t clock =
+  if t.live then begin
+    t.clock <- clock;
+    Sink.set_clock t.sink clock
+  end
+
+let now t = t.clock ()

@@ -1,0 +1,31 @@
+(** The observability bundle threaded through the GTM pipeline: a span
+    {!Sink}, a {!Metrics} registry and a wall-clock {!Profile}, each
+    independently enable-able, plus the bundle clock (installed by the
+    simulator) that lets metrics-only instrumentation read sim time.
+    {!disabled} (the default everywhere) is the shared all-null bundle —
+    instrumented code guards its span emission with [Sink.enabled] and pays
+    nothing. *)
+
+type t = {
+  sink : Sink.t;
+  metrics : Metrics.t;
+  profile : Profile.t;
+  live : bool;  (** [false] only for {!disabled}. *)
+  mutable clock : unit -> float;
+}
+
+val disabled : t
+
+val create : ?trace:bool -> ?metrics:bool -> ?profile:bool -> unit -> t
+(** Fresh components for each enabled part (defaults: trace and metrics
+    on, profiling off), {!Sink.null}/{!Metrics.null}/{!Profile.null} for
+    the rest. *)
+
+val tracing : t -> bool
+(** Is the span sink live? *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the time source on the bundle and its sink (no-op on
+    {!disabled}). *)
+
+val now : t -> float

@@ -1,0 +1,63 @@
+module Json = Mdbs_util.Json
+
+type timer = { mutable total : float; mutable count : int }
+
+type t = { enabled : bool; timers : (string, timer) Hashtbl.t }
+
+let make enabled = { enabled; timers = Hashtbl.create 8 }
+
+let create () = make true
+
+let null = make false
+
+let enabled t = t.enabled
+
+let timer t name =
+  match Hashtbl.find_opt t.timers name with
+  | Some timer -> timer
+  | None ->
+      let timer = { total = 0.0; count = 0 } in
+      Hashtbl.replace t.timers name timer;
+      timer
+
+(* Explicit start/stop pair for hot loops — no closure allocation. The
+   caller guards with {!enabled}. *)
+let start _t = Sys.time ()
+
+let stop t name t0 =
+  let timer = timer t name in
+  timer.total <- timer.total +. (Sys.time () -. t0);
+  timer.count <- timer.count + 1
+
+let time t name f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = Sys.time () in
+    let finally () = stop t name t0 in
+    Fun.protect ~finally f
+  end
+
+let report t =
+  Hashtbl.fold (fun name timer acc -> (name, timer.count, timer.total) :: acc) t.timers []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let pp ppf t =
+  List.iter
+    (fun (name, count, total) ->
+      Format.fprintf ppf "%-24s %9d calls %10.3f ms cpu@," name count
+        (1000.0 *. total))
+    (report t)
+
+let to_string t = Format.asprintf "@[<v>%a@]" pp t
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun (name, count, total) ->
+         Json.Obj
+           [
+             ("name", Json.Str name);
+             ("calls", Json.Int count);
+             ("cpu_ms", Json.Float (1000.0 *. total));
+           ])
+       (report t))

@@ -1,0 +1,35 @@
+(** Wall-clock self-timing: where host CPU goes, as opposed to the
+    simulated time the spans and metrics measure.
+
+    Named accumulating timers over [Sys.time] (process CPU time). Two
+    usage styles: {!time} wraps a thunk; {!start}/{!stop} avoid the
+    closure for hot loops — guard those call sites with {!enabled}.
+    Used to attribute host CPU to the GTM2 scheduler test ([gtm2.cond] /
+    [gtm2.act]) and to the certifier. *)
+
+type t
+
+val create : unit -> t
+
+val null : t
+(** Shared disabled profile: {!time} calls the thunk directly. *)
+
+val enabled : t -> bool
+
+val start : t -> float
+(** Current CPU timestamp, to pass to {!stop}. *)
+
+val stop : t -> string -> float -> unit
+(** [stop t name t0] accrues [now - t0] to the named timer. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Timed thunk (exception-safe); untimed passthrough when disabled. *)
+
+val report : t -> (string * int * float) list
+(** [(name, calls, cpu_seconds)] sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val to_json : t -> Mdbs_util.Json.t

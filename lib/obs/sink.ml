@@ -1,0 +1,212 @@
+type attr = string * string
+
+type span = {
+  id : int;
+  track : int;
+  name : string;
+  parent : int option;
+  start : float;
+  mutable finish : float; (* nan while open *)
+  mutable attrs : attr list;
+}
+
+type instant = { itrack : int; iname : string; its : float; iattrs : attr list }
+
+type event = Begin of span | End of span | Inst of instant
+
+type t = {
+  enabled : bool;
+  mutable clock : unit -> float;
+  mutable next_id : int;
+  tracks : (string, int) Hashtbl.t;
+  mutable track_order : (int * string) list; (* newest first *)
+  mutable next_track : int;
+  spans_tbl : (int, span) Hashtbl.t;
+  stacks : (int, int list ref) Hashtbl.t; (* track -> open span ids, top first *)
+  mutable events : event list; (* newest first *)
+  mutable open_count : int;
+}
+
+let make enabled =
+  {
+    enabled;
+    clock = (fun () -> 0.0);
+    next_id = 0;
+    tracks = Hashtbl.create 16;
+    track_order = [];
+    next_track = 0;
+    spans_tbl = Hashtbl.create 256;
+    stacks = Hashtbl.create 16;
+    events = [];
+    open_count = 0;
+  }
+
+let create () = make true
+
+(* The shared disabled sink: every operation on it is a guarded no-op, so
+   instrumented code pays one load + branch and allocates nothing. *)
+let null = make false
+
+let enabled t = t.enabled
+
+let set_clock t clock = if t.enabled then t.clock <- clock
+
+let now t = t.clock ()
+
+let track t name =
+  if not t.enabled then 0
+  else
+    match Hashtbl.find_opt t.tracks name with
+    | Some id -> id
+    | None ->
+        let id = t.next_track in
+        t.next_track <- id + 1;
+        Hashtbl.replace t.tracks name id;
+        t.track_order <- (id, name) :: t.track_order;
+        id
+
+let txn_track t gid =
+  if not t.enabled then 0 else track t (Printf.sprintf "txn G%d" gid)
+
+let site_track t sid =
+  if not t.enabled then 0 else track t (Printf.sprintf "site %d" sid)
+
+let stack t trk =
+  match Hashtbl.find_opt t.stacks trk with
+  | Some s -> s
+  | None ->
+      let s = ref [] in
+      Hashtbl.replace t.stacks trk s;
+      s
+
+let begin_span t ~track ?parent ?(attrs = []) name =
+  if not t.enabled then 0
+  else begin
+    let st = stack t track in
+    let parent =
+      match parent with
+      | Some _ -> parent
+      | None -> ( match !st with [] -> None | top :: _ -> Some top)
+    in
+    t.next_id <- t.next_id + 1;
+    let span =
+      {
+        id = t.next_id;
+        track;
+        name;
+        parent;
+        start = t.clock ();
+        finish = Float.nan;
+        attrs;
+      }
+    in
+    Hashtbl.replace t.spans_tbl span.id span;
+    st := span.id :: !st;
+    t.events <- Begin span :: t.events;
+    t.open_count <- t.open_count + 1;
+    span.id
+  end
+
+let end_span t ?(attrs = []) id =
+  if t.enabled && id <> 0 then
+    match Hashtbl.find_opt t.spans_tbl id with
+    | None -> ()
+    | Some span ->
+        if Float.is_nan span.finish then begin
+          span.finish <- t.clock ();
+          if attrs <> [] then span.attrs <- span.attrs @ attrs;
+          let st = stack t span.track in
+          st := List.filter (fun sid -> sid <> id) !st;
+          t.events <- End span :: t.events;
+          t.open_count <- t.open_count - 1
+        end
+
+let instant t ~track ?(attrs = []) name =
+  if t.enabled then
+    t.events <-
+      Inst { itrack = track; iname = name; its = t.clock (); iattrs = attrs }
+      :: t.events
+
+let span_start t id =
+  match Hashtbl.find_opt t.spans_tbl id with
+  | Some span -> Some span.start
+  | None -> None
+
+let spans t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.spans_tbl []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let events t = List.rev t.events
+
+let tracks_list t = List.rev t.track_order
+
+let track_name t id =
+  match List.assoc_opt id t.track_order with Some n -> n | None -> "?"
+
+let open_spans t = t.open_count
+
+let span_count t = Hashtbl.length t.spans_tbl
+
+(* Replay the event stream and check the structural invariants the property
+   tests (and the smoke alias) rely on:
+   - every Begin has exactly one End, and finish >= start;
+   - spans on a track close LIFO: a parent never ends while a child is open;
+   - a child starts no earlier than its parent;
+   - timestamps are monotone per track (the sim clock never runs backward). *)
+let check t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let last_ts = Hashtbl.create 16 in
+  let monotone trk ts =
+    (match Hashtbl.find_opt last_ts trk with
+    | Some prev when ts < prev -.  1e-9 ->
+        err "track %s: timestamp %g precedes %g" (track_name t trk) ts prev
+    | _ -> ());
+    Hashtbl.replace last_ts trk ts
+  in
+  let stacks = Hashtbl.create 16 in
+  let stk trk =
+    match Hashtbl.find_opt stacks trk with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.replace stacks trk s;
+        s
+  in
+  List.iter
+    (fun event ->
+      match event with
+      | Begin span ->
+          monotone span.track span.start;
+          (match span.parent with
+          | None -> ()
+          | Some pid -> (
+              match Hashtbl.find_opt t.spans_tbl pid with
+              | None -> err "span %d (%s): unknown parent %d" span.id span.name pid
+              | Some parent ->
+                  if span.start < parent.start then
+                    err "span %d (%s) starts before its parent %d" span.id
+                      span.name pid));
+          let s = stk span.track in
+          s := span.id :: !s
+      | End span ->
+          monotone span.track span.finish;
+          if span.finish < span.start then
+            err "span %d (%s) ends before it starts" span.id span.name;
+          let s = stk span.track in
+          (match !s with
+          | top :: rest when top = span.id -> s := rest
+          | top :: _ ->
+              err "span %d (%s) ended while child %d still open on track %s"
+                span.id span.name top (track_name t span.track);
+              s := List.filter (fun sid -> sid <> span.id) !s
+          | [] -> err "span %d (%s) ended twice or never began" span.id span.name)
+      | Inst i -> monotone i.itrack i.its)
+    (events t);
+  Hashtbl.iter
+    (fun _ span ->
+      if Float.is_nan span.finish then
+        err "span %d (%s) on track %s never ended" span.id span.name
+          (track_name t span.track))
+    t.spans_tbl;
+  List.rev !errors

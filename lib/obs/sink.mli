@@ -1,0 +1,90 @@
+(** Span/event sink: the tracing half of the observability layer.
+
+    A sink records {e spans} (named intervals with parent links and
+    key/value attributes) and {e instants} (point events) against named
+    tracks, timestamped by a caller-supplied clock — the simulators install
+    their simulated clock, so traces are monotone in sim time and fully
+    deterministic under a fixed seed.
+
+    The hot-path contract: every mutator on the shared {!null} sink is a
+    guarded no-op, so instrumented code pays one branch when tracing is
+    disabled and allocates nothing — call sites that must build attribute
+    lists guard with {!enabled} first.
+
+    Captured traces export to Chrome [trace_event] JSON via
+    {!Trace_event}, and {!check} verifies structural well-formedness
+    (used by the [@obs-smoke] alias and the span property tests). *)
+
+type attr = string * string
+
+type span = {
+  id : int;
+  track : int;
+  name : string;
+  parent : int option;
+  start : float;
+  mutable finish : float;  (** [nan] while the span is open. *)
+  mutable attrs : attr list;
+}
+
+type instant = { itrack : int; iname : string; its : float; iattrs : attr list }
+
+type event = Begin of span | End of span | Inst of instant
+
+type t
+
+val create : unit -> t
+(** A fresh, enabled sink (clock initially [fun () -> 0.]). *)
+
+val null : t
+(** The shared disabled sink: all operations are no-ops. *)
+
+val enabled : t -> bool
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the time source (e.g. the DES clock). Timestamps must be
+    monotone per track for {!check} to pass. *)
+
+val now : t -> float
+
+val track : t -> string -> int
+(** Intern a track by name; stable ids in first-use order. *)
+
+val txn_track : t -> int -> int
+(** The per-transaction track ["txn G<gid>"]. *)
+
+val site_track : t -> int -> int
+(** The per-site track ["site <sid>"]. *)
+
+val begin_span :
+  t -> track:int -> ?parent:int -> ?attrs:attr list -> string -> int
+(** Open a span; returns its id (0 on a disabled sink). Without [?parent]
+    the innermost open span on the track is the parent. *)
+
+val end_span : t -> ?attrs:attr list -> int -> unit
+(** Close a span, appending [?attrs]; ignores id 0, unknown ids and double
+    ends (the caller may close defensively on teardown paths). *)
+
+val instant : t -> track:int -> ?attrs:attr list -> string -> unit
+
+val span_start : t -> int -> float option
+
+val spans : t -> span list
+(** All spans, in creation order (open ones have [nan] finish). *)
+
+val events : t -> event list
+(** The emission-ordered event stream. *)
+
+val tracks_list : t -> (int * string) list
+
+val track_name : t -> int -> string
+
+val open_spans : t -> int
+
+val span_count : t -> int
+
+val check : t -> string list
+(** Structural well-formedness errors (empty = well-formed): every begin
+    has one end with [finish >= start], spans close LIFO per track (parents
+    close after children), children start within their parent, and
+    timestamps are monotone per track. *)

@@ -1,0 +1,78 @@
+module Json = Mdbs_util.Json
+
+(* Chrome trace_event JSON ("JSON Object Format"): a {"traceEvents": [...]}
+   object loadable by chrome://tracing and Perfetto. Tracks map to threads
+   of one process; per-track names arrive as metadata events. Timestamps
+   are microseconds — the sim clock is milliseconds, so x1000, rounded to
+   integers for deterministic output (golden-file friendly). *)
+
+let us ts = Json.Int (int_of_float (Float.round (ts *. 1000.0)))
+
+let args attrs = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)
+
+let event ~ph ~tid ~ts fields =
+  Json.Obj
+    ([
+       ("ph", Json.Str ph);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int tid);
+       ("ts", us ts);
+     ]
+    @ fields)
+
+let to_json sink =
+  let meta =
+    List.map
+      (fun (tid, name) ->
+        Json.Obj
+          [
+            ("ph", Json.Str "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+            ("name", Json.Str "thread_name");
+            ("args", Json.Obj [ ("name", Json.Str name) ]);
+          ])
+      (Sink.tracks_list sink)
+  in
+  let body =
+    List.filter_map
+      (fun ev ->
+        match ev with
+        | Sink.Begin span ->
+            Some
+              (event ~ph:"B" ~tid:span.Sink.track ~ts:span.Sink.start
+                 [
+                   ("name", Json.Str span.Sink.name);
+                   ("args", args span.Sink.attrs);
+                 ])
+        | Sink.End span ->
+            if Float.is_nan span.Sink.finish then None
+            else
+              Some
+                (event ~ph:"E" ~tid:span.Sink.track ~ts:span.Sink.finish
+                   [ ("name", Json.Str span.Sink.name) ])
+        | Sink.Inst i ->
+            Some
+              (event ~ph:"i" ~tid:i.Sink.itrack ~ts:i.Sink.its
+                 [
+                   ("name", Json.Str i.Sink.iname);
+                   ("s", Json.Str "t");
+                   ("args", args i.Sink.iattrs);
+                 ]))
+      (Sink.events sink)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ body));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string sink = Json.to_string (to_json sink)
+
+let write_file path sink =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string sink);
+      output_char oc '\n')

@@ -1,0 +1,14 @@
+(** Chrome [trace_event] export of a captured span sink.
+
+    Produces the JSON Object Format ([{"traceEvents": [...]}]) that
+    [chrome://tracing] and Perfetto load directly: tracks become threads of
+    one process (named via metadata events), spans become B/E duration
+    pairs, instants become [i] events. Timestamps are the sink's sim-time
+    milliseconds converted to integer microseconds, so output is
+    deterministic under a fixed seed (the golden-trace test diffs it). *)
+
+val to_json : Sink.t -> Mdbs_util.Json.t
+
+val to_string : Sink.t -> string
+
+val write_file : string -> Sink.t -> unit

@@ -11,6 +11,9 @@ module Registry = Mdbs_core.Registry
 module Local_dbms = Mdbs_site.Local_dbms
 module Cc_types = Mdbs_lcc.Cc_types
 module Json = Mdbs_analysis.Json
+module Obs = Mdbs_obs.Obs
+module Sink = Mdbs_obs.Sink
+module Metrics = Mdbs_obs.Metrics
 
 type config = {
   workload : Workload.config;
@@ -27,6 +30,7 @@ type config = {
   faults : Fault.t;
   retry_timeout_ms : float;
   max_retries : int;
+  obs : Obs.t;
 }
 
 let default =
@@ -45,6 +49,7 @@ let default =
     faults = Fault.none;
     retry_timeout_ms = 50.0;
     max_retries = 6;
+    obs = Obs.disabled;
   }
 
 type result = {
@@ -76,6 +81,7 @@ type run = {
   trace : Mdbs_analysis.Trace.t;
   sites : Local_dbms.t list;
   attempts : Txn.t list;  (* admission order *)
+  obs : Obs.t;  (* the config's bundle, filled by the run *)
 }
 
 type op_kind = Ser_op | Direct_op
@@ -145,6 +151,21 @@ type sim = {
   mutable msg_dups : int;
   mutable retries : int;
   mutable in_doubt_resolved : int;
+  obs : Obs.t;
+  (* open spans, keyed by what closes them: the admission-to-resolution
+     span per attempt, the dispatch-to-ack span per in-flight operation
+     (GTM1 is strictly sequential per transaction, so at most one), and the
+     site-blocked span per pending_global entry *)
+  txn_spans : (Types.gid, int) Hashtbl.t;
+  op_spans : (Types.gid, int * float) Hashtbl.t; (* span, dispatch time *)
+  blocked_spans : (Types.sid * Types.gid, int) Hashtbl.t;
+  prepared_at : (Types.sid * Types.gid, float) Hashtbl.t;
+  m_abort_causes : (string, Metrics.counter) Hashtbl.t;
+  m_ser_latency : Mdbs_util.Stats.histogram;
+  m_response : Mdbs_util.Stats.histogram;
+  m_in_doubt : Mdbs_util.Stats.histogram;
+  net_track : int; (* link-fault instants live here *)
+  gtm_track : int;
 }
 
 let schedule sim delay event =
@@ -152,6 +173,87 @@ let schedule sim delay event =
   Binary_heap.push sim.heap (sim.clock +. delay, sim.seq, event)
 
 let site sim sid = Hashtbl.find sim.site_tbl sid
+
+(* --- observability helpers --------------------------------------------- *)
+
+let tracing sim = Sink.enabled sim.obs.Obs.sink
+
+(* Coarse cause bucket for the aborts-by-cause counter. *)
+let abort_cause reason =
+  if String.length reason >= 7 && String.sub reason 0 7 = "ticket:" then
+    "ticket-conflict"
+  else
+    match reason with
+    | "wait-die" | "deadlock" | "c2pl-deadlock" -> "deadlock"
+    | "global-deadlock" -> "deadlock-timeout"
+    | "sgt-cycle" | "gtm2-abort" -> "cycle"
+    | "occ-validation" | "to-late-read" | "to-late-write" | "to-late-update" ->
+        "validation"
+    | "site-crash" | "site-amnesia" | "retry-exhausted" | "gtm-crash" -> "fault"
+    | _ -> "other"
+
+let count_abort sim reason =
+  if sim.obs.Obs.live then begin
+    let cause = abort_cause reason in
+    let c =
+      match Hashtbl.find_opt sim.m_abort_causes cause with
+      | Some c -> c
+      | None ->
+          let c =
+            Metrics.counter sim.obs.Obs.metrics
+              ~labels:[ ("cause", cause) ]
+              "des_aborts_total"
+          in
+          Hashtbl.replace sim.m_abort_causes cause c;
+          c
+    in
+    Metrics.inc c
+  end
+
+let end_blocked_span sim key ~outcome =
+  match Hashtbl.find_opt sim.blocked_spans key with
+  | Some span ->
+      Hashtbl.remove sim.blocked_spans key;
+      Sink.end_span sim.obs.Obs.sink ~attrs:[ ("outcome", outcome) ] span
+  | None -> ()
+
+(* Close the dispatch-to-ack span; returns the dispatch time (for the
+   ser-latency histogram). *)
+let end_op_span sim gid ~outcome =
+  match Hashtbl.find_opt sim.op_spans gid with
+  | Some (span, t0) ->
+      Hashtbl.remove sim.op_spans gid;
+      Sink.end_span sim.obs.Obs.sink ~attrs:[ ("outcome", outcome) ] span;
+      Some t0
+  | None -> None
+
+let end_txn_span sim gid ~outcome =
+  match Hashtbl.find_opt sim.txn_spans gid with
+  | Some span ->
+      Hashtbl.remove sim.txn_spans gid;
+      (* Close any children still open (deepest first) so the per-track
+         close order stays LIFO even on abort/crash paths. *)
+      let blocked =
+        Hashtbl.fold
+          (fun ((_, g) as key) _ acc -> if g = gid then key :: acc else acc)
+          sim.blocked_spans []
+      in
+      List.iter (fun key -> end_blocked_span sim key ~outcome) blocked;
+      ignore (end_op_span sim gid ~outcome);
+      Sink.end_span sim.obs.Obs.sink ~attrs:[ ("outcome", outcome) ] span
+  | None -> ()
+
+let note_prepared sim sid gid =
+  if sim.obs.Obs.live then Hashtbl.replace sim.prepared_at (sid, gid) sim.clock
+
+(* The coordinator's verdict reached a prepared participant: the in-doubt
+   window at this site closes. *)
+let resolve_prepared sim sid gid =
+  match Hashtbl.find_opt sim.prepared_at (sid, gid) with
+  | Some t0 ->
+      Hashtbl.remove sim.prepared_at (sid, gid);
+      Metrics.observe sim.m_in_doubt (sim.clock -. t0)
+  | None -> ()
 
 let service sim = Rng.exponential sim.rng (1.0 /. sim.config.service_ms)
 
@@ -167,7 +269,17 @@ let service_at sim sid =
 let log_decided sim gid d =
   if not (Hashtbl.mem sim.decided gid) then begin
     Hashtbl.replace sim.decided gid d;
-    Gtm_log.append sim.gtm_log (Gtm_log.Decided (gid, d))
+    Gtm_log.append sim.gtm_log (Gtm_log.Decided (gid, d));
+    if tracing sim then
+      Sink.instant sim.obs.Obs.sink
+        ~track:(Sink.txn_track sim.obs.Obs.sink gid)
+        ~attrs:
+          [
+            ( "decision",
+              match d with Gtm_log.Commit -> "commit" | Gtm_log.Abort -> "abort"
+            );
+          ]
+        "2pc.decision"
   end
 
 let commit_decided sim gid =
@@ -192,10 +304,14 @@ let send_link sim ~extra event =
     let link = sim.config.faults.Fault.link in
     let dropped = flip sim link.Fault.drop in
     let dup = flip sim link.Fault.duplicate in
-    if dropped then sim.msg_drops <- sim.msg_drops + 1
+    if dropped then begin
+      sim.msg_drops <- sim.msg_drops + 1;
+      Sink.instant sim.obs.Obs.sink ~track:sim.net_track "msg.drop"
+    end
     else schedule sim (extra +. link_delay sim) event;
     if dup then begin
       sim.msg_dups <- sim.msg_dups + 1;
+      Sink.instant sim.obs.Obs.sink ~track:sim.net_track "msg.dup";
       schedule sim (extra +. link_delay sim) event
     end
   end
@@ -242,6 +358,7 @@ let mark_dead sim gid reason ~aborting_site =
     && not (commit_decided sim gid)
   then begin
     Gtm1.mark_dead sim.gtm1 gid;
+    count_abort sim reason;
     log_decided sim gid Gtm_log.Abort;
     Hashtbl.replace sim.death_reason gid reason;
     (match aborting_site with
@@ -271,7 +388,11 @@ let gtm_accept_ack sim gid pc sid kind failure =
     | None -> ());
     match kind with
     | Ser_op -> Engine.enqueue sim.engine (Queue_op.Ack (gid, sid))
-    | Direct_op -> if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid
+    | Direct_op ->
+        ignore
+          (end_op_span sim gid
+             ~outcome:(match failure with None -> "acked" | Some r -> r));
+        if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid
   end
 
 (* Process completions that a site event may have unblocked. *)
@@ -282,6 +403,7 @@ let drain_site sim sid =
       match Hashtbl.find_opt sim.pending_global (sid, tid) with
       | Some (kind, pc, _) ->
           Hashtbl.remove sim.pending_global (sid, tid);
+          end_blocked_span sim (sid, tid) ~outcome:"completed";
           if sim.faults_enabled then Hashtbl.replace sim.dedup (sid, tid, pc) None;
           (match kind with
           | Ser_op -> Ser_schedule.record sim.ser_log sid tid
@@ -320,8 +442,13 @@ let rec drive sim =
               ~attempt:0
           end
       | Scheme.Forward_ack (gid, _) ->
+          (match end_op_span sim gid ~outcome:"acked" with
+          | Some t0 when sim.obs.Obs.live ->
+              Metrics.observe sim.m_ser_latency (sim.clock -. t0)
+          | Some _ | None -> ());
           if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid
       | Scheme.Abort_global gid ->
+          ignore (end_op_span sim gid ~outcome:"gtm2-abort");
           mark_dead sim gid "gtm2-abort" ~aborting_site:None;
           if Gtm1.is_known sim.gtm1 gid then Gtm1.on_ack sim.gtm1 gid)
     effects;
@@ -334,6 +461,16 @@ let rec drive sim =
       | Gtm1.Dispatch_ser sid ->
           Gtm_log.append sim.gtm_log (Gtm_log.Dispatched (gid, Gtm1.pc sim.gtm1 gid));
           Gtm1.note_dispatched sim.gtm1 gid;
+          (if sim.obs.Obs.live then
+             let span =
+               if tracing sim then
+                 Sink.begin_span sim.obs.Obs.sink
+                   ~track:(Sink.txn_track sim.obs.Obs.sink gid)
+                   ~attrs:[ ("site", string_of_int sid) ]
+                   "ser"
+               else 0
+             in
+             Hashtbl.replace sim.op_spans gid (span, sim.clock));
           Engine.enqueue sim.engine (Queue_op.Ser (gid, sid));
           dispatched := true
       | Gtm1.Dispatch_direct step ->
@@ -342,6 +479,20 @@ let rec drive sim =
           if step.Gtm1.action = Op.Commit && not (Gtm1.is_dead sim.gtm1 gid) then
             log_decided sim gid Gtm_log.Commit;
           Gtm1.note_dispatched sim.gtm1 gid;
+          (if sim.obs.Obs.live then
+             let span =
+               if tracing sim then
+                 Sink.begin_span sim.obs.Obs.sink
+                   ~track:(Sink.txn_track sim.obs.Obs.sink gid)
+                   ~attrs:
+                     [
+                       ("action", Op.action_to_string step.Gtm1.action);
+                       ("site", string_of_int step.Gtm1.site);
+                     ]
+                   "op"
+               else 0
+             in
+             Hashtbl.replace sim.op_spans gid (span, sim.clock));
           send_to_site sim step.Gtm1.site gid pc step.Gtm1.action Direct_op
             ~attempt:0;
           dispatched := true)
@@ -355,9 +506,15 @@ and finish_global sim gid =
     Engine.enqueue sim.engine (Queue_op.Fin gid);
     let started = Hashtbl.find sim.started gid in
     (if Gtm1.is_dead sim.gtm1 gid then begin
+       let reason =
+         match Hashtbl.find_opt sim.death_reason gid with
+         | Some r -> r
+         | None -> "aborted"
+       in
        let txn, budget = Hashtbl.find sim.budgets gid in
        if budget > 0 then begin
          sim.restarts <- sim.restarts + 1;
+         end_txn_span sim gid ~outcome:("restart:" ^ reason);
          let clone = { txn with Txn.id = Types.fresh_tid () } in
          (* Back off a little before retrying. *)
          schedule sim (2.0 *. sim.config.latency_ms)
@@ -365,7 +522,8 @@ and finish_global sim gid =
        end
        else begin
          sim.failed_global <- sim.failed_global + 1;
-         sim.live_globals <- sim.live_globals - 1
+         sim.live_globals <- sim.live_globals - 1;
+         end_txn_span sim gid ~outcome:("failed:" ^ reason)
        end
      end
      else begin
@@ -373,7 +531,10 @@ and finish_global sim gid =
        sim.committed_global <- sim.committed_global + 1;
        sim.live_globals <- sim.live_globals - 1;
        sim.last_commit <- sim.clock;
-       sim.responses <- (sim.clock -. started) :: sim.responses
+       sim.responses <- (sim.clock -. started) :: sim.responses;
+       if sim.obs.Obs.live then
+         Metrics.observe sim.m_response (sim.clock -. started);
+       end_txn_span sim gid ~outcome:"committed"
      end);
     Gtm_log.append sim.gtm_log (Gtm_log.Finished gid);
     Hashtbl.remove sim.budgets gid;
@@ -395,6 +556,17 @@ let admit_global sim txn budget started =
   sim.global_attempts <- txn :: sim.global_attempts;
   Hashtbl.replace sim.started txn.Txn.id started;
   Hashtbl.replace sim.budgets txn.Txn.id (txn, budget);
+  if tracing sim then
+    Hashtbl.replace sim.txn_spans txn.Txn.id
+      (Sink.begin_span sim.obs.Obs.sink
+         ~track:(Sink.txn_track sim.obs.Obs.sink txn.Txn.id)
+         ~attrs:
+           [
+             ( "sites",
+               String.concat "," (List.map string_of_int (Txn.sites txn)) );
+             ("budget", string_of_int budget);
+           ]
+         "txn");
   Engine.enqueue sim.engine (Queue_op.Init info)
 
 let handle_site_deliver sim sid tid pc action kind =
@@ -442,16 +614,47 @@ let handle_site_deliver sim sid tid pc action kind =
     else begin
       declare_if_needed sim tid sid action;
       match Local_dbms.submit dbms tid action with
-      | Local_dbms.Executed _ ->
+      | Local_dbms.Executed value ->
           if sim.faults_enabled then Hashtbl.replace sim.dedup (sid, tid, pc) None;
+          (match action with
+          | Op.Prepare -> note_prepared sim sid tid
+          | Op.Commit | Op.Abort -> resolve_prepared sim sid tid
+          | Op.Ticket_op ->
+              if tracing sim then
+                Sink.instant sim.obs.Obs.sink
+                  ~track:(Sink.txn_track sim.obs.Obs.sink tid)
+                  ~attrs:
+                    [
+                      ("site", string_of_int sid);
+                      ( "value",
+                        match value with Some v -> string_of_int v | None -> "?"
+                      );
+                    ]
+                  "ticket"
+          | Op.Begin | Op.Read _ | Op.Write _ -> ());
           (match kind with
           | Ser_op -> Ser_schedule.record sim.ser_log sid tid
           | Direct_op -> ());
           ack_to_gtm sim sid tid pc kind None ~extra:(service_at sim sid);
           drain_site sim sid
       | Local_dbms.Waiting ->
-          Hashtbl.replace sim.pending_global (sid, tid) (kind, pc, sim.clock)
+          Hashtbl.replace sim.pending_global (sid, tid) (kind, pc, sim.clock);
+          if tracing sim then
+            Hashtbl.replace sim.blocked_spans (sid, tid)
+              (Sink.begin_span sim.obs.Obs.sink
+                 ~track:(Sink.txn_track sim.obs.Obs.sink tid)
+                 ~attrs:
+                   [
+                     ("site", string_of_int sid);
+                     ("action", Op.action_to_string action);
+                   ]
+                 "site.blocked")
       | Local_dbms.Aborted reason ->
+          (* A rejected ticket operation is the scheme's serialization
+             conflict — classify it apart from ordinary data conflicts. *)
+          let reason =
+            if action = Op.Ticket_op then "ticket:" ^ reason else reason
+          in
           if sim.faults_enabled then
             Hashtbl.replace sim.dedup (sid, tid, pc) (Some reason);
           ack_to_gtm sim sid tid pc kind (Some reason) ~extra:0.0;
@@ -497,7 +700,14 @@ let deadlock_scan sim =
   | (gid, sid, kind, pc) :: _ ->
       sim.forced_aborts <- sim.forced_aborts + 1;
       Hashtbl.remove sim.pending_global (sid, gid);
+      end_blocked_span sim (sid, gid) ~outcome:"deadlock-timeout";
+      if tracing sim then
+        Sink.instant sim.obs.Obs.sink
+          ~track:(Sink.txn_track sim.obs.Obs.sink gid)
+          ~attrs:[ ("site", string_of_int sid) ]
+          "deadlock.kill";
       ignore (Local_dbms.submit (site sim sid) gid Op.Abort);
+      resolve_prepared sim sid gid;
       mark_dead sim gid "global-deadlock" ~aborting_site:(Some sid);
       gtm_accept_ack sim gid pc sid kind None;
       drain_site sim sid
@@ -523,7 +733,11 @@ let apply_site_crash sim sid =
       (fun ((s, _) as key) _ acc -> if s = sid then key :: acc else acc)
       sim.pending_global []
   in
-  List.iter (Hashtbl.remove sim.pending_global) blocked;
+  List.iter
+    (fun key ->
+      Hashtbl.remove sim.pending_global key;
+      end_blocked_span sim key ~outcome:"site-crash")
+    blocked;
   (* Local transactions active here died with the site. *)
   let dead_locals =
     Hashtbl.fold
@@ -565,14 +779,27 @@ let apply_site_crash sim sid =
 let apply_gtm_crash sim =
   sim.gtm_recoveries <- sim.gtm_recoveries + 1;
   sim.ser_waits <- sim.ser_waits + Engine.ser_wait_insertions sim.engine;
-  sim.engine <- Engine.create (sim.make_scheme ());
+  (* Close the dying incarnation's open wait spans before the engine is
+     replaced; they are the deepest frames on their transactions' tracks. *)
+  Engine.close_open_spans sim.engine ~reason:"gtm-crash";
+  sim.engine <- Engine.create ~obs:sim.obs (sim.make_scheme ());
   sim.gtm1 <- Gtm1.create ();
   Hashtbl.reset sim.outstanding;
+  let entries = Gtm_log.analyze sim.gtm_log in
+  if tracing sim then
+    Sink.instant sim.obs.Obs.sink ~track:sim.gtm_track
+      ~attrs:[ ("unfinished", string_of_int (List.length entries)) ]
+      "gtm.crash";
   List.iter
     (fun (entry : Gtm_log.entry) ->
       let gid = entry.Gtm_log.txn.Txn.id in
       let sids = Txn.sites entry.Gtm_log.txn in
       sim.in_doubt_resolved <- sim.in_doubt_resolved + 1;
+      end_txn_span sim gid
+        ~outcome:
+          (match entry.Gtm_log.decision with
+          | Some Gtm_log.Commit -> "recovered-commit"
+          | Some Gtm_log.Abort | None -> "recovered-abort");
       (match entry.Gtm_log.decision with
       | Some Gtm_log.Commit ->
           List.iter
@@ -585,8 +812,12 @@ let apply_gtm_crash sim =
           | Some started -> sim.responses <- (sim.clock -. started) :: sim.responses
           | None -> ())
       | Some Gtm_log.Abort | None ->
-          if entry.Gtm_log.decision = None then
+          (* A logged Abort was already counted when it was decided; only
+             the presumed aborts are new. *)
+          if entry.Gtm_log.decision = None then begin
             Gtm_log.append sim.gtm_log (Gtm_log.Decided (gid, Gtm_log.Abort));
+            count_abort sim "gtm-crash"
+          end;
           List.iter
             (fun sid -> schedule sim sim.config.latency_ms (Site_abort (sid, gid)))
             sids;
@@ -596,7 +827,7 @@ let apply_gtm_crash sim =
           sim.live_globals <- sim.live_globals - 1);
       Hashtbl.remove sim.budgets gid;
       Gtm_log.append sim.gtm_log (Gtm_log.Finished gid))
-    (Gtm_log.analyze sim.gtm_log)
+    entries
 
 let apply_fault sim = function
   | Fault.Site_crash sid -> apply_site_crash sim sid
@@ -621,8 +852,10 @@ let handle_event sim event =
       handle_site_deliver sim sid tid pc action kind
   | Site_abort (sid, gid) ->
       Hashtbl.remove sim.pending_global (sid, gid);
+      end_blocked_span sim (sid, gid) ~outcome:"aborted";
       if (not sim.faults_enabled) || Local_dbms.is_active (site sim sid) gid then
         ignore (Local_dbms.submit (site sim sid) gid Op.Abort);
+      resolve_prepared sim sid gid;
       drain_site sim sid
   | Local_step (sid, tid, actions) ->
       if not (Hashtbl.mem sim.dead_local tid) then
@@ -660,6 +893,15 @@ let handle_event sim event =
         end
         else begin
           sim.retries <- sim.retries + 1;
+          if tracing sim then
+            Sink.instant sim.obs.Obs.sink
+              ~track:(Sink.txn_track sim.obs.Obs.sink gid)
+              ~attrs:
+                [
+                  ("attempt", string_of_int (attempt + 1));
+                  ("site", string_of_int step.Gtm1.site);
+                ]
+              "retry";
           send_to_site sim step.Gtm1.site gid pc step.Gtm1.action kind
             ~attempt:(attempt + 1)
         end
@@ -668,7 +910,49 @@ let handle_event sim event =
       let dbms = site sim sid in
       if Local_dbms.is_active dbms gid then
         ignore (Local_dbms.submit dbms gid Op.Commit);
+      resolve_prepared sim sid gid;
       drain_site sim sid
+
+(* Single source for the result's scalar fields: the JSON export and the
+   metrics snapshot both read this list, so they cannot drift. *)
+let result_fields r =
+  [
+    ("scheme", Json.Str r.scheme_name);
+    ("committed_global", Json.Int r.committed_global);
+    ("failed_global", Json.Int r.failed_global);
+    ("restarts", Json.Int r.restarts);
+    ("committed_local", Json.Int r.committed_local);
+    ("aborted_local", Json.Int r.aborted_local);
+    ("forced_aborts", Json.Int r.forced_aborts);
+    ("ser_waits", Json.Int r.ser_waits);
+    ("makespan_ms", Json.Float r.makespan_ms);
+    ("throughput_per_s", Json.Float r.throughput_per_s);
+    ("mean_response_ms", Json.Float r.mean_response_ms);
+    ("p95_response_ms", Json.Float r.p95_response_ms);
+    ("serializable", Json.Bool r.serializable);
+    ("ser_s_serializable", Json.Bool r.ser_s_serializable);
+    ("races", Json.Int r.races);
+    ("site_crashes", Json.Int r.site_crashes);
+    ("gtm_recoveries", Json.Int r.gtm_recoveries);
+    ("msg_drops", Json.Int r.msg_drops);
+    ("msg_dups", Json.Int r.msg_dups);
+    ("retries", Json.Int r.retries);
+    ("in_doubt_resolved", Json.Int r.in_doubt_resolved);
+  ]
+
+(* Mirror the end-of-run result into the metrics registry: Int fields become
+   [des_<field>] counters, Float/Bool fields gauges. *)
+let publish_result_metrics metrics r =
+  List.iter
+    (fun (name, v) ->
+      let name = "des_" ^ name in
+      match v with
+      | Json.Int n -> Metrics.inc ~by:n (Metrics.counter metrics name)
+      | Json.Float f -> Metrics.set (Metrics.gauge metrics name) f
+      | Json.Bool b ->
+          Metrics.set (Metrics.gauge metrics name) (if b then 1.0 else 0.0)
+      | _ -> ())
+    (result_fields r)
 
 let run_scheme config make_scheme =
   let faults_enabled = not (Fault.is_none config.faults) in
@@ -682,10 +966,11 @@ let run_scheme config make_scheme =
   List.iter (fun s -> Hashtbl.replace site_tbl (Local_dbms.site_id s) s) sites;
   let first_scheme = make_scheme () in
   let scheme_name = first_scheme.Scheme.name in
+  let obs = config.obs in
   let sim =
     {
       config;
-      engine = Engine.create first_scheme;
+      engine = Engine.create ~obs first_scheme;
       gtm1 = Gtm1.create ();
       make_scheme;
       gtm_log = Gtm_log.create ();
@@ -730,8 +1015,23 @@ let run_scheme config make_scheme =
       msg_dups = 0;
       retries = 0;
       in_doubt_resolved = 0;
+      obs;
+      txn_spans = Hashtbl.create 64;
+      op_spans = Hashtbl.create 32;
+      blocked_spans = Hashtbl.create 32;
+      prepared_at = Hashtbl.create 32;
+      m_abort_causes = Hashtbl.create 8;
+      m_ser_latency = Metrics.histogram obs.Obs.metrics "des_ser_latency_ms";
+      m_response = Metrics.histogram obs.Obs.metrics "des_response_ms";
+      m_in_doubt = Metrics.histogram obs.Obs.metrics "des_in_doubt_ms";
+      net_track = Sink.track obs.Obs.sink "net";
+      gtm_track = Sink.track obs.Obs.sink "gtm";
     }
   in
+  (* Span/metric timestamps are simulated time, read live off the clock. *)
+  Obs.set_clock obs (fun () -> sim.clock);
+  if obs.Obs.live then
+    List.iter (fun dbms -> Local_dbms.attach_obs dbms obs) sites;
   (* Arrival processes. *)
   let t = ref 0.0 in
   for _ = 1 to config.n_global do
@@ -771,6 +1071,17 @@ let run_scheme config make_scheme =
         handle_event sim event;
         drive sim
   done;
+  (* Close anything still open so exported traces are well-formed: the
+     engine's wait spans are deepest, then each surviving transaction's
+     blocked/op/txn spans (end_txn_span keeps the LIFO order), then any
+     orphans. *)
+  if sim.obs.Obs.live then begin
+    Engine.close_open_spans sim.engine ~reason:"end-of-run";
+    let keys tbl = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) tbl []) in
+    List.iter (fun g -> end_txn_span sim g ~outcome:"end-of-run") (keys sim.txn_spans);
+    List.iter (fun k -> end_blocked_span sim k ~outcome:"end-of-run") (keys sim.blocked_spans);
+    List.iter (fun g -> ignore (end_op_span sim g ~outcome:"end-of-run")) (keys sim.op_spans)
+  end;
   let schedules = List.map Local_dbms.schedule sites in
   let responses = sim.responses in
   let attempts = List.rev sim.global_attempts in
@@ -814,7 +1125,8 @@ let run_scheme config make_scheme =
       in_doubt_resolved = sim.in_doubt_resolved;
     }
   in
-  { result; trace; sites; attempts }
+  if sim.obs.Obs.live then publish_result_metrics sim.obs.Obs.metrics result;
+  { result; trace; sites; attempts; obs = sim.obs }
 
 let run config scheme =
   if List.exists (fun (_, f) -> f = Fault.Gtm_crash) config.faults.Fault.events
@@ -848,28 +1160,4 @@ let pp_result ppf r =
       r.site_crashes r.gtm_recoveries r.msg_drops r.msg_dups r.retries
       r.in_doubt_resolved
 
-let result_to_json r =
-  Json.Obj
-    [
-      ("scheme", Json.Str r.scheme_name);
-      ("committed_global", Json.Int r.committed_global);
-      ("failed_global", Json.Int r.failed_global);
-      ("restarts", Json.Int r.restarts);
-      ("committed_local", Json.Int r.committed_local);
-      ("aborted_local", Json.Int r.aborted_local);
-      ("forced_aborts", Json.Int r.forced_aborts);
-      ("ser_waits", Json.Int r.ser_waits);
-      ("makespan_ms", Json.Float r.makespan_ms);
-      ("throughput_per_s", Json.Float r.throughput_per_s);
-      ("mean_response_ms", Json.Float r.mean_response_ms);
-      ("p95_response_ms", Json.Float r.p95_response_ms);
-      ("serializable", Json.Bool r.serializable);
-      ("ser_s_serializable", Json.Bool r.ser_s_serializable);
-      ("races", Json.Int r.races);
-      ("site_crashes", Json.Int r.site_crashes);
-      ("gtm_recoveries", Json.Int r.gtm_recoveries);
-      ("msg_drops", Json.Int r.msg_drops);
-      ("msg_dups", Json.Int r.msg_dups);
-      ("retries", Json.Int r.retries);
-      ("in_doubt_resolved", Json.Int r.in_doubt_resolved);
-    ]
+let result_to_json r = Json.Obj (result_fields r)

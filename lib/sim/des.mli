@@ -53,6 +53,13 @@ type config = {
   max_retries : int;
       (** Retries before an undecided transaction is presumed lost and
           aborted (fault mode only). *)
+  obs : Mdbs_obs.Obs.t;
+      (** Observability bundle. With the default {!Mdbs_obs.Obs.disabled}
+          the run traces nothing and allocates nothing for it; pass
+          {!Mdbs_obs.Obs.create} to collect spans (sim-time timestamps,
+          exportable as a Chrome [trace_event] file), pipeline metrics and
+          profiles. The bundle outlives the run — snapshot or export it
+          afterwards. *)
 }
 
 val default : config
@@ -98,6 +105,9 @@ type run = {
   sites : Mdbs_site.Local_dbms.t list;
       (** The final sites: schedules, storage, WAL — for end-state checks. *)
   attempts : Txn.t list;  (** Global transaction attempts, admission order. *)
+  obs : Mdbs_obs.Obs.t;
+      (** The config's bundle, filled by the run (same value; repeated here
+          so callers of {!run_full} need not keep the config around). *)
 }
 
 val run : config -> Mdbs_core.Scheme.t -> result

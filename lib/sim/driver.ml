@@ -3,6 +3,7 @@ module Rng = Mdbs_util.Rng
 module Gtm = Mdbs_core.Gtm
 module Engine = Mdbs_core.Engine
 module Registry = Mdbs_core.Registry
+module Obs = Mdbs_obs.Obs
 
 type config = {
   workload : Workload.config;
@@ -70,7 +71,7 @@ let capture_trace gtm attempts =
   Mdbs_analysis.Trace.of_schedules ~protocols ~globals ~ser_events
     (List.map Mdbs_site.Local_dbms.schedule dbmss)
 
-let run_traced ?remake config scheme =
+let run_traced ?(obs = Obs.disabled) ?remake config scheme =
   let faults_enabled = not (Fault.is_none config.faults) in
   (if
      remake = None
@@ -86,7 +87,11 @@ let run_traced ?remake config scheme =
   in
   let rng = Rng.create config.seed in
   let sites = Workload.make_sites workload in
-  let gtm = ref (Gtm.create ~atomic_commit:config.atomic_commit ~scheme ~sites ()) in
+  if obs.Obs.live then
+    List.iter (fun dbms -> Mdbs_site.Local_dbms.attach_obs dbms obs) sites;
+  let gtm =
+    ref (Gtm.create ~obs ~atomic_commit:config.atomic_commit ~scheme ~sites ())
+  in
   let globals = Workload.global_txns rng workload config.n_global in
   let committed_global = ref 0 in
   let failed_global = ref 0 in
@@ -105,6 +110,9 @@ let run_traced ?remake config scheme =
      the pump — so a GTM crash catches the wave's transactions admitted but
      undecided, and recovery must presume-abort them. *)
   let wave_index = ref 0 in
+  (* Logical mode has no clock; spans and wait metrics are stamped with the
+     wave index, so a duration reads "waves spent waiting". *)
+  Obs.set_clock obs (fun () -> float_of_int !wave_index);
   let remaining_faults = ref config.faults.Fault.events in
   let apply_wave_faults () =
     let now, later =
@@ -177,6 +185,8 @@ let run_traced ?remake config scheme =
       wave_txns
   done;
   Gtm.pump !gtm;
+  if obs.Obs.live then
+    Engine.close_open_spans (Gtm.engine !gtm) ~reason:"end-of-run";
   let gtm = !gtm in
   List.iter
     (fun tid ->
@@ -229,13 +239,13 @@ let run_traced ?remake config scheme =
   in
   (result, trace, analysis)
 
-let run ?remake config scheme =
-  let result, _, _ = run_traced ?remake config scheme in
+let run ?obs ?remake config scheme =
+  let result, _, _ = run_traced ?obs ?remake config scheme in
   result
 
-let run_kind config kind =
+let run_kind ?obs config kind =
   Types.reset_tids ();
-  run ~remake:(fun () -> Registry.make kind) config (Registry.make kind)
+  run ?obs ~remake:(fun () -> Registry.make kind) config (Registry.make kind)
 
 let pp_result ppf r =
   Format.fprintf ppf

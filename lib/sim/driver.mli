@@ -59,18 +59,23 @@ type result = {
   gtm_recoveries : int;  (** GTM crash/recovery cycles. *)
 }
 
-val run : ?remake:(unit -> Mdbs_core.Scheme.t) -> config -> Mdbs_core.Scheme.t -> result
+val run :
+  ?obs:Mdbs_obs.Obs.t -> ?remake:(unit -> Mdbs_core.Scheme.t) ->
+  config -> Mdbs_core.Scheme.t -> result
 (** [~remake] supplies a fresh scheme instance for a GTM restarted after a
     crash; required (raises [Invalid_argument] otherwise) when the fault
-    plan contains GTM crashes. *)
+    plan contains GTM crashes. [~obs] wires the run into an observability
+    bundle; the logical driver has no clock, so span timestamps and wait
+    durations are {e wave indices}. *)
 
 val run_traced :
-  ?remake:(unit -> Mdbs_core.Scheme.t) -> config -> Mdbs_core.Scheme.t ->
+  ?obs:Mdbs_obs.Obs.t -> ?remake:(unit -> Mdbs_core.Scheme.t) ->
+  config -> Mdbs_core.Scheme.t ->
   result * Mdbs_analysis.Trace.t * Mdbs_analysis.Analysis.t
 (** [run] plus the captured static trace and the full analysis report —
     what the CLI's [analyze --simulate] path prints. *)
 
-val run_kind : config -> Mdbs_core.Registry.kind -> result
+val run_kind : ?obs:Mdbs_obs.Obs.t -> config -> Mdbs_core.Registry.kind -> result
 (** Fresh scheme of the given kind; resets the transaction-id supply so runs
     are comparable. *)
 

@@ -1,6 +1,9 @@
 open Mdbs_model
 module Protocol = Mdbs_lcc.Protocol
 module Cc_types = Mdbs_lcc.Cc_types
+module Obs = Mdbs_obs.Obs
+module Sink = Mdbs_obs.Sink
+module Metrics = Mdbs_obs.Metrics
 
 type outcome = Executed of int option | Waiting | Aborted of string
 
@@ -19,6 +22,10 @@ type t = {
   mutable completions : completion list; (* newest first *)
   wal : Wal.t option; (* stable storage, present when durable *)
   mutable in_doubt : Types.tid list;
+  mutable obs : Obs.t;
+  mutable m_commits : Metrics.counter;
+  mutable m_aborts : Metrics.counter;
+  mutable m_wal : Metrics.counter;
 }
 
 let create ?(protocol = Types.Two_phase_locking) ?(durable = false) site =
@@ -34,10 +41,25 @@ let create ?(protocol = Types.Two_phase_locking) ?(durable = false) site =
     completions = [];
     wal = (if durable then Some (Wal.create ()) else None);
     in_doubt = [];
+    obs = Obs.disabled;
+    m_commits = Metrics.counter Metrics.null "local_commits_total";
+    m_aborts = Metrics.counter Metrics.null "local_aborts_total";
+    m_wal = Metrics.counter Metrics.null "wal_records_total";
   }
 
+let attach_obs t obs =
+  let labels = [ ("site", string_of_int t.site) ] in
+  t.obs <- obs;
+  t.m_commits <- Metrics.counter obs.Obs.metrics ~labels "local_commits_total";
+  t.m_aborts <- Metrics.counter obs.Obs.metrics ~labels "local_aborts_total";
+  t.m_wal <- Metrics.counter obs.Obs.metrics ~labels "wal_records_total"
+
 let log t record =
-  match t.wal with Some wal -> Wal.append wal record | None -> ()
+  match t.wal with
+  | Some wal ->
+      Wal.append wal record;
+      Metrics.inc t.m_wal
+  | None -> ()
 
 let site_id t = t.site
 
@@ -125,11 +147,13 @@ let forget t tid =
 
 let do_abort t tid reason =
   let unblocked = Protocol.abort t.protocol tid in
+  Metrics.inc t.m_aborts;
   (* Log the undo as compensation writes so recovery is pure redo for
      everything except crash-time losers. *)
   (match t.wal with
   | None -> ()
   | Some wal ->
+      let undo = Storage.undo_log t.storage tid in
       let current = Hashtbl.create 4 in
       List.iter
         (fun (item, before) ->
@@ -140,8 +164,9 @@ let do_abort t tid reason =
           in
           Wal.append wal (Wal.Write (tid, item, now, before));
           Hashtbl.replace current item before)
-        (Storage.undo_log t.storage tid);
-      Wal.append wal (Wal.Aborted tid));
+        undo;
+      Wal.append wal (Wal.Aborted tid);
+      Metrics.inc ~by:(List.length undo + 1) t.m_wal);
   Storage.undo_txn t.storage tid;
   forget t tid;
   Schedule.record t.sched tid Op.Abort;
@@ -211,6 +236,7 @@ let submit t tid action =
           Storage.commit_txn t.storage tid;
           forget t tid;
           log t (Wal.Committed tid);
+          Metrics.inc t.m_commits;
           Schedule.record t.sched tid Op.Commit;
           process_unblocked t unblocked;
           Executed None
@@ -256,6 +282,7 @@ let crash t =
          — never re-undoes these transactions over later writes. *)
       Mdbs_util.Iset.iter
         (fun tid ->
+          let undo = Wal.undo_entries wal tid in
           let current = Hashtbl.create 4 in
           List.iter
             (fun (item, before) ->
@@ -266,9 +293,21 @@ let crash t =
               in
               Wal.append wal (Wal.Write (tid, item, now, before));
               Hashtbl.replace current item before)
-            (Wal.undo_entries wal tid);
-          Wal.append wal (Wal.Aborted tid))
+            undo;
+          Wal.append wal (Wal.Aborted tid);
+          Metrics.inc ~by:(List.length undo + 1) t.m_wal)
         analysis.Wal.losers;
+      if Sink.enabled t.obs.Obs.sink then
+        Sink.instant t.obs.Obs.sink
+          ~track:(Sink.site_track t.obs.Obs.sink t.site)
+          ~attrs:
+            [
+              ( "in_doubt",
+                string_of_int (Mdbs_util.Iset.cardinal analysis.Wal.in_doubt) );
+              ( "losers",
+                string_of_int (Mdbs_util.Iset.cardinal analysis.Wal.losers) );
+            ]
+          "site.crash";
       Hashtbl.reset t.pending;
       Hashtbl.reset t.buffered;
       Hashtbl.reset t.active;

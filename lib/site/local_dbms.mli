@@ -33,6 +33,13 @@ val create : ?protocol:Types.protocol_kind -> ?durable:bool -> Types.sid -> t
     [~durable:true] attaches a write-ahead log ({!Wal}), enabling
     {!crash}. *)
 
+val attach_obs : t -> Mdbs_obs.Obs.t -> unit
+(** Wire the site into an observability bundle: per-site
+    [local_commits_total] / [local_aborts_total] / [wal_records_total]
+    counters, and a ["site.crash"] instant (with in-doubt and loser counts)
+    on the site's track at every {!crash}. Defaults to
+    {!Mdbs_obs.Obs.disabled}. *)
+
 val site_id : t -> Types.sid
 
 val protocol_kind : t -> Types.protocol_kind

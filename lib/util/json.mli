@@ -1,0 +1,19 @@
+(** A minimal JSON document tree and printer.
+
+    The analysis pass emits certificates, counterexamples and diagnostics in
+    a machine-readable form; this module is the (dependency-free) encoder.
+    Output is deterministic: object fields print in the order given. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printed with two-space indentation. *)
+
+val to_string : t -> string

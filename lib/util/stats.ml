@@ -40,6 +40,93 @@ let percentile xs p =
       in
       List.nth sorted (rank - 1)
 
+type histogram = {
+  bounds : float array;
+  counts : int array; (* counts.(i) <= bounds.(i); last slot is overflow *)
+  mutable total : int;
+  mutable sum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+let histogram bounds =
+  if Array.length bounds = 0 then invalid_arg "Stats.histogram: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Stats.histogram: bounds not strictly increasing")
+    bounds;
+  {
+    bounds = Array.copy bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    total = 0;
+    sum = 0.0;
+    hmin = infinity;
+    hmax = neg_infinity;
+  }
+
+(* Exponential default: 1 ms .. ~8 s in x2 steps, good for wait/latency
+   distributions at the simulator's millisecond scale. *)
+let default_bounds = Array.init 14 (fun i -> 2.0 ** float_of_int (i - 1))
+
+let observe h x =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || x <= h.bounds.(i) then i else slot (i + 1) in
+  h.counts.(slot 0) <- h.counts.(slot 0) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. x;
+  if x < h.hmin then h.hmin <- x;
+  if x > h.hmax then h.hmax <- x
+
+let hist_count h = h.total
+
+let hist_sum h = h.sum
+
+let hist_mean h = if h.total = 0 then 0.0 else h.sum /. float_of_int h.total
+
+let hist_max h = if h.total = 0 then 0.0 else h.hmax
+
+let hist_buckets h =
+  Array.to_list (Array.mapi (fun i b -> (b, h.counts.(i))) h.bounds)
+  @ [ (infinity, h.counts.(Array.length h.bounds)) ]
+
+let hist_merge a b =
+  if a.bounds <> b.bounds then invalid_arg "Stats.hist_merge: bucket mismatch";
+  let merged = histogram a.bounds in
+  Array.iteri (fun i c -> merged.counts.(i) <- c + b.counts.(i)) a.counts;
+  merged.total <- a.total + b.total;
+  merged.sum <- a.sum +. b.sum;
+  merged.hmin <- min a.hmin b.hmin;
+  merged.hmax <- max a.hmax b.hmax;
+  merged
+
+(* Nearest-rank over the cumulative bucket counts: the reported quantile is
+   the upper bound of the bucket containing the rank-th observation — an
+   overestimate by at most one bucket width. The overflow bucket reports the
+   maximum observed value. *)
+let hist_percentile h p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.hist_percentile: p out of range";
+  if h.total = 0 then 0.0
+  else begin
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int h.total)) |> max 1
+    in
+    let n = Array.length h.bounds in
+    let rec find i acc =
+      if i >= n then h.hmax
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= rank then h.bounds.(i) else find (i + 1) acc
+    in
+    find 0 0
+  end
+
+let hist_p50 h = hist_percentile h 50.0
+
+let hist_p95 h = hist_percentile h 95.0
+
+let hist_p99 h = hist_percentile h 99.0
+
 let linear_fit points =
   if List.length points < 2 then invalid_arg "Stats.linear_fit: need >= 2 points";
   let n = float_of_int (List.length points) in

@@ -20,6 +20,53 @@ val percentile : float list -> float -> float
 (** [percentile xs p] with [p] in [\[0, 100\]]; nearest-rank on the sorted
     sample. Raises [Invalid_argument] on the empty list. *)
 
+(** {1 Fixed-bucket histograms}
+
+    Constant-space summaries for streaming observations (queue waits,
+    latencies): a strictly increasing array of bucket upper bounds plus an
+    overflow slot. Quantiles are nearest-rank over the cumulative counts —
+    an overestimate by at most one bucket width (exact for the overflow
+    bucket, which reports the observed maximum). *)
+
+type histogram
+
+val histogram : float array -> histogram
+(** [histogram bounds] with strictly increasing bucket upper bounds. Raises
+    [Invalid_argument] on an empty or unsorted array. *)
+
+val default_bounds : float array
+(** Exponential bounds 0.5, 1, 2 ... ~4096 (ms-scale latencies). *)
+
+val observe : histogram -> float -> unit
+(** O(#buckets), allocation-free. *)
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> float
+
+val hist_mean : histogram -> float
+
+val hist_max : histogram -> float
+(** Largest observed value; [0.0] when empty. *)
+
+val hist_buckets : histogram -> (float * int) list
+(** [(upper_bound, count)] pairs, ending with the [(infinity, n)] overflow
+    slot. *)
+
+val hist_merge : histogram -> histogram -> histogram
+(** Sum of two histograms with identical bounds (fresh result). Raises
+    [Invalid_argument] on a bucket mismatch. *)
+
+val hist_percentile : histogram -> float -> float
+(** [hist_percentile h p] with [p] in [\[0, 100\]]: upper bound of the
+    bucket holding the nearest-rank observation; [0.0] when empty. *)
+
+val hist_p50 : histogram -> float
+
+val hist_p95 : histogram -> float
+
+val hist_p99 : histogram -> float
+
 val linear_fit : (float * float) list -> float * float
 (** [linear_fit points] returns [(slope, intercept)] of the least-squares
     line. Raises [Invalid_argument] with fewer than two points. *)

@@ -1,0 +1,24 @@
+(* Golden trace: a small deterministic two-phase-commit run exported as
+   Chrome trace_event JSON. dune diffs the output against
+   golden/obs_trace.json; regenerate with `dune promote` after an
+   intentional instrumentation change. *)
+
+module Obs = Mdbs_obs.Obs
+module Des = Mdbs_sim.Des
+module Workload = Mdbs_sim.Workload
+
+let () =
+  let obs = Obs.create ~metrics:false () in
+  let config =
+    {
+      Des.default with
+      n_global = 4;
+      locals_per_site = 1;
+      seed = 5;
+      atomic_commit = true;
+      obs;
+      workload = { Workload.default with Workload.m = 2; data_per_site = 8 };
+    }
+  in
+  ignore (Des.run_full config Mdbs_core.Registry.S3);
+  print_string (Mdbs_obs.Trace_event.to_string obs.Obs.sink)

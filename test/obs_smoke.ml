@@ -1,0 +1,68 @@
+(* Observability smoke: run every scheme through a seeded, faulted,
+   two-phase-commit simulation with full tracing, and fail the build if any
+   trace is structurally ill-formed (Sink.check), if a committed transaction
+   lacks a committed txn span, or if the metrics mirror disagrees with the
+   run result. Run from the @obs-smoke alias (hooked into dune runtest). *)
+
+module Obs = Mdbs_obs.Obs
+module Sink = Mdbs_obs.Sink
+module Metrics = Mdbs_obs.Metrics
+module Des = Mdbs_sim.Des
+module Fault = Mdbs_sim.Fault
+module Workload = Mdbs_sim.Workload
+module Registry = Mdbs_core.Registry
+
+let config ~seed ~faults =
+  {
+    Des.default with
+    n_global = 24;
+    locals_per_site = 3;
+    seed;
+    atomic_commit = true;
+    faults;
+    workload = { Workload.default with Workload.m = 3; data_per_site = 16 };
+  }
+
+let mix =
+  match Fault.parse_mix "crash=1,gtm=1,drop=0.05,dup=0.03,slow=1:4" with
+  | Ok mix -> mix
+  | Error msg -> failwith msg
+
+let () =
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> incr failures; print_endline ("  FAIL " ^ m)) fmt in
+  let spans = ref 0 in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun seed ->
+          let name = Printf.sprintf "%s seed %d" (Registry.name kind) seed in
+          let obs = Obs.create () in
+          let faults = Fault.realize mix ~seed ~m:3 ~horizon:600.0 in
+          let run = Des.run_full { (config ~seed ~faults) with Des.obs } kind in
+          spans := !spans + Sink.span_count obs.Obs.sink;
+          List.iter (fun e -> fail "%s: %s" name e) (Sink.check obs.Obs.sink);
+          let committed_spans =
+            List.length
+              (List.filter
+                 (fun (sp : Sink.span) ->
+                   sp.Sink.name = "txn"
+                   &&
+                   match List.assoc_opt "outcome" sp.Sink.attrs with
+                   | Some ("committed" | "recovered-commit") -> true
+                   | _ -> false)
+                 (Sink.spans obs.Obs.sink))
+          in
+          if committed_spans <> run.Des.result.Des.committed_global then
+            fail "%s: %d committed but %d committed txn spans" name
+              run.Des.result.Des.committed_global committed_spans;
+          let snap = Metrics.snapshot obs.Obs.metrics in
+          if
+            Metrics.find_counter snap "des_committed_global"
+            <> Some run.Des.result.Des.committed_global
+          then fail "%s: metrics snapshot disagrees with the result" name)
+        [ 101; 115 ])
+    Registry.all;
+  Printf.printf "obs-smoke: %d faulty runs traced (%d spans), %d failures\n"
+    (2 * List.length Registry.all) !spans !failures;
+  if !failures > 0 then exit 1

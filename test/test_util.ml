@@ -297,6 +297,67 @@ let stats_percentile () =
   Alcotest.(check (float 1e-9)) "p100" 10. (Stats.percentile xs 100.);
   Alcotest.(check (float 1e-9)) "p1" 1. (Stats.percentile xs 1.)
 
+let stats_histogram_basic () =
+  let h = Stats.histogram [| 1.; 2.; 4. |] in
+  check_int "empty count" 0 (Stats.hist_count h);
+  Alcotest.(check (float 1e-9)) "empty percentile" 0. (Stats.hist_percentile h 50.);
+  Alcotest.(check (float 1e-9)) "empty max" 0. (Stats.hist_max h);
+  List.iter (Stats.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+  check_int "count" 4 (Stats.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 105. (Stats.hist_sum h);
+  Alcotest.(check (float 1e-9)) "mean" 26.25 (Stats.hist_mean h);
+  Alcotest.(check (float 1e-9)) "max" 100. (Stats.hist_max h);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "buckets"
+    [ (1., 1); (2., 1); (4., 1); (infinity, 1) ]
+    (Stats.hist_buckets h)
+
+let stats_histogram_percentiles () =
+  (* 1..100 into the default power-of-two buckets: nearest-rank quantiles
+     land on the upper bound of the bucket holding the rank-th value, and
+     the overflow slot reports the observed max. *)
+  let h = Stats.histogram Stats.default_bounds in
+  for i = 1 to 100 do
+    Stats.observe h (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "p50" 64. (Stats.hist_p50 h);
+  Alcotest.(check (float 1e-9)) "p95" 128. (Stats.hist_p95 h);
+  Alcotest.(check (float 1e-9)) "p99" 128. (Stats.hist_p99 h);
+  Alcotest.(check (float 1e-9)) "p1" 1. (Stats.hist_percentile h 1.);
+  Stats.observe h 1.0e6;
+  Alcotest.(check (float 1e-9)) "overflow p100" 1.0e6 (Stats.hist_percentile h 100.)
+
+let stats_histogram_merge () =
+  let a = Stats.histogram [| 1.; 2. |] and b = Stats.histogram [| 1.; 2. |] in
+  List.iter (Stats.observe a) [ 0.5; 1.5 ];
+  List.iter (Stats.observe b) [ 1.5; 9. ];
+  let m = Stats.hist_merge a b in
+  check_int "merged count" 4 (Stats.hist_count m);
+  Alcotest.(check (float 1e-9)) "merged sum" 12.5 (Stats.hist_sum m);
+  Alcotest.(check (float 1e-9)) "merged max" 9. (Stats.hist_max m);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "merged buckets"
+    [ (1., 1); (2., 2); (infinity, 1) ]
+    (Stats.hist_buckets m);
+  Alcotest.check_raises "bound mismatch"
+    (Invalid_argument "Stats.hist_merge: bucket mismatch") (fun () ->
+      ignore (Stats.hist_merge a (Stats.histogram [| 3. |])))
+
+let stats_histogram_qcheck =
+  QCheck.Test.make
+    ~name:"histogram percentile dominates exact nearest-rank percentile"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 80) (float_range 0.0 5000.0))
+    (fun xs ->
+      let h = Stats.histogram Stats.default_bounds in
+      List.iter (Stats.observe h) xs;
+      List.for_all
+        (fun p ->
+          (* Bucket quantiles overestimate by at most one bucket: the exact
+             nearest-rank value never exceeds the reported upper bound. *)
+          Stats.percentile xs p <= Stats.hist_percentile h p +. 1e-9)
+        [ 10.; 50.; 90.; 95.; 99.; 100. ])
+
 (* ----------------------------------------------------------------- Table *)
 
 let table_render () =
@@ -366,7 +427,12 @@ let () =
           Alcotest.test_case "fit" `Quick stats_fit;
           Alcotest.test_case "log-log" `Quick stats_log_log;
           Alcotest.test_case "percentile" `Quick stats_percentile;
-        ] );
+          Alcotest.test_case "histogram" `Quick stats_histogram_basic;
+          Alcotest.test_case "histogram-percentiles" `Quick
+            stats_histogram_percentiles;
+          Alcotest.test_case "histogram-merge" `Quick stats_histogram_merge;
+        ]
+        @ qsuite [ stats_histogram_qcheck ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick table_render;
