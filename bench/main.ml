@@ -105,6 +105,29 @@ let endtoend_bench kind =
          in
          ignore (Driver.run_kind config kind)))
 
+(* Service-runtime primitives: the two-lane mailbox is on the hot path of
+   every GTM/worker exchange, the substream derivation on every client
+   spawn. *)
+let mailbox_bench =
+  Test.make ~name:"svc mailbox put/take (cap 64)"
+    (Staged.stage (fun () ->
+         let box = Mdbs_svc.Mailbox.create ~capacity:64 () in
+         for i = 1 to 64 do
+           ignore (Mdbs_svc.Mailbox.put box i)
+         done;
+         for _ = 1 to 64 do
+           ignore (Mdbs_svc.Mailbox.take box)
+         done))
+
+let substream_bench =
+  Test.make ~name:"svc rng substream derive+draw"
+    (Staged.stage
+       (let parent = Rng.create 7 in
+        fun () ->
+          for i = 0 to 31 do
+            ignore (Rng.int64 (Rng.substream parent i))
+          done))
+
 let benchmarks () =
   let tests =
     List.concat
@@ -115,6 +138,7 @@ let benchmarks () =
         List.map wait_bench Registry.all;
         [ ec_bench 16; ec_bench 32; exact_bench 8; exact_bench 10 ];
         List.map endtoend_bench Registry.all;
+        [ mailbox_bench; substream_bench ];
       ]
   in
   Test.make_grouped ~name:"mdbs" tests

@@ -7,6 +7,8 @@
      simulate     run the end-to-end MDBS simulation under one scheme
      des          timed discrete-event simulation
      chaos        fault-injecting runs, every one certified
+     serve        open-loop parallel service runtime (OCaml 5 domains)
+     loadgen      closed-loop load generation against the service runtime
      analyze      statically certify and lint a recorded schedule *)
 
 module Registry = Mdbs_core.Registry
@@ -347,6 +349,217 @@ let chaos_cmd =
 
 (* ---------------------------------------------------------------- analyze *)
 
+(* ---------------------------------------------------------- serve/loadgen *)
+
+module Loadgen = Mdbs_svc.Loadgen
+module Serve = Mdbs_svc.Serve
+
+(* Flags shared by the two service-runtime commands. *)
+let svc_flags =
+  let sites = Arg.(value & opt int 4 & info [ "sites"; "m" ] ~docv:"M") in
+  let data =
+    Arg.(value & opt int 32 & info [ "data" ] ~docv:"K" ~doc:"Items per site.")
+  in
+  let d_av = Arg.(value & opt int 2 & info [ "dav" ] ~docv:"D") in
+  let hotspot = Arg.(value & opt int 0 & info [ "hotspot" ] ~docv:"H") in
+  let local =
+    Arg.(value & opt float 0. & info [ "local" ] ~docv:"FRAC"
+           ~doc:"Fraction of submissions that are local transactions \
+                 (bypassing the GTM).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let atomic = Arg.(value & flag & info [ "2pc" ] ~doc:"Two-phase commit.") in
+  let capacity =
+    Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N"
+           ~doc:"GTM admission-lane bound (backpressure surface).")
+  in
+  let max_active =
+    Arg.(value & opt int 64 & info [ "max-active" ] ~docv:"N"
+           ~doc:"Concurrently admitted global transactions.")
+  in
+  let stall =
+    Arg.(value & opt float 250. & info [ "stall-ms" ] ~docv:"MS"
+           ~doc:"No-progress window before the cross-site deadlock detector \
+                 kills the youngest blocked global.")
+  in
+  Term.(
+    const (fun m data d_av hotspot local seed atomic capacity max_active stall ->
+        (m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall))
+    $ sites $ data $ d_av $ hotspot $ local $ seed $ atomic $ capacity
+    $ max_active $ stall)
+
+let loadgen_config kind (m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall)
+    clients txns obs =
+  let wl =
+    { Workload.default with m; data_per_site = data; d_av; hotspot }
+  in
+  Loadgen.config ~wl ~clients ~txns_per_client:txns ~local_fraction:local
+    ~seed ~atomic_commit:atomic ~capacity ~max_active ~stall_timeout_ms:stall
+    ~obs kind
+
+let loadgen_cmd =
+  let doc =
+    "Closed-loop load generation against the parallel service runtime, \
+     certified"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Starts the real concurrent runtime — one worker domain per site, a \
+         GTM domain running admission plus the GTM2 scheduler — and drives \
+         it with $(b,--clients) closed-loop client threads. Reports \
+         committed throughput and end-to-end latency percentiles, and \
+         certifies the captured interleaving against the paper's Theorem-2 \
+         obligations (exit 1 if certification fails).";
+      `P
+        "$(b,--bench-out) sweeps schemes 0..3 over site counts 2 and 4 and \
+         writes the results as a JSON benchmark baseline.";
+    ]
+  in
+  let scheme =
+    Arg.(value & opt scheme_conv Registry.S3 & info [ "scheme" ] ~docv:"SCHEME")
+  in
+  let clients = Arg.(value & opt int 32 & info [ "clients" ] ~docv:"N") in
+  let txns =
+    Arg.(value & opt int 25 & info [ "txns" ] ~docv:"N"
+           ~doc:"Transactions per client.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let bench_out =
+    Arg.(value & opt (some string) None & info [ "bench-out" ] ~docv:"FILE"
+           ~doc:"Run the scheme x site-count grid and write a JSON baseline.")
+  in
+  let run kind svcf clients txns json bench_out obsf =
+    let obs = make_obs obsf in
+    match bench_out with
+    | Some file ->
+        let m0, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall =
+          svcf
+        in
+        ignore m0;
+        let grid =
+          List.concat_map
+            (fun k ->
+              List.map
+                (fun m ->
+                  let cfg =
+                    loadgen_config k
+                      (m, data, d_av, hotspot, local, seed, atomic, capacity,
+                       max_active, stall)
+                      clients txns Obs.disabled
+                  in
+                  Printf.eprintf "bench: %s m=%d...\n%!" (Registry.name k) m;
+                  Loadgen.run cfg)
+                [ 2; 4 ])
+            Registry.all
+        in
+        let doc =
+          Mdbs_util.Json.Obj
+            [
+              ("benchmark", Mdbs_util.Json.Str "mdbs loadgen");
+              ("clients", Mdbs_util.Json.Int clients);
+              ("txns_per_client", Mdbs_util.Json.Int txns);
+              ("seed", Mdbs_util.Json.Int seed);
+              ( "runs",
+                Mdbs_util.Json.List (List.map Loadgen.report_to_json grid) );
+            ]
+        in
+        let oc = open_out file in
+        output_string oc (Mdbs_util.Json.to_string doc);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s (%d runs, %s)\n" file (List.length grid)
+          (if List.for_all (fun r -> r.Loadgen.certified) grid then
+             "all certified"
+           else "CERTIFICATION FAILURES");
+        if not (List.for_all (fun r -> r.Loadgen.certified) grid) then exit 1
+    | None ->
+        let r = Loadgen.run (loadgen_config kind svcf clients txns obs) in
+        export_obs obsf obs;
+        if json then
+          print_endline (Mdbs_util.Json.to_string (Loadgen.report_to_json r))
+        else Format.printf "%a" Loadgen.print_report r;
+        if not r.Loadgen.certified then exit 1
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc ~man)
+    Term.(
+      const run $ scheme $ svc_flags $ clients $ txns $ json $ bench_out
+      $ obs_flags)
+
+let serve_cmd =
+  let doc = "Open-loop service mode: Poisson arrivals, admission control" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the parallel service runtime under open-loop Poisson arrivals \
+         at $(b,--rate) transactions per second for $(b,--duration) \
+         seconds. When the offered load exceeds what the scheme sustains, \
+         the bounded admission lane refuses the excess (counted as \
+         rejected) instead of queueing without bound. Progress lines show \
+         live stall attribution from the scheme's own explain hook; the \
+         final run is certified like every other.";
+    ]
+  in
+  let scheme =
+    Arg.(value & opt scheme_conv Registry.S3 & info [ "scheme" ] ~docv:"SCHEME")
+  in
+  let rate =
+    Arg.(value & opt float 200. & info [ "rate" ] ~docv:"TPS"
+           ~doc:"Offered arrival rate (Poisson).")
+  in
+  let duration =
+    Arg.(value & opt float 5. & info [ "duration" ] ~docv:"S")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress lines.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.") in
+  let run kind svcf rate duration quiet json obsf =
+    let m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall =
+      svcf
+    in
+    let wl = { Workload.default with m; data_per_site = data; d_av; hotspot } in
+    let obs = make_obs obsf in
+    let s =
+      Serve.run ~quiet
+        (Serve.config ~wl ~rate ~duration_s:duration ~local_fraction:local
+           ~seed ~atomic_commit:atomic ~capacity ~max_active
+           ~stall_timeout_ms:stall ~obs kind)
+    in
+    export_obs obsf obs;
+    let res = s.Serve.run in
+    let st = res.Mdbs_svc.Runtime.run_stats in
+    if json then
+      print_endline
+        (Mdbs_util.Json.to_string
+           (Mdbs_util.Json.Obj
+              [
+                ("scheme", Mdbs_util.Json.Str res.Mdbs_svc.Runtime.scheme_name);
+                ("offered", Mdbs_util.Json.Int s.Serve.offered);
+                ("accepted", Mdbs_util.Json.Int s.Serve.accepted);
+                ("rejected", Mdbs_util.Json.Int s.Serve.rejected);
+                ("committed", Mdbs_util.Json.Int st.Mdbs_svc.Runtime.committed);
+                ("aborted", Mdbs_util.Json.Int st.Mdbs_svc.Runtime.aborted);
+                ( "force_aborts",
+                  Mdbs_util.Json.Int st.Mdbs_svc.Runtime.force_aborts );
+                ( "certified",
+                  Mdbs_util.Json.Bool res.Mdbs_svc.Runtime.certified );
+              ]))
+    else
+      Printf.printf
+        "scheme %s: offered %d, accepted %d, rejected %d; committed %d, \
+         aborted %d (%d forced); certified %s\n"
+        res.Mdbs_svc.Runtime.scheme_name s.Serve.offered s.Serve.accepted
+        s.Serve.rejected st.Mdbs_svc.Runtime.committed
+        st.Mdbs_svc.Runtime.aborted st.Mdbs_svc.Runtime.force_aborts
+        (if res.Mdbs_svc.Runtime.certified then "yes" else "NO");
+    if not res.Mdbs_svc.Runtime.certified then exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ scheme $ svc_flags $ rate $ duration $ quiet $ json
+      $ obs_flags)
+
 let analyze_cmd =
   let doc = "Statically certify and lint a recorded global schedule" in
   let man =
@@ -440,5 +653,5 @@ let () =
        (Cmd.group info
           [
             schemes_cmd; experiments_cmd; replay_cmd; simulate_cmd; des_cmd;
-            chaos_cmd; analyze_cmd;
+            chaos_cmd; serve_cmd; loadgen_cmd; analyze_cmd;
           ]))

@@ -9,7 +9,18 @@
     Implementations: {!Scheme0} (per-site FIFO), {!Scheme1} (transaction-site
     graph), {!Scheme2} (TSG with dependencies), {!Scheme3} (the O-scheme that
     permits all serializable schedules), and {!Scheme_nocontrol} (an unsafe
-    baseline for demonstrating why control is needed). *)
+    baseline for demonstrating why control is needed).
+
+    {b Sharing discipline (OCaml 5).} A scheme value is {e self-contained}:
+    all of its mutable data structures are captured in the closures of one
+    instance and no implementation touches global mutable state, so distinct
+    instances never interfere and an instance may be created on one domain
+    and used on another. A single instance is {e not} internally
+    synchronized — the parallel service runtime ({!Mdbs_svc.Gtm_sched})
+    serializes every [cond]/[act]/[wakeups] call behind one mutex, exactly
+    as the DES serializes them behind its event loop. [explain] is
+    side-effect-free and is the one entry point other threads may call (under
+    the same mutex) for stall attribution while the scheduler is running. *)
 
 open Mdbs_model
 

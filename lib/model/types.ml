@@ -30,10 +30,11 @@ let protocol_name = function
 
 let pp_protocol ppf p = Format.pp_print_string ppf (protocol_name p)
 
-let counter = ref 0
+(* Atomic so that concurrent workload generators (the service runtime's
+   client threads) can draw ids without a lock; ids stay unique and dense,
+   though their assignment order across threads is nondeterministic. *)
+let counter = Atomic.make 0
 
-let fresh_tid () =
-  incr counter;
-  !counter
+let fresh_tid () = Atomic.fetch_and_add counter 1 + 1
 
-let reset_tids () = counter := 0
+let reset_tids () = Atomic.set counter 0

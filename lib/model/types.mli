@@ -47,7 +47,10 @@ val protocol_name : protocol_kind -> string
 val pp_protocol : Format.formatter -> protocol_kind -> unit
 
 val fresh_tid : unit -> tid
-(** Global monotonic id supply. *)
+(** Global monotonic id supply. Thread- and domain-safe (atomic): the
+    service runtime's concurrent clients may generate transactions in
+    parallel without coordination. *)
 
 val reset_tids : unit -> unit
-(** Reset the id supply (tests and independent simulation runs). *)
+(** Reset the id supply (tests and independent simulation runs). Do not
+    call while other domains are drawing ids. *)

@@ -1,0 +1,18 @@
+type t = { origin : float; last_bits : int64 Atomic.t }
+
+let start () = { origin = Unix.gettimeofday (); last_bits = Atomic.make 0L }
+
+(* CAS-max over the bit pattern: float ordering and int64-bit ordering
+   agree for non-negative floats, so the loop enforces global monotonicity
+   without a lock. *)
+let now_ms t =
+  let raw = (Unix.gettimeofday () -. t.origin) *. 1000. in
+  let raw = if raw < 0. then 0. else raw in
+  let bits = Int64.bits_of_float raw in
+  let rec bump () =
+    let prev = Atomic.get t.last_bits in
+    if Int64.compare bits prev <= 0 then Int64.float_of_bits prev
+    else if Atomic.compare_and_set t.last_bits prev bits then raw
+    else bump ()
+  in
+  bump ()

@@ -1,0 +1,13 @@
+(** Shared wall clock for the service runtime: milliseconds since the
+    runtime started, monotonised across domains (a reading never goes
+    backwards, even if the system clock steps), so span timestamps and
+    latency samples from different domains are comparable on one axis. *)
+
+type t
+
+val start : unit -> t
+(** Origin = now. *)
+
+val now_ms : t -> float
+(** Milliseconds since {!start}; monotone non-decreasing across all
+    domains reading the same clock. *)

@@ -1,0 +1,40 @@
+(** GTM2 for the parallel runtime: the {e existing} Figure-3 engine and
+    scheme, made thread-safe by one mutex.
+
+    The paper's schemes are sequential objects (private DS + [cond]/[act]);
+    rather than re-implement them lock-free, the service runtime serializes
+    every engine call behind this lock — the scheduler itself is the
+    paper's, verbatim, and the certifier later checks that what the
+    parallel runtime released really was serializable. The GTM domain is
+    the only caller of {!enqueue}/{!run}; monitoring threads use
+    {!stalled}/{!wait_size} concurrently (same lock), reusing each scheme's
+    [explain] for live stall attribution. A condition variable is signalled
+    on every enqueue so {!wait_nonidle} can park a driver between bursts. *)
+
+type t
+
+val create : ?obs:Mdbs_obs.Obs.t -> Mdbs_core.Scheme.t -> t
+
+val scheme_name : t -> string
+
+val enqueue : t -> Mdbs_core.Queue_op.t -> unit
+(** Lock, insert at the back of QUEUE, signal. *)
+
+val run : t -> Mdbs_core.Scheme.effect_ list
+(** Lock and process QUEUE to emptiness (Figure 3), returning the emitted
+    effects in order. *)
+
+val wait_nonidle : t -> unit
+(** Block until QUEUE is non-empty (signalled by {!enqueue}). *)
+
+val idle : t -> bool
+
+val wait_size : t -> int
+
+val stalled : t -> (string * string) list
+(** Snapshot of the WAIT set with reasons: [(op, explain op)] for every
+    parked operation — live stall attribution from any thread. *)
+
+val with_engine : t -> (Mdbs_core.Engine.t -> 'a) -> 'a
+(** Run [f] on the underlying engine under the lock (metrics reads:
+    wait-insertion counters, step totals). *)

@@ -1,0 +1,175 @@
+module Workload = Mdbs_sim.Workload
+module Registry = Mdbs_core.Registry
+module Gtm = Mdbs_core.Gtm
+module Rng = Mdbs_util.Rng
+module Stats = Mdbs_util.Stats
+module Json = Mdbs_util.Json
+module Obs = Mdbs_obs.Obs
+module Analysis = Mdbs_analysis.Analysis
+
+type config = {
+  wl : Workload.config;
+  scheme : Registry.kind;
+  clients : int;
+  txns_per_client : int;
+  local_fraction : float;
+  seed : int;
+  atomic_commit : bool;
+  capacity : int;
+  max_active : int;
+  stall_timeout_ms : float;
+  obs : Obs.t;
+}
+
+let config ?(wl = Workload.default) ?(clients = 8) ?(txns_per_client = 25)
+    ?(local_fraction = 0.) ?(seed = 42) ?(atomic_commit = false)
+    ?(capacity = 64) ?(max_active = 64) ?(stall_timeout_ms = 250.)
+    ?(obs = Obs.disabled) scheme =
+  if clients < 1 then invalid_arg "Loadgen.config: clients < 1";
+  if txns_per_client < 1 then invalid_arg "Loadgen.config: txns_per_client < 1";
+  { wl; scheme; clients; txns_per_client; local_fraction; seed; atomic_commit;
+    capacity; max_active; stall_timeout_ms; obs }
+
+type report = {
+  scheme_name : string;
+  sites : int;
+  clients : int;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  certified : bool;
+  violations : int;
+  elapsed_s : float;
+  throughput : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  force_aborts : int;
+  stall_kills : int;
+  wait_insertions : int;
+  ser_waits : int;
+  run : Runtime.result;
+}
+
+(* One client: a closed loop with its own deterministic stream. Latencies
+   accumulate in a per-client list — no shared mutable state until join. *)
+let client_loop rt cfg rng =
+  let lat = ref [] in
+  let committed = ref 0 in
+  for _ = 1 to cfg.txns_per_client do
+    let local =
+      cfg.local_fraction > 0. && Rng.float rng 1.0 < cfg.local_fraction
+    in
+    let t0 = Unix.gettimeofday () in
+    let status =
+      if local then
+        let sid = Rng.int rng cfg.wl.Workload.m in
+        Promise.await (Runtime.submit_local rt (Workload.local_txn rng cfg.wl sid))
+      else
+        Promise.await (Runtime.submit_global rt (Workload.global_txn rng cfg.wl))
+    in
+    lat := ((Unix.gettimeofday () -. t0) *. 1000.) :: !lat;
+    match status with Gtm.Committed -> incr committed | _ -> ()
+  done;
+  (!lat, !committed)
+
+let run cfg =
+  let sites = Workload.make_sites cfg.wl in
+  let rt =
+    Runtime.start
+      (Runtime.config ~atomic_commit:cfg.atomic_commit ~capacity:cfg.capacity
+         ~max_active:cfg.max_active ~stall_timeout_ms:cfg.stall_timeout_ms
+         ~obs:cfg.obs
+         ~scheme:(Registry.make cfg.scheme)
+         ~sites ())
+  in
+  let master = Rng.create cfg.seed in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init cfg.clients (fun i ->
+        let rng = Rng.substream master i in
+        let out = ref ([], 0) in
+        let th = Thread.create (fun () -> out := client_loop rt cfg rng) () in
+        (th, out))
+  in
+  let per_client =
+    List.map
+      (fun (th, out) ->
+        Thread.join th;
+        !out)
+      threads
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let res = Runtime.shutdown rt in
+  let latencies = List.concat_map fst per_client in
+  let client_committed = List.fold_left (fun a (_, c) -> a + c) 0 per_client in
+  let st = res.Runtime.run_stats in
+  (* Locals settle site-side and are not in the runtime's commit counter;
+     the client-side count covers both kinds. *)
+  ignore client_committed;
+  let pct p = if latencies = [] then 0. else Stats.percentile latencies p in
+  {
+    scheme_name = res.Runtime.scheme_name;
+    sites = cfg.wl.Workload.m;
+    clients = cfg.clients;
+    submitted = cfg.clients * cfg.txns_per_client;
+    committed = client_committed;
+    aborted = (cfg.clients * cfg.txns_per_client) - client_committed;
+    certified = res.Runtime.certified;
+    violations = Analysis.errors res.Runtime.analysis;
+    elapsed_s;
+    throughput =
+      (if elapsed_s > 0. then float_of_int client_committed /. elapsed_s else 0.);
+    mean_ms = (if latencies = [] then 0. else Stats.mean latencies);
+    p50_ms = pct 50.;
+    p95_ms = pct 95.;
+    p99_ms = pct 99.;
+    max_ms = List.fold_left Float.max 0. latencies;
+    force_aborts = st.Runtime.force_aborts;
+    stall_kills = st.Runtime.stall_kills;
+    wait_insertions = res.Runtime.wait_insertions;
+    ser_waits = res.Runtime.ser_waits;
+    run = res;
+  }
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("scheme", Json.Str r.scheme_name);
+      ("sites", Json.Int r.sites);
+      ("clients", Json.Int r.clients);
+      ("submitted", Json.Int r.submitted);
+      ("committed", Json.Int r.committed);
+      ("aborted", Json.Int r.aborted);
+      ("certified", Json.Bool r.certified);
+      ("violations", Json.Int r.violations);
+      ("elapsed_s", Json.Float r.elapsed_s);
+      ("throughput_txn_s", Json.Float r.throughput);
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("mean", Json.Float r.mean_ms);
+            ("p50", Json.Float r.p50_ms);
+            ("p95", Json.Float r.p95_ms);
+            ("p99", Json.Float r.p99_ms);
+            ("max", Json.Float r.max_ms);
+          ] );
+      ("force_aborts", Json.Int r.force_aborts);
+      ("stall_kills", Json.Int r.stall_kills);
+      ("gtm2_wait_insertions", Json.Int r.wait_insertions);
+      ("gtm2_ser_waits", Json.Int r.ser_waits);
+    ]
+
+let print_report ppf r =
+  Format.fprintf ppf
+    "@[<v>scheme %s: %d sites, %d clients, %d txns in %.2fs@,\
+     committed %d (%.1f txn/s), aborted %d, certified %s (%d violations)@,\
+     latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f@,\
+     gtm: %d forced aborts, %d stall kills, %d GTM2 waits (%d ser)@]@."
+    r.scheme_name r.sites r.clients r.submitted r.elapsed_s r.committed
+    r.throughput r.aborted
+    (if r.certified then "yes" else "NO")
+    r.violations r.mean_ms r.p50_ms r.p95_ms r.p99_ms r.max_ms r.force_aborts
+    r.stall_kills r.wait_insertions r.ser_waits

@@ -1,0 +1,119 @@
+type 'a t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  normal : 'a Queue.t;
+  urgent : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+  mutable hwm : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity < 1";
+  {
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    normal = Queue.create ();
+    urgent = Queue.create ();
+    cap = capacity;
+    closed = false;
+    hwm = 0;
+  }
+
+let total t = Queue.length t.normal + Queue.length t.urgent
+
+let note_put t =
+  let n = total t in
+  if n > t.hwm then t.hwm <- n;
+  Condition.signal t.not_empty
+
+let put t v =
+  Mutex.lock t.mutex;
+  while (not t.closed) && Queue.length t.normal >= t.cap do
+    Condition.wait t.not_full t.mutex
+  done;
+  let ok = not t.closed in
+  if ok then begin
+    Queue.add v t.normal;
+    note_put t
+  end;
+  Mutex.unlock t.mutex;
+  ok
+
+let try_put t v =
+  Mutex.lock t.mutex;
+  let r =
+    if t.closed then `Closed
+    else if Queue.length t.normal >= t.cap then `Full
+    else begin
+      Queue.add v t.normal;
+      note_put t;
+      `Ok
+    end
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let put_urgent t v =
+  Mutex.lock t.mutex;
+  let ok = not t.closed in
+  if ok then begin
+    Queue.add v t.urgent;
+    note_put t
+  end;
+  Mutex.unlock t.mutex;
+  ok
+
+let pop t =
+  if not (Queue.is_empty t.urgent) then Some (Queue.pop t.urgent)
+  else if not (Queue.is_empty t.normal) then begin
+    let v = Queue.pop t.normal in
+    Condition.signal t.not_full;
+    Some v
+  end
+  else None
+
+let take t =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match pop t with
+    | Some _ as r -> r
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.not_empty t.mutex;
+          loop ()
+        end
+  in
+  let r = loop () in
+  Mutex.unlock t.mutex;
+  r
+
+let try_take t =
+  Mutex.lock t.mutex;
+  let r = pop t in
+  Mutex.unlock t.mutex;
+  r
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = total t in
+  Mutex.unlock t.mutex;
+  n
+
+let capacity t = t.cap
+
+let high_watermark t =
+  Mutex.lock t.mutex;
+  let n = t.hwm in
+  Mutex.unlock t.mutex;
+  n

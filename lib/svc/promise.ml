@@ -1,0 +1,38 @@
+type 'a t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable value : 'a option;
+}
+
+let create () =
+  { mutex = Mutex.create (); cond = Condition.create (); value = None }
+
+let fulfill t v =
+  Mutex.lock t.mutex;
+  (match t.value with
+  | None ->
+      t.value <- Some v;
+      Condition.broadcast t.cond
+  | Some _ -> ());
+  Mutex.unlock t.mutex
+
+let await t =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match t.value with
+    | Some v -> v
+    | None ->
+        Condition.wait t.cond t.mutex;
+        loop ()
+  in
+  let v = loop () in
+  Mutex.unlock t.mutex;
+  v
+
+let peek t =
+  Mutex.lock t.mutex;
+  let v = t.value in
+  Mutex.unlock t.mutex;
+  v
+
+let is_fulfilled t = peek t <> None

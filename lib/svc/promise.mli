@@ -1,0 +1,20 @@
+(** Write-once synchronization cell (ivar).
+
+    The service runtime hands one back per submitted transaction; the GTM
+    domain fulfills it with the final status, and any number of client
+    threads/domains may block in {!await}. First {!fulfill} wins; later
+    ones are ignored (teardown paths fulfill defensively). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fulfill : 'a t -> 'a -> unit
+(** Set the value and wake all waiters; no-op if already fulfilled. *)
+
+val await : 'a t -> 'a
+(** Block until fulfilled. *)
+
+val peek : 'a t -> 'a option
+
+val is_fulfilled : 'a t -> bool

@@ -1,0 +1,835 @@
+open Mdbs_model
+module Local_dbms = Mdbs_site.Local_dbms
+module Cc_types = Mdbs_lcc.Cc_types
+module Gtm = Mdbs_core.Gtm
+module Gtm1 = Mdbs_core.Gtm1
+module Scheme = Mdbs_core.Scheme
+module Queue_op = Mdbs_core.Queue_op
+module Engine = Mdbs_core.Engine
+module Obs = Mdbs_obs.Obs
+module Sink = Mdbs_obs.Sink
+module Metrics = Mdbs_obs.Metrics
+module Trace = Mdbs_analysis.Trace
+module Analysis = Mdbs_analysis.Analysis
+
+type config = {
+  scheme : Scheme.t;
+  sites : Local_dbms.t list;
+  atomic_commit : bool;
+  capacity : int;
+  max_active : int;
+  stall_timeout_ms : float;
+  tick_ms : float;
+  obs : Obs.t;
+}
+
+let config ?(atomic_commit = false) ?(capacity = 64) ?(max_active = 64)
+    ?(stall_timeout_ms = 250.) ?(tick_ms = 5.) ?(obs = Obs.disabled) ~scheme
+    ~sites () =
+  if capacity < 1 then invalid_arg "Runtime.config: capacity < 1";
+  if max_active < 1 then invalid_arg "Runtime.config: max_active < 1";
+  { scheme; sites; atomic_commit; capacity; max_active; stall_timeout_ms;
+    tick_ms; obs }
+
+type msg =
+  | Admit of Txn.t * Gtm.status Promise.t
+  | Reply of Site_worker.reply
+  | Tick
+
+(* What an outstanding Exec correlation id stands for. *)
+type inflight =
+  | Ser_req of Types.gid * Types.sid  (** A routed serialization operation. *)
+  | Direct_req of Types.gid  (** A GTM1 step dispatched straight to a site. *)
+  | Fire  (** Fire-and-forget (rollbacks, in-doubt resolution). *)
+
+type stats = {
+  admitted : int;
+  committed : int;
+  aborted : int;
+  rejected : int;
+  force_aborts : int;
+  stall_kills : int;
+  site_crashes : int;
+  active : int;
+  inbox_hwm : int;
+  ops_per_site : (Types.sid * int) list;
+}
+
+type result = {
+  scheme_name : string;
+  trace : Trace.t;
+  analysis : Analysis.t;
+  certified : bool;
+  run_stats : stats;
+  elapsed_ms : float;
+  wait_insertions : int;
+  ser_waits : int;
+  engine_steps : int;
+  scheme_steps : int;
+}
+
+(* Everything both the GTM domain and the client-facing API touch. All
+   mutable fields are atomics or internally locked objects. *)
+type shared = {
+  cfg_atomic : bool;
+  cfg_max_active : int;
+  cfg_stall_ms : float;
+  s_name : string;
+  inbox : msg Mailbox.t;
+  sched : Gtm_sched.t;
+  clock : Clock.t;
+  obs : Obs.t;
+  sink_mutex : Mutex.t;
+  ser_points : (Types.sid, Ser_fun.point) Hashtbl.t;
+  needs_decl : (Types.sid, bool) Hashtbl.t;
+  protocols : (Types.sid * Types.protocol_kind) list;
+  accepting : bool Atomic.t;
+  draining : bool Atomic.t;
+  pending_ticks : int Atomic.t;
+  a_admitted : int Atomic.t;
+  a_committed : int Atomic.t;
+  a_aborted : int Atomic.t;
+  a_rejected : int Atomic.t;
+  a_force : int Atomic.t;
+  a_stall_kills : int Atomic.t;
+  a_crashes : int Atomic.t;
+  a_active : int Atomic.t;
+  m_committed : Metrics.counter;
+  m_aborted : Metrics.counter;
+  m_force : Metrics.counter;
+  m_inbox_depth : Metrics.gauge;
+  m_active_peak : Metrics.gauge;
+}
+
+(* What the GTM domain hands back when it exits. *)
+type capture = {
+  cap_ser_events : (Types.gid * Types.sid) list;
+  cap_globals : (Types.tid * Types.sid list) list;
+}
+
+type t = {
+  sh : shared;
+  workers : Site_worker.t list;
+  worker_tbl : (Types.sid, Site_worker.t) Hashtbl.t;
+  gtm_domain : capture Domain.t;
+  ticker_stop : bool Atomic.t;
+  ticker : Thread.t;
+  mutable shutdown_memo : result option;
+}
+
+(* ------------------------------------------------------- GTM domain state *)
+
+type gst = {
+  sh' : shared;
+  worker_of : Types.sid -> Site_worker.t;
+  gtm1 : Gtm1.t;
+  ser_log : Ser_schedule.t;
+  promises : (Types.tid, Gtm.status Promise.t) Hashtbl.t;
+  pending_ser : (Types.sid * Types.gid, unit) Hashtbl.t;
+  pending_direct : (Types.sid * Types.gid, unit) Hashtbl.t;
+  inflight : (int, inflight) Hashtbl.t;
+  parked : (Txn.t * Gtm.status Promise.t) Queue.t;
+  fin_enqueued : (Types.gid, unit) Hashtbl.t;
+  death_reason : (Types.gid, string) Hashtbl.t;
+  decided : (Types.gid, bool) Hashtbl.t;  (* true = commit *)
+  txn_spans : (Types.gid, int) Hashtbl.t;
+  mutable globals_rev : (Types.tid * Types.sid list) list;
+  mutable req_counter : int;
+  mutable last_progress : float;
+}
+
+let with_sink g f =
+  if Sink.enabled g.sh'.obs.Obs.sink then begin
+    Mutex.lock g.sh'.sink_mutex;
+    (match f g.sh'.obs.Obs.sink with
+    | () -> Mutex.unlock g.sh'.sink_mutex
+    | exception e ->
+        Mutex.unlock g.sh'.sink_mutex;
+        raise e)
+  end
+
+let now g = Clock.now_ms g.sh'.clock
+
+let progress g = g.last_progress <- now g
+
+let next_req g =
+  g.req_counter <- g.req_counter + 1;
+  g.req_counter
+
+let decide_commit g gid =
+  if not (Hashtbl.mem g.decided gid) then Hashtbl.replace g.decided gid true
+
+let decide_abort g gid =
+  if not (Hashtbl.mem g.decided gid) then Hashtbl.replace g.decided gid false
+
+let declaration g gid sid =
+  if Hashtbl.find_opt g.sh'.needs_decl sid = Some true then
+    Some
+      (List.map
+         (fun (item, write) ->
+           (item, if write then Cc_types.Write_mode else Cc_types.Read_mode))
+         (Gtm1.declaration_for g.gtm1 gid sid))
+  else None
+
+let send_exec g ~kind ~gid ~sid ~action =
+  let req = next_req g in
+  Hashtbl.replace g.inflight req kind;
+  let declare = if action = Op.Begin then declaration g gid sid else None in
+  Site_worker.send (g.worker_of sid)
+    (Site_worker.Exec { req; tid = gid; action; declare })
+
+let fire_abort g gid sid =
+  send_exec g ~kind:Fire ~gid ~sid ~action:Op.Abort
+
+let enqueue_ack g gid sid = Gtm_sched.enqueue g.sh'.sched (Queue_op.Ack (gid, sid))
+
+let gtm1_ack g gid = Gtm1.on_ack g.gtm1 gid
+
+(* The transaction aborted somewhere (site refusal, crash, deadlock kill):
+   mark it dead and roll back at every site where its subtransaction is
+   still active. Remaining serialization operations stay routed through
+   GTM2 and are fake-acked, so the scheme's data structures drain. *)
+let mark_global_dead g gid reason ~aborting_site =
+  if not (Gtm1.is_dead g.gtm1 gid) then begin
+    Gtm1.mark_dead g.gtm1 gid;
+    decide_abort g gid;
+    Hashtbl.replace g.death_reason gid reason;
+    (match aborting_site with
+    | Some s -> Gtm1.note_site_terminated g.gtm1 gid s
+    | None -> ());
+    List.iter
+      (fun s ->
+        fire_abort g gid s;
+        Gtm1.note_site_terminated g.gtm1 gid s)
+      (Gtm1.begun_sites g.gtm1 gid)
+  end
+
+(* ------------------------------------------------------------- admission *)
+
+let admit_now g txn promise =
+  let gid = txn.Txn.id in
+  Hashtbl.replace g.promises gid promise;
+  g.globals_rev <- (gid, Txn.sites txn) :: g.globals_rev;
+  Atomic.incr g.sh'.a_admitted;
+  Atomic.incr g.sh'.a_active;
+  Metrics.set_max g.sh'.m_active_peak (float_of_int (Atomic.get g.sh'.a_active));
+  with_sink g (fun sink ->
+      let span =
+        Sink.begin_span sink
+          ~track:(Sink.txn_track sink gid)
+          ~attrs:[ ("sites", String.concat "," (List.map string_of_int (Txn.sites txn))) ]
+          "svc.txn"
+      in
+      Hashtbl.replace g.txn_spans gid span);
+  let ser_point_of sid =
+    match Hashtbl.find_opt g.sh'.ser_points sid with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "svc: unknown site %d" sid)
+  in
+  let info = Gtm1.admit g.gtm1 txn ~atomic:g.sh'.cfg_atomic ~ser_point_of () in
+  Gtm_sched.enqueue g.sh'.sched (Queue_op.Init info);
+  progress g
+
+let admit_parked g progressed =
+  while
+    (not (Queue.is_empty g.parked))
+    && Atomic.get g.sh'.a_active < g.sh'.cfg_max_active
+  do
+    let txn, promise = Queue.pop g.parked in
+    admit_now g txn promise;
+    progressed := true
+  done
+
+(* ------------------------------------------------------- transaction end *)
+
+let finish_txn g gid progressed =
+  if not (Hashtbl.mem g.fin_enqueued gid) then begin
+    Hashtbl.replace g.fin_enqueued gid ();
+    Gtm_sched.enqueue g.sh'.sched (Queue_op.Fin gid);
+    let final =
+      if Gtm1.is_dead g.gtm1 gid then
+        Gtm.Aborted
+          (match Hashtbl.find_opt g.death_reason gid with
+          | Some r -> r
+          | None -> "aborted")
+      else Gtm.Committed
+    in
+    if final = Gtm.Committed then begin
+      decide_commit g gid;
+      Atomic.incr g.sh'.a_committed;
+      Metrics.inc g.sh'.m_committed
+    end
+    else begin
+      Atomic.incr g.sh'.a_aborted;
+      Metrics.inc g.sh'.m_aborted
+    end;
+    Atomic.decr g.sh'.a_active;
+    with_sink g (fun sink ->
+        match Hashtbl.find_opt g.txn_spans gid with
+        | Some span ->
+            Hashtbl.remove g.txn_spans gid;
+            Sink.end_span sink
+              ~attrs:
+                [
+                  ( "outcome",
+                    match final with
+                    | Gtm.Committed -> "committed"
+                    | Gtm.Aborted r -> "aborted: " ^ r
+                    | Gtm.Active -> "active" );
+                ]
+              span
+        | None -> ());
+    Gtm1.finish g.gtm1 gid;
+    (match Hashtbl.find_opt g.promises gid with
+    | Some p ->
+        Hashtbl.remove g.promises gid;
+        Promise.fulfill p final
+    | None -> ());
+    progressed := true
+  end
+
+(* ------------------------------------------------- driving GTM1 programs *)
+
+let drive_global g gid progressed =
+  match Gtm1.next g.gtm1 gid with
+  | Gtm1.In_flight -> ()
+  | Gtm1.Finished -> finish_txn g gid progressed
+  | Gtm1.Dispatch_ser sid ->
+      Gtm1.note_dispatched g.gtm1 gid;
+      Gtm_sched.enqueue g.sh'.sched (Queue_op.Ser (gid, sid));
+      progressed := true
+  | Gtm1.Dispatch_direct step ->
+      let sid = step.Gtm1.site and action = step.Gtm1.action in
+      if action = Op.Commit && not (Gtm1.is_dead g.gtm1 gid) then
+        decide_commit g gid;
+      Gtm1.note_dispatched g.gtm1 gid;
+      send_exec g ~kind:(Direct_req gid) ~gid ~sid ~action;
+      progressed := true
+
+(* ---------------------------------------------------------- GTM2 effects *)
+
+let handle_effect g progressed = function
+  | Scheme.Submit_ser (gid, sid) ->
+      progressed := true;
+      if Gtm1.is_dead g.gtm1 gid then enqueue_ack g gid sid
+      else begin
+        let action =
+          match Gtm1.current_step g.gtm1 gid with
+          | Some step when step.Gtm1.site = sid && step.Gtm1.via_gtm2 ->
+              step.Gtm1.action
+          | Some _ | None ->
+              invalid_arg "svc: Submit_ser does not match current step"
+        in
+        (* Under 2PC, reaching a commit step means every prepare was
+           acknowledged: record the global verdict before the first commit
+           message leaves the GTM. *)
+        if action = Op.Commit then decide_commit g gid;
+        send_exec g ~kind:(Ser_req (gid, sid)) ~gid ~sid ~action
+      end
+  | Scheme.Forward_ack (gid, _) ->
+      progressed := true;
+      gtm1_ack g gid
+  | Scheme.Abort_global gid ->
+      (* Non-conservative scheme refused the serialization operation. *)
+      progressed := true;
+      mark_global_dead g gid "gtm2-abort" ~aborting_site:None;
+      if Gtm1.is_known g.gtm1 gid then gtm1_ack g gid
+
+(* ----------------------------------------------------------- site replies *)
+
+let take_inflight g req =
+  match Hashtbl.find_opt g.inflight req with
+  | Some kind ->
+      Hashtbl.remove g.inflight req;
+      Some kind
+  | None -> None
+
+let handle_reply g progressed = function
+  | Site_worker.Executed { req; sid; tid = _ } -> (
+      match take_inflight g req with
+      | Some (Ser_req (gid, s)) ->
+          progressed := true;
+          Ser_schedule.record g.ser_log s gid;
+          enqueue_ack g gid s
+      | Some (Direct_req gid) ->
+          progressed := true;
+          gtm1_ack g gid
+      | Some Fire | None -> ignore sid)
+  | Site_worker.Waiting { req; sid; tid } -> (
+      match take_inflight g req with
+      | Some (Ser_req (gid, s)) -> Hashtbl.replace g.pending_ser (s, gid) ()
+      | Some (Direct_req gid) -> Hashtbl.replace g.pending_direct (sid, gid) ()
+      | Some Fire | None -> ignore tid)
+  | Site_worker.Refused { req; sid; tid = _; reason } -> (
+      match take_inflight g req with
+      | Some (Ser_req (gid, s)) ->
+          progressed := true;
+          mark_global_dead g gid reason ~aborting_site:(Some s);
+          enqueue_ack g gid s
+      | Some (Direct_req gid) ->
+          progressed := true;
+          mark_global_dead g gid reason ~aborting_site:(Some sid);
+          gtm1_ack g gid
+      | Some Fire | None -> ())
+  | Site_worker.Unblocked { sid; tid; action = _ } ->
+      if Hashtbl.mem g.pending_ser (sid, tid) then begin
+        progressed := true;
+        Hashtbl.remove g.pending_ser (sid, tid);
+        Ser_schedule.record g.ser_log sid tid;
+        enqueue_ack g tid sid
+      end
+      else if Hashtbl.mem g.pending_direct (sid, tid) then begin
+        progressed := true;
+        Hashtbl.remove g.pending_direct (sid, tid);
+        gtm1_ack g tid
+      end
+  | Site_worker.Crashed { sid; in_doubt } ->
+      progressed := true;
+      Atomic.incr g.sh'.a_crashes;
+      with_sink g (fun sink ->
+          Sink.instant sink
+            ~track:(Sink.site_track sink sid)
+            ~attrs:[ ("in_doubt", string_of_int (List.length in_doubt)) ]
+            "svc.site_crash");
+      (* Prepared participants survived in doubt: resolve them with the
+         coordinator's decision record. *)
+      List.iter
+        (fun tid ->
+          let action =
+            if Hashtbl.find_opt g.decided tid = Some true then Op.Commit
+            else Op.Abort
+          in
+          send_exec g ~kind:Fire ~gid:tid ~sid ~action)
+        in_doubt;
+      (* Operations blocked inside the crashed site lost their completions:
+         no Unblocked will ever arrive for them. *)
+      let lost tbl =
+        Hashtbl.fold
+          (fun (s, gid) () acc -> if s = sid then gid :: acc else acc)
+          tbl []
+      in
+      List.iter
+        (fun gid ->
+          Hashtbl.remove g.pending_ser (sid, gid);
+          mark_global_dead g gid "site-crash" ~aborting_site:None;
+          enqueue_ack g gid sid)
+        (lost g.pending_ser);
+      List.iter
+        (fun gid ->
+          Hashtbl.remove g.pending_direct (sid, gid);
+          mark_global_dead g gid "site-crash" ~aborting_site:None;
+          gtm1_ack g gid)
+        (lost g.pending_direct);
+      (* Any other global begun at the crashed site lost its (unprepared)
+         effects there: abort it everywhere for atomicity. *)
+      List.iter
+        (fun gid ->
+          if
+            (not (Gtm1.is_dead g.gtm1 gid))
+            && (not (List.mem gid in_doubt))
+            && List.mem sid (Gtm1.begun_sites g.gtm1 gid)
+          then mark_global_dead g gid "site-crash" ~aborting_site:None)
+        (Gtm1.active g.gtm1)
+
+(* -------------------------------------------------- stalls and deadlocks *)
+
+(* A transaction blocked inside a site (its operation answered [Waiting])
+   with no single-site deadlock means a cross-site cycle; after a stall
+   window, kill the youngest such transaction — the synchronous glue's
+   quiescent-round rule, on a timeout instead of quiescence. *)
+let force_abort_one g =
+  let blocked =
+    List.filter
+      (fun gid ->
+        (not (Gtm1.is_dead g.gtm1 gid))
+        && Gtm1.next g.gtm1 gid = Gtm1.In_flight
+        &&
+        match Gtm1.current_step g.gtm1 gid with
+        | Some step ->
+            let sid = step.Gtm1.site in
+            Hashtbl.mem g.pending_ser (sid, gid)
+            || Hashtbl.mem g.pending_direct (sid, gid)
+        | None -> false)
+      (Gtm1.active g.gtm1)
+  in
+  match List.rev blocked with
+  | [] -> false
+  | victim :: _ ->
+      Atomic.incr g.sh'.a_force;
+      Metrics.inc g.sh'.m_force;
+      let step =
+        match Gtm1.current_step g.gtm1 victim with
+        | Some s -> s
+        | None -> assert false
+      in
+      let sid = step.Gtm1.site in
+      fire_abort g victim sid;
+      mark_global_dead g victim "global-deadlock" ~aborting_site:(Some sid);
+      if Hashtbl.mem g.pending_ser (sid, victim) then begin
+        Hashtbl.remove g.pending_ser (sid, victim);
+        enqueue_ack g victim sid
+      end
+      else begin
+        Hashtbl.remove g.pending_direct (sid, victim);
+        gtm1_ack g victim
+      end;
+      true
+
+(* Safety valve: progress has stalled but no transaction is identifiably
+   blocked inside a site (e.g. everything waits inside GTM2). Kill the
+   youngest live transaction; its fake acks un-wedge the scheme. *)
+let stall_kill g =
+  match
+    List.rev (List.filter (fun gid -> not (Gtm1.is_dead g.gtm1 gid)) (Gtm1.active g.gtm1))
+  with
+  | [] -> ()
+  | victim :: _ ->
+      Atomic.incr g.sh'.a_stall_kills;
+      mark_global_dead g victim "stall-timeout" ~aborting_site:None;
+      (match Gtm1.current_step g.gtm1 victim with
+      | Some step when Gtm1.next g.gtm1 victim = Gtm1.In_flight ->
+          let sid = step.Gtm1.site in
+          if Hashtbl.mem g.pending_ser (sid, victim) then begin
+            Hashtbl.remove g.pending_ser (sid, victim);
+            enqueue_ack g victim sid
+          end
+          else if Hashtbl.mem g.pending_direct (sid, victim) then begin
+            Hashtbl.remove g.pending_direct (sid, victim);
+            gtm1_ack g victim
+          end
+      | _ -> ())
+
+let on_tick g =
+  if
+    Gtm1.active g.gtm1 <> []
+    && now g -. g.last_progress > g.sh'.cfg_stall_ms
+  then begin
+    if not (force_abort_one g) then stall_kill g;
+    progress g
+  end
+
+(* ------------------------------------------------------------- the pump *)
+
+(* Run the scheduler and drive every transaction as far as it goes without
+   an acknowledgement — the asynchronous Figure-3 loop. *)
+let pump g =
+  let quiescent = ref false in
+  while not !quiescent do
+    let progressed = ref false in
+    let effects =
+      if Sink.enabled g.sh'.obs.Obs.sink then begin
+        (* All sink writers (workers' instants, the engine's wait spans)
+           serialize on sink_mutex; lock order is sink_mutex > sched lock. *)
+        Mutex.lock g.sh'.sink_mutex;
+        let e =
+          try Gtm_sched.run g.sh'.sched
+          with ex ->
+            Mutex.unlock g.sh'.sink_mutex;
+            raise ex
+        in
+        Mutex.unlock g.sh'.sink_mutex;
+        e
+      end
+      else Gtm_sched.run g.sh'.sched
+    in
+    if effects <> [] then progressed := true;
+    List.iter (handle_effect g progressed) effects;
+    List.iter (fun gid -> drive_global g gid progressed) (Gtm1.active g.gtm1);
+    admit_parked g progressed;
+    if !progressed then progress g else quiescent := true
+  done
+
+(* -------------------------------------------------------- the GTM domain *)
+
+let handle_msg g = function
+  | Admit (txn, promise) ->
+      if Atomic.get g.sh'.draining then
+        Promise.fulfill promise (Gtm.Aborted "shutdown")
+      else if Atomic.get g.sh'.a_active < g.sh'.cfg_max_active then
+        admit_now g txn promise
+      else Queue.add (txn, promise) g.parked
+  | Reply r ->
+      let progressed = ref false in
+      handle_reply g progressed r;
+      if !progressed then progress g
+  | Tick ->
+      ignore (Atomic.fetch_and_add g.sh'.pending_ticks (-1));
+      on_tick g
+
+let gtm_loop sh worker_of =
+  let g =
+    {
+      sh' = sh;
+      worker_of;
+      gtm1 = Gtm1.create ();
+      ser_log = Ser_schedule.create ();
+      promises = Hashtbl.create 64;
+      pending_ser = Hashtbl.create 16;
+      pending_direct = Hashtbl.create 16;
+      inflight = Hashtbl.create 32;
+      parked = Queue.create ();
+      fin_enqueued = Hashtbl.create 64;
+      death_reason = Hashtbl.create 16;
+      decided = Hashtbl.create 64;
+      txn_spans = Hashtbl.create 64;
+      globals_rev = [];
+      req_counter = 0;
+      last_progress = Clock.now_ms sh.clock;
+    }
+  in
+  let done_ () =
+    Atomic.get sh.draining
+    && Gtm1.active g.gtm1 = []
+    && Queue.is_empty g.parked
+    && Mailbox.length sh.inbox = 0
+  in
+  let rec loop () =
+    match Mailbox.take sh.inbox with
+    | None -> ()
+    | Some msg ->
+        handle_msg g msg;
+        Metrics.set_max sh.m_inbox_depth
+          (float_of_int (Mailbox.length sh.inbox));
+        pump g;
+        if done_ () then () else loop ()
+  in
+  loop ();
+  {
+    cap_ser_events = Ser_schedule.events g.ser_log;
+    cap_globals = List.rev g.globals_rev;
+  }
+
+(* ------------------------------------------------------------ public API *)
+
+let start (cfg : config) =
+  let clock = Clock.start () in
+  let obs = cfg.obs in
+  if obs.Obs.live then Obs.set_clock obs (fun () -> Clock.now_ms clock);
+  let inbox = Mailbox.create ~capacity:cfg.capacity () in
+  let sink_mutex = Mutex.create () in
+  let ser_points = Hashtbl.create 16 in
+  let needs_decl = Hashtbl.create 16 in
+  let protocols =
+    List.map
+      (fun dbms ->
+        let sid = Local_dbms.site_id dbms in
+        let point =
+          if cfg.atomic_commit then
+            Ser_fun.for_protocol_atomic (Local_dbms.protocol_kind dbms)
+          else Local_dbms.serialization_point dbms
+        in
+        Hashtbl.replace ser_points sid point;
+        Hashtbl.replace needs_decl sid (Local_dbms.needs_declarations dbms);
+        (sid, Local_dbms.protocol_kind dbms))
+      cfg.sites
+  in
+  let labels = [ ("scheme", cfg.scheme.Scheme.name) ] in
+  let sh =
+    {
+      cfg_atomic = cfg.atomic_commit;
+      cfg_max_active = cfg.max_active;
+      cfg_stall_ms = cfg.stall_timeout_ms;
+      s_name = cfg.scheme.Scheme.name;
+      inbox;
+      sched = Gtm_sched.create ~obs cfg.scheme;
+      clock;
+      obs;
+      sink_mutex;
+      ser_points;
+      needs_decl;
+      protocols;
+      accepting = Atomic.make true;
+      draining = Atomic.make false;
+      pending_ticks = Atomic.make 0;
+      a_admitted = Atomic.make 0;
+      a_committed = Atomic.make 0;
+      a_aborted = Atomic.make 0;
+      a_rejected = Atomic.make 0;
+      a_force = Atomic.make 0;
+      a_stall_kills = Atomic.make 0;
+      a_crashes = Atomic.make 0;
+      a_active = Atomic.make 0;
+      m_committed = Metrics.counter obs.Obs.metrics ~labels "svc_committed_total";
+      m_aborted = Metrics.counter obs.Obs.metrics ~labels "svc_aborted_total";
+      m_force = Metrics.counter obs.Obs.metrics ~labels "svc_force_aborts_total";
+      m_inbox_depth = Metrics.gauge obs.Obs.metrics ~labels "svc_inbox_depth_max";
+      m_active_peak = Metrics.gauge obs.Obs.metrics ~labels "svc_active_peak";
+    }
+  in
+  let reply r = ignore (Mailbox.put_urgent inbox (Reply r)) in
+  let observe_for sid =
+    if obs.Obs.live && Sink.enabled obs.Obs.sink then (fun tid action outcome ->
+      Mutex.lock sink_mutex;
+      let sink = obs.Obs.sink in
+      Sink.instant sink
+        ~track:(Sink.site_track sink sid)
+        ~attrs:
+          [
+            ("tid", string_of_int tid);
+            ("action", Op.action_to_string action);
+            ("outcome", outcome);
+          ]
+        "site.op";
+      Mutex.unlock sink_mutex)
+    else fun _ _ _ -> ()
+  in
+  let workers =
+    List.map
+      (fun dbms ->
+        Site_worker.spawn ~reply
+          ~observe:(observe_for (Local_dbms.site_id dbms))
+          dbms)
+      cfg.sites
+  in
+  let worker_tbl = Hashtbl.create 16 in
+  List.iter (fun w -> Hashtbl.replace worker_tbl (Site_worker.sid w) w) workers;
+  let worker_of sid =
+    match Hashtbl.find_opt worker_tbl sid with
+    | Some w -> w
+    | None -> invalid_arg (Printf.sprintf "svc: unknown site %d" sid)
+  in
+  let gtm_domain = Domain.spawn (fun () -> gtm_loop sh worker_of) in
+  let ticker_stop = Atomic.make false in
+  let tick_s = cfg.tick_ms /. 1000. in
+  let ticker =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get ticker_stop) do
+          Thread.delay tick_s;
+          (* At most one tick in flight: the ticker never floods a busy
+             GTM, and an idle GTM still gets its stall heartbeat. *)
+          if Atomic.get sh.pending_ticks = 0 then begin
+            Atomic.incr sh.pending_ticks;
+            ignore (Mailbox.put_urgent inbox Tick)
+          end
+        done)
+      ()
+  in
+  {
+    sh;
+    workers;
+    worker_tbl;
+    gtm_domain;
+    ticker_stop;
+    ticker;
+    shutdown_memo = None;
+  }
+
+let scheme_name t = t.sh.s_name
+
+let n_sites t = List.length t.workers
+
+let aborted_promise reason =
+  let p = Promise.create () in
+  Promise.fulfill p (Gtm.Aborted reason);
+  p
+
+let submit_global t txn =
+  if not (Txn.is_global txn) then
+    invalid_arg "Runtime.submit_global: local transaction";
+  if not (Atomic.get t.sh.accepting) then aborted_promise "shutdown"
+  else begin
+    let p = Promise.create () in
+    if Mailbox.put t.sh.inbox (Admit (txn, p)) then p
+    else aborted_promise "shutdown"
+  end
+
+let try_submit_global t txn =
+  if not (Txn.is_global txn) then
+    invalid_arg "Runtime.try_submit_global: local transaction";
+  if not (Atomic.get t.sh.accepting) then None
+  else begin
+    let p = Promise.create () in
+    match Mailbox.try_put t.sh.inbox (Admit (txn, p)) with
+    | `Ok -> Some p
+    | `Full ->
+        Atomic.incr t.sh.a_rejected;
+        None
+    | `Closed -> None
+  end
+
+let submit_local t txn =
+  let sid =
+    match txn.Txn.kind with
+    | Txn.Local sid -> sid
+    | Txn.Global _ -> invalid_arg "Runtime.submit_local: global transaction"
+  in
+  if not (Atomic.get t.sh.accepting) then aborted_promise "shutdown"
+  else begin
+    let p = Promise.create () in
+    (match Hashtbl.find_opt t.worker_tbl sid with
+    | Some w -> Site_worker.send w (Site_worker.Run_local { txn; promise = p })
+    | None -> invalid_arg (Printf.sprintf "Runtime.submit_local: unknown site %d" sid));
+    p
+  end
+
+let crash_site t sid =
+  match Hashtbl.find_opt t.worker_tbl sid with
+  | Some w -> Site_worker.send w Site_worker.Crash
+  | None -> invalid_arg (Printf.sprintf "Runtime.crash_site: unknown site %d" sid)
+
+let stats t =
+  {
+    admitted = Atomic.get t.sh.a_admitted;
+    committed = Atomic.get t.sh.a_committed;
+    aborted = Atomic.get t.sh.a_aborted;
+    rejected = Atomic.get t.sh.a_rejected;
+    force_aborts = Atomic.get t.sh.a_force;
+    stall_kills = Atomic.get t.sh.a_stall_kills;
+    site_crashes = Atomic.get t.sh.a_crashes;
+    active = Atomic.get t.sh.a_active;
+    inbox_hwm = Mailbox.high_watermark t.sh.inbox;
+    ops_per_site =
+      List.map (fun w -> (Site_worker.sid w, Site_worker.ops_handled w)) t.workers;
+  }
+
+let stalled t = Gtm_sched.stalled t.sh.sched
+
+let shutdown t =
+  match t.shutdown_memo with
+  | Some r -> r
+  | None ->
+      Atomic.set t.sh.accepting false;
+      Atomic.set t.sh.draining true;
+      (* Kick the GTM loop awake; account the tick so the ticker's
+         one-in-flight budget stays balanced (the drain may need many more
+         ticks to stall-kill whatever is still blocked). *)
+      Atomic.incr t.sh.pending_ticks;
+      ignore (Mailbox.put_urgent t.sh.inbox Tick);
+      let cap = Domain.join t.gtm_domain in
+      (* The GTM exited with nothing active: workers only hold local
+         transactions now; stop and reclaim them. *)
+      List.iter (fun w -> Site_worker.send w Site_worker.Stop) t.workers;
+      let dbms_list = List.map Site_worker.join t.workers in
+      Atomic.set t.ticker_stop true;
+      Thread.join t.ticker;
+      let elapsed_ms = Clock.now_ms t.sh.clock in
+      let trace =
+        Trace.of_schedules ~protocols:t.sh.protocols ~globals:cap.cap_globals
+          ~ser_events:cap.cap_ser_events
+          (List.map Local_dbms.schedule dbms_list)
+      in
+      let analysis = Analysis.analyze trace in
+      let wait_insertions, ser_waits, engine_steps, scheme_steps =
+        Gtm_sched.with_engine t.sh.sched (fun e ->
+            ( Engine.total_wait_insertions e,
+              Engine.ser_wait_insertions e,
+              Engine.engine_steps e,
+              (Engine.scheme e).Scheme.steps () ))
+      in
+      let r =
+        {
+          scheme_name = t.sh.s_name;
+          trace;
+          analysis;
+          certified = Analysis.certified analysis;
+          run_stats = stats t;
+          elapsed_ms;
+          wait_insertions;
+          ser_waits;
+          engine_steps;
+          scheme_steps;
+        }
+      in
+      t.shutdown_memo <- Some r;
+      r

@@ -1,0 +1,124 @@
+(** The parallel multidatabase service runtime (Figure 1, actually
+    concurrent).
+
+    One worker domain per local site runs the unchanged {!Mdbs_site.Local_dbms}
+    behind a mailbox; one GTM domain runs GTM1 admission plus the GTM2
+    scheduler ({!Gtm_sched} — the existing engine and scheme behind a
+    mutex); clients are arbitrary threads/domains that submit transactions
+    and await a {!Promise.t} of the final status. A bounded admission lane
+    gives backpressure ({!submit_global} blocks when the GTM is saturated)
+    and admission control ({!try_submit_global} refuses instead); a ticker
+    thread drives the stall detector that converts cross-site deadlocks —
+    invisible to every single site — into forced aborts of the youngest
+    blocked global transaction, as the synchronous glue does after a
+    quiescent round.
+
+    Every run is self-certifying: the runtime records each site's local
+    schedule, the realized [ser(S)] and the global site-visit orders, and
+    {!shutdown} replays them through the static certifier
+    ({!Mdbs_analysis.Analysis}), so the {e real} interleaving the parallel
+    execution produced is machine-checked against the paper's Theorem-2
+    obligations — not just benchmarked. *)
+
+open Mdbs_model
+module Gtm = Mdbs_core.Gtm
+
+type config = {
+  scheme : Mdbs_core.Scheme.t;  (** Fresh instance; owned by the runtime. *)
+  sites : Mdbs_site.Local_dbms.t list;  (** Owned by the site workers. *)
+  atomic_commit : bool;  (** Two-phase commit for globals (default false). *)
+  capacity : int;
+      (** Admission-lane bound: blocked {!submit_global} = backpressure. *)
+  max_active : int;
+      (** Concurrently admitted globals; beyond it, admits park inside the
+          GTM (so effective client-visible queueing is
+          [capacity + max_active]). *)
+  stall_timeout_ms : float;
+      (** No-progress window after which the stall detector kills the
+          youngest blocked global transaction (cross-site deadlock rule). *)
+  tick_ms : float;  (** Ticker period. *)
+  obs : Mdbs_obs.Obs.t;
+}
+
+val config :
+  ?atomic_commit:bool ->
+  ?capacity:int ->
+  ?max_active:int ->
+  ?stall_timeout_ms:float ->
+  ?tick_ms:float ->
+  ?obs:Mdbs_obs.Obs.t ->
+  scheme:Mdbs_core.Scheme.t ->
+  sites:Mdbs_site.Local_dbms.t list ->
+  unit ->
+  config
+(** Defaults: no 2PC, capacity 64, max_active 64, stall timeout 250 ms,
+    tick 5 ms, observability disabled. *)
+
+type t
+
+type stats = {
+  admitted : int;
+  committed : int;  (** Global transactions only (locals settle site-side). *)
+  aborted : int;
+  rejected : int;  (** {!try_submit_global} refusals. *)
+  force_aborts : int;  (** Cross-site deadlock victims. *)
+  stall_kills : int;  (** Stall-detector kills with no identifiable block. *)
+  site_crashes : int;
+  active : int;
+  inbox_hwm : int;  (** GTM inbox high-watermark (congestion telltale). *)
+  ops_per_site : (Types.sid * int) list;
+}
+
+type result = {
+  scheme_name : string;
+  trace : Mdbs_analysis.Trace.t;
+      (** The captured real interleaving: local schedules, global visit
+          orders, realized [ser(S)]. *)
+  analysis : Mdbs_analysis.Analysis.t;
+      (** Certifier + linter verdict over [trace]. *)
+  certified : bool;
+  run_stats : stats;
+  elapsed_ms : float;
+  wait_insertions : int;
+  ser_waits : int;
+  engine_steps : int;
+  scheme_steps : int;
+}
+
+val start : config -> t
+(** Spawn the site worker domains, the GTM domain and the ticker thread. *)
+
+val scheme_name : t -> string
+
+val n_sites : t -> int
+
+val submit_global : t -> Txn.t -> Gtm.status Promise.t
+(** Admit a global transaction; blocks while the admission lane is full
+    (backpressure). After {!shutdown} began, the promise is already
+    fulfilled with [Aborted "shutdown"]. *)
+
+val try_submit_global : t -> Txn.t -> Gtm.status Promise.t option
+(** Non-blocking admission: [None] when the lane is full (counted in
+    [rejected]) or the runtime is shutting down. *)
+
+val submit_local : t -> Txn.t -> Gtm.status Promise.t
+(** Route a local transaction straight to its site's worker, bypassing the
+    GTM (the paper's pre-existing local applications). *)
+
+val crash_site : t -> Types.sid -> unit
+(** Inject a site crash (durable sites; a no-op fault otherwise): volatile
+    state dies, storage recovers from the WAL, the GTM aborts every global
+    transaction whose subtransaction died with it — in-doubt participants
+    are resolved by the GTM's decision record. *)
+
+val stats : t -> stats
+(** Readable from any thread while the runtime runs. *)
+
+val stalled : t -> (string * string) list
+(** Live stall attribution: every GTM2-delayed operation with the scheme's
+    [explain] reason. *)
+
+val shutdown : t -> result
+(** Stop accepting, drain every admitted transaction to a final status,
+    stop the workers and the ticker, join all domains, then capture the
+    trace and certify it. At most once. *)

@@ -1,0 +1,100 @@
+module Workload = Mdbs_sim.Workload
+module Registry = Mdbs_core.Registry
+module Rng = Mdbs_util.Rng
+module Obs = Mdbs_obs.Obs
+
+type config = {
+  wl : Workload.config;
+  scheme : Registry.kind;
+  rate : float;
+  duration_s : float;
+  local_fraction : float;
+  seed : int;
+  atomic_commit : bool;
+  capacity : int;
+  max_active : int;
+  stall_timeout_ms : float;
+  report_every_s : float;
+  obs : Obs.t;
+}
+
+let config ?(wl = Workload.default) ?(rate = 200.) ?(duration_s = 5.)
+    ?(local_fraction = 0.) ?(seed = 42) ?(atomic_commit = false)
+    ?(capacity = 64) ?(max_active = 64) ?(stall_timeout_ms = 250.)
+    ?(report_every_s = 1.) ?(obs = Obs.disabled) scheme =
+  if rate <= 0. then invalid_arg "Serve.config: rate <= 0";
+  if duration_s <= 0. then invalid_arg "Serve.config: duration <= 0";
+  { wl; scheme; rate; duration_s; local_fraction; seed; atomic_commit;
+    capacity; max_active; stall_timeout_ms; report_every_s; obs }
+
+type summary = {
+  offered : int;
+  accepted : int;
+  rejected : int;
+  run : Runtime.result;
+}
+
+let progress_line rt offered rejected =
+  let st = Runtime.stats rt in
+  Printf.printf
+    "[serve] offered %d  committed %d  aborted %d  rejected %d  active %d  \
+     forced %d\n"
+    offered st.Runtime.committed st.Runtime.aborted rejected
+    st.Runtime.active st.Runtime.force_aborts;
+  (match Runtime.stalled rt with
+  | [] -> ()
+  | delayed ->
+      Printf.printf "[serve]   %d delayed in GTM2:\n" (List.length delayed);
+      List.iteri
+        (fun i (op, why) ->
+          if i < 4 then Printf.printf "[serve]     %s — %s\n" op why)
+        delayed);
+  flush stdout
+
+let run ?(quiet = false) cfg =
+  let sites = Workload.make_sites cfg.wl in
+  let rt =
+    Runtime.start
+      (Runtime.config ~atomic_commit:cfg.atomic_commit ~capacity:cfg.capacity
+         ~max_active:cfg.max_active ~stall_timeout_ms:cfg.stall_timeout_ms
+         ~obs:cfg.obs
+         ~scheme:(Registry.make cfg.scheme)
+         ~sites ())
+  in
+  let rng = Rng.create cfg.seed in
+  let offered = ref 0 in
+  let accepted = ref 0 in
+  let rejected = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. cfg.duration_s in
+  let next_report = ref (t0 +. cfg.report_every_s) in
+  let next_arrival = ref t0 in
+  while Unix.gettimeofday () < deadline do
+    let now = Unix.gettimeofday () in
+    if now >= !next_arrival then begin
+      next_arrival := !next_arrival +. Rng.exponential rng cfg.rate;
+      incr offered;
+      let local =
+        cfg.local_fraction > 0. && Rng.float rng 1.0 < cfg.local_fraction
+      in
+      if local then begin
+        let sid = Rng.int rng cfg.wl.Workload.m in
+        ignore (Runtime.submit_local rt (Workload.local_txn rng cfg.wl sid));
+        incr accepted
+      end
+      else
+        match Runtime.try_submit_global rt (Workload.global_txn rng cfg.wl) with
+        | Some _ -> incr accepted
+        | None -> incr rejected
+    end
+    else begin
+      if (not quiet) && now >= !next_report then begin
+        next_report := now +. cfg.report_every_s;
+        progress_line rt !offered !rejected
+      end;
+      Thread.delay (Float.min 0.001 (!next_arrival -. now))
+    end
+  done;
+  if not quiet then progress_line rt !offered !rejected;
+  let run = Runtime.shutdown rt in
+  { offered = !offered; accepted = !accepted; rejected = !rejected; run }

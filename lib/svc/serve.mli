@@ -1,0 +1,59 @@
+(** Open-loop service mode: run the runtime under Poisson arrivals.
+
+    Unlike the closed-loop {!Loadgen} (a fixed client population that waits
+    for each transaction before submitting the next), [serve] submits
+    global transactions at a target arrival {e rate} regardless of
+    completion, through {!Runtime.try_submit_global} — so when the offered
+    load exceeds what the scheme sustains, the bounded admission lane fills
+    and the excess is {e rejected} (admission control) instead of growing
+    an unbounded queue. Rejection and stall counts are the service-level
+    signal that the configuration is saturated.
+
+    Progress lines (one per [report_every_s]) show committed/aborted/
+    rejected counts plus live stall attribution from the scheme's own
+    [explain]. The final summary is the certified {!Loadgen.report}-style
+    verdict from {!Runtime.shutdown}. *)
+
+type config = {
+  wl : Mdbs_sim.Workload.config;
+  scheme : Mdbs_core.Registry.kind;
+  rate : float;  (** Target arrivals per second (Poisson). *)
+  duration_s : float;
+  local_fraction : float;
+  seed : int;
+  atomic_commit : bool;
+  capacity : int;
+  max_active : int;
+  stall_timeout_ms : float;
+  report_every_s : float;
+  obs : Mdbs_obs.Obs.t;
+}
+
+val config :
+  ?wl:Mdbs_sim.Workload.config ->
+  ?rate:float ->
+  ?duration_s:float ->
+  ?local_fraction:float ->
+  ?seed:int ->
+  ?atomic_commit:bool ->
+  ?capacity:int ->
+  ?max_active:int ->
+  ?stall_timeout_ms:float ->
+  ?report_every_s:float ->
+  ?obs:Mdbs_obs.Obs.t ->
+  Mdbs_core.Registry.kind ->
+  config
+(** Defaults: default workload, 200 arrivals/s offered, 5 s, no locals,
+    seed 42, no 2PC, capacity 64, max_active 64, stall 250 ms, report every
+    second. *)
+
+type summary = {
+  offered : int;  (** Arrivals generated. *)
+  accepted : int;
+  rejected : int;
+  run : Runtime.result;
+}
+
+val run : ?quiet:bool -> config -> summary
+(** Blocks for [duration_s] plus drain time. [quiet] suppresses the
+    periodic progress lines (default false). *)

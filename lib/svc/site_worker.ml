@@ -1,0 +1,177 @@
+open Mdbs_model
+module Local_dbms = Mdbs_site.Local_dbms
+module Gtm = Mdbs_core.Gtm
+
+type request =
+  | Exec of {
+      req : int;
+      tid : Types.tid;
+      action : Op.action;
+      declare : (Item.t * Mdbs_lcc.Cc_types.mode) list option;
+    }
+  | Run_local of { txn : Txn.t; promise : Gtm.status Promise.t }
+  | Crash
+  | Stop
+
+type reply =
+  | Executed of { req : int; sid : Types.sid; tid : Types.tid }
+  | Waiting of { req : int; sid : Types.sid; tid : Types.tid }
+  | Refused of {
+      req : int;
+      sid : Types.sid;
+      tid : Types.tid;
+      reason : string;
+    }
+  | Unblocked of { sid : Types.sid; tid : Types.tid; action : Op.action }
+  | Crashed of { sid : Types.sid; in_doubt : Types.tid list }
+
+type t = {
+  sid : Types.sid;
+  box : request Mailbox.t;
+  handled : int Atomic.t;
+  domain : Mdbs_site.Local_dbms.t Domain.t;
+}
+
+type state = {
+  dbms : Local_dbms.t;
+  reply : reply -> unit;
+  observe : Types.tid -> Op.action -> string -> unit;
+  local_cont : (Types.tid, Op.action list * Gtm.status Promise.t) Hashtbl.t;
+}
+
+let outcome_label = function
+  | Local_dbms.Executed _ -> "executed"
+  | Local_dbms.Waiting -> "waiting"
+  | Local_dbms.Aborted _ -> "aborted"
+
+(* Run a local transaction's remaining actions; park the continuation on
+   the first [Waiting] (the completion drain resumes it), settle the
+   promise on commit/abort. *)
+let rec run_local_actions st tid actions promise =
+  match actions with
+  | [] -> Promise.fulfill promise Gtm.Committed
+  | action :: rest -> (
+      match Local_dbms.submit st.dbms tid action with
+      | Local_dbms.Executed _ ->
+          st.observe tid action "executed";
+          run_local_actions st tid rest promise
+      | Local_dbms.Waiting ->
+          st.observe tid action "waiting";
+          Hashtbl.replace st.local_cont tid (rest, promise)
+      | Local_dbms.Aborted reason ->
+          st.observe tid action "aborted";
+          Promise.fulfill promise (Gtm.Aborted reason))
+
+(* Lock releases only happen at this site, and this worker serializes all
+   of the site's operations, so draining after every request catches every
+   unblocked waiter. *)
+let drain st =
+  List.iter
+    (fun (c : Local_dbms.completion) ->
+      let tid = c.Local_dbms.tid in
+      st.observe tid c.Local_dbms.action "unblocked";
+      match Hashtbl.find_opt st.local_cont tid with
+      | Some (rest, promise) ->
+          Hashtbl.remove st.local_cont tid;
+          run_local_actions st tid rest promise
+      | None ->
+          st.reply
+            (Unblocked
+               {
+                 sid = Local_dbms.site_id st.dbms;
+                 tid;
+                 action = c.Local_dbms.action;
+               }))
+    (Local_dbms.drain_completions st.dbms)
+
+let handle st = function
+  | Exec { req; tid; action; declare } ->
+      let sid = Local_dbms.site_id st.dbms in
+      (match
+         (match declare with
+         | Some accesses when Local_dbms.needs_declarations st.dbms ->
+             Local_dbms.declare st.dbms tid accesses
+         | _ -> ());
+         Local_dbms.submit st.dbms tid action
+       with
+      | outcome ->
+          st.observe tid action (outcome_label outcome);
+          st.reply
+            (match outcome with
+            | Local_dbms.Executed _ -> Executed { req; sid; tid }
+            | Local_dbms.Waiting -> Waiting { req; sid; tid }
+            | Local_dbms.Aborted reason -> Refused { req; sid; tid; reason })
+      | exception e ->
+          (* E.g. an operation for a transaction a crash wiped out: the
+             restarted site no longer knows the tid. Report, don't die. *)
+          st.observe tid action "refused";
+          st.reply (Refused { req; sid; tid; reason = Printexc.to_string e }));
+      drain st
+  | Run_local { txn; promise } ->
+      let tid = txn.Txn.id in
+      (if Local_dbms.needs_declarations st.dbms then
+         let accesses =
+           List.map
+             (fun (item, write) ->
+               ( item,
+                 if write then Mdbs_lcc.Cc_types.Write_mode
+                 else Mdbs_lcc.Cc_types.Read_mode ))
+             (Txn.accesses_at txn (Local_dbms.site_id st.dbms))
+         in
+         Local_dbms.declare st.dbms tid accesses);
+      let actions = List.map (fun s -> s.Txn.action) txn.Txn.script in
+      (match run_local_actions st tid actions promise with
+      | () -> ()
+      | exception e ->
+          Promise.fulfill promise (Gtm.Aborted (Printexc.to_string e)));
+      drain st
+  | Crash ->
+      (* Parked local continuations die with the site's volatile state. *)
+      Hashtbl.iter
+        (fun _ (_, promise) -> Promise.fulfill promise (Gtm.Aborted "site-crash"))
+        st.local_cont;
+      Hashtbl.reset st.local_cont;
+      let sid = Local_dbms.site_id st.dbms in
+      (match Local_dbms.crash st.dbms with
+      | () -> st.reply (Crashed { sid; in_doubt = Local_dbms.in_doubt st.dbms })
+      | exception Invalid_argument _ ->
+          (* Non-durable site: a crash would lose storage with no WAL to
+             rebuild from; treat as a no-op fault. *)
+          st.reply (Crashed { sid; in_doubt = [] }))
+  | Stop -> ()
+
+let worker_loop box handled reply observe dbms =
+  let st = { dbms; reply; observe; local_cont = Hashtbl.create 16 } in
+  let rec loop () =
+    match Mailbox.take box with
+    | None | Some Stop ->
+        (* Abandon parked continuations (shutdown): settle their clients. *)
+        Hashtbl.iter
+          (fun _ (_, promise) ->
+            Promise.fulfill promise (Gtm.Aborted "shutdown"))
+          st.local_cont;
+        dbms
+    | Some req ->
+        handle st req;
+        Atomic.incr handled;
+        loop ()
+  in
+  loop ()
+
+let spawn ~reply ?(observe = fun _ _ _ -> ()) dbms =
+  let box = Mailbox.create ~capacity:1 () in
+  let handled = Atomic.make 0 in
+  {
+    sid = Local_dbms.site_id dbms;
+    box;
+    handled;
+    domain = Domain.spawn (fun () -> worker_loop box handled reply observe dbms);
+  }
+
+let sid t = t.sid
+
+let send t req = ignore (Mailbox.put_urgent t.box req)
+
+let ops_handled t = Atomic.get t.handled
+
+let join t = Domain.join t.domain

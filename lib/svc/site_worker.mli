@@ -1,0 +1,71 @@
+(** One worker domain per local site (Figure 1's server + local DBMS).
+
+    The worker owns its {!Mdbs_site.Local_dbms.t} exclusively — the local
+    DBMS code is unchanged and single-threaded, exactly as the paper's
+    autonomy assumption demands — and drains an unbounded mailbox of
+    requests: operations of global subtransactions dispatched by the GTM
+    domain ({!Exec}), whole local transactions submitted directly by
+    clients ({!Run_local}, bypassing the GTM as pre-existing local
+    applications do), fault injection ({!Crash}) and shutdown ({!Stop}).
+
+    Replies flow back to the GTM through the [reply] callback (which posts
+    into the GTM inbox's urgent lane, so a worker can never deadlock
+    against a full admission queue). Blocking protocols answer [Waiting];
+    when the blocked operation later executes, the worker surfaces it as
+    {!Unblocked} from the completion drain that follows every request. *)
+
+open Mdbs_model
+
+type request =
+  | Exec of {
+      req : int;  (** Correlation id, echoed in the reply. *)
+      tid : Types.tid;
+      action : Op.action;
+      declare : (Item.t * Mdbs_lcc.Cc_types.mode) list option;
+          (** Predeclared lock set, for conservative-2PL sites. *)
+    }
+  | Run_local of {
+      txn : Txn.t;
+      promise : Mdbs_core.Gtm.status Promise.t;
+    }
+  | Crash  (** {!Mdbs_site.Local_dbms.crash}: durable sites only. *)
+  | Stop  (** Finish the queue and exit the domain. *)
+
+type reply =
+  | Executed of { req : int; sid : Types.sid; tid : Types.tid }
+  | Waiting of { req : int; sid : Types.sid; tid : Types.tid }
+  | Refused of {
+      req : int;
+      sid : Types.sid;
+      tid : Types.tid;
+      reason : string;
+    }
+      (** The protocol aborted the (sub)transaction at this site, or the
+          operation was invalid after a crash wiped the site's state. *)
+  | Unblocked of { sid : Types.sid; tid : Types.tid; action : Op.action }
+      (** A previously [Waiting] operation of a {e global} transaction has
+          now executed. *)
+  | Crashed of { sid : Types.sid; in_doubt : Types.tid list }
+
+type t
+
+val spawn :
+  reply:(reply -> unit) ->
+  ?observe:(Types.tid -> Op.action -> string -> unit) ->
+  Mdbs_site.Local_dbms.t ->
+  t
+(** Start the domain. [observe tid action outcome] is called after every
+    executed operation (from the worker domain — the callback must be
+    thread-safe; the runtime wires it to the locked span sink). *)
+
+val sid : t -> Types.sid
+
+val send : t -> request -> unit
+(** Never blocks (unbounded mailbox). *)
+
+val ops_handled : t -> int
+(** Requests executed so far (readable from any domain). *)
+
+val join : t -> Mdbs_site.Local_dbms.t
+(** Wait for the domain to exit (send {!Stop} first) and hand back the
+    site for post-run capture: schedules, storage, WAL state. *)

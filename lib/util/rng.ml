@@ -22,6 +22,17 @@ let split t =
   let seed = int64 t in
   { state = seed }
 
+(* A distinct odd constant (Weyl increment from PractRand's "sparkle"
+   family) so substream states never collide with the golden-gamma walk of
+   the parent sequence. *)
+let substream_gamma = 0xD1B54A32D192ED03L
+
+let substream t i =
+  let base =
+    Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) substream_gamma)
+  in
+  { state = mix base }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let r = Int64.to_int (int64 t) land max_int in

@@ -17,7 +17,20 @@ val copy : t -> t
 
 val split : t -> t
 (** [split t] derives a new, statistically independent generator from [t],
-    advancing [t]. Useful to give each simulated component its own stream. *)
+    advancing [t]. Useful to give each simulated component its own stream.
+    Because it {e mutates} the parent, the derived stream depends on how
+    many draws preceded the split — fine in sequential code, wrong under
+    concurrency. Parallel components should use {!substream}. *)
+
+val substream : t -> int -> t
+(** [substream t i] is the [i]-th child generator of [t]'s {e current}
+    state, without advancing [t]. The same [(state, i)] pair always yields
+    the same stream regardless of call order or interleaving, so this is
+    the domain-safe way to hand each worker domain / client thread an
+    independent deterministic stream: derive all children from the master
+    seed by index before (or while) spawning. Streams for distinct [i] are
+    statistically independent of each other and of the parent's own
+    sequence (distinct Weyl constant + splitmix64 finalizer). *)
 
 val int64 : t -> int64
 (** Next raw 64-bit value. *)

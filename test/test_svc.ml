@@ -1,0 +1,275 @@
+(* Tests of the parallel service runtime: mailbox backpressure and
+   admission, promises, certified smoke runs of every scheme on real
+   domains, parked-admission draining, local transactions alongside
+   globals, and graceful degradation when a site worker crashes mid-run. *)
+
+module Mailbox = Mdbs_svc.Mailbox
+module Promise = Mdbs_svc.Promise
+module Runtime = Mdbs_svc.Runtime
+module Loadgen = Mdbs_svc.Loadgen
+module Serve = Mdbs_svc.Serve
+module Gtm = Mdbs_core.Gtm
+module Registry = Mdbs_core.Registry
+module Workload = Mdbs_sim.Workload
+module Fault = Mdbs_sim.Fault
+module Analysis = Mdbs_analysis.Analysis
+module Rng = Mdbs_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -------------------------------------------------------------- mailbox *)
+
+let mailbox_fifo () =
+  let box = Mailbox.create ~capacity:4 () in
+  check_bool "put 1" true (Mailbox.put box 1);
+  check_bool "put 2" true (Mailbox.put box 2);
+  ignore (Mailbox.put_urgent box 99);
+  (* Urgent lane overtakes the normal lane. *)
+  Alcotest.(check (option int)) "urgent first" (Some 99) (Mailbox.take box);
+  Alcotest.(check (option int)) "then fifo" (Some 1) (Mailbox.take box);
+  Alcotest.(check (option int)) "then fifo" (Some 2) (Mailbox.take box)
+
+let mailbox_admission () =
+  (* The bounded normal lane is the admission-control surface: try_put
+     refuses exactly when the lane is at capacity. *)
+  let box = Mailbox.create ~capacity:2 () in
+  Alcotest.(check bool) "ok" true (Mailbox.try_put box 1 = `Ok);
+  Alcotest.(check bool) "ok" true (Mailbox.try_put box 2 = `Ok);
+  Alcotest.(check bool) "full" true (Mailbox.try_put box 3 = `Full);
+  (* The urgent lane is exempt from the bound. *)
+  check_bool "urgent accepted" true (Mailbox.put_urgent box 4);
+  (* take serves the urgent item first; only draining a *normal* item
+     frees admission space. *)
+  Alcotest.(check (option int)) "urgent served" (Some 4) (Mailbox.take box);
+  Alcotest.(check bool) "still full" true (Mailbox.try_put box 5 = `Full);
+  Alcotest.(check (option int)) "normal served" (Some 1) (Mailbox.take box);
+  Alcotest.(check bool) "space again" true (Mailbox.try_put box 5 = `Ok);
+  check_int "hwm" 3 (Mailbox.high_watermark box)
+
+let mailbox_backpressure () =
+  (* A blocked producer resumes when a consumer drains the lane. *)
+  let box = Mailbox.create ~capacity:1 () in
+  check_bool "fill" true (Mailbox.put box 0);
+  let unblocked = Atomic.make false in
+  let producer =
+    Thread.create
+      (fun () ->
+        ignore (Mailbox.put box 1);
+        Atomic.set unblocked true)
+      ()
+  in
+  Thread.delay 0.02;
+  check_bool "producer blocked while full" false (Atomic.get unblocked);
+  Alcotest.(check (option int)) "drain" (Some 0) (Mailbox.take box);
+  Thread.join producer;
+  check_bool "producer resumed" true (Atomic.get unblocked);
+  Alcotest.(check (option int)) "value arrived" (Some 1) (Mailbox.take box)
+
+let mailbox_close () =
+  let box = Mailbox.create ~capacity:2 () in
+  check_bool "put" true (Mailbox.put box 1);
+  Mailbox.close box;
+  check_bool "put after close refused" false (Mailbox.put box 2);
+  Alcotest.(check bool) "closed" true (Mailbox.try_put box 2 = `Closed);
+  (* Drains what was accepted, then signals end-of-stream. *)
+  Alcotest.(check (option int)) "drains" (Some 1) (Mailbox.take box);
+  Alcotest.(check (option int)) "eos" None (Mailbox.take box)
+
+(* -------------------------------------------------------------- promise *)
+
+let promise_basic () =
+  let p = Promise.create () in
+  check_bool "not fulfilled" false (Promise.is_fulfilled p);
+  let got = ref None in
+  let waiter = Thread.create (fun () -> got := Some (Promise.await p)) () in
+  Promise.fulfill p 42;
+  Thread.join waiter;
+  Alcotest.(check (option int)) "awaited" (Some 42) !got;
+  (* First fulfillment wins; later ones are ignored. *)
+  Promise.fulfill p 7;
+  check_int "still first" 42 (Promise.await p)
+
+(* ---------------------------------------------------- certified smoke runs *)
+
+let wl ?(durable = false) m =
+  { Workload.default with Workload.m; data_per_site = 16; durable }
+
+(* Every scheme, on >= 4 real site domains plus the GTM domain, with a
+   closed loop of concurrent client threads; the realized interleaving
+   must certify clean against the Theorem-2 obligations. *)
+let smoke_scheme kind () =
+  let r =
+    Loadgen.run
+      (Loadgen.config ~wl:(wl 4) ~clients:6 ~txns_per_client:8 ~seed:7 kind)
+  in
+  check_int "all settled" r.Loadgen.submitted
+    (r.Loadgen.committed + r.Loadgen.aborted);
+  check_bool "some commits" true (r.Loadgen.committed > 0);
+  check_int "no violations" 0 r.Loadgen.violations;
+  check_bool "certified" true r.Loadgen.certified
+
+(* Conservative schemes never abort on their own, and conservative-2PL
+   sites never abort unilaterally either (deadlock-free, predeclared
+   locks) — so every abort in this run must come from the cross-site
+   deadlock/stall detector. *)
+let conservative_abort_accounting () =
+  let c2pl =
+    { (wl 4) with Workload.protocols = [ Mdbs_model.Types.Conservative_2pl ] }
+  in
+  let r =
+    Loadgen.run
+      (Loadgen.config ~wl:c2pl ~clients:4 ~txns_per_client:6 ~seed:3
+         Registry.S3)
+  in
+  let st = r.Loadgen.run.Runtime.run_stats in
+  check_bool "aborts only from detector" true
+    (st.Runtime.aborted
+    <= st.Runtime.force_aborts + st.Runtime.stall_kills
+       + st.Runtime.site_crashes);
+  check_bool "certified" true r.Loadgen.certified
+
+(* max_active below the client count forces admissions to park inside the
+   GTM; everything must still drain and certify. *)
+let parked_admission_drains () =
+  let r =
+    Loadgen.run
+      (Loadgen.config ~wl:(wl 4) ~clients:8 ~txns_per_client:5 ~seed:11
+         ~capacity:2 ~max_active:2 Registry.S2)
+  in
+  check_int "all settled" r.Loadgen.submitted
+    (r.Loadgen.committed + r.Loadgen.aborted);
+  check_bool "certified" true r.Loadgen.certified
+
+(* Local transactions bypass the GTM yet appear in the certified trace. *)
+let locals_and_globals () =
+  let r =
+    Loadgen.run
+      (Loadgen.config ~wl:(wl 3) ~clients:6 ~txns_per_client:8
+         ~local_fraction:0.4 ~seed:5 Registry.S1)
+  in
+  check_int "all settled" r.Loadgen.submitted
+    (r.Loadgen.committed + r.Loadgen.aborted);
+  check_bool "certified" true r.Loadgen.certified
+
+(* Atomic commitment (2PC brackets) across the service runtime. *)
+let atomic_commit_run () =
+  let r =
+    Loadgen.run
+      (Loadgen.config ~wl:(wl 4) ~clients:4 ~txns_per_client:6 ~seed:13
+         ~atomic_commit:true Registry.S3)
+  in
+  check_int "all settled" r.Loadgen.submitted
+    (r.Loadgen.committed + r.Loadgen.aborted);
+  check_bool "certified" true r.Loadgen.certified
+
+(* Open-loop serve mode: offered = accepted + rejected, and the drained
+   run still certifies. *)
+let serve_accounting () =
+  let s =
+    Serve.run ~quiet:true
+      (Serve.config ~wl:(wl 3) ~rate:400. ~duration_s:0.5 ~capacity:8
+         ~seed:21 Registry.S2)
+  in
+  check_int "offered split" s.Serve.offered (s.Serve.accepted + s.Serve.rejected);
+  check_bool "made progress" true
+    (s.Serve.run.Runtime.run_stats.Runtime.committed > 0);
+  check_bool "certified" true s.Serve.run.Runtime.certified
+
+(* ----------------------------------------------------------- site crash *)
+
+(* Crash one site worker mid-run (the victim chosen by realizing a Fault
+   plan, as the chaos harness does). The runtime must degrade gracefully:
+   every submitted transaction still reaches a final status, the crash is
+   counted, and the surviving execution certifies. *)
+let site_crash_graceful () =
+  let m = 4 in
+  let plan =
+    Fault.realize
+      { Fault.default_mix with Fault.site_crashes = 1; gtm_crashes = 0;
+        slowdowns = 0 }
+      ~seed:17 ~m ~horizon:100.
+  in
+  let victim =
+    match
+      List.find_map
+        (function _, Fault.Site_crash sid -> Some sid | _ -> None)
+        plan.Fault.events
+    with
+    | Some sid -> sid
+    | None -> Alcotest.fail "plan has no site crash"
+  in
+  let config = wl ~durable:true m in
+  let sites = Workload.make_sites config in
+  let rt =
+    Runtime.start
+      (Runtime.config ~scheme:(Registry.make Registry.S3) ~sites
+         ~stall_timeout_ms:100. ())
+  in
+  let rng = Rng.create 29 in
+  let n = 24 in
+  let promises =
+    List.init n (fun i ->
+        if i = n / 2 then Runtime.crash_site rt victim;
+        Runtime.submit_global rt (Workload.global_txn rng config))
+  in
+  let statuses = List.map Promise.await promises in
+  let res = Runtime.shutdown rt in
+  check_int "all settled" n (List.length statuses);
+  List.iter
+    (fun s -> check_bool "final" true (s <> Gtm.Active))
+    statuses;
+  check_int "crash counted" 1 res.Runtime.run_stats.Runtime.site_crashes;
+  check_bool "some survivors committed" true
+    (res.Runtime.run_stats.Runtime.committed > 0);
+  check_int "no violations" 0 (Analysis.errors res.Runtime.analysis);
+  check_bool "certified" true res.Runtime.certified
+
+(* Submissions after shutdown are refused, not lost. *)
+let shutdown_refuses () =
+  let config = wl 2 in
+  let sites = Workload.make_sites config in
+  let rt =
+    Runtime.start
+      (Runtime.config ~scheme:(Registry.make Registry.S0) ~sites ())
+  in
+  let rng = Rng.create 1 in
+  let p = Runtime.submit_global rt (Workload.global_txn rng config) in
+  ignore (Promise.await p);
+  let res = Runtime.shutdown rt in
+  check_bool "certified" true res.Runtime.certified;
+  (match Promise.await (Runtime.submit_global rt (Workload.global_txn rng config)) with
+  | Gtm.Aborted _ -> ()
+  | _ -> Alcotest.fail "post-shutdown submit must abort");
+  check_bool "try refuses" true
+    (Runtime.try_submit_global rt (Workload.global_txn rng config) = None)
+
+let () =
+  Alcotest.run "mdbs-svc"
+    [
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo+urgent" `Quick mailbox_fifo;
+          Alcotest.test_case "admission" `Quick mailbox_admission;
+          Alcotest.test_case "backpressure" `Quick mailbox_backpressure;
+          Alcotest.test_case "close" `Quick mailbox_close;
+        ] );
+      ("promise", [ Alcotest.test_case "basic" `Quick promise_basic ]);
+      ( "smoke-certified",
+        List.map
+          (fun kind ->
+            Alcotest.test_case (Registry.name kind) `Quick (smoke_scheme kind))
+          Registry.all );
+      ( "runtime",
+        [
+          Alcotest.test_case "conservative-aborts" `Quick
+            conservative_abort_accounting;
+          Alcotest.test_case "parked-admission" `Quick parked_admission_drains;
+          Alcotest.test_case "locals" `Quick locals_and_globals;
+          Alcotest.test_case "atomic-commit" `Quick atomic_commit_run;
+          Alcotest.test_case "serve" `Quick serve_accounting;
+          Alcotest.test_case "shutdown" `Quick shutdown_refuses;
+        ] );
+      ( "faults",
+        [ Alcotest.test_case "site-crash" `Quick site_crash_graceful ] );
+    ]

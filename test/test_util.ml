@@ -46,6 +46,38 @@ let rng_split_independent () =
   let child = Rng.split parent in
   check_bool "different streams" true (Rng.int64 parent <> Rng.int64 child)
 
+(* substream is the domain-safe path: derived streams are a pure function
+   of (parent state, index) — independent of call order and of draws made
+   from other substreams — and leave the parent untouched. *)
+let rng_substream_independent () =
+  let parent = Rng.create 3 in
+  let before = Rng.int64 (Rng.copy parent) in
+  let s0 = Rng.substream parent 0 in
+  let s1 = Rng.substream parent 1 in
+  (* Re-deriving — in the other order, and after the first pair has been
+     drawn from — yields the same streams. *)
+  let s1' = Rng.substream parent 1 in
+  let s0' = Rng.substream parent 0 in
+  for _ = 1 to 50 do
+    let a = Rng.int64 s0 and b = Rng.int64 s1 in
+    Alcotest.(check int64) "substream 0 reproducible" a (Rng.int64 s0');
+    Alcotest.(check int64) "substream 1 reproducible" b (Rng.int64 s1');
+    check_bool "streams differ" true (a <> b)
+  done;
+  Alcotest.(check int64) "parent untouched" before (Rng.int64 parent)
+
+let rng_substream_uncorrelated () =
+  (* Crude independence check: adjacent substreams should not produce
+     correlated low-entropy output. *)
+  let parent = Rng.create 11 in
+  let buckets = Hashtbl.create 64 in
+  for i = 0 to 63 do
+    let s = Rng.substream parent i in
+    let v = Rng.int s 1000 in
+    Hashtbl.replace buckets v ()
+  done;
+  check_bool "spread over many values" true (Hashtbl.length buckets > 48)
+
 let rng_shuffle_permutes () =
   let rng = Rng.create 4 in
   let arr = Array.init 20 (fun i -> i) in
@@ -389,6 +421,8 @@ let () =
           Alcotest.test_case "bounds" `Quick rng_bounds;
           Alcotest.test_case "sample-distinct" `Quick rng_sample_distinct;
           Alcotest.test_case "split" `Quick rng_split_independent;
+          Alcotest.test_case "substream" `Quick rng_substream_independent;
+          Alcotest.test_case "substream-spread" `Quick rng_substream_uncorrelated;
           Alcotest.test_case "shuffle" `Quick rng_shuffle_permutes;
           Alcotest.test_case "exponential" `Quick rng_exponential_positive;
         ] );
