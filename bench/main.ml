@@ -128,6 +128,64 @@ let substream_bench =
             ignore (Rng.int64 (Rng.substream parent i))
           done))
 
+let mailbox_drain_bench =
+  Test.make ~name:"svc mailbox bulk put/drain (cap 64)"
+    (Staged.stage (fun () ->
+         let box = Mdbs_svc.Mailbox.create ~capacity:64 () in
+         for i = 1 to 64 do
+           ignore (Mdbs_svc.Mailbox.put box i)
+         done;
+         ignore (Mdbs_svc.Mailbox.drain box)))
+
+(* Engine-level: the full GTM2 queue-operation sequence of [n] sequential
+   global transactions over [m] sites (init, ser x m, ack x m, fin), fed
+   through the locked scheduler either one lock round per operation (the
+   pre-batching hot path) or as a single run_ops batch — the difference is
+   the dispatch amortization the service runtime banks on. *)
+module Queue_op = Mdbs_core.Queue_op
+
+let engine_ops ~n_txns ~m =
+  List.concat
+    (List.init n_txns (fun i ->
+         let gid = i + 1 in
+         let sites = List.init m (fun s -> s) in
+         List.concat
+           [
+             [ Queue_op.Init { Queue_op.gid; ser_sites = sites } ];
+             List.map (fun s -> Queue_op.Ser (gid, s)) sites;
+             List.map (fun s -> Queue_op.Ack (gid, s)) sites;
+             [ Queue_op.Fin gid ];
+           ]))
+
+let gtm_sched_per_op_bench =
+  let ops = engine_ops ~n_txns:32 ~m:4 in
+  Test.make ~name:"svc gtm_sched scheme3 per-op lock (32 txns)"
+    (Staged.stage (fun () ->
+         let sched = Mdbs_svc.Gtm_sched.create (Registry.make Registry.S3) in
+         List.iter
+           (fun op ->
+             Mdbs_svc.Gtm_sched.enqueue sched op;
+             ignore (Mdbs_svc.Gtm_sched.run sched))
+           ops))
+
+let gtm_sched_batched_bench =
+  let ops = engine_ops ~n_txns:32 ~m:4 in
+  Test.make ~name:"svc gtm_sched scheme3 batched run_ops (32 txns)"
+    (Staged.stage (fun () ->
+         let sched = Mdbs_svc.Gtm_sched.create (Registry.make Registry.S3) in
+         ignore (Mdbs_svc.Gtm_sched.run_ops sched ops)))
+
+(* Runtime-level: a whole (small) certified closed-loop run, domains and
+   all — end-to-end cost of the batched service hot path. *)
+let runtime_loadgen_bench =
+  Test.make ~name:"svc runtime loadgen scheme3 (m=2, 4 clients x 3)"
+    (Staged.stage (fun () ->
+         ignore
+           (Mdbs_svc.Loadgen.run
+              (Mdbs_svc.Loadgen.config
+                 ~wl:{ Workload.default with m = 2; data_per_site = 16 }
+                 ~clients:4 ~txns_per_client:3 ~seed:11 Registry.S3))))
+
 let benchmarks () =
   let tests =
     List.concat
@@ -138,7 +196,9 @@ let benchmarks () =
         List.map wait_bench Registry.all;
         [ ec_bench 16; ec_bench 32; exact_bench 8; exact_bench 10 ];
         List.map endtoend_bench Registry.all;
-        [ mailbox_bench; substream_bench ];
+        [ mailbox_bench; mailbox_drain_bench; substream_bench;
+          gtm_sched_per_op_bench; gtm_sched_batched_bench;
+          runtime_loadgen_bench ];
       ]
   in
   Test.make_grouped ~name:"mdbs" tests

@@ -9,6 +9,7 @@
      chaos        fault-injecting runs, every one certified
      serve        open-loop parallel service runtime (OCaml 5 domains)
      loadgen      closed-loop load generation against the service runtime
+     bench-compare diff two loadgen baselines, fail on throughput regressions
      analyze      statically certify and lint a recorded schedule *)
 
 module Registry = Mdbs_core.Registry
@@ -379,23 +380,31 @@ let svc_flags =
   in
   let stall =
     Arg.(value & opt float 250. & info [ "stall-ms" ] ~docv:"MS"
-           ~doc:"No-progress window before the cross-site deadlock detector \
-                 kills the youngest blocked global.")
+           ~doc:"Per-transaction wait window before the cross-site deadlock \
+                 detector kills the youngest blocked global.")
+  in
+  let tick =
+    Arg.(value & opt float 5. & info [ "tick-ms" ] ~docv:"MS"
+           ~doc:"Runtime ticker period: how often the stall detector \
+                 re-examines blocked transactions.")
   in
   Term.(
-    const (fun m data d_av hotspot local seed atomic capacity max_active stall ->
-        (m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall))
+    const
+      (fun m data d_av hotspot local seed atomic capacity max_active stall tick ->
+        ( m, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
+          stall, tick ))
     $ sites $ data $ d_av $ hotspot $ local $ seed $ atomic $ capacity
-    $ max_active $ stall)
+    $ max_active $ stall $ tick)
 
-let loadgen_config kind (m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall)
+let loadgen_config kind
+    (m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall, tick)
     clients txns obs =
   let wl =
     { Workload.default with m; data_per_site = data; d_av; hotspot }
   in
   Loadgen.config ~wl ~clients ~txns_per_client:txns ~local_fraction:local
     ~seed ~atomic_commit:atomic ~capacity ~max_active ~stall_timeout_ms:stall
-    ~obs kind
+    ~tick_ms:tick ~obs kind
 
 let loadgen_cmd =
   let doc =
@@ -434,7 +443,8 @@ let loadgen_cmd =
     let obs = make_obs obsf in
     match bench_out with
     | Some file ->
-        let m0, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall =
+        let m0, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
+            stall, tick =
           svcf
         in
         ignore m0;
@@ -446,7 +456,7 @@ let loadgen_cmd =
                   let cfg =
                     loadgen_config k
                       (m, data, d_av, hotspot, local, seed, atomic, capacity,
-                       max_active, stall)
+                       max_active, stall, tick)
                       clients txns Obs.disabled
                   in
                   Printf.eprintf "bench: %s m=%d...\n%!" (Registry.name k) m;
@@ -515,7 +525,8 @@ let serve_cmd =
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress lines.") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.") in
   let run kind svcf rate duration quiet json obsf =
-    let m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall =
+    let m, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
+        stall, tick =
       svcf
     in
     let wl = { Workload.default with m; data_per_site = data; d_av; hotspot } in
@@ -524,7 +535,7 @@ let serve_cmd =
       Serve.run ~quiet
         (Serve.config ~wl ~rate ~duration_s:duration ~local_fraction:local
            ~seed ~atomic_commit:atomic ~capacity ~max_active
-           ~stall_timeout_ms:stall ~obs kind)
+           ~stall_timeout_ms:stall ~tick_ms:tick ~obs kind)
     in
     export_obs obsf obs;
     let res = s.Serve.run in
@@ -559,6 +570,131 @@ let serve_cmd =
     Term.(
       const run $ scheme $ svc_flags $ rate $ duration $ quiet $ json
       $ obs_flags)
+
+(* ---------------------------------------------------------- bench-compare *)
+
+let bench_compare_cmd =
+  let doc = "Compare two loadgen benchmark baselines; fail on regressions" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads two JSON baselines produced by $(b,mdbs loadgen --bench-out), \
+         matches runs by (scheme, sites), and reports the throughput delta \
+         of every matched run. Exits 1 when any matched run regressed by \
+         more than $(b,--threshold) percent (default 10), or when a run in \
+         the old baseline has no counterpart in the new one; exits 2 on a \
+         file or parse error. Use it as a CI guard against accidental \
+         hot-path regressions.";
+    ]
+  in
+  let old_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json")
+  in
+  let threshold =
+    Arg.(value & opt float 10. & info [ "threshold" ] ~docv:"PCT"
+           ~doc:"Maximum tolerated throughput drop, in percent.")
+  in
+  let run old_file new_file threshold =
+    let module Json = Mdbs_util.Json in
+    let fail_usage msg =
+      prerr_endline ("mdbs bench-compare: " ^ msg);
+      exit 2
+    in
+    let load file =
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      match Json.of_string s with
+      | Ok doc -> doc
+      | Error msg -> fail_usage (Printf.sprintf "%s: %s" file msg)
+    in
+    (* One baseline's runs as ((scheme, sites), throughput, certified). *)
+    let runs file doc =
+      match Option.bind (Json.member "runs" doc) Json.list_val with
+      | None -> fail_usage (file ^ ": no \"runs\" array")
+      | Some items ->
+          List.map
+            (fun item ->
+              let str k = Option.bind (Json.member k item) Json.string_val in
+              let num k = Option.bind (Json.member k item) Json.number in
+              let bool k = Option.bind (Json.member k item) Json.bool_val in
+              match (str "scheme", num "sites", num "throughput_txn_s") with
+              | Some scheme, Some sites, Some tput ->
+                  ( (scheme, int_of_float sites),
+                    tput,
+                    Option.value ~default:false (bool "certified") )
+              | _ -> fail_usage (file ^ ": run missing scheme/sites/throughput"))
+            items
+    in
+    let old_doc = load old_file and new_doc = load new_file in
+    (* Throughput only compares within one workload shape: flag baselines
+       generated with different sweep parameters. *)
+    List.iter
+      (fun k ->
+        let v doc = Option.bind (Json.member k doc) Json.number in
+        match (v old_doc, v new_doc) with
+        | Some a, Some b when a <> b ->
+            Printf.printf
+              "warning: %s differs between baselines (%g vs %g) — deltas \
+               compare different workloads\n"
+              k a b
+        | _ -> ())
+      [ "clients"; "txns_per_client"; "seed" ];
+    let old_runs = runs old_file old_doc in
+    let new_runs = runs new_file new_doc in
+    let regressions = ref 0 in
+    let rows =
+      List.filter_map
+        (fun (key, old_tput, _) ->
+          let scheme, sites = key in
+          match
+            List.find_opt (fun (k, _, _) -> k = key) new_runs
+          with
+          | None ->
+              incr regressions;
+              Some [ scheme; string_of_int sites;
+                     Printf.sprintf "%.2f" old_tput; "-"; "-"; "MISSING" ]
+          | Some (_, new_tput, certified) ->
+              let delta_pct =
+                if old_tput > 0. then (new_tput -. old_tput) /. old_tput *. 100.
+                else 0.
+              in
+              let regressed = delta_pct < -.threshold in
+              if regressed then incr regressions;
+              Some
+                [ scheme; string_of_int sites;
+                  Printf.sprintf "%.2f" old_tput;
+                  Printf.sprintf "%.2f" new_tput;
+                  Printf.sprintf "%+.1f%%" delta_pct;
+                  (if regressed then "REGRESSED"
+                   else if not certified then "UNCERTIFIED"
+                   else "ok") ])
+        old_runs
+    in
+    if rows = [] then fail_usage (old_file ^ ": no runs to compare");
+    Mdbs_util.Table.print
+      ~headers:[ "scheme"; "sites"; "old txn/s"; "new txn/s"; "delta"; "verdict" ]
+      rows;
+    (* Certification failures in the new baseline fail the comparison too:
+       a fast but uncertified run is not an optimization. *)
+    let uncertified =
+      List.filter (fun (_, _, c) -> not c) new_runs |> List.length
+    in
+    if uncertified > 0 then
+      Printf.printf "%d new run(s) uncertified\n" uncertified;
+    if !regressions > 0 || uncertified > 0 then (
+      Printf.printf "bench-compare: %d regression(s) beyond %.0f%%\n"
+        !regressions threshold;
+      exit 1)
+    else Printf.printf "bench-compare: no regressions beyond %.0f%%\n" threshold
+  in
+  Cmd.v (Cmd.info "bench-compare" ~doc ~man)
+    Term.(const run $ old_file $ new_file $ threshold)
 
 let analyze_cmd =
   let doc = "Statically certify and lint a recorded global schedule" in
@@ -653,5 +789,5 @@ let () =
        (Cmd.group info
           [
             schemes_cmd; experiments_cmd; replay_cmd; simulate_cmd; des_cmd;
-            chaos_cmd; serve_cmd; loadgen_cmd; analyze_cmd;
+            chaos_cmd; serve_cmd; loadgen_cmd; bench_compare_cmd; analyze_cmd;
           ]))

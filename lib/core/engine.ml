@@ -59,6 +59,8 @@ let obs t = t.obs
 
 let enqueue t op = Queue.add op t.queue
 
+let enqueue_all t ops = List.iter (fun op -> Queue.add op t.queue) ops
+
 let ser_bucket t site =
   match Hashtbl.find_opt t.ser_wait site with
   | Some bucket -> bucket

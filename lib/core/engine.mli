@@ -32,6 +32,12 @@ val close_open_spans : t -> reason:string -> unit
 val enqueue : t -> Queue_op.t -> unit
 (** Insert at the back of QUEUE. *)
 
+val enqueue_all : t -> Queue_op.t list -> unit
+(** Insert a batch at the back of QUEUE, in list order. One {!run} after
+    an [enqueue_all] costs a single pass over QUEUE plus the shared
+    WAIT-rescan fixpoint — the amortization the service runtime's batched
+    pump relies on. *)
+
 val run : t -> Scheme.effect_ list
 (** Process QUEUE until empty (WAIT may stay non-empty); returns effects in
     emission order. *)

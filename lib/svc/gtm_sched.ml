@@ -34,6 +34,12 @@ let enqueue t op =
 
 let run t = locked t Engine.run
 
+let run_ops t ops =
+  locked t (fun e ->
+      Engine.enqueue_all e ops;
+      if ops <> [] then Condition.signal t.nonidle;
+      Engine.run e)
+
 let wait_nonidle t =
   Mutex.lock t.mutex;
   while Engine.idle t.engine do

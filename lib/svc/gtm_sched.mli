@@ -24,6 +24,16 @@ val run : t -> Mdbs_core.Scheme.effect_ list
 (** Lock and process QUEUE to emptiness (Figure 3), returning the emitted
     effects in order. *)
 
+val run_ops : t -> Mdbs_core.Queue_op.t list -> Mdbs_core.Scheme.effect_ list
+(** [run_ops t ops]: one lock acquisition for a whole batch — enqueue
+    every operation in list order, then process QUEUE to emptiness and
+    return the effects. This is the batched pump's hot path: the critical
+    section is a pure state transition (scheme bookkeeping only); the
+    returned effects — site dispatches, acks, aborts — are executed by
+    the caller {e outside} the lock, so monitoring threads
+    ({!stalled}/{!wait_size}) are never blocked behind I/O or mailbox
+    traffic. *)
+
 val wait_nonidle : t -> unit
 (** Block until QUEUE is non-empty (signalled by {!enqueue}). *)
 

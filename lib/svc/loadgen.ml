@@ -18,17 +18,18 @@ type config = {
   capacity : int;
   max_active : int;
   stall_timeout_ms : float;
+  tick_ms : float;
   obs : Obs.t;
 }
 
 let config ?(wl = Workload.default) ?(clients = 8) ?(txns_per_client = 25)
     ?(local_fraction = 0.) ?(seed = 42) ?(atomic_commit = false)
     ?(capacity = 64) ?(max_active = 64) ?(stall_timeout_ms = 250.)
-    ?(obs = Obs.disabled) scheme =
+    ?(tick_ms = 5.) ?(obs = Obs.disabled) scheme =
   if clients < 1 then invalid_arg "Loadgen.config: clients < 1";
   if txns_per_client < 1 then invalid_arg "Loadgen.config: txns_per_client < 1";
   { wl; scheme; clients; txns_per_client; local_fraction; seed; atomic_commit;
-    capacity; max_active; stall_timeout_ms; obs }
+    capacity; max_active; stall_timeout_ms; tick_ms; obs }
 
 type report = {
   scheme_name : string;
@@ -54,11 +55,11 @@ type report = {
 }
 
 (* One client: a closed loop with its own deterministic stream. Latencies
-   accumulate in a per-client list — no shared mutable state until join. *)
-let client_loop rt cfg rng =
-  let lat = ref [] in
+   land in a preallocated per-client array — no shared mutable state and no
+   per-sample allocation until join, so hundreds of clients stay cheap. *)
+let client_loop rt cfg rng lat =
   let committed = ref 0 in
-  for _ = 1 to cfg.txns_per_client do
+  for i = 0 to cfg.txns_per_client - 1 do
     let local =
       cfg.local_fraction > 0. && Rng.float rng 1.0 < cfg.local_fraction
     in
@@ -70,10 +71,10 @@ let client_loop rt cfg rng =
       else
         Promise.await (Runtime.submit_global rt (Workload.global_txn rng cfg.wl))
     in
-    lat := ((Unix.gettimeofday () -. t0) *. 1000.) :: !lat;
+    lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.;
     match status with Gtm.Committed -> incr committed | _ -> ()
   done;
-  (!lat, !committed)
+  !committed
 
 let run cfg =
   let sites = Workload.make_sites cfg.wl in
@@ -81,7 +82,7 @@ let run cfg =
     Runtime.start
       (Runtime.config ~atomic_commit:cfg.atomic_commit ~capacity:cfg.capacity
          ~max_active:cfg.max_active ~stall_timeout_ms:cfg.stall_timeout_ms
-         ~obs:cfg.obs
+         ~tick_ms:cfg.tick_ms ~obs:cfg.obs
          ~scheme:(Registry.make cfg.scheme)
          ~sites ())
   in
@@ -90,20 +91,25 @@ let run cfg =
   let threads =
     List.init cfg.clients (fun i ->
         let rng = Rng.substream master i in
-        let out = ref ([], 0) in
-        let th = Thread.create (fun () -> out := client_loop rt cfg rng) () in
-        (th, out))
+        let lat = Array.make cfg.txns_per_client 0. in
+        let committed = ref 0 in
+        let th =
+          Thread.create (fun () -> committed := client_loop rt cfg rng lat) ()
+        in
+        (th, lat, committed))
   in
   let per_client =
     List.map
-      (fun (th, out) ->
+      (fun (th, lat, committed) ->
         Thread.join th;
-        !out)
+        (lat, !committed))
       threads
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let res = Runtime.shutdown rt in
-  let latencies = List.concat_map fst per_client in
+  let latencies =
+    List.concat_map (fun (lat, _) -> Array.to_list lat) per_client
+  in
   let client_committed = List.fold_left (fun a (_, c) -> a + c) 0 per_client in
   let st = res.Runtime.run_stats in
   (* Locals settle site-side and are not in the runtime's commit counter;

@@ -26,6 +26,7 @@ type config = {
   capacity : int;
   max_active : int;
   stall_timeout_ms : float;
+  tick_ms : float;  (** Runtime ticker period (stall-detector cadence). *)
   obs : Mdbs_obs.Obs.t;
 }
 
@@ -39,12 +40,13 @@ val config :
   ?capacity:int ->
   ?max_active:int ->
   ?stall_timeout_ms:float ->
+  ?tick_ms:float ->
   ?obs:Mdbs_obs.Obs.t ->
   Mdbs_core.Registry.kind ->
   config
 (** Defaults: the {!Mdbs_sim.Workload.default} mix, 8 clients, 25
     transactions each, no locals, seed 42, no 2PC, capacity 64,
-    max_active 64, stall timeout 250 ms, observability off. *)
+    max_active 64, stall timeout 250 ms, tick 5 ms, observability off. *)
 
 type report = {
   scheme_name : string;

@@ -7,8 +7,13 @@
     bound, used for internal control traffic (site-worker replies, ticks)
     that must never deadlock against a full admission queue.
 
-    Any number of producers and consumers may share a mailbox; FIFO order
-    is preserved per lane, and {!take} always prefers the urgent lane. *)
+    Any number of producers may share a mailbox, but each mailbox has a
+    {e single consumer} (the owning domain's loop): only one thread may
+    call {!take}/{!drain}. The implementation exploits this — a put into
+    a non-empty mailbox skips the consumer wakeup entirely, since the
+    consumer only ever sleeps on an empty mailbox. FIFO order is
+    preserved per lane, and {!take}/{!drain} always serve the urgent
+    lane first. *)
 
 type 'a t
 
@@ -30,6 +35,15 @@ val take : 'a t -> 'a option
     is closed {e and} drained. *)
 
 val try_take : 'a t -> 'a option
+
+val drain : 'a t -> 'a list
+(** Dequeue {e everything} under one lock acquisition, blocking while
+    both lanes are empty: all urgent messages first, then all normal
+    ones, FIFO within each lane — the order a sequence of {!take}s
+    would have yielded. Draining the normal lane frees the whole
+    admission bound at once, so every producer blocked in {!put} is
+    woken (broadcast, not signal). [[]] once the mailbox is closed and
+    drained. *)
 
 val close : 'a t -> unit
 (** Reject further puts; wake all blocked producers and consumers.

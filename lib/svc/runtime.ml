@@ -33,7 +33,9 @@ let config ?(atomic_commit = false) ?(capacity = 64) ?(max_active = 64)
 
 type msg =
   | Admit of Txn.t * Gtm.status Promise.t
-  | Reply of Site_worker.reply
+  | Replies of Site_worker.reply list
+      (** One coalesced wakeup's worth of worker replies, in execution
+          order. *)
   | Tick
 
 (* What an outstanding Exec correlation id stands for. *)
@@ -99,6 +101,7 @@ type shared = {
   m_force : Metrics.counter;
   m_inbox_depth : Metrics.gauge;
   m_active_peak : Metrics.gauge;
+  m_batch_peak : Metrics.gauge;
 }
 
 (* What the GTM domain hands back when it exits. *)
@@ -119,20 +122,34 @@ type t = {
 
 (* ------------------------------------------------------- GTM domain state *)
 
+(* The GTM domain's private state. Two batch buffers amortize the hot
+   path: [pending_ops] collects every GTM2 queue operation produced while
+   a drained inbox batch is handled, so the engine lock is taken once per
+   pump round instead of once per operation; [outbox] collects every site
+   dispatch of the round, flushed as one [Batch] message per site (one
+   mailbox put per site per round), in dispatch order — per-site
+   execution order equals dispatch order, which Theorem 2 needs.
+
+   [pending_ser]/[pending_direct] map a blocked (site, gid) to the time
+   it blocked: the stall detector ages each blocked transaction on its
+   own clock instead of waiting for global quiescence. *)
 type gst = {
   sh' : shared;
   worker_of : Types.sid -> Site_worker.t;
   gtm1 : Gtm1.t;
   ser_log : Ser_schedule.t;
   promises : (Types.tid, Gtm.status Promise.t) Hashtbl.t;
-  pending_ser : (Types.sid * Types.gid, unit) Hashtbl.t;
-  pending_direct : (Types.sid * Types.gid, unit) Hashtbl.t;
+  pending_ser : (Types.sid * Types.gid, float) Hashtbl.t;
+  pending_direct : (Types.sid * Types.gid, float) Hashtbl.t;
   inflight : (int, inflight) Hashtbl.t;
   parked : (Txn.t * Gtm.status Promise.t) Queue.t;
   fin_enqueued : (Types.gid, unit) Hashtbl.t;
   death_reason : (Types.gid, string) Hashtbl.t;
   decided : (Types.gid, bool) Hashtbl.t;  (* true = commit *)
   txn_spans : (Types.gid, int) Hashtbl.t;
+  pending_ops : Queue_op.t Queue.t;
+  outbox : (Types.sid, Site_worker.request Queue.t) Hashtbl.t;
+  mutable outbox_sites : Types.sid list;  (* sites with queued dispatches *)
   mutable globals_rev : (Types.tid * Types.sid list) list;
   mutable req_counter : int;
   mutable last_progress : float;
@@ -171,17 +188,46 @@ let declaration g gid sid =
          (Gtm1.declaration_for g.gtm1 gid sid))
   else None
 
+(* Buffer a dispatch on the site's outbox; {!flush_outbox} ships the
+   round. Order within a site is preserved end to end: outbox FIFO →
+   Batch list order → worker execution order. *)
 let send_exec g ~kind ~gid ~sid ~action =
   let req = next_req g in
   Hashtbl.replace g.inflight req kind;
   let declare = if action = Op.Begin then declaration g gid sid else None in
-  Site_worker.send (g.worker_of sid)
-    (Site_worker.Exec { req; tid = gid; action; declare })
+  let box =
+    match Hashtbl.find_opt g.outbox sid with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace g.outbox sid q;
+        q
+  in
+  if Queue.is_empty box then g.outbox_sites <- sid :: g.outbox_sites;
+  Queue.add (Site_worker.Exec { req; tid = gid; action; declare }) box
+
+let flush_outbox g =
+  let sites = g.outbox_sites in
+  g.outbox_sites <- [];
+  List.iter
+    (fun sid ->
+      match Hashtbl.find_opt g.outbox sid with
+      | None -> ()
+      | Some box ->
+          let reqs = List.of_seq (Queue.to_seq box) in
+          Queue.clear box;
+          (match reqs with
+          | [] -> ()
+          | [ one ] -> Site_worker.send (g.worker_of sid) one
+          | many -> Site_worker.send (g.worker_of sid) (Site_worker.Batch many)))
+    (List.rev sites)
 
 let fire_abort g gid sid =
   send_exec g ~kind:Fire ~gid ~sid ~action:Op.Abort
 
-let enqueue_ack g gid sid = Gtm_sched.enqueue g.sh'.sched (Queue_op.Ack (gid, sid))
+let enqueue_op g op = Queue.add op g.pending_ops
+
+let enqueue_ack g gid sid = enqueue_op g (Queue_op.Ack (gid, sid))
 
 let gtm1_ack g gid = Gtm1.on_ack g.gtm1 gid
 
@@ -227,7 +273,7 @@ let admit_now g txn promise =
     | None -> invalid_arg (Printf.sprintf "svc: unknown site %d" sid)
   in
   let info = Gtm1.admit g.gtm1 txn ~atomic:g.sh'.cfg_atomic ~ser_point_of () in
-  Gtm_sched.enqueue g.sh'.sched (Queue_op.Init info);
+  enqueue_op g (Queue_op.Init info);
   progress g
 
 let admit_parked g progressed =
@@ -245,7 +291,7 @@ let admit_parked g progressed =
 let finish_txn g gid progressed =
   if not (Hashtbl.mem g.fin_enqueued gid) then begin
     Hashtbl.replace g.fin_enqueued gid ();
-    Gtm_sched.enqueue g.sh'.sched (Queue_op.Fin gid);
+    enqueue_op g (Queue_op.Fin gid);
     let final =
       if Gtm1.is_dead g.gtm1 gid then
         Gtm.Aborted
@@ -296,7 +342,7 @@ let drive_global g gid progressed =
   | Gtm1.Finished -> finish_txn g gid progressed
   | Gtm1.Dispatch_ser sid ->
       Gtm1.note_dispatched g.gtm1 gid;
-      Gtm_sched.enqueue g.sh'.sched (Queue_op.Ser (gid, sid));
+      enqueue_op g (Queue_op.Ser (gid, sid));
       progressed := true
   | Gtm1.Dispatch_direct step ->
       let sid = step.Gtm1.site and action = step.Gtm1.action in
@@ -357,8 +403,10 @@ let handle_reply g progressed = function
       | Some Fire | None -> ignore sid)
   | Site_worker.Waiting { req; sid; tid } -> (
       match take_inflight g req with
-      | Some (Ser_req (gid, s)) -> Hashtbl.replace g.pending_ser (s, gid) ()
-      | Some (Direct_req gid) -> Hashtbl.replace g.pending_direct (sid, gid) ()
+      | Some (Ser_req (gid, s)) ->
+          Hashtbl.replace g.pending_ser (s, gid) (now g)
+      | Some (Direct_req gid) ->
+          Hashtbl.replace g.pending_direct (sid, gid) (now g)
       | Some Fire | None -> ignore tid)
   | Site_worker.Refused { req; sid; tid = _; reason } -> (
       match take_inflight g req with
@@ -405,7 +453,7 @@ let handle_reply g progressed = function
          no Unblocked will ever arrive for them. *)
       let lost tbl =
         Hashtbl.fold
-          (fun (s, gid) () acc -> if s = sid then gid :: acc else acc)
+          (fun (s, gid) _since acc -> if s = sid then gid :: acc else acc)
           tbl []
       in
       List.iter
@@ -434,10 +482,16 @@ let handle_reply g progressed = function
 (* -------------------------------------------------- stalls and deadlocks *)
 
 (* A transaction blocked inside a site (its operation answered [Waiting])
-   with no single-site deadlock means a cross-site cycle; after a stall
-   window, kill the youngest such transaction — the synchronous glue's
-   quiescent-round rule, on a timeout instead of quiescence. *)
-let force_abort_one g =
+   with no single-site deadlock means a potential cross-site cycle. Each
+   blocked transaction ages on its own clock: once one has been waiting
+   longer than the stall window — locally undetectable, so by the paper's
+   argument only a cross-site cycle (or a victim queued behind one) can
+   hold a lock that long — the youngest such transaction is killed. The
+   per-transaction clocks keep a busy system from masking a deadlock:
+   unrelated commits no longer reset the detector, so a clique of k
+   victims drains in O(k) ticks instead of k full quiescent windows. *)
+let blocked_victim g ~only_expired =
+  let cutoff = now g -. g.sh'.cfg_stall_ms in
   let blocked =
     List.filter
       (fun gid ->
@@ -445,35 +499,40 @@ let force_abort_one g =
         && Gtm1.next g.gtm1 gid = Gtm1.In_flight
         &&
         match Gtm1.current_step g.gtm1 gid with
-        | Some step ->
+        | Some step -> (
             let sid = step.Gtm1.site in
-            Hashtbl.mem g.pending_ser (sid, gid)
-            || Hashtbl.mem g.pending_direct (sid, gid)
+            let since =
+              match Hashtbl.find_opt g.pending_ser (sid, gid) with
+              | Some _ as s -> s
+              | None -> Hashtbl.find_opt g.pending_direct (sid, gid)
+            in
+            match since with
+            | Some since -> (not only_expired) || since <= cutoff
+            | None -> false)
         | None -> false)
       (Gtm1.active g.gtm1)
   in
-  match List.rev blocked with
-  | [] -> false
-  | victim :: _ ->
-      Atomic.incr g.sh'.a_force;
-      Metrics.inc g.sh'.m_force;
-      let step =
-        match Gtm1.current_step g.gtm1 victim with
-        | Some s -> s
-        | None -> assert false
-      in
-      let sid = step.Gtm1.site in
-      fire_abort g victim sid;
-      mark_global_dead g victim "global-deadlock" ~aborting_site:(Some sid);
-      if Hashtbl.mem g.pending_ser (sid, victim) then begin
-        Hashtbl.remove g.pending_ser (sid, victim);
-        enqueue_ack g victim sid
-      end
-      else begin
-        Hashtbl.remove g.pending_direct (sid, victim);
-        gtm1_ack g victim
-      end;
-      true
+  match List.rev blocked with [] -> None | victim :: _ -> Some victim
+
+let kill_blocked g victim =
+  Atomic.incr g.sh'.a_force;
+  Metrics.inc g.sh'.m_force;
+  let step =
+    match Gtm1.current_step g.gtm1 victim with
+    | Some s -> s
+    | None -> assert false
+  in
+  let sid = step.Gtm1.site in
+  fire_abort g victim sid;
+  mark_global_dead g victim "global-deadlock" ~aborting_site:(Some sid);
+  if Hashtbl.mem g.pending_ser (sid, victim) then begin
+    Hashtbl.remove g.pending_ser (sid, victim);
+    enqueue_ack g victim sid
+  end
+  else begin
+    Hashtbl.remove g.pending_direct (sid, victim);
+    gtm1_ack g victim
+  end
 
 (* Safety valve: progress has stalled but no transaction is identifiably
    blocked inside a site (e.g. everything waits inside GTM2). Kill the
@@ -500,29 +559,46 @@ let stall_kill g =
       | _ -> ())
 
 let on_tick g =
-  if
-    Gtm1.active g.gtm1 <> []
-    && now g -. g.last_progress > g.sh'.cfg_stall_ms
-  then begin
-    if not (force_abort_one g) then stall_kill g;
-    progress g
+  if Gtm1.active g.gtm1 <> [] then begin
+    (* One victim per tick: its death may unblock the rest of the clique,
+       so re-evaluate before killing again. *)
+    match blocked_victim g ~only_expired:true with
+    | Some victim ->
+        kill_blocked g victim;
+        progress g
+    | None ->
+        if now g -. g.last_progress > g.sh'.cfg_stall_ms then begin
+          (if not (match blocked_victim g ~only_expired:false with
+                   | Some victim ->
+                       kill_blocked g victim;
+                       true
+                   | None -> false)
+           then stall_kill g);
+          progress g
+        end
   end
 
 (* ------------------------------------------------------------- the pump *)
 
 (* Run the scheduler and drive every transaction as far as it goes without
-   an acknowledgement — the asynchronous Figure-3 loop. *)
+   an acknowledgement — the asynchronous Figure-3 loop, batched: every
+   queue operation produced while handling a drained inbox batch funnels
+   through [pending_ops] and enters the engine in one lock acquisition
+   per round ({!Gtm_sched.run_ops}); the effects are executed here,
+   outside the lock. *)
 let pump g =
   let quiescent = ref false in
   while not !quiescent do
     let progressed = ref false in
+    let ops = List.of_seq (Queue.to_seq g.pending_ops) in
+    Queue.clear g.pending_ops;
     let effects =
       if Sink.enabled g.sh'.obs.Obs.sink then begin
         (* All sink writers (workers' instants, the engine's wait spans)
            serialize on sink_mutex; lock order is sink_mutex > sched lock. *)
         Mutex.lock g.sh'.sink_mutex;
         let e =
-          try Gtm_sched.run g.sh'.sched
+          try Gtm_sched.run_ops g.sh'.sched ops
           with ex ->
             Mutex.unlock g.sh'.sink_mutex;
             raise ex
@@ -530,31 +606,50 @@ let pump g =
         Mutex.unlock g.sh'.sink_mutex;
         e
       end
-      else Gtm_sched.run g.sh'.sched
+      else Gtm_sched.run_ops g.sh'.sched ops
     in
     if effects <> [] then progressed := true;
     List.iter (handle_effect g progressed) effects;
     List.iter (fun gid -> drive_global g gid progressed) (Gtm1.active g.gtm1);
     admit_parked g progressed;
-    if !progressed then progress g else quiescent := true
+    if !progressed then progress g
+    else if Queue.is_empty g.pending_ops then quiescent := true
   done
 
 (* -------------------------------------------------------- the GTM domain *)
 
-let handle_msg g = function
-  | Admit (txn, promise) ->
-      if Atomic.get g.sh'.draining then
-        Promise.fulfill promise (Gtm.Aborted "shutdown")
-      else if Atomic.get g.sh'.a_active < g.sh'.cfg_max_active then
-        admit_now g txn promise
-      else Queue.add (txn, promise) g.parked
-  | Reply r ->
-      let progressed = ref false in
-      handle_reply g progressed r;
-      if !progressed then progress g
-  | Tick ->
-      ignore (Atomic.fetch_and_add g.sh'.pending_ticks (-1));
-      on_tick g
+(* Handle one drained inbox batch: classify every message first, then run
+   the engine once over everything the batch produced. Admissions,
+   worker reply bundles and ticks all funnel into the same pump round, so
+   the per-message cost of the old loop (one lock acquisition + one
+   engine fixpoint each) is paid once per batch. *)
+let handle_batch g msgs =
+  let progressed = ref false in
+  let ticks = ref 0 in
+  List.iter
+    (fun msg ->
+      match msg with
+      | Admit (txn, promise) ->
+          if Atomic.get g.sh'.draining then
+            Promise.fulfill promise (Gtm.Aborted "shutdown")
+          else if Atomic.get g.sh'.a_active < g.sh'.cfg_max_active then
+            admit_now g txn promise
+          else Queue.add (txn, promise) g.parked
+      | Replies rs -> List.iter (handle_reply g progressed) rs
+      | Tick ->
+          incr ticks;
+          ignore (Atomic.fetch_and_add g.sh'.pending_ticks (-1)))
+    msgs;
+  if !progressed then progress g;
+  pump g;
+  (* The tick check runs after the pump so freshly made progress counts,
+     and at most once per batch however many ticks were queued. *)
+  if !ticks > 0 then begin
+    on_tick g;
+    (* A kill fake-acks the victim: run its queue operations now rather
+       than waiting for the next wakeup. *)
+    if not (Queue.is_empty g.pending_ops) then pump g
+  end
 
 let gtm_loop sh worker_of =
   let g =
@@ -572,6 +667,9 @@ let gtm_loop sh worker_of =
       death_reason = Hashtbl.create 16;
       decided = Hashtbl.create 64;
       txn_spans = Hashtbl.create 64;
+      pending_ops = Queue.create ();
+      outbox = Hashtbl.create 16;
+      outbox_sites = [];
       globals_rev = [];
       req_counter = 0;
       last_progress = Clock.now_ms sh.clock;
@@ -584,13 +682,15 @@ let gtm_loop sh worker_of =
     && Mailbox.length sh.inbox = 0
   in
   let rec loop () =
-    match Mailbox.take sh.inbox with
-    | None -> ()
-    | Some msg ->
-        handle_msg g msg;
+    match Mailbox.drain sh.inbox with
+    | [] -> ()
+    | msgs ->
+        Metrics.set_max sh.m_batch_peak (float_of_int (List.length msgs));
+        handle_batch g msgs;
+        (* Ship every site's dispatch round as one message per site. *)
+        flush_outbox g;
         Metrics.set_max sh.m_inbox_depth
           (float_of_int (Mailbox.length sh.inbox));
-        pump g;
         if done_ () then () else loop ()
   in
   loop ();
@@ -654,9 +754,10 @@ let start (cfg : config) =
       m_force = Metrics.counter obs.Obs.metrics ~labels "svc_force_aborts_total";
       m_inbox_depth = Metrics.gauge obs.Obs.metrics ~labels "svc_inbox_depth_max";
       m_active_peak = Metrics.gauge obs.Obs.metrics ~labels "svc_active_peak";
+      m_batch_peak = Metrics.gauge obs.Obs.metrics ~labels "svc_batch_peak";
     }
   in
-  let reply r = ignore (Mailbox.put_urgent inbox (Reply r)) in
+  let reply rs = ignore (Mailbox.put_urgent inbox (Replies rs)) in
   let observe_for sid =
     if obs.Obs.live && Sink.enabled obs.Obs.sink then (fun tid action outcome ->
       Mutex.lock sink_mutex;

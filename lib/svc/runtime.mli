@@ -10,8 +10,19 @@
     and admission control ({!try_submit_global} refuses instead); a ticker
     thread drives the stall detector that converts cross-site deadlocks —
     invisible to every single site — into forced aborts of the youngest
-    blocked global transaction, as the synchronous glue does after a
-    quiescent round.
+    blocked global transaction. Each site-blocked transaction ages on its
+    own clock (stamped when the site answers [Waiting]), so a busy system
+    never masks a deadlock: one victim is killed per tick once its own
+    wait exceeds the stall window, with a global-quiescence safety valve
+    behind it for stalls with no identifiable site block.
+
+    The hot path is batched end to end: the GTM drains its whole inbox
+    per wakeup, funnels every resulting GTM2 queue operation through one
+    engine lock acquisition per pump round, buffers site dispatches in
+    per-site outboxes flushed as one message per site per round (list
+    order = dispatch order, preserving the per-site execution order the
+    certifier checks), and workers coalesce each wakeup's replies into a
+    single message back.
 
     Every run is self-certifying: the runtime records each site's local
     schedule, the realized [ser(S)] and the global site-visit orders, and
@@ -34,8 +45,11 @@ type config = {
           GTM (so effective client-visible queueing is
           [capacity + max_active]). *)
   stall_timeout_ms : float;
-      (** No-progress window after which the stall detector kills the
-          youngest blocked global transaction (cross-site deadlock rule). *)
+      (** Per-transaction wait window: once a site-blocked global has been
+          waiting this long on its own clock, the stall detector kills the
+          youngest such transaction (cross-site deadlock rule) — one per
+          tick. Also the global no-progress window for the safety-valve
+          kill when nothing is identifiably site-blocked. *)
   tick_ms : float;  (** Ticker period. *)
   obs : Mdbs_obs.Obs.t;
 }

@@ -14,6 +14,7 @@ type config = {
   capacity : int;
   max_active : int;
   stall_timeout_ms : float;
+  tick_ms : float;
   report_every_s : float;
   obs : Obs.t;
 }
@@ -21,11 +22,11 @@ type config = {
 let config ?(wl = Workload.default) ?(rate = 200.) ?(duration_s = 5.)
     ?(local_fraction = 0.) ?(seed = 42) ?(atomic_commit = false)
     ?(capacity = 64) ?(max_active = 64) ?(stall_timeout_ms = 250.)
-    ?(report_every_s = 1.) ?(obs = Obs.disabled) scheme =
+    ?(tick_ms = 5.) ?(report_every_s = 1.) ?(obs = Obs.disabled) scheme =
   if rate <= 0. then invalid_arg "Serve.config: rate <= 0";
   if duration_s <= 0. then invalid_arg "Serve.config: duration <= 0";
   { wl; scheme; rate; duration_s; local_fraction; seed; atomic_commit;
-    capacity; max_active; stall_timeout_ms; report_every_s; obs }
+    capacity; max_active; stall_timeout_ms; tick_ms; report_every_s; obs }
 
 type summary = {
   offered : int;
@@ -57,7 +58,7 @@ let run ?(quiet = false) cfg =
     Runtime.start
       (Runtime.config ~atomic_commit:cfg.atomic_commit ~capacity:cfg.capacity
          ~max_active:cfg.max_active ~stall_timeout_ms:cfg.stall_timeout_ms
-         ~obs:cfg.obs
+         ~tick_ms:cfg.tick_ms ~obs:cfg.obs
          ~scheme:(Registry.make cfg.scheme)
          ~sites ())
   in

@@ -25,6 +25,7 @@ type config = {
   capacity : int;
   max_active : int;
   stall_timeout_ms : float;
+  tick_ms : float;  (** Runtime ticker period (stall-detector cadence). *)
   report_every_s : float;
   obs : Mdbs_obs.Obs.t;
 }
@@ -39,13 +40,14 @@ val config :
   ?capacity:int ->
   ?max_active:int ->
   ?stall_timeout_ms:float ->
+  ?tick_ms:float ->
   ?report_every_s:float ->
   ?obs:Mdbs_obs.Obs.t ->
   Mdbs_core.Registry.kind ->
   config
 (** Defaults: default workload, 200 arrivals/s offered, 5 s, no locals,
-    seed 42, no 2PC, capacity 64, max_active 64, stall 250 ms, report every
-    second. *)
+    seed 42, no 2PC, capacity 64, max_active 64, stall 250 ms, tick 5 ms,
+    report every second. *)
 
 type summary = {
   offered : int;  (** Arrivals generated. *)

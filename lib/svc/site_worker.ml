@@ -9,6 +9,7 @@ type request =
       action : Op.action;
       declare : (Item.t * Mdbs_lcc.Cc_types.mode) list option;
     }
+  | Batch of request list
   | Run_local of { txn : Txn.t; promise : Gtm.status Promise.t }
   | Crash
   | Stop
@@ -32,12 +33,17 @@ type t = {
   domain : Mdbs_site.Local_dbms.t Domain.t;
 }
 
+(* Replies accumulate in [out] while a wakeup's batch executes and are
+   shipped as one urgent message when it finishes — the coalescing half
+   of the GTM's per-site outbox pipeline. *)
 type state = {
   dbms : Local_dbms.t;
-  reply : reply -> unit;
+  out : reply list ref;
   observe : Types.tid -> Op.action -> string -> unit;
   local_cont : (Types.tid, Op.action list * Gtm.status Promise.t) Hashtbl.t;
 }
+
+let emit st r = st.out := r :: !(st.out)
 
 let outcome_label = function
   | Local_dbms.Executed _ -> "executed"
@@ -75,7 +81,7 @@ let drain st =
           Hashtbl.remove st.local_cont tid;
           run_local_actions st tid rest promise
       | None ->
-          st.reply
+          emit st
             (Unblocked
                {
                  sid = Local_dbms.site_id st.dbms;
@@ -84,7 +90,7 @@ let drain st =
                }))
     (Local_dbms.drain_completions st.dbms)
 
-let handle st = function
+let rec handle st = function
   | Exec { req; tid; action; declare } ->
       let sid = Local_dbms.site_id st.dbms in
       (match
@@ -96,7 +102,7 @@ let handle st = function
        with
       | outcome ->
           st.observe tid action (outcome_label outcome);
-          st.reply
+          emit st
             (match outcome with
             | Local_dbms.Executed _ -> Executed { req; sid; tid }
             | Local_dbms.Waiting -> Waiting { req; sid; tid }
@@ -105,8 +111,13 @@ let handle st = function
           (* E.g. an operation for a transaction a crash wiped out: the
              restarted site no longer knows the tid. Report, don't die. *)
           st.observe tid action "refused";
-          st.reply (Refused { req; sid; tid; reason = Printexc.to_string e }));
+          emit st (Refused { req; sid; tid; reason = Printexc.to_string e }));
       drain st
+  | Batch reqs ->
+      (* One mailbox message carrying a whole dispatch round for this
+         site; list order is GTM dispatch order (the Theorem-2 per-site
+         ordering obligation rides on processing it in order). *)
+      List.iter (handle st) reqs
   | Run_local { txn; promise } ->
       let tid = txn.Txn.id in
       (if Local_dbms.needs_declarations st.dbms then
@@ -133,28 +144,54 @@ let handle st = function
       Hashtbl.reset st.local_cont;
       let sid = Local_dbms.site_id st.dbms in
       (match Local_dbms.crash st.dbms with
-      | () -> st.reply (Crashed { sid; in_doubt = Local_dbms.in_doubt st.dbms })
+      | () -> emit st (Crashed { sid; in_doubt = Local_dbms.in_doubt st.dbms })
       | exception Invalid_argument _ ->
           (* Non-durable site: a crash would lose storage with no WAL to
              rebuild from; treat as a no-op fault. *)
-          st.reply (Crashed { sid; in_doubt = [] }))
+          emit st (Crashed { sid; in_doubt = [] }))
   | Stop -> ()
 
+let count_of = function Batch reqs -> List.length reqs | _ -> 1
+
 let worker_loop box handled reply observe dbms =
-  let st = { dbms; reply; observe; local_cont = Hashtbl.create 16 } in
-  let rec loop () =
-    match Mailbox.take box with
-    | None | Some Stop ->
-        (* Abandon parked continuations (shutdown): settle their clients. *)
-        Hashtbl.iter
-          (fun _ (_, promise) ->
-            Promise.fulfill promise (Gtm.Aborted "shutdown"))
-          st.local_cont;
-        dbms
-    | Some req ->
+  let st = { dbms; out = ref []; observe; local_cont = Hashtbl.create 16 } in
+  let flush () =
+    match List.rev !(st.out) with
+    | [] -> ()
+    | rs ->
+        st.out := [];
+        reply rs
+  in
+  let settle () =
+    (* Abandon parked continuations (shutdown): settle their clients. *)
+    Hashtbl.iter
+      (fun _ (_, promise) -> Promise.fulfill promise (Gtm.Aborted "shutdown"))
+      st.local_cont
+  in
+  (* Returns [true] when Stop terminates the batch. *)
+  let rec process = function
+    | [] -> false
+    | Stop :: _ -> true
+    | req :: rest ->
         handle st req;
-        Atomic.incr handled;
-        loop ()
+        ignore (Atomic.fetch_and_add handled (count_of req));
+        process rest
+  in
+  let rec loop () =
+    match Mailbox.drain box with
+    | [] ->
+        settle ();
+        dbms
+    | batch ->
+        let stop = process batch in
+        (* One urgent reply message per wakeup, however many requests the
+           drain carried. *)
+        flush ();
+        if stop then begin
+          settle ();
+          dbms
+        end
+        else loop ()
   in
   loop ()
 

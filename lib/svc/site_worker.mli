@@ -12,7 +12,15 @@
     into the GTM inbox's urgent lane, so a worker can never deadlock
     against a full admission queue). Blocking protocols answer [Waiting];
     when the blocked operation later executes, the worker surfaces it as
-    {!Unblocked} from the completion drain that follows every request. *)
+    {!Unblocked} from the completion drain that follows every request.
+
+    The worker is batch-pipelined: each wakeup drains its whole mailbox
+    ({!Mailbox.drain}), executes every request in arrival order — a
+    {!Batch} carries one GTM dispatch round in dispatch order, so
+    per-site execution order still equals GTM dispatch order, the
+    capture-faithfulness invariant the certifier relies on — and ships
+    all resulting replies as {e one} coalesced [reply] callback per
+    wakeup instead of one message per operation. *)
 
 open Mdbs_model
 
@@ -24,6 +32,10 @@ type request =
       declare : (Item.t * Mdbs_lcc.Cc_types.mode) list option;
           (** Predeclared lock set, for conservative-2PL sites. *)
     }
+  | Batch of request list
+      (** One dispatch round for this site, in GTM dispatch order; the
+          worker executes it in list order (per-site pipelining without
+          reordering). *)
   | Run_local of {
       txn : Txn.t;
       promise : Mdbs_core.Gtm.status Promise.t;
@@ -50,13 +62,15 @@ type reply =
 type t
 
 val spawn :
-  reply:(reply -> unit) ->
+  reply:(reply list -> unit) ->
   ?observe:(Types.tid -> Op.action -> string -> unit) ->
   Mdbs_site.Local_dbms.t ->
   t
-(** Start the domain. [observe tid action outcome] is called after every
-    executed operation (from the worker domain — the callback must be
-    thread-safe; the runtime wires it to the locked span sink). *)
+(** Start the domain. [reply] receives the coalesced replies of one
+    wakeup (never [[]]), in execution order. [observe tid action outcome]
+    is called after every executed operation (from the worker domain —
+    the callback must be thread-safe; the runtime wires it to the locked
+    span sink). *)
 
 val sid : t -> Types.sid
 
@@ -64,7 +78,8 @@ val send : t -> request -> unit
 (** Never blocks (unbounded mailbox). *)
 
 val ops_handled : t -> int
-(** Requests executed so far (readable from any domain). *)
+(** Requests executed so far, counting each member of a {!Batch}
+    (readable from any domain). *)
 
 val join : t -> Mdbs_site.Local_dbms.t
 (** Wait for the domain to exit (send {!Stop} first) and hand back the

@@ -76,6 +76,56 @@ let mailbox_close () =
   Alcotest.(check (option int)) "drains" (Some 1) (Mailbox.take box);
   Alcotest.(check (option int)) "eos" None (Mailbox.take box)
 
+(* drain empties both lanes in one call: the whole urgent lane first, then
+   the whole normal lane, FIFO within each. *)
+let mailbox_drain_order () =
+  let box = Mailbox.create ~capacity:8 () in
+  check_bool "put 1" true (Mailbox.put box 1);
+  check_bool "put 2" true (Mailbox.put box 2);
+  ignore (Mailbox.put_urgent box 91);
+  check_bool "put 3" true (Mailbox.put box 3);
+  ignore (Mailbox.put_urgent box 92);
+  Alcotest.(check (list int)) "urgent lane first, FIFO within lanes"
+    [ 91; 92; 1; 2; 3 ]
+    (Mailbox.drain box);
+  check_int "emptied" 0 (Mailbox.length box)
+
+(* A bulk drain frees the whole normal lane at once, so *every* producer
+   blocked on the bound resumes (broadcast, not a single signal). *)
+let mailbox_drain_backpressure () =
+  let box = Mailbox.create ~capacity:3 () in
+  check_bool "fill 1" true (Mailbox.put box 1);
+  check_bool "fill 2" true (Mailbox.put box 2);
+  check_bool "fill 3" true (Mailbox.put box 3);
+  let resumed = Atomic.make 0 in
+  let producers =
+    List.init 3 (fun i ->
+        Thread.create
+          (fun () ->
+            ignore (Mailbox.put box (10 + i));
+            Atomic.incr resumed)
+          ())
+  in
+  Thread.delay 0.02;
+  check_int "producers blocked while full" 0 (Atomic.get resumed);
+  let first = Mailbox.drain box in
+  check_int "full drain" 3 (List.length first);
+  List.iter Thread.join producers;
+  check_int "all producers resumed" 3 (Atomic.get resumed);
+  (* The three queued values all landed (order among racing producers is
+     unspecified). *)
+  let rest = Mailbox.drain box in
+  Alcotest.(check (list int)) "late values arrived" [ 10; 11; 12 ]
+    (List.sort compare rest)
+
+(* Once closed and emptied, drain returns [] instead of blocking. *)
+let mailbox_drain_close () =
+  let box = Mailbox.create ~capacity:2 () in
+  check_bool "put" true (Mailbox.put box 7);
+  Mailbox.close box;
+  Alcotest.(check (list int)) "drains the residue" [ 7 ] (Mailbox.drain box);
+  Alcotest.(check (list int)) "eos" [] (Mailbox.drain box)
+
 (* -------------------------------------------------------------- promise *)
 
 let promise_basic () =
@@ -102,6 +152,23 @@ let smoke_scheme kind () =
   let r =
     Loadgen.run
       (Loadgen.config ~wl:(wl 4) ~clients:6 ~txns_per_client:8 ~seed:7 kind)
+  in
+  check_int "all settled" r.Loadgen.submitted
+    (r.Loadgen.committed + r.Loadgen.aborted);
+  check_bool "some commits" true (r.Loadgen.committed > 0);
+  check_int "no violations" 0 r.Loadgen.violations;
+  check_bool "certified" true r.Loadgen.certified
+
+(* Batched-dispatch smoke: more clients than max_active on 4 sites, so the
+   GTM drains multi-message inbox batches, ships multi-request Batch
+   messages through the per-site outboxes, and workers coalesce replies —
+   and the realized interleaving must still certify, for every scheme
+   (per-site execution order = dispatch order survives the batching). *)
+let batched_scheme kind () =
+  let r =
+    Loadgen.run
+      (Loadgen.config ~wl:(wl 4) ~clients:16 ~txns_per_client:4 ~seed:23
+         ~capacity:8 ~max_active:8 ~tick_ms:2. kind)
   in
   check_int "all settled" r.Loadgen.submitted
     (r.Loadgen.committed + r.Loadgen.aborted);
@@ -253,12 +320,21 @@ let () =
           Alcotest.test_case "admission" `Quick mailbox_admission;
           Alcotest.test_case "backpressure" `Quick mailbox_backpressure;
           Alcotest.test_case "close" `Quick mailbox_close;
+          Alcotest.test_case "drain-order" `Quick mailbox_drain_order;
+          Alcotest.test_case "drain-backpressure" `Quick
+            mailbox_drain_backpressure;
+          Alcotest.test_case "drain-close" `Quick mailbox_drain_close;
         ] );
       ("promise", [ Alcotest.test_case "basic" `Quick promise_basic ]);
       ( "smoke-certified",
         List.map
           (fun kind ->
             Alcotest.test_case (Registry.name kind) `Quick (smoke_scheme kind))
+          Registry.all );
+      ( "smoke-batched",
+        List.map
+          (fun kind ->
+            Alcotest.test_case (Registry.name kind) `Quick (batched_scheme kind))
           Registry.all );
       ( "runtime",
         [

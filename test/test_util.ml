@@ -410,6 +410,59 @@ let table_fmt () =
   Alcotest.(check string) "zero float" "0" (Table.fmt_float 0.);
   Alcotest.(check string) "integer float" "12" (Table.fmt_float 12.)
 
+(* ----------------------------------------------------------------- Json *)
+
+module Json = Mdbs_util.Json
+
+let json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("name", Json.Str "scheme3 \"quoted\"\n");
+        ("sites", Json.Int 4);
+        ("throughput", Json.Float 39.2272);
+        ("certified", Json.Bool true);
+        ("nothing", Json.Null);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ( "runs",
+          Json.List [ Json.Int 1; Json.Float (-2.5); Json.Str "x" ] );
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Ok doc' ->
+      Alcotest.(check string) "round-trip" (Json.to_string doc)
+        (Json.to_string doc')
+  | Error msg -> Alcotest.fail ("parse failed: " ^ msg)
+
+let json_parse_basics () =
+  let ok s = match Json.of_string s with Ok v -> v | Error m -> Alcotest.fail m in
+  check_bool "int" true (ok "42" = Json.Int 42);
+  check_bool "negative float" true (ok "-1.5e2" = Json.Float (-150.));
+  check_bool "ws" true (ok "  [ 1 , 2 ]  " = Json.List [ Json.Int 1; Json.Int 2 ]);
+  check_bool "unicode escape" true (ok "\"\\u0041\"" = Json.Str "A");
+  check_bool "nested" true
+    (ok "{\"a\": {\"b\": [true, null]}}"
+    = Json.Obj [ ("a", Json.Obj [ ("b", Json.List [ Json.Bool true; Json.Null ]) ]) ]);
+  let err s = match Json.of_string s with Ok _ -> false | Error _ -> true in
+  check_bool "trailing garbage" true (err "1 2");
+  check_bool "unterminated" true (err "\"abc");
+  check_bool "bare word" true (err "nope");
+  check_bool "unclosed obj" true (err "{\"a\": 1")
+
+let json_accessors () =
+  let doc =
+    Json.Obj [ ("x", Json.Int 3); ("s", Json.Str "hi"); ("l", Json.List []) ]
+  in
+  check_bool "member hit" true (Json.member "x" doc = Some (Json.Int 3));
+  check_bool "member miss" true (Json.member "y" doc = None);
+  check_bool "number of int" true
+    (Option.bind (Json.member "x" doc) Json.number = Some 3.);
+  check_bool "string_val" true
+    (Option.bind (Json.member "s" doc) Json.string_val = Some "hi");
+  check_bool "list_val" true
+    (Option.bind (Json.member "l" doc) Json.list_val = Some [])
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -471,5 +524,11 @@ let () =
         [
           Alcotest.test_case "render" `Quick table_render;
           Alcotest.test_case "fmt" `Quick table_fmt;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick json_roundtrip;
+          Alcotest.test_case "parse" `Quick json_parse_basics;
+          Alcotest.test_case "accessors" `Quick json_accessors;
         ] );
     ]
