@@ -186,6 +186,45 @@ let runtime_loadgen_bench =
                  ~wl:{ Workload.default with m = 2; data_per_site = 16 }
                  ~clients:4 ~txns_per_client:3 ~seed:11 Registry.S3))))
 
+(* Streaming-certifier throughput: feed a prebuilt clean event stream
+   (the event sequence of [n] sequential 2-site global transactions)
+   through Incremental.feed — the per-event cost every live-certified
+   run pays, GC sweeps included. *)
+module Incremental = Mdbs_analysis.Incremental
+
+let incremental_events ~n_txns ~m =
+  List.concat
+    (List.init n_txns (fun i ->
+         let gid = i + 1 in
+         let sites = List.init m (fun s -> s) in
+         List.concat
+           [
+             [ Incremental.Global (gid, sites) ];
+             List.concat_map
+               (fun s ->
+                 [
+                   Incremental.Op (s, gid, Mdbs_model.Op.Begin);
+                   Incremental.Op
+                     (s, gid, Mdbs_model.Op.Write (Mdbs_model.Item.Key (i mod 8), 1));
+                 ])
+               sites;
+             List.map (fun s -> Incremental.Ser (gid, s)) sites;
+             List.map (fun s -> Incremental.Op (s, gid, Mdbs_model.Op.Commit)) sites;
+             [ Incremental.End gid ];
+           ]))
+
+let incremental_feed_bench ~retain_order n_txns =
+  let events = incremental_events ~n_txns ~m:2 in
+  let n_events = List.length events in
+  Test.make
+    ~name:
+      (Printf.sprintf "analysis incremental feed (%d events%s)" n_events
+         (if retain_order then "" else ", soak"))
+    (Staged.stage (fun () ->
+         let inc = Incremental.create ~strict_end:false ~retain_order () in
+         Incremental.feed_list inc events;
+         assert (not (Incremental.violated inc))))
+
 let benchmarks () =
   let tests =
     List.concat
@@ -198,7 +237,9 @@ let benchmarks () =
         List.map endtoend_bench Registry.all;
         [ mailbox_bench; mailbox_drain_bench; substream_bench;
           gtm_sched_per_op_bench; gtm_sched_batched_bench;
-          runtime_loadgen_bench ];
+          runtime_loadgen_bench;
+          incremental_feed_bench ~retain_order:true 256;
+          incremental_feed_bench ~retain_order:false 256 ];
       ]
   in
   Test.make_grouped ~name:"mdbs" tests

@@ -354,6 +354,25 @@ let chaos_cmd =
 
 module Loadgen = Mdbs_svc.Loadgen
 module Serve = Mdbs_svc.Serve
+module Runtime = Mdbs_svc.Runtime
+
+let certify_conv =
+  let parse = function
+    | "batch" -> Ok Runtime.Certify_batch
+    | "live" -> Ok Runtime.Certify_live
+    | "soak" -> Ok Runtime.Certify_soak
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown certify mode %S (batch|live|soak)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+      | Runtime.Certify_batch -> "batch"
+      | Runtime.Certify_live -> "live"
+      | Runtime.Certify_soak -> "soak")
+  in
+  Arg.conv (parse, print)
 
 (* Flags shared by the two service-runtime commands. *)
 let svc_flags =
@@ -388,23 +407,38 @@ let svc_flags =
            ~doc:"Runtime ticker period: how often the stall detector \
                  re-examines blocked transactions.")
   in
+  let certify =
+    Arg.(value & opt certify_conv Runtime.Certify_batch
+         & info [ "certify" ] ~docv:"MODE"
+             ~doc:"Certification mode: $(b,batch) replays the captured \
+                   trace post-hoc (default); $(b,live) additionally runs \
+                   the always-on streaming checker with rolling \
+                   checkpoints, keeping batch as a differential oracle; \
+                   $(b,soak) is live with audit retention off, for \
+                   unbounded runs with memory O(active window).")
+  in
+  let cert_every =
+    Arg.(value & opt int 4096 & info [ "cert-checkpoint" ] ~docv:"N"
+           ~doc:"Events per rolling checkpoint of the live certifier.")
+  in
   Term.(
     const
-      (fun m data d_av hotspot local seed atomic capacity max_active stall tick ->
+      (fun m data d_av hotspot local seed atomic capacity max_active stall
+           tick certify cert_every ->
         ( m, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
-          stall, tick ))
+          stall, tick, certify, cert_every ))
     $ sites $ data $ d_av $ hotspot $ local $ seed $ atomic $ capacity
-    $ max_active $ stall $ tick)
+    $ max_active $ stall $ tick $ certify $ cert_every)
 
 let loadgen_config kind
-    (m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall, tick)
-    clients txns obs =
+    (m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall,
+     tick, certify, cert_every) clients txns obs =
   let wl =
     { Workload.default with m; data_per_site = data; d_av; hotspot }
   in
   Loadgen.config ~wl ~clients ~txns_per_client:txns ~local_fraction:local
     ~seed ~atomic_commit:atomic ~capacity ~max_active ~stall_timeout_ms:stall
-    ~tick_ms:tick ~obs kind
+    ~tick_ms:tick ~obs ~certify ~cert_checkpoint_every:cert_every kind
 
 let loadgen_cmd =
   let doc =
@@ -444,7 +478,7 @@ let loadgen_cmd =
     match bench_out with
     | Some file ->
         let m0, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
-            stall, tick =
+            stall, tick, certify, cert_every =
           svcf
         in
         ignore m0;
@@ -456,7 +490,7 @@ let loadgen_cmd =
                   let cfg =
                     loadgen_config k
                       (m, data, d_av, hotspot, local, seed, atomic, capacity,
-                       max_active, stall, tick)
+                       max_active, stall, tick, certify, cert_every)
                       clients txns Obs.disabled
                   in
                   Printf.eprintf "bench: %s m=%d...\n%!" (Registry.name k) m;
@@ -526,7 +560,7 @@ let serve_cmd =
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.") in
   let run kind svcf rate duration quiet json obsf =
     let m, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
-        stall, tick =
+        stall, tick, certify, cert_every =
       svcf
     in
     let wl = { Workload.default with m; data_per_site = data; d_av; hotspot } in
@@ -535,7 +569,8 @@ let serve_cmd =
       Serve.run ~quiet
         (Serve.config ~wl ~rate ~duration_s:duration ~local_fraction:local
            ~seed ~atomic_commit:atomic ~capacity ~max_active
-           ~stall_timeout_ms:stall ~tick_ms:tick ~obs kind)
+           ~stall_timeout_ms:stall ~tick_ms:tick ~obs ~certify
+           ~cert_checkpoint_every:cert_every kind)
     in
     export_obs obsf obs;
     let res = s.Serve.run in
@@ -555,6 +590,10 @@ let serve_cmd =
                   Mdbs_util.Json.Int st.Mdbs_svc.Runtime.force_aborts );
                 ( "certified",
                   Mdbs_util.Json.Bool res.Mdbs_svc.Runtime.certified );
+                ( "live_certification",
+                  match res.Mdbs_svc.Runtime.live with
+                  | Some ls -> Mdbs_svc.Live_cert.summary_to_json ls
+                  | None -> Mdbs_util.Json.Null );
               ]))
     else
       Printf.printf
@@ -580,12 +619,15 @@ let bench_compare_cmd =
       `S Manpage.s_description;
       `P
         "Reads two JSON baselines produced by $(b,mdbs loadgen --bench-out), \
-         matches runs by (scheme, sites), and reports the throughput delta \
-         of every matched run. Exits 1 when any matched run regressed by \
-         more than $(b,--threshold) percent (default 10), or when a run in \
-         the old baseline has no counterpart in the new one; exits 2 on a \
-         file or parse error. Use it as a CI guard against accidental \
-         hot-path regressions.";
+         matches runs by (scheme, sites), and reports the throughput and \
+         commit-ratio delta of every matched run. Exits 1 when any matched \
+         run's throughput regressed by more than $(b,--threshold) percent \
+         (default 10), when its commit ratio dropped by more than \
+         $(b,--max-commit-drop) percentage points (default 15), or when a \
+         run in the old baseline has no counterpart in the new one; exits \
+         2 on a file or parse error. Use it as a CI guard against \
+         accidental hot-path regressions — a faster scheduler that aborts \
+         its way to throughput is not an optimization.";
     ]
   in
   let old_file =
@@ -598,7 +640,12 @@ let bench_compare_cmd =
     Arg.(value & opt float 10. & info [ "threshold" ] ~docv:"PCT"
            ~doc:"Maximum tolerated throughput drop, in percent.")
   in
-  let run old_file new_file threshold =
+  let max_commit_drop =
+    Arg.(value & opt float 15. & info [ "max-commit-drop" ] ~docv:"PP"
+           ~doc:"Maximum tolerated commit-ratio drop, in percentage points \
+                 (committed/submitted, old vs new).")
+  in
+  let run old_file new_file threshold max_commit_drop =
     let module Json = Mdbs_util.Json in
     let fail_usage msg =
       prerr_endline ("mdbs bench-compare: " ^ msg);
@@ -613,7 +660,9 @@ let bench_compare_cmd =
       | Ok doc -> doc
       | Error msg -> fail_usage (Printf.sprintf "%s: %s" file msg)
     in
-    (* One baseline's runs as ((scheme, sites), throughput, certified). *)
+    (* One baseline's runs as ((scheme, sites), throughput, commit ratio,
+       certified). Baselines written before the commit counters existed
+       get ratio 1.0 (no gate). *)
     let runs file doc =
       match Option.bind (Json.member "runs" doc) Json.list_val with
       | None -> fail_usage (file ^ ": no \"runs\" array")
@@ -625,8 +674,13 @@ let bench_compare_cmd =
               let bool k = Option.bind (Json.member k item) Json.bool_val in
               match (str "scheme", num "sites", num "throughput_txn_s") with
               | Some scheme, Some sites, Some tput ->
+                  let ratio =
+                    match (num "committed", num "submitted") with
+                    | Some c, Some s when s > 0. -> c /. s
+                    | _ -> 1.
+                  in
                   ( (scheme, int_of_float sites),
-                    tput,
+                    (tput, ratio),
                     Option.value ~default:false (bool "certified") )
               | _ -> fail_usage (file ^ ": run missing scheme/sites/throughput"))
             items
@@ -650,7 +704,7 @@ let bench_compare_cmd =
     let regressions = ref 0 in
     let rows =
       List.filter_map
-        (fun (key, old_tput, _) ->
+        (fun (key, (old_tput, old_ratio), _) ->
           let scheme, sites = key in
           match
             List.find_opt (fun (k, _, _) -> k = key) new_runs
@@ -658,27 +712,33 @@ let bench_compare_cmd =
           | None ->
               incr regressions;
               Some [ scheme; string_of_int sites;
-                     Printf.sprintf "%.2f" old_tput; "-"; "-"; "MISSING" ]
-          | Some (_, new_tput, certified) ->
+                     Printf.sprintf "%.2f" old_tput; "-"; "-"; "-"; "MISSING" ]
+          | Some (_, (new_tput, new_ratio), certified) ->
               let delta_pct =
                 if old_tput > 0. then (new_tput -. old_tput) /. old_tput *. 100.
                 else 0.
               in
-              let regressed = delta_pct < -.threshold in
-              if regressed then incr regressions;
+              let commit_drop_pp = (old_ratio -. new_ratio) *. 100. in
+              let tput_regressed = delta_pct < -.threshold in
+              let commit_regressed = commit_drop_pp > max_commit_drop in
+              if tput_regressed || commit_regressed then incr regressions;
               Some
                 [ scheme; string_of_int sites;
                   Printf.sprintf "%.2f" old_tput;
                   Printf.sprintf "%.2f" new_tput;
                   Printf.sprintf "%+.1f%%" delta_pct;
-                  (if regressed then "REGRESSED"
+                  Printf.sprintf "%+.1fpp" (-.commit_drop_pp);
+                  (if tput_regressed then "REGRESSED"
+                   else if commit_regressed then "COMMIT-DROP"
                    else if not certified then "UNCERTIFIED"
                    else "ok") ])
         old_runs
     in
     if rows = [] then fail_usage (old_file ^ ": no runs to compare");
     Mdbs_util.Table.print
-      ~headers:[ "scheme"; "sites"; "old txn/s"; "new txn/s"; "delta"; "verdict" ]
+      ~headers:
+        [ "scheme"; "sites"; "old txn/s"; "new txn/s"; "delta"; "commit";
+          "verdict" ]
       rows;
     (* Certification failures in the new baseline fail the comparison too:
        a fast but uncertified run is not an optimization. *)
@@ -694,7 +754,7 @@ let bench_compare_cmd =
     else Printf.printf "bench-compare: no regressions beyond %.0f%%\n" threshold
   in
   Cmd.v (Cmd.info "bench-compare" ~doc ~man)
-    Term.(const run $ old_file $ new_file $ threshold)
+    Term.(const run $ old_file $ new_file $ threshold $ max_commit_drop)
 
 let analyze_cmd =
   let doc = "Statically certify and lint a recorded global schedule" in
@@ -729,6 +789,13 @@ let analyze_cmd =
                  replay.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let incremental =
+    Arg.(value & flag & info [ "incremental" ]
+           ~doc:"Also stream the trace through the incremental certifier \
+                 and report its verdict, window statistics and agreement \
+                 with the batch pass (a differential check; disagreement \
+                 exits 1).")
+  in
   let scheme =
     Arg.(value & opt scheme_conv Registry.S3 & info [ "scheme" ] ~docv:"SCHEME"
            ~doc:"Scheme for the --simulate/--replay sources.")
@@ -738,7 +805,8 @@ let analyze_cmd =
   let txns = Arg.(value & opt int 64 & info [ "txns" ] ~docv:"N") in
   let d_av = Arg.(value & opt int 2 & info [ "dav" ] ~docv:"D") in
   let seed = Arg.(value & opt int 19 & info [ "seed" ] ~docv:"SEED") in
-  let run trace_file simulate replay json kind m n_global n_txns d_av seed =
+  let run trace_file simulate replay json incremental kind m n_global n_txns
+      d_av seed =
     let fail_usage msg =
       prerr_endline ("mdbs analyze: " ^ msg);
       exit 2
@@ -771,15 +839,68 @@ let analyze_cmd =
       | _ -> fail_usage "--trace, --simulate and --replay are exclusive"
     in
     let report = Analysis.analyze trace in
-    if json then
-      print_endline (Mdbs_analysis.Json.to_string (Analysis.to_json report))
-    else Format.printf "%a@." Analysis.pp report;
-    if Analysis.errors report > 0 then exit 1
+    let inc =
+      if incremental then
+        Some (Mdbs_analysis.Incremental.of_trace trace)
+      else None
+    in
+    (if json then
+       let report_json = Analysis.to_json report in
+       match inc with
+       | None -> print_endline (Mdbs_analysis.Json.to_string report_json)
+       | Some i ->
+           let module I = Mdbs_analysis.Incremental in
+           let st = I.stats i in
+           print_endline
+             (Mdbs_analysis.Json.to_string
+                (Mdbs_analysis.Json.Obj
+                   [
+                     ("report", report_json);
+                     ( "incremental",
+                       Mdbs_analysis.Json.Obj
+                         [
+                           ("violated", Mdbs_analysis.Json.Bool (I.violated i));
+                           ( "agrees_with_batch",
+                             Mdbs_analysis.Json.Bool
+                               (I.violated i = not (Analysis.certified report)) );
+                           ("events", Mdbs_analysis.Json.Int st.I.events);
+                           ( "peak_live_txns",
+                             Mdbs_analysis.Json.Int st.I.peak_live_txns );
+                           ("stable_csr", Mdbs_analysis.Json.Int st.I.stable_csr);
+                           ("stable_t2", Mdbs_analysis.Json.Int st.I.stable_t2);
+                           ("live_edges", Mdbs_analysis.Json.Int st.I.live_edges);
+                         ] );
+                   ]))
+     else begin
+       Format.printf "%a@." Analysis.pp report;
+       match inc with
+       | None -> ()
+       | Some i ->
+           let module I = Mdbs_analysis.Incremental in
+           let st = I.stats i in
+           Printf.printf
+             "incremental: %s (%s batch); %d events, peak window %d, stable \
+              %d/%d (csr/t2), %d live edges\n"
+             (if I.violated i then "violation" else "clean")
+             (if I.violated i = not (Analysis.certified report) then
+                "agrees with"
+              else "DISAGREES with")
+             st.I.events st.I.peak_live_txns st.I.stable_csr st.I.stable_t2
+             st.I.live_edges
+     end);
+    let disagrees =
+      match inc with
+      | Some i ->
+          Mdbs_analysis.Incremental.violated i
+          <> not (Analysis.certified report)
+      | None -> false
+    in
+    if Analysis.errors report > 0 || disagrees then exit 1
   in
   Cmd.v (Cmd.info "analyze" ~doc ~man)
     Term.(
-      const run $ trace_file $ simulate $ replay $ json $ scheme $ sites
-      $ globals $ txns $ d_av $ seed)
+      const run $ trace_file $ simulate $ replay $ json $ incremental $ scheme
+      $ sites $ globals $ txns $ d_av $ seed)
 
 let () =
   let doc = "Multidatabase concurrency control (SIGMOD 1992) reproduction" in

@@ -1,4 +1,5 @@
 type t = {
+  transactions : int;
   csr : Certifier.outcome;
   theorem2 : Certifier.outcome option;
   diagnostics : Lint.diagnostic list;
@@ -6,6 +7,7 @@ type t = {
 
 let analyze trace =
   {
+    transactions = Trace.transactions trace;
     csr = Certifier.certify trace;
     theorem2 =
       (if trace.Trace.ser_events = [] then None
@@ -25,7 +27,10 @@ let errors t =
     | Some _ | None -> 0
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>== conflict serializability ==@,%a@,"
+  Format.fprintf ppf "@[<v>== %d transaction(s) ==@," t.transactions;
+  if t.transactions = 0 then
+    Format.fprintf ppf "empty trace: nothing to certify@,";
+  Format.fprintf ppf "== conflict serializability ==@,%a@,"
     Certifier.pp_outcome t.csr;
   (match t.theorem2 with
   | Some o ->
@@ -45,6 +50,7 @@ let pp ppf t =
 let to_json t =
   Json.Obj
     [
+      ("transactions", Json.Int t.transactions);
       ("csr", Certifier.outcome_to_json t.csr);
       ( "theorem2",
         match t.theorem2 with

@@ -6,6 +6,9 @@
     consume this. *)
 
 type t = {
+  transactions : int;
+      (** Distinct transactions in the trace; 0 for an empty trace, which
+          certifies trivially. *)
   csr : Certifier.outcome;
       (** Global conflict serializability (complete check). *)
   theorem2 : Certifier.outcome option;

@@ -29,6 +29,14 @@ let rules =
       "serialization event admitted while a serialized-before transaction \
        had a pending event at the site" );
     ("MA005", "hb-race", "conflicting accesses unordered by happens-before");
+    ( "MA006",
+      "missing-ser-event",
+      "global transaction visited a site with no matching serialization \
+       event" );
+    ( "MA007",
+      "undeclared-access",
+      "operation on an item outside the transaction's declared read/write \
+       set" );
   ]
 
 let severity_name (s : severity) =
@@ -293,12 +301,92 @@ let hb_races trace =
       })
     (Race.detect trace)
 
+(* --- MA006: site visits with no matching ser event ---------------------- *)
+
+let missing_ser_events trace =
+  if trace.Trace.ser_events = [] || trace.Trace.globals = [] then []
+  else begin
+    let committed = Trace.committed trace in
+    let relevant tid =
+      (* Engine-level traces carry no commits; keep every declared global. *)
+      Iset.is_empty committed || Iset.mem tid committed
+    in
+    let has_event tid sid =
+      List.exists (fun (t, s) -> t = tid && s = sid) trace.Trace.ser_events
+    in
+    List.concat_map
+      (fun (tid, sids) ->
+        if not (relevant tid) then []
+        else
+          List.filter_map
+            (fun sid ->
+              if has_event tid sid then None
+              else
+                Some
+                  {
+                    rule = "MA006";
+                    name = "missing-ser-event";
+                    severity = Warning;
+                    site = Some sid;
+                    tids = [ tid ];
+                    message =
+                      Printf.sprintf
+                        "G%d is declared to visit s%d but ser(S) records no \
+                         serialization event for it there"
+                        tid sid;
+                  })
+            sids)
+      trace.Trace.globals
+  end
+
+(* --- MA007: accesses outside the declared read/write set ---------------- *)
+
+let undeclared_accesses trace =
+  if trace.Trace.rwsets = [] then []
+  else
+    List.concat_map
+      (fun info ->
+        let _, diags =
+          List.fold_left
+            (fun (i, acc) e ->
+              let acc =
+                match
+                  (Op.action_item e.Schedule.action,
+                   Trace.rwset trace e.Schedule.tid)
+                with
+                (* Ticket ops are scheme-injected, never workload-declared. *)
+                | Some item, Some declared
+                  when item <> Item.Ticket && not (List.mem item declared) ->
+                    {
+                      rule = "MA007";
+                      name = "undeclared-access";
+                      severity = Error;
+                      site = Some info.Trace.sid;
+                      tids = [ e.Schedule.tid ];
+                      message =
+                        Printf.sprintf
+                          "T%d accesses %s at s%d (op %d) outside its \
+                           declared read/write set"
+                          e.Schedule.tid (Item.to_string item) info.Trace.sid
+                          i;
+                    }
+                    :: acc
+                | _ -> acc
+              in
+              (i + 1, acc))
+            (0, []) info.Trace.ops
+        in
+        List.rev diags)
+      trace.Trace.sites
+
 let run trace =
   ticket_inversions trace
   @ non_two_phase trace
   @ indirect_conflicts trace
   @ unsafe_admissions trace
   @ hb_races trace
+  @ missing_ser_events trace
+  @ undeclared_accesses trace
 
 let errors diags =
   List.length (List.filter (fun d -> d.severity = Error) diags)

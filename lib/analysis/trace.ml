@@ -11,14 +11,15 @@ type t = {
   sites : site_info list;
   globals : (Types.tid * Types.sid list) list;
   ser_events : (Types.tid * Types.sid) list;
+  rwsets : (Types.tid * Item.t list) list;
 }
 
-let make ?(globals = []) ?(ser_events = []) sites =
+let make ?(globals = []) ?(ser_events = []) ?(rwsets = []) sites =
   let sites = List.sort (fun a b -> compare a.sid b.sid) sites in
-  { sites; globals; ser_events }
+  { sites; globals; ser_events; rwsets }
 
-let of_schedules ?(protocols = []) ?globals ?ser_events schedules =
-  make ?globals ?ser_events
+let of_schedules ?(protocols = []) ?globals ?ser_events ?rwsets schedules =
+  make ?globals ?ser_events ?rwsets
     (List.map
        (fun s ->
          {
@@ -40,6 +41,18 @@ let is_global t tid = List.mem_assoc tid t.globals
 
 let visit_order t tid =
   match List.assoc_opt tid t.globals with Some sites -> sites | None -> []
+
+let rwset t tid = List.assoc_opt tid t.rwsets
+
+let transactions t =
+  let tids =
+    List.fold_left
+      (fun acc info ->
+        List.fold_left (fun acc e -> Iset.add e.Schedule.tid acc) acc info.ops)
+      Iset.empty t.sites
+  in
+  let tids = List.fold_left (fun acc (tid, _) -> Iset.add tid acc) tids t.globals in
+  Iset.cardinal tids
 
 let committed_at _t info =
   List.fold_left
@@ -151,24 +164,46 @@ let pp ppf t =
       line "global %d %s@." tid
         (String.concat " " (List.map string_of_int sids)))
     t.globals;
+  List.iter
+    (fun (tid, items) ->
+      line "rwset %d %s@." tid
+        (String.concat " " (List.map item_to_string items)))
+    t.rwsets;
   List.iter (fun (tid, sid) -> line "ser %d %d@." tid sid) t.ser_events
 
 let to_string t = Format.asprintf "%a" pp t
 
 let parse text =
   let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
-  let sites : (Types.sid, Types.protocol_kind option * Schedule.entry list ref) Hashtbl.t
-      =
+  (* protocol ref, explicitly-declared flag, reversed ops. A site referenced
+     by an [op] line before (or without) its [site] declaration is created
+     implicitly with no protocol, so headerless captures still parse; a later
+     explicit declaration fills the protocol in. *)
+  let sites :
+      ( Types.sid,
+        Types.protocol_kind option ref * bool ref * Schedule.entry list ref )
+      Hashtbl.t =
     Hashtbl.create 8
   in
   let site_order = ref [] in
   let globals = ref [] in
   let ser_events = ref [] in
+  let rwsets = ref [] in
+  let ensure_site sid =
+    match Hashtbl.find_opt sites sid with
+    | Some cell -> cell
+    | None ->
+        let cell = (ref None, ref false, ref []) in
+        Hashtbl.replace sites sid cell;
+        site_order := sid :: !site_order;
+        cell
+  in
   let declare_site lineno sid protocol =
-    if Hashtbl.mem sites sid then err lineno (Printf.sprintf "site %d redeclared" sid)
+    let proto, explicit, _ = ensure_site sid in
+    if !explicit then err lineno (Printf.sprintf "site %d redeclared" sid)
     else begin
-      Hashtbl.replace sites sid (protocol, ref []);
-      site_order := sid :: !site_order;
+      explicit := true;
+      proto := protocol;
       Ok ()
     end
   in
@@ -178,13 +213,13 @@ let parse text =
         let sites =
           List.rev_map
             (fun sid ->
-              let protocol, ops = Hashtbl.find sites sid in
-              { sid; protocol; ops = List.rev !ops })
+              let protocol, _, ops = Hashtbl.find sites sid in
+              { sid; protocol = !protocol; ops = List.rev !ops })
             !site_order
         in
         Ok
           (make ~globals:(List.rev !globals) ~ser_events:(List.rev !ser_events)
-             sites)
+             ~rwsets:(List.rev !rwsets) sites)
     | line :: rest -> (
         let line =
           match String.index_opt line '#' with
@@ -214,12 +249,10 @@ let parse text =
               (int_of_string_opt sid, int_of_string_opt tid,
                action_of_tokens action)
             with
-            | Some sid, Some tid, Some action -> (
-                match Hashtbl.find_opt sites sid with
-                | Some (_, ops) ->
-                    ops := { Schedule.tid; action } :: !ops;
-                    go (lineno + 1) rest
-                | None -> err lineno (Printf.sprintf "site %d not declared" sid))
+            | Some sid, Some tid, Some action ->
+                let _, _, ops = ensure_site sid in
+                ops := { Schedule.tid; action } :: !ops;
+                go (lineno + 1) rest
             | _ -> err lineno "expected: op <sid> <tid> <action>")
         | "global" :: tid :: sids -> (
             let sids = List.map int_of_string_opt sids in
@@ -234,6 +267,14 @@ let parse text =
                 ser_events := (tid, sid) :: !ser_events;
                 go (lineno + 1) rest
             | _ -> err lineno "expected: ser <tid> <sid>")
+        | "rwset" :: tid :: items -> (
+            let items = List.map item_of_string items in
+            match (int_of_string_opt tid, List.for_all Option.is_some items)
+            with
+            | Some tid, true ->
+                rwsets := (tid, List.filter_map Fun.id items) :: !rwsets;
+                go (lineno + 1) rest
+            | _ -> err lineno "expected: rwset <tid> <item> ...")
         | directive :: _ -> err lineno (Printf.sprintf "unknown directive %S" directive)
         )
   in
@@ -287,4 +328,18 @@ let to_json t =
              (fun (tid, sid) ->
                Json.Obj [ ("tid", Json.Int tid); ("sid", Json.Int sid) ])
              t.ser_events) );
+      ( "rwsets",
+        Json.List
+          (List.map
+             (fun (tid, items) ->
+               Json.Obj
+                 [
+                   ("tid", Json.Int tid);
+                   ( "items",
+                     Json.List
+                       (List.map
+                          (fun i -> Json.Str (item_to_string i))
+                          items) );
+                 ])
+             t.rwsets) );
     ]

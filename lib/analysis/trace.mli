@@ -29,17 +29,22 @@ type t = {
   ser_events : (Types.tid * Types.sid) list;
       (** Serialization events in global execution order — [ser(S)].
           May be empty for traces captured without GTM instrumentation. *)
+  rwsets : (Types.tid * Item.t list) list;
+      (** Declared read/write sets, when the workload pre-declares them;
+          lint rule MA007 checks accesses against these. *)
 }
 
 val make :
   ?globals:(Types.tid * Types.sid list) list ->
   ?ser_events:(Types.tid * Types.sid) list ->
+  ?rwsets:(Types.tid * Item.t list) list ->
   site_info list -> t
 
 val of_schedules :
   ?protocols:(Types.sid * Types.protocol_kind) list ->
   ?globals:(Types.tid * Types.sid list) list ->
   ?ser_events:(Types.tid * Types.sid) list ->
+  ?rwsets:(Types.tid * Item.t list) list ->
   Schedule.t list -> t
 (** Capture from recorded {!Mdbs_model.Schedule} objects. *)
 
@@ -55,6 +60,13 @@ val is_global : t -> Types.tid -> bool
 
 val visit_order : t -> Types.tid -> Types.sid list
 (** Site-visit order of a global transaction ([[]] if unknown/local). *)
+
+val rwset : t -> Types.tid -> Item.t list option
+(** The transaction's declared read/write set, if any. *)
+
+val transactions : t -> int
+(** Distinct transaction ids appearing in the trace (schedules or global
+    declarations). *)
 
 val committed_at : t -> site_info -> Mdbs_util.Iset.t
 (** Transactions with a recorded [Commit] at this site. *)
@@ -85,7 +97,12 @@ val ticket_value : t -> Types.sid -> Types.tid -> int option
       [begin], [commit], [abort], [prepare], [ticket], [r <item>],
       [w <item> <delta>]; items: [ticket] or [x<k>];
     - [global <tid> <sid> ...] — a global transaction's site-visit order;
-    - [ser <tid> <sid>] — the next serialization event of [ser(S)]. *)
+    - [ser <tid> <sid>] — the next serialization event of [ser(S)];
+    - [rwset <tid> <item> ...] — a transaction's declared read/write set.
+
+    An [op] line may reference a site with no prior [site] declaration
+    (headerless captures): the site is declared implicitly with an unknown
+    protocol. *)
 
 val parse : string -> (t, string) result
 

@@ -6,14 +6,17 @@ type t = {
   site : Types.sid;
   mutable rev_entries : entry list;
   mutable count : int;
+  mutable capture : bool;
 }
 
-let create site = { site; rev_entries = []; count = 0 }
+let create site = { site; rev_entries = []; count = 0; capture = true }
 
 let site t = t.site
 
+let set_capture t on = t.capture <- on
+
 let record t tid action =
-  t.rev_entries <- { tid; action } :: t.rev_entries;
+  if t.capture then t.rev_entries <- { tid; action } :: t.rev_entries;
   t.count <- t.count + 1
 
 let entries t = List.rev t.rev_entries

@@ -18,6 +18,11 @@ val site : t -> Types.sid
 val record : t -> Types.tid -> Op.action -> unit
 (** Append an executed operation. *)
 
+val set_capture : t -> bool -> unit
+(** Entry retention (default on). With capture off, {!record} still counts
+    operations but keeps no entries — soak runs bound their memory by the
+    streaming certifier's window instead of the full audit record. *)
+
 val entries : t -> entry list
 (** Entries in execution order. *)
 

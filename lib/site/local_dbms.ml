@@ -23,6 +23,8 @@ type t = {
   wal : Wal.t option; (* stable storage, present when durable *)
   mutable in_doubt : Types.tid list;
   mutable obs : Obs.t;
+  mutable tap : (Types.tid -> Op.action -> unit) option;
+      (* streaming-certifier hook: sees every schedule entry as recorded *)
   mutable m_commits : Metrics.counter;
   mutable m_aborts : Metrics.counter;
   mutable m_wal : Metrics.counter;
@@ -42,6 +44,7 @@ let create ?(protocol = Types.Two_phase_locking) ?(durable = false) site =
     wal = (if durable then Some (Wal.create ()) else None);
     in_doubt = [];
     obs = Obs.disabled;
+    tap = None;
     m_commits = Metrics.counter Metrics.null "local_commits_total";
     m_aborts = Metrics.counter Metrics.null "local_aborts_total";
     m_wal = Metrics.counter Metrics.null "wal_records_total";
@@ -53,6 +56,15 @@ let attach_obs t obs =
   t.m_commits <- Metrics.counter obs.Obs.metrics ~labels "local_commits_total";
   t.m_aborts <- Metrics.counter obs.Obs.metrics ~labels "local_aborts_total";
   t.m_wal <- Metrics.counter obs.Obs.metrics ~labels "wal_records_total"
+
+let set_op_tap t f = t.tap <- Some f
+
+(* Every local-schedule entry flows through here, so the streaming
+   certifier sees exactly the op sequence the batch trace will carry —
+   including crash-compensation aborts. *)
+let record t tid action =
+  Schedule.record t.sched tid action;
+  match t.tap with None -> () | Some f -> f tid action
 
 let log t record =
   match t.wal with
@@ -99,10 +111,10 @@ let apply_granted t tid action =
   | Op.Begin ->
       (* A blocked conservative-2PL begin that just obtained its locks. *)
       log t (Wal.Begin tid);
-      Schedule.record t.sched tid Op.Begin;
+      record t tid Op.Begin;
       Executed None
   | Op.Read item ->
-      Schedule.record t.sched tid action;
+      record t tid action;
       Executed (Some (Storage.get t.storage item))
   | Op.Write (item, delta) ->
       if Protocol.buffers_writes t.protocol then begin
@@ -113,7 +125,7 @@ let apply_granted t tid action =
         let before = Storage.get t.storage item in
         Storage.write_logged t.storage tid item (before + delta);
         log t (Wal.Write (tid, item, before, before + delta));
-        Schedule.record t.sched tid action;
+        record t tid action;
         Executed None
       end
   | Op.Ticket_op ->
@@ -123,7 +135,7 @@ let apply_granted t tid action =
         Storage.write_logged t.storage tid Item.Ticket (v + 1);
         log t (Wal.Write (tid, Item.Ticket, v, v + 1))
       end;
-      Schedule.record t.sched tid action;
+      record t tid action;
       Executed (Some v)
   | Op.Prepare | Op.Commit | Op.Abort ->
       invalid_arg "Local_dbms.apply_granted: control action"
@@ -169,7 +181,7 @@ let do_abort t tid reason =
       Metrics.inc ~by:(List.length undo + 1) t.m_wal);
   Storage.undo_txn t.storage tid;
   forget t tid;
-  Schedule.record t.sched tid Op.Abort;
+  record t tid Op.Abort;
   process_unblocked t unblocked;
   Aborted reason
 
@@ -184,7 +196,7 @@ let install_buffered t tid =
           log t (Wal.Write (tid, item, before, before + delta));
           (* Ticket entries were already recorded at access time. *)
           if not (Item.equal item Item.Ticket) then
-            Schedule.record t.sched tid (Op.Write (item, delta)))
+            record t tid (Op.Write (item, delta)))
         !writes;
       Hashtbl.remove t.buffered tid
 
@@ -197,7 +209,7 @@ let submit t tid action =
       match Protocol.begin_txn t.protocol tid with
       | Cc_types.Granted ->
           log t (Wal.Begin tid);
-          Schedule.record t.sched tid Op.Begin;
+          record t tid Op.Begin;
           Executed None
       | Cc_types.Blocked ->
           (* Conservative 2PL: the declared lock set is partly held by
@@ -221,7 +233,7 @@ let submit t tid action =
                   Storage.write_logged t.storage tid item (before + delta);
                   log t (Wal.Write (tid, item, before, before + delta));
                   if not (Item.equal item Item.Ticket) then
-                    Schedule.record t.sched tid (Op.Write (item, delta)))
+                    record t tid (Op.Write (item, delta)))
                 !writes;
               Hashtbl.remove t.buffered tid);
           log t (Wal.Prepared tid);
@@ -237,7 +249,7 @@ let submit t tid action =
           forget t tid;
           log t (Wal.Committed tid);
           Metrics.inc t.m_commits;
-          Schedule.record t.sched tid Op.Commit;
+          record t tid Op.Commit;
           process_unblocked t unblocked;
           Executed None
       | Cc_types.Rejected reason ->
@@ -274,7 +286,7 @@ let crash t =
       Hashtbl.iter
         (fun tid () ->
           if not (Mdbs_util.Iset.mem tid analysis.Wal.in_doubt) then
-            Schedule.record t.sched tid Op.Abort)
+            record t tid Op.Abort)
         t.active;
       (* Roll the losers back in the log itself: compensation writes plus
          an abort record, as do_abort does. The log stays pure redo (plus

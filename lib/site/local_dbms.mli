@@ -40,6 +40,12 @@ val attach_obs : t -> Mdbs_obs.Obs.t -> unit
     on the site's track at every {!crash}. Defaults to
     {!Mdbs_obs.Obs.disabled}. *)
 
+val set_op_tap : t -> (Types.tid -> Op.action -> unit) -> unit
+(** Install a hook that observes every local-schedule entry at the moment
+    it is recorded — the service runtime's streaming-certifier feed. Runs
+    on the site's own execution thread; must be cheap and must not call
+    back into the site. *)
+
 val site_id : t -> Types.sid
 
 val protocol_kind : t -> Types.protocol_kind

@@ -1,0 +1,186 @@
+module Json = Mdbs_util.Json
+module Incremental = Mdbs_analysis.Incremental
+module Certifier = Mdbs_analysis.Certifier
+module Certificate = Mdbs_analysis.Certificate
+module Metrics = Mdbs_obs.Metrics
+module Obs = Mdbs_obs.Obs
+module Sink = Mdbs_obs.Sink
+
+type summary = {
+  violated : bool;
+  verdict : Certifier.counterexample option;
+  stats : Incremental.stats;
+  checkpoints : int;
+  chain_ok : bool;
+  chain_error : string option;
+  final : Incremental.checkpoint;
+  cert : Certificate.t option;
+  cert_t2 : Certificate.t option;
+}
+
+(* What the consumer domain hands back when the lane closes. *)
+type outcome = {
+  o_inc : Incremental.t;
+  o_final : Incremental.checkpoint;
+  o_checkpoints : int;
+  o_chain_ok : bool;
+  o_chain_error : string option;
+}
+
+type t = {
+  box : Incremental.event list Mailbox.t;
+  hit : bool Atomic.t;  (* violation flag, published for pollers *)
+  domain : outcome Domain.t;
+  mutable memo : summary option;
+}
+
+let consumer box ~checkpoint_every ~retain_order ~hit ~obs ~m_events
+    ~m_checkpoints ~m_violations =
+  let sink = obs.Obs.sink in
+  let cert_track = if Sink.enabled sink then Sink.track sink "cert" else 0 in
+  let inc =
+    (* Live feeds see the GTM's End before any trailing crash-compensation
+       ops, so End must not close out still-active sites. *)
+    Incremental.create ~strict_end:false ~retain_order ()
+  in
+  let since_cp = ref 0 in
+  let prev_cp = ref None in
+  let n_cp = ref 0 in
+  let chain_ok = ref true in
+  let chain_error = ref None in
+  let take_checkpoint () =
+    let cp = Incremental.checkpoint inc in
+    incr n_cp;
+    Metrics.inc m_checkpoints;
+    (* Verify the new link as it arrives: the first checkpoint against the
+       genesis digest, every later one against its predecessor. *)
+    let checked = Incremental.verify_link ?prev:!prev_cp cp in
+    (match checked with
+    | Ok () -> ()
+    | Error e ->
+        if !chain_ok then begin
+          chain_ok := false;
+          chain_error := Some e
+        end);
+    if Sink.enabled sink then
+      Sink.instant sink ~track:cert_track
+        ~attrs:
+          [
+            ("seq", string_of_int cp.Incremental.cp_seq);
+            ("events", string_of_int cp.Incremental.cp_events);
+            ("stable", string_of_int cp.Incremental.cp_stable);
+            ("live", string_of_int cp.Incremental.cp_live);
+            ("digest", String.sub cp.Incremental.cp_digest 0 12);
+          ]
+        "cert.checkpoint";
+    prev_cp := Some cp;
+    cp
+  in
+  let feed_one ev =
+    Incremental.feed inc ev;
+    incr since_cp;
+    if (not (Atomic.get hit)) && Incremental.violated inc then begin
+      Atomic.set hit true;
+      Metrics.inc m_violations;
+      if Sink.enabled sink then
+        Sink.instant sink ~track:cert_track "cert.violation"
+    end;
+    if !since_cp >= checkpoint_every then begin
+      since_cp := 0;
+      ignore (take_checkpoint ())
+    end
+  in
+  let rec loop () =
+    match Mailbox.drain box with
+    | [] ->
+        (* Closed and drained: close the chain with a final checkpoint. *)
+        let final = take_checkpoint () in
+        {
+          o_inc = inc;
+          o_final = final;
+          o_checkpoints = !n_cp;
+          o_chain_ok = !chain_ok;
+          o_chain_error = !chain_error;
+        }
+    | batches ->
+        List.iter
+          (fun evs ->
+            Metrics.inc ~by:(List.length evs) m_events;
+            List.iter feed_one evs)
+          batches;
+        loop ()
+  in
+  loop ()
+
+let start ?(checkpoint_every = 4096) ?(retain_order = true)
+    ?(obs = Obs.disabled) () =
+  if checkpoint_every < 1 then invalid_arg "Live_cert.start: checkpoint_every";
+  let box = Mailbox.create ~capacity:1 () in
+  let hit = Atomic.make false in
+  let metrics = obs.Obs.metrics in
+  let m_events = Metrics.counter metrics "cert_events_total" in
+  let m_checkpoints = Metrics.counter metrics "cert_checkpoints_total" in
+  let m_violations = Metrics.counter metrics "cert_violations_total" in
+  let domain =
+    Domain.spawn (fun () ->
+        consumer box ~checkpoint_every ~retain_order ~hit ~obs ~m_events
+          ~m_checkpoints ~m_violations)
+  in
+  { box; hit; domain; memo = None }
+
+let feed t evs = if evs <> [] then ignore (Mailbox.put_urgent t.box evs)
+
+let violated t = Atomic.get t.hit
+
+let stop t =
+  match t.memo with
+  | Some s -> s
+  | None ->
+      Mailbox.close t.box;
+      let o = Domain.join t.domain in
+      let s =
+        {
+          violated = Incremental.violated o.o_inc;
+          verdict = Incremental.verdict o.o_inc;
+          stats = Incremental.stats o.o_inc;
+          checkpoints = o.o_checkpoints;
+          chain_ok = o.o_chain_ok;
+          chain_error = o.o_chain_error;
+          final = o.o_final;
+          cert = Incremental.certificate o.o_inc;
+          cert_t2 = Incremental.certificate_t2 o.o_inc;
+        }
+      in
+      t.memo <- Some s;
+      s
+
+let summary_to_json s =
+  let st = s.stats in
+  Json.Obj
+    [
+      ("violated", Json.Bool s.violated);
+      ( "verdict",
+        match s.verdict with
+        | Some cex ->
+            Certifier.outcome_to_json (Certifier.Violation cex)
+        | None -> Json.Null );
+      ("events", Json.Int st.Incremental.events);
+      ("committed", Json.Int st.Incremental.committed);
+      ("live_txns", Json.Int st.Incremental.live_txns);
+      ("peak_live_txns", Json.Int st.Incremental.peak_live_txns);
+      ("stable_csr", Json.Int st.Incremental.stable_csr);
+      ("stable_t2", Json.Int st.Incremental.stable_t2);
+      ("live_edges", Json.Int st.Incremental.live_edges);
+      ("checkpoints", Json.Int s.checkpoints);
+      ("chain_ok", Json.Bool s.chain_ok);
+      ( "chain_error",
+        match s.chain_error with Some e -> Json.Str e | None -> Json.Null );
+      ("final_checkpoint", Incremental.checkpoint_to_json s.final);
+      ( "certificate",
+        match s.cert with Some c -> Certificate.to_json c | None -> Json.Null
+      );
+      ( "certificate_t2",
+        match s.cert_t2 with
+        | Some c -> Certificate.to_json c
+        | None -> Json.Null );
+    ]

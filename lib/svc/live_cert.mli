@@ -1,0 +1,65 @@
+(** Always-on streaming certification for the service runtime.
+
+    A dedicated consumer domain drains an unbounded event lane and feeds
+    {!Mdbs_analysis.Incremental}: the GTM domain contributes [Site] /
+    [Global] / [Ser] / [End] events, every site worker contributes its
+    local-schedule entries through the {!Mdbs_site.Local_dbms.set_op_tap}
+    hook. Because each producer's puts are ordered by the mailbox lock and
+    the runtime's message chains give cross-producer happens-before (a
+    [Global] is enqueued before the ops it causes are dispatched, an op is
+    recorded before the reply that triggers its [Ser]), the consumer sees a
+    valid interleaving: per-site op order equals execution order and ser
+    order equals the realized [ser(S)].
+
+    Rolling checkpoints are taken every [checkpoint_every] events; each new
+    link of the digest chain is verified on arrival, so a corrupted or
+    out-of-order checkpoint stream is caught during the run, not at the
+    end. A violation flips {!violated} immediately — pollable from any
+    thread while the run is still going. *)
+
+module Json = Mdbs_util.Json
+module Incremental = Mdbs_analysis.Incremental
+
+type t
+
+val start :
+  ?checkpoint_every:int ->
+  ?retain_order:bool ->
+  ?obs:Mdbs_obs.Obs.t ->
+  unit ->
+  t
+(** Spawn the consumer domain. [checkpoint_every] (default 4096) events per
+    rolling checkpoint; [retain_order] (default [true]) keeps the stable
+    order prefix so the final summary carries full certificates — switch
+    off for soak runs. With a live [obs] bundle: [cert_events_total] /
+    [cert_checkpoints_total] / [cert_violations_total] metrics counters,
+    plus a ["cert.checkpoint"] instant (seq, events, stable, live, digest
+    prefix) per rolling checkpoint and a ["cert.violation"] instant on the
+    first violation, on a dedicated ["cert"] track of the span sink. *)
+
+val feed : t -> Incremental.event list -> unit
+(** Enqueue events (non-blocking, unbounded lane). Order across producers
+    follows the mailbox's total order of puts. No-op after {!stop}. *)
+
+val violated : t -> bool
+(** Has the checker found a violation so far? Safe from any thread. *)
+
+type summary = {
+  violated : bool;
+  verdict : Mdbs_analysis.Certifier.counterexample option;
+  stats : Incremental.stats;
+  checkpoints : int;
+  chain_ok : bool;  (** Every digest link verified on arrival. *)
+  chain_error : string option;
+  final : Incremental.checkpoint;  (** Taken at {!stop}, closes the chain. *)
+  cert : Mdbs_analysis.Certificate.t option;
+      (** Full CSR certificate over the whole run ([retain_order] only). *)
+  cert_t2 : Mdbs_analysis.Certificate.t option;
+}
+
+val stop : t -> summary
+(** Close the lane, drain everything, take the final checkpoint and join
+    the consumer. Idempotent (memoized). Call only after every producer has
+    quiesced — joined workers and GTM domain — or late events are lost. *)
+
+val summary_to_json : summary -> Json.t

@@ -20,16 +20,20 @@ type config = {
   stall_timeout_ms : float;
   tick_ms : float;
   obs : Obs.t;
+  certify : Runtime.certify_mode;
+  cert_checkpoint_every : int;
 }
 
 let config ?(wl = Workload.default) ?(clients = 8) ?(txns_per_client = 25)
     ?(local_fraction = 0.) ?(seed = 42) ?(atomic_commit = false)
     ?(capacity = 64) ?(max_active = 64) ?(stall_timeout_ms = 250.)
-    ?(tick_ms = 5.) ?(obs = Obs.disabled) scheme =
+    ?(tick_ms = 5.) ?(obs = Obs.disabled) ?(certify = Runtime.Certify_batch)
+    ?(cert_checkpoint_every = 4096) scheme =
   if clients < 1 then invalid_arg "Loadgen.config: clients < 1";
   if txns_per_client < 1 then invalid_arg "Loadgen.config: txns_per_client < 1";
   { wl; scheme; clients; txns_per_client; local_fraction; seed; atomic_commit;
-    capacity; max_active; stall_timeout_ms; tick_ms; obs }
+    capacity; max_active; stall_timeout_ms; tick_ms; obs; certify;
+    cert_checkpoint_every }
 
 type report = {
   scheme_name : string;
@@ -82,7 +86,8 @@ let run cfg =
     Runtime.start
       (Runtime.config ~atomic_commit:cfg.atomic_commit ~capacity:cfg.capacity
          ~max_active:cfg.max_active ~stall_timeout_ms:cfg.stall_timeout_ms
-         ~tick_ms:cfg.tick_ms ~obs:cfg.obs
+         ~tick_ms:cfg.tick_ms ~obs:cfg.obs ~certify:cfg.certify
+         ~cert_checkpoint_every:cfg.cert_checkpoint_every
          ~scheme:(Registry.make cfg.scheme)
          ~sites ())
   in
@@ -166,6 +171,10 @@ let report_to_json r =
       ("stall_kills", Json.Int r.stall_kills);
       ("gtm2_wait_insertions", Json.Int r.wait_insertions);
       ("gtm2_ser_waits", Json.Int r.ser_waits);
+      ( "live_certification",
+        match r.run.Runtime.live with
+        | Some s -> Live_cert.summary_to_json s
+        | None -> Json.Null );
     ]
 
 let print_report ppf r =
@@ -178,4 +187,17 @@ let print_report ppf r =
     r.throughput r.aborted
     (if r.certified then "yes" else "NO")
     r.violations r.mean_ms r.p50_ms r.p95_ms r.p99_ms r.max_ms r.force_aborts
-    r.stall_kills r.wait_insertions r.ser_waits
+    r.stall_kills r.wait_insertions r.ser_waits;
+  match r.run.Runtime.live with
+  | None -> ()
+  | Some s ->
+      let st = s.Live_cert.stats in
+      Format.fprintf ppf
+        "@[<v>live certifier: %s, %d events, %d checkpoints (chain %s)@,        \  peak live txns %d, stable %d/%d (csr/t2), live edges %d@]@."
+        (if s.Live_cert.violated then "VIOLATION" else "clean")
+        st.Mdbs_analysis.Incremental.events s.Live_cert.checkpoints
+        (if s.Live_cert.chain_ok then "ok" else "BROKEN")
+        st.Mdbs_analysis.Incremental.peak_live_txns
+        st.Mdbs_analysis.Incremental.stable_csr
+        st.Mdbs_analysis.Incremental.stable_t2
+        st.Mdbs_analysis.Incremental.live_edges

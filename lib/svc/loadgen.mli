@@ -28,6 +28,8 @@ type config = {
   stall_timeout_ms : float;
   tick_ms : float;  (** Runtime ticker period (stall-detector cadence). *)
   obs : Mdbs_obs.Obs.t;
+  certify : Runtime.certify_mode;
+  cert_checkpoint_every : int;
 }
 
 val config :
@@ -42,11 +44,14 @@ val config :
   ?stall_timeout_ms:float ->
   ?tick_ms:float ->
   ?obs:Mdbs_obs.Obs.t ->
+  ?certify:Runtime.certify_mode ->
+  ?cert_checkpoint_every:int ->
   Mdbs_core.Registry.kind ->
   config
 (** Defaults: the {!Mdbs_sim.Workload.default} mix, 8 clients, 25
     transactions each, no locals, seed 42, no 2PC, capacity 64,
-    max_active 64, stall timeout 250 ms, tick 5 ms, observability off. *)
+    max_active 64, stall timeout 250 ms, tick 5 ms, observability off,
+    batch-only certification. *)
 
 type report = {
   scheme_name : string;

@@ -11,6 +11,9 @@ module Sink = Mdbs_obs.Sink
 module Metrics = Mdbs_obs.Metrics
 module Trace = Mdbs_analysis.Trace
 module Analysis = Mdbs_analysis.Analysis
+module Incremental = Mdbs_analysis.Incremental
+
+type certify_mode = Certify_batch | Certify_live | Certify_soak
 
 type config = {
   scheme : Scheme.t;
@@ -21,15 +24,20 @@ type config = {
   stall_timeout_ms : float;
   tick_ms : float;
   obs : Obs.t;
+  certify : certify_mode;
+  cert_checkpoint_every : int;
 }
 
 let config ?(atomic_commit = false) ?(capacity = 64) ?(max_active = 64)
-    ?(stall_timeout_ms = 250.) ?(tick_ms = 5.) ?(obs = Obs.disabled) ~scheme
+    ?(stall_timeout_ms = 250.) ?(tick_ms = 5.) ?(obs = Obs.disabled)
+    ?(certify = Certify_batch) ?(cert_checkpoint_every = 4096) ~scheme
     ~sites () =
   if capacity < 1 then invalid_arg "Runtime.config: capacity < 1";
   if max_active < 1 then invalid_arg "Runtime.config: max_active < 1";
+  if cert_checkpoint_every < 1 then
+    invalid_arg "Runtime.config: cert_checkpoint_every < 1";
   { scheme; sites; atomic_commit; capacity; max_active; stall_timeout_ms;
-    tick_ms; obs }
+    tick_ms; obs; certify; cert_checkpoint_every }
 
 type msg =
   | Admit of Txn.t * Gtm.status Promise.t
@@ -62,6 +70,7 @@ type result = {
   trace : Trace.t;
   analysis : Analysis.t;
   certified : bool;
+  live : Live_cert.summary option;
   run_stats : stats;
   elapsed_ms : float;
   wait_insertions : int;
@@ -77,6 +86,11 @@ type shared = {
   cfg_max_active : int;
   cfg_stall_ms : float;
   s_name : string;
+  (* Off in soak mode: the GTM's ser(S)/admission audit log would grow with
+     run length, and the shutdown batch pass over it would re-analyze the
+     whole run — the live verdict alone carries soak certification. *)
+  retain_audit : bool;
+  live_cert : Live_cert.t option;
   inbox : msg Mailbox.t;
   sched : Gtm_sched.t;
   clock : Clock.t;
@@ -164,6 +178,11 @@ let with_sink g f =
         Mutex.unlock g.sh'.sink_mutex;
         raise e)
   end
+
+let cert_feed g evs =
+  match g.sh'.live_cert with
+  | Some lc -> Live_cert.feed lc evs
+  | None -> ()
 
 let now g = Clock.now_ms g.sh'.clock
 
@@ -255,7 +274,9 @@ let mark_global_dead g gid reason ~aborting_site =
 let admit_now g txn promise =
   let gid = txn.Txn.id in
   Hashtbl.replace g.promises gid promise;
-  g.globals_rev <- (gid, Txn.sites txn) :: g.globals_rev;
+  if g.sh'.retain_audit then
+    g.globals_rev <- (gid, Txn.sites txn) :: g.globals_rev;
+  cert_feed g [ Incremental.Global (gid, Txn.sites txn) ];
   Atomic.incr g.sh'.a_admitted;
   Atomic.incr g.sh'.a_active;
   Metrics.set_max g.sh'.m_active_peak (float_of_int (Atomic.get g.sh'.a_active));
@@ -326,6 +347,7 @@ let finish_txn g gid progressed =
               span
         | None -> ());
     Gtm1.finish g.gtm1 gid;
+    cert_feed g [ Incremental.End gid ];
     (match Hashtbl.find_opt g.promises gid with
     | Some p ->
         Hashtbl.remove g.promises gid;
@@ -395,7 +417,8 @@ let handle_reply g progressed = function
       match take_inflight g req with
       | Some (Ser_req (gid, s)) ->
           progressed := true;
-          Ser_schedule.record g.ser_log s gid;
+          if g.sh'.retain_audit then Ser_schedule.record g.ser_log s gid;
+          cert_feed g [ Incremental.Ser (gid, s) ];
           enqueue_ack g gid s
       | Some (Direct_req gid) ->
           progressed := true;
@@ -423,7 +446,8 @@ let handle_reply g progressed = function
       if Hashtbl.mem g.pending_ser (sid, tid) then begin
         progressed := true;
         Hashtbl.remove g.pending_ser (sid, tid);
-        Ser_schedule.record g.ser_log sid tid;
+        if g.sh'.retain_audit then Ser_schedule.record g.ser_log sid tid;
+        cert_feed g [ Incremental.Ser (tid, sid) ];
         enqueue_ack g tid sid
       end
       else if Hashtbl.mem g.pending_direct (sid, tid) then begin
@@ -723,6 +747,36 @@ let start (cfg : config) =
         (sid, Local_dbms.protocol_kind dbms))
       cfg.sites
   in
+  (* The streaming certifier, fed from every producer: [Site] declarations
+     now, op taps on the site DBMSs below, GTM events from the GTM domain.
+     Soak mode drops the audit-record retention and the certifier's stable
+     order prefix, so run-length memory reduces to the active window. *)
+  let live_cert =
+    match cfg.certify with
+    | Certify_batch -> None
+    | Certify_live ->
+        Some
+          (Live_cert.start ~checkpoint_every:cfg.cert_checkpoint_every
+             ~obs ())
+    | Certify_soak ->
+        List.iter
+          (fun dbms -> Schedule.set_capture (Local_dbms.schedule dbms) false)
+          cfg.sites;
+        Some
+          (Live_cert.start ~checkpoint_every:cfg.cert_checkpoint_every
+             ~retain_order:false ~obs ())
+  in
+  (match live_cert with
+  | None -> ()
+  | Some lc ->
+      Live_cert.feed lc
+        (List.map (fun (sid, p) -> Incremental.Site (sid, Some p)) protocols);
+      List.iter
+        (fun dbms ->
+          let sid = Local_dbms.site_id dbms in
+          Local_dbms.set_op_tap dbms (fun tid action ->
+              Live_cert.feed lc [ Incremental.Op (sid, tid, action) ]))
+        cfg.sites);
   let labels = [ ("scheme", cfg.scheme.Scheme.name) ] in
   let sh =
     {
@@ -730,6 +784,8 @@ let start (cfg : config) =
       cfg_max_active = cfg.max_active;
       cfg_stall_ms = cfg.stall_timeout_ms;
       s_name = cfg.scheme.Scheme.name;
+      retain_audit = cfg.certify <> Certify_soak;
+      live_cert;
       inbox;
       sched = Gtm_sched.create ~obs cfg.scheme;
       clock;
@@ -774,10 +830,18 @@ let start (cfg : config) =
       Mutex.unlock sink_mutex)
     else fun _ _ _ -> ()
   in
+  let on_local_done =
+    (* Locals never reach the GTM, so their [End] comes from the worker —
+       right after the terminal op was recorded (same thread), so it lands
+       in the event lane after the txn's last schedule entry. *)
+    match live_cert with
+    | Some lc -> Some (fun tid -> Live_cert.feed lc [ Incremental.End tid ])
+    | None -> None
+  in
   let workers =
     List.map
       (fun dbms ->
-        Site_worker.spawn ~reply
+        Site_worker.spawn ~reply ?on_local_done
           ~observe:(observe_for (Local_dbms.site_id dbms))
           dbms)
       cfg.sites
@@ -886,6 +950,8 @@ let stats t =
 
 let stalled t = Gtm_sched.stalled t.sh.sched
 
+let live_violated t = Option.map Live_cert.violated t.sh.live_cert
+
 let shutdown t =
   match t.shutdown_memo with
   | Some r -> r
@@ -910,7 +976,14 @@ let shutdown t =
           ~ser_events:cap.cap_ser_events
           (List.map Local_dbms.schedule dbms_list)
       in
+      (* Workers and GTM joined: every producer has quiesced. *)
+      let live = Option.map Live_cert.stop t.sh.live_cert in
       let analysis = Analysis.analyze trace in
+      let live_ok =
+        match live with
+        | None -> true
+        | Some s -> (not s.Live_cert.violated) && s.Live_cert.chain_ok
+      in
       let wait_insertions, ser_waits, engine_steps, scheme_steps =
         Gtm_sched.with_engine t.sh.sched (fun e ->
             ( Engine.total_wait_insertions e,
@@ -923,7 +996,8 @@ let shutdown t =
           scheme_name = t.sh.s_name;
           trace;
           analysis;
-          certified = Analysis.certified analysis;
+          certified = Analysis.certified analysis && live_ok;
+          live;
           run_stats = stats t;
           elapsed_ms;
           wait_insertions;

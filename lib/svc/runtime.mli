@@ -34,6 +34,26 @@
 open Mdbs_model
 module Gtm = Mdbs_core.Gtm
 
+type certify_mode =
+  | Certify_batch
+      (** Post-hoc only: capture the trace and replay it through the batch
+          certifier at {!shutdown} (the default, and the pre-existing
+          behavior). *)
+  | Certify_live
+      (** Always-on streaming certification: a dedicated {!Live_cert}
+          domain consumes every schedule/ser/visit event as it happens and
+          maintains the CSR + Theorem-2 obligations online, with rolling
+          checkpoints; the batch certifier still runs at {!shutdown} as a
+          differential oracle. *)
+  | Certify_soak
+      (** Live certification tuned for unbounded runs: the streaming
+          checker drops its stable order prefix, the sites drop audit
+          retention of schedule entries ({!Mdbs_model.Schedule.set_capture}
+          off) and the GTM drops its ser(S)/admission audit log, so memory
+          stays proportional to the {e active window}, not run length. The
+          shutdown batch analysis sees an empty trace (vacuously
+          certified); the live verdict alone carries soak certification. *)
+
 type config = {
   scheme : Mdbs_core.Scheme.t;  (** Fresh instance; owned by the runtime. *)
   sites : Mdbs_site.Local_dbms.t list;  (** Owned by the site workers. *)
@@ -52,6 +72,9 @@ type config = {
           kill when nothing is identifiably site-blocked. *)
   tick_ms : float;  (** Ticker period. *)
   obs : Mdbs_obs.Obs.t;
+  certify : certify_mode;
+  cert_checkpoint_every : int;
+      (** Events per rolling checkpoint of the live certifier. *)
 }
 
 val config :
@@ -61,12 +84,15 @@ val config :
   ?stall_timeout_ms:float ->
   ?tick_ms:float ->
   ?obs:Mdbs_obs.Obs.t ->
+  ?certify:certify_mode ->
+  ?cert_checkpoint_every:int ->
   scheme:Mdbs_core.Scheme.t ->
   sites:Mdbs_site.Local_dbms.t list ->
   unit ->
   config
 (** Defaults: no 2PC, capacity 64, max_active 64, stall timeout 250 ms,
-    tick 5 ms, observability disabled. *)
+    tick 5 ms, observability disabled, [Certify_batch], checkpoint every
+    4096 events. *)
 
 type t
 
@@ -91,6 +117,12 @@ type result = {
   analysis : Mdbs_analysis.Analysis.t;
       (** Certifier + linter verdict over [trace]. *)
   certified : bool;
+      (** Batch verdict, and — under [Certify_live] / [Certify_soak] —
+          also the live verdict and the checkpoint chain. *)
+  live : Live_cert.summary option;
+      (** Streaming-certifier summary ([Certify_live] / [Certify_soak]):
+          verdict, rolling-checkpoint chain, memory stats, final
+          certificates. *)
   run_stats : stats;
   elapsed_ms : float;
   wait_insertions : int;
@@ -131,6 +163,11 @@ val stats : t -> stats
 val stalled : t -> (string * string) list
 (** Live stall attribution: every GTM2-delayed operation with the scheme's
     [explain] reason. *)
+
+val live_violated : t -> bool option
+(** The streaming certifier's verdict so far: [None] under
+    [Certify_batch], otherwise whether a violation has been detected.
+    Safe from any thread while the runtime runs. *)
 
 val shutdown : t -> result
 (** Stop accepting, drain every admitted transaction to a final status,

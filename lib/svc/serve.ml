@@ -17,16 +17,20 @@ type config = {
   tick_ms : float;
   report_every_s : float;
   obs : Obs.t;
+  certify : Runtime.certify_mode;
+  cert_checkpoint_every : int;
 }
 
 let config ?(wl = Workload.default) ?(rate = 200.) ?(duration_s = 5.)
     ?(local_fraction = 0.) ?(seed = 42) ?(atomic_commit = false)
     ?(capacity = 64) ?(max_active = 64) ?(stall_timeout_ms = 250.)
-    ?(tick_ms = 5.) ?(report_every_s = 1.) ?(obs = Obs.disabled) scheme =
+    ?(tick_ms = 5.) ?(report_every_s = 1.) ?(obs = Obs.disabled)
+    ?(certify = Runtime.Certify_batch) ?(cert_checkpoint_every = 4096) scheme =
   if rate <= 0. then invalid_arg "Serve.config: rate <= 0";
   if duration_s <= 0. then invalid_arg "Serve.config: duration <= 0";
   { wl; scheme; rate; duration_s; local_fraction; seed; atomic_commit;
-    capacity; max_active; stall_timeout_ms; tick_ms; report_every_s; obs }
+    capacity; max_active; stall_timeout_ms; tick_ms; report_every_s; obs;
+    certify; cert_checkpoint_every }
 
 type summary = {
   offered : int;
@@ -39,9 +43,13 @@ let progress_line rt offered rejected =
   let st = Runtime.stats rt in
   Printf.printf
     "[serve] offered %d  committed %d  aborted %d  rejected %d  active %d  \
-     forced %d\n"
+     forced %d%s\n"
     offered st.Runtime.committed st.Runtime.aborted rejected
-    st.Runtime.active st.Runtime.force_aborts;
+    st.Runtime.active st.Runtime.force_aborts
+    (match Runtime.live_violated rt with
+    | None -> ""
+    | Some false -> "  cert ok"
+    | Some true -> "  cert VIOLATION");
   (match Runtime.stalled rt with
   | [] -> ()
   | delayed ->
@@ -58,7 +66,8 @@ let run ?(quiet = false) cfg =
     Runtime.start
       (Runtime.config ~atomic_commit:cfg.atomic_commit ~capacity:cfg.capacity
          ~max_active:cfg.max_active ~stall_timeout_ms:cfg.stall_timeout_ms
-         ~tick_ms:cfg.tick_ms ~obs:cfg.obs
+         ~tick_ms:cfg.tick_ms ~obs:cfg.obs ~certify:cfg.certify
+         ~cert_checkpoint_every:cfg.cert_checkpoint_every
          ~scheme:(Registry.make cfg.scheme)
          ~sites ())
   in

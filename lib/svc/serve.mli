@@ -28,6 +28,8 @@ type config = {
   tick_ms : float;  (** Runtime ticker period (stall-detector cadence). *)
   report_every_s : float;
   obs : Mdbs_obs.Obs.t;
+  certify : Runtime.certify_mode;
+  cert_checkpoint_every : int;
 }
 
 val config :
@@ -43,11 +45,14 @@ val config :
   ?tick_ms:float ->
   ?report_every_s:float ->
   ?obs:Mdbs_obs.Obs.t ->
+  ?certify:Runtime.certify_mode ->
+  ?cert_checkpoint_every:int ->
   Mdbs_core.Registry.kind ->
   config
 (** Defaults: default workload, 200 arrivals/s offered, 5 s, no locals,
     seed 42, no 2PC, capacity 64, max_active 64, stall 250 ms, tick 5 ms,
-    report every second. *)
+    report every second, batch-only certification. When live certification
+    is on, each progress line carries the streaming verdict so far. *)
 
 type summary = {
   offered : int;  (** Arrivals generated. *)

@@ -40,6 +40,7 @@ type state = {
   dbms : Local_dbms.t;
   out : reply list ref;
   observe : Types.tid -> Op.action -> string -> unit;
+  on_done : Types.tid -> unit;
   local_cont : (Types.tid, Op.action list * Gtm.status Promise.t) Hashtbl.t;
 }
 
@@ -55,7 +56,12 @@ let outcome_label = function
    promise on commit/abort. *)
 let rec run_local_actions st tid actions promise =
   match actions with
-  | [] -> Promise.fulfill promise Gtm.Committed
+  | [] ->
+      (* Terminal: the txn's last op (its [Commit]) was already recorded —
+         and tapped — by the preceding [submit], so the [End] the certifier
+         needs lands after it. *)
+      st.on_done tid;
+      Promise.fulfill promise Gtm.Committed
   | action :: rest -> (
       match Local_dbms.submit st.dbms tid action with
       | Local_dbms.Executed _ ->
@@ -66,6 +72,7 @@ let rec run_local_actions st tid actions promise =
           Hashtbl.replace st.local_cont tid (rest, promise)
       | Local_dbms.Aborted reason ->
           st.observe tid action "aborted";
+          st.on_done tid;
           Promise.fulfill promise (Gtm.Aborted reason))
 
 (* Lock releases only happen at this site, and this worker serializes all
@@ -134,12 +141,15 @@ let rec handle st = function
       (match run_local_actions st tid actions promise with
       | () -> ()
       | exception e ->
+          st.on_done tid;
           Promise.fulfill promise (Gtm.Aborted (Printexc.to_string e)));
       drain st
   | Crash ->
       (* Parked local continuations die with the site's volatile state. *)
       Hashtbl.iter
-        (fun _ (_, promise) -> Promise.fulfill promise (Gtm.Aborted "site-crash"))
+        (fun tid (_, promise) ->
+          st.on_done tid;
+          Promise.fulfill promise (Gtm.Aborted "site-crash"))
         st.local_cont;
       Hashtbl.reset st.local_cont;
       let sid = Local_dbms.site_id st.dbms in
@@ -153,8 +163,10 @@ let rec handle st = function
 
 let count_of = function Batch reqs -> List.length reqs | _ -> 1
 
-let worker_loop box handled reply observe dbms =
-  let st = { dbms; out = ref []; observe; local_cont = Hashtbl.create 16 } in
+let worker_loop box handled reply observe on_done dbms =
+  let st =
+    { dbms; out = ref []; observe; on_done; local_cont = Hashtbl.create 16 }
+  in
   let flush () =
     match List.rev !(st.out) with
     | [] -> ()
@@ -165,7 +177,9 @@ let worker_loop box handled reply observe dbms =
   let settle () =
     (* Abandon parked continuations (shutdown): settle their clients. *)
     Hashtbl.iter
-      (fun _ (_, promise) -> Promise.fulfill promise (Gtm.Aborted "shutdown"))
+      (fun tid (_, promise) ->
+        st.on_done tid;
+        Promise.fulfill promise (Gtm.Aborted "shutdown"))
       st.local_cont
   in
   (* Returns [true] when Stop terminates the batch. *)
@@ -195,14 +209,17 @@ let worker_loop box handled reply observe dbms =
   in
   loop ()
 
-let spawn ~reply ?(observe = fun _ _ _ -> ()) dbms =
+let spawn ~reply ?(observe = fun _ _ _ -> ()) ?(on_local_done = fun _ -> ())
+    dbms =
   let box = Mailbox.create ~capacity:1 () in
   let handled = Atomic.make 0 in
   {
     sid = Local_dbms.site_id dbms;
     box;
     handled;
-    domain = Domain.spawn (fun () -> worker_loop box handled reply observe dbms);
+    domain =
+      Domain.spawn (fun () ->
+          worker_loop box handled reply observe on_local_done dbms);
   }
 
 let sid t = t.sid

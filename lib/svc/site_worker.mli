@@ -64,13 +64,18 @@ type t
 val spawn :
   reply:(reply list -> unit) ->
   ?observe:(Types.tid -> Op.action -> string -> unit) ->
+  ?on_local_done:(Types.tid -> unit) ->
   Mdbs_site.Local_dbms.t ->
   t
 (** Start the domain. [reply] receives the coalesced replies of one
     wakeup (never [[]]), in execution order. [observe tid action outcome]
     is called after every executed operation (from the worker domain —
     the callback must be thread-safe; the runtime wires it to the locked
-    span sink). *)
+    span sink). [on_local_done tid] fires when a {!Run_local} transaction
+    reaches its terminal state here (committed, aborted, killed by a
+    crash, or abandoned at shutdown) — after its final schedule entry was
+    recorded; the runtime feeds the streaming certifier's [End] from
+    it. *)
 
 val sid : t -> Types.sid
 

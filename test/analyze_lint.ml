@@ -8,7 +8,9 @@
 
    The runner analyzes every file and fails (exit 1) on any mismatch, so
    [dune build @analyze-lint] keeps the analysis pass honest against a
-   corpus of hand-written executions. *)
+   corpus of hand-written executions. Every trace is additionally replayed
+   through the streaming certifier, which must agree with the batch verdict
+   (the goldens double as the incremental/batch differential corpus). *)
 
 module A = Mdbs_analysis
 
@@ -88,6 +90,16 @@ let run_file path =
                 (String.concat "; " expect.rules)
                 (String.concat "; " got_fired)
               :: !problems;
+          (let inc = A.Incremental.of_trace trace in
+           let inc_certified = not (A.Incremental.violated inc) in
+           if inc_certified <> A.Analysis.certified report then
+             problems :=
+               Printf.sprintf
+                 "incremental certifier disagrees with batch: %s vs %s"
+                 (if inc_certified then "certified" else "violation")
+                 (if A.Analysis.certified report then "certified"
+                  else "violation")
+               :: !problems);
           if !problems = [] then Ok () else Error (String.concat "; " !problems))
 
 let () =

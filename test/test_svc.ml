@@ -13,6 +13,9 @@ module Registry = Mdbs_core.Registry
 module Workload = Mdbs_sim.Workload
 module Fault = Mdbs_sim.Fault
 module Analysis = Mdbs_analysis.Analysis
+module Certificate = Mdbs_analysis.Certificate
+module Incremental = Mdbs_analysis.Incremental
+module Live_cert = Mdbs_svc.Live_cert
 module Rng = Mdbs_util.Rng
 
 let check_int = Alcotest.(check int)
@@ -292,6 +295,97 @@ let site_crash_graceful () =
   check_int "no violations" 0 (Analysis.errors res.Runtime.analysis);
   check_bool "certified" true res.Runtime.certified
 
+(* ------------------------------------- live streaming certification *)
+
+(* Differential oracle across seeds: the loadgen with the streaming
+   certifier on and locals mixed among the globals; the live verdict must
+   agree with the post-hoc batch certifier on the captured trace, the
+   rolling-checkpoint chain must verify, and a clean run must carry a
+   final certificate the batch checker accepts against the trace. *)
+let live_differential seed () =
+  let kinds = [| Registry.S0; Registry.S1; Registry.S2; Registry.S3 |] in
+  let kind = kinds.(seed mod Array.length kinds) in
+  let r =
+    Loadgen.run
+      (Loadgen.config ~wl:(wl 4) ~clients:6 ~txns_per_client:6 ~seed
+         ~local_fraction:0.25 ~certify:Runtime.Certify_live
+         ~cert_checkpoint_every:64 kind)
+  in
+  let live =
+    match r.Loadgen.run.Runtime.live with
+    | Some s -> s
+    | None -> Alcotest.fail "live summary missing"
+  in
+  let batch_ok = Analysis.certified r.Loadgen.run.Runtime.analysis in
+  check_bool "live verdict = batch verdict" batch_ok
+    (not live.Live_cert.violated);
+  check_bool "checkpoint chain verified" true live.Live_cert.chain_ok;
+  check_bool "several checkpoints" true (live.Live_cert.checkpoints > 1);
+  (if batch_ok then
+     match live.Live_cert.cert with
+     | None -> Alcotest.fail "clean run must carry a certificate"
+     | Some c -> (
+         match Certificate.verify r.Loadgen.run.Runtime.trace c with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail ("certificate rejected: " ^ e)));
+  check_bool "certified" true r.Loadgen.certified
+
+(* Soak mode: audit retention off at the sites, stable order off in the
+   checker — the active window (not run length) bounds memory, and the
+   verdict plus chain still land. *)
+let live_soak_bounded () =
+  let r =
+    Loadgen.run
+      (Loadgen.config ~wl:(wl 4) ~clients:8 ~txns_per_client:25 ~seed:5
+         ~local_fraction:0.2 ~certify:Runtime.Certify_soak
+         ~cert_checkpoint_every:256 Registry.S3)
+  in
+  let live =
+    match r.Loadgen.run.Runtime.live with
+    | Some s -> s
+    | None -> Alcotest.fail "live summary missing"
+  in
+  check_bool "no violation" true (not live.Live_cert.violated);
+  check_bool "chain ok" true live.Live_cert.chain_ok;
+  let st = live.Live_cert.stats in
+  check_bool "events flowed" true (st.Incremental.events > 200);
+  check_bool "window bounded" true (st.Incremental.peak_live_txns < 128);
+  check_bool "edges bounded" true (st.Incremental.live_edges < 1024);
+  check_bool "certified" true r.Loadgen.certified
+
+(* Crash a site mid-run with the streaming certifier on: the live feed
+   sees the GTM's End before the site's crash-compensation aborts
+   (non-strict End tolerates them), and both certifiers must still agree
+   on the surviving execution. *)
+let live_survives_crash () =
+  let config = wl ~durable:true 4 in
+  let sites = Workload.make_sites config in
+  let rt =
+    Runtime.start
+      (Runtime.config ~scheme:(Registry.make Registry.S3) ~sites
+         ~stall_timeout_ms:100. ~certify:Runtime.Certify_live
+         ~cert_checkpoint_every:64 ())
+  in
+  let rng = Rng.create 31 in
+  let n = 24 in
+  let promises =
+    List.init n (fun i ->
+        if i = n / 2 then Runtime.crash_site rt 1;
+        Runtime.submit_global rt (Workload.global_txn rng config))
+  in
+  List.iter (fun p -> ignore (Promise.await p)) promises;
+  let res = Runtime.shutdown rt in
+  let live =
+    match res.Runtime.live with
+    | Some s -> s
+    | None -> Alcotest.fail "live summary missing"
+  in
+  check_bool "live verdict = batch verdict"
+    (Analysis.certified res.Runtime.analysis)
+    (not live.Live_cert.violated);
+  check_bool "chain ok" true live.Live_cert.chain_ok;
+  check_bool "certified" true res.Runtime.certified
+
 (* Submissions after shutdown are refused, not lost. *)
 let shutdown_refuses () =
   let config = wl 2 in
@@ -348,4 +442,12 @@ let () =
         ] );
       ( "faults",
         [ Alcotest.test_case "site-crash" `Quick site_crash_graceful ] );
+      ( "live-cert",
+        Alcotest.test_case "soak-bounded" `Quick live_soak_bounded
+        :: Alcotest.test_case "crash" `Quick live_survives_crash
+        :: List.init 13 (fun i ->
+               let seed = i + 1 in
+               Alcotest.test_case
+                 (Printf.sprintf "differential-seed-%d" seed)
+                 `Quick (live_differential seed)) );
     ]
