@@ -399,13 +399,52 @@ let svc_flags =
   in
   let stall =
     Arg.(value & opt float 250. & info [ "stall-ms" ] ~docv:"MS"
-           ~doc:"Per-transaction wait window before the cross-site deadlock \
-                 detector kills the youngest blocked global.")
+           ~doc:"Hard per-transaction wait deadline: a site-blocked global \
+                 past it with nothing to wound is killed itself (bounded \
+                 wait).")
+  in
+  let wound =
+    Arg.(value & opt (some float) None & info [ "wound-ms" ] ~docv:"MS"
+           ~doc:"Wound window: a site-blocked global waiting this long \
+                 wounds the youngest strictly-younger transaction resident \
+                 at its blocked site. Default: max(4*tick, 20) ms, capped \
+                 at --stall-ms.")
   in
   let tick =
     Arg.(value & opt float 5. & info [ "tick-ms" ] ~docv:"MS"
            ~doc:"Runtime ticker period: how often the stall detector \
                  re-examines blocked transactions.")
+  in
+  let retry_on =
+    Arg.(value & flag & info [ "retry" ]
+           ~doc:"Retry aborted/shed transactions with seeded exponential \
+                 backoff (this is the default; the flag makes it explicit).")
+  in
+  let no_retry =
+    Arg.(value & flag & info [ "no-retry" ]
+           ~doc:"Disable client-side retry: one attempt per transaction.")
+  in
+  let max_attempts =
+    Arg.(value & opt int 4 & info [ "max-attempts" ] ~docv:"N"
+           ~doc:"Total attempts per logical transaction (retries = N-1).")
+  in
+  let backoff =
+    Arg.(value & opt float 4. & info [ "backoff-ms" ] ~docv:"MS"
+           ~doc:"First backoff window (full jitter, doubling per attempt).")
+  in
+  let backoff_cap =
+    Arg.(value & opt float 64. & info [ "backoff-cap-ms" ] ~docv:"MS"
+           ~doc:"Backoff window ceiling.")
+  in
+  let shed_parked =
+    Arg.(value & opt (some int) None & info [ "shed-parked" ] ~docv:"N"
+           ~doc:"Admission-shedding bound on the GTM's parked queue \
+                 (default 8*max-active).")
+  in
+  let shed_blocked =
+    Arg.(value & opt (some int) None & info [ "shed-blocked" ] ~docv:"N"
+           ~doc:"Admission-shedding bound on the site-blocked population \
+                 (default max-active).")
   in
   let certify =
     Arg.(value & opt certify_conv Runtime.Certify_batch
@@ -424,21 +463,36 @@ let svc_flags =
   Term.(
     const
       (fun m data d_av hotspot local seed atomic capacity max_active stall
-           tick certify cert_every ->
+           wound tick retry_on no_retry max_attempts backoff backoff_cap
+           shed_parked shed_blocked certify cert_every ->
+        ignore retry_on;
+        let retry =
+          (* Retries are on by default; --no-retry wins over --retry. *)
+          if no_retry then Mdbs_svc.Retry.off
+          else
+            Mdbs_svc.Retry.policy ~max_attempts ~base_ms:backoff
+              ~cap_ms:backoff_cap ()
+        in
         ( m, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
-          stall, tick, certify, cert_every ))
+          stall, tick, certify, cert_every,
+          (retry, wound, shed_parked, shed_blocked) ))
     $ sites $ data $ d_av $ hotspot $ local $ seed $ atomic $ capacity
-    $ max_active $ stall $ tick $ certify $ cert_every)
+    $ max_active $ stall $ wound $ tick $ retry_on $ no_retry $ max_attempts
+    $ backoff $ backoff_cap $ shed_parked $ shed_blocked $ certify
+    $ cert_every)
 
 let loadgen_config kind
     (m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall,
-     tick, certify, cert_every) clients txns obs =
+     tick, certify, cert_every, (retry, wound, shed_parked, shed_blocked))
+    clients txns obs =
   let wl =
     { Workload.default with m; data_per_site = data; d_av; hotspot }
   in
   Loadgen.config ~wl ~clients ~txns_per_client:txns ~local_fraction:local
-    ~seed ~atomic_commit:atomic ~capacity ~max_active ~stall_timeout_ms:stall
-    ~tick_ms:tick ~obs ~certify ~cert_checkpoint_every:cert_every kind
+    ~seed ~retry ~atomic_commit:atomic ~capacity ~max_active
+    ~stall_timeout_ms:stall ?wound_after_ms:wound ~tick_ms:tick
+    ?shed_parked ?shed_blocked ~obs ~certify
+    ~cert_checkpoint_every:cert_every kind
 
 let loadgen_cmd =
   let doc =
@@ -478,10 +532,11 @@ let loadgen_cmd =
     match bench_out with
     | Some file ->
         let m0, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
-            stall, tick, certify, cert_every =
+            stall, tick, certify, cert_every, rob =
           svcf
         in
         ignore m0;
+        let retry, _, _, _ = rob in
         let grid =
           List.concat_map
             (fun k ->
@@ -490,7 +545,7 @@ let loadgen_cmd =
                   let cfg =
                     loadgen_config k
                       (m, data, d_av, hotspot, local, seed, atomic, capacity,
-                       max_active, stall, tick, certify, cert_every)
+                       max_active, stall, tick, certify, cert_every, rob)
                       clients txns Obs.disabled
                   in
                   Printf.eprintf "bench: %s m=%d...\n%!" (Registry.name k) m;
@@ -505,6 +560,13 @@ let loadgen_cmd =
               ("clients", Mdbs_util.Json.Int clients);
               ("txns_per_client", Mdbs_util.Json.Int txns);
               ("seed", Mdbs_util.Json.Int seed);
+              (* Ints, not bools: bench-compare's workload-shape warning
+                 reads numbers. *)
+              ( "retry",
+                Mdbs_util.Json.Int
+                  (if Mdbs_svc.Retry.enabled retry then 1 else 0) );
+              ( "max_attempts",
+                Mdbs_util.Json.Int retry.Mdbs_svc.Retry.max_attempts );
               ( "runs",
                 Mdbs_util.Json.List (List.map Loadgen.report_to_json grid) );
             ]
@@ -560,7 +622,7 @@ let serve_cmd =
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.") in
   let run kind svcf rate duration quiet json obsf =
     let m, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
-        stall, tick, certify, cert_every =
+        stall, tick, certify, cert_every, (retry, wound, shed_p, shed_b) =
       svcf
     in
     let wl = { Workload.default with m; data_per_site = data; d_av; hotspot } in
@@ -568,8 +630,9 @@ let serve_cmd =
     let s =
       Serve.run ~quiet
         (Serve.config ~wl ~rate ~duration_s:duration ~local_fraction:local
-           ~seed ~atomic_commit:atomic ~capacity ~max_active
-           ~stall_timeout_ms:stall ~tick_ms:tick ~obs ~certify
+           ~seed ~retry ~atomic_commit:atomic ~capacity ~max_active
+           ~stall_timeout_ms:stall ?wound_after_ms:wound ~tick_ms:tick
+           ?shed_parked:shed_p ?shed_blocked:shed_b ~obs ~certify
            ~cert_checkpoint_every:cert_every kind)
     in
     export_obs obsf obs;
@@ -583,11 +646,23 @@ let serve_cmd =
                 ("scheme", Mdbs_util.Json.Str res.Mdbs_svc.Runtime.scheme_name);
                 ("offered", Mdbs_util.Json.Int s.Serve.offered);
                 ("accepted", Mdbs_util.Json.Int s.Serve.accepted);
-                ("rejected", Mdbs_util.Json.Int s.Serve.rejected);
+                ( "rejected_backpressure",
+                  Mdbs_util.Json.Int s.Serve.rejected_backpressure );
+                ("shed", Mdbs_util.Json.Int s.Serve.shed);
+                ("retries", Mdbs_util.Json.Int s.Serve.retries);
                 ("committed", Mdbs_util.Json.Int st.Mdbs_svc.Runtime.committed);
                 ("aborted", Mdbs_util.Json.Int st.Mdbs_svc.Runtime.aborted);
+                ("commit_ratio", Mdbs_util.Json.Float s.Serve.commit_ratio);
+                ("elapsed_s", Mdbs_util.Json.Float s.Serve.elapsed_s);
+                ("goodput_txn_s", Mdbs_util.Json.Float s.Serve.goodput);
                 ( "force_aborts",
                   Mdbs_util.Json.Int st.Mdbs_svc.Runtime.force_aborts );
+                ("wounds", Mdbs_util.Json.Int st.Mdbs_svc.Runtime.wounds);
+                ( "aborts_by_cause",
+                  Mdbs_util.Json.Obj
+                    (List.map
+                       (fun (c, n) -> (c, Mdbs_util.Json.Int n))
+                       st.Mdbs_svc.Runtime.abort_causes) );
                 ( "certified",
                   Mdbs_util.Json.Bool res.Mdbs_svc.Runtime.certified );
                 ( "live_certification",
@@ -597,11 +672,14 @@ let serve_cmd =
               ]))
     else
       Printf.printf
-        "scheme %s: offered %d, accepted %d, rejected %d; committed %d, \
-         aborted %d (%d forced); certified %s\n"
-        res.Mdbs_svc.Runtime.scheme_name s.Serve.offered s.Serve.accepted
-        s.Serve.rejected st.Mdbs_svc.Runtime.committed
-        st.Mdbs_svc.Runtime.aborted st.Mdbs_svc.Runtime.force_aborts
+        "scheme %s: offered %d, committed %d (ratio %.3f, goodput %.1f \
+         txn/s); accepted %d, rejected %d (backpressure), shed %d, retries \
+         %d; aborted %d (%d forced, %d wounds); certified %s\n"
+        res.Mdbs_svc.Runtime.scheme_name s.Serve.offered
+        st.Mdbs_svc.Runtime.committed s.Serve.commit_ratio s.Serve.goodput
+        s.Serve.accepted s.Serve.rejected_backpressure s.Serve.shed
+        s.Serve.retries st.Mdbs_svc.Runtime.aborted
+        st.Mdbs_svc.Runtime.force_aborts st.Mdbs_svc.Runtime.wounds
         (if res.Mdbs_svc.Runtime.certified then "yes" else "NO");
     if not res.Mdbs_svc.Runtime.certified then exit 1
   in
@@ -619,15 +697,19 @@ let bench_compare_cmd =
       `S Manpage.s_description;
       `P
         "Reads two JSON baselines produced by $(b,mdbs loadgen --bench-out), \
-         matches runs by (scheme, sites), and reports the throughput and \
-         commit-ratio delta of every matched run. Exits 1 when any matched \
-         run's throughput regressed by more than $(b,--threshold) percent \
-         (default 10), when its commit ratio dropped by more than \
-         $(b,--max-commit-drop) percentage points (default 15), or when a \
-         run in the old baseline has no counterpart in the new one; exits \
-         2 on a file or parse error. Use it as a CI guard against \
-         accidental hot-path regressions — a faster scheduler that aborts \
-         its way to throughput is not an optimization.";
+         matches runs by (scheme, sites), and reports the throughput, \
+         goodput and commit-ratio delta of every matched run. Exits 1 when \
+         any matched run's throughput or goodput regressed by more than \
+         $(b,--threshold) percent (default 10), when its commit ratio \
+         dropped by more than $(b,--max-commit-drop) percentage points \
+         (default 15), or when a run in the old baseline has no \
+         counterpart in the new one; exits 2 on a file or parse error. Use \
+         it as a CI guard against accidental hot-path regressions — a \
+         faster scheduler that aborts its way to throughput is not an \
+         optimization, which is why the commit-ratio and goodput gates \
+         exist. Machine-independent gating: commit ratio is deterministic \
+         under a seed, so CI can hard-gate on --max-commit-drop with a \
+         huge --threshold to neutralize runner noise.";
     ]
   in
   let old_file =
@@ -660,9 +742,11 @@ let bench_compare_cmd =
       | Ok doc -> doc
       | Error msg -> fail_usage (Printf.sprintf "%s: %s" file msg)
     in
-    (* One baseline's runs as ((scheme, sites), throughput, commit ratio,
-       certified). Baselines written before the commit counters existed
-       get ratio 1.0 (no gate). *)
+    (* One baseline's runs as ((scheme, sites), (throughput, goodput,
+       commit ratio), certified). Baselines written before the commit
+       counters existed get ratio 1.0 (no gate); ones without a goodput
+       field fall back to throughput (pre-retry baselines, where every
+       settled attempt was a logical transaction). *)
     let runs file doc =
       match Option.bind (Json.member "runs" doc) Json.list_val with
       | None -> fail_usage (file ^ ": no \"runs\" array")
@@ -679,8 +763,13 @@ let bench_compare_cmd =
                     | Some c, Some s when s > 0. -> c /. s
                     | _ -> 1.
                   in
+                  let goodput =
+                    match num "goodput_txn_s" with
+                    | Some g -> g
+                    | None -> tput
+                  in
                   ( (scheme, int_of_float sites),
-                    (tput, ratio),
+                    (tput, goodput, ratio),
                     Option.value ~default:false (bool "certified") )
               | _ -> fail_usage (file ^ ": run missing scheme/sites/throughput"))
             items
@@ -698,13 +787,13 @@ let bench_compare_cmd =
                compare different workloads\n"
               k a b
         | _ -> ())
-      [ "clients"; "txns_per_client"; "seed" ];
+      [ "clients"; "txns_per_client"; "seed"; "retry"; "max_attempts" ];
     let old_runs = runs old_file old_doc in
     let new_runs = runs new_file new_doc in
     let regressions = ref 0 in
     let rows =
       List.filter_map
-        (fun (key, (old_tput, old_ratio), _) ->
+        (fun (key, (old_tput, old_good, old_ratio), _) ->
           let scheme, sites = key in
           match
             List.find_opt (fun (k, _, _) -> k = key) new_runs
@@ -712,23 +801,29 @@ let bench_compare_cmd =
           | None ->
               incr regressions;
               Some [ scheme; string_of_int sites;
-                     Printf.sprintf "%.2f" old_tput; "-"; "-"; "-"; "MISSING" ]
-          | Some (_, (new_tput, new_ratio), certified) ->
-              let delta_pct =
-                if old_tput > 0. then (new_tput -. old_tput) /. old_tput *. 100.
-                else 0.
+                     Printf.sprintf "%.2f" old_tput; "-"; "-"; "-"; "-";
+                     "MISSING" ]
+          | Some (_, (new_tput, new_good, new_ratio), certified) ->
+              let pct old_v new_v =
+                if old_v > 0. then (new_v -. old_v) /. old_v *. 100. else 0.
               in
+              let delta_pct = pct old_tput new_tput in
+              let good_pct = pct old_good new_good in
               let commit_drop_pp = (old_ratio -. new_ratio) *. 100. in
               let tput_regressed = delta_pct < -.threshold in
+              let good_regressed = good_pct < -.threshold in
               let commit_regressed = commit_drop_pp > max_commit_drop in
-              if tput_regressed || commit_regressed then incr regressions;
+              if tput_regressed || good_regressed || commit_regressed then
+                incr regressions;
               Some
                 [ scheme; string_of_int sites;
                   Printf.sprintf "%.2f" old_tput;
                   Printf.sprintf "%.2f" new_tput;
                   Printf.sprintf "%+.1f%%" delta_pct;
+                  Printf.sprintf "%+.1f%%" good_pct;
                   Printf.sprintf "%+.1fpp" (-.commit_drop_pp);
                   (if tput_regressed then "REGRESSED"
+                   else if good_regressed then "GOODPUT-DROP"
                    else if commit_regressed then "COMMIT-DROP"
                    else if not certified then "UNCERTIFIED"
                    else "ok") ])
@@ -737,8 +832,8 @@ let bench_compare_cmd =
     if rows = [] then fail_usage (old_file ^ ": no runs to compare");
     Mdbs_util.Table.print
       ~headers:
-        [ "scheme"; "sites"; "old txn/s"; "new txn/s"; "delta"; "commit";
-          "verdict" ]
+        [ "scheme"; "sites"; "old txn/s"; "new txn/s"; "delta"; "goodput";
+          "commit"; "verdict" ]
       rows;
     (* Certification failures in the new baseline fail the comparison too:
        a fast but uncertified run is not an optimization. *)

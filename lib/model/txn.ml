@@ -29,6 +29,8 @@ let global ~id per_site =
   let commits = List.map (fun site -> { site; action = Op.Commit }) sites in
   { id; kind = Global sites; script = body @ commits }
 
+let with_id t id = { t with id }
+
 let sites t =
   let seen = Hashtbl.create 8 in
   List.filter_map

@@ -27,6 +27,13 @@ val global : id:Types.gid -> (Types.sid * Op.action list) list -> t
     sites are kept contiguous per site, sites in list order, with all commits
     at the end (commit only after every site's work succeeded). *)
 
+val with_id : t -> Types.tid -> t
+(** The same script under a fresh transaction id — how a client reissues an
+    aborted transaction. The retry is a {e new} transaction to every site
+    and to the certifier (the aborted attempt stays in the trace under its
+    old id); reusing the old id would make [ser(S)] visit a site twice for
+    one id, which the analyses reject. *)
+
 val sites : t -> Types.sid list
 (** Sites the transaction touches, in first-access order. *)
 

@@ -45,6 +45,12 @@ val stalled : t -> (string * string) list
 (** Snapshot of the WAIT set with reasons: [(op, explain op)] for every
     parked operation — live stall attribution from any thread. *)
 
+val wait_gids : t -> Mdbs_model.Types.gid list
+(** Distinct transactions with an operation parked in GTM2's WAIT set
+    (sorted). The stall detector's safety valve prefers its victim among
+    these — a transaction the {e scheme} is delaying — over an arbitrary
+    active one. *)
+
 val with_engine : t -> (Mdbs_core.Engine.t -> 'a) -> 'a
 (** Run [f] on the underlying engine under the lock (metrics reads:
     wait-insertion counters, step totals). *)

@@ -1,0 +1,36 @@
+module Rng = Mdbs_util.Rng
+
+type policy = { max_attempts : int; base_ms : float; cap_ms : float }
+
+let policy ?(max_attempts = 4) ?(base_ms = 4.) ?(cap_ms = 64.) () =
+  if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts < 1";
+  if base_ms < 0. then invalid_arg "Retry.policy: base_ms < 0";
+  if cap_ms < base_ms then invalid_arg "Retry.policy: cap_ms < base_ms";
+  { max_attempts; base_ms; cap_ms }
+
+let off = { max_attempts = 1; base_ms = 0.; cap_ms = 0. }
+
+let default = policy ()
+
+let enabled p = p.max_attempts > 1
+
+let retryable = function
+  | Outcome.Committed -> false
+  | Outcome.Shed -> true
+  | Outcome.Aborted ("shutdown" | "duplicate-admission") -> false
+  | Outcome.Aborted _ -> true
+
+(* Full-jitter exponential backoff: uniform in [0, min(cap, base * 2^(k-1)))
+   after the k-th failed attempt. A shed doubles the window once more — the
+   runtime refused the transaction before it touched any site, so the right
+   response is to stay away longer, not to knock again at the same cadence. *)
+let delay_ms p rng ~attempt ~shed =
+  if p.base_ms <= 0. then 0.
+  else begin
+    let k = max 1 attempt in
+    let window =
+      Float.min p.cap_ms (p.base_ms *. Float.pow 2. (float_of_int (k - 1)))
+    in
+    let window = if shed then Float.min (2. *. p.cap_ms) (2. *. window) else window in
+    Rng.float rng window
+  end

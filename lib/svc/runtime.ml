@@ -1,7 +1,6 @@
 open Mdbs_model
 module Local_dbms = Mdbs_site.Local_dbms
 module Cc_types = Mdbs_lcc.Cc_types
-module Gtm = Mdbs_core.Gtm
 module Gtm1 = Mdbs_core.Gtm1
 module Scheme = Mdbs_core.Scheme
 module Queue_op = Mdbs_core.Queue_op
@@ -22,25 +21,50 @@ type config = {
   capacity : int;
   max_active : int;
   stall_timeout_ms : float;
+  wound_after_ms : float;
   tick_ms : float;
+  shed_parked : int;
+  shed_blocked : int;
   obs : Obs.t;
   certify : certify_mode;
   cert_checkpoint_every : int;
 }
 
 let config ?(atomic_commit = false) ?(capacity = 64) ?(max_active = 64)
-    ?(stall_timeout_ms = 250.) ?(tick_ms = 5.) ?(obs = Obs.disabled)
-    ?(certify = Certify_batch) ?(cert_checkpoint_every = 4096) ~scheme
-    ~sites () =
+    ?(stall_timeout_ms = 250.) ?wound_after_ms ?(tick_ms = 5.) ?shed_parked
+    ?shed_blocked ?(obs = Obs.disabled) ?(certify = Certify_batch)
+    ?(cert_checkpoint_every = 4096) ~scheme ~sites () =
   if capacity < 1 then invalid_arg "Runtime.config: capacity < 1";
   if max_active < 1 then invalid_arg "Runtime.config: max_active < 1";
   if cert_checkpoint_every < 1 then
     invalid_arg "Runtime.config: cert_checkpoint_every < 1";
+  let wound_after_ms =
+    match wound_after_ms with
+    | Some w ->
+        if w <= 0. then invalid_arg "Runtime.config: wound_after_ms <= 0";
+        w
+    | None ->
+        (* A few ticks of patience before wounding, but never past the hard
+           deadline. *)
+        Float.min (Float.max (4. *. tick_ms) 20.) stall_timeout_ms
+  in
+  let shed_parked =
+    match shed_parked with Some n -> n | None -> 8 * max_active
+  in
+  let shed_blocked =
+    match shed_blocked with Some n -> n | None -> max_active
+  in
+  if shed_parked < 1 then invalid_arg "Runtime.config: shed_parked < 1";
+  if shed_blocked < 1 then invalid_arg "Runtime.config: shed_blocked < 1";
   { scheme; sites; atomic_commit; capacity; max_active; stall_timeout_ms;
-    tick_ms; obs; certify; cert_checkpoint_every }
+    wound_after_ms; tick_ms; shed_parked; shed_blocked; obs; certify;
+    cert_checkpoint_every }
 
 type msg =
-  | Admit of Txn.t * Gtm.status Promise.t
+  | Admit of { txn : Txn.t; birth : int; promise : Outcome.t Promise.t }
+      (** [birth] is the age stamp for wound-wait: the gid of the logical
+          transaction's {e first} attempt (a retry inherits it, so a
+          transaction only grows older relative to the live population). *)
   | Replies of Site_worker.reply list
       (** One coalesced wakeup's worth of worker replies, in execution
           order. *)
@@ -57,13 +81,28 @@ type stats = {
   committed : int;
   aborted : int;
   rejected : int;
+  sheds : int;
   force_aborts : int;
+  wounds : int;
   stall_kills : int;
   site_crashes : int;
   active : int;
   inbox_hwm : int;
+  abort_causes : (string * int) list;
   ops_per_site : (Types.sid * int) list;
 }
+
+(* Every abort (and shed) lands in exactly one cause bucket — the
+   svc_aborts_total{cause} breakdown the bench reports. *)
+let abort_cause_names =
+  [ "wound"; "stall_kill"; "scheme_reject"; "shed"; "crash"; "other" ]
+
+let cause_of_reason = function
+  | "wound" -> "wound"
+  | "global-deadlock" | "stall-timeout" | "stall-deadline" -> "stall_kill"
+  | "site-crash" -> "crash"
+  | "shutdown" | "duplicate-admission" -> "other"
+  | _ -> "scheme_reject"
 
 type result = {
   scheme_name : string;
@@ -85,6 +124,9 @@ type shared = {
   cfg_atomic : bool;
   cfg_max_active : int;
   cfg_stall_ms : float;
+  cfg_wound_ms : float;
+  cfg_shed_parked : int;
+  cfg_shed_blocked : int;
   s_name : string;
   (* Off in soak mode: the GTM's ser(S)/admission audit log would grow with
      run length, and the shutdown batch pass over it would re-analyze the
@@ -106,13 +148,17 @@ type shared = {
   a_committed : int Atomic.t;
   a_aborted : int Atomic.t;
   a_rejected : int Atomic.t;
+  a_sheds : int Atomic.t;
   a_force : int Atomic.t;
+  a_wounds : int Atomic.t;
   a_stall_kills : int Atomic.t;
   a_crashes : int Atomic.t;
   a_active : int Atomic.t;
+  cause_counts : (string * int Atomic.t) list;
   m_committed : Metrics.counter;
   m_aborted : Metrics.counter;
   m_force : Metrics.counter;
+  m_abort_cause : (string * Metrics.counter) list;
   m_inbox_depth : Metrics.gauge;
   m_active_peak : Metrics.gauge;
   m_batch_peak : Metrics.gauge;
@@ -152,12 +198,14 @@ type gst = {
   worker_of : Types.sid -> Site_worker.t;
   gtm1 : Gtm1.t;
   ser_log : Ser_schedule.t;
-  promises : (Types.tid, Gtm.status Promise.t) Hashtbl.t;
+  promises : (Types.tid, Outcome.t Promise.t) Hashtbl.t;
+  births : (Types.gid, int) Hashtbl.t;
   pending_ser : (Types.sid * Types.gid, float) Hashtbl.t;
   pending_direct : (Types.sid * Types.gid, float) Hashtbl.t;
   inflight : (int, inflight) Hashtbl.t;
-  parked : (Txn.t * Gtm.status Promise.t) Queue.t;
+  parked : (Txn.t * int * Outcome.t Promise.t) Queue.t;
   fin_enqueued : (Types.gid, unit) Hashtbl.t;
+  abort_fired : (Types.gid * Types.sid, unit) Hashtbl.t;
   death_reason : (Types.gid, string) Hashtbl.t;
   decided : (Types.gid, bool) Hashtbl.t;  (* true = commit *)
   txn_spans : (Types.gid, int) Hashtbl.t;
@@ -182,6 +230,14 @@ let with_sink g f =
 let cert_feed g evs =
   match g.sh'.live_cert with
   | Some lc -> Live_cert.feed lc evs
+  | None -> ()
+
+let bump_cause sh cause =
+  (match List.assoc_opt cause sh.cause_counts with
+  | Some a -> Atomic.incr a
+  | None -> ());
+  match List.assoc_opt cause sh.m_abort_cause with
+  | Some c -> Metrics.inc c
   | None -> ()
 
 let now g = Clock.now_ms g.sh'.clock
@@ -241,8 +297,16 @@ let flush_outbox g =
           | many -> Site_worker.send (g.worker_of sid) (Site_worker.Batch many)))
     (List.rev sites)
 
+(* At most one abort fire per (transaction, site): the site records each
+   rollback in its schedule, and a second fire for an already-rolled-back
+   subtransaction would record a spurious Abort. Kills can reach the same
+   site through several paths (the kill itself, [mark_global_dead]'s sweep
+   over begun sites, a late [Waiting] reply), so dedup here, centrally. *)
 let fire_abort g gid sid =
-  send_exec g ~kind:Fire ~gid ~sid ~action:Op.Abort
+  if not (Hashtbl.mem g.abort_fired (gid, sid)) then begin
+    Hashtbl.replace g.abort_fired (gid, sid) ();
+    send_exec g ~kind:Fire ~gid ~sid ~action:Op.Abort
+  end
 
 let enqueue_op g op = Queue.add op g.pending_ops
 
@@ -271,9 +335,17 @@ let mark_global_dead g gid reason ~aborting_site =
 
 (* ------------------------------------------------------------- admission *)
 
-let admit_now g txn promise =
+let admit_now g txn birth promise =
   let gid = txn.Txn.id in
+  if Gtm1.is_known g.gtm1 gid then begin
+    (* A tid the GTM is still tracking: admitting it again would make
+       ser(S) visit a site twice for one id (retries must reissue under a
+       fresh id — {!Txn.with_id}). Refuse without touching any counter. *)
+    Promise.fulfill promise (Outcome.Aborted "duplicate-admission")
+  end
+  else begin
   Hashtbl.replace g.promises gid promise;
+  Hashtbl.replace g.births gid birth;
   if g.sh'.retain_audit then
     g.globals_rev <- (gid, Txn.sites txn) :: g.globals_rev;
   cert_feed g [ Incremental.Global (gid, Txn.sites txn) ];
@@ -296,14 +368,15 @@ let admit_now g txn promise =
   let info = Gtm1.admit g.gtm1 txn ~atomic:g.sh'.cfg_atomic ~ser_point_of () in
   enqueue_op g (Queue_op.Init info);
   progress g
+  end
 
 let admit_parked g progressed =
   while
     (not (Queue.is_empty g.parked))
     && Atomic.get g.sh'.a_active < g.sh'.cfg_max_active
   do
-    let txn, promise = Queue.pop g.parked in
-    admit_now g txn promise;
+    let txn, birth, promise = Queue.pop g.parked in
+    admit_now g txn birth promise;
     progressed := true
   done
 
@@ -315,37 +388,32 @@ let finish_txn g gid progressed =
     enqueue_op g (Queue_op.Fin gid);
     let final =
       if Gtm1.is_dead g.gtm1 gid then
-        Gtm.Aborted
+        Outcome.Aborted
           (match Hashtbl.find_opt g.death_reason gid with
           | Some r -> r
           | None -> "aborted")
-      else Gtm.Committed
+      else Outcome.Committed
     in
-    if final = Gtm.Committed then begin
-      decide_commit g gid;
-      Atomic.incr g.sh'.a_committed;
-      Metrics.inc g.sh'.m_committed
-    end
-    else begin
-      Atomic.incr g.sh'.a_aborted;
-      Metrics.inc g.sh'.m_aborted
-    end;
+    (match final with
+    | Outcome.Committed ->
+        decide_commit g gid;
+        Atomic.incr g.sh'.a_committed;
+        Metrics.inc g.sh'.m_committed
+    | Outcome.Aborted reason ->
+        Atomic.incr g.sh'.a_aborted;
+        Metrics.inc g.sh'.m_aborted;
+        bump_cause g.sh' (cause_of_reason reason)
+    | Outcome.Shed -> assert false (* sheds never reach admission *));
     Atomic.decr g.sh'.a_active;
     with_sink g (fun sink ->
         match Hashtbl.find_opt g.txn_spans gid with
         | Some span ->
             Hashtbl.remove g.txn_spans gid;
             Sink.end_span sink
-              ~attrs:
-                [
-                  ( "outcome",
-                    match final with
-                    | Gtm.Committed -> "committed"
-                    | Gtm.Aborted r -> "aborted: " ^ r
-                    | Gtm.Active -> "active" );
-                ]
+              ~attrs:[ ("outcome", Outcome.to_string final) ]
               span
         | None -> ());
+    Hashtbl.remove g.births gid;
     Gtm1.finish g.gtm1 gid;
     cert_feed g [ Incremental.End gid ];
     (match Hashtbl.find_opt g.promises gid with
@@ -425,11 +493,26 @@ let handle_reply g progressed = function
           gtm1_ack g gid
       | Some Fire | None -> ignore sid)
   | Site_worker.Waiting { req; sid; tid } -> (
+      (* A kill may land while this reply is in flight: the victim was
+         marked dead with nothing in the pending tables, so nobody will
+         ever fake-ack the step. Parking the entry now would wedge the
+         drain forever (a dead waiter no tick can kill). Discard the
+         queued operation at the site and complete the protocol instead. *)
       match take_inflight g req with
       | Some (Ser_req (gid, s)) ->
-          Hashtbl.replace g.pending_ser (s, gid) (now g)
+          if Gtm1.is_dead g.gtm1 gid then begin
+            progressed := true;
+            fire_abort g gid s;
+            enqueue_ack g gid s
+          end
+          else Hashtbl.replace g.pending_ser (s, gid) (now g)
       | Some (Direct_req gid) ->
-          Hashtbl.replace g.pending_direct (sid, gid) (now g)
+          if Gtm1.is_dead g.gtm1 gid then begin
+            progressed := true;
+            fire_abort g gid sid;
+            gtm1_ack g gid
+          end
+          else Hashtbl.replace g.pending_direct (sid, gid) (now g)
       | Some Fire | None -> ignore tid)
   | Site_worker.Refused { req; sid; tid = _; reason } -> (
       match take_inflight g req with
@@ -506,100 +589,123 @@ let handle_reply g progressed = function
 (* -------------------------------------------------- stalls and deadlocks *)
 
 (* A transaction blocked inside a site (its operation answered [Waiting])
-   with no single-site deadlock means a potential cross-site cycle. Each
-   blocked transaction ages on its own clock: once one has been waiting
-   longer than the stall window — locally undetectable, so by the paper's
-   argument only a cross-site cycle (or a victim queued behind one) can
-   hold a lock that long — the youngest such transaction is killed. The
-   per-transaction clocks keep a busy system from masking a deadlock:
-   unrelated commits no longer reset the detector, so a clique of k
-   victims drains in O(k) ticks instead of k full quiescent windows. *)
-let blocked_victim g ~only_expired =
-  let cutoff = now g -. g.sh'.cfg_stall_ms in
-  let blocked =
-    List.filter
-      (fun gid ->
-        (not (Gtm1.is_dead g.gtm1 gid))
-        && Gtm1.next g.gtm1 gid = Gtm1.In_flight
-        &&
-        match Gtm1.current_step g.gtm1 gid with
-        | Some step -> (
-            let sid = step.Gtm1.site in
-            let since =
-              match Hashtbl.find_opt g.pending_ser (sid, gid) with
-              | Some _ as s -> s
-              | None -> Hashtbl.find_opt g.pending_direct (sid, gid)
-            in
-            match since with
-            | Some since -> (not only_expired) || since <= cutoff
-            | None -> false)
-        | None -> false)
-      (Gtm1.active g.gtm1)
-  in
-  match List.rev blocked with [] -> None | victim :: _ -> Some victim
+   with no single-site deadlock means a potential cross-site cycle — or,
+   far more often under load, an ordinary queue behind a long lock hold.
+   Each blocked transaction ages on its own clock; the victim policy is
+   {!Wound}'s bounded wound-wait: an old-enough waiter wounds the youngest
+   strictly-younger transaction resident at its blocked site (age priority
+   — the oldest member of any conflict set always survives, so retries,
+   which inherit their first attempt's birth, cannot starve), and a waiter
+   past the hard deadline with nothing to wound is killed itself. One
+   victim per tick: its death may unblock the rest of the clique, so
+   re-evaluate before killing again. *)
 
-let kill_blocked g victim =
-  Atomic.incr g.sh'.a_force;
-  Metrics.inc g.sh'.m_force;
-  let step =
-    match Gtm1.current_step g.gtm1 victim with
-    | Some s -> s
-    | None -> assert false
-  in
-  let sid = step.Gtm1.site in
-  fire_abort g victim sid;
-  mark_global_dead g victim "global-deadlock" ~aborting_site:(Some sid);
-  if Hashtbl.mem g.pending_ser (sid, victim) then begin
-    Hashtbl.remove g.pending_ser (sid, victim);
-    enqueue_ack g victim sid
-  end
-  else begin
-    Hashtbl.remove g.pending_direct (sid, victim);
-    gtm1_ack g victim
-  end
+let birth_of g gid =
+  match Hashtbl.find_opt g.births gid with Some b -> b | None -> gid
 
-(* Safety valve: progress has stalled but no transaction is identifiably
-   blocked inside a site (e.g. everything waits inside GTM2). Kill the
-   youngest live transaction; its fake acks un-wedge the scheme. *)
+(* Kill a global wherever it stands: roll it back at every begun site and,
+   if it is blocked inside a site (a pending completion that may never
+   arrive once the victim's own rollback releases nothing), fake-ack the
+   blocked step so GTM1 and the scheme drain. A victim whose step is
+   merely in flight needs no fake ack — the site's reply still arrives
+   and acks a dead transaction, which the reply path already handles. *)
+let kill_global g victim ~reason =
+  match Gtm1.current_step g.gtm1 victim with
+  | Some step when Gtm1.next g.gtm1 victim = Gtm1.In_flight -> (
+      let sid = step.Gtm1.site in
+      if Hashtbl.mem g.pending_ser (sid, victim) then begin
+        Hashtbl.remove g.pending_ser (sid, victim);
+        fire_abort g victim sid;
+        mark_global_dead g victim reason ~aborting_site:(Some sid);
+        enqueue_ack g victim sid
+      end
+      else if Hashtbl.mem g.pending_direct (sid, victim) then begin
+        Hashtbl.remove g.pending_direct (sid, victim);
+        fire_abort g victim sid;
+        mark_global_dead g victim reason ~aborting_site:(Some sid);
+        gtm1_ack g victim
+      end
+      else mark_global_dead g victim reason ~aborting_site:None)
+  | _ -> mark_global_dead g victim reason ~aborting_site:None
+
+(* Safety valve: progress has stalled globally but no site-blocked waiter
+   is past any window (e.g. everything waits inside GTM2). Prefer the
+   youngest transaction the scheme itself is delaying (GTM2's WAIT set);
+   its fake acks un-wedge the scheme. *)
 let stall_kill g =
-  match
-    List.rev (List.filter (fun gid -> not (Gtm1.is_dead g.gtm1 gid)) (Gtm1.active g.gtm1))
-  with
-  | [] -> ()
-  | victim :: _ ->
+  let live gid = not (Gtm1.is_dead g.gtm1 gid) in
+  let candidates =
+    match List.filter live (Gtm_sched.wait_gids g.sh'.sched) with
+    | [] -> List.filter live (Gtm1.active g.gtm1)
+    | waiting -> waiting
+  in
+  let youngest =
+    List.fold_left
+      (fun best gid ->
+        match best with
+        | None -> Some gid
+        | Some b ->
+            if Wound.older (birth_of g b) b (birth_of g gid) gid then Some gid
+            else best)
+      None candidates
+  in
+  match youngest with
+  | None -> false
+  | Some victim ->
       Atomic.incr g.sh'.a_stall_kills;
-      mark_global_dead g victim "stall-timeout" ~aborting_site:None;
-      (match Gtm1.current_step g.gtm1 victim with
-      | Some step when Gtm1.next g.gtm1 victim = Gtm1.In_flight ->
-          let sid = step.Gtm1.site in
-          if Hashtbl.mem g.pending_ser (sid, victim) then begin
-            Hashtbl.remove g.pending_ser (sid, victim);
-            enqueue_ack g victim sid
-          end
-          else if Hashtbl.mem g.pending_direct (sid, victim) then begin
-            Hashtbl.remove g.pending_direct (sid, victim);
-            gtm1_ack g victim
-          end
-      | _ -> ())
+      kill_global g victim ~reason:"stall-timeout";
+      true
 
 let on_tick g =
-  if Gtm1.active g.gtm1 <> [] then begin
-    (* One victim per tick: its death may unblock the rest of the clique,
-       so re-evaluate before killing again. *)
-    match blocked_victim g ~only_expired:true with
-    | Some victim ->
-        kill_blocked g victim;
+  let active = Gtm1.active g.gtm1 in
+  if active <> [] then begin
+    let waiters =
+      let of_tbl tbl acc =
+        Hashtbl.fold
+          (fun (sid, gid) since acc ->
+            if Gtm1.is_dead g.gtm1 gid then acc
+            else
+              { Wound.w_gid = gid; w_birth = birth_of g gid; w_site = sid;
+                w_since = since }
+              :: acc)
+          tbl acc
+      in
+      of_tbl g.pending_ser (of_tbl g.pending_direct [])
+    in
+    let residents =
+      List.filter_map
+        (fun gid ->
+          (* Never wound a transaction whose commit is already decided
+             (2PC verdict recorded): it is past the point of cheap retry
+             and about to finish anyway. *)
+          if Gtm1.is_dead g.gtm1 gid || Hashtbl.find_opt g.decided gid = Some true
+          then None
+          else
+            Some
+              { Wound.r_gid = gid; r_birth = birth_of g gid;
+                r_sites = Gtm1.begun_sites g.gtm1 gid })
+        active
+    in
+    match
+      Wound.decide ~now:(now g) ~wound_after_ms:g.sh'.cfg_wound_ms
+        ~deadline_ms:g.sh'.cfg_stall_ms ~waiters ~residents
+    with
+    | Wound.Wound { wounder = _; victim } ->
+        Atomic.incr g.sh'.a_wounds;
+        Atomic.incr g.sh'.a_force;
+        Metrics.inc g.sh'.m_force;
+        kill_global g victim ~reason:"wound";
         progress g
-    | None ->
-        if now g -. g.last_progress > g.sh'.cfg_stall_ms then begin
-          (if not (match blocked_victim g ~only_expired:false with
-                   | Some victim ->
-                       kill_blocked g victim;
-                       true
-                   | None -> false)
-           then stall_kill g);
-          progress g
-        end
+    | Wound.Timeout victim ->
+        Atomic.incr g.sh'.a_stall_kills;
+        kill_global g victim ~reason:"stall-deadline";
+        progress g
+    | Wound.No_kill ->
+        if now g -. g.last_progress > g.sh'.cfg_stall_ms then
+          (* Only a real kill resets the stall clock: a no-op pass (every
+             remaining global already dead and draining) must not mask a
+             wedged drain. *)
+          if stall_kill g then progress g
   end
 
 (* ------------------------------------------------------------- the pump *)
@@ -653,12 +759,26 @@ let handle_batch g msgs =
   List.iter
     (fun msg ->
       match msg with
-      | Admit (txn, promise) ->
+      | Admit { txn; birth; promise } ->
           if Atomic.get g.sh'.draining then
-            Promise.fulfill promise (Gtm.Aborted "shutdown")
+            Promise.fulfill promise (Outcome.Aborted "shutdown")
+          else if
+            (* Admission shedding: refuse {e before} the transaction
+               acquires any per-site state. A deep parked queue or many
+               site-blocked globals means admitting more work only feeds
+               the contention that is already killing transactions — a
+               shed client backs off without costing any site a rollback. *)
+            Queue.length g.parked >= g.sh'.cfg_shed_parked
+            || Hashtbl.length g.pending_ser + Hashtbl.length g.pending_direct
+               >= g.sh'.cfg_shed_blocked
+          then begin
+            Atomic.incr g.sh'.a_sheds;
+            bump_cause g.sh' "shed";
+            Promise.fulfill promise Outcome.Shed
+          end
           else if Atomic.get g.sh'.a_active < g.sh'.cfg_max_active then
-            admit_now g txn promise
-          else Queue.add (txn, promise) g.parked
+            admit_now g txn birth promise
+          else Queue.add (txn, birth, promise) g.parked
       | Replies rs -> List.iter (handle_reply g progressed) rs
       | Tick ->
           incr ticks;
@@ -683,11 +803,13 @@ let gtm_loop sh worker_of =
       gtm1 = Gtm1.create ();
       ser_log = Ser_schedule.create ();
       promises = Hashtbl.create 64;
+      births = Hashtbl.create 64;
       pending_ser = Hashtbl.create 16;
       pending_direct = Hashtbl.create 16;
       inflight = Hashtbl.create 32;
       parked = Queue.create ();
       fin_enqueued = Hashtbl.create 64;
+      abort_fired = Hashtbl.create 16;
       death_reason = Hashtbl.create 16;
       decided = Hashtbl.create 64;
       txn_spans = Hashtbl.create 64;
@@ -783,6 +905,9 @@ let start (cfg : config) =
       cfg_atomic = cfg.atomic_commit;
       cfg_max_active = cfg.max_active;
       cfg_stall_ms = cfg.stall_timeout_ms;
+      cfg_wound_ms = cfg.wound_after_ms;
+      cfg_shed_parked = cfg.shed_parked;
+      cfg_shed_blocked = cfg.shed_blocked;
       s_name = cfg.scheme.Scheme.name;
       retain_audit = cfg.certify <> Certify_soak;
       live_cert;
@@ -801,13 +926,25 @@ let start (cfg : config) =
       a_committed = Atomic.make 0;
       a_aborted = Atomic.make 0;
       a_rejected = Atomic.make 0;
+      a_sheds = Atomic.make 0;
       a_force = Atomic.make 0;
+      a_wounds = Atomic.make 0;
       a_stall_kills = Atomic.make 0;
       a_crashes = Atomic.make 0;
       a_active = Atomic.make 0;
+      cause_counts =
+        List.map (fun c -> (c, Atomic.make 0)) abort_cause_names;
       m_committed = Metrics.counter obs.Obs.metrics ~labels "svc_committed_total";
       m_aborted = Metrics.counter obs.Obs.metrics ~labels "svc_aborted_total";
       m_force = Metrics.counter obs.Obs.metrics ~labels "svc_force_aborts_total";
+      m_abort_cause =
+        List.map
+          (fun c ->
+            ( c,
+              Metrics.counter obs.Obs.metrics
+                ~labels:(("cause", c) :: labels)
+                "svc_aborts_total" ))
+          abort_cause_names;
       m_inbox_depth = Metrics.gauge obs.Obs.metrics ~labels "svc_inbox_depth_max";
       m_active_peak = Metrics.gauge obs.Obs.metrics ~labels "svc_active_peak";
       m_batch_peak = Metrics.gauge obs.Obs.metrics ~labels "svc_batch_peak";
@@ -886,26 +1023,28 @@ let n_sites t = List.length t.workers
 
 let aborted_promise reason =
   let p = Promise.create () in
-  Promise.fulfill p (Gtm.Aborted reason);
+  Promise.fulfill p (Outcome.Aborted reason);
   p
 
-let submit_global t txn =
+let submit_global t ?birth txn =
   if not (Txn.is_global txn) then
     invalid_arg "Runtime.submit_global: local transaction";
+  let birth = match birth with Some b -> b | None -> txn.Txn.id in
   if not (Atomic.get t.sh.accepting) then aborted_promise "shutdown"
   else begin
     let p = Promise.create () in
-    if Mailbox.put t.sh.inbox (Admit (txn, p)) then p
+    if Mailbox.put t.sh.inbox (Admit { txn; birth; promise = p }) then p
     else aborted_promise "shutdown"
   end
 
-let try_submit_global t txn =
+let try_submit_global t ?birth txn =
   if not (Txn.is_global txn) then
     invalid_arg "Runtime.try_submit_global: local transaction";
+  let birth = match birth with Some b -> b | None -> txn.Txn.id in
   if not (Atomic.get t.sh.accepting) then None
   else begin
     let p = Promise.create () in
-    match Mailbox.try_put t.sh.inbox (Admit (txn, p)) with
+    match Mailbox.try_put t.sh.inbox (Admit { txn; birth; promise = p }) with
     | `Ok -> Some p
     | `Full ->
         Atomic.incr t.sh.a_rejected;
@@ -939,11 +1078,18 @@ let stats t =
     committed = Atomic.get t.sh.a_committed;
     aborted = Atomic.get t.sh.a_aborted;
     rejected = Atomic.get t.sh.a_rejected;
+    sheds = Atomic.get t.sh.a_sheds;
     force_aborts = Atomic.get t.sh.a_force;
+    wounds = Atomic.get t.sh.a_wounds;
     stall_kills = Atomic.get t.sh.a_stall_kills;
     site_crashes = Atomic.get t.sh.a_crashes;
     active = Atomic.get t.sh.a_active;
     inbox_hwm = Mailbox.high_watermark t.sh.inbox;
+    abort_causes =
+      List.filter_map
+        (fun (c, a) ->
+          match Atomic.get a with 0 -> None | n -> Some (c, n))
+        t.sh.cause_counts;
     ops_per_site =
       List.map (fun w -> (Site_worker.sid w, Site_worker.ops_handled w)) t.workers;
   }

@@ -7,14 +7,25 @@
     mutex); clients are arbitrary threads/domains that submit transactions
     and await a {!Promise.t} of the final status. A bounded admission lane
     gives backpressure ({!submit_global} blocks when the GTM is saturated)
-    and admission control ({!try_submit_global} refuses instead); a ticker
-    thread drives the stall detector that converts cross-site deadlocks —
-    invisible to every single site — into forced aborts of the youngest
-    blocked global transaction. Each site-blocked transaction ages on its
-    own clock (stamped when the site answers [Waiting]), so a busy system
-    never masks a deadlock: one victim is killed per tick once its own
-    wait exceeds the stall window, with a global-quiescence safety valve
-    behind it for stalls with no identifiable site block.
+    and admission control ({!try_submit_global} refuses instead, and the
+    GTM itself {e sheds} admissions — a distinct {!Outcome.Shed}, not an
+    abort — once its parked queue or site-blocked population exceeds a
+    bound); a ticker thread drives the stall detector that converts
+    cross-site deadlocks — invisible to every single site — into forced
+    aborts. Each site-blocked transaction ages on its own clock (stamped
+    when the site answers [Waiting]); the victim policy is {!Wound}'s
+    bounded wound-wait: an old-enough waiter wounds the youngest
+    strictly-younger transaction resident at its blocked site (age
+    priority — the oldest member of a conflict set is never the victim,
+    and retries inherit their first attempt's birth via [?birth], so
+    no transaction starves), while a waiter past the hard
+    [stall_timeout_ms] deadline with nothing to wound is killed itself
+    (bounded wait — liveness without exact conflict attribution). A
+    global-quiescence safety valve backs both rules for stalls with no
+    identifiable site block. One victim per tick. Every abort is
+    classified into a cause bucket ([wound], [stall_kill],
+    [scheme_reject], [shed], [crash], [other]) surfaced in {!stats} and
+    as [svc_aborts_total{cause}] counters.
 
     The hot path is batched end to end: the GTM drains its whole inbox
     per wakeup, funnels every resulting GTM2 queue operation through one
@@ -32,7 +43,6 @@
     obligations — not just benchmarked. *)
 
 open Mdbs_model
-module Gtm = Mdbs_core.Gtm
 
 type certify_mode =
   | Certify_batch
@@ -65,12 +75,24 @@ type config = {
           GTM (so effective client-visible queueing is
           [capacity + max_active]). *)
   stall_timeout_ms : float;
-      (** Per-transaction wait window: once a site-blocked global has been
-          waiting this long on its own clock, the stall detector kills the
-          youngest such transaction (cross-site deadlock rule) — one per
-          tick. Also the global no-progress window for the safety-valve
-          kill when nothing is identifiably site-blocked. *)
+      (** Hard per-transaction wait deadline: a site-blocked global past it
+          with no younger conflicting resident to wound is killed itself —
+          one victim per tick. Also the global no-progress window for the
+          safety-valve kill when nothing is identifiably site-blocked. *)
+  wound_after_ms : float;
+      (** Wound window: a site-blocked global waiting this long wounds the
+          youngest strictly-younger transaction resident at its blocked
+          site ({!Wound}). Defaults to [max (4 * tick_ms) 20], capped at
+          [stall_timeout_ms]. *)
   tick_ms : float;  (** Ticker period. *)
+  shed_parked : int;
+      (** Admission-shedding bound on the GTM's parked queue; admissions
+          beyond it are refused with {!Outcome.Shed} before acquiring any
+          per-site state. Default [8 * max_active]. *)
+  shed_blocked : int;
+      (** Admission-shedding bound on the site-blocked population
+          (operations a site answered [Waiting] for). Default
+          [max_active]. *)
   obs : Mdbs_obs.Obs.t;
   certify : certify_mode;
   cert_checkpoint_every : int;
@@ -82,7 +104,10 @@ val config :
   ?capacity:int ->
   ?max_active:int ->
   ?stall_timeout_ms:float ->
+  ?wound_after_ms:float ->
   ?tick_ms:float ->
+  ?shed_parked:int ->
+  ?shed_blocked:int ->
   ?obs:Mdbs_obs.Obs.t ->
   ?certify:certify_mode ->
   ?cert_checkpoint_every:int ->
@@ -91,8 +116,9 @@ val config :
   unit ->
   config
 (** Defaults: no 2PC, capacity 64, max_active 64, stall timeout 250 ms,
-    tick 5 ms, observability disabled, [Certify_batch], checkpoint every
-    4096 events. *)
+    wound window [max (4 * tick_ms) 20] ms, tick 5 ms, shedding at
+    [8 * max_active] parked / [max_active] site-blocked, observability
+    disabled, [Certify_batch], checkpoint every 4096 events. *)
 
 type t
 
@@ -100,12 +126,25 @@ type stats = {
   admitted : int;
   committed : int;  (** Global transactions only (locals settle site-side). *)
   aborted : int;
-  rejected : int;  (** {!try_submit_global} refusals. *)
-  force_aborts : int;  (** Cross-site deadlock victims. *)
-  stall_kills : int;  (** Stall-detector kills with no identifiable block. *)
+  rejected : int;
+      (** {!try_submit_global} refusals: the admission lane itself was full
+          (mailbox backpressure) — distinct from [sheds]. *)
+  sheds : int;
+      (** Admissions the GTM refused with {!Outcome.Shed} (overload
+          control; no per-site state was ever acquired). *)
+  force_aborts : int;  (** Deadlock-suspicion kills (includes wounds). *)
+  wounds : int;  (** Wound-wait kills: an older waiter wounded a younger. *)
+  stall_kills : int;
+      (** Hard-deadline kills and safety-valve kills (no woundable
+          conflict). *)
   site_crashes : int;
   active : int;
   inbox_hwm : int;  (** GTM inbox high-watermark (congestion telltale). *)
+  abort_causes : (string * int) list;
+      (** Non-zero cause buckets — [wound | stall_kill | scheme_reject |
+          shed | crash | other] — mirroring [svc_aborts_total{cause}].
+          Aborted outcomes are classified from their death reason; [shed]
+          counts shed admissions. *)
   ops_per_site : (Types.sid * int) list;
 }
 
@@ -138,16 +177,21 @@ val scheme_name : t -> string
 
 val n_sites : t -> int
 
-val submit_global : t -> Txn.t -> Gtm.status Promise.t
+val submit_global : t -> ?birth:int -> Txn.t -> Outcome.t Promise.t
 (** Admit a global transaction; blocks while the admission lane is full
-    (backpressure). After {!shutdown} began, the promise is already
+    (backpressure). [?birth] (default: the txn's own id) is the wound-wait
+    age stamp — a retrying client passes the gid of the logical
+    transaction's {e first} attempt so the retry keeps its seniority.
+    The promise settles {!Outcome.Shed} when the GTM refused admission
+    under overload. After {!shutdown} began, the promise is already
     fulfilled with [Aborted "shutdown"]. *)
 
-val try_submit_global : t -> Txn.t -> Gtm.status Promise.t option
+val try_submit_global : t -> ?birth:int -> Txn.t -> Outcome.t Promise.t option
 (** Non-blocking admission: [None] when the lane is full (counted in
-    [rejected]) or the runtime is shutting down. *)
+    [rejected]) or the runtime is shutting down. A returned promise can
+    still settle {!Outcome.Shed}. *)
 
-val submit_local : t -> Txn.t -> Gtm.status Promise.t
+val submit_local : t -> Txn.t -> Outcome.t Promise.t
 (** Route a local transaction straight to its site's worker, bypassing the
     GTM (the paper's pre-existing local applications). *)
 

@@ -1,6 +1,5 @@
 open Mdbs_model
 module Local_dbms = Mdbs_site.Local_dbms
-module Gtm = Mdbs_core.Gtm
 
 type request =
   | Exec of {
@@ -10,7 +9,7 @@ type request =
       declare : (Item.t * Mdbs_lcc.Cc_types.mode) list option;
     }
   | Batch of request list
-  | Run_local of { txn : Txn.t; promise : Gtm.status Promise.t }
+  | Run_local of { txn : Txn.t; promise : Outcome.t Promise.t }
   | Crash
   | Stop
 
@@ -41,7 +40,7 @@ type state = {
   out : reply list ref;
   observe : Types.tid -> Op.action -> string -> unit;
   on_done : Types.tid -> unit;
-  local_cont : (Types.tid, Op.action list * Gtm.status Promise.t) Hashtbl.t;
+  local_cont : (Types.tid, Op.action list * Outcome.t Promise.t) Hashtbl.t;
 }
 
 let emit st r = st.out := r :: !(st.out)
@@ -61,7 +60,7 @@ let rec run_local_actions st tid actions promise =
          and tapped — by the preceding [submit], so the [End] the certifier
          needs lands after it. *)
       st.on_done tid;
-      Promise.fulfill promise Gtm.Committed
+      Promise.fulfill promise Outcome.Committed
   | action :: rest -> (
       match Local_dbms.submit st.dbms tid action with
       | Local_dbms.Executed _ ->
@@ -73,7 +72,7 @@ let rec run_local_actions st tid actions promise =
       | Local_dbms.Aborted reason ->
           st.observe tid action "aborted";
           st.on_done tid;
-          Promise.fulfill promise (Gtm.Aborted reason))
+          Promise.fulfill promise (Outcome.Aborted reason))
 
 (* Lock releases only happen at this site, and this worker serializes all
    of the site's operations, so draining after every request catches every
@@ -142,14 +141,14 @@ let rec handle st = function
       | () -> ()
       | exception e ->
           st.on_done tid;
-          Promise.fulfill promise (Gtm.Aborted (Printexc.to_string e)));
+          Promise.fulfill promise (Outcome.Aborted (Printexc.to_string e)));
       drain st
   | Crash ->
       (* Parked local continuations die with the site's volatile state. *)
       Hashtbl.iter
         (fun tid (_, promise) ->
           st.on_done tid;
-          Promise.fulfill promise (Gtm.Aborted "site-crash"))
+          Promise.fulfill promise (Outcome.Aborted "site-crash"))
         st.local_cont;
       Hashtbl.reset st.local_cont;
       let sid = Local_dbms.site_id st.dbms in
@@ -179,7 +178,7 @@ let worker_loop box handled reply observe on_done dbms =
     Hashtbl.iter
       (fun tid (_, promise) ->
         st.on_done tid;
-        Promise.fulfill promise (Gtm.Aborted "shutdown"))
+        Promise.fulfill promise (Outcome.Aborted "shutdown"))
       st.local_cont
   in
   (* Returns [true] when Stop terminates the batch. *)

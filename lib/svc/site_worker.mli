@@ -38,7 +38,7 @@ type request =
           reordering). *)
   | Run_local of {
       txn : Txn.t;
-      promise : Mdbs_core.Gtm.status Promise.t;
+      promise : Outcome.t Promise.t;
     }
   | Crash  (** {!Mdbs_site.Local_dbms.crash}: durable sites only. *)
   | Stop  (** Finish the queue and exit the domain. *)

@@ -1,0 +1,69 @@
+(** Bounded wound-wait victim policy for the GTM's stall detector.
+
+    The runtime's ticker used to kill the {e youngest blocked} transaction
+    unconditionally once its per-transaction stall clock expired — correct
+    for liveness, terrible for goodput: under contention the youngest
+    blocked global is usually a victim queued {e behind} the conflict, so
+    the ticker converts queueing into an abort storm. This module is the
+    replacement policy, pure and separately testable:
+
+    - {b Wound (age priority):} once a blocked global has waited
+      [wound_after_ms] on its own stall clock, it wounds the {e youngest
+      strictly-younger} transaction that holds per-site state at the site it
+      is blocked inside. Older transactions are never wounded by younger
+      ones, so transaction age defines a total order on kills and no
+      transaction can be wounded forever (its age only grows relative to the
+      live population — retries inherit the birth of their first attempt).
+
+    - {b Bounded wait (liveness):} when some waiter is past [deadline_ms]
+      and no wound applies — it is blocked behind an {e older} global or a
+      local transaction the GTM cannot see — the {e youngest waiter
+      overall} is killed (not necessarily the breaching one). The blocked
+      population shrinks on every tick the breach persists, so every wait
+      stays bounded and deadlock-freedom does not depend on the conflict
+      attribution (begun-at-site residency) being exact; and with two or
+      more waiters the oldest is never the victim of either rule.
+
+    The caller (one decision per ticker tick) remains responsible for the
+    global-quiescence safety valve behind both rules. *)
+
+open Mdbs_model
+
+type waiter = {
+  w_gid : Types.gid;
+  w_birth : int;  (** Age stamp: the gid of the logical txn's first attempt. *)
+  w_site : Types.sid;  (** The site the transaction is blocked inside. *)
+  w_since : float;  (** When the site answered [Waiting] (per-txn clock). *)
+}
+
+type resident = {
+  r_gid : Types.gid;
+  r_birth : int;
+  r_sites : Types.sid list;
+      (** Sites where the transaction holds per-site state (begun, not yet
+          terminated) — the sites at which it can block others. *)
+}
+
+val older : int -> Types.gid -> int -> Types.gid -> bool
+(** [older b1 g1 b2 g2]: does (birth [b1], gid [g1]) strictly precede
+    (birth [b2], gid [g2]) in the age order? Smaller birth wins; gid breaks
+    ties, so the order is total. *)
+
+type decision =
+  | Wound of { wounder : Types.gid; victim : Types.gid }
+      (** [victim] is strictly younger than [wounder] and resident at the
+          wounder's blocked site. *)
+  | Timeout of Types.gid
+      (** Hard-deadline kill: some waiter breached [deadline_ms] with no
+          woundable conflict anywhere; the victim is the youngest waiter. *)
+  | No_kill
+
+val decide :
+  now:float ->
+  wound_after_ms:float ->
+  deadline_ms:float ->
+  waiters:waiter list ->
+  residents:resident list ->
+  decision
+(** At most one victim per call; the caller re-evaluates after the kill's
+    effects land (killing one member may unblock the rest of a clique). *)

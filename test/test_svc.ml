@@ -8,7 +8,9 @@ module Promise = Mdbs_svc.Promise
 module Runtime = Mdbs_svc.Runtime
 module Loadgen = Mdbs_svc.Loadgen
 module Serve = Mdbs_svc.Serve
-module Gtm = Mdbs_core.Gtm
+module Outcome = Mdbs_svc.Outcome
+module Retry = Mdbs_svc.Retry
+module Wound = Mdbs_svc.Wound
 module Registry = Mdbs_core.Registry
 module Workload = Mdbs_sim.Workload
 module Fault = Mdbs_sim.Fault
@@ -233,18 +235,254 @@ let atomic_commit_run () =
     (r.Loadgen.committed + r.Loadgen.aborted);
   check_bool "certified" true r.Loadgen.certified
 
-(* Open-loop serve mode: offered = accepted + rejected, and the drained
-   run still certifies. *)
+(* Open-loop serve mode with retries off: every arrival is either accepted
+   by the admission lane or rejected by backpressure, and the drained run
+   still certifies. *)
 let serve_accounting () =
   let s =
     Serve.run ~quiet:true
       (Serve.config ~wl:(wl 3) ~rate:400. ~duration_s:0.5 ~capacity:8
-         ~seed:21 Registry.S2)
+         ~retry:Retry.off ~seed:21 Registry.S2)
   in
-  check_int "offered split" s.Serve.offered (s.Serve.accepted + s.Serve.rejected);
+  check_int "offered split" s.Serve.offered
+    (s.Serve.accepted + s.Serve.rejected_backpressure);
   check_bool "made progress" true
     (s.Serve.run.Runtime.run_stats.Runtime.committed > 0);
   check_bool "certified" true s.Serve.run.Runtime.certified
+
+(* The summary distinguishes the two relief valves: mailbox backpressure
+   rejections (full admission lane) versus the GTM's own Outcome.Shed
+   refusals (parked/blocked bounds). The shed count observed at the client
+   must agree with the runtime's own counter, and backpressure must not be
+   conflated into it. *)
+let serve_backpressure_vs_shed () =
+  let s =
+    Serve.run ~quiet:true
+      (Serve.config
+         ~wl:{ (wl 3) with Workload.hotspot = 2 }
+         ~rate:600. ~duration_s:0.5 ~capacity:4 ~max_active:2 ~shed_parked:1
+         ~retry:Retry.off ~seed:33 Registry.S2)
+  in
+  let st = s.Serve.run.Runtime.run_stats in
+  check_int "client sheds = runtime sheds" st.Runtime.sheds s.Serve.shed;
+  check_int "client backpressure = runtime rejections" st.Runtime.rejected
+    s.Serve.rejected_backpressure;
+  check_int "offered split" s.Serve.offered
+    (s.Serve.accepted + s.Serve.rejected_backpressure);
+  (* Sheds are refusals, not aborts: the abort-cause breakdown books them
+     under "shed" and nowhere else. *)
+  check_int "sheds bucketed as shed" st.Runtime.sheds
+    (try List.assoc "shed" st.Runtime.abort_causes with Not_found -> 0);
+  check_bool "certified" true s.Serve.run.Runtime.certified
+
+(* ---------------------------------------------- retry, wound-wait, shed *)
+
+(* Backoff schedule: full jitter inside [0, min(cap, base·2^(k-1))), a shed
+   doubles the window, a disabled policy never sleeps, and the schedule is
+   a pure function of the rng seed. *)
+let retry_delay_bounds () =
+  let pol = Retry.policy ~max_attempts:6 ~base_ms:4. ~cap_ms:64. () in
+  let rng = Rng.create 99 in
+  for attempt = 1 to 6 do
+    let window =
+      Float.min 64. (4. *. Float.pow 2. (float_of_int (attempt - 1)))
+    in
+    for _ = 1 to 40 do
+      let d = Retry.delay_ms pol rng ~attempt ~shed:false in
+      check_bool "non-negative" true (d >= 0.);
+      check_bool "inside window" true (d < window);
+      let ds = Retry.delay_ms pol rng ~attempt ~shed:true in
+      check_bool "shed window at most doubled" true (ds < 2. *. window)
+    done
+  done;
+  let draw seed =
+    let r = Rng.create seed in
+    List.init 24 (fun i ->
+        Retry.delay_ms pol r ~attempt:((i mod 6) + 1) ~shed:(i mod 3 = 0))
+  in
+  check_bool "deterministic under seed" true (draw 7 = draw 7);
+  check_bool "distinct seeds diverge" true (draw 7 <> draw 8);
+  check_bool "off never sleeps" true
+    (Retry.delay_ms Retry.off (Rng.create 1) ~attempt:1 ~shed:true = 0.)
+
+(* QCheck: on a conflict cycle of n >= 2 blocked globals (every member both
+   waits at a site and holds state at sites, ring-shaped so each blocks its
+   neighbor), the wound-wait policy never picks the oldest member as the
+   victim — under arbitrary births, sites, wait clocks and bystander
+   residents. Wounds must also respect age priority outright: the victim is
+   strictly younger than its wounder. *)
+let wound_cycle_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 8 in
+    let* births = list_repeat n (int_bound 50) in
+    let* sites = list_repeat n (int_bound 3) in
+    let* waits = list_repeat n (float_bound_inclusive 400.) in
+    let* extras = list_size (int_bound 4) (pair (int_bound 50) (int_bound 3)) in
+    return (births, sites, waits, extras))
+
+let wound_cycle_arb =
+  QCheck.make
+    ~print:(fun (births, sites, waits, extras) ->
+      Printf.sprintf "births=[%s] sites=[%s] waits=[%s] extras=%d"
+        (String.concat ";" (List.map string_of_int births))
+        (String.concat ";" (List.map string_of_int sites))
+        (String.concat ";" (List.map (Printf.sprintf "%.0f") waits))
+        (List.length extras))
+    wound_cycle_gen
+
+let wound_never_kills_oldest =
+  QCheck.Test.make ~name:"wound-wait never kills the oldest of a cycle"
+    ~count:500 wound_cycle_arb
+    (fun (births, sites, waits, extras) ->
+      let n = List.length births in
+      let now = 1000. in
+      let nth = List.nth in
+      let waiters =
+        List.init n (fun i ->
+            { Wound.w_gid = i; w_birth = nth births i; w_site = nth sites i;
+              w_since = now -. nth waits i })
+      in
+      (* Ring residency: member i holds state at its own blocked site and at
+         its successor's, so every waiter has a conflicting resident. *)
+      let cycle_residents =
+        List.init n (fun i ->
+            { Wound.r_gid = i; r_birth = nth births i;
+              r_sites =
+                List.sort_uniq compare [ nth sites i; nth sites ((i + 1) mod n) ]
+            })
+      in
+      let extra_residents =
+        List.mapi
+          (fun j (b, s) ->
+            { Wound.r_gid = n + j; r_birth = b; r_sites = [ s ] })
+          extras
+      in
+      let birth_of gid =
+        if gid < n then nth births gid else fst (nth extras (gid - n))
+      in
+      let oldest =
+        List.fold_left
+          (fun best w ->
+            if Wound.older w.Wound.w_birth w.Wound.w_gid (birth_of best) best
+            then w.Wound.w_gid
+            else best)
+          (List.hd waiters).Wound.w_gid (List.tl waiters)
+      in
+      match
+        Wound.decide ~now ~wound_after_ms:10. ~deadline_ms:100. ~waiters
+          ~residents:(cycle_residents @ extra_residents)
+      with
+      | Wound.No_kill -> true
+      | Wound.Timeout victim -> victim <> oldest
+      | Wound.Wound { wounder; victim } ->
+          victim <> oldest
+          && Wound.older (birth_of wounder) wounder (birth_of victim) victim)
+
+(* Certified differential across 13 seeds: the same seeded hotspot workload
+   with retries off and on. Both runs must certify, and retries may only
+   help the commit ratio — goodput is the point of the whole mechanism. *)
+let retry_differential seed () =
+  let hot = { (wl 4) with Workload.hotspot = 3 } in
+  let base ~retry =
+    Loadgen.config ~wl:hot ~clients:4 ~txns_per_client:4 ~seed ~retry
+      ~stall_timeout_ms:120. Registry.S3
+  in
+  let off = Loadgen.run (base ~retry:Retry.off) in
+  let on =
+    Loadgen.run
+      (base ~retry:(Retry.policy ~max_attempts:10 ~base_ms:2. ~cap_ms:16. ()))
+  in
+  check_bool "retries-off certified" true off.Loadgen.certified;
+  check_bool "retries-on certified" true on.Loadgen.certified;
+  check_int "same logical offer" off.Loadgen.submitted on.Loadgen.submitted;
+  check_bool "retries never hurt the commit ratio" true
+    (on.Loadgen.commit_ratio >= off.Loadgen.commit_ratio);
+  check_bool "attempts >= logical submissions" true
+    (on.Loadgen.attempts >= on.Loadgen.submitted)
+
+(* Regression for the wound -> retry race: a wounded transaction's per-site
+   state must be fully released before its retry is admitted. If release
+   lagged admission, the retry's fresh tid would join the victim's leftover
+   ser(S) entries and some (tid, site) pair would serialize twice. Run a
+   contended, wound-heavy loop with retries and assert ser(S) never
+   double-visits. *)
+let wound_retry_no_double_visit () =
+  let hot = { (wl 4) with Workload.hotspot = 2 } in
+  let r =
+    Loadgen.run
+      (Loadgen.config ~wl:hot ~clients:8 ~txns_per_client:6 ~seed:57
+         ~retry:(Retry.policy ~max_attempts:8 ~base_ms:1. ~cap_ms:8. ())
+         ~stall_timeout_ms:80. ~wound_after_ms:10. ~tick_ms:2. Registry.S2)
+  in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (tid, sid) ->
+      if Hashtbl.mem seen (tid, sid) then
+        Alcotest.failf "ser(S) double-visit: txn %d at site %d" tid sid;
+      Hashtbl.add seen (tid, sid) ())
+    r.Loadgen.run.Runtime.trace.Mdbs_analysis.Trace.ser_events;
+  check_bool "certified" true r.Loadgen.certified;
+  check_int "all settled" r.Loadgen.submitted
+    (r.Loadgen.committed + r.Loadgen.aborted)
+
+(* Admission shedding: a burst far beyond max_active with a parked bound of
+   one makes the GTM refuse admissions before any per-site state exists.
+   Sheds must be distinct from aborts in the accounting and the surviving
+   execution must still certify. *)
+let shed_under_burst () =
+  let config = { (wl 2) with Workload.hotspot = 2 } in
+  let sites = Workload.make_sites config in
+  let rt =
+    Runtime.start
+      (Runtime.config ~scheme:(Registry.make Registry.S2) ~sites ~max_active:1
+         ~shed_parked:1 ~capacity:64 ())
+  in
+  let rng = Rng.create 41 in
+  let n = 48 in
+  let promises =
+    List.init n (fun _ -> Runtime.submit_global rt (Workload.global_txn rng config))
+  in
+  let outcomes = List.map Promise.await promises in
+  let res = Runtime.shutdown rt in
+  let st = res.Runtime.run_stats in
+  let shed_seen =
+    List.length (List.filter (fun o -> o = Outcome.Shed) outcomes)
+  in
+  check_bool "burst actually shed" true (st.Runtime.sheds > 0);
+  check_int "promises agree with counter" st.Runtime.sheds shed_seen;
+  check_int "every submission settled" n
+    (st.Runtime.committed + st.Runtime.aborted + st.Runtime.sheds);
+  check_int "sheds bucketed under shed" st.Runtime.sheds
+    (try List.assoc "shed" st.Runtime.abort_causes with Not_found -> 0);
+  check_bool "certified" true res.Runtime.certified
+
+(* The duplicate-admission guard: resubmitting a still-tracked tid is
+   refused outright rather than silently double-visiting sites. A prior
+   burst keeps the GTM's inbox busy so both admissions of the duplicate
+   land in one batch while the first is live. *)
+let duplicate_admission_refused () =
+  let config = { (wl 2) with Workload.hotspot = 2 } in
+  let sites = Workload.make_sites config in
+  let rt =
+    Runtime.start (Runtime.config ~scheme:(Registry.make Registry.S2) ~sites ())
+  in
+  let rng = Rng.create 43 in
+  let warm =
+    List.init 24 (fun _ -> Runtime.submit_global rt (Workload.global_txn rng config))
+  in
+  let txn = Workload.global_txn rng config in
+  let first = Runtime.submit_global rt txn in
+  let dup = Runtime.submit_global rt txn in
+  (match Promise.await dup with
+  | Outcome.Aborted "duplicate-admission" -> ()
+  | Outcome.Aborted r -> Alcotest.failf "wrong refusal reason: %s" r
+  | Outcome.Committed | Outcome.Shed ->
+      Alcotest.fail "duplicate admission must be refused");
+  check_bool "original unaffected" true
+    (Promise.await first <> Outcome.Aborted "duplicate-admission");
+  List.iter (fun p -> ignore (Promise.await p)) warm;
+  let res = Runtime.shutdown rt in
+  check_bool "certified" true res.Runtime.certified
 
 (* ----------------------------------------------------------- site crash *)
 
@@ -287,7 +525,7 @@ let site_crash_graceful () =
   let res = Runtime.shutdown rt in
   check_int "all settled" n (List.length statuses);
   List.iter
-    (fun s -> check_bool "final" true (s <> Gtm.Active))
+    (fun s -> check_bool "settled, not shed" true (s <> Outcome.Shed))
     statuses;
   check_int "crash counted" 1 res.Runtime.run_stats.Runtime.site_crashes;
   check_bool "some survivors committed" true
@@ -400,7 +638,7 @@ let shutdown_refuses () =
   let res = Runtime.shutdown rt in
   check_bool "certified" true res.Runtime.certified;
   (match Promise.await (Runtime.submit_global rt (Workload.global_txn rng config)) with
-  | Gtm.Aborted _ -> ()
+  | Outcome.Aborted _ -> ()
   | _ -> Alcotest.fail "post-shutdown submit must abort");
   check_bool "try refuses" true
     (Runtime.try_submit_global rt (Workload.global_txn rng config) = None)
@@ -438,8 +676,23 @@ let () =
           Alcotest.test_case "locals" `Quick locals_and_globals;
           Alcotest.test_case "atomic-commit" `Quick atomic_commit_run;
           Alcotest.test_case "serve" `Quick serve_accounting;
+          Alcotest.test_case "serve-shed-split" `Quick
+            serve_backpressure_vs_shed;
           Alcotest.test_case "shutdown" `Quick shutdown_refuses;
         ] );
+      ( "robustness",
+        Alcotest.test_case "backoff-bounds" `Quick retry_delay_bounds
+        :: QCheck_alcotest.to_alcotest wound_never_kills_oldest
+        :: Alcotest.test_case "wound-retry-no-double-visit" `Quick
+             wound_retry_no_double_visit
+        :: Alcotest.test_case "shed-burst" `Quick shed_under_burst
+        :: Alcotest.test_case "duplicate-admission" `Quick
+             duplicate_admission_refused
+        :: List.init 13 (fun i ->
+               let seed = i + 1 in
+               Alcotest.test_case
+                 (Printf.sprintf "retry-differential-seed-%d" seed)
+                 `Quick (retry_differential seed)) );
       ( "faults",
         [ Alcotest.test_case "site-crash" `Quick site_crash_graceful ] );
       ( "live-cert",
