@@ -60,12 +60,14 @@ let obs_flags =
         (trace_out, metrics_json, metrics, profile))
     $ trace_out $ metrics_json $ metrics $ profile)
 
-let make_obs (trace_out, metrics_json, metrics, profile) =
-  if trace_out = None && metrics_json = None && (not metrics) && not profile
+let make_obs ?(force_metrics = false) (trace_out, metrics_json, metrics, profile) =
+  if
+    (not force_metrics) && trace_out = None && metrics_json = None
+    && (not metrics) && not profile
   then Obs.disabled
   else
     Obs.create ~trace:(trace_out <> None)
-      ~metrics:(metrics_json <> None || metrics)
+      ~metrics:(metrics_json <> None || metrics || force_metrics)
       ~profile ()
 
 let export_obs (trace_out, metrics_json, metrics, profile) obs =
@@ -88,6 +90,64 @@ let export_obs (trace_out, metrics_json, metrics, profile) obs =
       (Mdbs_obs.Metrics.to_string (Mdbs_obs.Metrics.snapshot obs.Obs.metrics));
   if profile then
     print_endline (Mdbs_obs.Profile.to_string obs.Obs.profile)
+
+(* -------------------------------------------------------- telemetry flags *)
+
+let slo_conv =
+  let parse s =
+    match Mdbs_obs.Slo.parse s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf spec = Format.pp_print_string ppf spec.Mdbs_obs.Slo.src in
+  Arg.conv (parse, print)
+
+(* Shared by serve/loadgen. Any telemetry flag forces the metrics registry
+   on (the time-series layer windows it), whether or not --metrics was
+   passed. *)
+let telemetry_flags =
+  let telemetry_out =
+    Arg.(value & opt (some string) None & info [ "telemetry-out" ] ~docv:"FILE"
+           ~doc:"Append one JSON object per telemetry window (JSONL): \
+                 counter/histogram deltas and gauge values since the \
+                 previous window.")
+  in
+  let openmetrics_out =
+    Arg.(value & opt (some string) None & info [ "openmetrics-out" ]
+           ~docv:"FILE"
+           ~doc:"Atomically rewrite FILE with the cumulative metrics in \
+                 OpenMetrics text format on every telemetry window.")
+  in
+  let interval =
+    Arg.(value & opt float 1000. & info [ "telemetry-interval" ] ~docv:"MS"
+           ~doc:"Telemetry window length in milliseconds.")
+  in
+  let slos =
+    Arg.(value & opt_all slo_conv [] & info [ "slo" ] ~docv:"SPEC"
+           ~doc:"Service-level objective evaluated per window with \
+                 burn-rate tracking, e.g. $(b,'p99(svc_response_ms) <= \
+                 50') or $(b,'commit_ratio >= 0.9'). Repeatable. Any \
+                 breach sets exit code 3.")
+  in
+  let flight_dump =
+    Arg.(value & opt (some string) None & info [ "flight-dump" ] ~docv:"DIR"
+           ~doc:"Arm the flight recorder: on a certification violation, \
+                 site crash or SLO breach, dump the last seconds of \
+                 runtime events into DIR as a Chrome trace_event file.")
+  in
+  Term.(
+    const (fun telemetry_out openmetrics_out interval slos flight_dump ->
+        (telemetry_out, openmetrics_out, interval, slos, flight_dump))
+    $ telemetry_out $ openmetrics_out $ interval $ slos $ flight_dump)
+
+let telemetry_enabled (t_out, om_out, _, slos, flight) =
+  t_out <> None || om_out <> None || slos <> [] || flight <> None
+
+(* Exit code 3: an SLO objective breached (1 = certification failure,
+   2 = usage error). Certification failure wins when both occur. *)
+let slo_exit = function
+  | Some s when s.Mdbs_obs.Slo.worst = Mdbs_obs.Slo.Breach -> exit 3
+  | _ -> ()
 
 (* ---------------------------------------------------------------- schemes *)
 
@@ -481,18 +541,21 @@ let svc_flags =
     $ backoff $ backoff_cap $ shed_parked $ shed_blocked $ certify
     $ cert_every)
 
-let loadgen_config kind
+let loadgen_config ?(telemetry = (None, None, 1000., [], None)) kind
     (m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall,
      tick, certify, cert_every, (retry, wound, shed_parked, shed_blocked))
     clients txns obs =
   let wl =
     { Workload.default with m; data_per_site = data; d_av; hotspot }
   in
+  let t_out, om_out, interval, slos, flight = telemetry in
   Loadgen.config ~wl ~clients ~txns_per_client:txns ~local_fraction:local
     ~seed ~retry ~atomic_commit:atomic ~capacity ~max_active
     ~stall_timeout_ms:stall ?wound_after_ms:wound ~tick_ms:tick
     ?shed_parked ?shed_blocked ~obs ~certify
-    ~cert_checkpoint_every:cert_every kind
+    ~cert_checkpoint_every:cert_every ?telemetry_out:t_out
+    ?openmetrics_out:om_out ~telemetry_interval_ms:interval ~slos
+    ?flight_dump:flight kind
 
 let loadgen_cmd =
   let doc =
@@ -527,8 +590,8 @@ let loadgen_cmd =
     Arg.(value & opt (some string) None & info [ "bench-out" ] ~docv:"FILE"
            ~doc:"Run the scheme x site-count grid and write a JSON baseline.")
   in
-  let run kind svcf clients txns json bench_out obsf =
-    let obs = make_obs obsf in
+  let run kind svcf clients txns json bench_out obsf telemf =
+    let obs = make_obs ~force_metrics:(telemetry_enabled telemf) obsf in
     match bench_out with
     | Some file ->
         let m0, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
@@ -581,17 +644,23 @@ let loadgen_cmd =
            else "CERTIFICATION FAILURES");
         if not (List.for_all (fun r -> r.Loadgen.certified) grid) then exit 1
     | None ->
-        let r = Loadgen.run (loadgen_config kind svcf clients txns obs) in
+        let r =
+          Loadgen.run
+            (loadgen_config ~telemetry:telemf kind svcf clients txns obs)
+        in
         export_obs obsf obs;
         if json then
-          print_endline (Mdbs_util.Json.to_string (Loadgen.report_to_json r))
+          print_endline
+            (Mdbs_util.Json.to_string
+               (Loadgen.report_to_json ~profile:obs.Obs.profile r))
         else Format.printf "%a" Loadgen.print_report r;
-        if not r.Loadgen.certified then exit 1
+        if not r.Loadgen.certified then exit 1;
+        slo_exit r.Loadgen.run.Mdbs_svc.Runtime.slo
   in
   Cmd.v (Cmd.info "loadgen" ~doc ~man)
     Term.(
       const run $ scheme $ svc_flags $ clients $ txns $ json $ bench_out
-      $ obs_flags)
+      $ obs_flags $ telemetry_flags)
 
 let serve_cmd =
   let doc = "Open-loop service mode: Poisson arrivals, admission control" in
@@ -620,20 +689,23 @@ let serve_cmd =
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress lines.") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.") in
-  let run kind svcf rate duration quiet json obsf =
+  let run kind svcf rate duration quiet json obsf telemf =
     let m, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
         stall, tick, certify, cert_every, (retry, wound, shed_p, shed_b) =
       svcf
     in
     let wl = { Workload.default with m; data_per_site = data; d_av; hotspot } in
-    let obs = make_obs obsf in
+    let obs = make_obs ~force_metrics:(telemetry_enabled telemf) obsf in
+    let t_out, om_out, interval, slos, flight = telemf in
     let s =
       Serve.run ~quiet
         (Serve.config ~wl ~rate ~duration_s:duration ~local_fraction:local
            ~seed ~retry ~atomic_commit:atomic ~capacity ~max_active
            ~stall_timeout_ms:stall ?wound_after_ms:wound ~tick_ms:tick
            ?shed_parked:shed_p ?shed_blocked:shed_b ~obs ~certify
-           ~cert_checkpoint_every:cert_every kind)
+           ~cert_checkpoint_every:cert_every ?telemetry_out:t_out
+           ?openmetrics_out:om_out ~telemetry_interval_ms:interval ~slos
+           ?flight_dump:flight kind)
     in
     export_obs obsf obs;
     let res = s.Serve.run in
@@ -669,6 +741,24 @@ let serve_cmd =
                   match res.Mdbs_svc.Runtime.live with
                   | Some ls -> Mdbs_svc.Live_cert.summary_to_json ls
                   | None -> Mdbs_util.Json.Null );
+                ( "slo",
+                  match res.Mdbs_svc.Runtime.slo with
+                  | Some sl -> Mdbs_obs.Slo.summary_to_json sl
+                  | None -> Mdbs_util.Json.Null );
+                ( "flight_dumps",
+                  Mdbs_util.Json.List
+                    (List.map
+                       (fun (reason, path) ->
+                         Mdbs_util.Json.Obj
+                           [
+                             ("reason", Mdbs_util.Json.Str reason);
+                             ("path", Mdbs_util.Json.Str path);
+                           ])
+                       res.Mdbs_svc.Runtime.flight_dumps) );
+                ( "profile",
+                  if Mdbs_obs.Profile.enabled obs.Obs.profile then
+                    Mdbs_obs.Profile.to_json obs.Obs.profile
+                  else Mdbs_util.Json.Null );
               ]))
     else
       Printf.printf
@@ -681,12 +771,27 @@ let serve_cmd =
         s.Serve.retries st.Mdbs_svc.Runtime.aborted
         st.Mdbs_svc.Runtime.force_aborts st.Mdbs_svc.Runtime.wounds
         (if res.Mdbs_svc.Runtime.certified then "yes" else "NO");
-    if not res.Mdbs_svc.Runtime.certified then exit 1
+    (if not json then
+       match res.Mdbs_svc.Runtime.slo with
+       | None -> ()
+       | Some sl ->
+           Printf.printf "SLO: worst %s\n"
+             (Mdbs_obs.Slo.verdict_to_string sl.Mdbs_obs.Slo.worst);
+           List.iter
+             (fun o ->
+               Printf.printf "  %s — %s (%d/%d bad windows, %d breach)\n"
+                 o.Mdbs_obs.Slo.o_spec.Mdbs_obs.Slo.src
+                 (Mdbs_obs.Slo.verdict_to_string o.Mdbs_obs.Slo.o_worst)
+                 o.Mdbs_obs.Slo.o_bad o.Mdbs_obs.Slo.o_windows
+                 o.Mdbs_obs.Slo.o_breaches)
+             sl.Mdbs_obs.Slo.objectives);
+    if not res.Mdbs_svc.Runtime.certified then exit 1;
+    slo_exit res.Mdbs_svc.Runtime.slo
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ scheme $ svc_flags $ rate $ duration $ quiet $ json
-      $ obs_flags)
+      $ obs_flags $ telemetry_flags)
 
 (* ---------------------------------------------------------- bench-compare *)
 
@@ -727,7 +832,25 @@ let bench_compare_cmd =
            ~doc:"Maximum tolerated commit-ratio drop, in percentage points \
                  (committed/submitted, old vs new).")
   in
-  let run old_file new_file threshold max_commit_drop =
+  let timeseries =
+    Arg.(value & opt (some file) None & info [ "timeseries" ] ~docv:"FILE"
+           ~doc:"Telemetry JSONL (from $(b,--telemetry-out)) to gate on \
+                 worst-window tail latency; requires \
+                 $(b,--max-window-p99).")
+  in
+  let max_window_p99 =
+    Arg.(value & opt (some float) None & info [ "max-window-p99" ] ~docv:"MS"
+           ~doc:"Fail when any telemetry window's p99 of the gated \
+                 histogram exceeds MS — catches transient stalls that an \
+                 end-of-run percentile averages away.")
+  in
+  let window_metric =
+    Arg.(value & opt string "svc_response_ms" & info [ "window-metric" ]
+           ~docv:"NAME"
+           ~doc:"Histogram the $(b,--max-window-p99) gate reads.")
+  in
+  let run old_file new_file threshold max_commit_drop timeseries
+      max_window_p99 window_metric =
     let module Json = Mdbs_util.Json in
     let fail_usage msg =
       prerr_endline ("mdbs bench-compare: " ^ msg);
@@ -842,14 +965,79 @@ let bench_compare_cmd =
     in
     if uncertified > 0 then
       Printf.printf "%d new run(s) uncertified\n" uncertified;
-    if !regressions > 0 || uncertified > 0 then (
-      Printf.printf "bench-compare: %d regression(s) beyond %.0f%%\n"
-        !regressions threshold;
+    (* Worst-window tail gate: every telemetry window's precomputed p99
+       must clear the cap, so a transient stall that an end-of-run
+       percentile would average away still fails the comparison. *)
+    let window_failed =
+      match (timeseries, max_window_p99) with
+      | None, None -> false
+      | Some _, None -> fail_usage "--timeseries requires --max-window-p99"
+      | None, Some _ -> fail_usage "--max-window-p99 requires --timeseries"
+      | Some file, Some cap ->
+          let worst = ref neg_infinity in
+          let windows = ref 0 in
+          let ic =
+            try open_in file with Sys_error msg -> fail_usage msg
+          in
+          (try
+             while true do
+               let line = input_line ic in
+               if String.trim line <> "" then
+                 match Json.of_string line with
+                 | Error msg ->
+                     fail_usage (Printf.sprintf "%s: %s" file msg)
+                 | Ok w -> (
+                     match
+                       Option.bind (Json.member "hists" w) Json.list_val
+                     with
+                     | None -> ()
+                     | Some hs ->
+                         List.iter
+                           (fun h ->
+                             match
+                               Option.bind (Json.member "name" h)
+                                 Json.string_val
+                             with
+                             | Some n when n = window_metric -> (
+                                 incr windows;
+                                 match
+                                   Option.bind (Json.member "p99" h)
+                                     Json.number
+                                 with
+                                 | Some p -> if p > !worst then worst := p
+                                 | None -> ())
+                             | _ -> ())
+                           hs)
+             done
+           with End_of_file -> close_in ic);
+          if !windows = 0 then begin
+            (* An empty gate is a failed gate: a run that never observed
+               the histogram proves nothing about its tail. *)
+            Printf.printf "window gate: no %s windows in %s — FAILED\n"
+              window_metric file;
+            true
+          end
+          else begin
+            let failed = !worst > cap in
+            Printf.printf
+              "window gate: worst %s p99 %.2f ms across %d windows (cap \
+               %.2f ms) — %s\n"
+              window_metric !worst !windows cap
+              (if failed then "FAILED" else "ok");
+            failed
+          end
+    in
+    if !regressions > 0 || uncertified > 0 || window_failed then (
+      if !regressions > 0 then
+        Printf.printf "bench-compare: %d regression(s) beyond %.0f%%\n"
+          !regressions threshold;
       exit 1)
     else Printf.printf "bench-compare: no regressions beyond %.0f%%\n" threshold
   in
   Cmd.v (Cmd.info "bench-compare" ~doc ~man)
-    Term.(const run $ old_file $ new_file $ threshold $ max_commit_drop)
+    Term.(
+      const run $ old_file $ new_file $ threshold $ max_commit_drop
+      $ timeseries $ max_window_p99 $ window_metric)
 
 let analyze_cmd =
   let doc = "Statically certify and lint a recorded global schedule" in

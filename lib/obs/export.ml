@@ -1,0 +1,375 @@
+module Json = Mdbs_util.Json
+
+(* --- OpenMetrics rendering --------------------------------------------- *)
+
+(* Label-value escaping per the OpenMetrics text format: backslash, double
+   quote and newline; everything else passes through. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      Printf.sprintf "{%s}"
+        (String.concat ","
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+              labels))
+
+(* A float in sample position: OpenMetrics spells infinity "+Inf". *)
+let fmt_value v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+(* Counters follow the _total convention: family name drops the suffix,
+   the sample keeps it. *)
+let counter_family name =
+  let suffix = "_total" in
+  if
+    String.length name > String.length suffix
+    && String.sub name
+         (String.length name - String.length suffix)
+         (String.length suffix)
+       = suffix
+  then String.sub name 0 (String.length name - String.length suffix)
+  else name
+
+let to_openmetrics (snap : Metrics.snapshot) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  (* The snapshot is sorted by (name, labels): consecutive equal names form
+     a family, so one pass with a "last family declared" cursor suffices. *)
+  let last_family = ref "" in
+  let declare family ty =
+    if !last_family <> family then begin
+      line "# TYPE %s %s" family ty;
+      last_family := family
+    end
+  in
+  List.iter
+    (fun ((k : Metrics.key), v) ->
+      let family = counter_family k.Metrics.name in
+      declare family "counter";
+      line "%s_total%s %d" family (render_labels k.Metrics.labels) v)
+    snap.Metrics.counters;
+  List.iter
+    (fun ((k : Metrics.key), v) ->
+      declare k.Metrics.name "gauge";
+      line "%s%s %s" k.Metrics.name (render_labels k.Metrics.labels) (fmt_value v))
+    snap.Metrics.gauges;
+  List.iter
+    (fun ((k : Metrics.key), (s : Metrics.hist_snap)) ->
+      declare k.Metrics.name "histogram";
+      (* Cumulative buckets; the snapshot's are per-bucket counts ending in
+         the overflow slot, so a running sum gives le-cumulative counts and
+         the final (infinity) bucket equals the total count. *)
+      let cum = ref 0 in
+      List.iter
+        (fun (ub, c) ->
+          cum := !cum + c;
+          line "%s_bucket{%sle=\"%s\"} %d" k.Metrics.name
+            (String.concat ""
+               (List.map
+                  (fun (lk, lv) ->
+                    Printf.sprintf "%s=\"%s\"," lk (escape_label_value lv))
+                  k.Metrics.labels))
+            (fmt_value ub) !cum)
+        s.Metrics.buckets;
+      line "%s_sum%s %s" k.Metrics.name (render_labels k.Metrics.labels)
+        (fmt_value s.Metrics.sum);
+      line "%s_count%s %d" k.Metrics.name (render_labels k.Metrics.labels)
+        s.Metrics.count)
+    snap.Metrics.histograms;
+  line "# EOF";
+  Buffer.contents buf
+
+(* --- OpenMetrics validation -------------------------------------------- *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let is_name s =
+  s <> ""
+  && (not (s.[0] >= '0' && s.[0] <= '9'))
+  && String.for_all is_name_char s
+
+(* Parse [name{labels} value] into (name, labels, value). Labels come back
+   unescaped; [Error] explains the first malformation. *)
+let parse_sample ln =
+  let fail msg = Error msg in
+  let len = String.length ln in
+  let rec name_end i = if i < len && is_name_char ln.[i] then name_end (i + 1) else i in
+  let ne = name_end 0 in
+  if ne = 0 then fail "sample does not start with a metric name"
+  else
+    let name = String.sub ln 0 ne in
+    if not (is_name name) then fail (Printf.sprintf "bad metric name %S" name)
+    else
+      let labels_and_rest =
+        if ne < len && ln.[ne] = '{' then begin
+          (* scan label pairs up to the closing brace, honoring escapes *)
+          let i = ref (ne + 1) in
+          let labels = ref [] in
+          let ok = ref true in
+          let err = ref "" in
+          let finished = ref false in
+          while !ok && not !finished do
+            if !i < len && ln.[!i] = '}' then begin
+              incr i;
+              finished := true
+            end
+            else begin
+              let ks = !i in
+              while !i < len && is_name_char ln.[!i] do incr i done;
+              if !i = ks || !i >= len || ln.[!i] <> '=' then begin
+                ok := false;
+                err := "bad label name"
+              end
+              else begin
+                let lname = String.sub ln ks (!i - ks) in
+                incr i;
+                if !i >= len || ln.[!i] <> '"' then begin
+                  ok := false;
+                  err := "label value not quoted"
+                end
+                else begin
+                  incr i;
+                  let vbuf = Buffer.create 16 in
+                  let closed = ref false in
+                  while !ok && not !closed do
+                    if !i >= len then begin
+                      ok := false;
+                      err := "unterminated label value"
+                    end
+                    else
+                      match ln.[!i] with
+                      | '"' ->
+                          incr i;
+                          closed := true
+                      | '\\' ->
+                          if !i + 1 >= len then begin
+                            ok := false;
+                            err := "dangling escape"
+                          end
+                          else begin
+                            (match ln.[!i + 1] with
+                            | '\\' -> Buffer.add_char vbuf '\\'
+                            | '"' -> Buffer.add_char vbuf '"'
+                            | 'n' -> Buffer.add_char vbuf '\n'
+                            | c ->
+                                ok := false;
+                                err := Printf.sprintf "bad escape \\%c" c);
+                            i := !i + 2
+                          end
+                      | c ->
+                          Buffer.add_char vbuf c;
+                          incr i
+                  done;
+                  if !ok then begin
+                    labels := (lname, Buffer.contents vbuf) :: !labels;
+                    if !i < len && ln.[!i] = ',' then incr i
+                  end
+                end
+              end
+            end
+          done;
+          if !ok then Ok (List.rev !labels, !i) else Error !err
+        end
+        else Ok ([], ne)
+      in
+      match labels_and_rest with
+      | Error e -> Error e
+      | Ok (labels, i) ->
+          if i >= len || ln.[i] <> ' ' then
+            fail "expected a space before the sample value"
+          else
+            let v = String.sub ln (i + 1) (len - i - 1) in
+            let v = String.trim v in
+            let parsed =
+              match v with
+              | "+Inf" -> Some infinity
+              | "-Inf" -> Some neg_infinity
+              | "NaN" -> Some nan
+              | _ -> float_of_string_opt v
+            in
+            (match parsed with
+            | None -> fail (Printf.sprintf "bad sample value %S" v)
+            | Some f -> Ok (name, labels, f))
+
+(* Validate one exposition. Beyond per-line syntax this checks family
+   discipline: samples belong to the most recent # TYPE family, histogram
+   buckets are cumulative with a final le="+Inf" equal to _count, and the
+   document ends with # EOF. *)
+let validate text =
+  let lines = String.split_on_char '\n' text in
+  (* drop one trailing "" from the final newline *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  (* state: current family, its type, and per-family histogram tracking *)
+  let family = ref "" in
+  let fam_type = ref "" in
+  let bucket_prev = ref (-1) in
+  (* last cumulative bucket count *)
+  let bucket_labels = ref [] in
+  (* non-le labels of the open bucket run *)
+  let bucket_inf = ref None in
+  (* +Inf cumulative value, awaiting _count *)
+  let rec go lineno = function
+    | [] -> Error "missing # EOF terminator"
+    | [ "# EOF" ] -> Ok ()
+    | "# EOF" :: _ -> err lineno "# EOF before end of document"
+    | ln :: rest when String.length ln > 0 && ln.[0] = '#' -> (
+        match String.split_on_char ' ' ln with
+        | "#" :: "TYPE" :: fam :: [ ty ] ->
+            if not (is_name fam) then err lineno "bad family name"
+            else if
+              not (List.mem ty [ "counter"; "gauge"; "histogram"; "unknown" ])
+            then err lineno (Printf.sprintf "bad type %S" ty)
+            else begin
+              family := fam;
+              fam_type := ty;
+              bucket_prev := -1;
+              bucket_labels := [];
+              bucket_inf := None;
+              go (lineno + 1) rest
+            end
+        | "#" :: ("HELP" | "UNIT") :: _ -> go (lineno + 1) rest
+        | _ -> err lineno "bad comment line")
+    | ln :: rest -> (
+        match parse_sample ln with
+        | Error e -> err lineno e
+        | Ok (name, labels, value) ->
+            let belongs suffix =
+              name = !family ^ suffix
+              || (suffix = "" && name = !family)
+            in
+            let check =
+              match !fam_type with
+              | "counter" ->
+                  if not (belongs "_total") then
+                    Error "counter sample outside its family"
+                  else if value < 0. then Error "negative counter"
+                  else Ok ()
+              | "gauge" ->
+                  if not (belongs "") then
+                    Error "gauge sample outside its family"
+                  else Ok ()
+              | "histogram" ->
+                  if belongs "_bucket" then begin
+                    match List.assoc_opt "le" labels with
+                    | None -> Error "_bucket without le label"
+                    | Some le ->
+                        let other = List.remove_assoc "le" labels in
+                        if other <> !bucket_labels || !bucket_prev < 0 then begin
+                          (* new series within the family *)
+                          bucket_labels := other;
+                          bucket_prev := 0;
+                          bucket_inf := None
+                        end;
+                        let c = int_of_float value in
+                        if c < !bucket_prev then Error "buckets not cumulative"
+                        else begin
+                          bucket_prev := c;
+                          if le = "+Inf" then bucket_inf := Some c;
+                          Ok ()
+                        end
+                  end
+                  else if belongs "_sum" then Ok ()
+                  else if belongs "_count" then begin
+                    match !bucket_inf with
+                    | Some c when c <> int_of_float value ->
+                        Error "_count disagrees with the +Inf bucket"
+                    | _ ->
+                        bucket_prev := -1;
+                        bucket_inf := None;
+                        Ok ()
+                  end
+                  else Error "histogram sample outside its family"
+              | "" -> Error "sample before any # TYPE"
+              | _ -> Ok ()
+            in
+            (match check with
+            | Error e -> err lineno e
+            | Ok () -> go (lineno + 1) rest))
+  in
+  go 1 lines
+
+(* --- JSONL windows ----------------------------------------------------- *)
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let window_to_json (w : Timeseries.window) =
+  let entry (k : Metrics.key) fields =
+    Json.Obj
+      (("name", Json.Str k.Metrics.name)
+      :: ("labels", labels_json k.Metrics.labels)
+      :: fields)
+  in
+  Json.Obj
+    [
+      ("window", Json.Int w.Timeseries.w_index);
+      ("start_ms", Json.Float w.Timeseries.w_start_ms);
+      ("end_ms", Json.Float w.Timeseries.w_end_ms);
+      ( "counters",
+        Json.List
+          (List.map
+             (fun (k, v) -> entry k [ ("delta", Json.Int v) ])
+             w.Timeseries.w_counters) );
+      ( "gauges",
+        Json.List
+          (List.map
+             (fun (k, v) -> entry k [ ("value", Json.Float v) ])
+             w.Timeseries.w_gauges) );
+      ( "hists",
+        Json.List
+          (List.map
+             (fun (k, (s : Metrics.hist_snap)) ->
+               entry k
+                 [
+                   ("count", Json.Int s.Metrics.count);
+                   ("sum", Json.Float s.Metrics.sum);
+                   ("mean", Json.Float (Metrics.snap_mean s));
+                   ("p50", Json.Float (Metrics.snap_percentile s 50.0));
+                   ("p95", Json.Float (Metrics.snap_percentile s 95.0));
+                   ("p99", Json.Float (Metrics.snap_percentile s 99.0));
+                   ("max", Json.Float s.Metrics.hmax);
+                   ("overflow", Json.Int s.Metrics.overflow);
+                 ])
+             w.Timeseries.w_hists) );
+    ]
+
+let window_to_jsonl w = Json.to_string_compact (window_to_json w)
+
+(* --- atomic file replacement ------------------------------------------- *)
+
+let write_atomic ~path content =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc content;
+      flush oc);
+  Sys.rename tmp path

@@ -1,0 +1,181 @@
+module Json = Mdbs_util.Json
+
+type entry = {
+  e_ts : float;
+  e_track : int;
+  e_name : string;
+  e_attrs : (string * string) list;
+}
+
+type t = {
+  dir : string option;
+  cap : int;
+  keep_ms : float;
+  max_dumps : int;
+  lock : Mutex.t;
+  ring : entry option array;
+  mutable head : int; (* next slot to write *)
+  mutable count : int; (* retained *)
+  mutable recorded : int;
+  mutable seq : int; (* dump sequence (also counts dropped ones) *)
+  mutable dumps : (string * string) list; (* newest first *)
+}
+
+let create ?(cap = 4096) ?(keep_ms = 10_000.) ?(max_dumps = 8) ~dir () =
+  if cap < 1 then invalid_arg "Flight.create: cap < 1";
+  {
+    dir;
+    cap;
+    keep_ms;
+    max_dumps;
+    lock = Mutex.create ();
+    ring = Array.make cap None;
+    head = 0;
+    count = 0;
+    recorded = 0;
+    seq = 0;
+    dumps = [];
+  }
+
+let enabled t = t.dir <> None
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let record t ~ts_ms ~track ~name attrs =
+  if enabled t then
+    locked t (fun () ->
+        t.ring.(t.head) <-
+          Some { e_ts = ts_ms; e_track = track; e_name = name; e_attrs = attrs };
+        t.head <- (t.head + 1) mod t.cap;
+        t.count <- min (t.count + 1) t.cap;
+        t.recorded <- t.recorded + 1)
+
+(* Retained entries, oldest first. Caller holds the lock. *)
+let entries_locked t =
+  let rec go i acc =
+    if i >= t.count then acc
+    else
+      let idx = (t.head - 1 - i + (2 * t.cap)) mod t.cap in
+      match t.ring.(idx) with
+      | Some e -> go (i + 1) (e :: acc)
+      | None -> acc
+  in
+  go 0 []
+
+let us ts = Json.Int (int_of_float (Float.round (ts *. 1000.0)))
+
+let trace_json ~ts_ms ~reason entries =
+  let tracks =
+    List.sort_uniq compare (List.map (fun e -> e.e_track) entries)
+  in
+  let track_name tid = if tid = 0 then "gtm" else Printf.sprintf "site-%d" (tid - 1) in
+  let meta =
+    List.map
+      (fun tid ->
+        Json.Obj
+          [
+            ("ph", Json.Str "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+            ("name", Json.Str "thread_name");
+            ("args", Json.Obj [ ("name", Json.Str (track_name tid)) ]);
+          ])
+      tracks
+  in
+  let body =
+    List.map
+      (fun e ->
+        Json.Obj
+          [
+            ("ph", Json.Str "i");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int e.e_track);
+            ("ts", us e.e_ts);
+            ("name", Json.Str e.e_name);
+            ("s", Json.Str "t");
+            ( "args",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.e_attrs) );
+          ])
+      entries
+  in
+  (* The trigger itself, as the final event on the GTM track. *)
+  let marker =
+    Json.Obj
+      [
+        ("ph", Json.Str "i");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("ts", us ts_ms);
+        ("name", Json.Str ("flight:" ^ reason));
+        ("s", Json.Str "g");
+        ("args", Json.Obj [ ("reason", Json.Str reason) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ body @ [ marker ]));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let mkdir_p dir =
+  let rec go d =
+    if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+    else begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let trigger t ~ts_ms ~reason =
+  match t.dir with
+  | None -> None
+  | Some dir ->
+      locked t (fun () ->
+          let seq = t.seq in
+          t.seq <- seq + 1;
+          if seq >= t.max_dumps then None
+          else
+            let entries =
+              List.filter
+                (fun e -> ts_ms -. e.e_ts <= t.keep_ms)
+                (entries_locked t)
+            in
+            let sanitized =
+              String.map
+                (fun c ->
+                  match c with
+                  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+                  | _ -> '_')
+                reason
+            in
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "flight-%03d-%s.trace.json" seq sanitized)
+            in
+            match
+              mkdir_p dir;
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () ->
+                  output_string oc
+                    (Json.to_string (trace_json ~ts_ms ~reason entries));
+                  output_char oc '\n')
+            with
+            | () ->
+                t.dumps <- (reason, path) :: t.dumps;
+                Some path
+            | exception Sys_error _ -> None)
+
+let dumps t = locked t (fun () -> List.rev t.dumps)
+
+let recorded t = locked t (fun () -> t.recorded)

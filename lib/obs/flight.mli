@@ -1,0 +1,42 @@
+(** Always-on flight recorder: a bounded ring of recent events, dumped as
+    a Chrome-trace "black box" when something goes wrong.
+
+    Unlike the {!Sink} trace (opt-in, unbounded, whole-run), the flight
+    recorder is cheap enough to leave on for every run: {!record} appends
+    one instant event to a mutex-protected ring of [cap] entries (default
+    4096), evicting the oldest. When a trigger fires — live-certification
+    violation, site crash, SLO breach — {!trigger} writes the last
+    [keep_ms] (default 10s) of the ring to
+    [dir/flight-<seq>-<reason>.trace.json] in Chrome trace_event format
+    (loadable in Perfetto / chrome://tracing), so the moments {e leading
+    up to} the failure are preserved without having traced the whole run.
+    At most [max_dumps] (default 8) files are written per recorder;
+    later triggers are counted but dropped, keeping a crash loop from
+    filling the disk. *)
+
+type t
+
+val create :
+  ?cap:int -> ?keep_ms:float -> ?max_dumps:int -> dir:string option -> unit -> t
+(** [dir = None] disables dumping (recording becomes a no-op too, so a
+    disabled recorder costs nothing on hot paths). The directory is
+    created on the first dump. *)
+
+val enabled : t -> bool
+
+val record :
+  t -> ts_ms:float -> track:int -> name:string -> (string * string) list -> unit
+(** Append one instant event ([ts_ms] on the run's clock, [track] mapped
+    to a trace thread: 0 = GTM, 1+i = site i). Thread-safe, O(1). *)
+
+val trigger : t -> ts_ms:float -> reason:string -> string option
+(** Dump the tail of the ring (events within [keep_ms] of [ts_ms]);
+    returns the written path, or [None] when disabled, over the dump cap,
+    or the write failed (a diagnostic dump never takes the run down).
+    Thread-safe; concurrent triggers serialize. *)
+
+val dumps : t -> (string * string) list
+(** [(reason, path)] of every dump written so far, oldest first. *)
+
+val recorded : t -> int
+(** Total events recorded (including ones the ring evicted). *)

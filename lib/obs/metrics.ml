@@ -11,8 +11,12 @@ type counter = { mutable c : int }
 
 type gauge = { mutable g : float }
 
+(* [lock] guards registration (table inserts) and {!snapshot} only: handle
+   updates stay lock-free, but a snapshot taken mid-run (the telemetry
+   ticker) must never fold over a table another domain is resizing. *)
 type t = {
   enabled : bool;
+  lock : Mutex.t;
   counters : (key, counter) Hashtbl.t;
   gauges : (key, gauge) Hashtbl.t;
   hists : (key, Stats.histogram) Hashtbl.t;
@@ -21,10 +25,21 @@ type t = {
 let make enabled =
   {
     enabled;
+    lock = Mutex.create ();
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 16;
     hists = Hashtbl.create 16;
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
 
 let create () = make true
 
@@ -38,12 +53,13 @@ let counter t ?labels name =
   if not t.enabled then { c = 0 }
   else
     let k = key ?labels name in
-    match Hashtbl.find_opt t.counters k with
-    | Some c -> c
-    | None ->
-        let c = { c = 0 } in
-        Hashtbl.replace t.counters k c;
-        c
+    locked t (fun () ->
+        match Hashtbl.find_opt t.counters k with
+        | Some c -> c
+        | None ->
+            let c = { c = 0 } in
+            Hashtbl.replace t.counters k c;
+            c)
 
 let inc ?(by = 1) c = c.c <- c.c + by
 
@@ -51,12 +67,13 @@ let gauge t ?labels name =
   if not t.enabled then { g = 0.0 }
   else
     let k = key ?labels name in
-    match Hashtbl.find_opt t.gauges k with
-    | Some g -> g
-    | None ->
-        let g = { g = 0.0 } in
-        Hashtbl.replace t.gauges k g;
-        g
+    locked t (fun () ->
+        match Hashtbl.find_opt t.gauges k with
+        | Some g -> g
+        | None ->
+            let g = { g = 0.0 } in
+            Hashtbl.replace t.gauges k g;
+            g)
 
 let set g v = g.g <- v
 
@@ -66,12 +83,13 @@ let histogram t ?labels ?(bounds = Stats.default_bounds) name =
   if not t.enabled then Stats.histogram bounds
   else
     let k = key ?labels name in
-    match Hashtbl.find_opt t.hists k with
-    | Some h -> h
-    | None ->
-        let h = Stats.histogram bounds in
-        Hashtbl.replace t.hists k h;
-        h
+    locked t (fun () ->
+        match Hashtbl.find_opt t.hists k with
+        | Some h -> h
+        | None ->
+            let h = Stats.histogram bounds in
+            Hashtbl.replace t.hists k h;
+            h)
 
 let observe = Stats.observe
 
@@ -82,6 +100,7 @@ type hist_snap = {
   count : int;
   sum : float;
   hmax : float;
+  overflow : int; (* samples above the last bucket edge *)
 }
 
 type snapshot = {
@@ -90,12 +109,15 @@ type snapshot = {
   histograms : (key * hist_snap) list;
 }
 
+let empty_snapshot = { counters = []; gauges = []; histograms = [] }
+
 let snap_of_hist h =
   {
     buckets = Stats.hist_buckets h;
     count = Stats.hist_count h;
     sum = Stats.hist_sum h;
     hmax = Stats.hist_max h;
+    overflow = Stats.hist_overflow h;
   }
 
 let snap_mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
@@ -120,11 +142,12 @@ let sorted tbl f =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let snapshot (t : t) =
-  {
-    counters = sorted t.counters (fun c -> c.c);
-    gauges = sorted t.gauges (fun g -> g.g);
-    histograms = sorted t.hists snap_of_hist;
-  }
+  locked t (fun () ->
+      {
+        counters = sorted t.counters (fun c -> c.c);
+        gauges = sorted t.gauges (fun g -> g.g);
+        histograms = sorted t.hists snap_of_hist;
+      })
 
 let find_counter snap ?(labels = []) name =
   List.assoc_opt (key ~labels name) snap.counters
@@ -143,6 +166,7 @@ let merge_snaps a b =
     count = a.count + b.count;
     sum = a.sum +. b.sum;
     hmax = max a.hmax b.hmax;
+    overflow = a.overflow + b.overflow;
   }
 
 (* Merge every histogram with this name (e.g. per-site queue waits) into
@@ -176,6 +200,7 @@ let hist_snap_to_json s =
       ("p50", Json.Float (snap_percentile s 50.0));
       ("p95", Json.Float (snap_percentile s 95.0));
       ("p99", Json.Float (snap_percentile s 99.0));
+      ("overflow", Json.Int s.overflow);
       ( "buckets",
         Json.List
           (List.map
@@ -221,9 +246,9 @@ let pp ppf snap =
   List.iter (fun (k, v) -> line "%s %g@," (key_to_string k) v) snap.gauges;
   List.iter
     (fun (k, s) ->
-      line "%s count=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f@,"
+      line "%s count=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f overflow=%d@,"
         (key_to_string k) s.count (snap_mean s) (snap_percentile s 50.0)
-        (snap_percentile s 95.0) (snap_percentile s 99.0) s.hmax)
+        (snap_percentile s 95.0) (snap_percentile s 99.0) s.hmax s.overflow)
     snap.histograms
 
 let to_string snap = Format.asprintf "@[<v>%a@]" pp snap

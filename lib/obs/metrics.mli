@@ -62,6 +62,10 @@ type hist_snap = {
   count : int;
   sum : float;
   hmax : float;
+  overflow : int;
+      (** Samples above the last bucket edge — surfaced explicitly so
+          outlier-heavy runs are visible without reading the [infinity]
+          bucket, and exported as the OpenMetrics [+Inf] bucket's excess. *)
 }
 
 type snapshot = {
@@ -71,7 +75,16 @@ type snapshot = {
 }
 
 val snapshot : t -> snapshot
-(** Deterministic order: sorted by (name, labels). *)
+(** Deterministic order: sorted by (name, labels). Safe to call while
+    other threads/domains update (and register) handles: registration and
+    snapshot serialize on an internal lock, so a mid-run snapshot — the
+    telemetry ticker's window flush — never races a table resize. Handle
+    {e updates} stay lock-free; a snapshot may read a value a few updates
+    stale, never torn. *)
+
+val empty_snapshot : snapshot
+(** The snapshot of a registry nothing was ever registered in — the seed
+    for windowed deltas. *)
 
 val snap_mean : hist_snap -> float
 
@@ -83,6 +96,10 @@ val find_counter : snapshot -> ?labels:labels -> string -> int option
 
 val sum_counter : snapshot -> string -> int
 (** Sum over all label sets of the name. *)
+
+val merge_snaps : hist_snap -> hist_snap -> hist_snap
+(** Bucket-wise sum (counts, sum, overflow; max of maxes). Raises
+    [Invalid_argument] on a bucket mismatch. *)
 
 val sum_hist : snapshot -> string -> hist_snap option
 (** Merge every histogram with this name across label sets (e.g. per-site

@@ -1,0 +1,280 @@
+module Json = Mdbs_util.Json
+
+type cmp = Le | Ge | Lt | Gt
+
+type quantity =
+  | Percentile of string * float
+  | Mean of string
+  | Rate of string
+  | Commit_ratio
+  | Delta of string
+
+type spec = { src : string; quantity : quantity; cmp : cmp; threshold : float }
+
+(* --- parsing ----------------------------------------------------------- *)
+
+let is_name s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_')
+       s
+  && not (s.[0] >= '0' && s.[0] <= '9')
+
+(* [fn(arg)] → Some arg, with [arg] a metric name. *)
+let call fn s =
+  let prefix = fn ^ "(" in
+  let pl = String.length prefix in
+  if
+    String.length s > pl + 1
+    && String.sub s 0 pl = prefix
+    && s.[String.length s - 1] = ')'
+  then
+    let arg = String.trim (String.sub s pl (String.length s - pl - 1)) in
+    if is_name arg then Some arg else None
+  else None
+
+let parse_quantity s =
+  let s = String.trim s in
+  if s = "commit_ratio" then Ok Commit_ratio
+  else
+    match call "mean" s with
+    | Some h -> Ok (Mean h)
+    | None -> (
+        match call "rate" s with
+        | Some c -> Ok (Rate c)
+        | None ->
+            if
+              String.length s > 1
+              && s.[0] = 'p'
+              && String.for_all (fun c -> c >= '0' && c <= '9')
+                   (String.sub s 1
+                      (match String.index_opt s '(' with
+                      | Some i -> i - 1
+                      | None -> String.length s - 1))
+              && String.contains s '('
+            then
+              let i = String.index s '(' in
+              let p = float_of_string (String.sub s 1 (i - 1)) in
+              if p <= 0. || p >= 100. then
+                Error (Printf.sprintf "percentile out of (0,100): %s" s)
+              else
+                match call (String.sub s 0 i) s with
+                | Some h -> Ok (Percentile (h, p))
+                | None -> Error (Printf.sprintf "bad percentile call: %s" s)
+            else if is_name s then Ok (Delta s)
+            else Error (Printf.sprintf "unrecognized quantity: %s" s))
+
+let parse src =
+  (* find the comparator: two-char forms first so "<=" is not read as "<" *)
+  let find_cmp () =
+    let two = [ ("<=", Le); (">=", Ge) ] in
+    let one = [ ("<", Lt); (">", Gt) ] in
+    let try_ops ops width =
+      List.find_map
+        (fun (op, c) ->
+          let rec scan i =
+            if i + width > String.length src then None
+            else if String.sub src i width = op then Some (i, width, c)
+            else scan (i + 1)
+          in
+          scan 0)
+        ops
+    in
+    match try_ops two 2 with Some r -> Some r | None -> try_ops one 1
+  in
+  match find_cmp () with
+  | None -> Error (Printf.sprintf "no comparator in SLO spec: %s" src)
+  | Some (i, w, cmp) -> (
+      let left = String.sub src 0 i in
+      let right = String.trim (String.sub src (i + w) (String.length src - i - w)) in
+      match float_of_string_opt right with
+      | None -> Error (Printf.sprintf "bad threshold %S in: %s" right src)
+      | Some threshold -> (
+          match parse_quantity left with
+          | Error e -> Error e
+          | Ok quantity -> Ok { src = String.trim src; quantity; cmp; threshold }))
+
+(* --- evaluation -------------------------------------------------------- *)
+
+type verdict = Ok | Warn | Breach
+
+let verdict_to_string = function Ok -> "ok" | Warn -> "warn" | Breach -> "breach"
+
+let verdict_rank = function Ok -> 0 | Warn -> 1 | Breach -> 2
+
+let worst_of a b = if verdict_rank a >= verdict_rank b then a else b
+
+type eval = {
+  spec : spec;
+  value : float option;
+  good : bool;
+  burn : float;
+  verdict : verdict;
+}
+
+(* Measure one quantity over a window. [None] means the quantity had
+   nothing to measure (no histogram samples, zero commit+abort), which
+   counts as vacuously good — an idle window is not an SLO failure. *)
+let measure (w : Timeseries.window) = function
+  | Percentile (h, p) ->
+      Option.map
+        (fun s -> Metrics.snap_percentile s p)
+        (Timeseries.sum_hist w h)
+  | Mean h -> Option.map Metrics.snap_mean (Timeseries.sum_hist w h)
+  | Rate c ->
+      let dt_s = (w.Timeseries.w_end_ms -. w.Timeseries.w_start_ms) /. 1000. in
+      if dt_s <= 0. then None
+      else Some (float_of_int (Timeseries.sum_counter w c) /. dt_s)
+  | Commit_ratio ->
+      let commits = Timeseries.sum_counter w "svc_committed_total" in
+      let aborts = Timeseries.sum_counter w "svc_aborted_total" in
+      let total = commits + aborts in
+      if total = 0 then None
+      else Some (float_of_int commits /. float_of_int total)
+  | Delta c -> Some (float_of_int (Timeseries.sum_counter w c))
+
+let holds cmp v threshold =
+  match cmp with
+  | Le -> v <= threshold
+  | Ge -> v >= threshold
+  | Lt -> v < threshold
+  | Gt -> v > threshold
+
+(* Per-objective burn-rate state: a bool ring of the last [slow_windows]
+   bad flags plus the running summary tallies. *)
+type obj_state = {
+  spec_ : spec;
+  ring : bool array;
+  mutable head : int;
+  mutable filled : int;
+  mutable windows : int;
+  mutable bad : int;
+  mutable breaches : int;
+  mutable worst : verdict;
+  mutable last : eval option;
+}
+
+type t = { slow_frac : float; objs : obj_state list }
+
+let create ?(slow_windows = 12) ?(slow_frac = 0.5) specs =
+  if slow_windows < 1 then invalid_arg "Slo.create: slow_windows < 1";
+  {
+    slow_frac;
+    objs =
+      List.map
+        (fun spec_ ->
+          {
+            spec_;
+            ring = Array.make slow_windows false;
+            head = 0;
+            filled = 0;
+            windows = 0;
+            bad = 0;
+            breaches = 0;
+            worst = Ok;
+            last = None;
+          })
+        specs;
+  }
+
+let observe t w =
+  List.map
+    (fun o ->
+      let value = measure w o.spec_.quantity in
+      let good =
+        match value with None -> true | Some v -> holds o.spec_.cmp v o.spec_.threshold
+      in
+      o.ring.(o.head) <- not good;
+      o.head <- (o.head + 1) mod Array.length o.ring;
+      o.filled <- min (o.filled + 1) (Array.length o.ring);
+      let bad_in_ring = ref 0 in
+      for i = 0 to o.filled - 1 do
+        if o.ring.((o.head - 1 - i + (2 * Array.length o.ring)) mod Array.length o.ring)
+        then incr bad_in_ring
+      done;
+      let burn = float_of_int !bad_in_ring /. float_of_int o.filled in
+      let fast_bad = not good in
+      let slow_bad = burn >= t.slow_frac in
+      let verdict =
+        match (fast_bad, slow_bad) with
+        | true, true -> Breach
+        | false, false -> Ok
+        | _ -> Warn
+      in
+      let ev = { spec = o.spec_; value; good; burn; verdict } in
+      o.windows <- o.windows + 1;
+      if not good then o.bad <- o.bad + 1;
+      if verdict = Breach then o.breaches <- o.breaches + 1;
+      o.worst <- worst_of o.worst verdict;
+      o.last <- Some ev;
+      ev)
+    t.objs
+
+type objective_summary = {
+  o_spec : spec;
+  o_windows : int;
+  o_bad : int;
+  o_breaches : int;
+  o_worst : verdict;
+  o_last : eval option;
+}
+
+type summary = { objectives : objective_summary list; worst : verdict }
+
+let summary t =
+  let objectives =
+    List.map
+      (fun o ->
+        {
+          o_spec = o.spec_;
+          o_windows = o.windows;
+          o_bad = o.bad;
+          o_breaches = o.breaches;
+          o_worst = o.worst;
+          o_last = o.last;
+        })
+      t.objs
+  in
+  {
+    objectives;
+    worst = List.fold_left (fun acc o -> worst_of acc o.o_worst) Ok objectives;
+  }
+
+(* --- JSON -------------------------------------------------------------- *)
+
+let eval_to_json ev =
+  Json.Obj
+    [
+      ("slo", Json.Str ev.spec.src);
+      ("value", match ev.value with None -> Json.Null | Some v -> Json.Float v);
+      ("good", Json.Bool ev.good);
+      ("burn", Json.Float ev.burn);
+      ("verdict", Json.Str (verdict_to_string ev.verdict));
+    ]
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("worst", Json.Str (verdict_to_string s.worst));
+      ( "objectives",
+        Json.List
+          (List.map
+             (fun o ->
+               Json.Obj
+                 [
+                   ("slo", Json.Str o.o_spec.src);
+                   ("windows", Json.Int o.o_windows);
+                   ("bad_windows", Json.Int o.o_bad);
+                   ("breach_windows", Json.Int o.o_breaches);
+                   ("worst", Json.Str (verdict_to_string o.o_worst));
+                   ( "last",
+                     match o.o_last with
+                     | None -> Json.Null
+                     | Some ev -> eval_to_json ev );
+                 ])
+             s.objectives) );
+    ]

@@ -1,0 +1,81 @@
+(** Declarative service-level objectives evaluated per telemetry window,
+    with a two-window burn-rate policy.
+
+    {b Spec grammar} (one objective per [--slo] flag):
+    {v
+      spec     ::= quantity cmp threshold
+      quantity ::= pNN(hist)        windowed nearest-rank percentile,
+                                    NN in 1..99 (e.g. p99(svc_response_ms))
+                 | mean(hist)       windowed mean
+                 | rate(counter)    windowed per-second rate
+                 | commit_ratio     svc_committed_total /
+                                    (svc_committed_total + svc_aborted_total)
+                                    over the window's deltas
+                 | counter          bare name: the window's delta
+      cmp      ::= <= | >= | < | >
+      threshold ::= float
+    v}
+    Whitespace around tokens is ignored. Histogram/counter names are
+    summed across label sets ({!Timeseries.sum_counter} /
+    {!Timeseries.sum_hist}).
+
+    {b Verdicts.} Each window is {e good} or {e bad} against the
+    threshold; a window with no samples for the quantity is vacuously
+    good. The verdict combines two horizons: the {e fast} signal is the
+    current window, the {e slow} signal is the bad-window fraction over
+    the last [slow_windows] (default 12) reaching [slow_frac] (default
+    0.5). Both bad → [Breach]; exactly one → [Warn]; neither → [Ok]. A
+    breach anywhere in the run makes {!summary.worst} [Breach], which the
+    CLI maps to its SLO exit code. *)
+
+type cmp = Le | Ge | Lt | Gt
+
+type quantity =
+  | Percentile of string * float  (** histogram name, p in (0, 100) *)
+  | Mean of string
+  | Rate of string  (** counter name, per-second over the window *)
+  | Commit_ratio
+  | Delta of string  (** bare counter delta *)
+
+type spec = { src : string; quantity : quantity; cmp : cmp; threshold : float }
+
+val parse : string -> (spec, string) result
+(** Parse one objective, e.g. ["p99(svc_response_ms) <= 50"] or
+    ["commit_ratio >= 0.9"]. *)
+
+type verdict = Ok | Warn | Breach
+
+val verdict_to_string : verdict -> string
+
+type eval = {
+  spec : spec;
+  value : float option;  (** measured quantity; [None] = no samples *)
+  good : bool;  (** this window against the threshold *)
+  burn : float;  (** bad fraction over the slow horizon *)
+  verdict : verdict;
+}
+
+type t
+
+val create : ?slow_windows:int -> ?slow_frac:float -> spec list -> t
+
+val observe : t -> Timeseries.window -> eval list
+(** Evaluate every objective against one window (call once per flush, in
+    order); updates the burn-rate horizons and the running summary. *)
+
+type objective_summary = {
+  o_spec : spec;
+  o_windows : int;  (** windows evaluated *)
+  o_bad : int;  (** windows where the threshold failed *)
+  o_breaches : int;  (** windows whose combined verdict was [Breach] *)
+  o_worst : verdict;
+  o_last : eval option;
+}
+
+type summary = { objectives : objective_summary list; worst : verdict }
+
+val summary : t -> summary
+
+val eval_to_json : eval -> Mdbs_util.Json.t
+
+val summary_to_json : summary -> Mdbs_util.Json.t

@@ -1,0 +1,130 @@
+type window = {
+  w_index : int;
+  w_start_ms : float;
+  w_end_ms : float;
+  w_counters : (Metrics.key * int) list;
+  w_gauges : (Metrics.key * float) list;
+  w_hists : (Metrics.key * Metrics.hist_snap) list;
+}
+
+type t = {
+  metrics : Metrics.t;
+  interval_ms : float;
+  ring : window option array;
+  mutable head : int; (* next slot to write *)
+  mutable count : int; (* retained (<= Array.length ring) *)
+  mutable flushed : int;
+  mutable prev : Metrics.snapshot;
+  mutable last_flush_ms : float;
+}
+
+let create ?(ring = 64) ~interval_ms metrics =
+  if ring < 1 then invalid_arg "Timeseries.create: ring < 1";
+  if interval_ms <= 0. then invalid_arg "Timeseries.create: interval <= 0";
+  {
+    metrics;
+    interval_ms;
+    ring = Array.make ring None;
+    head = 0;
+    count = 0;
+    flushed = 0;
+    prev = Metrics.empty_snapshot;
+    last_flush_ms = 0.;
+  }
+
+let interval_ms t = t.interval_ms
+
+let due t ~now_ms = now_ms -. t.last_flush_ms >= t.interval_ms
+
+(* Delta of two sorted association lists: new value minus old (0 when the
+   key is new — keys are never removed from a registry). Both inputs are
+   sorted by key, so one merge pass suffices and the output stays sorted. *)
+let delta_assoc sub is_zero news olds =
+  let rec go news olds acc =
+    match (news, olds) with
+    | [], _ -> List.rev acc
+    | (k, v) :: ns, [] ->
+        go ns [] (if is_zero v then acc else (k, v) :: acc)
+    | (nk, nv) :: ns, (ok, ov) :: os ->
+        let c = compare nk ok in
+        if c = 0 then
+          let d = sub nv ov in
+          go ns os (if is_zero d then acc else (nk, d) :: acc)
+        else if c < 0 then go ns olds (if is_zero nv then acc else (nk, nv) :: acc)
+        else (* a key vanished: impossible for a registry, skip defensively *)
+          go news os acc
+  in
+  go news olds []
+
+let delta_hist (n : Metrics.hist_snap) (o : Metrics.hist_snap) :
+    Metrics.hist_snap =
+  {
+    buckets =
+      List.map2 (fun (ub, a) (_, b) -> (ub, a - b)) n.Metrics.buckets
+        o.Metrics.buckets;
+    count = n.Metrics.count - o.Metrics.count;
+    sum = n.Metrics.sum -. o.Metrics.sum;
+    (* Run max, not window max: the registry keeps no per-window extreme.
+       Only read by percentiles whose rank lands in the overflow bucket. *)
+    hmax = n.Metrics.hmax;
+    overflow = n.Metrics.overflow - o.Metrics.overflow;
+  }
+
+let flush t ~now_ms =
+  let snap = Metrics.snapshot t.metrics in
+  let w =
+    {
+      w_index = t.flushed;
+      w_start_ms = t.last_flush_ms;
+      w_end_ms = now_ms;
+      w_counters =
+        delta_assoc (fun a b -> a - b) (fun v -> v = 0) snap.Metrics.counters
+          t.prev.Metrics.counters;
+      w_gauges = snap.Metrics.gauges;
+      w_hists =
+        delta_assoc delta_hist
+          (fun (h : Metrics.hist_snap) -> h.Metrics.count = 0)
+          snap.Metrics.histograms t.prev.Metrics.histograms;
+    }
+  in
+  t.ring.(t.head) <- Some w;
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  t.count <- min (t.count + 1) (Array.length t.ring);
+  t.flushed <- t.flushed + 1;
+  t.prev <- snap;
+  t.last_flush_ms <- now_ms;
+  w
+
+let windows t =
+  let n = Array.length t.ring in
+  let rec go i acc =
+    if i >= t.count then List.rev acc
+    else
+      let idx = (t.head - 1 - i + (2 * n)) mod n in
+      match t.ring.(idx) with
+      | Some w -> go (i + 1) (w :: acc)
+      | None -> List.rev acc
+  in
+  go 0 []
+
+let last t =
+  if t.count = 0 then None
+  else t.ring.((t.head - 1 + Array.length t.ring) mod Array.length t.ring)
+
+let flushed t = t.flushed
+
+let sum_counter w name =
+  List.fold_left
+    (fun acc ((k : Metrics.key), v) ->
+      if k.Metrics.name = name then acc + v else acc)
+    0 w.w_counters
+
+let sum_hist w name =
+  List.fold_left
+    (fun acc ((k : Metrics.key), s) ->
+      if k.Metrics.name <> name then acc
+      else
+        match acc with
+        | None -> Some s
+        | Some m -> Some (Metrics.merge_snaps m s))
+    None w.w_hists

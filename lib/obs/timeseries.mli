@@ -1,0 +1,66 @@
+(** Windowed time-series over a {!Metrics} registry: the live half of the
+    observability layer.
+
+    A time-series turns the registry's monotone whole-run aggregates into
+    fixed-interval {e windows}: each {!flush} snapshots the registry,
+    subtracts the previous snapshot, and yields a {!window} of per-window
+    {e delta} counters and delta histograms (windowed p50/p95/p99 via the
+    mergeable bucket snapshots) plus current gauge readings. Windows land
+    in a bounded ring, so an hour-long soak holds the last [ring] windows
+    in O(ring) memory while every window was still streamed out the moment
+    it closed.
+
+    Conservation is the contract the tests pin down: summing one key's
+    deltas over {e all} flushed windows (the ring may have evicted early
+    ones, but the stream saw them) reproduces the final run-level counter
+    exactly — nothing is sampled, smoothed or dropped. Zero-delta keys are
+    omitted from a window, which preserves the sums.
+
+    One caveat inherent to delta-ing cumulative histograms: a window's
+    [hmax] is the {e run} maximum observed so far, not the window maximum
+    (the registry keeps no per-window max). Windowed percentiles only
+    touch it when the rank falls in the overflow bucket, where it is an
+    over-approximation in the conservative direction. *)
+
+type window = {
+  w_index : int;  (** 0-based flush sequence number. *)
+  w_start_ms : float;
+  w_end_ms : float;
+  w_counters : (Metrics.key * int) list;
+      (** Per-window increments, nonzero only, sorted by key. *)
+  w_gauges : (Metrics.key * float) list;  (** Current values, not deltas. *)
+  w_hists : (Metrics.key * Metrics.hist_snap) list;
+      (** Per-window delta distributions, nonempty only, sorted by key. *)
+}
+
+type t
+
+val create : ?ring:int -> interval_ms:float -> Metrics.t -> t
+(** [ring] (default 64) bounds the retained windows; [interval_ms] is the
+    nominal flush cadence, used only by {!due} — callers own the clock. *)
+
+val interval_ms : t -> float
+
+val due : t -> now_ms:float -> bool
+(** Has at least one interval elapsed since the last flush (or since
+    creation)? *)
+
+val flush : t -> now_ms:float -> window
+(** Close the current window at [now_ms]: snapshot, delta against the
+    previous snapshot, append to the ring. The caller serializes flushes
+    (the runtime's single telemetry ticker). *)
+
+val windows : t -> window list
+(** Retained windows, oldest first (at most [ring]). *)
+
+val last : t -> window option
+
+val flushed : t -> int
+(** Total windows flushed, including ones the ring evicted. *)
+
+val sum_counter : window -> string -> int
+(** Sum of this window's deltas across every label set of the name. *)
+
+val sum_hist : window -> string -> Metrics.hist_snap option
+(** Merge this window's delta histograms with the name across label sets;
+    [None] when absent (i.e. no sample landed in the window). *)

@@ -6,6 +6,8 @@ module Rng = Mdbs_util.Rng
 module Stats = Mdbs_util.Stats
 module Json = Mdbs_util.Json
 module Obs = Mdbs_obs.Obs
+module Metrics = Mdbs_obs.Metrics
+module Slo = Mdbs_obs.Slo
 module Analysis = Mdbs_analysis.Analysis
 
 type config = {
@@ -27,6 +29,11 @@ type config = {
   obs : Obs.t;
   certify : Runtime.certify_mode;
   cert_checkpoint_every : int;
+  telemetry_out : string option;
+  openmetrics_out : string option;
+  telemetry_interval_ms : float;
+  slos : Slo.spec list;
+  flight_dump : string option;
 }
 
 let config ?(wl = Workload.default) ?(clients = 8) ?(txns_per_client = 25)
@@ -34,12 +41,14 @@ let config ?(wl = Workload.default) ?(clients = 8) ?(txns_per_client = 25)
     ?(atomic_commit = false) ?(capacity = 64) ?(max_active = 64)
     ?(stall_timeout_ms = 250.) ?wound_after_ms ?(tick_ms = 5.) ?shed_parked
     ?shed_blocked ?(obs = Obs.disabled) ?(certify = Runtime.Certify_batch)
-    ?(cert_checkpoint_every = 4096) scheme =
+    ?(cert_checkpoint_every = 4096) ?telemetry_out ?openmetrics_out
+    ?(telemetry_interval_ms = 1000.) ?(slos = []) ?flight_dump scheme =
   if clients < 1 then invalid_arg "Loadgen.config: clients < 1";
   if txns_per_client < 1 then invalid_arg "Loadgen.config: txns_per_client < 1";
   { wl; scheme; clients; txns_per_client; local_fraction; seed; retry;
     atomic_commit; capacity; max_active; stall_timeout_ms; wound_after_ms;
-    tick_ms; shed_parked; shed_blocked; obs; certify; cert_checkpoint_every }
+    tick_ms; shed_parked; shed_blocked; obs; certify; cert_checkpoint_every;
+    telemetry_out; openmetrics_out; telemetry_interval_ms; slos; flight_dump }
 
 type report = {
   scheme_name : string;
@@ -87,7 +96,7 @@ type acc = {
    the first attempt's id as the wound-wait [birth], so a logical
    transaction keeps its seniority across retries and cannot be wounded
    forever. *)
-let run_logical cfg brng ~submit txn acc =
+let run_logical cfg brng ~submit ~retry_of_attempt txn acc =
   let birth = txn.Txn.id in
   let rec go txn k =
     acc.c_attempts <- acc.c_attempts + 1;
@@ -98,6 +107,7 @@ let run_logical cfg brng ~submit txn acc =
         if shed then acc.c_sheds <- acc.c_sheds + 1;
         if k < cfg.retry.Retry.max_attempts && Retry.retryable out then begin
           acc.c_retries <- acc.c_retries + 1;
+          Metrics.inc (retry_of_attempt k);
           let d = Retry.delay_ms cfg.retry brng ~attempt:k ~shed in
           if d > 0. then Thread.delay (d /. 1000.);
           go (Txn.with_id txn (Types.fresh_tid ())) (k + 1)
@@ -110,7 +120,7 @@ let run_logical cfg brng ~submit txn acc =
    perturbs the generated transaction sequence. Latencies land in a
    preallocated per-client array, end to end across all attempts of the
    logical transaction. *)
-let client_loop rt cfg rng brng lat acc =
+let client_loop rt cfg rng brng lat acc ~retry_of_attempt =
   for i = 0 to cfg.txns_per_client - 1 do
     let local =
       cfg.local_fraction > 0. && Rng.float rng 1.0 < cfg.local_fraction
@@ -120,11 +130,13 @@ let client_loop rt cfg rng brng lat acc =
        let sid = Rng.int rng cfg.wl.Workload.m in
        run_logical cfg brng
          ~submit:(fun ~birth:_ t -> Runtime.submit_local rt t)
+         ~retry_of_attempt
          (Workload.local_txn rng cfg.wl sid)
          acc
      else
        run_logical cfg brng
          ~submit:(fun ~birth t -> Runtime.submit_global rt ~birth t)
+         ~retry_of_attempt
          (Workload.global_txn rng cfg.wl)
          acc);
     lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.
@@ -140,8 +152,14 @@ let run cfg =
          ?shed_parked:cfg.shed_parked ?shed_blocked:cfg.shed_blocked
          ~obs:cfg.obs ~certify:cfg.certify
          ~cert_checkpoint_every:cfg.cert_checkpoint_every
+         ?telemetry_out:cfg.telemetry_out ?openmetrics_out:cfg.openmetrics_out
+         ~telemetry_interval_ms:cfg.telemetry_interval_ms ~slos:cfg.slos
+         ?flight_dump:cfg.flight_dump
          ~scheme:(Registry.make cfg.scheme)
          ~sites ())
+  in
+  let retry_of_attempt =
+    Retry.attempt_counters cfg.obs.Obs.metrics cfg.retry
   in
   let master = Rng.create cfg.seed in
   let t0 = Unix.gettimeofday () in
@@ -156,7 +174,9 @@ let run cfg =
           { c_committed = 0; c_attempts = 0; c_retries = 0; c_sheds = 0 }
         in
         let th =
-          Thread.create (fun () -> client_loop rt cfg rng brng lat acc) ()
+          Thread.create
+            (fun () -> client_loop rt cfg rng brng lat acc ~retry_of_attempt)
+            ()
         in
         (th, lat, acc))
   in
@@ -215,7 +235,7 @@ let run cfg =
     run = res;
   }
 
-let report_to_json r =
+let report_to_json ?profile r =
   Json.Obj
     [
       ("scheme", Json.Str r.scheme_name);
@@ -253,6 +273,21 @@ let report_to_json r =
         match r.run.Runtime.live with
         | Some s -> Live_cert.summary_to_json s
         | None -> Json.Null );
+      ( "slo",
+        match r.run.Runtime.slo with
+        | Some s -> Slo.summary_to_json s
+        | None -> Json.Null );
+      ( "flight_dumps",
+        Json.List
+          (List.map
+             (fun (reason, path) ->
+               Json.Obj
+                 [ ("reason", Json.Str reason); ("path", Json.Str path) ])
+             r.run.Runtime.flight_dumps) );
+      ( "profile",
+        match profile with
+        | Some p when Mdbs_obs.Profile.enabled p -> Mdbs_obs.Profile.to_json p
+        | _ -> Json.Null );
     ]
 
 let print_report ppf r =
@@ -278,7 +313,7 @@ let print_report ppf r =
             (fun (c, n) -> Format.fprintf ppf " %s=%d" c n)
             causes)
     r.abort_causes;
-  match r.run.Runtime.live with
+  (match r.run.Runtime.live with
   | None -> ()
   | Some s ->
       let st = s.Live_cert.stats in
@@ -290,4 +325,18 @@ let print_report ppf r =
         st.Mdbs_analysis.Incremental.peak_live_txns
         st.Mdbs_analysis.Incremental.stable_csr
         st.Mdbs_analysis.Incremental.stable_t2
-        st.Mdbs_analysis.Incremental.live_edges
+        st.Mdbs_analysis.Incremental.live_edges);
+  match r.run.Runtime.slo with
+  | None -> ()
+  | Some s ->
+      Format.fprintf ppf "@[<v>slo: %s%a@]@."
+        (Slo.verdict_to_string s.Slo.worst)
+        (fun ppf objectives ->
+          List.iter
+            (fun o ->
+              Format.fprintf ppf "@,  %s — %s (%d/%d bad windows, %d breach)"
+                o.Slo.o_spec.Slo.src
+                (Slo.verdict_to_string o.Slo.o_worst)
+                o.Slo.o_bad o.Slo.o_windows o.Slo.o_breaches)
+            objectives)
+        s.Slo.objectives

@@ -42,6 +42,11 @@ type config = {
   obs : Mdbs_obs.Obs.t;
   certify : Runtime.certify_mode;
   cert_checkpoint_every : int;
+  telemetry_out : string option;  (** See {!Runtime.config}. *)
+  openmetrics_out : string option;
+  telemetry_interval_ms : float;
+  slos : Mdbs_obs.Slo.spec list;
+  flight_dump : string option;
 }
 
 val config :
@@ -62,13 +67,18 @@ val config :
   ?obs:Mdbs_obs.Obs.t ->
   ?certify:Runtime.certify_mode ->
   ?cert_checkpoint_every:int ->
+  ?telemetry_out:string ->
+  ?openmetrics_out:string ->
+  ?telemetry_interval_ms:float ->
+  ?slos:Mdbs_obs.Slo.spec list ->
+  ?flight_dump:string ->
   Mdbs_core.Registry.kind ->
   config
 (** Defaults: the {!Mdbs_sim.Workload.default} mix, 8 clients, 25
     transactions each, no locals, seed 42, {!Retry.default} (4 attempts —
     pass {!Retry.off} to disable), no 2PC, capacity 64, max_active 64,
     stall timeout 250 ms, tick 5 ms, runtime-default wound window and shed
-    bounds, observability off, batch-only certification. *)
+    bounds, observability off, batch-only certification, telemetry off. *)
 
 type report = {
   scheme_name : string;
@@ -103,6 +113,9 @@ type report = {
 
 val run : config -> report
 
-val report_to_json : report -> Mdbs_util.Json.t
+val report_to_json : ?profile:Mdbs_obs.Profile.t -> report -> Mdbs_util.Json.t
+(** [?profile] (an enabled wall-clock profile) adds its timer report as a
+    [profile] object; the SLO summary and flight-recorder dumps from
+    [r.run] are always included ([null] / [\[\]] when not configured). *)
 
 val print_report : Format.formatter -> report -> unit

@@ -34,3 +34,22 @@ let delay_ms p rng ~attempt ~shed =
     let window = if shed then Float.min (2. *. p.cap_ms) (2. *. window) else window in
     Rng.float rng window
   end
+
+module Metrics = Mdbs_obs.Metrics
+
+(* Preregistered (registration from client threads would race each other
+   without going through the registry lock per event — and would allocate
+   labels on the hot path): one counter per retry round. Round k is the
+   retry issued after failed attempt k, so rounds run 1 .. max_attempts-1. *)
+let attempt_counters metrics p =
+  let n = p.max_attempts - 1 in
+  if n < 1 then fun _ -> Metrics.counter Metrics.null "svc_retries_total"
+  else begin
+    let ctrs =
+      Array.init n (fun i ->
+          Metrics.counter metrics
+            ~labels:[ ("attempt", string_of_int (i + 1)) ]
+            "svc_retries_total")
+    in
+    fun k -> ctrs.(min (max k 1) n - 1)
+  end

@@ -36,3 +36,12 @@ val delay_ms : policy -> Mdbs_util.Rng.t -> attempt:int -> shed:bool -> float
     (1-based) just failed: uniform in [\[0, min(cap, base·2^(attempt-1)))]
     (full jitter). [~shed:true] doubles the window (up to twice the cap) —
     a shed means the runtime is overloaded, so back off harder. *)
+
+val attempt_counters :
+  Mdbs_obs.Metrics.t -> policy -> int -> Mdbs_obs.Metrics.counter
+(** [attempt_counters metrics p] preregisters one
+    [svc_retries_total{attempt=k}] counter per retry round
+    (k = 1 .. max_attempts-1, the failed attempt the retry follows) and
+    returns the round → counter lookup — allocation-free and thread-safe
+    on the bump path, so backoff effectiveness is visible per round
+    instead of only as a single total. *)

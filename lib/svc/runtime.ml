@@ -8,6 +8,10 @@ module Engine = Mdbs_core.Engine
 module Obs = Mdbs_obs.Obs
 module Sink = Mdbs_obs.Sink
 module Metrics = Mdbs_obs.Metrics
+module Timeseries = Mdbs_obs.Timeseries
+module Export = Mdbs_obs.Export
+module Slo = Mdbs_obs.Slo
+module Flight = Mdbs_obs.Flight
 module Trace = Mdbs_analysis.Trace
 module Analysis = Mdbs_analysis.Analysis
 module Incremental = Mdbs_analysis.Incremental
@@ -28,12 +32,19 @@ type config = {
   obs : Obs.t;
   certify : certify_mode;
   cert_checkpoint_every : int;
+  telemetry_out : string option;
+  openmetrics_out : string option;
+  telemetry_interval_ms : float;
+  slos : Slo.spec list;
+  flight_dump : string option;
 }
 
 let config ?(atomic_commit = false) ?(capacity = 64) ?(max_active = 64)
     ?(stall_timeout_ms = 250.) ?wound_after_ms ?(tick_ms = 5.) ?shed_parked
     ?shed_blocked ?(obs = Obs.disabled) ?(certify = Certify_batch)
-    ?(cert_checkpoint_every = 4096) ~scheme ~sites () =
+    ?(cert_checkpoint_every = 4096) ?telemetry_out ?openmetrics_out
+    ?(telemetry_interval_ms = 1000.) ?(slos = []) ?flight_dump ~scheme ~sites
+    () =
   if capacity < 1 then invalid_arg "Runtime.config: capacity < 1";
   if max_active < 1 then invalid_arg "Runtime.config: max_active < 1";
   if cert_checkpoint_every < 1 then
@@ -56,9 +67,12 @@ let config ?(atomic_commit = false) ?(capacity = 64) ?(max_active = 64)
   in
   if shed_parked < 1 then invalid_arg "Runtime.config: shed_parked < 1";
   if shed_blocked < 1 then invalid_arg "Runtime.config: shed_blocked < 1";
+  if telemetry_interval_ms <= 0. then
+    invalid_arg "Runtime.config: telemetry_interval_ms <= 0";
   { scheme; sites; atomic_commit; capacity; max_active; stall_timeout_ms;
     wound_after_ms; tick_ms; shed_parked; shed_blocked; obs; certify;
-    cert_checkpoint_every }
+    cert_checkpoint_every; telemetry_out; openmetrics_out;
+    telemetry_interval_ms; slos; flight_dump }
 
 type msg =
   | Admit of { txn : Txn.t; birth : int; promise : Outcome.t Promise.t }
@@ -116,6 +130,23 @@ type result = {
   ser_waits : int;
   engine_steps : int;
   scheme_steps : int;
+  slo : Slo.summary option;
+  flight_dumps : (string * string) list;
+}
+
+(* Live-telemetry state, owned by the ticker thread (window flushes) with
+   a final flush from {!shutdown} after every domain joined — [tl_lock]
+   serializes the two. Flushing takes only the Metrics registration lock
+   (inside {!Metrics.snapshot}); it never touches sink_mutex or the sched
+   lock, so no ordering with them arises. *)
+type telem = {
+  tl_ts : Timeseries.t;
+  tl_slo : Slo.t option;
+  tl_jsonl : out_channel option;
+  tl_om_path : string option;
+  tl_metrics : Metrics.t;
+  tl_lock : Mutex.t;
+  mutable tl_breach_dumped : bool;
 }
 
 (* Everything both the GTM domain and the client-facing API touch. All
@@ -162,6 +193,10 @@ type shared = {
   m_inbox_depth : Metrics.gauge;
   m_active_peak : Metrics.gauge;
   m_batch_peak : Metrics.gauge;
+  m_response : Mdbs_util.Stats.histogram;
+  telem : telem option;
+  flight : Flight.t;
+  cert_dump_fired : bool Atomic.t;
 }
 
 (* What the GTM domain hands back when it exits. *)
@@ -200,6 +235,9 @@ type gst = {
   ser_log : Ser_schedule.t;
   promises : (Types.tid, Outcome.t Promise.t) Hashtbl.t;
   births : (Types.gid, int) Hashtbl.t;
+  admit_times : (Types.gid, float) Hashtbl.t;
+      (* admission clock stamp, single-writer (GTM domain): feeds the
+         svc_response_ms histogram at finish *)
   pending_ser : (Types.sid * Types.gid, float) Hashtbl.t;
   pending_direct : (Types.sid * Types.gid, float) Hashtbl.t;
   inflight : (int, inflight) Hashtbl.t;
@@ -239,6 +277,47 @@ let bump_cause sh cause =
   match List.assoc_opt cause sh.m_abort_cause with
   | Some c -> Metrics.inc c
   | None -> ()
+
+(* Close one telemetry window: stream the JSONL line, atomically rewrite
+   the OpenMetrics exposition (cumulative snapshot), evaluate the SLOs,
+   and dump the flight recorder on the first breach. Called from the
+   ticker while the run is live and once more from {!shutdown} after all
+   domains joined, so the last window's sums complete the conservation
+   identity (windowed deltas add up to the final counters). *)
+let telem_flush sh ~now_ms =
+  match sh.telem with
+  | None -> ()
+  | Some tl ->
+      Mutex.lock tl.tl_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock tl.tl_lock)
+        (fun () ->
+          let w = Timeseries.flush tl.tl_ts ~now_ms in
+          (match tl.tl_jsonl with
+          | Some oc ->
+              output_string oc (Export.window_to_jsonl w);
+              output_char oc '\n';
+              flush oc
+          | None -> ());
+          (match tl.tl_om_path with
+          | Some path ->
+              Export.write_atomic ~path
+                (Export.to_openmetrics (Metrics.snapshot tl.tl_metrics))
+          | None -> ());
+          Flight.record sh.flight ~ts_ms:now_ms ~track:0 ~name:"telemetry.window"
+            [ ("window", string_of_int w.Timeseries.w_index) ];
+          match tl.tl_slo with
+          | None -> ()
+          | Some slo ->
+              let evals = Slo.observe slo w in
+              if
+                (not tl.tl_breach_dumped)
+                && List.exists (fun e -> e.Slo.verdict = Slo.Breach) evals
+              then begin
+                tl.tl_breach_dumped <- true;
+                ignore
+                  (Flight.trigger sh.flight ~ts_ms:now_ms ~reason:"slo-breach")
+              end)
 
 let now g = Clock.now_ms g.sh'.clock
 
@@ -346,6 +425,9 @@ let admit_now g txn birth promise =
   else begin
   Hashtbl.replace g.promises gid promise;
   Hashtbl.replace g.births gid birth;
+  Hashtbl.replace g.admit_times gid (now g);
+  Flight.record g.sh'.flight ~ts_ms:(now g) ~track:0 ~name:"txn.admit"
+    [ ("gid", string_of_int gid) ];
   if g.sh'.retain_audit then
     g.globals_rev <- (gid, Txn.sites txn) :: g.globals_rev;
   cert_feed g [ Incremental.Global (gid, Txn.sites txn) ];
@@ -404,6 +486,21 @@ let finish_txn g gid progressed =
         Metrics.inc g.sh'.m_aborted;
         bump_cause g.sh' (cause_of_reason reason)
     | Outcome.Shed -> assert false (* sheds never reach admission *));
+    (match Hashtbl.find_opt g.admit_times gid with
+    | Some t0 ->
+        Hashtbl.remove g.admit_times gid;
+        Metrics.observe g.sh'.m_response (now g -. t0)
+    | None -> ());
+    Flight.record g.sh'.flight ~ts_ms:(now g) ~track:0
+      ~name:
+        (match final with
+        | Outcome.Committed -> "txn.commit"
+        | _ -> "txn.abort")
+      (( "gid", string_of_int gid )
+      ::
+      (match final with
+      | Outcome.Aborted reason -> [ ("reason", reason) ]
+      | _ -> []));
     Atomic.decr g.sh'.a_active;
     with_sink g (fun sink ->
         match Hashtbl.find_opt g.txn_spans gid with
@@ -546,6 +643,12 @@ let handle_reply g progressed = function
             ~track:(Sink.site_track sink sid)
             ~attrs:[ ("in_doubt", string_of_int (List.length in_doubt)) ]
             "svc.site_crash");
+      Flight.record g.sh'.flight ~ts_ms:(now g) ~track:(1 + sid)
+        ~name:"site.crash"
+        [ ("in_doubt", string_of_int (List.length in_doubt)) ];
+      ignore
+        (Flight.trigger g.sh'.flight ~ts_ms:(now g)
+           ~reason:(Printf.sprintf "site-%d-crash" sid));
       (* Prepared participants survived in doubt: resolve them with the
          coordinator's decision record. *)
       List.iter
@@ -653,6 +756,8 @@ let stall_kill g =
   | None -> false
   | Some victim ->
       Atomic.incr g.sh'.a_stall_kills;
+      Flight.record g.sh'.flight ~ts_ms:(now g) ~track:0 ~name:"txn.stall_kill"
+        [ ("victim", string_of_int victim) ];
       kill_global g victim ~reason:"stall-timeout";
       true
 
@@ -690,14 +795,22 @@ let on_tick g =
       Wound.decide ~now:(now g) ~wound_after_ms:g.sh'.cfg_wound_ms
         ~deadline_ms:g.sh'.cfg_stall_ms ~waiters ~residents
     with
-    | Wound.Wound { wounder = _; victim } ->
+    | Wound.Wound { wounder; victim } ->
         Atomic.incr g.sh'.a_wounds;
         Atomic.incr g.sh'.a_force;
         Metrics.inc g.sh'.m_force;
+        Flight.record g.sh'.flight ~ts_ms:(now g) ~track:0 ~name:"txn.wound"
+          [
+            ("victim", string_of_int victim);
+            ("wounder", string_of_int wounder);
+          ];
         kill_global g victim ~reason:"wound";
         progress g
     | Wound.Timeout victim ->
         Atomic.incr g.sh'.a_stall_kills;
+        Flight.record g.sh'.flight ~ts_ms:(now g) ~track:0
+          ~name:"txn.stall_kill"
+          [ ("victim", string_of_int victim) ];
         kill_global g victim ~reason:"stall-deadline";
         progress g
     | Wound.No_kill ->
@@ -774,6 +887,8 @@ let handle_batch g msgs =
           then begin
             Atomic.incr g.sh'.a_sheds;
             bump_cause g.sh' "shed";
+            Flight.record g.sh'.flight ~ts_ms:(now g) ~track:0 ~name:"txn.shed"
+              [ ("gid", string_of_int txn.Txn.id) ];
             Promise.fulfill promise Outcome.Shed
           end
           else if Atomic.get g.sh'.a_active < g.sh'.cfg_max_active then
@@ -804,6 +919,7 @@ let gtm_loop sh worker_of =
       ser_log = Ser_schedule.create ();
       promises = Hashtbl.create 64;
       births = Hashtbl.create 64;
+      admit_times = Hashtbl.create 64;
       pending_ser = Hashtbl.create 16;
       pending_direct = Hashtbl.create 16;
       inflight = Hashtbl.create 32;
@@ -948,6 +1064,30 @@ let start (cfg : config) =
       m_inbox_depth = Metrics.gauge obs.Obs.metrics ~labels "svc_inbox_depth_max";
       m_active_peak = Metrics.gauge obs.Obs.metrics ~labels "svc_active_peak";
       m_batch_peak = Metrics.gauge obs.Obs.metrics ~labels "svc_batch_peak";
+      m_response = Metrics.histogram obs.Obs.metrics ~labels "svc_response_ms";
+      telem =
+        (if
+           cfg.telemetry_out = None && cfg.openmetrics_out = None
+           && cfg.slos = []
+         then None
+         else
+           Some
+             {
+               tl_ts =
+                 Timeseries.create ~interval_ms:cfg.telemetry_interval_ms
+                   obs.Obs.metrics;
+               tl_slo =
+                 (match cfg.slos with
+                 | [] -> None
+                 | specs -> Some (Slo.create specs));
+               tl_jsonl = Option.map open_out cfg.telemetry_out;
+               tl_om_path = cfg.openmetrics_out;
+               tl_metrics = obs.Obs.metrics;
+               tl_lock = Mutex.create ();
+               tl_breach_dumped = false;
+             });
+      flight = Flight.create ~dir:cfg.flight_dump ();
+      cert_dump_fired = Atomic.make false;
     }
   in
   let reply rs = ignore (Mailbox.put_urgent inbox (Replies rs)) in
@@ -1003,7 +1143,24 @@ let start (cfg : config) =
           if Atomic.get sh.pending_ticks = 0 then begin
             Atomic.incr sh.pending_ticks;
             ignore (Mailbox.put_urgent inbox Tick)
-          end
+          end;
+          (* Telemetry piggybacks on the same heartbeat: window flushes
+             and the cert-violation flight trigger both run here, off the
+             GTM hot path. *)
+          (match sh.telem with
+          | Some tl when Timeseries.due tl.tl_ts ~now_ms:(Clock.now_ms clock)
+            ->
+              telem_flush sh ~now_ms:(Clock.now_ms clock)
+          | _ -> ());
+          if Flight.enabled sh.flight && not (Atomic.get sh.cert_dump_fired)
+          then
+            match sh.live_cert with
+            | Some lc when Live_cert.violated lc ->
+                Atomic.set sh.cert_dump_fired true;
+                ignore
+                  (Flight.trigger sh.flight ~ts_ms:(Clock.now_ms clock)
+                     ~reason:"cert-violation")
+            | _ -> ()
         done)
       ()
   in
@@ -1122,6 +1279,14 @@ let shutdown t =
           ~ser_events:cap.cap_ser_events
           (List.map Local_dbms.schedule dbms_list)
       in
+      (* Workers, GTM and ticker joined: every producer has quiesced, so
+         one last flush closes the final (partial) window and completes
+         the conservation identity — windowed sums now equal the final
+         run-level counters. *)
+      telem_flush t.sh ~now_ms:elapsed_ms;
+      (match t.sh.telem with
+      | Some { tl_jsonl = Some oc; _ } -> close_out_noerr oc
+      | _ -> ());
       (* Workers and GTM joined: every producer has quiesced. *)
       let live = Option.map Live_cert.stop t.sh.live_cert in
       let analysis = Analysis.analyze trace in
@@ -1130,6 +1295,14 @@ let shutdown t =
         | None -> true
         | Some s -> (not s.Live_cert.violated) && s.Live_cert.chain_ok
       in
+      (* A violation the ticker's poll never saw (e.g. detected in the
+         drain's last events) still deserves its black box. *)
+      if (not live_ok) && not (Atomic.get t.sh.cert_dump_fired) then begin
+        Atomic.set t.sh.cert_dump_fired true;
+        ignore
+          (Flight.trigger t.sh.flight ~ts_ms:elapsed_ms
+             ~reason:"cert-violation")
+      end;
       let wait_insertions, ser_waits, engine_steps, scheme_steps =
         Gtm_sched.with_engine t.sh.sched (fun e ->
             ( Engine.total_wait_insertions e,
@@ -1150,6 +1323,11 @@ let shutdown t =
           ser_waits;
           engine_steps;
           scheme_steps;
+          slo =
+            (match t.sh.telem with
+            | Some { tl_slo = Some s; _ } -> Some (Slo.summary s)
+            | _ -> None);
+          flight_dumps = Flight.dumps t.sh.flight;
         }
       in
       t.shutdown_memo <- Some r;

@@ -97,6 +97,20 @@ type config = {
   certify : certify_mode;
   cert_checkpoint_every : int;
       (** Events per rolling checkpoint of the live certifier. *)
+  telemetry_out : string option;
+      (** JSONL time-series file: one line per closed telemetry window
+          (tail-able while the run is live). *)
+  openmetrics_out : string option;
+      (** OpenMetrics text exposition, atomically rewritten per window. *)
+  telemetry_interval_ms : float;  (** Window length (default 1000 ms). *)
+  slos : Mdbs_obs.Slo.spec list;
+      (** Objectives evaluated against every window with burn-rate
+          verdicts; the run summary lands in [result.slo]. *)
+  flight_dump : string option;
+      (** Flight-recorder dump directory: a Chrome-trace black box of the
+          last ~10 s is written there on a live-certification violation,
+          a site crash, or the first SLO breach. [None] disables the
+          recorder entirely. *)
 }
 
 val config :
@@ -111,6 +125,11 @@ val config :
   ?obs:Mdbs_obs.Obs.t ->
   ?certify:certify_mode ->
   ?cert_checkpoint_every:int ->
+  ?telemetry_out:string ->
+  ?openmetrics_out:string ->
+  ?telemetry_interval_ms:float ->
+  ?slos:Mdbs_obs.Slo.spec list ->
+  ?flight_dump:string ->
   scheme:Mdbs_core.Scheme.t ->
   sites:Mdbs_site.Local_dbms.t list ->
   unit ->
@@ -118,7 +137,8 @@ val config :
 (** Defaults: no 2PC, capacity 64, max_active 64, stall timeout 250 ms,
     wound window [max (4 * tick_ms) 20] ms, tick 5 ms, shedding at
     [8 * max_active] parked / [max_active] site-blocked, observability
-    disabled, [Certify_batch], checkpoint every 4096 events. *)
+    disabled, [Certify_batch], checkpoint every 4096 events, telemetry off
+    (no outputs, 1 s windows, no SLOs, flight recorder disabled). *)
 
 type t
 
@@ -168,6 +188,12 @@ type result = {
   ser_waits : int;
   engine_steps : int;
   scheme_steps : int;
+  slo : Mdbs_obs.Slo.summary option;
+      (** Per-objective burn-rate summary when [slos] were configured;
+          [worst = Breach] is the signal the CLI maps to its SLO exit
+          code. *)
+  flight_dumps : (string * string) list;
+      (** [(reason, path)] of every flight-recorder dump the run wrote. *)
 }
 
 val start : config -> t

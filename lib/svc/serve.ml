@@ -25,6 +25,11 @@ type config = {
   obs : Obs.t;
   certify : Runtime.certify_mode;
   cert_checkpoint_every : int;
+  telemetry_out : string option;
+  openmetrics_out : string option;
+  telemetry_interval_ms : float;
+  slos : Mdbs_obs.Slo.spec list;
+  flight_dump : string option;
 }
 
 let config ?(wl = Workload.default) ?(rate = 200.) ?(duration_s = 5.)
@@ -32,13 +37,16 @@ let config ?(wl = Workload.default) ?(rate = 200.) ?(duration_s = 5.)
     ?(atomic_commit = false) ?(capacity = 64) ?(max_active = 64)
     ?(stall_timeout_ms = 250.) ?wound_after_ms ?(tick_ms = 5.) ?shed_parked
     ?shed_blocked ?(report_every_s = 1.) ?(obs = Obs.disabled)
-    ?(certify = Runtime.Certify_batch) ?(cert_checkpoint_every = 4096) scheme =
+    ?(certify = Runtime.Certify_batch) ?(cert_checkpoint_every = 4096)
+    ?telemetry_out ?openmetrics_out ?(telemetry_interval_ms = 1000.)
+    ?(slos = []) ?flight_dump scheme =
   if rate <= 0. then invalid_arg "Serve.config: rate <= 0";
   if duration_s <= 0. then invalid_arg "Serve.config: duration <= 0";
   { wl; scheme; rate; duration_s; local_fraction; seed; retry; atomic_commit;
     capacity; max_active; stall_timeout_ms; wound_after_ms; tick_ms;
     shed_parked; shed_blocked; report_every_s; obs; certify;
-    cert_checkpoint_every }
+    cert_checkpoint_every; telemetry_out; openmetrics_out;
+    telemetry_interval_ms; slos; flight_dump }
 
 type summary = {
   offered : int;
@@ -92,8 +100,14 @@ let run ?(quiet = false) cfg =
          ?shed_parked:cfg.shed_parked ?shed_blocked:cfg.shed_blocked
          ~obs:cfg.obs ~certify:cfg.certify
          ~cert_checkpoint_every:cfg.cert_checkpoint_every
+         ?telemetry_out:cfg.telemetry_out ?openmetrics_out:cfg.openmetrics_out
+         ~telemetry_interval_ms:cfg.telemetry_interval_ms ~slos:cfg.slos
+         ?flight_dump:cfg.flight_dump
          ~scheme:(Registry.make cfg.scheme)
          ~sites ())
+  in
+  let retry_of_attempt =
+    Retry.attempt_counters cfg.obs.Obs.metrics cfg.retry
   in
   let rng = Rng.create cfg.seed in
   (* Derived before [rng] advances, so the arrival/workload stream is the
@@ -139,6 +153,7 @@ let run ?(quiet = false) cfg =
               && Retry.retryable out
             then begin
               incr retries;
+              Mdbs_obs.Metrics.inc (retry_of_attempt p.p_attempt);
               let d =
                 Retry.delay_ms cfg.retry brng ~attempt:p.p_attempt
                   ~shed:is_shed

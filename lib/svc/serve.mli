@@ -46,6 +46,11 @@ type config = {
   obs : Mdbs_obs.Obs.t;
   certify : Runtime.certify_mode;
   cert_checkpoint_every : int;
+  telemetry_out : string option;  (** See {!Runtime.config}. *)
+  openmetrics_out : string option;
+  telemetry_interval_ms : float;
+  slos : Mdbs_obs.Slo.spec list;
+  flight_dump : string option;
 }
 
 val config :
@@ -67,14 +72,19 @@ val config :
   ?obs:Mdbs_obs.Obs.t ->
   ?certify:Runtime.certify_mode ->
   ?cert_checkpoint_every:int ->
+  ?telemetry_out:string ->
+  ?openmetrics_out:string ->
+  ?telemetry_interval_ms:float ->
+  ?slos:Mdbs_obs.Slo.spec list ->
+  ?flight_dump:string ->
   Mdbs_core.Registry.kind ->
   config
 (** Defaults: default workload, 200 arrivals/s offered, 5 s, no locals,
     seed 42, {!Retry.default} (pass {!Retry.off} to disable), no 2PC,
     capacity 64, max_active 64, stall 250 ms, tick 5 ms, runtime-default
     wound window and shed bounds, report every second, batch-only
-    certification. When live certification is on, each progress line
-    carries the streaming verdict so far. *)
+    certification, telemetry off. When live certification is on, each
+    progress line carries the streaming verdict so far. *)
 
 type summary = {
   offered : int;  (** Arrivals generated. *)

@@ -49,6 +49,46 @@ let rec pp ppf = function
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* One-line rendering for line-oriented streams (JSONL): same number and
+   escaping rules as [pp], no layout. *)
+let to_string_compact t =
+  let buf = Buffer.create 256 in
+  let add = Buffer.add_string buf in
+  let rec go = function
+    | Null -> add "null"
+    | Bool b -> add (string_of_bool b)
+    | Int i -> add (string_of_int i)
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          add (Printf.sprintf "%.1f" f)
+        else add (Printf.sprintf "%.6g" f)
+    | Str s ->
+        add "\"";
+        add (escape s);
+        add "\""
+    | List items ->
+        add "[";
+        List.iteri
+          (fun i v ->
+            if i > 0 then add ",";
+            go v)
+          items;
+        add "]"
+    | Obj fields ->
+        add "{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then add ",";
+            add "\"";
+            add (escape k);
+            add "\":";
+            go v)
+          fields;
+        add "}"
+  in
+  go t;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------- parsing *)
 
 exception Parse_error of string

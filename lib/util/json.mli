@@ -21,6 +21,10 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val to_string_compact : t -> string
+(** One line, no layout whitespace — for line-oriented streams (JSONL,
+    e.g. the telemetry window log) where one document is one line. *)
+
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document. Numbers without a fraction or exponent
     parse as [Int] (falling back to [Float] beyond [int] range), everything

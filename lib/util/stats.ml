@@ -82,6 +82,8 @@ let hist_count h = h.total
 
 let hist_sum h = h.sum
 
+let hist_overflow h = h.counts.(Array.length h.bounds)
+
 let hist_mean h = if h.total = 0 then 0.0 else h.sum /. float_of_int h.total
 
 let hist_max h = if h.total = 0 then 0.0 else h.hmax

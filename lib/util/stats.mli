@@ -44,6 +44,11 @@ val hist_count : histogram -> int
 
 val hist_sum : histogram -> float
 
+val hist_overflow : histogram -> int
+(** Samples above the last bucket edge (the overflow slot's count).
+    Outlier-heavy distributions show up here instead of silently skewing
+    the top bucket; {!hist_merge} sums it like any other slot. *)
+
 val hist_mean : histogram -> float
 
 val hist_max : histogram -> float

@@ -1,0 +1,45 @@
+(* CI helper: validate an OpenMetrics exposition file (and optionally a
+   telemetry JSONL file) written by a real run.
+
+     telemetry_check.exe METRICS.om [WINDOWS.jsonl]
+
+   Exits 1 with a diagnostic when the exposition fails the format checker
+   or a JSONL line fails to parse / carries no window object. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error m -> fail "%s" m in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let check_openmetrics path =
+  match Mdbs_obs.Export.validate (read_file path) with
+  | Ok () -> Printf.printf "%s: valid OpenMetrics\n" path
+  | Error msg -> fail "%s: %s" path msg
+
+let check_jsonl path =
+  let ic = try open_in path with Sys_error m -> fail "%s" m in
+  let n = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr n;
+       match Mdbs_util.Json.of_string line with
+       | Error msg -> fail "%s:%d: %s" path !n msg
+       | Ok w ->
+           if Mdbs_util.Json.member "window" w = None then
+             fail "%s:%d: not a telemetry window" path !n
+     done
+   with End_of_file -> close_in ic);
+  if !n = 0 then fail "%s: no telemetry windows" path;
+  Printf.printf "%s: %d valid windows\n" path !n
+
+let () =
+  match Sys.argv with
+  | [| _; om |] -> check_openmetrics om
+  | [| _; om; jsonl |] ->
+      check_openmetrics om;
+      check_jsonl jsonl
+  | _ -> fail "usage: telemetry_check METRICS.om [WINDOWS.jsonl]"
