@@ -91,6 +91,76 @@ let export_obs (trace_out, metrics_json, metrics, profile) obs =
   if profile then
     print_endline (Mdbs_obs.Profile.to_string obs.Obs.profile)
 
+(* ---------------------------------------------------------- backend flags *)
+
+module Lsm = Mdbs_storage_lsm.Lsm
+
+(* Shared by des/chaos/serve/loadgen: choose the site storage engine. *)
+let backend_flags =
+  let backend =
+    Arg.(value & opt (enum [ ("mem", `Mem); ("lsm", `Lsm) ]) `Mem
+         & info [ "backend" ] ~docv:"ENGINE"
+             ~doc:"Site storage engine: $(b,mem) (volatile hashtable with a \
+                   logical WAL) or $(b,lsm) (persistent LSM tree — \
+                   memtable, leveled SSTables, group-commit WAL — rooted \
+                   at $(b,--data-dir), one subdirectory per site).")
+  in
+  let data_dir =
+    Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Root directory for $(b,--backend lsm) site data. Reusing a \
+                 directory recovers its state (manifest + WAL replay). \
+                 Default: a fresh directory under the system temp dir.")
+  in
+  let memtable =
+    Arg.(value & opt (some int) None & info [ "lsm-memtable" ] ~docv:"N"
+           ~doc:"LSM memtable flush watermark, in distinct buffered items \
+                 (default 1024). Lower it below the working-set size to \
+                 force SSTable flushes and compactions.")
+  in
+  let cache =
+    Arg.(value & opt (some int) None & info [ "lsm-cache" ] ~docv:"N"
+           ~doc:"LSM block-cache capacity, in blocks (default 64).")
+  in
+  Term.(
+    const (fun backend data_dir memtable cache ->
+        (backend, data_dir, memtable, cache))
+    $ backend $ data_dir $ memtable $ cache)
+
+let fresh_data_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mdbs-lsm-%d-%06x" (Unix.getpid ())
+         (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF))
+  in
+  Lsm.mkdir_p dir;
+  Printf.eprintf "backend lsm: site data under %s\n%!" dir;
+  dir
+
+(* Resolve the flag tuple into what Workload.config carries. *)
+let resolve_backend (backend, data_dir, memtable, cache) =
+  let lsm_params =
+    match (memtable, cache) with
+    | None, None -> None
+    | _ ->
+        Some
+          {
+            Lsm.default_params with
+            Lsm.memtable_entries =
+              Option.value memtable
+                ~default:Lsm.default_params.Lsm.memtable_entries;
+            cache_blocks =
+              Option.value cache ~default:Lsm.default_params.Lsm.cache_blocks;
+          }
+  in
+  match backend with
+  | `Mem -> (`Mem, lsm_params)
+  | `Lsm ->
+      let dir =
+        match data_dir with Some d -> d | None -> fresh_data_dir ()
+      in
+      (`Lsm dir, lsm_params)
+
 (* -------------------------------------------------------- telemetry flags *)
 
 let slo_conv =
@@ -298,7 +368,8 @@ let des_cmd =
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.") in
   let run kind m n_global latency_ms service_ms seed atomic_commit faults json
-      obsf =
+      obsf backf =
+    let backend, lsm_params = resolve_backend backf in
     let fault_plan =
       match faults with
       | None -> Mdbs_sim.Fault.none
@@ -320,7 +391,7 @@ let des_cmd =
         seed;
         atomic_commit;
         faults = fault_plan;
-        workload = { Workload.default with m };
+        workload = { Workload.default with m; backend; lsm_params };
         obs;
       }
     in
@@ -334,7 +405,7 @@ let des_cmd =
   Cmd.v (Cmd.info "des" ~doc)
     Term.(
       const run $ scheme $ sites $ globals $ latency $ service $ seed $ atomic
-      $ faults $ json $ obs_flags)
+      $ faults $ json $ obs_flags $ backend_flags)
 
 (* ------------------------------------------------------------------ chaos *)
 
@@ -371,9 +442,22 @@ let chaos_cmd =
     Arg.(value & flag & info [ "sweep" ]
            ~doc:"Run the full E14 chaos sweep and print its table.")
   in
-  let run kind spec seed json sweep obsf =
+  let run kind spec seed json sweep obsf backf =
+    let backend, lsm_params = resolve_backend backf in
+    (* run_one/sweep derive a per-run subdirectory under the root, so runs
+       never share state; here we only pick the root and the tuning. *)
+    let data_dir = match backend with `Lsm dir -> Some dir | `Mem -> None in
+    let with_lsm base =
+      {
+        base with
+        Mdbs_sim.Des.workload =
+          { base.Mdbs_sim.Des.workload with Workload.lsm_params };
+      }
+    in
     if sweep then (
-      let outcomes = Chaos.sweep () in
+      let outcomes =
+        Chaos.sweep ~base:(with_lsm Chaos.base_config) ?data_dir ()
+      in
       Report.print (Chaos.table ~outcomes ());
       if not (List.for_all (fun o -> Chaos.ok o.Chaos.checks) outcomes) then (
         prerr_endline "chaos: CHECK FAILED in sweep";
@@ -389,8 +473,8 @@ let chaos_cmd =
       let obs = make_obs obsf in
       let o =
         Chaos.run_one
-          ~base:{ Chaos.base_config with Mdbs_sim.Des.obs }
-          ~profile:obs.Obs.profile ~mix ~seed kind
+          ~base:(with_lsm { Chaos.base_config with Mdbs_sim.Des.obs })
+          ~profile:obs.Obs.profile ?data_dir ~mix ~seed kind
       in
       if json then
         print_endline (Mdbs_analysis.Json.to_string (Chaos.outcome_to_json o))
@@ -406,7 +490,9 @@ let chaos_cmd =
         exit 1)
   in
   Cmd.v (Cmd.info "chaos" ~doc ~man)
-    Term.(const run $ scheme $ faults $ seed $ json $ sweep $ obs_flags)
+    Term.(
+      const run $ scheme $ faults $ seed $ json $ sweep $ obs_flags
+      $ backend_flags)
 
 (* ---------------------------------------------------------------- analyze *)
 
@@ -541,12 +627,14 @@ let svc_flags =
     $ backoff $ backoff_cap $ shed_parked $ shed_blocked $ certify
     $ cert_every)
 
-let loadgen_config ?(telemetry = (None, None, 1000., [], None)) kind
+let loadgen_config ?(telemetry = (None, None, 1000., [], None))
+    ?(backend = `Mem) ?lsm_params kind
     (m, data, d_av, hotspot, local, seed, atomic, capacity, max_active, stall,
      tick, certify, cert_every, (retry, wound, shed_parked, shed_blocked))
     clients txns obs =
   let wl =
-    { Workload.default with m; data_per_site = data; d_av; hotspot }
+    { Workload.default with
+      m; data_per_site = data; d_av; hotspot; backend; lsm_params }
   in
   let t_out, om_out, interval, slos, flight = telemetry in
   Loadgen.config ~wl ~clients ~txns_per_client:txns ~local_fraction:local
@@ -590,7 +678,8 @@ let loadgen_cmd =
     Arg.(value & opt (some string) None & info [ "bench-out" ] ~docv:"FILE"
            ~doc:"Run the scheme x site-count grid and write a JSON baseline.")
   in
-  let run kind svcf clients txns json bench_out obsf telemf =
+  let run kind svcf clients txns json bench_out obsf telemf backf =
+    let backend, lsm_params = resolve_backend backf in
     let obs = make_obs ~force_metrics:(telemetry_enabled telemf) obsf in
     match bench_out with
     | Some file ->
@@ -605,8 +694,18 @@ let loadgen_cmd =
             (fun k ->
               List.map
                 (fun m ->
+                  (* Each grid run gets its own LSM root: reusing one would
+                     recover the previous run's state. *)
+                  let backend =
+                    match backend with
+                    | `Mem -> `Mem
+                    | `Lsm base ->
+                        `Lsm
+                          (Filename.concat base
+                             (Printf.sprintf "%s-m%d" (Registry.name k) m))
+                  in
                   let cfg =
-                    loadgen_config k
+                    loadgen_config ~backend ?lsm_params k
                       (m, data, d_av, hotspot, local, seed, atomic, capacity,
                        max_active, stall, tick, certify, cert_every, rob)
                       clients txns Obs.disabled
@@ -646,7 +745,8 @@ let loadgen_cmd =
     | None ->
         let r =
           Loadgen.run
-            (loadgen_config ~telemetry:telemf kind svcf clients txns obs)
+            (loadgen_config ~telemetry:telemf ~backend ?lsm_params kind svcf
+               clients txns obs)
         in
         export_obs obsf obs;
         if json then
@@ -660,7 +760,7 @@ let loadgen_cmd =
   Cmd.v (Cmd.info "loadgen" ~doc ~man)
     Term.(
       const run $ scheme $ svc_flags $ clients $ txns $ json $ bench_out
-      $ obs_flags $ telemetry_flags)
+      $ obs_flags $ telemetry_flags $ backend_flags)
 
 let serve_cmd =
   let doc = "Open-loop service mode: Poisson arrivals, admission control" in
@@ -689,12 +789,16 @@ let serve_cmd =
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress lines.") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.") in
-  let run kind svcf rate duration quiet json obsf telemf =
+  let run kind svcf rate duration quiet json obsf telemf backf =
+    let backend, lsm_params = resolve_backend backf in
     let m, data, d_av, hotspot, local, seed, atomic, capacity, max_active,
         stall, tick, certify, cert_every, (retry, wound, shed_p, shed_b) =
       svcf
     in
-    let wl = { Workload.default with m; data_per_site = data; d_av; hotspot } in
+    let wl =
+      { Workload.default with
+        m; data_per_site = data; d_av; hotspot; backend; lsm_params }
+    in
     let obs = make_obs ~force_metrics:(telemetry_enabled telemf) obsf in
     let t_out, om_out, interval, slos, flight = telemf in
     let s =
@@ -716,6 +820,11 @@ let serve_cmd =
            (Mdbs_util.Json.Obj
               [
                 ("scheme", Mdbs_util.Json.Str res.Mdbs_svc.Runtime.scheme_name);
+                ( "backend",
+                  Mdbs_util.Json.Str
+                    (match backend with `Mem -> "mem" | `Lsm _ -> "lsm") );
+                ( "durable_bytes",
+                  Mdbs_util.Json.Int res.Mdbs_svc.Runtime.durable_bytes );
                 ("offered", Mdbs_util.Json.Int s.Serve.offered);
                 ("accepted", Mdbs_util.Json.Int s.Serve.accepted);
                 ( "rejected_backpressure",
@@ -791,7 +900,144 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ scheme $ svc_flags $ rate $ duration $ quiet $ json
-      $ obs_flags $ telemetry_flags)
+      $ obs_flags $ telemetry_flags $ backend_flags)
+
+(* ---------------------------------------------------------------- recover *)
+
+let recover_cmd =
+  let doc = "Recover LSM site directories offline and audit them against \
+             their WALs" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Opens every $(b,site-*) subdirectory under $(b,--data-dir) the way \
+         a restarting site would — manifest runs, WAL-suffix redo, loser \
+         undo with logged compensation — then audits the result: the state \
+         predicted by replaying the full on-disk WAL must equal the \
+         recovered storage, item for item. Lists in-doubt (prepared but \
+         unresolved) transactions left for the GTM's decision record. \
+         Exits 1 on any mismatch or unreadable site, 2 when the directory \
+         holds no sites.";
+      `P
+        "Safe to run after $(b,kill -9): recovery is idempotent, so a crash \
+         during recovery itself re-recovers cleanly.";
+    ]
+  in
+  let data_dir =
+    Arg.(required & opt (some dir) None & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Root directory written by a $(b,--backend lsm) run.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the audit as JSON.")
+  in
+  let run data_dir json =
+    let module Gw = Mdbs_storage_lsm.Group_wal in
+    let module Json = Mdbs_util.Json in
+    let site_dirs =
+      Sys.readdir data_dir |> Array.to_list |> List.sort compare
+      |> List.filter (fun d ->
+             String.length d > 5
+             && String.sub d 0 5 = "site-"
+             && Sys.is_directory (Filename.concat data_dir d))
+    in
+    (* A single-site store (the directory itself holds wal.log) counts. *)
+    let site_dirs =
+      if site_dirs = [] && Sys.file_exists (Filename.concat data_dir "wal.log")
+      then [ "." ]
+      else site_dirs
+    in
+    if site_dirs = [] then begin
+      prerr_endline
+        ("mdbs recover: no site-* directories (or wal.log) under " ^ data_dir);
+      exit 2
+    end;
+    let audit sub =
+      let dir = Filename.concat data_dir sub in
+      match
+        let t = Lsm.open_dir dir in
+        let items = Lsm.items t in
+        let in_doubt = Lsm.recovered_in_doubt t in
+        let st = Lsm.stats t in
+        Lsm.close t;
+        (* Read the WAL after recovery so the audit sees the compensation
+           records recovery itself just logged. *)
+        let records, _ = Gw.read_file (Filename.concat dir "wal.log") in
+        let predicted =
+          Mdbs_site.Wal.recovered_state (Mdbs_site.Wal.of_records records)
+        in
+        let clean l = List.sort compare (List.filter (fun (_, v) -> v <> 0) l) in
+        (clean predicted = clean items, items, in_doubt, st,
+         List.length records)
+      with
+      | ok, items, in_doubt, st, wal_records ->
+          `Audited (sub, ok, items, in_doubt, st, wal_records)
+      | exception e -> `Failed (sub, Printexc.to_string e)
+    in
+    let results = List.map audit site_dirs in
+    let all_ok =
+      List.for_all
+        (function `Audited (_, ok, _, _, _, _) -> ok | `Failed _ -> false)
+        results
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("data_dir", Json.Str data_dir);
+                ("ok", Json.Bool all_ok);
+                ( "sites",
+                  Json.List
+                    (List.map
+                       (function
+                         | `Audited (sub, ok, items, in_doubt, st, wal_records)
+                           ->
+                             Json.Obj
+                               [
+                                 ("site", Json.Str sub);
+                                 ("wal_matches_storage", Json.Bool ok);
+                                 ("items", Json.Int (List.length items));
+                                 ("wal_records", Json.Int wal_records);
+                                 ( "in_doubt",
+                                   Json.List
+                                     (List.map
+                                        (fun tid -> Json.Int tid)
+                                        in_doubt) );
+                                 ("l0_runs", Json.Int st.Lsm.l0_runs);
+                                 ("l1_runs", Json.Int st.Lsm.l1_runs);
+                                 ( "durable_bytes",
+                                   Json.Int st.Lsm.bytes_durable );
+                               ]
+                         | `Failed (sub, msg) ->
+                             Json.Obj
+                               [
+                                 ("site", Json.Str sub);
+                                 ("error", Json.Str msg);
+                               ])
+                       results) );
+              ]))
+    else
+      List.iter
+        (function
+          | `Audited (sub, ok, items, in_doubt, st, wal_records) ->
+              Printf.printf
+                "%s: %s — %d items, %d WAL records, %d+%d runs (L0+L1)%s\n"
+                sub
+                (if ok then "recovered, WAL-consistent"
+                 else "MISMATCH (storage <> WAL-predicted state)")
+                (List.length items) wal_records st.Lsm.l0_runs st.Lsm.l1_runs
+                (match in_doubt with
+                | [] -> ""
+                | tids ->
+                    Printf.sprintf "; in-doubt: %s"
+                      (String.concat ","
+                         (List.map string_of_int tids)))
+          | `Failed (sub, msg) -> Printf.printf "%s: FAILED — %s\n" sub msg)
+        results;
+    if not all_ok then exit 1
+  in
+  Cmd.v (Cmd.info "recover" ~doc ~man) Term.(const run $ data_dir $ json)
 
 (* ---------------------------------------------------------- bench-compare *)
 
@@ -865,11 +1111,14 @@ let bench_compare_cmd =
       | Ok doc -> doc
       | Error msg -> fail_usage (Printf.sprintf "%s: %s" file msg)
     in
-    (* One baseline's runs as ((scheme, sites), (throughput, goodput,
-       commit ratio), certified). Baselines written before the commit
-       counters existed get ratio 1.0 (no gate); ones without a goodput
-       field fall back to throughput (pre-retry baselines, where every
-       settled attempt was a logical transaction). *)
+    (* One baseline's runs as ((scheme, sites, backend), (throughput,
+       goodput, commit ratio), certified). Baselines written before the
+       commit counters existed get ratio 1.0 (no gate); ones without a
+       goodput field fall back to throughput (pre-retry baselines, where
+       every settled attempt was a logical transaction); ones without a
+       backend field predate the storage axis and mean "mem". Matching on
+       backend keeps mem and lsm runs in separate columns — a persistent
+       engine is never gated against an in-memory baseline. *)
     let runs file doc =
       match Option.bind (Json.member "runs" doc) Json.list_val with
       | None -> fail_usage (file ^ ": no \"runs\" array")
@@ -891,7 +1140,10 @@ let bench_compare_cmd =
                     | Some g -> g
                     | None -> tput
                   in
-                  ( (scheme, int_of_float sites),
+                  let backend =
+                    Option.value ~default:"mem" (str "backend")
+                  in
+                  ( (scheme, int_of_float sites, backend),
                     (tput, goodput, ratio),
                     Option.value ~default:false (bool "certified") )
               | _ -> fail_usage (file ^ ": run missing scheme/sites/throughput"))
@@ -917,13 +1169,13 @@ let bench_compare_cmd =
     let rows =
       List.filter_map
         (fun (key, (old_tput, old_good, old_ratio), _) ->
-          let scheme, sites = key in
+          let scheme, sites, backend = key in
           match
             List.find_opt (fun (k, _, _) -> k = key) new_runs
           with
           | None ->
               incr regressions;
-              Some [ scheme; string_of_int sites;
+              Some [ scheme; string_of_int sites; backend;
                      Printf.sprintf "%.2f" old_tput; "-"; "-"; "-"; "-";
                      "MISSING" ]
           | Some (_, (new_tput, new_good, new_ratio), certified) ->
@@ -939,7 +1191,7 @@ let bench_compare_cmd =
               if tput_regressed || good_regressed || commit_regressed then
                 incr regressions;
               Some
-                [ scheme; string_of_int sites;
+                [ scheme; string_of_int sites; backend;
                   Printf.sprintf "%.2f" old_tput;
                   Printf.sprintf "%.2f" new_tput;
                   Printf.sprintf "%+.1f%%" delta_pct;
@@ -955,8 +1207,8 @@ let bench_compare_cmd =
     if rows = [] then fail_usage (old_file ^ ": no runs to compare");
     Mdbs_util.Table.print
       ~headers:
-        [ "scheme"; "sites"; "old txn/s"; "new txn/s"; "delta"; "goodput";
-          "commit"; "verdict" ]
+        [ "scheme"; "sites"; "backend"; "old txn/s"; "new txn/s"; "delta";
+          "goodput"; "commit"; "verdict" ]
       rows;
     (* Certification failures in the new baseline fail the comparison too:
        a fast but uncertified run is not an optimization. *)
@@ -1193,5 +1445,6 @@ let () =
        (Cmd.group info
           [
             schemes_cmd; experiments_cmd; replay_cmd; simulate_cmd; des_cmd;
-            chaos_cmd; serve_cmd; loadgen_cmd; bench_compare_cmd; analyze_cmd;
+            chaos_cmd; serve_cmd; loadgen_cmd; bench_compare_cmd; recover_cmd;
+            analyze_cmd;
           ]))

@@ -89,16 +89,42 @@ let config_for ?(base = base_config) ~mix ~seed () =
   let m = base.Des.workload.Workload.m in
   { base with Des.seed; faults = Fault.realize mix ~seed ~m ~horizon }
 
-let run_one ?base ?profile ~mix ~seed kind =
+(* Per-run LSM directories need names that survive a filesystem: the mix
+   spec carries '=', ',' and ':'. *)
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '-')
+    s
+
+let run_one ?base ?profile ?data_dir ~mix ~seed kind =
   let config = config_for ?base ~mix ~seed () in
+  let config =
+    match data_dir with
+    | None -> config
+    | Some root ->
+        let sub =
+          Printf.sprintf "%s-%s-%d" (Registry.name kind)
+            (sanitize (Fault.mix_to_string mix))
+            seed
+        in
+        {
+          config with
+          Des.workload =
+            {
+              config.Des.workload with
+              Workload.backend = `Lsm (Filename.concat root sub);
+            };
+        }
+  in
   let run = Des.run_full config kind in
-  {
-    kind;
-    seed;
-    spec = Fault.mix_to_string mix;
-    result = run.Des.result;
-    checks = check_run ?profile run;
-  }
+  let checks = check_run ?profile run in
+  (* Chaos sweeps run hundreds of simulations in one process; with an LSM
+     backend each site holds WAL + SSTable descriptors until closed. *)
+  List.iter Local_dbms.close run.Des.sites;
+  { kind; seed; spec = Fault.mix_to_string mix; result = run.Des.result; checks }
 
 let mix_exn spec =
   match Fault.parse_mix spec with
@@ -116,12 +142,13 @@ let default_mixes =
 
 let default_seeds = List.init 13 (fun i -> 101 + (7 * i))
 
-let sweep ?base ?(kinds = Registry.all) ?(mixes = default_mixes)
+let sweep ?base ?data_dir ?(kinds = Registry.all) ?(mixes = default_mixes)
     ?(seeds = default_seeds) () =
   List.concat_map
     (fun kind ->
       List.concat_map
-        (fun mix -> List.map (fun seed -> run_one ?base ~mix ~seed kind) seeds)
+        (fun mix ->
+          List.map (fun seed -> run_one ?base ?data_dir ~mix ~seed kind) seeds)
         mixes)
     kinds
 

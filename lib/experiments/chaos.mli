@@ -51,8 +51,12 @@ val config_for :
 
 val run_one :
   ?base:Mdbs_sim.Des.config -> ?profile:Mdbs_obs.Profile.t ->
+  ?data_dir:string ->
   mix:Mdbs_sim.Fault.mix -> seed:int ->
   Mdbs_core.Registry.kind -> outcome
+(** [?data_dir] switches every site to the persistent LSM backend, rooted
+    at a per-run subdirectory named from (scheme, mix, seed) — so a sweep's
+    runs never share state. Sites are closed after the checks. *)
 
 val default_mixes : Mdbs_sim.Fault.mix list
 (** Four mixes that together exercise every fault kind: site crashes, GTM
@@ -60,6 +64,7 @@ val default_mixes : Mdbs_sim.Fault.mix list
 
 val sweep :
   ?base:Mdbs_sim.Des.config ->
+  ?data_dir:string ->
   ?kinds:Mdbs_core.Registry.kind list ->
   ?mixes:Mdbs_sim.Fault.mix list ->
   ?seeds:int list ->

@@ -11,6 +11,8 @@ type config = {
   write_ratio : float;
   hotspot : int;
   durable : bool;
+  backend : [ `Mem | `Lsm of string ];
+  lsm_params : Mdbs_storage_lsm.Lsm.params option;
 }
 
 let default =
@@ -24,6 +26,8 @@ let default =
     write_ratio = 0.5;
     hotspot = 0;
     durable = false;
+    backend = `Mem;
+    lsm_params = None;
   }
 
 let protocol_for config sid =
@@ -34,8 +38,13 @@ let protocol_for config sid =
 
 let make_sites config =
   List.init config.m (fun sid ->
+      let backend =
+        match config.backend with
+        | `Mem -> `Mem
+        | `Lsm base -> `Lsm (Filename.concat base ("site-" ^ string_of_int sid))
+      in
       Mdbs_site.Local_dbms.create ~protocol:(protocol_for config sid)
-        ~durable:config.durable sid)
+        ~durable:config.durable ~backend ?lsm_params:config.lsm_params sid)
 
 let random_key rng config =
   let bound =

@@ -21,6 +21,12 @@ type config = {
       (** Attach a write-ahead log to every site, enabling
           {!Mdbs_site.Local_dbms.crash}. Default [false]; fault-injecting
           runs force it on. *)
+  backend : [ `Mem | `Lsm of string ];
+      (** Storage engine per site. [`Lsm base] roots site [k]'s store at
+          [base/site-k] and implies durability. Default [`Mem]. *)
+  lsm_params : Mdbs_storage_lsm.Lsm.params option;
+      (** Engine tuning for [`Lsm] (memtable watermark, compaction
+          trigger, cache size); [None] means engine defaults. *)
 }
 
 val default : config

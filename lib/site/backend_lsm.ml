@@ -1,0 +1,28 @@
+(* The persistent LSM engine adapted to the Storage.S contract. Pure
+   delegation: Wal.record *is* Group_wal.record, so the durable-log hooks
+   pass records through untouched, and crash_reset ignores the logical
+   WAL's predicted state — the engine recovers from its own manifest and
+   on-disk WAL, which the chaos harness checks for agreement. *)
+
+module Lsm = Mdbs_storage_lsm.Lsm
+
+type t = Lsm.t
+
+let get = Lsm.get
+let set = Lsm.set
+let delete = Lsm.delete
+let write_logged = Lsm.write_logged
+let commit_txn = Lsm.commit_txn
+let register_undo = Lsm.register_undo
+let undo_log = Lsm.undo_log
+let undo_txn = Lsm.undo_txn
+let items = Lsm.items
+let load = Lsm.load
+let wal_append t (r : Wal.record) = Lsm.wal_append t r
+let wal_sync = Lsm.wal_sync
+let durable_bytes = Lsm.durable_bytes
+let crash_reset t ~predicted:_ = Lsm.crash_reset t
+let attach_metrics = Lsm.attach_metrics
+let close = Lsm.close
+
+let open_dir = Lsm.open_dir

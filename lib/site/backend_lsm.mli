@@ -1,0 +1,8 @@
+(** The persistent LSM backend, satisfying the {!Storage.S} contract.
+
+    A thin adapter over {!Mdbs_storage_lsm.Lsm}; this file is the whole
+    cost of adding a backend to {!Local_dbms}. *)
+
+include Storage.S with type t = Mdbs_storage_lsm.Lsm.t
+
+val open_dir : ?params:Mdbs_storage_lsm.Lsm.params -> string -> t

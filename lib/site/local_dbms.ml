@@ -9,11 +9,15 @@ type outcome = Executed of int option | Waiting | Aborted of string
 
 type completion = { tid : Types.tid; action : Op.action; outcome : outcome }
 
+type backend = [ `Mem | `Lsm of string ]
+
 type t = {
   site : Types.sid;
   kind : Types.protocol_kind;
+  backend : backend;
   mutable protocol : Protocol.t; (* volatile: replaced wholesale at crash *)
-  mutable storage : Storage.t; (* volatile cache over the log *)
+  mutable store : Storage.packed;
+      (* mem: volatile cache over the log; lsm: persistent engine *)
   sched : Schedule.t; (* observer-side audit record, not site state *)
   pending : (Types.tid, Op.action) Hashtbl.t;
   buffered : (Types.tid, (Item.t * int) list ref) Hashtbl.t;
@@ -30,12 +34,48 @@ type t = {
   mutable m_wal : Metrics.counter;
 }
 
-let create ?(protocol = Types.Two_phase_locking) ?(durable = false) site =
+(* Backend dispatch: each call unpacks the engine module once. The match
+   lives here — everything below talks to [t.store] only through these. *)
+let s_get (Storage.Packed ((module S), s)) item = S.get s item
+let s_set (Storage.Packed ((module S), s)) item v = S.set s item v
+let s_write_logged (Storage.Packed ((module S), s)) tid item v =
+  S.write_logged s tid item v
+let s_commit_txn (Storage.Packed ((module S), s)) tid = S.commit_txn s tid
+let s_register_undo (Storage.Packed ((module S), s)) tid entries =
+  S.register_undo s tid entries
+let s_undo_log (Storage.Packed ((module S), s)) tid = S.undo_log s tid
+let s_undo_txn (Storage.Packed ((module S), s)) tid = S.undo_txn s tid
+let s_items (Storage.Packed ((module S), s)) = S.items s
+let s_wal_append (Storage.Packed ((module S), s)) r = S.wal_append s r
+let s_wal_sync (Storage.Packed ((module S), s)) = S.wal_sync s
+let s_durable_bytes (Storage.Packed ((module S), s)) = S.durable_bytes s
+let s_attach_metrics (Storage.Packed ((module S), s)) ~labels m =
+  S.attach_metrics s ~labels m
+let s_close (Storage.Packed ((module S), s)) = S.close s
+let s_crash_reset (Storage.Packed ((module S), s)) ~predicted =
+  Storage.Packed ((module S), S.crash_reset s ~predicted)
+
+let make_store ?lsm_params backend =
+  match backend with
+  | `Mem ->
+      Storage.Packed
+        ((module Storage : Storage.S with type t = Storage.t), Storage.create ())
+  | `Lsm dir ->
+      Storage.Packed
+        ( (module Backend_lsm : Storage.S with type t = Backend_lsm.t),
+          Backend_lsm.open_dir ?params:lsm_params dir )
+
+let create ?(protocol = Types.Two_phase_locking) ?(durable = false)
+    ?(backend = `Mem) ?lsm_params site =
+  (* A persistent backend without a WAL could not recover: the engine's
+     redo log is fed by the logical one, so `Lsm implies durable. *)
+  let durable = durable || match backend with `Lsm _ -> true | `Mem -> false in
   {
     site;
     kind = protocol;
+    backend;
     protocol = Protocol.create protocol;
-    storage = Storage.create ();
+    store = make_store ?lsm_params backend;
     sched = Schedule.create site;
     pending = Hashtbl.create 16;
     buffered = Hashtbl.create 16;
@@ -55,7 +95,8 @@ let attach_obs t obs =
   t.obs <- obs;
   t.m_commits <- Metrics.counter obs.Obs.metrics ~labels "local_commits_total";
   t.m_aborts <- Metrics.counter obs.Obs.metrics ~labels "local_aborts_total";
-  t.m_wal <- Metrics.counter obs.Obs.metrics ~labels "wal_records_total"
+  t.m_wal <- Metrics.counter obs.Obs.metrics ~labels "wal_records_total";
+  s_attach_metrics t.store ~labels obs.Obs.metrics
 
 let set_op_tap t f = t.tap <- Some f
 
@@ -66,10 +107,17 @@ let record t tid action =
   Schedule.record t.sched tid action;
   match t.tap with None -> () | Some f -> f tid action
 
+(* Append to both logs: the logical WAL (analysis, predicted state) and
+   the backend's durable one (a no-op for mem). The streams are identical
+   by construction — that is what makes mem-vs-lsm recovery equivalent. *)
+let append_wal t wal record =
+  Wal.append wal record;
+  s_wal_append t.store record
+
 let log t record =
   match t.wal with
   | Some wal ->
-      Wal.append wal record;
+      append_wal t wal record;
       Metrics.inc t.m_wal
   | None -> ()
 
@@ -82,13 +130,13 @@ let serialization_point t = Protocol.serialization_point t.protocol
 let load t pairs =
   List.iter
     (fun (item, v) ->
-      Storage.set t.storage item v;
+      s_set t.store item v;
       log t (Wal.Load (item, v)))
     pairs
 
 let schedule t = t.sched
 
-let storage_value t item = Storage.get t.storage item
+let storage_value t item = s_get t.store item
 
 let active_count t = Hashtbl.length t.active
 
@@ -115,24 +163,24 @@ let apply_granted t tid action =
       Executed None
   | Op.Read item ->
       record t tid action;
-      Executed (Some (Storage.get t.storage item))
+      Executed (Some (s_get t.store item))
   | Op.Write (item, delta) ->
       if Protocol.buffers_writes t.protocol then begin
         buffer_write t tid item delta;
         Executed None
       end
       else begin
-        let before = Storage.get t.storage item in
-        Storage.write_logged t.storage tid item (before + delta);
+        let before = s_get t.store item in
+        s_write_logged t.store tid item (before + delta);
         log t (Wal.Write (tid, item, before, before + delta));
         record t tid action;
         Executed None
       end
   | Op.Ticket_op ->
-      let v = Storage.get t.storage Item.Ticket in
+      let v = s_get t.store Item.Ticket in
       if Protocol.buffers_writes t.protocol then buffer_write t tid Item.Ticket 1
       else begin
-        Storage.write_logged t.storage tid Item.Ticket (v + 1);
+        s_write_logged t.store tid Item.Ticket (v + 1);
         log t (Wal.Write (tid, Item.Ticket, v, v + 1))
       end;
       record t tid action;
@@ -165,21 +213,21 @@ let do_abort t tid reason =
   (match t.wal with
   | None -> ()
   | Some wal ->
-      let undo = Storage.undo_log t.storage tid in
+      let undo = s_undo_log t.store tid in
       let current = Hashtbl.create 4 in
       List.iter
         (fun (item, before) ->
           let now =
             match Hashtbl.find_opt current item with
             | Some v -> v
-            | None -> Storage.get t.storage item
+            | None -> s_get t.store item
           in
-          Wal.append wal (Wal.Write (tid, item, now, before));
+          append_wal t wal (Wal.Write (tid, item, now, before));
           Hashtbl.replace current item before)
         undo;
-      Wal.append wal (Wal.Aborted tid);
+      append_wal t wal (Wal.Aborted tid);
       Metrics.inc ~by:(List.length undo + 1) t.m_wal);
-  Storage.undo_txn t.storage tid;
+  s_undo_txn t.store tid;
   forget t tid;
   record t tid Op.Abort;
   process_unblocked t unblocked;
@@ -191,8 +239,8 @@ let install_buffered t tid =
   | Some writes ->
       List.iter
         (fun (item, delta) ->
-          let before = Storage.get t.storage item in
-          Storage.set t.storage item (before + delta);
+          let before = s_get t.store item in
+          s_set t.store item (before + delta);
           log t (Wal.Write (tid, item, before, before + delta));
           (* Ticket entries were already recorded at access time. *)
           if not (Item.equal item Item.Ticket) then
@@ -229,8 +277,8 @@ let submit t tid action =
           | Some writes ->
               List.iter
                 (fun (item, delta) ->
-                  let before = Storage.get t.storage item in
-                  Storage.write_logged t.storage tid item (before + delta);
+                  let before = s_get t.store item in
+                  s_write_logged t.store tid item (before + delta);
                   log t (Wal.Write (tid, item, before, before + delta));
                   if not (Item.equal item Item.Ticket) then
                     record t tid (Op.Write (item, delta)))
@@ -245,7 +293,7 @@ let submit t tid action =
       match result with
       | Cc_types.Granted ->
           install_buffered t tid;
-          Storage.commit_txn t.storage tid;
+          s_commit_txn t.store tid;
           forget t tid;
           log t (Wal.Committed tid);
           Metrics.inc t.m_commits;
@@ -301,12 +349,12 @@ let crash t =
               let now =
                 match Hashtbl.find_opt current item with
                 | Some v -> v
-                | None -> Storage.get t.storage item
+                | None -> s_get t.store item
               in
-              Wal.append wal (Wal.Write (tid, item, now, before));
+              append_wal t wal (Wal.Write (tid, item, now, before));
               Hashtbl.replace current item before)
             undo;
-          Wal.append wal (Wal.Aborted tid);
+          append_wal t wal (Wal.Aborted tid);
           Metrics.inc ~by:(List.length undo + 1) t.m_wal)
         analysis.Wal.losers;
       if Sink.enabled t.obs.Obs.sink then
@@ -324,10 +372,13 @@ let crash t =
       Hashtbl.reset t.buffered;
       Hashtbl.reset t.active;
       t.completions <- [];
-      (* Rebuild volatile state from stable storage. *)
+      (* Rebuild volatile state from stable storage. The mem backend
+         reloads the logical WAL's redo-undo result; the lsm backend
+         recovers from its own manifest + on-disk WAL — the compensation
+         records just appended are synced down with it, so both arrive at
+         the same state. *)
       t.protocol <- Protocol.create t.kind;
-      t.storage <- Storage.create ();
-      List.iter (fun (item, v) -> Storage.set t.storage item v) (Wal.recovered_state wal);
+      t.store <- s_crash_reset t.store ~predicted:(Wal.recovered_state wal);
       t.in_doubt <- Mdbs_util.Iset.to_list analysis.Wal.in_doubt;
       (* Re-install the in-doubt transactions: re-acquire write access (locks
          for the locking protocols, a fresh validated record for OCC) and
@@ -344,17 +395,27 @@ let crash t =
             (Wal.written_items wal tid);
           ignore (Protocol.prepare t.protocol tid);
           Hashtbl.replace t.active tid ();
-          Storage.register_undo t.storage tid (Wal.undo_entries wal tid))
+          s_register_undo t.store tid (Wal.undo_entries wal tid))
         t.in_doubt
 
 let wal_length t = match t.wal with Some wal -> Wal.length wal | None -> 0
+
+let sync_durable t = s_wal_sync t.store
+
+let durable_bytes t = s_durable_bytes t.store
+
+let backend_name t = match t.backend with `Mem -> "mem" | `Lsm _ -> "lsm"
+
+let close t =
+  sync_durable t;
+  s_close t.store
 
 let is_active t tid = Hashtbl.mem t.active tid
 
 let wal_state t =
   match t.wal with Some wal -> Some (Wal.recovered_state wal) | None -> None
 
-let storage_items t = Storage.items t.storage
+let storage_items t = s_items t.store
 
 let drain_completions t =
   let done_list = List.rev t.completions in

@@ -28,10 +28,19 @@ type completion = { tid : Types.tid; action : Op.action; outcome : outcome }
 (** Deferred results: a previously [Waiting] operation that has now executed,
     always with outcome [Executed _]. *)
 
-val create : ?protocol:Types.protocol_kind -> ?durable:bool -> Types.sid -> t
-(** A fresh site (default protocol: strict 2PL) with empty storage.
-    [~durable:true] attaches a write-ahead log ({!Wal}), enabling
-    {!crash}. *)
+type backend = [ `Mem | `Lsm of string ]
+(** Storage engine: the in-memory map, or the persistent LSM engine
+    rooted at a directory ([`Lsm dir]). *)
+
+val create :
+  ?protocol:Types.protocol_kind -> ?durable:bool -> ?backend:backend ->
+  ?lsm_params:Mdbs_storage_lsm.Lsm.params -> Types.sid -> t
+(** A fresh site (default protocol: strict 2PL; default backend [`Mem])
+    with empty storage. [~durable:true] attaches a write-ahead log
+    ({!Wal}), enabling {!crash}. [`Lsm _] implies durability: the
+    engine's on-disk log is fed from the logical one. [lsm_params] tunes
+    the engine (memtable watermark, compaction trigger, cache size);
+    ignored for [`Mem]. *)
 
 val attach_obs : t -> Mdbs_obs.Obs.t -> unit
 (** Wire the site into an observability bundle: per-site
@@ -95,7 +104,28 @@ val in_doubt : t -> Types.tid list
 (** Prepared transactions awaiting resolution after the last {!crash}. *)
 
 val wal_length : t -> int
-(** Records in the write-ahead log (0 for non-durable sites). *)
+(** {e Logical} WAL entries — records appended to the in-memory log,
+    whether or not any byte has reached a disk (0 for non-durable sites).
+    For what is actually durable, see {!durable_bytes}. *)
+
+val durable_bytes : t -> int
+(** Bytes of the backend's on-disk WAL covered by an fsync — the
+    persistence measure {!wal_length} is not. Always 0 for the [`Mem]
+    backend, whose log is process-local by design. *)
+
+val sync_durable : t -> unit
+(** Group-commit point: write and fsync every WAL record the backend has
+    buffered since the last sync (no-op for [`Mem]). The service runtime
+    calls this once per site-worker batch, so one fsync covers every
+    transaction that prepared/committed in the batch. *)
+
+val backend_name : t -> string
+(** ["mem"] or ["lsm"], for reports. *)
+
+val close : t -> unit
+(** Sync and release backend resources (file descriptors). The site must
+    not execute operations afterwards; schedule and WAL queries remain
+    valid. *)
 
 val is_active : t -> Types.tid -> bool
 (** Has the transaction begun here without yet committing/aborting?

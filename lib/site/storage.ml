@@ -37,3 +37,48 @@ let undo_txn t tid =
 let items t =
   Hashtbl.fold (fun item v acc -> (item, v) :: acc) t.table []
   |> List.sort (fun (a, _) (b, _) -> Item.compare a b)
+
+let delete t item = Hashtbl.remove t.table item
+
+let load t pairs = List.iter (fun (item, v) -> set t item v) pairs
+
+(* Durability hooks: the in-memory backend's stable storage is the
+   logical WAL owned by Local_dbms, so there is nothing to mirror or
+   sync here. *)
+let wal_append _ (_ : Wal.record) = ()
+
+let wal_sync _ = ()
+
+let durable_bytes _ = 0
+
+let crash_reset _ ~predicted =
+  let t = create () in
+  load t predicted;
+  t
+
+let attach_metrics _ ~labels:_ _ = ()
+
+let close _ = ()
+
+module type S = sig
+  type t
+
+  val get : t -> Item.t -> int
+  val set : t -> Item.t -> int -> unit
+  val delete : t -> Item.t -> unit
+  val write_logged : t -> Types.tid -> Item.t -> int -> unit
+  val commit_txn : t -> Types.tid -> unit
+  val register_undo : t -> Types.tid -> (Item.t * int) list -> unit
+  val undo_log : t -> Types.tid -> (Item.t * int) list
+  val undo_txn : t -> Types.tid -> unit
+  val items : t -> (Item.t * int) list
+  val load : t -> (Item.t * int) list -> unit
+  val wal_append : t -> Wal.record -> unit
+  val wal_sync : t -> unit
+  val durable_bytes : t -> int
+  val crash_reset : t -> predicted:(Item.t * int) list -> t
+  val attach_metrics : t -> labels:(string * string) list -> Mdbs_obs.Metrics.t -> unit
+  val close : t -> unit
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed

@@ -2,9 +2,85 @@
 
     Values are integers (enough to express the paper's read/write conflict
     model and the invariants of the example applications, e.g. account
-    balances). Unwritten items read as 0. *)
+    balances). Unwritten items read as 0.
+
+    This module is both the storage {e contract} ({!S}) and its in-memory
+    implementation. {!Local_dbms} dispatches over a {!packed} first-class
+    module, so an alternate engine — the persistent LSM backend
+    ({!Backend_lsm}), or a third one — is a one-file addition: implement
+    {!S}, pack it, done. *)
 
 open Mdbs_model
+
+(** What a local DBMS requires of its storage engine. State operations
+    (read/write/delete/items/load), transactional undo bookkeeping, and
+    the durability hooks the WAL discipline needs. The in-memory backend
+    implements the durability hooks as no-ops: its "disk" is the logical
+    WAL replayed by {!Local_dbms.crash}. *)
+module type S = sig
+  type t
+
+  val get : t -> Item.t -> int
+  (** Unwritten items read as 0. *)
+
+  val set : t -> Item.t -> int -> unit
+  (** Raw write, bypassing undo (initial loading, installing committed
+      buffered writes). *)
+
+  val delete : t -> Item.t -> unit
+
+  val write_logged : t -> Types.tid -> Item.t -> int -> unit
+  (** Write on behalf of a transaction, saving the before-image so the
+      write can be undone if the transaction aborts. *)
+
+  val commit_txn : t -> Types.tid -> unit
+  (** Discard the transaction's undo log. *)
+
+  val register_undo : t -> Types.tid -> (Item.t * int) list -> unit
+  (** Prepend before-images (newest first) to the transaction's undo log —
+      used at recovery to make in-doubt transactions abortable. *)
+
+  val undo_log : t -> Types.tid -> (Item.t * int) list
+  (** The transaction's pending before-images, newest first. *)
+
+  val undo_txn : t -> Types.tid -> unit
+  (** Roll the transaction's writes back, newest first. *)
+
+  val items : t -> (Item.t * int) list
+  (** Current contents, sorted by item. *)
+
+  val load : t -> (Item.t * int) list -> unit
+  (** Bulk-install initial contents outside any transaction. *)
+
+  val wal_append : t -> Wal.record -> unit
+  (** Mirror a logical WAL record into the engine's durable log (no-op
+      for the in-memory backend). *)
+
+  val wal_sync : t -> unit
+  (** Group-commit point: make every appended record durable. *)
+
+  val durable_bytes : t -> int
+  (** Bytes actually fsynced to disk — 0 for the in-memory backend; the
+      honest counterpart to {!Local_dbms.wal_length}'s logical record
+      count. *)
+
+  val crash_reset : t -> predicted:(Item.t * int) list -> t
+  (** Crash-and-restart: drop all volatile state and return the recovered
+      store. The in-memory backend rebuilds from [predicted] (the logical
+      WAL's redo-undo result); the LSM backend ignores it and recovers
+      from its own manifest + WAL files, which must agree. *)
+
+  val attach_metrics : t -> labels:(string * string) list -> Mdbs_obs.Metrics.t -> unit
+
+  val close : t -> unit
+  (** Release any OS resources (descriptors); the in-memory backend has
+      none. *)
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+(** A storage engine and its state, dispatchable without functors. *)
+
+(** {1 The in-memory implementation} — satisfies {!S}. *)
 
 type t
 
@@ -13,25 +89,31 @@ val create : unit -> t
 val get : t -> Item.t -> int
 
 val set : t -> Item.t -> int -> unit
-(** Raw write, bypassing undo (used for initial loading and for installing
-    committed buffered writes). *)
+
+val delete : t -> Item.t -> unit
 
 val write_logged : t -> Types.tid -> Item.t -> int -> unit
-(** Write on behalf of a transaction, saving the before-image so the write
-    can be undone if the transaction aborts. *)
 
 val commit_txn : t -> Types.tid -> unit
-(** Discard the transaction's undo log. *)
 
 val register_undo : t -> Types.tid -> (Item.t * int) list -> unit
-(** Prepend before-images (newest first) to the transaction's undo log —
-    used at recovery to make in-doubt transactions abortable. *)
 
 val undo_log : t -> Types.tid -> (Item.t * int) list
-(** The transaction's pending before-images, newest first. *)
 
 val undo_txn : t -> Types.tid -> unit
-(** Roll the transaction's writes back, newest first. *)
 
 val items : t -> (Item.t * int) list
-(** Current contents, sorted by item; for tests and examples. *)
+
+val load : t -> (Item.t * int) list -> unit
+
+val wal_append : t -> Wal.record -> unit
+
+val wal_sync : t -> unit
+
+val durable_bytes : t -> int
+
+val crash_reset : t -> predicted:(Item.t * int) list -> t
+
+val attach_metrics : t -> labels:(string * string) list -> Mdbs_obs.Metrics.t -> unit
+
+val close : t -> unit

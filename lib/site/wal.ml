@@ -1,7 +1,10 @@
 open Mdbs_model
 module Iset = Mdbs_util.Iset
 
-type record =
+(* The record type is shared with the on-disk group-commit WAL
+   (lib/storage_lsm), so the logical log and the durable log carry the
+   same stream with no conversion layer between them. *)
+type record = Mdbs_storage_lsm.Group_wal.record =
   | Load of Item.t * int
   | Begin of Types.tid
   | Write of Types.tid * Item.t * int * int
@@ -16,6 +19,11 @@ let create () = { rev_records = []; count = 0 }
 let append t r =
   t.rev_records <- r :: t.rev_records;
   t.count <- t.count + 1
+
+let of_records rs =
+  let t = create () in
+  List.iter (append t) rs;
+  t
 
 let records t = List.rev t.rev_records
 

@@ -13,19 +13,26 @@
 
 open Mdbs_model
 
-type record =
+type record = Mdbs_storage_lsm.Group_wal.record =
   | Load of Item.t * int  (** Initial database contents. *)
   | Begin of Types.tid
   | Write of Types.tid * Item.t * int * int  (** item, before, after. *)
   | Prepared of Types.tid
   | Committed of Types.tid
   | Aborted of Types.tid
+      (** Shared with the on-disk group-commit WAL
+          ({!Mdbs_storage_lsm.Group_wal}): the logical and durable logs
+          carry the same record stream. *)
 
 type t
 
 val create : unit -> t
 
 val append : t -> record -> unit
+
+val of_records : record list -> t
+(** A logical log holding the given records — how [mdbs recover] lifts a
+    decoded on-disk log back into {!analyze}/{!recovered_state}. *)
 
 val records : t -> record list
 (** In append order. *)

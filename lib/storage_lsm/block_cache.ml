@@ -1,0 +1,81 @@
+open Mdbs_model
+module Metrics = Mdbs_obs.Metrics
+
+type slot = {
+  data : (Item.t * Memtable.entry) array;
+  mutable heat : int;
+  mutable stamp : int;
+}
+
+type t = {
+  cap : int;
+  tbl : (int * int, slot) Hashtbl.t; (* (table id, block index) *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable m_hits : Metrics.counter;
+  mutable m_misses : Metrics.counter;
+}
+
+let create ?(cap = 64) () =
+  {
+    cap = max 1 cap;
+    tbl = Hashtbl.create 64;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    m_hits = Metrics.counter Metrics.null "lsm_cache_hits_total";
+    m_misses = Metrics.counter Metrics.null "lsm_cache_misses_total";
+  }
+
+let attach_metrics t ~labels metrics =
+  t.m_hits <- Metrics.counter metrics ~labels "lsm_cache_hits_total";
+  t.m_misses <- Metrics.counter metrics ~labels "lsm_cache_misses_total"
+
+(* Evict the coldest slot: minimal heat, oldest stamp as tie-break. A
+   linear scan — the cache is block-grained and small (tens of slots), so
+   a scan beats maintaining an ordered structure on every hit. *)
+let evict_coldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key slot ->
+      match !victim with
+      | None -> victim := Some (key, slot)
+      | Some (_, best) ->
+          if
+            slot.heat < best.heat
+            || (slot.heat = best.heat && slot.stamp < best.stamp)
+          then victim := Some (key, slot))
+    t.tbl;
+  match !victim with None -> () | Some (key, _) -> Hashtbl.remove t.tbl key
+
+let find_or_load t key load =
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.tbl key with
+  | Some slot ->
+      slot.heat <- slot.heat + 1;
+      slot.stamp <- t.clock;
+      t.hits <- t.hits + 1;
+      Metrics.inc t.m_hits;
+      slot.data
+  | None ->
+      let data = load () in
+      t.misses <- t.misses + 1;
+      Metrics.inc t.m_misses;
+      if Hashtbl.length t.tbl >= t.cap then evict_coldest t;
+      Hashtbl.replace t.tbl key { data; heat = 1; stamp = t.clock };
+      data
+
+let drop_table t table_id =
+  let doomed =
+    Hashtbl.fold
+      (fun ((tid, _) as key) _ acc -> if tid = table_id then key :: acc else acc)
+      t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) doomed
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let length t = Hashtbl.length t.tbl

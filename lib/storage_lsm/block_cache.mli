@@ -1,0 +1,32 @@
+(** Bounded block cache with heat tracking.
+
+    Caches decoded SSTable data blocks keyed by (run id, block index).
+    Every hit bumps the slot's heat; when the cache is full the coldest
+    slot (minimal heat, oldest access as tie-break) is evicted, so a hot
+    key set stays resident and repeated reads never touch disk. Hit and
+    miss counts feed the [lsm_cache_{hits,misses}_total] counters. *)
+
+open Mdbs_model
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap] is in blocks (default 64). *)
+
+val find_or_load :
+  t -> int * int -> (unit -> (Item.t * Memtable.entry) array) ->
+  (Item.t * Memtable.entry) array
+(** Return the cached block, or load, cache (evicting if full) and return
+    it. *)
+
+val drop_table : t -> int -> unit
+(** Forget every block of a run — called when compaction retires it. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val length : t -> int
+
+val attach_metrics :
+  t -> labels:(string * string) list -> Mdbs_obs.Metrics.t -> unit

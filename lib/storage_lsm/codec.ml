@@ -1,0 +1,59 @@
+(* Binary encoding helpers shared by the group-commit WAL and SSTables.
+   Integers are 64-bit little-endian; an item is a tag byte (0 = Ticket,
+   1 = Key) followed by the key as an i64. All multi-byte fields are
+   fixed-width so decoders can slice without lookahead. *)
+
+open Mdbs_model
+
+let item_size = 9
+
+let add_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let add_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let add_item buf = function
+  | Item.Ticket ->
+      Buffer.add_char buf '\000';
+      add_i64 buf 0
+  | Item.Key k ->
+      Buffer.add_char buf '\001';
+      add_i64 buf k
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let get_i64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let get_item b off =
+  match Char.code (Bytes.get b off) with
+  | 0 -> Item.Ticket
+  | 1 -> Item.Key (get_i64 b (off + 1))
+  | n -> Format.ksprintf failwith "Codec.get_item: bad tag %d" n
+
+(* Write the whole buffer to [fd]; Unix.write may be partial. *)
+let write_fully fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+(* Read exactly [len] bytes at absolute [off]; raises [End_of_file] on a
+   short read. Plain lseek+read: each store is driven by a single domain. *)
+let read_at fd off len =
+  let b = Bytes.create len in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let got = ref 0 in
+  while !got < len do
+    let n = Unix.read fd b !got (len - !got) in
+    if n = 0 then raise End_of_file;
+    got := !got + n
+  done;
+  b

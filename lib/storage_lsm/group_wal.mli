@@ -1,0 +1,76 @@
+(** Group-commit write-ahead log: the durable, on-disk counterpart of the
+    site's logical WAL ({!Mdbs_site.Wal}).
+
+    Records are buffered in memory by {!append} and hit disk on {!sync} —
+    one write plus one fsync covering every record buffered since the last
+    sync. The service runtime calls {!sync} once per site-worker mailbox
+    batch, so a single fsync certifies the commit points of all
+    transactions that prepared or committed in that batch: group commit.
+    The [lsm_fsync_batch_size] histogram records how many commit-point
+    records each fsync covered.
+
+    On disk each record is framed [len][payload][crc32]. Reads stop at the
+    first bad frame (a torn tail from a crash mid-write) and the writer
+    truncates to the clean prefix before appending — the unsynced suffix
+    is exactly the bounded loss group commit permits. *)
+
+open Mdbs_model
+
+type record =
+  | Load of Item.t * int
+  | Begin of Types.tid
+  | Write of Types.tid * Item.t * int * int  (** item, before, after. *)
+  | Prepared of Types.tid
+  | Committed of Types.tid
+  | Aborted of Types.tid
+
+val is_commit_point : record -> bool
+(** [Prepared]/[Committed]/[Aborted] — the records whose durability a
+    transaction's outcome acknowledgment depends on. *)
+
+type t
+
+val open_ : string -> t * record list
+(** Open (creating if absent) the log at this path, returning the clean
+    records already on disk. A torn tail is truncated away. *)
+
+val append : t -> record -> unit
+(** Buffer a record; durable only after the next {!sync}. *)
+
+val sync : t -> unit
+(** Write and fsync everything buffered (no-op when empty). *)
+
+val appended : t -> int
+(** Records ever appended, including those recovered at {!open_}. *)
+
+val durable_bytes : t -> int
+(** Bytes on disk covered by an fsync — the honest durability measure, as
+    opposed to the logical record count. *)
+
+val fsyncs : t -> int
+
+val attach_metrics :
+  t -> labels:(string * string) list -> Mdbs_obs.Metrics.t -> unit
+(** Register [lsm_fsync_batch_size] and [lsm_fsync_ms] histograms. *)
+
+val close : t -> unit
+(** {!sync}, then release the descriptor. *)
+
+val read_file : string -> record list * int
+(** Decode a log image without opening it for append: the clean records
+    and the clean byte count ([mdbs recover]'s read path). *)
+
+type analysis = {
+  committed : Mdbs_util.Iset.t;
+  aborted : Mdbs_util.Iset.t;
+  in_doubt : Mdbs_util.Iset.t;
+  losers : Mdbs_util.Iset.t;
+}
+
+val analyze : record list -> analysis
+(** Same classification as {!Mdbs_site.Wal.analyze}, over decoded disk
+    records. *)
+
+val ms_bounds : float array
+(** Histogram bounds for sub-millisecond-to-50ms latencies, shared by the
+    storage-tier timing instruments. *)

@@ -1,0 +1,252 @@
+open Mdbs_model
+module Crc32 = Mdbs_util.Crc32
+module Metrics = Mdbs_obs.Metrics
+module ItemMap = Map.Make (Item)
+
+type t = {
+  dir : string;
+  block_entries : int;
+  l0_trigger : int;
+  run_entries : int;
+  cache : Block_cache.t;
+  mutable l0 : Sstable.t list; (* newest first: flush order *)
+  mutable l1 : Sstable.t list; (* disjoint key ranges, sorted by min key *)
+  mutable next_id : int;
+  mutable wal_records : int; (* WAL records already folded into the runs *)
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable m_flushes : Metrics.counter;
+  mutable m_compactions : Metrics.counter;
+}
+
+let manifest_path dir = Filename.concat dir "MANIFEST"
+
+let run_path dir id = Filename.concat dir (Printf.sprintf "sst-%d.sst" id)
+
+let corrupt fmt = Format.ksprintf (fun s -> raise (Sstable.Corrupt s)) fmt
+
+(* --- manifest ----------------------------------------------------------- *)
+(* A small text file naming the live runs per level plus the WAL record
+   count they cover, closed by a CRC line. Replaced atomically
+   (tmp + rename + directory fsync), so a crash leaves either the old or
+   the new manifest, never a torn one. *)
+
+let save_manifest t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "mdbs-lsm v1\n";
+  Buffer.add_string b (Printf.sprintf "wal_records %d\n" t.wal_records);
+  Buffer.add_string b (Printf.sprintf "next_id %d\n" t.next_id);
+  List.iter
+    (fun s ->
+      Buffer.add_string b (Printf.sprintf "l0 sst-%d.sst\n" (Sstable.id s)))
+    t.l0;
+  List.iter
+    (fun s ->
+      Buffer.add_string b (Printf.sprintf "l1 sst-%d.sst\n" (Sstable.id s)))
+    t.l1;
+  let body = Buffer.contents b in
+  let out = body ^ Printf.sprintf "crc %d\n" (Crc32.digest_string body) in
+  let tmp = manifest_path t.dir ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Codec.write_fully fd (Bytes.of_string out);
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp (manifest_path t.dir);
+  let dfd = Unix.openfile t.dir [ Unix.O_RDONLY ] 0 in
+  Unix.fsync dfd;
+  Unix.close dfd
+
+let parse_manifest path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  let crc_at =
+    match String.rindex_opt (String.trim raw) '\n' with
+    | None -> corrupt "%s: no crc line" path
+    | Some i -> i + 1
+  in
+  let body = String.sub raw 0 crc_at in
+  let crc_line = String.trim (String.sub raw crc_at (String.length raw - crc_at)) in
+  (match String.split_on_char ' ' crc_line with
+  | [ "crc"; n ] when int_of_string_opt n = Some (Crc32.digest_string body) -> ()
+  | _ -> corrupt "%s: checksum mismatch" path);
+  let lines = String.split_on_char '\n' (String.trim body) in
+  match lines with
+  | "mdbs-lsm v1" :: rest ->
+      let wal_records = ref 0 and next_id = ref 0 in
+      let l0 = ref [] and l1 = ref [] in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | [ "wal_records"; n ] -> wal_records := int_of_string n
+          | [ "next_id"; n ] -> next_id := int_of_string n
+          | [ "l0"; f ] -> l0 := f :: !l0
+          | [ "l1"; f ] -> l1 := f :: !l1
+          | _ -> corrupt "%s: bad line %S" path line)
+        rest;
+      (!wal_records, !next_id, List.rev !l0, List.rev !l1)
+  | _ -> corrupt "%s: bad header" path
+
+let id_of_run file =
+  match Scanf.sscanf_opt file "sst-%d.sst" Fun.id with
+  | Some id -> id
+  | None -> corrupt "manifest names unparsable run %S" file
+
+let open_ ?(block_entries = 64) ?(l0_trigger = 4) ?(run_entries = 4096)
+    ?(cache_blocks = 64) dir =
+  let cache = Block_cache.create ~cap:cache_blocks () in
+  let t =
+    {
+      dir;
+      block_entries;
+      l0_trigger;
+      run_entries;
+      cache;
+      l0 = [];
+      l1 = [];
+      next_id = 0;
+      wal_records = 0;
+      flushes = 0;
+      compactions = 0;
+      m_flushes = Metrics.counter Metrics.null "lsm_flushes_total";
+      m_compactions = Metrics.counter Metrics.null "lsm_compactions_total";
+    }
+  in
+  if Sys.file_exists (manifest_path dir) then begin
+    let wal_records, next_id, l0, l1 = parse_manifest (manifest_path dir) in
+    let open_run f =
+      Sstable.open_file ~id:(id_of_run f) (Filename.concat dir f)
+    in
+    t.wal_records <- wal_records;
+    t.next_id <- next_id;
+    t.l0 <- List.map open_run l0;
+    t.l1 <- List.map open_run l1
+  end;
+  t
+
+let attach_metrics t ~labels metrics =
+  t.m_flushes <- Metrics.counter metrics ~labels "lsm_flushes_total";
+  t.m_compactions <- Metrics.counter metrics ~labels "lsm_compactions_total";
+  Block_cache.attach_metrics t.cache ~labels metrics
+
+let wal_records t = t.wal_records
+
+let cache t = t.cache
+
+let cached_block t sst i =
+  Block_cache.find_or_load t.cache (Sstable.id sst, i) (fun () ->
+      Sstable.read_block sst i)
+
+(* --- reads -------------------------------------------------------------- *)
+
+let in_range sst key =
+  Item.compare key (Sstable.min_key sst) >= 0
+  && Item.compare key (Sstable.max_key sst) <= 0
+
+let find t key =
+  let block = cached_block t in
+  let rec scan_l0 = function
+    | [] ->
+        (* L1 runs are disjoint: at most one can hold the key. *)
+        List.find_opt (fun sst -> in_range sst key) t.l1
+        |> Option.map (fun sst -> Sstable.find sst ~block key)
+        |> Option.join
+    | sst :: rest -> (
+        if not (in_range sst key) then scan_l0 rest
+        else
+          match Sstable.find sst ~block key with
+          | Some e -> Some e
+          | None -> scan_l0 rest)
+  in
+  scan_l0 t.l0
+
+(* Full on-disk state: L1 (the oldest data) overlaid by L0 runs oldest to
+   newest. Tombstones are preserved so the caller can mask values below
+   the memtable. Bypasses the cache: a state fold is a scan, and letting
+   it evict the hot set would defeat the cache's purpose. *)
+let state t =
+  let apply map sst =
+    List.fold_left
+      (fun map (item, e) -> ItemMap.add item e map)
+      map (Sstable.read_all sst)
+  in
+  let map = List.fold_left apply ItemMap.empty t.l1 in
+  List.fold_left apply map (List.rev t.l0)
+
+(* --- flush and compaction ----------------------------------------------- *)
+
+let flush t ~wal_records entries =
+  match entries with
+  | [] -> ()
+  | entries ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let path = run_path t.dir id in
+      Sstable.write ~path ~block_entries:t.block_entries entries;
+      t.l0 <- Sstable.open_file ~id path :: t.l0;
+      t.wal_records <- wal_records;
+      t.flushes <- t.flushes + 1;
+      Metrics.inc t.m_flushes;
+      save_manifest t
+
+let rec chunk n = function
+  | [] -> []
+  | es ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | e :: rest -> take (k - 1) (e :: acc) rest
+      in
+      let c, rest = take n [] es in
+      c :: chunk n rest
+
+let maybe_compact t =
+  if t.l0_trigger <= 0 || List.length t.l0 < t.l0_trigger then false
+  else begin
+    let old = t.l0 @ t.l1 in
+    (* Newest wins: start from L1, overlay L0 oldest → newest. L1 is the
+       bottom level, so tombstones have nothing left to mask and are
+       dropped — this is where deleted keys actually disappear. *)
+    let merged =
+      ItemMap.filter
+        (fun _ e -> e <> Memtable.Tombstone)
+        (state t)
+    in
+    let runs =
+      List.map
+        (fun entries ->
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          let path = run_path t.dir id in
+          Sstable.write ~path ~block_entries:t.block_entries entries;
+          Sstable.open_file ~id path)
+        (chunk t.run_entries (ItemMap.bindings merged))
+    in
+    t.l0 <- [];
+    t.l1 <- runs;
+    t.compactions <- t.compactions + 1;
+    Metrics.inc t.m_compactions;
+    save_manifest t;
+    (* Only after the manifest stopped referencing them. *)
+    List.iter
+      (fun sst ->
+        Block_cache.drop_table t.cache (Sstable.id sst);
+        Sstable.close sst;
+        try Unix.unlink (run_path t.dir (Sstable.id sst))
+        with Unix.Unix_error _ -> ())
+      old;
+    true
+  end
+
+let flushes t = t.flushes
+
+let compactions t = t.compactions
+
+let runs t = (List.length t.l0, List.length t.l1)
+
+let close t =
+  List.iter Sstable.close t.l0;
+  List.iter Sstable.close t.l1;
+  t.l0 <- [];
+  t.l1 <- []

@@ -1,0 +1,58 @@
+(** Leveled run management: the manifest, L0, L1 and compaction.
+
+    L0 holds memtable flushes in arrival order (runs may overlap); L1
+    holds disjoint, sorted runs produced by compaction. When L0 reaches
+    its trigger, every L0 run is merged with L1 — newest version wins —
+    and tombstones are dropped, since L1 is the bottom level and there is
+    nothing older left to mask.
+
+    The [MANIFEST] names the live runs per level and the count of WAL
+    records they cover (recovery replays only the suffix past it). It is
+    CRC-closed and replaced atomically, so a crash anywhere in flush or
+    compaction leaves a consistent run set: old manifest → old runs, new
+    manifest → new runs, with at most orphaned files to sweep. *)
+
+open Mdbs_model
+
+module ItemMap : Map.S with type key = Item.t
+
+type t
+
+val open_ :
+  ?block_entries:int -> ?l0_trigger:int -> ?run_entries:int ->
+  ?cache_blocks:int -> string -> t
+(** Open the level state in a directory, reading the manifest (and
+    opening every live run) if one exists. Raises {!Sstable.Corrupt} on a
+    damaged manifest or run. *)
+
+val find : t -> Item.t -> Memtable.entry option
+(** Point lookup: L0 newest → oldest, then the (at most one) covering L1
+    run, through the block cache. *)
+
+val state : t -> Memtable.entry ItemMap.t
+(** The full on-disk state, tombstones preserved; bypasses the cache. *)
+
+val flush : t -> wal_records:int -> (Item.t * Memtable.entry) list -> unit
+(** Write a new L0 run from sorted memtable entries and persist the
+    manifest with the WAL high-water mark it covers. Empty input is a
+    no-op. *)
+
+val maybe_compact : t -> bool
+(** Compact if L0 reached its trigger; returns whether it did. *)
+
+val wal_records : t -> int
+
+val cache : t -> Block_cache.t
+
+val flushes : t -> int
+
+val compactions : t -> int
+
+val runs : t -> int * int
+(** [(l0, l1)] live run counts. *)
+
+val attach_metrics :
+  t -> labels:(string * string) list -> Mdbs_obs.Metrics.t -> unit
+(** [lsm_flushes_total], [lsm_compactions_total] and the cache counters. *)
+
+val close : t -> unit

@@ -1,0 +1,103 @@
+(** The persistent LSM storage engine: memtable over leveled SSTables,
+    fronted by a group-commit WAL.
+
+    Presents the same contract as the in-memory site storage
+    ({!Mdbs_site.Storage}): integer values, unwritten items read as 0,
+    per-transaction before-image undo logs. Writes land in the
+    {!Memtable} and spill to L0 {!Sstable} runs at the watermark;
+    {!Levels} compacts runs and tracks them in a CRC-checked manifest;
+    reads fall through memtable → L0 → L1 via the heat-aware
+    {!Block_cache}.
+
+    Durability protocol: the caller appends each logical WAL record via
+    {!wal_append} and calls {!wal_sync} at its group-commit points. A
+    flush syncs the WAL before writing a run, so on-disk runs never get
+    ahead of the durable log. Recovery ({!open_dir}) is manifest → WAL
+    suffix redo → loser undo with logged compensation — the file-backed
+    equivalent of {!Mdbs_site.Wal.recovered_state}. *)
+
+open Mdbs_model
+
+type params = {
+  memtable_entries : int;  (** Flush watermark (distinct buffered items). *)
+  block_entries : int;  (** Entries per SSTable data block. *)
+  l0_trigger : int;  (** L0 run count that triggers compaction. *)
+  run_entries : int;  (** Max entries per compacted L1 run. *)
+  cache_blocks : int;  (** Block cache capacity. *)
+}
+
+val default_params : params
+(** 1024-entry memtable, 64-entry blocks, compaction at 4 L0 runs,
+    4096-entry L1 runs, 64-block cache. *)
+
+type t
+
+val open_dir : ?params:params -> string -> t
+(** Open (or create) a store rooted at a directory, running recovery:
+    manifest runs, then WAL-suffix redo, then loser undo (compensation
+    logged and synced). Raises {!Sstable.Corrupt} on damaged files. *)
+
+val get : t -> Item.t -> int
+
+val set : t -> Item.t -> int -> unit
+
+val delete : t -> Item.t -> unit
+
+val write_logged : t -> Types.tid -> Item.t -> int -> unit
+
+val commit_txn : t -> Types.tid -> unit
+
+val register_undo : t -> Types.tid -> (Item.t * int) list -> unit
+
+val undo_log : t -> Types.tid -> (Item.t * int) list
+
+val undo_txn : t -> Types.tid -> unit
+
+val items : t -> (Item.t * int) list
+(** Live state (memtable over runs, tombstones resolved), sorted. *)
+
+val load : t -> (Item.t * int) list -> unit
+
+val wal_append : t -> Group_wal.record -> unit
+
+val wal_sync : t -> unit
+(** The group-commit point: one fsync for everything appended since the
+    last one. *)
+
+val durable_bytes : t -> int
+
+val recovered_in_doubt : t -> Types.tid list
+(** Prepared-but-unresolved transactions found by the last {!open_dir}. *)
+
+val crash_reset : t -> t
+(** Simulate a crash-and-restart in process: sync pending WAL appends
+    (the caller already logged its compensation), drop all volatile state
+    and reopen from disk. Metrics attachments carry over. *)
+
+val flush : t -> unit
+(** Force a memtable flush (tests). *)
+
+val attach_metrics :
+  t -> labels:(string * string) list -> Mdbs_obs.Metrics.t -> unit
+(** Register the storage-tier instruments: [lsm_flushes_total],
+    [lsm_compactions_total], [lsm_cache_{hits,misses}_total],
+    [lsm_read_ms], [lsm_fsync_ms], [lsm_fsync_batch_size]. *)
+
+val close : t -> unit
+
+type stats = {
+  flushes : int;
+  compactions : int;
+  cache_hits : int;
+  cache_misses : int;
+  fsyncs : int;
+  wal_records_total : int;
+  bytes_durable : int;
+  l0_runs : int;
+  l1_runs : int;
+  memtable : int;
+}
+
+val stats : t -> stats
+
+val mkdir_p : string -> unit

@@ -1,0 +1,20 @@
+open Mdbs_model
+module ItemMap = Map.Make (Item)
+
+type entry = Value of int | Tombstone
+
+type t = { mutable map : entry ItemMap.t }
+
+let create () = { map = ItemMap.empty }
+
+let put t item e = t.map <- ItemMap.add item e t.map
+
+let find t item = ItemMap.find_opt item t.map
+
+let length t = ItemMap.cardinal t.map
+
+let entries t = ItemMap.bindings t.map
+
+let clear t = t.map <- ItemMap.empty
+
+let is_empty t = ItemMap.is_empty t.map

@@ -1,0 +1,28 @@
+(** Sorted in-memory write buffer — the mutable top of the LSM tree.
+
+    Absorbs every write until the entry count crosses the engine's
+    watermark, at which point {!Lsm} flushes it to an immutable L0
+    {!Sstable} run and clears it. A delete is buffered as a {!Tombstone}
+    so it can mask older on-disk versions until compaction drops both. *)
+
+open Mdbs_model
+
+type entry = Value of int | Tombstone
+
+type t
+
+val create : unit -> t
+
+val put : t -> Item.t -> entry -> unit
+
+val find : t -> Item.t -> entry option
+
+val length : t -> int
+(** Distinct items buffered — the flush watermark is in entries. *)
+
+val entries : t -> (Item.t * entry) list
+(** Sorted by item; the flush order. *)
+
+val clear : t -> unit
+
+val is_empty : t -> bool

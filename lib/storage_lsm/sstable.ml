@@ -1,0 +1,184 @@
+open Mdbs_model
+module Crc32 = Mdbs_util.Crc32
+
+exception Corrupt of string
+
+let corrupt fmt = Format.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let magic = "MDBSSST1"
+
+let footer_size = 8 + 8 + 8 + Codec.item_size + Codec.item_size + 8
+
+(* One entry on disk: item (9) + kind tag (1) + value (8). *)
+let entry_size = Codec.item_size + 1 + 8
+
+let add_entry buf (item, e) =
+  Codec.add_item buf item;
+  (match e with
+  | Memtable.Value v ->
+      Buffer.add_char buf '\000';
+      Codec.add_i64 buf v
+  | Memtable.Tombstone ->
+      Buffer.add_char buf '\001';
+      Codec.add_i64 buf 0)
+
+type t = {
+  id : int;
+  path : string;
+  fd : Unix.file_descr;
+  index : (Item.t * int * int) array;
+      (* per block: first item, file offset, length incl. trailing crc *)
+  count : int;
+  min_key : Item.t;
+  max_key : Item.t;
+}
+
+let id t = t.id
+let count t = t.count
+let min_key t = t.min_key
+let max_key t = t.max_key
+let blocks t = Array.length t.index
+
+(* Write an immutable run: data blocks, then the sparse index (one entry
+   per block), then a fixed footer. The file is fsynced before it returns,
+   so a manifest written afterwards never references an unflushed run. *)
+let write ~path ~block_entries entries =
+  (match entries with [] -> invalid_arg "Sstable.write: empty run" | _ -> ());
+  let buf = Buffer.create 4096 in
+  let index = ref [] in
+  let rec chunks = function
+    | [] -> ()
+    | es ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | e :: rest -> take (n - 1) (e :: acc) rest
+        in
+        let block, rest = take block_entries [] es in
+        let first = fst (List.hd block) in
+        let off = Buffer.length buf in
+        let body = Buffer.create (4 + (List.length block * entry_size)) in
+        Codec.add_u32 body (List.length block);
+        List.iter (add_entry body) block;
+        let b = Buffer.to_bytes body in
+        Buffer.add_bytes buf b;
+        Codec.add_u32 buf (Crc32.digest_bytes b 0 (Bytes.length b));
+        index := (first, off, Bytes.length b + 4) :: !index;
+        chunks rest
+  in
+  chunks entries;
+  let index = List.rev !index in
+  let index_off = Buffer.length buf in
+  let ibody = Buffer.create 256 in
+  Codec.add_u32 ibody (List.length index);
+  List.iter
+    (fun (first, off, len) ->
+      Codec.add_item ibody first;
+      Codec.add_i64 ibody off;
+      Codec.add_i64 ibody len)
+    index;
+  let ib = Buffer.to_bytes ibody in
+  Buffer.add_bytes buf ib;
+  Codec.add_u32 buf (Crc32.digest_bytes ib 0 (Bytes.length ib));
+  Codec.add_i64 buf index_off;
+  Codec.add_i64 buf (Bytes.length ib);
+  Codec.add_i64 buf (List.length entries);
+  Codec.add_item buf (fst (List.hd entries));
+  Codec.add_item buf (fst (List.nth entries (List.length entries - 1)));
+  Buffer.add_string buf magic;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Codec.write_fully fd (Buffer.to_bytes buf);
+  Unix.fsync fd;
+  Unix.close fd
+
+let open_file ~id path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0o644 in
+  try
+    let size = (Unix.fstat fd).Unix.st_size in
+    if size < footer_size then corrupt "%s: truncated (%d bytes)" path size;
+    let f = Codec.read_at fd (size - footer_size) footer_size in
+    if Bytes.sub_string f (footer_size - 8) 8 <> magic then
+      corrupt "%s: bad magic" path;
+    let index_off = Codec.get_i64 f 0 in
+    let index_len = Codec.get_i64 f 8 in
+    let count = Codec.get_i64 f 16 in
+    let min_key = Codec.get_item f 24 in
+    let max_key = Codec.get_item f (24 + Codec.item_size) in
+    if index_off < 0 || index_len < 4 || index_off + index_len + 4 > size then
+      corrupt "%s: bad index bounds" path;
+    let ib = Codec.read_at fd index_off (index_len + 4) in
+    if
+      Codec.get_u32 ib index_len <> Crc32.digest_bytes ib 0 index_len
+    then corrupt "%s: index checksum mismatch" path;
+    let nblocks = Codec.get_u32 ib 0 in
+    let index =
+      Array.init nblocks (fun i ->
+          let off = 4 + (i * (Codec.item_size + 16)) in
+          ( Codec.get_item ib off,
+            Codec.get_i64 ib (off + Codec.item_size),
+            Codec.get_i64 ib (off + Codec.item_size + 8) ))
+    in
+    { id; path; fd; index; count; min_key; max_key }
+  with e ->
+    Unix.close fd;
+    raise e
+
+let read_block t i =
+  let _, off, len = t.index.(i) in
+  let b = Codec.read_at t.fd off len in
+  let body_len = len - 4 in
+  if Codec.get_u32 b body_len <> Crc32.digest_bytes b 0 body_len then
+    corrupt "%s: block %d checksum mismatch" t.path i;
+  let n = Codec.get_u32 b 0 in
+  Array.init n (fun j ->
+      let off = 4 + (j * entry_size) in
+      let item = Codec.get_item b off in
+      let e =
+        match Char.code (Bytes.get b (off + Codec.item_size)) with
+        | 0 -> Memtable.Value (Codec.get_i64 b (off + Codec.item_size + 1))
+        | 1 -> Memtable.Tombstone
+        | n -> corrupt "%s: block %d bad entry tag %d" t.path i n
+      in
+      (item, e))
+
+(* Candidate block for [key]: the last block whose first key <= key. *)
+let candidate_block t key =
+  let lo = ref 0 and hi = ref (Array.length t.index - 1) and best = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let first, _, _ = t.index.(mid) in
+    if Item.compare first key <= 0 then begin
+      best := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !best
+
+let find t ~block key =
+  if Item.compare key t.min_key < 0 || Item.compare key t.max_key > 0 then None
+  else
+    match candidate_block t key with
+    | -1 -> None
+    | bi ->
+        let data = block t bi in
+        let lo = ref 0 and hi = ref (Array.length data - 1) and hit = ref None in
+        while !lo <= !hi do
+          let mid = (!lo + !hi) / 2 in
+          let item, e = data.(mid) in
+          let c = Item.compare item key in
+          if c = 0 then begin
+            hit := Some e;
+            lo := !hi + 1
+          end
+          else if c < 0 then lo := mid + 1
+          else hi := mid - 1
+        done;
+        !hit
+
+let read_all t =
+  List.concat_map
+    (fun i -> Array.to_list (read_block t i))
+    (List.init (Array.length t.index) Fun.id)
+
+let close t = Unix.close t.fd

@@ -1,0 +1,53 @@
+(** Immutable sorted runs on disk.
+
+    Layout: data blocks (a [count]-prefixed entry array, each block closed
+    by a CRC-32), then a sparse index (first key, offset, length per
+    block, CRC-checked), then a fixed footer (index bounds, entry count,
+    min/max key, magic). Reads go footer → index → one block; a sparse
+    index over fixed-size blocks keeps the resident set proportional to
+    the block count, not the entry count.
+
+    Any checksum or framing mismatch raises {!Corrupt} — a run is either
+    intact or rejected whole; there is no partial trust. *)
+
+open Mdbs_model
+
+exception Corrupt of string
+
+type t
+
+val write :
+  path:string -> block_entries:int -> (Item.t * Memtable.entry) list -> unit
+(** Write a run from sorted, deduplicated entries (tombstones included)
+    and fsync it. Raises [Invalid_argument] on an empty run. *)
+
+val open_file : id:int -> string -> t
+(** Open a run, reading and verifying footer and index. [id] keys the
+    block cache, so it must be unique per live run ({!Levels} assigns
+    monotonic ids from the manifest). *)
+
+val find :
+  t -> block:(t -> int -> (Item.t * Memtable.entry) array) -> Item.t ->
+  Memtable.entry option
+(** Point lookup via the sparse index. [block] fetches a data block —
+    {!Levels} passes the cache-mediated loader, tests can pass
+    {!read_block} directly. *)
+
+val read_block : t -> int -> (Item.t * Memtable.entry) array
+(** Read and CRC-check one data block. *)
+
+val read_all : t -> (Item.t * Memtable.entry) list
+(** Every entry in key order, bypassing the cache — the compaction and
+    state-fold read path. *)
+
+val id : t -> int
+
+val count : t -> int
+
+val blocks : t -> int
+
+val min_key : t -> Item.t
+
+val max_key : t -> Item.t
+
+val close : t -> unit

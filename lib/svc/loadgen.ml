@@ -52,6 +52,7 @@ let config ?(wl = Workload.default) ?(clients = 8) ?(txns_per_client = 25)
 
 type report = {
   scheme_name : string;
+  backend : string;
   sites : int;
   clients : int;
   submitted : int;
@@ -200,11 +201,16 @@ let run cfg =
   let retries = sum (fun a -> a.c_retries) in
   let sheds = sum (fun a -> a.c_sheds) in
   let submitted = cfg.clients * cfg.txns_per_client in
+  (* The runtime synced the sites at shutdown; release their descriptors
+     so multi-run processes (the bench grid) do not accumulate them. *)
+  List.iter Mdbs_site.Local_dbms.close sites;
   let st = res.Runtime.run_stats in
   let pct p = if latencies = [] then 0. else Stats.percentile latencies p in
   let per_s n = if elapsed_s > 0. then float_of_int n /. elapsed_s else 0. in
   {
     scheme_name = res.Runtime.scheme_name;
+    backend =
+      (match cfg.wl.Workload.backend with `Mem -> "mem" | `Lsm _ -> "lsm");
     sites = cfg.wl.Workload.m;
     clients = cfg.clients;
     submitted;
@@ -239,6 +245,7 @@ let report_to_json ?profile r =
   Json.Obj
     [
       ("scheme", Json.Str r.scheme_name);
+      ("backend", Json.Str r.backend);
       ("sites", Json.Int r.sites);
       ("clients", Json.Int r.clients);
       ("submitted", Json.Int r.submitted);
@@ -269,6 +276,9 @@ let report_to_json ?profile r =
         Json.Obj (List.map (fun (c, n) -> (c, Json.Int n)) r.abort_causes) );
       ("gtm2_wait_insertions", Json.Int r.wait_insertions);
       ("gtm2_ser_waits", Json.Int r.ser_waits);
+      (* Logical record count vs bytes actually fsynced: wal_records_total
+         (in metrics) counts appends; this counts durability. *)
+      ("durable_bytes", Json.Int r.run.Runtime.durable_bytes);
       ( "live_certification",
         match r.run.Runtime.live with
         | Some s -> Live_cert.summary_to_json s

@@ -82,6 +82,7 @@ val config :
 
 type report = {
   scheme_name : string;
+  backend : string;  (** ["mem"] or ["lsm"] — the storage engine. *)
   sites : int;
   clients : int;
   submitted : int;  (** Logical transactions ([clients * txns_per_client]). *)

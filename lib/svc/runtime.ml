@@ -132,6 +132,7 @@ type result = {
   scheme_steps : int;
   slo : Slo.summary option;
   flight_dumps : (string * string) list;
+  durable_bytes : int;
 }
 
 (* Live-telemetry state, owned by the ticker thread (window flushes) with
@@ -1015,6 +1016,17 @@ let start (cfg : config) =
           Local_dbms.set_op_tap dbms (fun tid action ->
               Live_cert.feed lc [ Incremental.Op (sid, tid, action) ]))
         cfg.sites);
+  (* Register the per-site instruments (local commit/abort/WAL counters,
+     and the LSM storage tier's flush/compaction/cache/fsync metrics for
+     persistent backends) in the run's registry. Metrics only: the span
+     sink is single-domain and the sites run in worker domains, so they
+     get a null sink (the registry itself is mutex-protected). *)
+  if Metrics.enabled obs.Obs.metrics then
+    List.iter
+      (fun dbms ->
+        Local_dbms.attach_obs dbms
+          { obs with Obs.sink = Mdbs_obs.Sink.null; live = false })
+      cfg.sites;
   let labels = [ ("scheme", cfg.scheme.Scheme.name) ] in
   let sh =
     {
@@ -1271,6 +1283,13 @@ let shutdown t =
          transactions now; stop and reclaim them. *)
       List.iter (fun w -> Site_worker.send w Site_worker.Stop) t.workers;
       let dbms_list = List.map Site_worker.join t.workers in
+      (* Workers joined, so the main thread may touch the sites: one last
+         group-commit sync, then account what actually reached disk. *)
+      List.iter Local_dbms.sync_durable dbms_list;
+      let durable_bytes =
+        List.fold_left (fun acc d -> acc + Local_dbms.durable_bytes d) 0
+          dbms_list
+      in
       Atomic.set t.ticker_stop true;
       Thread.join t.ticker;
       let elapsed_ms = Clock.now_ms t.sh.clock in
@@ -1328,6 +1347,7 @@ let shutdown t =
             | Some { tl_slo = Some s; _ } -> Some (Slo.summary s)
             | _ -> None);
           flight_dumps = Flight.dumps t.sh.flight;
+          durable_bytes;
         }
       in
       t.shutdown_memo <- Some r;

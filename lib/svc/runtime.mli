@@ -194,6 +194,11 @@ type result = {
           code. *)
   flight_dumps : (string * string) list;
       (** [(reason, path)] of every flight-recorder dump the run wrote. *)
+  durable_bytes : int;
+      (** Bytes of backend WAL fsynced across all sites — 0 for [`Mem]
+          backends, whose durability is logical (see
+          {!Mdbs_site.Local_dbms.wal_length} vs
+          {!Mdbs_site.Local_dbms.durable_bytes}). *)
 }
 
 val start : config -> t

@@ -207,6 +207,7 @@ let run ?(quiet = false) cfg =
   poll_pending (Unix.gettimeofday ());
   if not quiet then progress_line rt !offered !rejected !shed;
   let run = Runtime.shutdown rt in
+  List.iter Mdbs_site.Local_dbms.close sites;
   poll_pending (Unix.gettimeofday ());
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let committed = run.Runtime.run_stats.Runtime.committed in

@@ -197,6 +197,11 @@ let worker_loop box handled reply observe on_done dbms =
         dbms
     | batch ->
         let stop = process batch in
+        (* Group commit: one fsync covers every WAL record the whole
+           drain produced — all transactions that prepared or committed
+           in this batch — and it lands before their replies ship, so an
+           acknowledged outcome is a durable one. No-op for `Mem. *)
+        Local_dbms.sync_durable st.dbms;
         (* One urgent reply message per wakeup, however many requests the
            drain carried. *)
         flush ();

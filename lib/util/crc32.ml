@@ -1,0 +1,21 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let digest_bytes b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32.digest_bytes";
+  let table = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    let byte = Char.code (Bytes.unsafe_get b i) in
+    crc := table.((!crc lxor byte) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let digest_string s = digest_bytes (Bytes.unsafe_of_string s) 0 (String.length s)

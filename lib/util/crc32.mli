@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]), table-driven.
+
+    Checksums the LSM storage engine's on-disk artifacts: WAL record
+    frames, SSTable data blocks and index, and the level manifest. The
+    result is a non-negative int that fits in 32 bits. *)
+
+val digest_bytes : Bytes.t -> int -> int -> int
+(** [digest_bytes b off len] — CRC of the slice [b.[off .. off+len-1]]. *)
+
+val digest_string : string -> int

@@ -1,0 +1,466 @@
+(* Tests of the persistent LSM storage engine: memtable flush boundary,
+   SSTable CRC rejection, torn-tail WAL truncation, tombstone-dropping
+   compaction, cache behavior, and the recovery property that the state
+   predicted by replaying the on-disk WAL equals the recovered storage —
+   plus a mem-vs-lsm differential over the chaos harness. *)
+
+open Mdbs_model
+module Lsm = Mdbs_storage_lsm.Lsm
+module Memtable = Mdbs_storage_lsm.Memtable
+module Sstable = Mdbs_storage_lsm.Sstable
+module Group_wal = Mdbs_storage_lsm.Group_wal
+module Wal = Mdbs_site.Wal
+module Local_dbms = Mdbs_site.Local_dbms
+module Chaos = Mdbs_experiments.Chaos
+module Workload = Mdbs_sim.Workload
+module Des = Mdbs_sim.Des
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let key k = Item.Key k
+
+(* Each test gets its own directory under the system temp dir; removed on
+   success (failures leave the evidence behind). *)
+let base_dir =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mdbs-test-lsm-%d" (Unix.getpid ()))
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let dir = Filename.concat base_dir (string_of_int !dir_counter) in
+  Lsm.mkdir_p dir;
+  dir
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let clean l = List.sort compare (List.filter (fun (_, v) -> v <> 0) l)
+
+(* Small-everything tuning so a handful of writes exercises flush,
+   compaction and the cache. *)
+let tiny =
+  {
+    Lsm.memtable_entries = 4;
+    block_entries = 4;
+    l0_trigger = 2;
+    run_entries = 16;
+    cache_blocks = 4;
+  }
+
+(* --------------------------------------------------------------- memtable *)
+
+let memtable_flush_boundary () =
+  let dir = fresh_dir () in
+  let t = Lsm.open_dir ~params:tiny dir in
+  (* Three distinct items: strictly below the watermark, nothing flushes. *)
+  Lsm.set t (key 0) 10;
+  Lsm.set t (key 1) 11;
+  Lsm.set t (key 1) 12 (* overwrite: still one distinct item *);
+  Lsm.set t (key 2) 13;
+  let st = Lsm.stats t in
+  check_int "no flush below the watermark" 0 st.Lsm.flushes;
+  check_int "memtable holds distinct items" 3 st.Lsm.memtable;
+  (* The fourth distinct item crosses the watermark. *)
+  Lsm.set t (key 3) 14;
+  let st = Lsm.stats t in
+  check_int "one flush at the watermark" 1 st.Lsm.flushes;
+  check_int "memtable drained" 0 st.Lsm.memtable;
+  check_int "one L0 run" 1 st.Lsm.l0_runs;
+  (* Reads fall through to the run; the overwrite won. *)
+  check_int "flushed value readable" 12 (Lsm.get t (key 1));
+  Alcotest.(check (list (pair int int)))
+    "items survive the flush"
+    [ (0, 10); (1, 12); (2, 13); (3, 14) ]
+    (List.map
+       (fun (i, v) -> ((match i with Item.Key k -> k | Item.Ticket -> -1), v))
+       (Lsm.items t));
+  Lsm.close t;
+  rm_rf dir
+
+(* ---------------------------------------------------------------- sstable *)
+
+let sstable_roundtrip () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "run.sst" in
+  let entries =
+    List.init 10 (fun i ->
+        ( key (2 * i),
+          if i = 7 then Memtable.Tombstone else Memtable.Value (100 + i) ))
+  in
+  Sstable.write ~path ~block_entries:4 entries;
+  let t = Sstable.open_file ~id:1 path in
+  check_int "entry count" 10 (Sstable.count t);
+  check_int "blocks of four" 3 (Sstable.blocks t);
+  check_bool "roundtrip" true (Sstable.read_all t = entries);
+  (* Point lookups through the sparse index: every present key, plus
+     misses inside and outside the key range. *)
+  List.iter
+    (fun (k, e) ->
+      check_bool "find present" true
+        (Sstable.find t ~block:Sstable.read_block k = Some e))
+    entries;
+  check_bool "miss between keys" true
+    (Sstable.find t ~block:Sstable.read_block (key 3) = None);
+  check_bool "miss past the end" true
+    (Sstable.find t ~block:Sstable.read_block (key 99) = None);
+  Sstable.close t;
+  rm_rf dir
+
+let sstable_corrupt_block_rejected () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "run.sst" in
+  Sstable.write ~path ~block_entries:4
+    (List.init 12 (fun i -> (key i, Memtable.Value i)));
+  (* Flip one byte in the first data block: the footer and index still
+     parse, but the block's CRC must reject the read. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd 6 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.make 1 '\xff') 0 1);
+  Unix.close fd;
+  let t = Sstable.open_file ~id:1 path in
+  check_bool "corrupt block raises" true
+    (match Sstable.read_all t with
+    | _ -> false
+    | exception Sstable.Corrupt _ -> true);
+  Sstable.close t;
+  rm_rf dir
+
+let sstable_corrupt_footer_rejected () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "run.sst" in
+  Sstable.write ~path ~block_entries:4
+    (List.init 8 (fun i -> (key i, Memtable.Value i)));
+  (* Truncate mid-footer: the run must be rejected whole at open. *)
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Unix.ftruncate fd (size - 4);
+  Unix.close fd;
+  check_bool "truncated footer raises at open" true
+    (match Sstable.open_file ~id:1 path with
+    | _ -> false
+    | exception Sstable.Corrupt _ -> true);
+  rm_rf dir
+
+(* -------------------------------------------------------------- group WAL *)
+
+let wal_torn_tail_truncated () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "wal.log" in
+  let t, existing = Group_wal.open_ path in
+  check_int "fresh log" 0 (List.length existing);
+  Group_wal.append t (Group_wal.Begin 1);
+  Group_wal.append t (Group_wal.Write (1, key 0, 0, 5));
+  Group_wal.append t (Group_wal.Committed 1);
+  Group_wal.sync t;
+  Group_wal.close t;
+  (* A crash mid-append leaves a torn frame: simulate with trailing junk. *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0 in
+  ignore (Unix.write fd (Bytes.of_string "\x0c\x00\x00\x00torn") 0 8);
+  Unix.close fd;
+  let records, _clean_bytes = Group_wal.read_file path in
+  check_int "only the clean prefix decodes" 3 (List.length records);
+  (* Reopening truncates the tail and appends cleanly after it. *)
+  let t, recovered = Group_wal.open_ path in
+  check_int "recovered the clean prefix" 3 (List.length recovered);
+  Group_wal.append t (Group_wal.Begin 2);
+  Group_wal.append t (Group_wal.Committed 2);
+  Group_wal.sync t;
+  Group_wal.close t;
+  let records, _ = Group_wal.read_file path in
+  check_int "appended past the truncation" 5 (List.length records);
+  check_bool "tail record intact" true
+    (List.nth records 4 = Group_wal.Committed 2);
+  rm_rf dir
+
+let wal_group_commit_batches () =
+  let dir = fresh_dir () in
+  let t, _ = Group_wal.open_ (Filename.concat dir "wal.log") in
+  (* Three transactions' commit points under one sync: one fsync. *)
+  List.iter
+    (fun tid ->
+      Group_wal.append t (Group_wal.Begin tid);
+      Group_wal.append t (Group_wal.Write (tid, key tid, 0, tid));
+      Group_wal.append t (Group_wal.Committed tid))
+    [ 1; 2; 3 ];
+  check_int "nothing durable before sync" 0 (Group_wal.durable_bytes t);
+  Group_wal.sync t;
+  check_int "one fsync for the batch" 1 (Group_wal.fsyncs t);
+  check_bool "bytes durable after sync" true (Group_wal.durable_bytes t > 0);
+  Group_wal.sync t;
+  check_int "empty sync is a no-op" 1 (Group_wal.fsyncs t);
+  Group_wal.close t;
+  rm_rf dir
+
+(* ------------------------------------------------------------- compaction *)
+
+let compaction_drops_tombstones () =
+  let dir = fresh_dir () in
+  let t = Lsm.open_dir ~params:tiny dir in
+  List.init 4 (fun i -> i) |> List.iter (fun i -> Lsm.set t (key i) (i + 1));
+  let st = Lsm.stats t in
+  check_int "first flush" 1 st.Lsm.flushes;
+  (* Delete one flushed key, then fill to the watermark again: the second
+     flush reaches the L0 trigger and compacts both runs into L1. *)
+  Lsm.delete t (key 1);
+  Lsm.set t (key 10) 11;
+  Lsm.set t (key 11) 12;
+  Lsm.set t (key 12) 13;
+  let st = Lsm.stats t in
+  check_int "second flush" 2 st.Lsm.flushes;
+  check_int "compacted at the trigger" 1 st.Lsm.compactions;
+  check_int "L0 empty after compaction" 0 st.Lsm.l0_runs;
+  check_bool "L1 populated" true (st.Lsm.l1_runs >= 1);
+  check_int "deleted key reads as unwritten" 0 (Lsm.get t (key 1));
+  let want = [ (key 0, 1); (key 2, 3); (key 3, 4);
+               (key 10, 11); (key 11, 12); (key 12, 13) ] in
+  check_bool "tombstone and its victim both gone" true
+    (clean (Lsm.items t) = clean want);
+  (* The dropped tombstone must stay dropped across a reopen: the merged
+     run is the bottom level, nothing older can resurface. *)
+  Lsm.close t;
+  let t = Lsm.open_dir ~params:tiny dir in
+  check_bool "state identical after reopen" true
+    (clean (Lsm.items t) = clean want);
+  check_int "deleted key still unwritten" 0 (Lsm.get t (key 1));
+  Lsm.close t;
+  rm_rf dir
+
+let cache_heats_on_reread () =
+  let dir = fresh_dir () in
+  let t = Lsm.open_dir ~params:tiny dir in
+  List.init 8 (fun i -> i) |> List.iter (fun i -> Lsm.set t (key i) (i + 1));
+  let st = Lsm.stats t in
+  check_bool "flushed to disk" true (st.Lsm.flushes >= 1);
+  (* First read of a flushed block misses; rereads hit. *)
+  List.init 8 (fun i -> i) |> List.iter (fun i -> ignore (Lsm.get t (key i)));
+  let st1 = Lsm.stats t in
+  check_bool "cold reads missed" true (st1.Lsm.cache_misses > 0);
+  List.init 8 (fun i -> i) |> List.iter (fun i -> ignore (Lsm.get t (key i)));
+  let st2 = Lsm.stats t in
+  check_bool "hot rereads hit" true (st2.Lsm.cache_hits > st1.Lsm.cache_hits);
+  check_int "no extra misses when hot" st1.Lsm.cache_misses
+    st2.Lsm.cache_misses;
+  Lsm.close t;
+  rm_rf dir
+
+(* ----------------------------------------------- recovery (QCheck property)
+
+   Random schedules of committed transactions, crashes and clean reopens,
+   with an optional dangling loser right before each crash. Two invariants
+   after every recovery and at the end:
+   - the store equals the model (committed effects only);
+   - replaying the full on-disk WAL predicts exactly the live storage
+     ([mdbs recover]'s audit, and chaos's wal_consistent check). *)
+
+type sched_op =
+  | Txn of (int * int) list  (* committed: (key, value) writes *)
+  | Crash of (int * int) list  (* loser writes left dangling, then crash *)
+  | Reopen  (* clean close + open *)
+
+let sched_gen =
+  let open QCheck.Gen in
+  let writes = list_size (int_range 1 3) (pair (int_range 0 7) (int_range 0 9)) in
+  list_size (int_range 1 14)
+    (frequency
+       [ (6, map (fun w -> Txn w) writes);
+         (2, map (fun w -> Crash w) writes);
+         (1, return Reopen) ])
+
+let sched_print ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Txn w ->
+             "C:" ^ String.concat ","
+                      (List.map (fun (k, v) -> Printf.sprintf "x%d=%d" k v) w)
+         | Crash w ->
+             "X:" ^ String.concat ","
+                      (List.map (fun (k, v) -> Printf.sprintf "x%d=%d" k v) w)
+         | Reopen -> "R")
+       ops)
+
+let replay_property =
+  QCheck.Test.make ~name:"replay(WAL) over manifest equals recovered storage"
+    ~count:60
+    (QCheck.make ~print:sched_print sched_gen)
+    (fun ops ->
+      let dir = fresh_dir () in
+      let t = ref (Lsm.open_dir ~params:tiny dir) in
+      let model = Hashtbl.create 8 in
+      let next_tid = ref 0 in
+      let write tid (k, v) =
+        let item = key k in
+        let before = Lsm.get !t item in
+        Lsm.wal_append !t (Group_wal.Write (tid, item, before, v));
+        Lsm.set !t item v
+      in
+      let wal_predicts_storage () =
+        let records, _ =
+          Group_wal.read_file (Filename.concat dir "wal.log")
+        in
+        let predicted = Wal.recovered_state (Wal.of_records records) in
+        clean predicted = clean (Lsm.items !t)
+      in
+      let model_items () =
+        Hashtbl.fold (fun k v acc -> (key k, v) :: acc) model []
+      in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          incr next_tid;
+          let tid = !next_tid in
+          match op with
+          | Txn writes ->
+              Lsm.wal_append !t (Group_wal.Begin tid);
+              List.iter (write tid) writes;
+              Lsm.wal_append !t (Group_wal.Committed tid);
+              Lsm.wal_sync !t;
+              List.iter (fun (k, v) -> Hashtbl.replace model k v) writes
+          | Crash writes ->
+              (* The loser's writes reach the store and the WAL but never a
+                 commit record: recovery must undo them. *)
+              Lsm.wal_append !t (Group_wal.Begin tid);
+              List.iter (write tid) writes;
+              t := Lsm.crash_reset !t;
+              ok :=
+                !ok
+                && clean (Lsm.items !t) = clean (model_items ())
+                && wal_predicts_storage ()
+          | Reopen ->
+              Lsm.close !t;
+              t := Lsm.open_dir ~params:tiny dir;
+              ok :=
+                !ok
+                && clean (Lsm.items !t) = clean (model_items ())
+                && wal_predicts_storage ())
+        ops;
+      Lsm.wal_sync !t;
+      ok :=
+        !ok
+        && clean (Lsm.items !t) = clean (model_items ())
+        && wal_predicts_storage ();
+      Lsm.close !t;
+      rm_rf dir;
+      !ok)
+
+(* -------------------------------------------- backend dispatch equivalence *)
+
+let exec site tid action =
+  match Local_dbms.submit site tid action with
+  | Local_dbms.Executed v -> v
+  | Local_dbms.Waiting -> Alcotest.fail "unexpected wait"
+  | Local_dbms.Aborted r -> Alcotest.failf "unexpected abort: %s" r
+
+let lsm_site_crash_recovers () =
+  let dir = fresh_dir () in
+  let site = Local_dbms.create ~backend:(`Lsm dir) ~lsm_params:tiny 0 in
+  check_bool "lsm backend reports itself" true
+    (Local_dbms.backend_name site = "lsm");
+  Local_dbms.load site [ (key 0, 100) ];
+  ignore (exec site 1 Op.Begin);
+  ignore (exec site 1 (Op.Write (key 0, -40)));
+  ignore (exec site 1 Op.Commit);
+  Local_dbms.sync_durable site;
+  check_bool "commit made bytes durable" true (Local_dbms.durable_bytes site > 0);
+  (* An in-flight loser dies with the crash. *)
+  ignore (exec site 2 Op.Begin);
+  ignore (exec site 2 (Op.Write (key 0, 999)));
+  ignore (exec site 2 (Op.Write (key 1, 7)));
+  Local_dbms.crash site;
+  check_int "committed survived" 60 (Local_dbms.storage_value site (key 0));
+  check_int "loser undone" 0 (Local_dbms.storage_value site (key 1));
+  (* The logical WAL and the on-disk storage agree after recovery. *)
+  (match Local_dbms.wal_state site with
+  | Some predicted ->
+      check_bool "WAL predicts storage" true
+        (clean predicted = clean (Local_dbms.storage_items site))
+  | None -> Alcotest.fail "lsm site is durable");
+  (* Post-crash work lands in the recovered store. *)
+  ignore (exec site 3 Op.Begin);
+  ignore (exec site 3 (Op.Write (key 0, 1)));
+  ignore (exec site 3 Op.Commit);
+  check_int "post-crash work" 61 (Local_dbms.storage_value site (key 0));
+  Local_dbms.close site;
+  (* A whole-process restart sees the same state: reopen from disk. *)
+  let t = Lsm.open_dir ~params:tiny dir in
+  check_int "state survives process exit" 61 (Lsm.get t (key 0));
+  Lsm.close t;
+  rm_rf dir
+
+(* The chaos differential: same fault plan, same seed, one run on the mem
+   backend and one on the lsm backend. The discrete-event simulation is
+   deterministic, and storage is below the scheduler's visibility, so the
+   entire result record — commits, aborts, retries, simulated makespan,
+   serializability — must be identical, and both must pass all checks. *)
+let chaos_mem_lsm_differential () =
+  let root = fresh_dir () in
+  let mix =
+    match Mdbs_sim.Fault.parse_mix "crash=1,drop=0.05,dup=0.03" with
+    | Ok mix -> mix
+    | Error msg -> Alcotest.failf "bad mix: %s" msg
+  in
+  let base =
+    {
+      Chaos.base_config with
+      Des.workload =
+        { Chaos.base_config.Des.workload with Workload.lsm_params = Some tiny };
+    }
+  in
+  List.iter
+    (fun seed ->
+      let mem = Chaos.run_one ~base ~mix ~seed Mdbs_core.Registry.S3 in
+      let lsm =
+        Chaos.run_one ~base ~data_dir:root ~mix ~seed Mdbs_core.Registry.S3
+      in
+      check_bool
+        (Printf.sprintf "seed %d: mem checks pass" seed)
+        true
+        (Chaos.ok mem.Chaos.checks);
+      check_bool
+        (Printf.sprintf "seed %d: lsm checks pass" seed)
+        true
+        (Chaos.ok lsm.Chaos.checks);
+      check_bool
+        (Printf.sprintf "seed %d: identical results across backends" seed)
+        true
+        (mem.Chaos.result = lsm.Chaos.result))
+    (List.init 13 (fun i -> 101 + (7 * i)));
+  rm_rf root
+
+let () =
+  Alcotest.run "mdbs-lsm"
+    [
+      ( "memtable",
+        [ Alcotest.test_case "flush-boundary" `Quick memtable_flush_boundary ] );
+      ( "sstable",
+        [
+          Alcotest.test_case "roundtrip" `Quick sstable_roundtrip;
+          Alcotest.test_case "corrupt-block" `Quick sstable_corrupt_block_rejected;
+          Alcotest.test_case "corrupt-footer" `Quick sstable_corrupt_footer_rejected;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "torn-tail" `Quick wal_torn_tail_truncated;
+          Alcotest.test_case "group-commit" `Quick wal_group_commit_batches;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "tombstones-dropped" `Quick compaction_drops_tombstones;
+          Alcotest.test_case "cache-heat" `Quick cache_heats_on_reread;
+        ] );
+      ("recovery", [ QCheck_alcotest.to_alcotest replay_property ]);
+      ( "backend",
+        [
+          Alcotest.test_case "site-crash-recovers" `Quick lsm_site_crash_recovers;
+          Alcotest.test_case "chaos-differential" `Slow chaos_mem_lsm_differential;
+        ] );
+    ]
