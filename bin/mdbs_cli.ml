@@ -121,10 +121,17 @@ let backend_flags =
     Arg.(value & opt (some int) None & info [ "lsm-cache" ] ~docv:"N"
            ~doc:"LSM block-cache capacity, in blocks (default 64).")
   in
+  let wal_checkpoint =
+    Arg.(value & opt (some int) None & info [ "lsm-wal-checkpoint" ] ~docv:"N"
+           ~doc:"WAL length, in records, that forces a checkpoint (manifest \
+                 republish + log rewrite) at the next group-commit point \
+                 (default 4096). Bounds the log even when the working set \
+                 stays inside the memtable.")
+  in
   Term.(
-    const (fun backend data_dir memtable cache ->
-        (backend, data_dir, memtable, cache))
-    $ backend $ data_dir $ memtable $ cache)
+    const (fun backend data_dir memtable cache wal_checkpoint ->
+        (backend, data_dir, memtable, cache, wal_checkpoint))
+    $ backend $ data_dir $ memtable $ cache $ wal_checkpoint)
 
 let fresh_data_dir () =
   let dir =
@@ -138,10 +145,10 @@ let fresh_data_dir () =
   dir
 
 (* Resolve the flag tuple into what Workload.config carries. *)
-let resolve_backend (backend, data_dir, memtable, cache) =
+let resolve_backend (backend, data_dir, memtable, cache, wal_checkpoint) =
   let lsm_params =
-    match (memtable, cache) with
-    | None, None -> None
+    match (memtable, cache, wal_checkpoint) with
+    | None, None, None -> None
     | _ ->
         Some
           {
@@ -151,6 +158,9 @@ let resolve_backend (backend, data_dir, memtable, cache) =
                 ~default:Lsm.default_params.Lsm.memtable_entries;
             cache_blocks =
               Option.value cache ~default:Lsm.default_params.Lsm.cache_blocks;
+            wal_checkpoint_records =
+              Option.value wal_checkpoint
+                ~default:Lsm.default_params.Lsm.wal_checkpoint_records;
           }
   in
   match backend with
@@ -914,7 +924,9 @@ let recover_cmd =
         "Opens every $(b,site-*) subdirectory under $(b,--data-dir) the way \
          a restarting site would — manifest runs, WAL-suffix redo, loser \
          undo with logged compensation — then audits the result: the state \
-         predicted by replaying the full on-disk WAL must equal the \
+         predicted by replaying the on-disk WAL over the manifest's runs \
+         (the log is checkpointed at each flush, so it carries unresolved \
+         transactions plus the post-flush suffix) must equal the \
          recovered storage, item for item. Lists in-doubt (prepared but \
          unresolved) transactions left for the GTM's decision record. \
          Exits 1 on any mismatch or unreadable site, 2 when the directory \
@@ -960,12 +972,10 @@ let recover_cmd =
         let in_doubt = Lsm.recovered_in_doubt t in
         let st = Lsm.stats t in
         Lsm.close t;
-        (* Read the WAL after recovery so the audit sees the compensation
+        (* Audit after recovery so the predictor sees the compensation
            records recovery itself just logged. *)
         let records, _ = Gw.read_file (Filename.concat dir "wal.log") in
-        let predicted =
-          Mdbs_site.Wal.recovered_state (Mdbs_site.Wal.of_records records)
-        in
+        let predicted = Lsm.predicted_items dir in
         let clean l = List.sort compare (List.filter (fun (_, v) -> v <> 0) l) in
         (clean predicted = clean items, items, in_doubt, st,
          List.length records)

@@ -127,11 +127,14 @@ let protocol_kind t = Protocol.kind t.protocol
 
 let serialization_point t = Protocol.serialization_point t.protocol
 
+(* Every data effect follows its WAL record (standard log-before-data):
+   a persistent backend may flush mid-effect, and the run it publishes
+   must never contain state the durable log cannot explain. *)
 let load t pairs =
   List.iter
     (fun (item, v) ->
-      s_set t.store item v;
-      log t (Wal.Load (item, v)))
+      log t (Wal.Load (item, v));
+      s_set t.store item v)
     pairs
 
 let schedule t = t.sched
@@ -171,8 +174,8 @@ let apply_granted t tid action =
       end
       else begin
         let before = s_get t.store item in
-        s_write_logged t.store tid item (before + delta);
         log t (Wal.Write (tid, item, before, before + delta));
+        s_write_logged t.store tid item (before + delta);
         record t tid action;
         Executed None
       end
@@ -180,8 +183,8 @@ let apply_granted t tid action =
       let v = s_get t.store Item.Ticket in
       if Protocol.buffers_writes t.protocol then buffer_write t tid Item.Ticket 1
       else begin
-        s_write_logged t.store tid Item.Ticket (v + 1);
-        log t (Wal.Write (tid, Item.Ticket, v, v + 1))
+        log t (Wal.Write (tid, Item.Ticket, v, v + 1));
+        s_write_logged t.store tid Item.Ticket (v + 1)
       end;
       record t tid action;
       Executed (Some v)
@@ -240,8 +243,8 @@ let install_buffered t tid =
       List.iter
         (fun (item, delta) ->
           let before = s_get t.store item in
-          s_set t.store item (before + delta);
           log t (Wal.Write (tid, item, before, before + delta));
+          s_set t.store item (before + delta);
           (* Ticket entries were already recorded at access time. *)
           if not (Item.equal item Item.Ticket) then
             record t tid (Op.Write (item, delta)))
@@ -278,8 +281,8 @@ let submit t tid action =
               List.iter
                 (fun (item, delta) ->
                   let before = s_get t.store item in
-                  s_write_logged t.store tid item (before + delta);
                   log t (Wal.Write (tid, item, before, before + delta));
+                  s_write_logged t.store tid item (before + delta);
                   if not (Item.equal item Item.Ticket) then
                     record t tid (Op.Write (item, delta)))
                 !writes;

@@ -100,16 +100,34 @@ let read_file path =
 
 type t = {
   path : string;
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;
   buf : Buffer.t; (* encoded records not yet written/fsynced *)
-  mutable appended : int; (* records ever appended, incl. recovered ones *)
+  mutable appended : int; (* records in the current log, incl. buffered *)
+  mutable total : int; (* records ever appended, across rotations *)
   mutable pending_commit_points : int;
   mutable synced_bytes : int;
   mutable fsyncs : int;
+  mutable rotations : int;
+  live : (Types.tid, (int * record) list ref) Hashtbl.t;
+      (* per unresolved transaction: its records (newest first), each
+         tagged with its position in the current log — exactly what a
+         checkpoint must carry forward. *)
   mutable h_batch : Stats.histogram;
   mutable h_fsync : Stats.histogram;
   mutable timed : bool;
 }
+
+(* Maintain the unresolved-transaction record set as the log grows. A
+   [Load] is pure state — once a flush folds it into a run it is never
+   needed again, so it is not retained. *)
+let track_live t seq r =
+  match r with
+  | Load _ -> ()
+  | Begin tid | Write (tid, _, _, _) | Prepared tid -> (
+      match Hashtbl.find_opt t.live tid with
+      | Some l -> l := (seq, r) :: !l
+      | None -> Hashtbl.replace t.live tid (ref [ (seq, r) ]))
+  | Committed tid | Aborted tid -> Hashtbl.remove t.live tid
 
 let ms_bounds =
   [| 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50. |]
@@ -117,23 +135,32 @@ let ms_bounds =
 let batch_bounds = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
 
 let open_ path =
+  (* A crash between writing and renaming a checkpoint leaves a stray
+     tmp; the real log is authoritative. *)
+  (try Sys.remove (path ^ ".tmp") with Sys_error _ -> ());
   let records, clean = read_file path in
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
   Unix.ftruncate fd clean;
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
-  ( {
+  let t =
+    {
       path;
       fd;
       buf = Buffer.create 4096;
       appended = List.length records;
+      total = List.length records;
       pending_commit_points = 0;
       synced_bytes = clean;
       fsyncs = 0;
+      rotations = 0;
+      live = Hashtbl.create 16;
       h_batch = Metrics.histogram Metrics.null "lsm_fsync_batch_size";
       h_fsync = Metrics.histogram Metrics.null "lsm_fsync_ms";
       timed = false;
-    },
-    records )
+    }
+  in
+  List.iteri (track_live t) records;
+  (t, records)
 
 let attach_metrics t ~labels metrics =
   t.h_batch <-
@@ -144,7 +171,9 @@ let attach_metrics t ~labels metrics =
 
 let append t r =
   encode t.buf r;
+  track_live t t.appended r;
   t.appended <- t.appended + 1;
+  t.total <- t.total + 1;
   if is_commit_point r then
     t.pending_commit_points <- t.pending_commit_points + 1
 
@@ -166,9 +195,65 @@ let sync t =
 
 let appended t = t.appended
 
+let total_appended t = t.total
+
 let durable_bytes t = t.synced_bytes
 
 let fsyncs t = t.fsyncs
+
+let rotations t = t.rotations
+
+let live_count t = Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.live 0
+
+(* Checkpoint: rewrite the log to just the unresolved transactions'
+   records, in their original order. Callers invoke this right after a
+   manifest publish that covers every current record — so everything
+   dropped here is reconstructible from the runs, and everything kept is
+   exactly what loser-undo and in-doubt analysis still need. The swap is
+   atomic (tmp + rename + directory fsync); a crash at any point leaves
+   either the old log (longer, replay is idempotent past the manifest's
+   high-water mark) or the new one. *)
+let rotate t =
+  sync t;
+  let kept =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun _ l acc -> !l @ acc) t.live [])
+  in
+  let out = Buffer.create 4096 in
+  List.iter (fun (_, r) -> encode out r) kept;
+  let b = Buffer.to_bytes out in
+  let tmp = t.path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Codec.write_fully fd b;
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp t.path;
+  let dfd = Unix.openfile (Filename.dirname t.path) [ Unix.O_RDONLY ] 0 in
+  Unix.fsync dfd;
+  Unix.close dfd;
+  (* The old descriptor still names the replaced inode: reopen. *)
+  Unix.close t.fd;
+  let fd = Unix.openfile t.path [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  t.fd <- fd;
+  t.appended <- List.length kept;
+  t.synced_bytes <- Bytes.length b;
+  t.rotations <- t.rotations + 1;
+  (* Renumber the kept records to their positions in the new log. *)
+  Hashtbl.reset t.live;
+  List.iteri (fun i (_, r) -> track_live t i r) kept
+
+(* Simulate losing the unsynced group-commit window (power loss, not a
+   clean restart): the buffered records never reach disk. The in-memory
+   bookkeeping ([appended], [live]) is intentionally not rolled back —
+   this is only sound immediately before discarding [t] for a reopen,
+   which rebuilds both from the durable file. *)
+let discard_pending t =
+  Buffer.clear t.buf;
+  t.pending_commit_points <- 0
 
 let close t =
   sync t;

@@ -41,13 +41,38 @@ val sync : t -> unit
 (** Write and fsync everything buffered (no-op when empty). *)
 
 val appended : t -> int
-(** Records ever appended, including those recovered at {!open_}. *)
+(** Records in the current log (including any still buffered) — the
+    manifest's coverage mark is measured against this count. Drops at
+    each {!rotate}. *)
+
+val total_appended : t -> int
+(** Records ever appended across rotations, including those recovered at
+    {!open_} — the monotonic counter behind [wal_records_total]. *)
 
 val durable_bytes : t -> int
 (** Bytes on disk covered by an fsync — the honest durability measure, as
     opposed to the logical record count. *)
 
 val fsyncs : t -> int
+
+val rotations : t -> int
+
+val live_count : t -> int
+(** Records belonging to transactions not yet resolved by a
+    [Committed]/[Aborted] — what a {!rotate} would keep. *)
+
+val rotate : t -> unit
+(** Checkpoint the log: atomically rewrite it to just the unresolved
+    transactions' records ({!live_count} of them). Only sound immediately
+    after a manifest publish whose [wal_records] equals the pre-rotation
+    {!live_count}: every dropped record is then reflected in the runs,
+    and replaying the old log past that mark is idempotent if the crash
+    lands before the rename. *)
+
+val discard_pending : t -> unit
+(** Drop the records buffered since the last {!sync} — the bounded loss a
+    real power failure inflicts. Leaves the in-memory counters stale, so
+    only call it immediately before abandoning the handle for a reopen. *)
 
 val attach_metrics :
   t -> labels:(string * string) list -> Mdbs_obs.Metrics.t -> unit

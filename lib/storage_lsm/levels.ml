@@ -190,6 +190,14 @@ let flush t ~wal_records entries =
       Metrics.inc t.m_flushes;
       save_manifest t
 
+(* Advance the coverage mark without writing a run: sound only when the
+   memtable is empty, i.e. every record being declared covered is either
+   pure control flow or an unresolved transaction's record retained by
+   the WAL rewrite. *)
+let checkpoint t ~wal_records =
+  t.wal_records <- wal_records;
+  save_manifest t
+
 let rec chunk n = function
   | [] -> []
   | es ->

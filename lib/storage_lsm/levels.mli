@@ -37,6 +37,12 @@ val flush : t -> wal_records:int -> (Item.t * Memtable.entry) list -> unit
     manifest with the WAL high-water mark it covers. Empty input is a
     no-op. *)
 
+val checkpoint : t -> wal_records:int -> unit
+(** Persist the manifest with a new WAL high-water mark without writing
+    a run. Only sound when the caller's memtable is empty — every newly
+    covered record must already be reflected in the runs or retained by
+    the WAL rewrite that follows. *)
+
 val maybe_compact : t -> bool
 (** Compact if L0 reached its trigger; returns whether it did. *)
 

@@ -9,6 +9,7 @@ type params = {
   l0_trigger : int;
   run_entries : int;
   cache_blocks : int;
+  wal_checkpoint_records : int;
 }
 
 let default_params =
@@ -18,6 +19,7 @@ let default_params =
     l0_trigger = 4;
     run_entries = 4096;
     cache_blocks = 64;
+    wal_checkpoint_records = 4096;
   }
 
 type t = {
@@ -70,10 +72,16 @@ let flush t =
     (* WAL strictly ahead of data: every record a run could contain must
        be durable before the manifest references the run. *)
     Group_wal.sync t.wal;
-    Levels.flush t.levels
-      ~wal_records:(Group_wal.appended t.wal)
-      (Memtable.entries t.mem);
+    (* The manifest's high-water mark is the post-checkpoint log length:
+       after rotation only unresolved transactions' records remain, and
+       all of them are already folded into the runs. If the process dies
+       between the publish and the rotation, recovery replays the old
+       log's suffix past this mark — a subset of records the new run
+       already reflects, so the replay is idempotent. *)
+    let kept = Group_wal.live_count t.wal in
+    Levels.flush t.levels ~wal_records:kept (Memtable.entries t.mem);
     Memtable.clear t.mem;
+    Group_wal.rotate t.wal;
     ignore (Levels.maybe_compact t.levels)
   end
 
@@ -106,10 +114,18 @@ let undo_log t tid =
   match Hashtbl.find_opt t.undo tid with Some log -> !log | None -> []
 
 let undo_txn t tid =
+  (* Raw puts, one flush decision at the end: the caller appends all the
+     compensation records before applying the undo, so a watermark flush
+     halfway through would publish a manifest claiming records whose
+     effects had only partially reached the memtable. *)
   (match Hashtbl.find_opt t.undo tid with
-  | Some log -> List.iter (fun (item, before) -> set t item before) !log
+  | Some log ->
+      List.iter
+        (fun (item, before) -> put_raw t item (Memtable.Value before))
+        !log
   | None -> ());
-  Hashtbl.remove t.undo tid
+  Hashtbl.remove t.undo tid;
+  maybe_flush t
 
 let items t =
   let state =
@@ -129,7 +145,35 @@ let load t pairs = List.iter (fun (item, v) -> set t item v) pairs
 
 let wal_append t r = Group_wal.append t.wal r
 
-let wal_sync t = Group_wal.sync t.wal
+(* Checkpoint the log even when the memtable never crosses its watermark
+   (a hot keyspace smaller than the memtable rewrites the same entries
+   forever and would otherwise grow the WAL without bound). With a
+   non-empty memtable this is an early flush; with an empty one we only
+   advance the manifest's mark and rewrite the log — sound because an
+   empty memtable means no effect record since the last flush is
+   uncovered. The [live_count] guard skips rotations that cannot shrink
+   the log (all records belong to unresolved transactions). *)
+let checkpoint t =
+  if Memtable.is_empty t.mem then begin
+    Group_wal.sync t.wal;
+    Levels.checkpoint t.levels ~wal_records:(Group_wal.live_count t.wal);
+    Group_wal.rotate t.wal
+  end
+  else flush t
+
+let maybe_checkpoint t =
+  if
+    Group_wal.appended t.wal >= t.params.wal_checkpoint_records
+    && Group_wal.appended t.wal > Group_wal.live_count t.wal
+  then checkpoint t
+
+(* The group-commit point is also the only safe WAL-bound trigger site:
+   every appended record's effect has been applied by now (mid-operation
+   windows — e.g. compensation records appended before the undo runs —
+   never reach here). Never trigger from [wal_append] itself. *)
+let wal_sync t =
+  Group_wal.sync t.wal;
+  maybe_checkpoint t
 
 let durable_bytes t = Group_wal.durable_bytes t.wal
 
@@ -214,15 +258,59 @@ let close t =
    else is rebuilt from manifest + WAL. Pending WAL appends are synced
    first — the in-process caller (Local_dbms.crash) has already logged
    compensation for its losers, and those records must survive into the
-   reopened log. *)
-let crash_reset t =
-  Group_wal.sync t.wal;
+   reopened log. [~lossy:true] instead drops the unsynced buffer, the
+   bounded loss a real power failure inflicts between group commits:
+   recovery then sees only the durable prefix, so unacknowledged
+   commits vanish while every synced one survives. *)
+let crash_reset ?(lossy = false) t =
+  if lossy then Group_wal.discard_pending t.wal else Group_wal.sync t.wal;
   close t;
   let t' = open_dir ~params:t.params t.dir in
   (match t.metrics with
   | Some (labels, metrics) -> attach_metrics t' ~labels metrics
   | None -> ());
   t'
+
+(* Offline audit predictor ([mdbs recover], tests): the state the on-disk
+   files alone promise, computed the flat way — manifest runs, WAL-suffix
+   redo past the manifest's mark, loser undo from before-images — with
+   none of [open_dir]'s memtable machinery. With WAL checkpointing the
+   log holds only unresolved transactions plus the post-flush suffix, so
+   "replay(WAL) over manifest" is the auditable invariant, not
+   "replay(WAL)" alone. *)
+let predicted_items dir =
+  let records, _ = Group_wal.read_file (wal_path dir) in
+  let levels = Levels.open_ dir in
+  let base = Levels.wal_records levels in
+  let state = ref (Levels.state levels) in
+  Levels.close levels;
+  List.iteri
+    (fun i r ->
+      if i >= base then
+        match r with
+        | Group_wal.Load (item, v) | Group_wal.Write (_, item, _, v) ->
+            state := Levels.ItemMap.add item (Memtable.Value v) !state
+        | Group_wal.Begin _ | Group_wal.Prepared _ | Group_wal.Committed _
+        | Group_wal.Aborted _ -> ())
+    records;
+  let analysis = Group_wal.analyze records in
+  Iset.iter
+    (fun tid ->
+      List.iter
+        (fun r ->
+          match r with
+          | Group_wal.Write (owner, item, before, _) when owner = tid ->
+              state := Levels.ItemMap.add item (Memtable.Value before) !state
+          | _ -> ())
+        (List.rev records))
+    analysis.Group_wal.losers;
+  Levels.ItemMap.fold
+    (fun item e acc ->
+      match e with
+      | Memtable.Value v -> (item, v) :: acc
+      | Memtable.Tombstone -> acc)
+    !state []
+  |> List.rev
 
 type stats = {
   flushes : int;
@@ -231,6 +319,7 @@ type stats = {
   cache_misses : int;
   fsyncs : int;
   wal_records_total : int;
+  wal_rotations : int;
   bytes_durable : int;
   l0_runs : int;
   l1_runs : int;
@@ -245,7 +334,8 @@ let stats t =
     cache_hits = Block_cache.hits (Levels.cache t.levels);
     cache_misses = Block_cache.misses (Levels.cache t.levels);
     fsyncs = Group_wal.fsyncs t.wal;
-    wal_records_total = Group_wal.appended t.wal;
+    wal_records_total = Group_wal.total_appended t.wal;
+    wal_rotations = Group_wal.rotations t.wal;
     bytes_durable = Group_wal.durable_bytes t.wal;
     l0_runs = l0;
     l1_runs = l1;

@@ -24,11 +24,15 @@ type params = {
   l0_trigger : int;  (** L0 run count that triggers compaction. *)
   run_entries : int;  (** Max entries per compacted L1 run. *)
   cache_blocks : int;  (** Block cache capacity. *)
+  wal_checkpoint_records : int;
+      (** Log length (records) that forces a checkpoint at the next
+          group-commit point, bounding the WAL even when the memtable
+          never crosses its watermark. *)
 }
 
 val default_params : params
 (** 1024-entry memtable, 64-entry blocks, compaction at 4 L0 runs,
-    4096-entry L1 runs, 64-block cache. *)
+    4096-entry L1 runs, 64-block cache, checkpoint at 4096 WAL records. *)
 
 type t
 
@@ -62,17 +66,26 @@ val wal_append : t -> Group_wal.record -> unit
 
 val wal_sync : t -> unit
 (** The group-commit point: one fsync for everything appended since the
-    last one. *)
+    last one. Also the WAL-bound checkpoint trigger — if the log has
+    reached [wal_checkpoint_records] and a rewrite would shrink it, the
+    store flushes (or, with an empty memtable, just republishes the
+    manifest mark) and rotates the log. Safe here and only here: at a
+    group-commit point every appended record's effect is applied. *)
 
 val durable_bytes : t -> int
 
 val recovered_in_doubt : t -> Types.tid list
 (** Prepared-but-unresolved transactions found by the last {!open_dir}. *)
 
-val crash_reset : t -> t
+val crash_reset : ?lossy:bool -> t -> t
 (** Simulate a crash-and-restart in process: sync pending WAL appends
     (the caller already logged its compensation), drop all volatile state
-    and reopen from disk. Metrics attachments carry over. *)
+    and reopen from disk. Metrics attachments carry over. With
+    [~lossy:true] the pending appends are discarded instead of synced —
+    a power-failure crash that loses the unsynced group-commit window,
+    so recovery rewinds to the durable prefix (fault-injection mode;
+    acknowledged outcomes are still never lost, because acks ride behind
+    the fsync). *)
 
 val flush : t -> unit
 (** Force a memtable flush (tests). *)
@@ -85,6 +98,13 @@ val attach_metrics :
 
 val close : t -> unit
 
+val predicted_items : string -> (Item.t * int) list
+(** Offline audit: the state a site directory's files promise — manifest
+    runs overlaid with the WAL records past the manifest's high-water
+    mark, losers undone from their before-images. Recovered storage must
+    equal this, item for item ([mdbs recover] and the QCheck schedule
+    property both check it). Reads the directory without mutating it. *)
+
 type stats = {
   flushes : int;
   compactions : int;
@@ -92,6 +112,8 @@ type stats = {
   cache_misses : int;
   fsyncs : int;
   wal_records_total : int;
+      (** Ever appended, across checkpoint rotations (monotonic). *)
+  wal_rotations : int;
   bytes_durable : int;
   l0_runs : int;
   l1_runs : int;

@@ -5,9 +5,12 @@ exception Corrupt of string
 
 let corrupt fmt = Format.ksprintf (fun s -> raise (Corrupt s)) fmt
 
-let magic = "MDBSSST1"
+let magic = "MDBSSST2"
 
-let footer_size = 8 + 8 + 8 + Codec.item_size + Codec.item_size + 8
+(* index_off, index_len, count, min_key, max_key, crc32(fields), magic. *)
+let footer_fields_size = 8 + 8 + 8 + Codec.item_size + Codec.item_size
+
+let footer_size = footer_fields_size + 4 + 8
 
 (* One entry on disk: item (9) + kind tag (1) + value (8). *)
 let entry_size = Codec.item_size + 1 + 8
@@ -80,11 +83,15 @@ let write ~path ~block_entries entries =
   let ib = Buffer.to_bytes ibody in
   Buffer.add_bytes buf ib;
   Codec.add_u32 buf (Crc32.digest_bytes ib 0 (Bytes.length ib));
-  Codec.add_i64 buf index_off;
-  Codec.add_i64 buf (Bytes.length ib);
-  Codec.add_i64 buf (List.length entries);
-  Codec.add_item buf (fst (List.hd entries));
-  Codec.add_item buf (fst (List.nth entries (List.length entries - 1)));
+  let fbody = Buffer.create footer_size in
+  Codec.add_i64 fbody index_off;
+  Codec.add_i64 fbody (Bytes.length ib);
+  Codec.add_i64 fbody (List.length entries);
+  Codec.add_item fbody (fst (List.hd entries));
+  Codec.add_item fbody (fst (List.nth entries (List.length entries - 1)));
+  let fb = Buffer.to_bytes fbody in
+  Buffer.add_bytes buf fb;
+  Codec.add_u32 buf (Crc32.digest_bytes fb 0 (Bytes.length fb));
   Buffer.add_string buf magic;
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Codec.write_fully fd (Buffer.to_bytes buf);
@@ -99,6 +106,10 @@ let open_file ~id path =
     let f = Codec.read_at fd (size - footer_size) footer_size in
     if Bytes.sub_string f (footer_size - 8) 8 <> magic then
       corrupt "%s: bad magic" path;
+    if
+      Codec.get_u32 f footer_fields_size
+      <> Crc32.digest_bytes f 0 footer_fields_size
+    then corrupt "%s: footer checksum mismatch" path;
     let index_off = Codec.get_i64 f 0 in
     let index_len = Codec.get_i64 f 8 in
     let count = Codec.get_i64 f 16 in
@@ -111,6 +122,9 @@ let open_file ~id path =
       Codec.get_u32 ib index_len <> Crc32.digest_bytes ib 0 index_len
     then corrupt "%s: index checksum mismatch" path;
     let nblocks = Codec.get_u32 ib 0 in
+    if index_len <> 4 + (nblocks * (Codec.item_size + 16)) then
+      corrupt "%s: index length %d does not match %d blocks" path index_len
+        nblocks;
     let index =
       Array.init nblocks (fun i ->
           let off = 4 + (i * (Codec.item_size + 16)) in

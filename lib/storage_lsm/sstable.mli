@@ -3,9 +3,9 @@
     Layout: data blocks (a [count]-prefixed entry array, each block closed
     by a CRC-32), then a sparse index (first key, offset, length per
     block, CRC-checked), then a fixed footer (index bounds, entry count,
-    min/max key, magic). Reads go footer → index → one block; a sparse
-    index over fixed-size blocks keeps the resident set proportional to
-    the block count, not the entry count.
+    min/max key, its own CRC-32, magic). Reads go footer → index → one
+    block; a sparse index over fixed-size blocks keeps the resident set
+    proportional to the block count, not the entry count.
 
     Any checksum or framing mismatch raises {!Corrupt} — a run is either
     intact or rejected whole; there is no partial trust. *)
@@ -49,5 +49,9 @@ val blocks : t -> int
 val min_key : t -> Item.t
 
 val max_key : t -> Item.t
+
+val footer_size : int
+(** Bytes of the fixed footer at the end of a run file (corruption
+    tests address footer fields relative to the end). *)
 
 val close : t -> unit

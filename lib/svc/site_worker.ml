@@ -34,10 +34,14 @@ type t = {
 
 (* Replies accumulate in [out] while a wakeup's batch executes and are
    shipped as one urgent message when it finishes — the coalescing half
-   of the GTM's per-site outbox pipeline. *)
+   of the GTM's per-site outbox pipeline. Local clients' promises are
+   buffered in [settled] the same way: a terminal outcome is only
+   broadcast after the batch's group-commit fsync, so an acknowledged
+   commit is a durable one even for the direct Run_local path. *)
 type state = {
   dbms : Local_dbms.t;
   out : reply list ref;
+  settled : (Outcome.t Promise.t * Outcome.t) list ref;
   observe : Types.tid -> Op.action -> string -> unit;
   on_done : Types.tid -> unit;
   local_cont : (Types.tid, Op.action list * Outcome.t Promise.t) Hashtbl.t;
@@ -45,14 +49,18 @@ type state = {
 
 let emit st r = st.out := r :: !(st.out)
 
+let settle_later st promise outcome =
+  st.settled := (promise, outcome) :: !(st.settled)
+
 let outcome_label = function
   | Local_dbms.Executed _ -> "executed"
   | Local_dbms.Waiting -> "waiting"
   | Local_dbms.Aborted _ -> "aborted"
 
 (* Run a local transaction's remaining actions; park the continuation on
-   the first [Waiting] (the completion drain resumes it), settle the
-   promise on commit/abort. *)
+   the first [Waiting] (the completion drain resumes it), buffer the
+   terminal outcome on commit/abort — the client only learns it after
+   the batch's fsync. *)
 let rec run_local_actions st tid actions promise =
   match actions with
   | [] ->
@@ -60,7 +68,7 @@ let rec run_local_actions st tid actions promise =
          and tapped — by the preceding [submit], so the [End] the certifier
          needs lands after it. *)
       st.on_done tid;
-      Promise.fulfill promise Outcome.Committed
+      settle_later st promise Outcome.Committed
   | action :: rest -> (
       match Local_dbms.submit st.dbms tid action with
       | Local_dbms.Executed _ ->
@@ -72,7 +80,7 @@ let rec run_local_actions st tid actions promise =
       | Local_dbms.Aborted reason ->
           st.observe tid action "aborted";
           st.on_done tid;
-          Promise.fulfill promise (Outcome.Aborted reason))
+          settle_later st promise (Outcome.Aborted reason))
 
 (* Lock releases only happen at this site, and this worker serializes all
    of the site's operations, so draining after every request catches every
@@ -141,14 +149,14 @@ let rec handle st = function
       | () -> ()
       | exception e ->
           st.on_done tid;
-          Promise.fulfill promise (Outcome.Aborted (Printexc.to_string e)));
+          settle_later st promise (Outcome.Aborted (Printexc.to_string e)));
       drain st
   | Crash ->
       (* Parked local continuations die with the site's volatile state. *)
       Hashtbl.iter
         (fun tid (_, promise) ->
           st.on_done tid;
-          Promise.fulfill promise (Outcome.Aborted "site-crash"))
+          settle_later st promise (Outcome.Aborted "site-crash"))
         st.local_cont;
       Hashtbl.reset st.local_cont;
       let sid = Local_dbms.site_id st.dbms in
@@ -164,9 +172,24 @@ let count_of = function Batch reqs -> List.length reqs | _ -> 1
 
 let worker_loop box handled reply observe on_done dbms =
   let st =
-    { dbms; out = ref []; observe; on_done; local_cont = Hashtbl.create 16 }
+    {
+      dbms;
+      out = ref [];
+      settled = ref [];
+      observe;
+      on_done;
+      local_cont = Hashtbl.create 16;
+    }
   in
+  (* Runs only after [sync_durable]: nothing a client can observe — a
+     promise broadcast or a GTM reply — escapes ahead of the fsync that
+     makes the outcome durable. *)
   let flush () =
+    (match List.rev !(st.settled) with
+    | [] -> ()
+    | ps ->
+        st.settled := [];
+        List.iter (fun (p, o) -> Promise.fulfill p o) ps);
     match List.rev !(st.out) with
     | [] -> ()
     | rs ->
@@ -199,8 +222,9 @@ let worker_loop box handled reply observe on_done dbms =
         let stop = process batch in
         (* Group commit: one fsync covers every WAL record the whole
            drain produced — all transactions that prepared or committed
-           in this batch — and it lands before their replies ship, so an
-           acknowledged outcome is a durable one. No-op for `Mem. *)
+           in this batch — and it lands before their replies ship or
+           their clients' promises broadcast, so an acknowledged outcome
+           is a durable one. No-op for `Mem. *)
         Local_dbms.sync_durable st.dbms;
         (* One urgent reply message per wakeup, however many requests the
            drain carried. *)

@@ -9,7 +9,6 @@ module Lsm = Mdbs_storage_lsm.Lsm
 module Memtable = Mdbs_storage_lsm.Memtable
 module Sstable = Mdbs_storage_lsm.Sstable
 module Group_wal = Mdbs_storage_lsm.Group_wal
-module Wal = Mdbs_site.Wal
 module Local_dbms = Mdbs_site.Local_dbms
 module Chaos = Mdbs_experiments.Chaos
 module Workload = Mdbs_sim.Workload
@@ -54,6 +53,7 @@ let tiny =
     l0_trigger = 2;
     run_entries = 16;
     cache_blocks = 4;
+    wal_checkpoint_records = 64;
   }
 
 (* --------------------------------------------------------------- memtable *)
@@ -150,6 +150,25 @@ let sstable_corrupt_footer_rejected () =
     | exception Sstable.Corrupt _ -> true);
   rm_rf dir
 
+let sstable_corrupt_footer_field_rejected () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "run.sst" in
+  Sstable.write ~path ~block_entries:4
+    (List.init 8 (fun i -> (key i, Memtable.Value i)));
+  (* Flip a byte inside the footer's min_key field: the magic and the
+     index still parse, but the footer CRC must reject the file — a
+     corrupted key range would otherwise silently misroute finds. *)
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd (size - Sstable.footer_size + 25) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.make 1 '\xff') 0 1);
+  Unix.close fd;
+  check_bool "corrupt footer field raises at open" true
+    (match Sstable.open_file ~id:1 path with
+    | _ -> false
+    | exception Sstable.Corrupt _ -> true);
+  rm_rf dir
+
 (* -------------------------------------------------------------- group WAL *)
 
 let wal_torn_tail_truncated () =
@@ -179,6 +198,119 @@ let wal_torn_tail_truncated () =
   check_int "appended past the truncation" 5 (List.length records);
   check_bool "tail record intact" true
     (List.nth records 4 = Group_wal.Committed 2);
+  rm_rf dir
+
+(* A committed write/commit pair through the full Lsm API, so every
+   storage effect has a matching WAL record. *)
+let committed_write t tid kvs =
+  Lsm.wal_append t (Group_wal.Begin tid);
+  List.iter
+    (fun (k, v) ->
+      let item = key k in
+      let before = Lsm.get t item in
+      Lsm.wal_append t (Group_wal.Write (tid, item, before, v));
+      Lsm.set t item v)
+    kvs;
+  Lsm.wal_append t (Group_wal.Committed tid);
+  Lsm.wal_sync t
+
+let disk_predicts_storage dir t =
+  clean (Lsm.predicted_items dir) = clean (Lsm.items t)
+
+let wal_checkpoint_bounds_log () =
+  let dir = fresh_dir () in
+  let t = ref (Lsm.open_dir ~params:tiny dir) in
+  (* 50 committed transactions over a small keyspace: without
+     checkpointing the log would retain all ~400 records; with it, each
+     flush truncates to the unresolved set (empty here). *)
+  for tid = 1 to 50 do
+    committed_write !t tid (List.init 6 (fun k -> (k, tid)))
+  done;
+  let st = Lsm.stats !t in
+  check_bool "flushes happened" true (st.Lsm.flushes > 1);
+  check_bool "checkpoints happened" true (st.Lsm.wal_rotations > 1);
+  check_bool "total record count is monotonic" true
+    (st.Lsm.wal_records_total >= 50 * 8);
+  let records, _ = Group_wal.read_file (Filename.concat dir "wal.log") in
+  check_bool "log holds only the post-checkpoint suffix" true
+    (List.length records < 100);
+  check_bool "disk predicts storage" true (disk_predicts_storage dir !t);
+  (* An unresolved transaction's records must survive checkpointing: a
+     later crash still needs its before-images for undo. *)
+  Lsm.wal_append !t (Group_wal.Begin 99);
+  let before = Lsm.get !t (key 0) in
+  Lsm.wal_append !t (Group_wal.Write (99, key 0, before, 12345));
+  Lsm.set !t (key 0) 12345;
+  (* Force at least one flush (and so a checkpoint) with 99 still open. *)
+  List.iteri (fun i v -> committed_write !t (200 + i) [ (50 + i, v) ])
+    [ 7; 7; 7; 7 ];
+  let st2 = Lsm.stats !t in
+  check_bool "checkpointed with a transaction open" true
+    (st2.Lsm.wal_rotations > st.Lsm.wal_rotations);
+  let records, _ = Group_wal.read_file (Filename.concat dir "wal.log") in
+  check_bool "open transaction's records survive the checkpoint" true
+    (List.exists
+       (function Group_wal.Write (99, _, _, _) -> true | _ -> false)
+       records);
+  (* Crash: the loser is undone from its checkpointed before-image. *)
+  t := Lsm.crash_reset !t;
+  check_int "loser undone across the checkpoint" before
+    (Lsm.get !t (key 0));
+  check_bool "disk predicts storage after recovery" true
+    (disk_predicts_storage dir !t);
+  Lsm.close !t;
+  rm_rf dir
+
+let wal_bound_without_watermark () =
+  let dir = fresh_dir () in
+  (* A hot keyspace far smaller than the memtable: the watermark never
+     trips, so only the group-commit-point bound can checkpoint the
+     log. Without it the WAL would retain all ~1200 records. *)
+  let params = { tiny with Lsm.memtable_entries = 64 } in
+  let t = ref (Lsm.open_dir ~params dir) in
+  for tid = 1 to 150 do
+    committed_write !t tid (List.init 6 (fun k -> (k, tid)))
+  done;
+  let st = Lsm.stats !t in
+  check_bool "bound trigger checkpointed" true (st.Lsm.wal_rotations > 1);
+  check_bool "total record count is monotonic" true
+    (st.Lsm.wal_records_total >= 150 * 8);
+  let records, _ = Group_wal.read_file (Filename.concat dir "wal.log") in
+  check_bool "log bounded below the checkpoint threshold + one batch" true
+    (List.length records <= params.Lsm.wal_checkpoint_records + 8);
+  check_bool "disk predicts storage" true (disk_predicts_storage dir !t);
+  t := Lsm.crash_reset !t;
+  check_int "hot key recovered" 150 (Lsm.get !t (key 0));
+  check_bool "disk predicts storage after recovery" true
+    (disk_predicts_storage dir !t);
+  Lsm.close !t;
+  rm_rf dir
+
+let lossy_crash_loses_only_unacked () =
+  let dir = fresh_dir () in
+  let t = ref (Lsm.open_dir ~params:tiny dir) in
+  (* Acked: committed and group-commit-synced. *)
+  committed_write !t 1 [ (0, 5) ];
+  (* Unacked: committed in memory, but the crash lands before the fsync
+     that would precede any acknowledgment. *)
+  Lsm.wal_append !t (Group_wal.Begin 2);
+  Lsm.wal_append !t (Group_wal.Write (2, key 0, 5, 9));
+  Lsm.set !t (key 0) 9;
+  Lsm.wal_append !t (Group_wal.Write (2, key 1, 0, 7));
+  Lsm.set !t (key 1) 7;
+  Lsm.wal_append !t (Group_wal.Committed 2);
+  t := Lsm.crash_reset ~lossy:true !t;
+  check_int "acked commit survives" 5 (Lsm.get !t (key 0));
+  check_int "unacked commit vanishes whole" 0 (Lsm.get !t (key 1));
+  check_bool "disk predicts storage" true (disk_predicts_storage dir !t);
+  let records, _ = Group_wal.read_file (Filename.concat dir "wal.log") in
+  check_bool "lost suffix absent from the log" true
+    (not
+       (List.exists
+          (function
+            | Group_wal.Begin 2 | Group_wal.Committed 2 -> true | _ -> false)
+          records));
+  Lsm.close !t;
   rm_rf dir
 
 let wal_group_commit_batches () =
@@ -254,16 +386,21 @@ let cache_heats_on_reread () =
 
 (* ----------------------------------------------- recovery (QCheck property)
 
-   Random schedules of committed transactions, crashes and clean reopens,
-   with an optional dangling loser right before each crash. Two invariants
-   after every recovery and at the end:
-   - the store equals the model (committed effects only);
-   - replaying the full on-disk WAL predicts exactly the live storage
-     ([mdbs recover]'s audit, and chaos's wal_consistent check). *)
+   Random schedules of committed transactions, crashes (clean and lossy)
+   and clean reopens, with an optional dangling loser right before each
+   crash. Two invariants after every recovery and at the end:
+   - the store equals the model (committed-and-durable effects only; every
+     commit here syncs, so a lossy crash can only lose the dangling loser);
+   - the on-disk files alone — manifest runs, WAL suffix, loser undo —
+     predict exactly the live storage ([mdbs recover]'s audit, across
+     arbitrary interleavings of flushes and WAL checkpoints). *)
 
 type sched_op =
   | Txn of (int * int) list  (* committed: (key, value) writes *)
   | Crash of (int * int) list  (* loser writes left dangling, then crash *)
+  | Lossy of (int * int) list
+      (* loser writes, then a power-failure crash that drops the unsynced
+         group-commit window *)
   | Reopen  (* clean close + open *)
 
 let sched_gen =
@@ -273,6 +410,7 @@ let sched_gen =
     (frequency
        [ (6, map (fun w -> Txn w) writes);
          (2, map (fun w -> Crash w) writes);
+         (2, map (fun w -> Lossy w) writes);
          (1, return Reopen) ])
 
 let sched_print ops =
@@ -284,6 +422,9 @@ let sched_print ops =
                       (List.map (fun (k, v) -> Printf.sprintf "x%d=%d" k v) w)
          | Crash w ->
              "X:" ^ String.concat ","
+                      (List.map (fun (k, v) -> Printf.sprintf "x%d=%d" k v) w)
+         | Lossy w ->
+             "L:" ^ String.concat ","
                       (List.map (fun (k, v) -> Printf.sprintf "x%d=%d" k v) w)
          | Reopen -> "R")
        ops)
@@ -303,15 +444,12 @@ let replay_property =
         Lsm.wal_append !t (Group_wal.Write (tid, item, before, v));
         Lsm.set !t item v
       in
-      let wal_predicts_storage () =
-        let records, _ =
-          Group_wal.read_file (Filename.concat dir "wal.log")
-        in
-        let predicted = Wal.recovered_state (Wal.of_records records) in
-        clean predicted = clean (Lsm.items !t)
-      in
       let model_items () =
         Hashtbl.fold (fun k v acc -> (key k, v) :: acc) model []
+      in
+      let consistent () =
+        clean (Lsm.items !t) = clean (model_items ())
+        && disk_predicts_storage dir !t
       in
       let ok = ref true in
       List.iter
@@ -331,23 +469,23 @@ let replay_property =
               Lsm.wal_append !t (Group_wal.Begin tid);
               List.iter (write tid) writes;
               t := Lsm.crash_reset !t;
-              ok :=
-                !ok
-                && clean (Lsm.items !t) = clean (model_items ())
-                && wal_predicts_storage ()
+              ok := !ok && consistent ()
+          | Lossy writes ->
+              (* Same dangling loser, but the unsynced tail of the log dies
+                 with the power: whatever a mid-transaction flush made
+                 durable is undone as a loser, the rest never existed. All
+                 commits synced, so the model is untouched either way. *)
+              Lsm.wal_append !t (Group_wal.Begin tid);
+              List.iter (write tid) writes;
+              t := Lsm.crash_reset ~lossy:true !t;
+              ok := !ok && consistent ()
           | Reopen ->
               Lsm.close !t;
               t := Lsm.open_dir ~params:tiny dir;
-              ok :=
-                !ok
-                && clean (Lsm.items !t) = clean (model_items ())
-                && wal_predicts_storage ())
+              ok := !ok && consistent ())
         ops;
       Lsm.wal_sync !t;
-      ok :=
-        !ok
-        && clean (Lsm.items !t) = clean (model_items ())
-        && wal_predicts_storage ();
+      ok := !ok && consistent ();
       Lsm.close !t;
       rm_rf dir;
       !ok)
@@ -446,11 +584,17 @@ let () =
           Alcotest.test_case "roundtrip" `Quick sstable_roundtrip;
           Alcotest.test_case "corrupt-block" `Quick sstable_corrupt_block_rejected;
           Alcotest.test_case "corrupt-footer" `Quick sstable_corrupt_footer_rejected;
+          Alcotest.test_case "corrupt-footer-field" `Quick
+            sstable_corrupt_footer_field_rejected;
         ] );
       ( "wal",
         [
           Alcotest.test_case "torn-tail" `Quick wal_torn_tail_truncated;
           Alcotest.test_case "group-commit" `Quick wal_group_commit_batches;
+          Alcotest.test_case "checkpoint" `Quick wal_checkpoint_bounds_log;
+          Alcotest.test_case "checkpoint-no-watermark" `Quick
+            wal_bound_without_watermark;
+          Alcotest.test_case "lossy-crash" `Quick lossy_crash_loses_only_unacked;
         ] );
       ( "compaction",
         [
