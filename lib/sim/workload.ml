@@ -10,6 +10,9 @@ type config = {
   local_ops : int;
   write_ratio : float;
   hotspot : int;
+  zipf_theta : float;
+  locality : float;
+  site_groups : int;
   durable : bool;
   backend : [ `Mem | `Lsm of string ];
   lsm_params : Mdbs_storage_lsm.Lsm.params option;
@@ -25,6 +28,9 @@ let default =
     local_ops = 3;
     write_ratio = 0.5;
     hotspot = 0;
+    zipf_theta = 0.0;
+    locality = 0.0;
+    site_groups = 0;
     durable = false;
     backend = `Mem;
     lsm_params = None;
@@ -51,7 +57,9 @@ let random_key rng config =
     if config.hotspot > 0 then min config.hotspot config.data_per_site
     else config.data_per_site
   in
-  Item.Key (Rng.int rng bound)
+  if config.zipf_theta > 0.0 then
+    Item.Key (Mdbs_util.Zipf.sample rng ~theta:config.zipf_theta ~n:bound)
+  else Item.Key (Rng.int rng bound)
 
 let random_action rng config =
   let item = random_key rng config in
@@ -59,9 +67,24 @@ let random_action rng config =
 
 let data_actions rng config count = List.init count (fun _ -> random_action rng config)
 
+let random_sites rng config d =
+  let g = config.site_groups in
+  if g > 1 && config.locality > 0.0 && Rng.float rng 1.0 < config.locality then begin
+    (* Confine the footprint to one contiguous site group. Group k of g
+       covers sites [k*m/g, (k+1)*m/g) — the same floor arithmetic as
+       Shard_map, so with site_groups = gtm_shards a "local" global
+       lands inside a single scheduling shard. *)
+    let k = Rng.int rng g in
+    let base = k * config.m / g in
+    let stop = (k + 1) * config.m / g in
+    let span = stop - base in
+    List.map (fun i -> base + i) (Rng.sample_distinct rng (min d span) span)
+  end
+  else Rng.sample_distinct rng d config.m
+
 let global_txn rng config =
   let d = min config.d_av config.m in
-  let sites = Rng.sample_distinct rng d config.m in
+  let sites = random_sites rng config d in
   let per_site =
     List.map (fun sid -> (sid, data_actions rng config config.ops_per_subtxn)) sites
   in

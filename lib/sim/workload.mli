@@ -17,6 +17,20 @@ type config = {
   hotspot : int;
       (** Accesses are drawn from the first [hotspot] keys when positive —
           higher contention; [0] means uniform over all keys. *)
+  zipf_theta : float;
+      (** When positive, keys are drawn Zipf-distributed with this skew
+          parameter (rank [k] ∝ [(k+1) ** -theta]) over the key range
+          (after the [hotspot] cap, if any); [0] means uniform. *)
+  locality : float;
+      (** Probability that a global transaction's site footprint is
+          confined to one contiguous site group (see [site_groups]);
+          the rest sample sites uniformly. [0] disables. *)
+  site_groups : int;
+      (** Number of contiguous site groups used by [locality]; group [k]
+          of [g] covers sites [k*m/g .. (k+1)*m/g), matching
+          [Shard_map]'s partition so with [site_groups = gtm_shards] a
+          "local" global lands inside one scheduling shard. [<= 1]
+          disables locality. *)
   durable : bool;
       (** Attach a write-ahead log to every site, enabling
           {!Mdbs_site.Local_dbms.crash}. Default [false]; fault-injecting

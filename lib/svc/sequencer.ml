@@ -1,0 +1,126 @@
+open Mdbs_model
+
+(* Cross-shard ticket sequencer. Each shard has one exclusive lane; a
+   spanning global draws a single monotonically increasing ticket and
+   enters the lane of every shard it touches. It is granted when it is
+   at the head (lowest ticket) of ALL its lanes, and holds them until
+   released at global fin. Because every waiter orders its lanes by one
+   total ticket order, there is no hold-and-wait cycle: the waiter with
+   the minimum outstanding ticket is at the head of each of its lanes
+   (anything ahead of it would have a smaller ticket) and is therefore
+   always eventually granted. *)
+
+type waiter = {
+  ticket : int;
+  w_gid : Types.gid;
+  w_shards : int list;
+  notify : unit -> unit;
+  mutable granted : bool;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable next_ticket : int;
+  (* Ticket-ascending queues; appends keep them sorted because tickets
+     are allocated in arrival order under the same mutex. *)
+  lanes : waiter list ref array;
+  by_gid : (Types.gid, waiter) Hashtbl.t;
+  mutable granted_now : int;  (* concurrently held grants, for gauges *)
+  mutable peak_granted : int;
+}
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Sequencer.create: shards < 1";
+  {
+    mutex = Mutex.create ();
+    next_ticket = 0;
+    lanes = Array.init shards (fun _ -> ref []);
+    by_gid = Hashtbl.create 64;
+    granted_now = 0;
+    peak_granted = 0;
+  }
+
+let at_head t w k =
+  match !(t.lanes.(k)) with
+  | head :: _ -> head == w
+  | [] -> false
+
+(* Grant every waiter that now heads all of its lanes; returns their
+   notify callbacks so the caller can run them outside the mutex. *)
+let collect_grants t =
+  let fired = ref [] in
+  Array.iter
+    (fun lane ->
+      match !lane with
+      | w :: _ when (not w.granted) && List.for_all (at_head t w) w.w_shards
+        ->
+          w.granted <- true;
+          t.granted_now <- t.granted_now + 1;
+          if t.granted_now > t.peak_granted then
+            t.peak_granted <- t.granted_now;
+          fired := w.notify :: !fired
+      | _ -> ())
+    t.lanes;
+  !fired
+
+let acquire t ~gid ~shards ~notify =
+  (match shards with
+  | [] -> invalid_arg "Sequencer.acquire: empty shard set"
+  | _ -> ());
+  Mutex.lock t.mutex;
+  if Hashtbl.mem t.by_gid gid then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Sequencer.acquire: gid already queued"
+  end;
+  let w =
+    {
+      ticket = t.next_ticket;
+      w_gid = gid;
+      w_shards = shards;
+      notify;
+      granted = false;
+    }
+  in
+  t.next_ticket <- t.next_ticket + 1;
+  Hashtbl.replace t.by_gid gid w;
+  List.iter (fun k -> t.lanes.(k) := !(t.lanes.(k)) @ [ w ]) shards;
+  let fired = collect_grants t in
+  Mutex.unlock t.mutex;
+  List.iter (fun f -> f ()) fired
+
+let release t ~gid =
+  Mutex.lock t.mutex;
+  let fired =
+    match Hashtbl.find_opt t.by_gid gid with
+    | None ->
+        Mutex.unlock t.mutex;
+        invalid_arg "Sequencer.release: unknown gid"
+    | Some w ->
+        Hashtbl.remove t.by_gid gid;
+        if w.granted then t.granted_now <- t.granted_now - 1;
+        List.iter
+          (fun k ->
+            t.lanes.(k) := List.filter (fun x -> not (x == w)) !(t.lanes.(k)))
+          w.w_shards;
+        collect_grants t
+  in
+  Mutex.unlock t.mutex;
+  List.iter (fun f -> f ()) fired
+
+let queued t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.by_gid in
+  Mutex.unlock t.mutex;
+  n
+
+let peak_granted t =
+  Mutex.lock t.mutex;
+  let n = t.peak_granted in
+  Mutex.unlock t.mutex;
+  n
+
+let tickets_issued t =
+  Mutex.lock t.mutex;
+  let n = t.next_ticket in
+  Mutex.unlock t.mutex;
+  n

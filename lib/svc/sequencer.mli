@@ -1,0 +1,42 @@
+(** Ticket sequencer for globals whose site footprint spans GTM shards.
+
+    One exclusive lane per shard. {!acquire} draws a ticket from a
+    single monotone counter and enqueues the global on the lane of
+    every shard it touches; the global is {e granted} — its [notify]
+    callback runs — once it holds the head (minimum ticket) of all its
+    lanes, and it keeps them until {!release} at global fin. Two
+    spanning globals that share any shard are therefore never in their
+    shards' engines concurrently, and the grant order embeds all
+    spanning globals in one total (ticket) order — the ser(S) position
+    the certifier's cross-shard argument relies on (DESIGN.md §17).
+
+    Deadlock-free by construction: every waiter orders its lanes by the
+    same global ticket order, so the minimum outstanding ticket heads
+    each of its lanes and is always eventually granted.
+
+    Thread-safe; [notify] callbacks run {e outside} the internal mutex
+    (they typically post to a shard mailbox) and may fire on the caller
+    of either {!acquire} or {!release}. *)
+
+open Mdbs_model
+
+type t
+
+val create : shards:int -> t
+
+(** May invoke [notify] synchronously when the lanes are free. Raises
+    [Invalid_argument] on an empty shard set or a gid already queued. *)
+val acquire : t -> gid:Types.gid -> shards:int list -> notify:(unit -> unit) -> unit
+
+(** Frees the global's lanes and grants any newly unblocked waiters.
+    Raises [Invalid_argument] for a gid not currently queued. *)
+val release : t -> gid:Types.gid -> unit
+
+(** Globals currently queued or granted. *)
+val queued : t -> int
+
+(** High-water mark of concurrently granted spanning globals. *)
+val peak_granted : t -> int
+
+(** Total tickets drawn so far (= spanning globals ever admitted). *)
+val tickets_issued : t -> int

@@ -30,6 +30,7 @@ type config = {
   telemetry_interval_ms : float;
   slos : Mdbs_obs.Slo.spec list;
   flight_dump : string option;
+  gtm_shards : int;
 }
 
 let config ?(wl = Workload.default) ?(rate = 200.) ?(duration_s = 5.)
@@ -39,14 +40,14 @@ let config ?(wl = Workload.default) ?(rate = 200.) ?(duration_s = 5.)
     ?shed_blocked ?(report_every_s = 1.) ?(obs = Obs.disabled)
     ?(certify = Runtime.Certify_batch) ?(cert_checkpoint_every = 4096)
     ?telemetry_out ?openmetrics_out ?(telemetry_interval_ms = 1000.)
-    ?(slos = []) ?flight_dump scheme =
+    ?(slos = []) ?flight_dump ?(gtm_shards = 1) scheme =
   if rate <= 0. then invalid_arg "Serve.config: rate <= 0";
   if duration_s <= 0. then invalid_arg "Serve.config: duration <= 0";
   { wl; scheme; rate; duration_s; local_fraction; seed; retry; atomic_commit;
     capacity; max_active; stall_timeout_ms; wound_after_ms; tick_ms;
     shed_parked; shed_blocked; report_every_s; obs; certify;
     cert_checkpoint_every; telemetry_out; openmetrics_out;
-    telemetry_interval_ms; slos; flight_dump }
+    telemetry_interval_ms; slos; flight_dump; gtm_shards }
 
 type summary = {
   offered : int;
@@ -102,7 +103,8 @@ let run ?(quiet = false) cfg =
          ~cert_checkpoint_every:cfg.cert_checkpoint_every
          ?telemetry_out:cfg.telemetry_out ?openmetrics_out:cfg.openmetrics_out
          ~telemetry_interval_ms:cfg.telemetry_interval_ms ~slos:cfg.slos
-         ?flight_dump:cfg.flight_dump
+         ?flight_dump:cfg.flight_dump ~gtm_shards:cfg.gtm_shards
+         ~scheme_factory:(fun () -> Registry.make cfg.scheme)
          ~scheme:(Registry.make cfg.scheme)
          ~sites ())
   in

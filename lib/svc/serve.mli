@@ -51,6 +51,7 @@ type config = {
   telemetry_interval_ms : float;
   slos : Mdbs_obs.Slo.spec list;
   flight_dump : string option;
+  gtm_shards : int;  (** GTM scheduling shards ({!Runtime.config}). *)
 }
 
 val config :
@@ -77,6 +78,7 @@ val config :
   ?telemetry_interval_ms:float ->
   ?slos:Mdbs_obs.Slo.spec list ->
   ?flight_dump:string ->
+  ?gtm_shards:int ->
   Mdbs_core.Registry.kind ->
   config
 (** Defaults: default workload, 200 arrivals/s offered, 5 s, no locals,

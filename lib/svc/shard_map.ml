@@ -1,0 +1,48 @@
+open Mdbs_model
+
+type t = {
+  nshards : int;
+  of_site : (Types.sid, int) Hashtbl.t;
+  sites_of : Types.sid list array;
+}
+
+let create ~shards ~sites =
+  let m = List.length sites in
+  if shards < 1 then invalid_arg "Shard_map.create: shards < 1";
+  if m = 0 then invalid_arg "Shard_map.create: no sites";
+  if shards > m then invalid_arg "Shard_map.create: more shards than sites";
+  let of_site = Hashtbl.create (2 * m) in
+  let sites_of = Array.make shards [] in
+  (* Contiguous chunks by list position: shard k owns positions
+     [k*m/n, (k+1)*m/n). Workload.global_txn's locality groups use the
+     same floor arithmetic so a "local" footprint lands inside one
+     shard. *)
+  List.iteri
+    (fun pos sid ->
+      let k = pos * shards / m in
+      if Hashtbl.mem of_site sid then
+        invalid_arg "Shard_map.create: duplicate site";
+      Hashtbl.replace of_site sid k;
+      sites_of.(k) <- sid :: sites_of.(k))
+    sites;
+  Array.iteri (fun k l -> sites_of.(k) <- List.rev l) sites_of;
+  { nshards = shards; of_site; sites_of }
+
+let nshards t = t.nshards
+let sites_of t k = t.sites_of.(k)
+
+let shard_of t sid =
+  match Hashtbl.find_opt t.of_site sid with
+  | Some k -> k
+  | None -> invalid_arg "Shard_map.shard_of: unknown site"
+
+let shards_of t sites =
+  List.sort_uniq compare (List.map (shard_of t) sites)
+
+let home t sites =
+  match shards_of t sites with
+  | [] -> invalid_arg "Shard_map.home: empty footprint"
+  | k :: _ -> k
+
+let spanning t sites =
+  match shards_of t sites with [] | [ _ ] -> false | _ -> true

@@ -1,0 +1,33 @@
+(** Static partition of the site set into contiguous scheduling shards.
+
+    Shard [k] of [n] owns list positions [\[k*m/n, (k+1)*m/n)] of the
+    site list passed to {!create} (sizes balanced to within one). The
+    map is immutable and read-only after construction, so every GTM
+    shard domain and site-worker reply closure can consult it without
+    synchronization. *)
+
+open Mdbs_model
+
+type t
+
+(** Raises [Invalid_argument] when [shards < 1], [shards] exceeds the
+    number of sites, or the site list is empty / has duplicates. *)
+val create : shards:int -> sites:Types.sid list -> t
+
+val nshards : t -> int
+
+(** Sites owned by shard [k], in the original list order. *)
+val sites_of : t -> int -> Types.sid list
+
+(** Owning shard of a site. Raises on sites outside the map. *)
+val shard_of : t -> Types.sid -> int
+
+(** Sorted, deduplicated shard footprint of a site set. *)
+val shards_of : t -> Types.sid list -> int list
+
+(** Lowest-numbered shard of the footprint — the coordinator ("home")
+    for a spanning transaction. *)
+val home : t -> Types.sid list -> int
+
+(** True iff the footprint touches more than one shard. *)
+val spanning : t -> Types.sid list -> bool

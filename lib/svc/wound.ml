@@ -21,6 +21,9 @@ type decision =
 let older a_birth a_gid b_birth b_gid =
   a_birth < b_birth || (a_birth = b_birth && a_gid < b_gid)
 
+let quiet ~now ~wound_after_ms ~waiters =
+  not (List.exists (fun w -> now -. w.w_since >= wound_after_ms) waiters)
+
 let oldest_first ws =
   List.sort
     (fun a b ->

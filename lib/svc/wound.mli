@@ -49,6 +49,15 @@ val older : int -> Types.gid -> int -> Types.gid -> bool
     (birth [b2], gid [g2]) in the age order? Smaller birth wins; gid breaks
     ties, so the order is total. *)
 
+val quiet : now:float -> wound_after_ms:float -> waiters:waiter list -> bool
+(** Fast per-tick pre-check: true when {e no} waiter's wound window has
+    elapsed yet, i.e. {!decide} cannot return [Wound] and (since
+    [deadline_ms >= wound_after_ms]) cannot return [Timeout] either. The
+    caller builds [waiters] from its own blocked-entry snapshot {e without}
+    taking the scheduler lock; only when [quiet] is false does it pay for
+    the resident snapshot (which requires the lock) and the full
+    {!decide}. One O(waiters) scan, no allocation, no sort. *)
+
 type decision =
   | Wound of { wounder : Types.gid; victim : Types.gid }
       (** [victim] is strictly younger than [wounder] and resident at the

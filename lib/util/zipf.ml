@@ -1,0 +1,38 @@
+(* Rejection-inversion sampling of the Zipf distribution (Hörmann &
+   Derflinger, "Rejection-inversion to generate variates from monotone
+   discrete distributions", 1996). O(1) expected draws per sample, no
+   precomputed tables, so callers can sample straight from an immutable
+   workload config. *)
+
+let sample rng ~theta ~n =
+  if n < 1 then invalid_arg "Zipf.sample: n < 1";
+  if theta < 0. then invalid_arg "Zipf.sample: theta < 0";
+  if theta = 0. then Rng.int rng n
+  else begin
+    (* H is an antiderivative of the unnormalized density x^-theta; the
+       sampler inverts it over [0.5, n + 0.5] and accepts with the exact
+       point mass, so no harmonic normalization is ever computed. *)
+    let log_branch = Float.abs (theta -. 1.) < 1e-9 in
+    let h x =
+      if log_branch then log x
+      else (Float.pow x (1. -. theta) -. 1.) /. (1. -. theta)
+    in
+    let h_inv u =
+      if log_branch then exp u
+      else Float.pow (1. +. ((1. -. theta) *. u)) (1. /. (1. -. theta))
+    in
+    let hx0 = h 0.5 -. 1. in
+    let hn = h (float_of_int n +. 0.5) in
+    let rec draw () =
+      let u = hx0 +. (Rng.float rng 1.0 *. (hn -. hx0)) in
+      let x = h_inv u in
+      let k = Float.round x in
+      let k =
+        if k < 1. then 1. else if k > float_of_int n then float_of_int n else k
+      in
+      if u >= h (k +. 0.5) -. Float.pow k (-.theta) then
+        int_of_float k - 1
+      else draw ()
+    in
+    draw ()
+  end

@@ -1,0 +1,12 @@
+(** Seeded Zipf-distributed sampling for skewed-key workloads.
+
+    [sample rng ~theta ~n] draws a rank in [\[0, n)] where rank [k] has
+    probability proportional to [(k + 1) ** -theta]. [theta = 0] degrades
+    to the uniform distribution; larger [theta] concentrates mass on the
+    low ranks (the hot keys). Uses rejection-inversion, so each draw is
+    O(1) expected time with no table precomputation, and every draw comes
+    from the caller's explicit {!Rng.t} (deterministic per seed).
+
+    Raises [Invalid_argument] if [n < 1] or [theta < 0]. *)
+
+val sample : Rng.t -> theta:float -> n:int -> int

@@ -425,6 +425,65 @@ let wound_retry_no_double_visit () =
   check_int "all settled" r.Loadgen.submitted
     (r.Loadgen.committed + r.Loadgen.aborted)
 
+(* QCheck: sharded scheduling is certified under arbitrary site footprints.
+   Random m, shard count, seed and locality produce runs whose globals
+   split arbitrarily between the single-shard fast path and the sequencer's
+   spanning slow path; every realized interleaving must settle everything
+   and certify against the same Theorem-2 obligations the single-shard
+   runtime answers to — the obligations don't know shards exist. *)
+let sharded_run_gen =
+  QCheck.Gen.(
+    let* m = int_range 2 6 in
+    let* shards = int_range 2 m in
+    let* seed = int_bound 999 in
+    let* hotspot = int_bound 2 in
+    return (m, shards, seed, hotspot))
+
+let sharded_run_arb =
+  QCheck.make
+    ~print:(fun (m, shards, seed, hotspot) ->
+      Printf.sprintf "m=%d shards=%d seed=%d hotspot=%d" m shards seed hotspot)
+    sharded_run_gen
+
+let sharded_scheduling_certified =
+  QCheck.Test.make ~name:"sharded scheduling certifies under random footprints"
+    ~count:8 sharded_run_arb
+    (fun (m, shards, seed, hotspot) ->
+      let r =
+        Loadgen.run
+          (Loadgen.config
+             ~wl:{ (wl m) with Workload.hotspot }
+             ~clients:4 ~txns_per_client:4 ~seed ~gtm_shards:shards
+             Registry.S3)
+      in
+      r.Loadgen.certified
+      && r.Loadgen.violations = 0
+      && r.Loadgen.submitted = r.Loadgen.committed + r.Loadgen.aborted)
+
+(* Certified differential across 13 seeds: the same seeded workload run
+   unsharded and with one shard per site (maximal spanning traffic). Both
+   runs must settle every submission and certify clean — sharding is a
+   scheduling change, not a correctness change, and the certifier holds it
+   to the single-shard obligations. *)
+let shard_differential seed () =
+  let base ~gtm_shards =
+    Loadgen.config ~wl:(wl 4) ~clients:6 ~txns_per_client:4 ~seed ~gtm_shards
+      Registry.S3
+  in
+  let unsharded = Loadgen.run (base ~gtm_shards:1) in
+  let sharded = Loadgen.run (base ~gtm_shards:4) in
+  check_bool "unsharded certified" true unsharded.Loadgen.certified;
+  check_bool "sharded certified" true sharded.Loadgen.certified;
+  check_int "same logical offer" unsharded.Loadgen.submitted
+    sharded.Loadgen.submitted;
+  check_int "unsharded all settled" unsharded.Loadgen.submitted
+    (unsharded.Loadgen.committed + unsharded.Loadgen.aborted);
+  check_int "sharded all settled" sharded.Loadgen.submitted
+    (sharded.Loadgen.committed + sharded.Loadgen.aborted);
+  check_int "unsharded crosses nothing" 0 unsharded.Loadgen.cross_shard;
+  check_bool "spanning path exercised" true
+    (sharded.Loadgen.cross_shard > 0)
+
 (* Admission shedding: a burst far beyond max_active with a parked bound of
    one makes the GTM refuse admissions before any per-site state exists.
    Sheds must be distinct from aborts in the accounting and the surviving
@@ -693,6 +752,13 @@ let () =
                Alcotest.test_case
                  (Printf.sprintf "retry-differential-seed-%d" seed)
                  `Quick (retry_differential seed)) );
+      ( "sharded",
+        QCheck_alcotest.to_alcotest sharded_scheduling_certified
+        :: List.init 13 (fun i ->
+               let seed = i + 1 in
+               Alcotest.test_case
+                 (Printf.sprintf "shard-differential-seed-%d" seed)
+                 `Quick (shard_differential seed)) );
       ( "faults",
         [ Alcotest.test_case "site-crash" `Quick site_crash_graceful ] );
       ( "live-cert",
